@@ -1,0 +1,7 @@
+//! `cargo bench` wrapper for the ablation studies (beyond the paper).
+
+fn main() {
+    for report in eactors_bench::ablation::run(eactors_bench::Scale::from_env()) {
+        report.emit();
+    }
+}

@@ -1,0 +1,7 @@
+//! `cargo bench` wrapper for Figure 11 (inter-enclave ping-pong).
+
+fn main() {
+    for report in eactors_bench::fig11::run(eactors_bench::Scale::from_env()) {
+        report.emit();
+    }
+}

@@ -1,0 +1,7 @@
+//! `cargo bench` wrapper for Figure 12 (plain SMC execution).
+
+fn main() {
+    for report in eactors_bench::fig12::run(eactors_bench::Scale::from_env(), false) {
+        report.emit();
+    }
+}

@@ -1,0 +1,7 @@
+//! `cargo bench` wrapper for Figure 13 (SMC with dynamically computed vectors).
+
+fn main() {
+    for report in eactors_bench::fig12::run(eactors_bench::Scale::from_env(), true) {
+        report.emit();
+    }
+}

@@ -1,0 +1,6 @@
+//! `cargo bench` wrapper regenerating the paper figure (quick scale by
+//! default; set `EACTORS_BENCH_SCALE=full` for paper-scale runs).
+
+fn main() {
+    eactors_bench::fig17::run(eactors_bench::Scale::from_env()).emit();
+}

@@ -1,0 +1,5 @@
+//! `cargo bench` wrapper for the §6.1 TCB inventory.
+
+fn main() {
+    eactors_bench::tcb::run().emit();
+}

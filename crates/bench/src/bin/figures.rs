@@ -1,0 +1,49 @@
+//! The figure-reproduction CLI.
+//!
+//! ```text
+//! figures [--full] [fig1 fig11 fig12 fig13 fig14 fig15 fig16 fig17 tcb ablations | all]
+//! ```
+//!
+//! Prints each requested figure as the paper reports it and writes CSVs
+//! under `results/`. `--full` approaches the paper's operation counts
+//! (minutes); the default quick scale finishes in well under a minute
+//! per figure.
+
+use eactors_bench::{ablation, fig01, fig11, fig12, fig14, fig15, fig16, fig17, tcb, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::Full } else { Scale::from_env() };
+    let mut wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if wanted.is_empty() || wanted.contains(&"all") {
+        wanted = vec![
+            "fig1", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tcb",
+            "ablations",
+        ];
+    }
+
+    println!(
+        "EActors reproduction — scale: {scale:?}, host cpus: {}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    for which in wanted {
+        match which {
+            "fig1" | "fig01" => fig01::run(scale).emit(),
+            "fig11" => fig11::run(scale).iter().for_each(|r| r.emit()),
+            "fig12" => fig12::run(scale, false).iter().for_each(|r| r.emit()),
+            "fig13" => fig12::run(scale, true).iter().for_each(|r| r.emit()),
+            "fig14" => fig14::run(scale).emit(),
+            "fig15" => fig15::run(scale).emit(),
+            "fig16" => fig16::run(scale).emit(),
+            "fig17" => fig17::run(scale).emit(),
+            "tcb" => tcb::run().emit(),
+            "ablations" => ablation::run(scale).iter().for_each(|r| r.emit()),
+            other => eprintln!("unknown figure {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Figure 1: concurrent dequeuing from a mutex-protected stack.
+//!
+//! The paper's motivating micro-benchmark (§2.2): 1 000 000 elements are
+//! popped from a shared stack protected either by a pthread mutex
+//! (untrusted threads) or by the SGX SDK mutex (threads inside an
+//! enclave, where a contended lock spins and then *leaves the enclave*
+//! to sleep). The SDK variant is orders of magnitude slower; consumer
+//! threads vary from 2 to 16.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sgx_sim::{Platform, SgxMutex};
+
+use crate::report::FigureReport;
+use crate::scale::Scale;
+
+/// Drain `elements` items through a std (pthread-like) mutex with
+/// `threads` consumers; returns seconds.
+fn drain_pthread(elements: u64, threads: usize) -> f64 {
+    let stack: Arc<std::sync::Mutex<Vec<u64>>> =
+        Arc::new(std::sync::Mutex::new((0..elements).collect()));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let stack = Arc::clone(&stack);
+            s.spawn(move || loop {
+                let mut g = stack.lock().expect("stack mutex poisoned");
+                if g.pop().is_none() {
+                    return;
+                }
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+/// Drain through an [`SgxMutex`] with every consumer inside an enclave.
+fn drain_sgx(platform: &Platform, elements: u64, threads: usize) -> f64 {
+    let enclave = platform
+        .create_enclave("fig1", 64 * 1024)
+        .expect("no EPC hard limit configured");
+    let stack = Arc::new(SgxMutex::new(
+        (0..elements).collect::<Vec<u64>>(),
+        platform.costs(),
+    ));
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let stack = Arc::clone(&stack);
+            let enclave = enclave.clone();
+            s.spawn(move || {
+                let _inside = enclave.enter();
+                loop {
+                    let mut g = stack.lock();
+                    if g.pop().is_none() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> FigureReport {
+    let elements = scale.ops(200_000, 1_000_000);
+    let sweep = scale.sweep(&[2, 4, 8, 16], &[2, 4, 6, 8, 10, 12, 14, 16]);
+    let mut report = FigureReport::new(
+        "fig01",
+        &format!("Concurrent dequeuing of {elements} elements from a mutex-protected stack"),
+        "threads",
+        "time (s)",
+    );
+    let platform = Platform::builder().build();
+    for &threads in &sweep {
+        report.push("pthread_mutex", threads as f64, drain_pthread(elements, threads));
+        report.push("sgx_mutex", threads as f64, drain_sgx(&platform, elements, threads));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgx_mutex_is_slower_under_contention() {
+        if cfg!(debug_assertions) {
+            eprintln!("skipped: cost-shape assertions need a release build (cargo test --release)");
+            return;
+        }
+        let platform = Platform::builder().build();
+        // The paper shows orders of magnitude on its 8-hyperthread Xeon.
+        // On a single-core host threads rarely *observe* the lock held
+        // (the holder is descheduled mid-hold at most once per
+        // timeslice), so contention — and with it the SDK mutex's
+        // transition storm — only materialises under heavy
+        // oversubscription. Use 16 threads and best-of-two to damp
+        // scheduler luck; require the full effect only with real
+        // parallelism.
+        let threads = 16;
+        let elements = 300_000;
+        let pthread = drain_pthread(elements, threads).min(drain_pthread(elements, threads));
+        let sgx =
+            drain_sgx(&platform, elements, threads).min(drain_sgx(&platform, elements, threads));
+        let parallel = std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
+        let factor = if parallel { 3.0 } else { 1.3 };
+        assert!(
+            sgx > pthread * factor,
+            "sgx {sgx:.4}s vs pthread {pthread:.4}s — SDK mutex must be slower (factor {factor})"
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Figure 11: inter-enclave communication performance.
+//!
+//! A PING and a PONG component exchange messages of 16 B – 512 KiB.
+//! Three variants (§6.2, Figure 10):
+//!
+//! * **Native** — the SGX SDK pattern: a thread ECalls into the source
+//!   enclave, the message is copied out across the boundary, and the
+//!   thread ECalls into the target enclave where it is copied in. Every
+//!   leg pays four boundary crossings and two copies, and copies beyond
+//!   the 32 KiB L1 run at DRAM speed — producing the paper's throughput
+//!   knee.
+//! * **EA** — two eactors in two enclaves exchanging nodes over a
+//!   plaintext channel: no crossings at all.
+//! * **EA-ENC** — the same with transparent channel encryption: roughly
+//!   an order of magnitude below EA, but still well above Native.
+//!
+//! The paper reports the execution time of 1 000 000 ping-pong pairs
+//! (Fig 11a) and the data throughput (Fig 11b); we measure a scaled
+//! operation count and normalise the reported time to 1 M pairs.
+
+use std::time::Instant;
+
+use eactors::prelude::*;
+use sgx_sim::Platform;
+
+use crate::report::FigureReport;
+use crate::scale::Scale;
+
+/// The paper's x axis.
+pub const SIZES: [usize; 8] = [
+    16,
+    1024,
+    8 * 1024,
+    32 * 1024,
+    64 * 1024,
+    128 * 1024,
+    256 * 1024,
+    512 * 1024,
+];
+
+const PAPER_PAIRS: u64 = 1_000_000;
+
+fn pairs_for(scale: Scale, size: usize) -> u64 {
+    // Bound total bytes moved per measurement.
+    let budget: u64 = scale.ops(8 << 20, 512 << 20);
+    (budget / size.max(1024) as u64).clamp(64, 200_000)
+}
+
+/// One native SDK-style ping-pong measurement; returns seconds.
+fn run_native(size: usize, pairs: u64) -> f64 {
+    let platform = Platform::builder().build();
+    let e1 = platform.create_enclave("ping", 512 * 1024).expect("epc");
+    let e2 = platform.create_enclave("pong", 512 * 1024).expect("epc");
+    let payload = vec![0xABu8; size];
+    // The untrusted transfer buffer between the enclaves.
+    let mut mbuf = vec![0u8; size];
+    let mut sink = vec![0u8; size];
+    let costs = platform.costs();
+    let start = Instant::now();
+    for i in 0..pairs {
+        // PING: produce the message inside e1, copy it out.
+        e1.ecall(|| {
+            mbuf.copy_from_slice(&payload);
+            mbuf[0] = i as u8;
+        });
+        costs.charge_copy(size);
+        // PONG: copy in, consume, produce the reply.
+        e2.ecall(|| {
+            sink.copy_from_slice(&mbuf);
+            mbuf.copy_from_slice(&sink);
+        });
+        costs.charge_copy(size);
+        // Reply travels back the same way.
+        e1.ecall(|| {
+            sink.copy_from_slice(&mbuf);
+        });
+        costs.charge_copy(size);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// One EActors ping-pong measurement; returns seconds.
+fn run_ea(size: usize, pairs: u64, encrypted: bool) -> f64 {
+    let platform = Platform::builder().build();
+    let mut b = DeploymentBuilder::new();
+    b.channel_defaults(ChannelOptions {
+        nodes: 16,
+        payload: size + 64,
+        policy: if encrypted {
+            EncryptionPolicy::Auto
+        } else {
+            EncryptionPolicy::NeverEncrypt
+        },
+    });
+    let e1 = b.enclave("ping");
+    let e2 = b.enclave("pong");
+
+    let payload = vec![0xABu8; size];
+    let mut recv_buf = vec![0u8; size + 64];
+    let mut remaining = pairs;
+    let mut awaiting = false;
+    let started = std::sync::Arc::new(std::sync::Mutex::new(None::<Instant>));
+    let finished = std::sync::Arc::new(std::sync::Mutex::new(None::<Instant>));
+    let started2 = started.clone();
+    let finished2 = finished.clone();
+
+    let ping = b.actor(
+        "ping",
+        Placement::Enclave(e1),
+        eactors::from_fn(move |ctx| {
+            if !awaiting {
+                if remaining == 0 {
+                    *finished2.lock().expect("timer lock") = Some(Instant::now());
+                    ctx.shutdown();
+                    return Control::Park;
+                }
+                let mut s = started2.lock().expect("timer lock");
+                if s.is_none() {
+                    *s = Some(Instant::now());
+                }
+                drop(s);
+                match ctx.channel(0).send(&payload) {
+                    Ok(()) => {
+                        awaiting = true;
+                        remaining -= 1;
+                        Control::Busy
+                    }
+                    Err(_) => Control::Idle,
+                }
+            } else {
+                match ctx.channel(0).try_recv(&mut recv_buf) {
+                    Ok(Some(_)) => {
+                        awaiting = false;
+                        Control::Busy
+                    }
+                    _ => Control::Idle,
+                }
+            }
+        }),
+    );
+    let mut pong_buf = vec![0u8; size + 64];
+    let pong = b.actor(
+        "pong",
+        Placement::Enclave(e2),
+        eactors::from_fn(move |ctx| match ctx.channel(0).try_recv(&mut pong_buf) {
+            Ok(Some(n)) => {
+                let reply = pong_buf[..n].to_vec();
+                let _ = ctx.channel(0).send(&reply);
+                Control::Busy
+            }
+            _ => Control::Idle,
+        }),
+    );
+    b.channel(ping, pong);
+    b.worker(&[ping]);
+    b.worker(&[pong]);
+    let runtime = Runtime::start(&platform, b.build().expect("valid deployment")).expect("start");
+    runtime.join();
+    let started = started.lock().expect("timer lock").expect("ping ran");
+    let finished = finished.lock().expect("timer lock").expect("ping finished");
+    (finished - started).as_secs_f64()
+}
+
+/// Run the experiment, producing Fig 11a (execution time, normalised to
+/// the paper's 1 M pairs) and Fig 11b (throughput).
+pub fn run(scale: Scale) -> Vec<FigureReport> {
+    let sizes = scale.sweep(&[16, 8 * 1024, 64 * 1024, 256 * 1024], &SIZES);
+    let mut time = FigureReport::new(
+        "fig11a",
+        "Inter-enclave ping-pong: execution time (normalised to 1M pairs)",
+        "message size (bytes)",
+        "time (s)",
+    );
+    let mut tput = FigureReport::new(
+        "fig11b",
+        "Inter-enclave ping-pong: data throughput",
+        "message size (bytes)",
+        "throughput (MiB/s)",
+    );
+    for &size in &sizes {
+        let pairs = pairs_for(scale, size);
+        // Bytes moved: two legs per pair.
+        let mib = (pairs as f64 * 2.0 * size as f64) / (1024.0 * 1024.0);
+        let norm = PAPER_PAIRS as f64 / pairs as f64;
+
+        let native = run_native(size, pairs);
+        time.push("Native", size as f64, native * norm);
+        tput.push("Native", size as f64, mib / native);
+
+        let ea = run_ea(size, pairs, false);
+        time.push("EA", size as f64, ea * norm);
+        tput.push("EA", size as f64, mib / ea);
+
+        let enc = run_ea(size, pairs, true);
+        time.push("EA-ENC", size as f64, enc * norm);
+        tput.push("EA-ENC", size as f64, mib / enc);
+    }
+    vec![time, tput]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ea_beats_native() {
+        if cfg!(debug_assertions) {
+            eprintln!("skipped: cost-shape assertions need a release build (cargo test --release)");
+            return;
+        }
+        let size = 8 * 1024;
+        let pairs = 300;
+        let native = run_native(size, pairs);
+        let ea = run_ea(size, pairs, false);
+        assert!(ea < native, "EA ({ea:.4}s) must beat Native ({native:.4}s)");
+    }
+
+    #[test]
+    fn ea_enc_beats_native_for_large_messages() {
+        if cfg!(debug_assertions) {
+            eprintln!("skipped: cost-shape assertions need a release build (cargo test --release)");
+            return;
+        }
+        // The paper: "even with encryption ... EActors still provides a
+        // data throughput 3 times higher than the native SDK". The gap
+        // opens where boundary copies dominate — large messages.
+        let size = 256 * 1024;
+        let pairs = 64;
+        let native = run_native(size, pairs);
+        let enc = run_ea(size, pairs, true);
+        assert!(
+            enc < native,
+            "EA-ENC ({enc:.4}s) must beat Native ({native:.4}s) at {size} bytes"
+        );
+    }
+
+    #[test]
+    fn native_throughput_knees_after_l1() {
+        if cfg!(debug_assertions) {
+            eprintln!("skipped: cost-shape assertions need a release build (cargo test --release)");
+            return;
+        }
+        // Per-byte cost beyond 32 KiB must exceed the in-L1 cost.
+        let small = run_native(16 * 1024, 100) / (16.0 * 1024.0 * 100.0);
+        let large = run_native(128 * 1024, 100) / (128.0 * 1024.0 * 100.0);
+        assert!(large > small, "copies beyond L1 must be slower per byte");
+    }
+}

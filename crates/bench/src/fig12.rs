@@ -1,0 +1,131 @@
+//! Figures 12 and 13: the secure multi-party computation service.
+//!
+//! Throughput of the secure-sum ring, EActors deployment (`EA/k`) vs the
+//! SGX-SDK-style single-thread deployment (`EC/k`), swept over vector
+//! dimension and party count. Figure 12 runs the plain protocol; Figure
+//! 13 additionally recomputes every party's secret each round
+//! ("dynamically computed input vectors", §6.3.2).
+
+use sgx_sim::Platform;
+use smc::{run_ea, run_sdk, SmcConfig};
+
+use crate::report::FigureReport;
+use crate::scale::Scale;
+
+fn config(parties: usize, dim: usize, dynamic: bool, rounds: u64) -> SmcConfig {
+    SmcConfig {
+        parties,
+        dim,
+        dynamic,
+        rounds,
+        inflight: 2 * parties,
+        verify: false,
+        seed: 7,
+    }
+}
+
+fn measure(parties: usize, dim: usize, dynamic: bool, rounds: u64) -> (f64, f64) {
+    let cfg = config(parties, dim, dynamic, rounds);
+    let p = Platform::builder().build();
+    let sdk = run_sdk(&p, &cfg).expect("valid config").throughput_rps / 1000.0;
+    let p = Platform::builder().build();
+    let ea = run_ea(&p, &cfg).expect("valid config").throughput_rps / 1000.0;
+    (sdk, ea)
+}
+
+/// Run the experiment; `dynamic = false` yields Fig 12 (a,b,c),
+/// `dynamic = true` yields Fig 13 (a,b,c).
+pub fn run(scale: Scale, dynamic: bool) -> Vec<FigureReport> {
+    let fig = if dynamic { "fig13" } else { "fig12" };
+    let case = if dynamic {
+        "SMC with dynamically computed vectors"
+    } else {
+        "plain SMC execution"
+    };
+
+    // (a) short vectors.
+    let short_rounds = scale.ops(200, 10_000);
+    let mut a = FigureReport::new(
+        &format!("{fig}a"),
+        &format!("{case}: throughput for short vectors"),
+        "vector dimension",
+        "throughput (10^3 req/s)",
+    );
+    for dim in scale.sweep(&[20, 60, 100], &[20, 40, 60, 80, 100]) {
+        for parties in [3usize, 8] {
+            let (sdk, ea) = measure(parties, dim, dynamic, short_rounds);
+            a.push(format!("EC/{parties}"), dim as f64, sdk);
+            a.push(format!("EA/{parties}"), dim as f64, ea);
+        }
+    }
+
+    // (b) long vectors.
+    let long_rounds = scale.ops(40, 2_000);
+    let mut b = FigureReport::new(
+        &format!("{fig}b"),
+        &format!("{case}: throughput for long vectors"),
+        "vector dimension",
+        "throughput (10^3 req/s)",
+    );
+    for dim in scale.sweep(&[2_000, 6_000, 10_000], &[2_000, 4_000, 6_000, 8_000, 10_000]) {
+        for parties in [3usize, 8] {
+            let (sdk, ea) = measure(parties, dim, dynamic, long_rounds);
+            b.push(format!("EC/{parties}"), dim as f64, sdk);
+            b.push(format!("EA/{parties}"), dim as f64, ea);
+        }
+    }
+
+    // (c) impact of the number of parties.
+    let c_rounds = scale.ops(150, 5_000);
+    let mut c = FigureReport::new(
+        &format!("{fig}c"),
+        &format!("{case}: impact of the number of parties"),
+        "parties",
+        "throughput (10^3 req/s)",
+    );
+    for parties in scale.sweep(&[3, 5, 8], &[3, 4, 5, 6, 7, 8]) {
+        for dim in [1usize, 1_000, 2_000] {
+            let rounds = if dim >= 1_000 { c_rounds / 4 } else { c_rounds }.max(20);
+            let (sdk, ea) = measure(parties, dim, dynamic, rounds);
+            c.push(format!("EC-{dim}"), parties as f64, sdk);
+            c.push(format!("EA-{dim}"), parties as f64, ea);
+        }
+    }
+
+    vec![a, b, c]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ea_beats_sdk_for_short_vectors() {
+        if cfg!(debug_assertions) {
+            eprintln!("skipped: cost-shape assertions need a release build (cargo test --release)");
+            return;
+        }
+        // The paper's headline SMC result: for short vectors the EActors
+        // deployment clearly outperforms the ECall-based one.
+        let (sdk, ea) = measure(3, 20, false, 150);
+        assert!(ea > sdk, "EA ({ea:.2}) must beat EC ({sdk:.2}) for short vectors");
+    }
+
+    #[test]
+    fn gap_narrows_for_long_vectors() {
+        if cfg!(debug_assertions) {
+            eprintln!("skipped: cost-shape assertions need a release build (cargo test --release)");
+            return;
+        }
+        // For long vectors the trusted RNG dominates both variants and
+        // the relative gap shrinks (§6.3.1).
+        let (sdk_s, ea_s) = measure(3, 20, false, 150);
+        let (sdk_l, ea_l) = measure(3, 4_000, false, 30);
+        let short_gap = ea_s / sdk_s;
+        let long_gap = ea_l / sdk_l;
+        assert!(
+            long_gap < short_gap,
+            "gap must narrow: short {short_gap:.2}x vs long {long_gap:.2}x"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Figure 14: XMPP one-to-one scalability with concurrent clients.
+//!
+//! Compares ejabberd (EJB), JabberD2 (JBD2) and EActors deployments with
+//! 3, 6 and 48 eactors (1, 2 and 16 XMPP instances, each with its READER
+//! and WRITER) while the number of concurrent clients grows. Half the
+//! clients send 150-byte messages to their partner and wait for the
+//! response (§6.4.1).
+
+use std::sync::Arc;
+
+use enet::{NetBackend, SimNet};
+use sgx_sim::Platform;
+use xmpp::baseline::{BaselineConfig, BaselineKind, BaselineServer};
+use xmpp::client::{run_o2o, O2oWorkload};
+use xmpp::{start_service, XmppConfig};
+
+use crate::report::FigureReport;
+use crate::scale::Scale;
+
+/// A server variant under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Server {
+    /// ejabberd-like baseline.
+    Ejb,
+    /// JabberD2-like baseline.
+    Jbd2,
+    /// EActors service with the given number of XMPP instances
+    /// (3 eactors per instance: XMPP + READER + WRITER).
+    Ea {
+        /// XMPP instance count.
+        instances: usize,
+    },
+}
+
+impl Server {
+    /// The paper's series label.
+    pub fn label(&self) -> String {
+        match self {
+            Server::Ejb => "EJB".into(),
+            Server::Jbd2 => "JBD2".into(),
+            Server::Ea { instances } => format!("EA/{}", instances * 3),
+        }
+    }
+}
+
+/// Measure one (server, clients) point; returns requests per second.
+pub fn measure_o2o(server: Server, clients: usize, duration: std::time::Duration) -> f64 {
+    let platform = Platform::builder().build();
+    let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(platform.costs()));
+    let workload = O2oWorkload {
+        clients,
+        duration,
+        driver_threads: 2,
+        ..O2oWorkload::default()
+    };
+    match server {
+        Server::Ejb => {
+            let s = BaselineServer::start(
+                net.clone(),
+                platform.costs(),
+                BaselineConfig { kind: BaselineKind::Ejabberd, ..BaselineConfig::default() },
+            );
+            let r = run_o2o(net, &platform.costs(), &workload);
+            s.shutdown();
+            r.throughput_rps
+        }
+        Server::Jbd2 => {
+            let s = BaselineServer::start(
+                net.clone(),
+                platform.costs(),
+                BaselineConfig { kind: BaselineKind::Jabberd2, ..BaselineConfig::default() },
+            );
+            let r = run_o2o(net, &platform.costs(), &workload);
+            s.shutdown();
+            r.throughput_rps
+        }
+        Server::Ea { instances } => {
+            let svc = start_service(
+                &platform,
+                net.clone(),
+                &XmppConfig {
+                    instances,
+                    max_clients: clients as u32 + 16,
+                    ..XmppConfig::default()
+                },
+            )
+            .expect("valid service config");
+            let r = run_o2o(net, &platform.costs(), &workload);
+            svc.shutdown();
+            r.throughput_rps
+        }
+    }
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> FigureReport {
+    let clients = scale.sweep(&[50, 200, 400], &[50, 100, 200, 400, 600, 800, 1000]);
+    let duration = scale.duration(700, 4_000);
+    let servers = [
+        Server::Ejb,
+        Server::Jbd2,
+        Server::Ea { instances: 1 },
+        Server::Ea { instances: 2 },
+        Server::Ea { instances: 16 },
+    ];
+    let mut report = FigureReport::new(
+        "fig14",
+        "XMPP one-to-one scalability with concurrent clients",
+        "clients",
+        "throughput (req/s)",
+    );
+    for &n in &clients {
+        for server in servers {
+            report.push(server.label(), n as f64, measure_o2o(server, n, duration));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn ea_beats_both_baselines() {
+        if cfg!(debug_assertions) {
+            eprintln!("skipped: cost-shape assertions need a release build (cargo test --release)");
+            return;
+        }
+        let d = Duration::from_millis(700);
+        let ea = measure_o2o(Server::Ea { instances: 1 }, 40, d);
+        let jbd2 = measure_o2o(Server::Jbd2, 40, d);
+        let ejb = measure_o2o(Server::Ejb, 40, d);
+        assert!(ea > jbd2, "EA/3 ({ea:.0}) must beat JBD2 ({jbd2:.0})");
+        assert!(ea > ejb, "EA/3 ({ea:.0}) must beat EJB ({ejb:.0})");
+    }
+
+    #[test]
+    fn jbd2_beats_ejb() {
+        if cfg!(debug_assertions) {
+            eprintln!("skipped: cost-shape assertions need a release build (cargo test --release)");
+            return;
+        }
+        let d = Duration::from_millis(700);
+        let jbd2 = measure_o2o(Server::Jbd2, 40, d);
+        let ejb = measure_o2o(Server::Ejb, 40, d);
+        assert!(
+            jbd2 > ejb,
+            "JBD2 ({jbd2:.0}) should outperform EJB ({ejb:.0}) as in Fig 14"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Figure 15: group communication, trusted vs untrusted.
+//!
+//! One group chat whose participant count grows from 10 to 100; one
+//! participant paces the room (sends a new message when its previous one
+//! is reflected back), the server re-encrypts every message for every
+//! member. Series: ejabberd, single-threaded JabberD2 with SSL, and the
+//! EActors service with its XMPP eactor enclaved (`EA/trusted`) or not
+//! (`EA/untrusted`) — the paper's point being that the two EA variants
+//! coincide (§6.4.2).
+
+use std::sync::Arc;
+
+use enet::{NetBackend, SimNet};
+use sgx_sim::Platform;
+use xmpp::baseline::{BaselineConfig, BaselineKind, BaselineServer};
+use xmpp::client::{run_o2m, O2mWorkload};
+use xmpp::{start_service, Assignment, XmppConfig};
+
+use crate::report::FigureReport;
+use crate::scale::Scale;
+
+/// Group-chat server variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupServer {
+    /// ejabberd-like baseline.
+    Ejb,
+    /// JabberD2-like baseline (SSL + MU-Conference equivalent).
+    Jbd2,
+    /// EActors service, XMPP eactor enclaved or untrusted.
+    Ea {
+        /// Whether the XMPP eactor runs inside an enclave.
+        trusted: bool,
+    },
+}
+
+impl GroupServer {
+    /// The paper's series label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GroupServer::Ejb => "EJB",
+            GroupServer::Jbd2 => "JBD2",
+            GroupServer::Ea { trusted: true } => "EA/trusted",
+            GroupServer::Ea { trusted: false } => "EA/untrusted",
+        }
+    }
+}
+
+/// Measure one (server, participants) point; returns pacer rounds per
+/// second.
+pub fn measure_o2m(
+    server: GroupServer,
+    participants: usize,
+    duration: std::time::Duration,
+) -> f64 {
+    let platform = Platform::builder().build();
+    let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(platform.costs()));
+    let workload = O2mWorkload {
+        groups: 1,
+        participants,
+        duration,
+        driver_threads: 2,
+        ..O2mWorkload::default()
+    };
+    match server {
+        GroupServer::Ejb | GroupServer::Jbd2 => {
+            let kind = if server == GroupServer::Ejb {
+                BaselineKind::Ejabberd
+            } else {
+                BaselineKind::Jabberd2
+            };
+            let s = BaselineServer::start(
+                net.clone(),
+                platform.costs(),
+                BaselineConfig { kind, ..BaselineConfig::default() },
+            );
+            let r = run_o2m(net, &platform.costs(), &workload);
+            s.shutdown();
+            r.throughput_rps
+        }
+        GroupServer::Ea { trusted } => {
+            let svc = start_service(
+                &platform,
+                net.clone(),
+                &XmppConfig {
+                    instances: 1,
+                    trusted,
+                    assignment: Assignment::ByRoomTag,
+                    max_clients: participants as u32 + 16,
+                    ..XmppConfig::default()
+                },
+            )
+            .expect("valid service config");
+            let r = run_o2m(net, &platform.costs(), &workload);
+            svc.shutdown();
+            r.throughput_rps
+        }
+    }
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> FigureReport {
+    let participants = scale.sweep(&[10, 40, 100], &[10, 20, 40, 60, 80, 100]);
+    let duration = scale.duration(700, 4_000);
+    let mut report = FigureReport::new(
+        "fig15",
+        "Group communication: trusted vs untrusted",
+        "group chat participants",
+        "throughput (req/s)",
+    );
+    for &p in &participants {
+        for server in [
+            GroupServer::Ejb,
+            GroupServer::Jbd2,
+            GroupServer::Ea { trusted: true },
+            GroupServer::Ea { trusted: false },
+        ] {
+            report.push(server.label(), p as f64, measure_o2m(server, p, duration));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn trusted_and_untrusted_coincide() {
+        // The paper's key observation: enclaving the XMPP eactor costs
+        // (almost) nothing because its worker never leaves the enclave.
+        let d = Duration::from_millis(800);
+        let trusted = measure_o2m(GroupServer::Ea { trusted: true }, 10, d);
+        let untrusted = measure_o2m(GroupServer::Ea { trusted: false }, 10, d);
+        let ratio = trusted / untrusted;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "trusted ({trusted:.0}) and untrusted ({untrusted:.0}) must be comparable"
+        );
+    }
+
+    #[test]
+    fn throughput_declines_with_group_size() {
+        let d = Duration::from_millis(700);
+        let small = measure_o2m(GroupServer::Ea { trusted: true }, 5, d);
+        let large = measure_o2m(GroupServer::Ea { trusted: true }, 40, d);
+        assert!(
+            small > large,
+            "pacer rate must fall with fan-out: {small:.0} vs {large:.0}"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 16: impact of the number of enclaves.
+//!
+//! The 48-eactor deployment (16 XMPP instances plus their READERs and
+//! WRITERs) serving 400 one-to-one clients, with the trusted eactors
+//! hosted in 1, 2 or 16 enclaves. A single enclave is slightly faster
+//! because the state shared between eactors (the Online list) stays
+//! inside one enclave and needs no encryption (§6.4.3).
+
+use std::sync::Arc;
+
+use enet::{NetBackend, SimNet};
+use sgx_sim::Platform;
+use xmpp::client::{run_o2o, O2oWorkload};
+use xmpp::{start_service, EnclaveLayout, XmppConfig};
+
+use crate::report::FigureReport;
+use crate::scale::Scale;
+
+/// Measure throughput of the 16-instance service over `enclaves`
+/// enclaves.
+pub fn measure_enclaves(
+    enclaves: usize,
+    clients: usize,
+    duration: std::time::Duration,
+) -> f64 {
+    let platform = Platform::builder().build();
+    let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(platform.costs()));
+    let layout = match enclaves {
+        1 => EnclaveLayout::Single,
+        16 => EnclaveLayout::PerInstance,
+        n => EnclaveLayout::Count(n),
+    };
+    let svc = start_service(
+        &platform,
+        net.clone(),
+        &XmppConfig {
+            instances: 16,
+            enclave_layout: layout,
+            max_clients: clients as u32 + 16,
+            ..XmppConfig::default()
+        },
+    )
+    .expect("valid service config");
+    let r = run_o2o(
+        net,
+        &platform.costs(),
+        &O2oWorkload { clients, duration, driver_threads: 2, ..O2oWorkload::default() },
+    );
+    svc.shutdown();
+    r.throughput_rps
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> FigureReport {
+    let clients = scale.ops(100, 400) as usize;
+    let duration = scale.duration(800, 4_000);
+    let mut report = FigureReport::new(
+        "fig16",
+        &format!("Impact of the number of enclaves (48 eactors, {clients} clients)"),
+        "enclaves",
+        "throughput (req/s)",
+    );
+    for enclaves in [1usize, 2, 16] {
+        report.push("EA/48", enclaves as f64, measure_enclaves(enclaves, clients, duration));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn all_layouts_serve_traffic() {
+        for enclaves in [1usize, 2] {
+            let t = measure_enclaves(enclaves, 20, Duration::from_millis(600));
+            assert!(t > 0.0, "{enclaves}-enclave layout served nothing");
+        }
+    }
+}

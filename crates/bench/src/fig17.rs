@@ -1,0 +1,82 @@
+//! Figure 17: trusted mode vs untrusted mode.
+//!
+//! The EA/3, EA/6 and EA/48 deployments serving 400 one-to-one clients,
+//! once with their CONNECTOR/XMPP eactors enclaved and once untrusted.
+//! Because each trusted worker stays inside its enclave, the two modes
+//! show no perceptible difference (§6.4.4) — trusted execution comes for
+//! free under the EActors model.
+
+use std::sync::Arc;
+
+use enet::{NetBackend, SimNet};
+use sgx_sim::Platform;
+use xmpp::client::{run_o2o, O2oWorkload};
+use xmpp::{start_service, XmppConfig};
+
+use crate::report::FigureReport;
+use crate::scale::Scale;
+
+/// Measure one (instances, trusted) point; returns requests per second.
+pub fn measure_mode(
+    instances: usize,
+    trusted: bool,
+    clients: usize,
+    duration: std::time::Duration,
+) -> f64 {
+    let platform = Platform::builder().build();
+    let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(platform.costs()));
+    let svc = start_service(
+        &platform,
+        net.clone(),
+        &XmppConfig {
+            instances,
+            trusted,
+            max_clients: clients as u32 + 16,
+            ..XmppConfig::default()
+        },
+    )
+    .expect("valid service config");
+    let r = run_o2o(
+        net,
+        &platform.costs(),
+        &O2oWorkload { clients, duration, driver_threads: 2, ..O2oWorkload::default() },
+    );
+    svc.shutdown();
+    r.throughput_rps
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> FigureReport {
+    let clients = scale.ops(100, 400) as usize;
+    let duration = scale.duration(800, 4_000);
+    let mut report = FigureReport::new(
+        "fig17",
+        &format!("Trusted mode vs untrusted mode ({clients} clients)"),
+        "eactors",
+        "throughput (req/s)",
+    );
+    for instances in [1usize, 2, 16] {
+        let eactors = (instances * 3) as f64;
+        report.push("trusted", eactors, measure_mode(instances, true, clients, duration));
+        report.push("untrusted", eactors, measure_mode(instances, false, clients, duration));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn no_perceptible_trusted_overhead() {
+        let d = Duration::from_millis(800);
+        let trusted = measure_mode(1, true, 20, d);
+        let untrusted = measure_mode(1, false, 20, d);
+        let ratio = trusted / untrusted;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "trusted ({trusted:.0}) vs untrusted ({untrusted:.0}) should be comparable"
+        );
+    }
+}

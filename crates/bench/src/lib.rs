@@ -1,0 +1,39 @@
+//! # eactors-bench — the evaluation harness
+//!
+//! Regenerates every figure of the EActors paper's evaluation (§6):
+//! Figure 1 (SDK mutex), Figure 11 (inter-enclave ping-pong), Figures
+//! 12–13 (secure multi-party computation), Figures 14–17 (the XMPP
+//! messaging service), plus the §6.1 TCB inventory and ablations beyond
+//! the paper.
+//!
+//! Each `figXX` module exposes `run(scale) -> FigureReport`; the
+//! `figures` binary and the `cargo bench` targets are thin wrappers. All
+//! reports print the paper's series and are written as CSV under
+//! `results/`.
+//!
+//! ## Host caveat
+//!
+//! The paper measured a 4-core / 8-thread Xeon. Results produced on a
+//! single-core host reproduce every *cost-structure* effect (execution
+//! mode transitions, copies, crypto, trusted RNG, system calls, VM
+//! overhead) but compress *parallel-scaling* effects (EA/6 and EA/48 over
+//! EA/3, SMC ring pipelining), because concurrent workers timeshare one
+//! core. Every report records the host's CPU count so CSVs are
+//! self-describing.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig01;
+pub mod fig11;
+pub mod fig12;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod report;
+pub mod scale;
+pub mod tcb;
+
+pub use report::{FigureReport, Row};
+pub use scale::Scale;

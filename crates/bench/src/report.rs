@@ -1,0 +1,191 @@
+//! Figure reports: printable tables + CSV output.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One data point of a figure: a series name, the x value, and the
+/// measured y value(s).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Row {
+    /// Series label (e.g. `EA/3`, `Native`, `EC-1000`).
+    pub series: String,
+    /// Independent variable (message size, clients, parties, ...).
+    pub x: f64,
+    /// Measured value (throughput, time, ...).
+    pub y: f64,
+}
+
+impl Row {
+    /// Convenience constructor.
+    pub fn new(series: impl Into<String>, x: f64, y: f64) -> Self {
+        Row { series: series.into(), x, y }
+    }
+}
+
+/// A rendered experiment: identification, axes and data.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FigureReport {
+    /// Figure id (`fig01`, `fig12a`, ...).
+    pub id: String,
+    /// Human title matching the paper.
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// CPUs available during the run (parallel effects compress on 1).
+    pub host_cpus: usize,
+    /// The measurements.
+    pub rows: Vec<Row>,
+}
+
+impl FigureReport {
+    /// Create an empty report.
+    pub fn new(id: &str, title: &str, x_label: &str, y_label: &str) -> Self {
+        FigureReport {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            x_label: x_label.to_owned(),
+            y_label: y_label.to_owned(),
+            host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Add a data point.
+    pub fn push(&mut self, series: impl Into<String>, x: f64, y: f64) {
+        self.rows.push(Row::new(series, x, y));
+    }
+
+    /// The y value for (series, x), if measured.
+    pub fn value(&self, series: &str, x: f64) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.series == series && (r.x - x).abs() < 1e-9)
+            .map(|r| r.y)
+    }
+
+    /// All distinct series labels, in first-appearance order.
+    pub fn series(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for r in &self.rows {
+            if !out.contains(&r.series.as_str()) {
+                out.push(&r.series);
+            }
+        }
+        out
+    }
+
+    /// Render the report as an aligned text table (series × x).
+    ///
+    /// Inventory-style reports (one point per series) render as a list
+    /// instead.
+    pub fn to_table(&self) -> String {
+        if !self.rows.is_empty() && self.rows.len() == self.series().len() {
+            let mut out = String::new();
+            out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+            out.push_str(&format!("   ({}; host cpus: {})\n", self.y_label, self.host_cpus));
+            let width = self.rows.iter().map(|r| r.series.len()).max().unwrap_or(0);
+            for r in &self.rows {
+                out.push_str(&format!("   {:<width$}  {:>12.0}\n", r.series, r.y));
+            }
+            return out;
+        }
+        self.to_matrix_table()
+    }
+
+    fn to_matrix_table(&self) -> String {
+        let mut xs: Vec<f64> = Vec::new();
+        for r in &self.rows {
+            if !xs.iter().any(|&x| (x - r.x).abs() < 1e-9) {
+                xs.push(r.x);
+            }
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x values"));
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        out.push_str(&format!(
+            "   ({} vs {}; host cpus: {})\n",
+            self.y_label, self.x_label, self.host_cpus
+        ));
+        out.push_str(&format!("{:>12}", self.x_label.split_whitespace().next().unwrap_or("x")));
+        for s in self.series() {
+            out.push_str(&format!("{s:>14}"));
+        }
+        out.push('\n');
+        for &x in &xs {
+            out.push_str(&format!("{x:>12.0}"));
+            for s in self.series() {
+                match self.value(s, x) {
+                    Some(y) if y >= 1000.0 => out.push_str(&format!("{y:>14.0}")),
+                    Some(y) if y >= 10.0 => out.push_str(&format!("{y:>14.2}")),
+                    Some(y) => out.push_str(&format!("{y:>14.4}")),
+                    None => out.push_str(&format!("{:>14}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write `results/<id>.csv` relative to the workspace root (or the
+    /// current directory when the root cannot be located).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "# {} — {} (host cpus: {})", self.id, self.title, self.host_cpus)?;
+        writeln!(f, "series,{},{}", self.x_label, self.y_label)?;
+        for r in &self.rows {
+            writeln!(f, "{},{},{}", r.series, r.x, r.y)?;
+        }
+        Ok(path)
+    }
+
+    /// Print the table and persist the CSV (convenience used by every
+    /// bench target).
+    pub fn emit(&self) {
+        println!("{}", self.to_table());
+        match self.write_csv() {
+            Ok(path) => println!("   -> {}\n", path.display()),
+            Err(e) => eprintln!("   (csv not written: {e})\n"),
+        }
+    }
+}
+
+/// Locate `<workspace>/results`, walking up from the current directory.
+fn results_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_contains_all_series_and_points() {
+        let mut r = FigureReport::new("figXX", "demo", "clients", "req/s");
+        r.push("EA/3", 100.0, 1234.0);
+        r.push("JBD2", 100.0, 567.0);
+        r.push("EA/3", 200.0, 2345.0);
+        let t = r.to_table();
+        assert!(t.contains("EA/3") && t.contains("JBD2"));
+        assert!(t.contains("1234") && t.contains("567"));
+        assert_eq!(r.series(), vec!["EA/3", "JBD2"]);
+        assert_eq!(r.value("EA/3", 200.0), Some(2345.0));
+        assert_eq!(r.value("EA/3", 300.0), None);
+    }
+}

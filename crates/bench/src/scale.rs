@@ -1,0 +1,64 @@
+//! Experiment scale: quick smoke runs vs full reproductions.
+
+use std::time::Duration;
+
+/// How big to run each experiment.
+///
+/// `Quick` keeps the whole suite under a few minutes (used by
+/// `cargo bench`); `Full` approaches the paper's operation counts (used
+/// by `figures --full`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced operation counts and durations.
+    Quick,
+    /// Paper-scale operation counts.
+    Full,
+}
+
+impl Scale {
+    /// Read the scale from the `EACTORS_BENCH_SCALE` environment variable
+    /// (`full` selects [`Scale::Full`]; anything else is quick).
+    pub fn from_env() -> Self {
+        match std::env::var("EACTORS_BENCH_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Scale an operation count.
+    pub fn ops(&self, quick: u64, full: u64) -> u64 {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+
+    /// Scale a measurement duration.
+    pub fn duration(&self, quick_ms: u64, full_ms: u64) -> Duration {
+        Duration::from_millis(match self {
+            Scale::Quick => quick_ms,
+            Scale::Full => full_ms,
+        })
+    }
+
+    /// Pick a sweep, thinning the full list for quick runs.
+    pub fn sweep<T: Copy>(&self, quick: &[T], full: &[T]) -> Vec<T> {
+        match self {
+            Scale::Quick => quick.to_vec(),
+            Scale::Full => full.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_and_full_differ() {
+        assert_eq!(Scale::Quick.ops(10, 1000), 10);
+        assert_eq!(Scale::Full.ops(10, 1000), 1000);
+        assert_eq!(Scale::Quick.duration(100, 5000), Duration::from_millis(100));
+        assert_eq!(Scale::Full.sweep(&[1], &[1, 2, 3]), vec![1, 2, 3]);
+    }
+}

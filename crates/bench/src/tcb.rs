@@ -1,0 +1,154 @@
+//! §6.1: trusted computing base and memory footprint inventory.
+//!
+//! The paper reports ~6 200 lines of framework code of which 3 278 are
+//! embedded in the enclave, and ~500 KiB of enclave memory for the XMPP
+//! service. This module produces the equivalent inventory for this
+//! reproduction: lines of code per crate (comments and blanks excluded)
+//! split into enclave-resident and untrusted parts, plus the measured
+//! enclave memory of a deployed XMPP service.
+
+use std::path::{Path, PathBuf};
+
+use crate::report::FigureReport;
+
+/// Count non-blank, non-comment lines in one Rust source file.
+fn loc_of_file(path: &Path) -> u64 {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return 0;
+    };
+    let mut in_block_comment = false;
+    let mut count = 0;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if in_block_comment {
+            if t.contains("*/") {
+                in_block_comment = false;
+            }
+            continue;
+        }
+        if t.starts_with("//") {
+            continue;
+        }
+        if t.starts_with("/*") {
+            if !t.contains("*/") {
+                in_block_comment = true;
+            }
+            continue;
+        }
+        count += 1;
+    }
+    count
+}
+
+/// Count LoC under a directory, recursively, `.rs` files only.
+pub fn loc_of_dir(dir: &Path) -> u64 {
+    let mut total = 0;
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            total += loc_of_dir(&path);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            total += loc_of_file(&path);
+        }
+    }
+    total
+}
+
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// Produce the inventory. `x` encodes nothing; rows carry (crate, LoC).
+pub fn run() -> FigureReport {
+    let root = workspace_root();
+    let mut report = FigureReport::new(
+        "tcb",
+        "Trusted computing base inventory (cf. §6.1: framework 6 200 LoC, 3 278 enclave-resident)",
+        "part",
+        "lines of code",
+    );
+    // Enclave-resident parts: the actor runtime and messaging substrate,
+    // the object store, the crypto/seal/attest portions of the SGX layer
+    // — everything an enclave must contain for an EActors application.
+    let crates: &[(&str, &str, bool)] = &[
+        ("sgx-sim (platform substrate)", "crates/sgx-sim/src", true),
+        ("eactors (framework core)", "crates/core/src", true),
+        ("pos (object store)", "crates/pos/src", true),
+        ("enet (networking, untrusted by design)", "crates/enet/src", false),
+        ("smc use case", "crates/smc/src", true),
+        ("xmpp use case", "crates/xmpp/src", true),
+        ("bench harness (untrusted)", "crates/bench/src", false),
+    ];
+    let mut trusted_total = 0u64;
+    let mut total = 0u64;
+    for (i, (name, rel, trusted)) in crates.iter().enumerate() {
+        let loc = loc_of_dir(&root.join(rel));
+        total += loc;
+        if *trusted {
+            trusted_total += loc;
+        }
+        report.push(*name, i as f64, loc as f64);
+    }
+    report.push("TOTAL", crates.len() as f64, total as f64);
+    report.push("enclave-resident total", crates.len() as f64 + 1.0, trusted_total as f64);
+
+    // Enclave memory of a deployed single-instance XMPP service.
+    let platform = sgx_sim::Platform::builder().build();
+    let net: std::sync::Arc<dyn enet::NetBackend> =
+        std::sync::Arc::new(enet::SimNet::new(platform.costs()));
+    if let Ok(svc) = xmpp::start_service(&platform, net, &xmpp::XmppConfig::default()) {
+        let bytes: u64 = svc.runtime.enclaves().iter().map(|e| e.memory_bytes()).sum();
+        report.push(
+            "xmpp enclave memory (KiB; paper ~500)",
+            crates.len() as f64 + 2.0,
+            bytes as f64 / 1024.0,
+        );
+        svc.shutdown();
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_counting_skips_comments_and_blanks() {
+        let dir = std::env::temp_dir().join(format!("tcb-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("x.rs");
+        std::fs::write(
+            &f,
+            "// comment\n\n/* block\nstill block\n*/\nfn main() {\n    let x = 1;\n}\n",
+        )
+        .unwrap();
+        assert_eq!(loc_of_file(&f), 3);
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn workspace_inventory_is_substantial() {
+        let report = run();
+        let total = report
+            .rows
+            .iter()
+            .find(|r| r.series == "TOTAL")
+            .map(|r| r.y)
+            .unwrap_or(0.0);
+        assert!(total > 5_000.0, "expected a substantial code base, got {total}");
+    }
+}

@@ -1,0 +1,407 @@
+//! Uniform communication primitives: location-transparent channels.
+//!
+//! A channel (§3.3 of the paper) connects two eactors bi-directionally and
+//! hides where they execute. Underneath it is a node pool plus one mbox per
+//! direction. When the endpoints live in **different enclaves** and the
+//! channel is not configured plaintext, payloads are transparently
+//! encrypted with a session key agreed through local attestation — the
+//! actor code is identical either way, which is what lets a deployment
+//! move actors between domains without touching application logic.
+
+use std::sync::Arc;
+
+use sgx_sim::crypto::{SessionCipher, SessionKey, SEAL_OVERHEAD};
+
+use crate::arena::{Arena, Mbox, Node};
+use crate::error::ChannelError;
+
+/// Identifier of a channel within a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelId(pub(crate) u32);
+
+impl ChannelId {
+    /// The raw index.
+    pub fn as_raw(&self) -> u32 {
+        self.0
+    }
+}
+
+/// One endpoint of a bi-directional channel.
+///
+/// Owned by a single actor (endpoints are handed out through
+/// [`crate::actor::Ctx`]); methods take `&mut self` because each endpoint
+/// keeps private cipher state. The peer endpoint is used concurrently by
+/// the other actor — the shared mboxes and pool are lock-free.
+///
+/// # Examples
+///
+/// ```
+/// use eactors::channel::ChannelPair;
+/// use eactors::arena::Arena;
+///
+/// let arena = Arena::new("ch", 8, 128);
+/// let (mut a, mut b) = ChannelPair::plaintext(0, arena).into_ends();
+/// a.send(b"ping")?;
+/// let mut buf = [0u8; 128];
+/// let n = b.try_recv(&mut buf)?.expect("message waiting");
+/// assert_eq!(&buf[..n], b"ping");
+/// # Ok::<(), eactors::ChannelError>(())
+/// ```
+#[derive(Debug)]
+pub struct ChannelEnd {
+    id: ChannelId,
+    pool: Arc<Arena>,
+    tx: Arc<Mbox>,
+    rx: Arc<Mbox>,
+    tx_cipher: Option<SessionCipher>,
+    rx_cipher: Option<SessionCipher>,
+}
+
+impl ChannelEnd {
+    /// The channel this endpoint belongs to.
+    pub fn id(&self) -> ChannelId {
+        self.id
+    }
+
+    /// Whether payloads are transparently encrypted on this channel.
+    pub fn encrypted(&self) -> bool {
+        self.tx_cipher.is_some()
+    }
+
+    /// Largest message this channel can carry in one node.
+    pub fn max_message_len(&self) -> usize {
+        if self.encrypted() {
+            self.pool.payload_size().saturating_sub(SEAL_OVERHEAD)
+        } else {
+            self.pool.payload_size()
+        }
+    }
+
+    /// Send `bytes` to the peer.
+    ///
+    /// Pops a node from the pool, fills it (encrypting transparently on
+    /// cross-enclave channels) and enqueues it — no locks, no system
+    /// calls, no execution-mode transitions.
+    ///
+    /// # Errors
+    ///
+    /// * [`ChannelError::TooLarge`] if `bytes` exceeds
+    ///   [`ChannelEnd::max_message_len`];
+    /// * [`ChannelError::NoFreeNodes`] / [`ChannelError::Full`] for
+    ///   back-pressure.
+    pub fn send(&mut self, bytes: &[u8]) -> Result<(), ChannelError> {
+        if bytes.len() > self.max_message_len() {
+            return Err(ChannelError::TooLarge {
+                size: bytes.len(),
+                capacity: self.max_message_len(),
+            });
+        }
+        let mut node = self.pool.try_pop().ok_or(ChannelError::NoFreeNodes)?;
+        match &self.tx_cipher {
+            Some(cipher) => {
+                let written = cipher
+                    .seal(bytes, node.buffer_mut())
+                    .expect("capacity checked above");
+                node.set_len(written);
+            }
+            None => node.write(bytes),
+        }
+        self.tx.send(node).map_err(|_| ChannelError::Full)
+    }
+
+    /// Poll for a message, decoding it into `buf`.
+    ///
+    /// Returns `Ok(None)` when no message is waiting (eactors poll their
+    /// mboxes each body execution), `Ok(Some(len))` with the decoded
+    /// length otherwise.
+    ///
+    /// # Errors
+    ///
+    /// * [`ChannelError::BufferTooSmall`] if `buf` cannot hold the
+    ///   message;
+    /// * [`ChannelError::Tampered`] if authentication of an encrypted
+    ///   message fails (the node is consumed and recycled).
+    pub fn try_recv(&mut self, buf: &mut [u8]) -> Result<Option<usize>, ChannelError> {
+        let node = match self.rx.recv() {
+            Some(n) => n,
+            None => return Ok(None),
+        };
+        match &self.rx_cipher {
+            Some(cipher) => {
+                let pt_len = node.len().saturating_sub(SEAL_OVERHEAD);
+                if buf.len() < pt_len {
+                    return Err(ChannelError::BufferTooSmall {
+                        needed: pt_len,
+                        got: buf.len(),
+                    });
+                }
+                let n = cipher
+                    .open(node.bytes(), buf)
+                    .map_err(|_| ChannelError::Tampered)?;
+                Ok(Some(n))
+            }
+            None => {
+                let len = node.len();
+                if buf.len() < len {
+                    return Err(ChannelError::BufferTooSmall {
+                        needed: len,
+                        got: buf.len(),
+                    });
+                }
+                buf[..len].copy_from_slice(node.bytes());
+                Ok(Some(len))
+            }
+        }
+    }
+
+    /// Poll for a message, returning it as a fresh `Vec`.
+    ///
+    /// Convenience wrapper over [`ChannelEnd::try_recv`] for code that is
+    /// not allocation-sensitive (tests, examples).
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Tampered`] if authentication fails.
+    pub fn recv_vec(&mut self) -> Result<Option<Vec<u8>>, ChannelError> {
+        let mut buf = vec![0u8; self.pool.payload_size()];
+        match self.try_recv(&mut buf)? {
+            Some(n) => {
+                buf.truncate(n);
+                Ok(Some(buf))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Pop a free node for the zero-copy plaintext path.
+    ///
+    /// Returns `None` when the pool is exhausted. Only meaningful on
+    /// plaintext channels: nodes sent with [`ChannelEnd::send_node`]
+    /// bypass transparent encryption (the XMPP service uses this pattern
+    /// and encrypts at the application level instead, §5.1.2).
+    pub fn alloc_node(&self) -> Option<Node> {
+        self.pool.try_pop()
+    }
+
+    /// Send a pre-filled node without copying.
+    ///
+    /// # Errors
+    ///
+    /// Returns the node back when the mbox is full or the node belongs to
+    /// a different arena.
+    pub fn send_node(&self, node: Node) -> Result<(), Node> {
+        self.tx.send(node)
+    }
+
+    /// Receive a raw node without copying or decrypting.
+    pub fn recv_node(&self) -> Option<Node> {
+        self.rx.recv()
+    }
+
+    /// Messages waiting to be received (approximate).
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+/// A connected channel: both endpoints plus shared infrastructure.
+///
+/// Built by the runtime from the deployment configuration; tests and
+/// benchmarks can construct pairs directly.
+#[derive(Debug)]
+pub struct ChannelPair {
+    a: ChannelEnd,
+    b: ChannelEnd,
+}
+
+impl ChannelPair {
+    /// Create a plaintext channel over `arena` (both directions sized to
+    /// the arena's node count).
+    pub fn plaintext(id: u32, arena: Arc<Arena>) -> Self {
+        Self::build(id, arena, None)
+    }
+
+    /// Create a transparently encrypted channel over `arena`.
+    ///
+    /// `session` is the key agreed through local attestation; each
+    /// direction derives its own subkey so the two endpoints never share a
+    /// nonce sequence.
+    pub fn encrypted(id: u32, arena: Arc<Arena>, session: &SessionKey, costs: sgx_sim::CostHandle) -> Self {
+        Self::build(id, arena, Some((session.clone(), costs)))
+    }
+
+    fn build(id: u32, arena: Arc<Arena>, crypt: Option<(SessionKey, sgx_sim::CostHandle)>) -> Self {
+        let cap = arena.capacity() as usize;
+        let ab = Mbox::new(arena.clone(), cap);
+        let ba = Mbox::new(arena.clone(), cap);
+        let (a_tx_cipher, a_rx_cipher, b_tx_cipher, b_rx_cipher) = match crypt {
+            Some((session, costs)) => {
+                let ab_key = session.child(0);
+                let ba_key = session.child(1);
+                (
+                    Some(SessionCipher::new(ab_key.clone(), costs.clone())),
+                    Some(SessionCipher::new(ba_key.clone(), costs.clone())),
+                    Some(SessionCipher::new(ba_key, costs.clone())),
+                    Some(SessionCipher::new(ab_key, costs)),
+                )
+            }
+            None => (None, None, None, None),
+        };
+        ChannelPair {
+            a: ChannelEnd {
+                id: ChannelId(id),
+                pool: arena.clone(),
+                tx: ab.clone(),
+                rx: ba.clone(),
+                tx_cipher: a_tx_cipher,
+                rx_cipher: a_rx_cipher,
+            },
+            b: ChannelEnd {
+                id: ChannelId(id),
+                pool: arena,
+                tx: ba,
+                rx: ab,
+                tx_cipher: b_tx_cipher,
+                rx_cipher: b_rx_cipher,
+            },
+        }
+    }
+
+    /// Split into the two endpoints (initiator, client).
+    pub fn into_ends(self) -> (ChannelEnd, ChannelEnd) {
+        (self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgx_sim::{CostModel, Platform};
+
+    fn arena() -> Arc<Arena> {
+        Arena::new("test", 16, 256)
+    }
+
+    fn costs() -> sgx_sim::CostHandle {
+        Platform::builder().cost_model(CostModel::zero()).build().costs()
+    }
+
+    #[test]
+    fn plaintext_round_trip_both_directions() {
+        let (mut a, mut b) = ChannelPair::plaintext(0, arena()).into_ends();
+        a.send(b"to-b").unwrap();
+        b.send(b"to-a").unwrap();
+        let mut buf = [0u8; 256];
+        assert_eq!(b.try_recv(&mut buf).unwrap(), Some(4));
+        assert_eq!(&buf[..4], b"to-b");
+        assert_eq!(a.try_recv(&mut buf).unwrap(), Some(4));
+        assert_eq!(&buf[..4], b"to-a");
+        assert_eq!(a.try_recv(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn encrypted_round_trip() {
+        let key = SessionKey::derive(&[1, 2]);
+        let (mut a, mut b) = ChannelPair::encrypted(0, arena(), &key, costs()).into_ends();
+        assert!(a.encrypted());
+        a.send(b"secret").unwrap();
+        let got = b.recv_vec().unwrap().unwrap();
+        assert_eq!(got, b"secret");
+        // And the reverse direction.
+        b.send(b"reply").unwrap();
+        assert_eq!(a.recv_vec().unwrap().unwrap(), b"reply");
+    }
+
+    #[test]
+    fn encrypted_payload_is_not_plaintext_on_the_wire() {
+        let key = SessionKey::derive(&[1, 2]);
+        let (mut a, b) = ChannelPair::encrypted(0, arena(), &key, costs()).into_ends();
+        a.send(b"supersecret").unwrap();
+        // Peek at the raw node as the untrusted runtime would.
+        let node = b.recv_node().unwrap();
+        assert!(node.len() > b"supersecret".len());
+        assert!(!node
+            .bytes()
+            .windows(b"supersecret".len())
+            .any(|w| w == b"supersecret"));
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let key = SessionKey::derive(&[1, 2]);
+        let (mut a, mut b) = ChannelPair::encrypted(0, arena(), &key, costs()).into_ends();
+        // A malicious runtime injects a forged node through the raw,
+        // untrusted path; the receiver's MAC check must reject it.
+        let mut node = a.alloc_node().unwrap();
+        node.write(&[0u8; 30]);
+        a.send_node(node).unwrap();
+        let mut buf = [0u8; 256];
+        assert_eq!(b.try_recv(&mut buf), Err(ChannelError::Tampered));
+        // A genuine message that a bit-flip corrupts in flight is also
+        // rejected: seal properly, then tamper via the raw node.
+        a.send(b"secret").unwrap();
+        let mut node = b.recv_node().unwrap();
+        node.buffer_mut()[3] ^= 0x80;
+        // Re-inject the tampered node towards b through a's tx queue.
+        a.send_node(node).unwrap();
+        assert_eq!(b.try_recv(&mut buf), Err(ChannelError::Tampered));
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let (mut a, _b) = ChannelPair::plaintext(0, Arena::new("s", 2, 16)).into_ends();
+        assert!(matches!(
+            a.send(&[0u8; 17]),
+            Err(ChannelError::TooLarge { size: 17, capacity: 16 })
+        ));
+        let key = SessionKey::derive(&[3]);
+        let (mut a, _b) =
+            ChannelPair::encrypted(0, Arena::new("s", 2, 16), &key, costs()).into_ends();
+        // 16-byte nodes minus 16 bytes overhead leave no room.
+        assert_eq!(a.max_message_len(), 0);
+        assert!(a.send(b"x").is_err());
+    }
+
+    #[test]
+    fn backpressure_on_pool_exhaustion() {
+        let (mut a, mut b) = ChannelPair::plaintext(0, Arena::new("s", 2, 16)).into_ends();
+        a.send(b"1").unwrap();
+        a.send(b"2").unwrap();
+        assert_eq!(a.send(b"3"), Err(ChannelError::NoFreeNodes));
+        // Receiving frees a node and sending works again.
+        let mut buf = [0u8; 16];
+        b.try_recv(&mut buf).unwrap();
+        a.send(b"3").unwrap();
+    }
+
+    #[test]
+    fn buffer_too_small_reported() {
+        let (mut a, mut b) = ChannelPair::plaintext(0, arena()).into_ends();
+        a.send(b"longish message").unwrap();
+        let mut tiny = [0u8; 2];
+        assert!(matches!(
+            b.try_recv(&mut tiny),
+            Err(ChannelError::BufferTooSmall { needed: 15, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn zero_copy_node_path() {
+        let (a, b) = ChannelPair::plaintext(0, arena()).into_ends();
+        let mut n = a.alloc_node().unwrap();
+        n.write(b"raw");
+        a.send_node(n).unwrap();
+        assert_eq!(b.pending(), 1);
+        let got = b.recv_node().unwrap();
+        assert_eq!(got.bytes(), b"raw");
+    }
+
+    #[test]
+    fn max_message_len_accounts_for_encryption() {
+        let key = SessionKey::derive(&[5]);
+        let plain = ChannelPair::plaintext(0, arena()).into_ends().0;
+        let enc = ChannelPair::encrypted(0, arena(), &key, costs()).into_ends().0;
+        assert_eq!(plain.max_message_len(), 256);
+        assert_eq!(enc.max_message_len(), 256 - 16);
+    }
+}

@@ -1,0 +1,528 @@
+//! Deployment configuration: the paper's "special configuration file" as a
+//! typed builder.
+//!
+//! EActors separates actor *code* from its *deployment policy* (§3.2): the
+//! same actor can run untrusted or inside any enclave, co-located with
+//! others or alone, executed by a dedicated worker or sharing one. This
+//! module captures that policy. [`DeploymentBuilder`] declares enclaves,
+//! actors, workers, channels and shared pools/mboxes; [`DeploymentBuilder::build`]
+//! validates the topology and produces a [`Deployment`] that
+//! [`crate::runtime::Runtime::start`] instantiates.
+//!
+//! For file-based configuration (the paper generates a source tree from a
+//! config file; we load a JSON spec at startup instead) see
+//! [`crate::spec`].
+
+use sgx_sim::crypto::SEAL_OVERHEAD;
+
+use crate::actor::Actor;
+use crate::error::ConfigError;
+
+/// Handle to a declared enclave (index into the deployment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnclaveSlot(pub(crate) usize);
+
+/// Handle to a declared actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActorSlot(pub(crate) usize);
+
+/// Where an actor (or a pool) is placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Normal, unprotected execution — zero transition cost, no
+    /// confidentiality.
+    Untrusted,
+    /// Inside the given enclave.
+    Enclave(EnclaveSlot),
+}
+
+/// Whether a channel may encrypt transparently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EncryptionPolicy {
+    /// Encrypt exactly when the endpoints live in two *different*
+    /// enclaves (the paper's default: protect inter-enclave messages from
+    /// the untrusted runtime). Within one enclave, or when one side is
+    /// untrusted anyway, plaintext is used.
+    #[default]
+    Auto,
+    /// Never encrypt, even across enclaves (the paper's "configured as
+    /// non-encrypted" escape hatch, used when the application encrypts at
+    /// its own level).
+    NeverEncrypt,
+}
+
+/// Sizing and policy for one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelOptions {
+    /// Nodes preallocated for this channel (shared by both directions).
+    pub nodes: u32,
+    /// Payload bytes per node.
+    pub payload: usize,
+    /// Transparent-encryption policy.
+    pub policy: EncryptionPolicy,
+}
+
+impl Default for ChannelOptions {
+    fn default() -> Self {
+        ChannelOptions {
+            nodes: 64,
+            payload: 4096,
+            policy: EncryptionPolicy::Auto,
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct EnclaveDecl {
+    pub(crate) name: String,
+    pub(crate) base_bytes: u64,
+}
+
+pub(crate) struct ActorDecl {
+    pub(crate) name: String,
+    pub(crate) placement: Placement,
+    pub(crate) actor: Box<dyn Actor>,
+}
+
+impl std::fmt::Debug for ActorDecl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActorDecl")
+            .field("name", &self.name)
+            .field("placement", &self.placement)
+            .finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct WorkerDecl {
+    pub(crate) actors: Vec<ActorSlot>,
+    pub(crate) cpu: Option<usize>,
+}
+
+#[derive(Debug)]
+pub(crate) struct ChannelDecl {
+    pub(crate) a: ActorSlot,
+    pub(crate) b: ActorSlot,
+    pub(crate) options: ChannelOptions,
+}
+
+#[derive(Debug)]
+pub(crate) struct PoolDecl {
+    pub(crate) name: String,
+    pub(crate) region: Placement,
+    pub(crate) nodes: u32,
+    pub(crate) payload: usize,
+}
+
+#[derive(Debug)]
+pub(crate) struct MboxDecl {
+    pub(crate) name: String,
+    pub(crate) pool: String,
+    pub(crate) capacity: usize,
+}
+
+/// Builder for a [`Deployment`].
+///
+/// # Examples
+///
+/// ```
+/// use eactors::prelude::*;
+///
+/// struct Noop;
+/// impl Actor for Noop {
+///     fn body(&mut self, _ctx: &mut Ctx) -> Control {
+///         Control::Park
+///     }
+/// }
+///
+/// let mut b = DeploymentBuilder::new();
+/// let left = b.enclave("left");
+/// let right = b.enclave("right");
+/// let ping = b.actor("ping", Placement::Enclave(left), Noop);
+/// let pong = b.actor("pong", Placement::Enclave(right), Noop);
+/// b.channel(ping, pong);
+/// b.worker(&[ping]);
+/// b.worker(&[pong]);
+/// let deployment = b.build()?;
+/// # Ok::<(), eactors::ConfigError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct DeploymentBuilder {
+    enclaves: Vec<EnclaveDecl>,
+    actors: Vec<ActorDecl>,
+    workers: Vec<WorkerDecl>,
+    channels: Vec<ChannelDecl>,
+    pools: Vec<PoolDecl>,
+    mboxes: Vec<MboxDecl>,
+    channel_defaults: ChannelOptions,
+}
+
+/// Default enclave size: the paper reports ~500 KiB for an XMPP-service
+/// enclave including the framework (§6.1).
+pub const DEFAULT_ENCLAVE_BYTES: u64 = 512 * 1024;
+
+impl DeploymentBuilder {
+    /// An empty deployment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare an enclave with the default base size.
+    pub fn enclave(&mut self, name: &str) -> EnclaveSlot {
+        self.enclave_sized(name, DEFAULT_ENCLAVE_BYTES)
+    }
+
+    /// Declare an enclave whose code/data occupy `base_bytes` of EPC.
+    pub fn enclave_sized(&mut self, name: &str, base_bytes: u64) -> EnclaveSlot {
+        self.enclaves.push(EnclaveDecl {
+            name: name.to_owned(),
+            base_bytes,
+        });
+        EnclaveSlot(self.enclaves.len() - 1)
+    }
+
+    /// Declare an actor and where it runs.
+    ///
+    /// The placement is the *entire* difference between a trusted and an
+    /// untrusted deployment of the same logic.
+    pub fn actor(&mut self, name: &str, placement: Placement, actor: impl Actor + 'static) -> ActorSlot {
+        self.actor_boxed(name, placement, Box::new(actor))
+    }
+
+    /// Declare an actor from an already boxed implementation (registry /
+    /// spec loading path).
+    pub fn actor_boxed(
+        &mut self,
+        name: &str,
+        placement: Placement,
+        actor: Box<dyn Actor>,
+    ) -> ActorSlot {
+        self.actors.push(ActorDecl {
+            name: name.to_owned(),
+            placement,
+            actor,
+        });
+        ActorSlot(self.actors.len() - 1)
+    }
+
+    /// Declare a worker thread executing `actors` round-robin.
+    pub fn worker(&mut self, actors: &[ActorSlot]) -> &mut Self {
+        self.workers.push(WorkerDecl {
+            actors: actors.to_vec(),
+            cpu: None,
+        });
+        self
+    }
+
+    /// Declare a worker pinned to a CPU.
+    pub fn worker_pinned(&mut self, actors: &[ActorSlot], cpu: usize) -> &mut Self {
+        self.workers.push(WorkerDecl {
+            actors: actors.to_vec(),
+            cpu: Some(cpu),
+        });
+        self
+    }
+
+    /// Connect two actors with a channel using the builder's default
+    /// [`ChannelOptions`].
+    ///
+    /// The channel appears as the next slot in each endpoint's channel
+    /// list (declaration order).
+    pub fn channel(&mut self, a: ActorSlot, b: ActorSlot) -> &mut Self {
+        let options = self.channel_defaults;
+        self.channel_with(a, b, options)
+    }
+
+    /// Connect two actors with explicit options.
+    pub fn channel_with(&mut self, a: ActorSlot, b: ActorSlot, options: ChannelOptions) -> &mut Self {
+        self.channels.push(ChannelDecl { a, b, options });
+        self
+    }
+
+    /// Set the default options used by [`DeploymentBuilder::channel`].
+    pub fn channel_defaults(&mut self, options: ChannelOptions) -> &mut Self {
+        self.channel_defaults = options;
+        self
+    }
+
+    /// Declare a named shared pool of `nodes` nodes with `payload`-byte
+    /// payloads, placed in `region` (untrusted memory or an enclave).
+    pub fn pool(&mut self, name: &str, region: Placement, nodes: u32, payload: usize) -> &mut Self {
+        self.pools.push(PoolDecl {
+            name: name.to_owned(),
+            region,
+            nodes,
+            payload,
+        });
+        self
+    }
+
+    /// Declare a named shared mbox over the named pool.
+    pub fn mbox(&mut self, name: &str, pool: &str, capacity: usize) -> &mut Self {
+        self.mboxes.push(MboxDecl {
+            name: name.to_owned(),
+            pool: pool.to_owned(),
+            capacity,
+        });
+        self
+    }
+
+    /// Validate the topology and produce a runnable [`Deployment`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigError`]; typical failures are unassigned or
+    /// double-assigned actors, dangling slots, duplicate names and
+    /// channels whose payload cannot fit the encryption framing.
+    pub fn build(self) -> Result<Deployment, ConfigError> {
+        let n_actors = self.actors.len();
+        let n_enclaves = self.enclaves.len();
+
+        let mut names = std::collections::HashSet::new();
+        for e in &self.enclaves {
+            if !names.insert(format!("enclave/{}", e.name)) {
+                return Err(ConfigError::DuplicateName(e.name.clone()));
+            }
+        }
+        for a in &self.actors {
+            if !names.insert(format!("actor/{}", a.name)) {
+                return Err(ConfigError::DuplicateName(a.name.clone()));
+            }
+            if let Placement::Enclave(EnclaveSlot(i)) = a.placement {
+                if i >= n_enclaves {
+                    return Err(ConfigError::UnknownSlot("enclave", i));
+                }
+            }
+        }
+        for p in &self.pools {
+            if !names.insert(format!("pool/{}", p.name)) {
+                return Err(ConfigError::DuplicateName(p.name.clone()));
+            }
+            if let Placement::Enclave(EnclaveSlot(i)) = p.region {
+                if i >= n_enclaves {
+                    return Err(ConfigError::UnknownSlot("enclave", i));
+                }
+            }
+        }
+        for m in &self.mboxes {
+            if !names.insert(format!("mbox/{}", m.name)) {
+                return Err(ConfigError::DuplicateName(m.name.clone()));
+            }
+            if !self.pools.iter().any(|p| p.name == m.pool) {
+                return Err(ConfigError::UnknownSlot("pool (by name)", 0));
+            }
+        }
+
+        let mut assigned = vec![false; n_actors];
+        for (wi, w) in self.workers.iter().enumerate() {
+            if w.actors.is_empty() {
+                return Err(ConfigError::EmptyWorker(wi));
+            }
+            for &ActorSlot(ai) in &w.actors {
+                if ai >= n_actors {
+                    return Err(ConfigError::UnknownSlot("actor", ai));
+                }
+                if assigned[ai] {
+                    return Err(ConfigError::ActorDoubleAssigned(self.actors[ai].name.clone()));
+                }
+                assigned[ai] = true;
+            }
+        }
+        if let Some(ai) = assigned.iter().position(|&a| !a) {
+            return Err(ConfigError::ActorUnassigned(self.actors[ai].name.clone()));
+        }
+
+        for c in &self.channels {
+            let (ActorSlot(a), ActorSlot(b)) = (c.a, c.b);
+            if a >= n_actors {
+                return Err(ConfigError::UnknownSlot("actor", a));
+            }
+            if b >= n_actors {
+                return Err(ConfigError::UnknownSlot("actor", b));
+            }
+            if a == b {
+                return Err(ConfigError::SelfChannel(self.actors[a].name.clone()));
+            }
+            let may_encrypt = c.options.policy == EncryptionPolicy::Auto
+                && crate::config::cross_enclave(self.actors[a].placement, self.actors[b].placement);
+            if may_encrypt && c.options.payload <= SEAL_OVERHEAD {
+                return Err(ConfigError::PayloadTooSmall(c.options.payload));
+            }
+        }
+
+        Ok(Deployment {
+            enclaves: self.enclaves,
+            actors: self.actors,
+            workers: self.workers,
+            channels: self.channels,
+            pools: self.pools,
+            mboxes: self.mboxes,
+        })
+    }
+}
+
+/// Whether two placements are in two different enclaves (the condition for
+/// transparent channel encryption).
+pub(crate) fn cross_enclave(a: Placement, b: Placement) -> bool {
+    matches!((a, b), (Placement::Enclave(x), Placement::Enclave(y)) if x != y)
+}
+
+/// A validated deployment, ready for [`crate::runtime::Runtime::start`].
+#[derive(Debug)]
+pub struct Deployment {
+    pub(crate) enclaves: Vec<EnclaveDecl>,
+    pub(crate) actors: Vec<ActorDecl>,
+    pub(crate) workers: Vec<WorkerDecl>,
+    pub(crate) channels: Vec<ChannelDecl>,
+    pub(crate) pools: Vec<PoolDecl>,
+    pub(crate) mboxes: Vec<MboxDecl>,
+}
+
+impl Deployment {
+    /// Number of declared actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Number of declared enclaves.
+    pub fn enclave_count(&self) -> usize {
+        self.enclaves.len()
+    }
+
+    /// Number of declared workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{Control, Ctx};
+
+    struct Noop;
+    impl Actor for Noop {
+        fn body(&mut self, _ctx: &mut Ctx) -> Control {
+            Control::Park
+        }
+    }
+
+    fn two_actor_builder() -> (DeploymentBuilder, ActorSlot, ActorSlot) {
+        let mut b = DeploymentBuilder::new();
+        let a = b.actor("a", Placement::Untrusted, Noop);
+        let c = b.actor("b", Placement::Untrusted, Noop);
+        (b, a, c)
+    }
+
+    #[test]
+    fn valid_deployment_builds() {
+        let (mut b, a, c) = two_actor_builder();
+        b.channel(a, c);
+        b.worker(&[a, c]);
+        let d = b.build().unwrap();
+        assert_eq!(d.actor_count(), 2);
+        assert_eq!(d.worker_count(), 1);
+    }
+
+    #[test]
+    fn unassigned_actor_rejected() {
+        let (mut b, a, _c) = two_actor_builder();
+        b.worker(&[a]);
+        assert!(matches!(
+            b.build(),
+            Err(ConfigError::ActorUnassigned(name)) if name == "b"
+        ));
+    }
+
+    #[test]
+    fn double_assignment_rejected() {
+        let (mut b, a, c) = two_actor_builder();
+        b.worker(&[a, c]);
+        b.worker(&[a]);
+        assert!(matches!(b.build(), Err(ConfigError::ActorDoubleAssigned(_))));
+    }
+
+    #[test]
+    fn empty_worker_rejected() {
+        let (mut b, a, c) = two_actor_builder();
+        b.worker(&[a, c]);
+        b.worker(&[]);
+        assert!(matches!(b.build(), Err(ConfigError::EmptyWorker(1))));
+    }
+
+    #[test]
+    fn self_channel_rejected() {
+        let (mut b, a, c) = two_actor_builder();
+        b.channel(a, a);
+        b.worker(&[a, c]);
+        assert!(matches!(b.build(), Err(ConfigError::SelfChannel(_))));
+    }
+
+    #[test]
+    fn duplicate_actor_name_rejected() {
+        let mut b = DeploymentBuilder::new();
+        let a = b.actor("same", Placement::Untrusted, Noop);
+        let c = b.actor("same", Placement::Untrusted, Noop);
+        b.worker(&[a, c]);
+        assert!(matches!(b.build(), Err(ConfigError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn tiny_payload_on_encryptable_channel_rejected() {
+        let mut b = DeploymentBuilder::new();
+        let e1 = b.enclave("e1");
+        let e2 = b.enclave("e2");
+        let a = b.actor("a", Placement::Enclave(e1), Noop);
+        let c = b.actor("b", Placement::Enclave(e2), Noop);
+        b.channel_with(
+            a,
+            c,
+            ChannelOptions {
+                nodes: 4,
+                payload: 8,
+                policy: EncryptionPolicy::Auto,
+            },
+        );
+        b.worker(&[a, c]);
+        assert!(matches!(b.build(), Err(ConfigError::PayloadTooSmall(8))));
+    }
+
+    #[test]
+    fn tiny_payload_fine_when_never_encrypt() {
+        let mut b = DeploymentBuilder::new();
+        let e1 = b.enclave("e1");
+        let e2 = b.enclave("e2");
+        let a = b.actor("a", Placement::Enclave(e1), Noop);
+        let c = b.actor("b", Placement::Enclave(e2), Noop);
+        b.channel_with(
+            a,
+            c,
+            ChannelOptions {
+                nodes: 4,
+                payload: 8,
+                policy: EncryptionPolicy::NeverEncrypt,
+            },
+        );
+        b.worker(&[a, c]);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn cross_enclave_detection() {
+        let e1 = Placement::Enclave(EnclaveSlot(0));
+        let e2 = Placement::Enclave(EnclaveSlot(1));
+        let u = Placement::Untrusted;
+        assert!(cross_enclave(e1, e2));
+        assert!(!cross_enclave(e1, e1));
+        assert!(!cross_enclave(e1, u));
+        assert!(!cross_enclave(u, u));
+    }
+
+    #[test]
+    fn mbox_requires_declared_pool() {
+        let (mut b, a, c) = two_actor_builder();
+        b.worker(&[a, c]);
+        b.mbox("inbox", "nosuchpool", 8);
+        assert!(b.build().is_err());
+    }
+}

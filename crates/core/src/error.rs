@@ -1,0 +1,145 @@
+//! Error types of the EActors framework.
+
+use std::fmt;
+
+use sgx_sim::SgxError;
+
+/// Errors from channel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChannelError {
+    /// The channel's node pool is exhausted; retry after the peer returns
+    /// nodes (back-pressure).
+    NoFreeNodes,
+    /// The channel's mbox is full; retry later (back-pressure).
+    Full,
+    /// The message exceeds the channel's payload capacity.
+    TooLarge {
+        /// Bytes the caller tried to send (or needed to receive).
+        size: usize,
+        /// Per-node payload capacity of this channel.
+        capacity: usize,
+    },
+    /// Authenticated decryption of an incoming message failed — the
+    /// untrusted runtime (or another enclave) tampered with the payload.
+    Tampered,
+    /// The caller's receive buffer is too small for the decoded message.
+    BufferTooSmall {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::NoFreeNodes => write!(f, "channel pool exhausted (apply back-pressure)"),
+            ChannelError::Full => write!(f, "channel mbox full (apply back-pressure)"),
+            ChannelError::TooLarge { size, capacity } => {
+                write!(f, "message of {size} bytes exceeds channel payload capacity {capacity}")
+            }
+            ChannelError::Tampered => write!(f, "incoming message failed authentication"),
+            ChannelError::BufferTooSmall { needed, got } => {
+                write!(f, "receive buffer too small: need {needed} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Errors detected while validating or instantiating a deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// An actor, enclave, worker or channel referenced a slot that was
+    /// never declared.
+    UnknownSlot(&'static str, usize),
+    /// A worker was declared with no actors to execute.
+    EmptyWorker(usize),
+    /// An actor was assigned to more than one worker.
+    ActorDoubleAssigned(String),
+    /// An actor was not assigned to any worker.
+    ActorUnassigned(String),
+    /// Two deployment objects were declared with the same name.
+    DuplicateName(String),
+    /// A channel connects an actor to itself.
+    SelfChannel(String),
+    /// A channel's payload cannot hold an encrypted message of one byte.
+    PayloadTooSmall(usize),
+    /// The underlying simulated SGX platform refused an operation.
+    Sgx(SgxError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::UnknownSlot(kind, idx) => write!(f, "unknown {kind} slot {idx}"),
+            ConfigError::EmptyWorker(i) => write!(f, "worker {i} has no actors assigned"),
+            ConfigError::ActorDoubleAssigned(name) => {
+                write!(f, "actor {name:?} is assigned to more than one worker")
+            }
+            ConfigError::ActorUnassigned(name) => {
+                write!(f, "actor {name:?} is not assigned to any worker")
+            }
+            ConfigError::DuplicateName(name) => write!(f, "duplicate name {name:?}"),
+            ConfigError::SelfChannel(name) => {
+                write!(f, "channel connects actor {name:?} to itself")
+            }
+            ConfigError::PayloadTooSmall(size) => {
+                write!(f, "channel payload size {size} cannot hold an encrypted message")
+            }
+            ConfigError::Sgx(e) => write!(f, "platform error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Sgx(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SgxError> for ConfigError {
+    fn from(e: SgxError) -> Self {
+        ConfigError::Sgx(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errors: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(ChannelError::NoFreeNodes),
+            Box::new(ChannelError::Full),
+            Box::new(ChannelError::TooLarge { size: 10, capacity: 4 }),
+            Box::new(ChannelError::Tampered),
+            Box::new(ChannelError::BufferTooSmall { needed: 8, got: 2 }),
+            Box::new(ConfigError::UnknownSlot("actor", 3)),
+            Box::new(ConfigError::EmptyWorker(0)),
+            Box::new(ConfigError::ActorDoubleAssigned("x".into())),
+            Box::new(ConfigError::ActorUnassigned("y".into())),
+            Box::new(ConfigError::DuplicateName("z".into())),
+            Box::new(ConfigError::SelfChannel("w".into())),
+            Box::new(ConfigError::PayloadTooSmall(3)),
+            Box::new(ConfigError::Sgx(SgxError::MacMismatch)),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sgx_error_converts() {
+        let c: ConfigError = SgxError::MacMismatch.into();
+        assert!(matches!(c, ConfigError::Sgx(SgxError::MacMismatch)));
+    }
+}

@@ -1,0 +1,601 @@
+//! The EActors runtime: enclave creation, channel wiring, workers.
+//!
+//! [`Runtime::start`] instantiates a [`Deployment`] on a simulated SGX
+//! [`Platform`]: it creates the enclaves, allocates all node arenas (in
+//! the right memory region), establishes attested session keys for
+//! cross-enclave channels, runs every actor's constructor inside its
+//! protection domain, and finally spawns the workers.
+//!
+//! A **worker** is the framework abstraction for a POSIX thread (§3.2).
+//! It executes its assigned actors' bodies round-robin; if all of them
+//! live in the same enclave the worker never leaves it — zero transition
+//! cost — whereas actors spread over several domains make the worker
+//! migrate, paying crossings. That trade-off is the heart of the paper's
+//! deployment experiments (Figures 16 and 17).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sgx_sim::{attest, switch_domain, Domain, Enclave, Platform};
+
+use crate::actor::{Actor, ActorId, Control, Ctx, StopToken};
+use crate::arena::{Arena, Mbox};
+use crate::channel::{ChannelEnd, ChannelPair};
+use crate::config::{cross_enclave, Deployment, Placement};
+use crate::error::ConfigError;
+
+/// Per-worker execution statistics, reported by [`Runtime::join`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Worker index (declaration order).
+    pub worker: usize,
+    /// Total body executions, per assigned actor (name, count).
+    pub executions: Vec<(String, u64)>,
+    /// Full round-robin passes over the assigned actors.
+    pub passes: u64,
+    /// Passes in which no actor reported progress (the worker yielded).
+    pub idle_passes: u64,
+}
+
+/// What a finished runtime reports.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// One report per worker.
+    pub workers: Vec<WorkerReport>,
+    /// Wall-clock time between start and the last worker exiting.
+    pub elapsed: Duration,
+}
+
+impl RuntimeReport {
+    /// Total body executions across all workers and actors.
+    pub fn total_executions(&self) -> u64 {
+        self.workers
+            .iter()
+            .flat_map(|w| w.executions.iter().map(|(_, n)| n))
+            .sum()
+    }
+}
+
+struct WorkerEntry {
+    actor: Box<dyn Actor>,
+    ctx: Ctx,
+    parked: bool,
+}
+
+/// A running EActors deployment.
+///
+/// Dropping a `Runtime` without calling [`Runtime::join`] signals stop
+/// and detaches the workers. Prefer `join` (or [`Runtime::run_for`]) so
+/// reports are collected.
+///
+/// # Examples
+///
+/// ```
+/// use eactors::prelude::*;
+/// use sgx_sim::Platform;
+///
+/// struct Once;
+/// impl Actor for Once {
+///     fn body(&mut self, _ctx: &mut Ctx) -> Control {
+///         Control::Park
+///     }
+/// }
+///
+/// let platform = Platform::builder().build();
+/// let mut b = DeploymentBuilder::new();
+/// let e = b.enclave("only");
+/// let a = b.actor("once", Placement::Enclave(e), Once);
+/// b.worker(&[a]);
+/// let runtime = Runtime::start(&platform, b.build()?)?;
+/// let report = runtime.join();
+/// assert_eq!(report.total_executions(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Runtime {
+    stop: StopToken,
+    handles: Vec<std::thread::JoinHandle<WorkerReport>>,
+    enclaves: Vec<Enclave>,
+    mboxes: Arc<HashMap<String, Arc<Mbox>>>,
+    arenas: Arc<HashMap<String, Arc<Arena>>>,
+    started: Instant,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.handles.len())
+            .field("enclaves", &self.enclaves.len())
+            .field("stopped", &self.stop.is_stopped())
+            .finish()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // A dropped runtime must not leave workers spinning: signal stop;
+        // the detached threads observe it on their next pass and exit.
+        self.stop.stop();
+    }
+}
+
+impl Runtime {
+    /// Instantiate `deployment` on `platform` and start all workers.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Sgx`] if enclave creation or channel attestation
+    /// fails (e.g. an EPC hard limit is exceeded).
+    pub fn start(platform: &Platform, deployment: Deployment) -> Result<Self, ConfigError> {
+        let stop = StopToken::new();
+        let costs = platform.costs();
+
+        // 1. Enclaves.
+        let mut enclaves = Vec::with_capacity(deployment.enclaves.len());
+        for e in &deployment.enclaves {
+            enclaves.push(platform.create_enclave(&e.name, e.base_bytes)?);
+        }
+
+        // 2. Named shared pools and mboxes.
+        let mut arenas: HashMap<String, Arc<Arena>> = HashMap::new();
+        for p in &deployment.pools {
+            let arena = Arena::new(&p.name, p.nodes, p.payload);
+            if let Placement::Enclave(slot) = p.region {
+                enclaves[slot.0].grow(arena.memory_bytes());
+            }
+            arenas.insert(p.name.clone(), arena);
+        }
+        let mut mboxes: HashMap<String, Arc<Mbox>> = HashMap::new();
+        for m in &deployment.mboxes {
+            let pool = arenas
+                .get(&m.pool)
+                .expect("validated by DeploymentBuilder::build");
+            mboxes.insert(m.name.clone(), Mbox::new(pool.clone(), m.capacity));
+        }
+
+        // 3. Channels: allocate the arena in the right region, attest and
+        // derive session keys for cross-enclave pairs.
+        let mut actor_channels: Vec<Vec<ChannelEnd>> =
+            (0..deployment.actors.len()).map(|_| Vec::new()).collect();
+        for (ci, c) in deployment.channels.iter().enumerate() {
+            let pa = deployment.actors[c.a.0].placement;
+            let pb = deployment.actors[c.b.0].placement;
+            let arena = Arena::new(&format!("channel#{ci}"), c.options.nodes, c.options.payload);
+            match (pa, pb) {
+                // Same enclave: the arena lives in that enclave's memory.
+                (Placement::Enclave(x), Placement::Enclave(y)) if x == y => {
+                    enclaves[x.0].grow(arena.memory_bytes());
+                }
+                // Otherwise the nodes live in untrusted shared memory.
+                _ => {}
+            }
+            let encrypted = c.options.policy == crate::config::EncryptionPolicy::Auto
+                && cross_enclave(pa, pb);
+            let pair = if encrypted {
+                let (ea, eb) = match (pa, pb) {
+                    (Placement::Enclave(x), Placement::Enclave(y)) => {
+                        (&enclaves[x.0], &enclaves[y.0])
+                    }
+                    _ => unreachable!("cross_enclave implies two enclave placements"),
+                };
+                let key = attest::establish_session(ea, eb, ci as u64)?;
+                ChannelPair::encrypted(ci as u32, arena, &key, costs.clone())
+            } else {
+                ChannelPair::plaintext(ci as u32, arena)
+            };
+            let (end_a, end_b) = pair.into_ends();
+            actor_channels[c.a.0].push(end_a);
+            actor_channels[c.b.0].push(end_b);
+        }
+
+        // 4. Build per-actor contexts.
+        let mboxes = Arc::new(mboxes);
+        let arenas = Arc::new(arenas);
+        let mut ctxs: Vec<Option<Ctx>> = Vec::new();
+        let mut channel_iter = actor_channels.into_iter();
+        for (ai, a) in deployment.actors.iter().enumerate() {
+            let (domain, enclave) = match a.placement {
+                Placement::Untrusted => (Domain::Untrusted, None),
+                Placement::Enclave(slot) => {
+                    let e = enclaves[slot.0].clone();
+                    (e.domain(), Some(e))
+                }
+            };
+            ctxs.push(Some(Ctx {
+                id: ActorId(ai as u32),
+                name: a.name.clone(),
+                domain,
+                enclave,
+                channels: channel_iter.next().expect("one channel vec per actor"),
+                mboxes: Arc::clone(&mboxes),
+                arenas: Arc::clone(&arenas),
+                stop: stop.clone(),
+                costs: costs.clone(),
+                executions: 0,
+            }));
+        }
+
+        // 5. Run constructors inside each actor's protection domain.
+        let mut actors: Vec<Option<Box<dyn Actor>>> =
+            deployment.actors.into_iter().map(|a| Some(a.actor)).collect();
+        for ai in 0..actors.len() {
+            let ctx = ctxs[ai].as_mut().expect("ctx present until moved");
+            let actor = actors[ai].as_mut().expect("actor present until moved");
+            let prev = switch_domain(&costs, ctx.domain);
+            actor.ctor(ctx);
+            switch_domain(&costs, prev);
+        }
+
+        // 6. Spawn workers.
+        let started = Instant::now();
+        let mut handles = Vec::with_capacity(deployment.workers.len());
+        for (wi, w) in deployment.workers.iter().enumerate() {
+            let mut entries: Vec<WorkerEntry> = w
+                .actors
+                .iter()
+                .map(|slot| WorkerEntry {
+                    actor: actors[slot.0].take().expect("single assignment validated"),
+                    ctx: ctxs[slot.0].take().expect("single assignment validated"),
+                    parked: false,
+                })
+                .collect();
+            let stop = stop.clone();
+            let costs = costs.clone();
+            let cpu = w.cpu;
+            let handle = std::thread::Builder::new()
+                .name(format!("eactors-worker-{wi}"))
+                .spawn(move || {
+                    if let Some(cpu) = cpu {
+                        pin_to_cpu(cpu);
+                    }
+                    let mut passes = 0u64;
+                    let mut idle_passes = 0u64;
+                    'outer: while !stop.is_stopped() {
+                        let mut any_busy = false;
+                        let mut all_parked = true;
+                        for entry in entries.iter_mut() {
+                            if entry.parked {
+                                continue;
+                            }
+                            all_parked = false;
+                            // Migrate to the actor's domain; free when the
+                            // previous actor shared it.
+                            switch_domain(&costs, entry.ctx.domain);
+                            entry.ctx.executions += 1;
+                            match entry.actor.body(&mut entry.ctx) {
+                                Control::Busy => any_busy = true,
+                                Control::Idle => {}
+                                Control::Park => entry.parked = true,
+                            }
+                            if stop.is_stopped() {
+                                break 'outer;
+                            }
+                        }
+                        passes += 1;
+                        if all_parked {
+                            break;
+                        }
+                        if !any_busy {
+                            idle_passes += 1;
+                            // Simulation artefact: a real worker would spin
+                            // inside the enclave. Yielding keeps heavily
+                            // oversubscribed test machines responsive and
+                            // charges nothing.
+                            std::thread::yield_now();
+                        }
+                    }
+                    switch_domain(&costs, Domain::Untrusted);
+                    WorkerReport {
+                        worker: wi,
+                        executions: entries
+                            .iter()
+                            .map(|e| (e.ctx.name.clone(), e.ctx.executions))
+                            .collect(),
+                        passes,
+                        idle_passes,
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+
+        Ok(Runtime {
+            stop,
+            handles,
+            enclaves,
+            mboxes,
+            arenas,
+            started,
+        })
+    }
+
+    /// The stop token observed by all workers.
+    pub fn stop_token(&self) -> StopToken {
+        self.stop.clone()
+    }
+
+    /// Signal all workers to stop after their current pass.
+    pub fn shutdown(&self) {
+        self.stop.stop();
+    }
+
+    /// A named shared mbox declared in the deployment.
+    pub fn mbox(&self, name: &str) -> Option<&Arc<Mbox>> {
+        self.mboxes.get(name)
+    }
+
+    /// A named shared pool declared in the deployment.
+    pub fn arena(&self, name: &str) -> Option<&Arc<Arena>> {
+        self.arenas.get(name)
+    }
+
+    /// The instantiated enclaves, in declaration order.
+    pub fn enclaves(&self) -> &[Enclave] {
+        &self.enclaves
+    }
+
+    /// Wait until every worker exits (all actors parked, or a shutdown was
+    /// signalled) and collect the report.
+    pub fn join(mut self) -> RuntimeReport {
+        let workers = std::mem::take(&mut self.handles)
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+        RuntimeReport {
+            workers,
+            elapsed: self.started.elapsed(),
+        }
+    }
+
+    /// Let the deployment run for `duration`, then stop and join.
+    pub fn run_for(self, duration: Duration) -> RuntimeReport {
+        std::thread::sleep(duration);
+        self.shutdown();
+        self.join()
+    }
+}
+
+/// Pin the calling thread to `cpu` (Linux only; no-op elsewhere or on
+/// failure).
+#[cfg(target_os = "linux")]
+fn pin_to_cpu(cpu: usize) {
+    // Safety: CPU_SET/sched_setaffinity with a properly zeroed cpu_set_t.
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_SET(cpu % libc::CPU_SETSIZE as usize, &mut set);
+        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_to_cpu(_cpu: usize) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::from_fn;
+    use crate::config::{DeploymentBuilder, Placement};
+    use sgx_sim::CostModel;
+
+    fn platform() -> Platform {
+        Platform::builder().cost_model(CostModel::zero()).build()
+    }
+
+    #[test]
+    fn ping_pong_across_enclaves() {
+        let p = platform();
+        let mut b = DeploymentBuilder::new();
+        let e1 = b.enclave("left");
+        let e2 = b.enclave("right");
+
+        let rounds = 100u32;
+        let mut sent = 0u32;
+        let mut first = true;
+        let ping = b.actor(
+            "ping",
+            Placement::Enclave(e1),
+            from_fn(move |ctx| {
+                let mut buf = [0u8; 64];
+                if first {
+                    first = false;
+                } else {
+                    match ctx.channel(0).try_recv(&mut buf) {
+                        Ok(Some(_)) => {}
+                        _ => return Control::Idle,
+                    }
+                }
+                if sent == rounds {
+                    ctx.shutdown();
+                    return Control::Park;
+                }
+                sent += 1;
+                ctx.channel(0).send(b"ping").unwrap();
+                Control::Busy
+            }),
+        );
+        let pong = b.actor(
+            "pong",
+            Placement::Enclave(e2),
+            from_fn(move |ctx| {
+                let mut buf = [0u8; 64];
+                match ctx.channel(0).try_recv(&mut buf) {
+                    Ok(Some(n)) => {
+                        assert_eq!(&buf[..n], b"ping");
+                        ctx.channel(0).send(b"pong").unwrap();
+                        Control::Busy
+                    }
+                    _ => Control::Idle,
+                }
+            }),
+        );
+        b.channel(ping, pong);
+        b.worker(&[ping]);
+        b.worker(&[pong]);
+
+        let rt = Runtime::start(&p, b.build().unwrap()).unwrap();
+        let report = rt.join();
+        assert!(report.total_executions() > 0);
+    }
+
+    #[test]
+    fn worker_confined_to_one_enclave_never_transitions_after_start() {
+        let p = platform();
+        let mut b = DeploymentBuilder::new();
+        let e = b.enclave("only");
+        let mut n = 0;
+        let a = b.actor(
+            "counter",
+            Placement::Enclave(e),
+            from_fn(move |_ctx| {
+                n += 1;
+                if n >= 1000 {
+                    Control::Park
+                } else {
+                    Control::Busy
+                }
+            }),
+        );
+        b.worker(&[a]);
+        let rt = Runtime::start(&p, b.build().unwrap()).unwrap();
+        let after_start = p.stats().transitions();
+        let report = rt.join();
+        // Worker enters once and exits once; 1000 bodies add nothing.
+        assert!(p.stats().transitions() - after_start <= 2);
+        assert_eq!(report.total_executions(), 1000);
+    }
+
+    #[test]
+    fn worker_spanning_two_enclaves_pays_per_pass() {
+        let p = platform();
+        let mut b = DeploymentBuilder::new();
+        let e1 = b.enclave("a");
+        let e2 = b.enclave("b");
+        let mk = |limit: u32| {
+            let mut n = 0;
+            from_fn(move |_ctx| {
+                n += 1;
+                if n >= limit {
+                    Control::Park
+                } else {
+                    Control::Busy
+                }
+            })
+        };
+        let a = b.actor("a1", Placement::Enclave(e1), mk(100));
+        let c = b.actor("a2", Placement::Enclave(e2), mk(100));
+        b.worker(&[a, c]);
+        let base = p.stats().transitions();
+        let rt = Runtime::start(&p, b.build().unwrap()).unwrap();
+        let _ = rt.join();
+        // Each pass migrates e1 -> e2 (2 crossings) and back (2 more).
+        assert!(p.stats().transitions() - base >= 100 * 2);
+    }
+
+    #[test]
+    fn ctor_runs_in_actor_domain() {
+        let p = platform();
+        let mut b = DeploymentBuilder::new();
+        let e = b.enclave("home");
+
+        struct DomainCheck {
+            expected_trusted: bool,
+        }
+        impl Actor for DomainCheck {
+            fn ctor(&mut self, ctx: &mut Ctx) {
+                assert_eq!(sgx_sim::current_domain().is_trusted(), self.expected_trusted);
+                assert_eq!(sgx_sim::current_domain(), ctx.domain());
+            }
+            fn body(&mut self, _ctx: &mut Ctx) -> Control {
+                Control::Park
+            }
+        }
+
+        let t = b.actor("trusted", Placement::Enclave(e), DomainCheck { expected_trusted: true });
+        let u = b.actor("untrusted", Placement::Untrusted, DomainCheck { expected_trusted: false });
+        b.worker(&[t, u]);
+        Runtime::start(&p, b.build().unwrap()).unwrap().join();
+    }
+
+    #[test]
+    fn named_mbox_and_pool_are_shared() {
+        let p = platform();
+        let mut b = DeploymentBuilder::new();
+        b.pool("shared", Placement::Untrusted, 16, 64);
+        b.mbox("inbox", "shared", 16);
+
+        let producer = b.actor(
+            "producer",
+            Placement::Untrusted,
+            from_fn(|ctx| {
+                let pool = ctx.arena("shared").unwrap().clone();
+                let mbox = ctx.mbox("inbox").unwrap().clone();
+                let mut node = pool.try_pop().unwrap();
+                node.write(b"hello");
+                mbox.send(node).unwrap();
+                Control::Park
+            }),
+        );
+        let consumer = b.actor(
+            "consumer",
+            Placement::Untrusted,
+            from_fn(|ctx| {
+                let mbox = ctx.mbox("inbox").unwrap().clone();
+                match mbox.recv() {
+                    Some(node) => {
+                        assert_eq!(node.bytes(), b"hello");
+                        ctx.shutdown();
+                        Control::Park
+                    }
+                    None => Control::Idle,
+                }
+            }),
+        );
+        b.worker(&[producer]);
+        b.worker(&[consumer]);
+        Runtime::start(&p, b.build().unwrap()).unwrap().join();
+    }
+
+    #[test]
+    fn runtime_exposes_handles() {
+        let p = platform();
+        let mut b = DeploymentBuilder::new();
+        b.pool("pool", Placement::Untrusted, 4, 32);
+        b.mbox("mb", "pool", 4);
+        let a = b.actor("a", Placement::Untrusted, from_fn(|_| Control::Park));
+        b.worker(&[a]);
+        let rt = Runtime::start(&p, b.build().unwrap()).unwrap();
+        assert!(rt.mbox("mb").is_some());
+        assert!(rt.arena("pool").is_some());
+        assert!(rt.mbox("nope").is_none());
+        assert!(!format!("{rt:?}").is_empty());
+        rt.join();
+    }
+
+    #[test]
+    fn shutdown_stops_busy_actors() {
+        let p = platform();
+        let mut b = DeploymentBuilder::new();
+        let a = b.actor("spinner", Placement::Untrusted, from_fn(|_| Control::Busy));
+        b.worker(&[a]);
+        let rt = Runtime::start(&p, b.build().unwrap()).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        rt.shutdown();
+        let report = rt.join();
+        assert!(report.total_executions() > 0);
+    }
+
+    #[test]
+    fn enclave_channel_arena_grows_enclave_memory() {
+        let p = platform();
+        let mut b = DeploymentBuilder::new();
+        let e = b.enclave_sized("big", 4096);
+        let x = b.actor("x", Placement::Enclave(e), from_fn(|_| Control::Park));
+        let y = b.actor("y", Placement::Enclave(e), from_fn(|_| Control::Park));
+        b.channel(x, y);
+        b.worker(&[x, y]);
+        let rt = Runtime::start(&p, b.build().unwrap()).unwrap();
+        // Same-enclave channel nodes live inside the enclave.
+        assert!(rt.enclaves()[0].memory_bytes() > 4096);
+        rt.join();
+    }
+}

@@ -1,0 +1,491 @@
+//! File-based deployment specifications.
+//!
+//! The paper drives its custom build process from a configuration file
+//! that maps eactors to enclaves, workers and CPUs (§3.2), so the *same*
+//! application sources yield different trusted/untrusted deployments. This
+//! module is the runtime equivalent: a serde-serialisable
+//! [`DeploymentSpec`] plus an [`ActorRegistry`] of named constructors,
+//! turning a JSON document into a [`crate::config::DeploymentBuilder`].
+//!
+//! # Examples
+//!
+//! ```
+//! use eactors::prelude::*;
+//! use eactors::spec::{ActorRegistry, DeploymentSpec};
+//!
+//! struct Idle;
+//! impl Actor for Idle {
+//!     fn body(&mut self, _ctx: &mut Ctx) -> Control {
+//!         Control::Park
+//!     }
+//! }
+//!
+//! let mut registry = ActorRegistry::new();
+//! registry.register("idle", |_params| Ok(Box::new(Idle)));
+//!
+//! let json = r#"{
+//!     "enclaves": [{"name": "e0"}],
+//!     "actors": [
+//!         {"name": "a", "kind": "idle", "enclave": "e0"},
+//!         {"name": "b", "kind": "idle"}
+//!     ],
+//!     "workers": [{"actors": ["a", "b"]}],
+//!     "channels": [{"a": "a", "b": "b"}]
+//! }"#;
+//! let spec = DeploymentSpec::from_json(json)?;
+//! let builder = spec.into_builder(&registry)?;
+//! let deployment = builder.build()?;
+//! assert_eq!(deployment.actor_count(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::actor::Actor;
+use crate::config::{
+    ChannelOptions, DeploymentBuilder, EncryptionPolicy, Placement, DEFAULT_ENCLAVE_BYTES,
+};
+
+/// Declarative description of an enclave.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct EnclaveSpec {
+    /// Enclave name (also determines its simulated measurement).
+    pub name: String,
+    /// Base EPC bytes for code and data.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub size_bytes: Option<u64>,
+}
+
+/// Declarative description of an actor instance.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ActorSpec {
+    /// Unique instance name.
+    pub name: String,
+    /// Registered constructor kind (see [`ActorRegistry::register`]).
+    pub kind: String,
+    /// Enclave to place the actor in; omitted means untrusted.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub enclave: Option<String>,
+    /// Free-form parameters forwarded to the constructor.
+    #[serde(default, skip_serializing_if = "serde_json::Value::is_null")]
+    pub params: serde_json::Value,
+}
+
+/// Declarative description of a worker thread.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct WorkerSpec {
+    /// Names of the actors this worker executes round-robin.
+    pub actors: Vec<String>,
+    /// Optional CPU to pin the worker to.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cpu: Option<usize>,
+}
+
+/// Declarative description of a channel.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// Initiator actor name.
+    pub a: String,
+    /// Client actor name.
+    pub b: String,
+    /// Preallocated node count (default 64).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub nodes: Option<u32>,
+    /// Payload bytes per node (default 4096).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub payload: Option<usize>,
+    /// `false` forces plaintext even across enclaves (default: auto).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub encrypted: Option<bool>,
+}
+
+/// Declarative description of a named shared pool.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct PoolSpec {
+    /// Pool name.
+    pub name: String,
+    /// Enclave owning the pool memory; omitted means untrusted memory.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub enclave: Option<String>,
+    /// Node count.
+    pub nodes: u32,
+    /// Payload bytes per node.
+    pub payload: usize,
+}
+
+/// Declarative description of a named shared mbox.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct MboxSpec {
+    /// Mbox name.
+    pub name: String,
+    /// Name of the pool whose nodes it carries.
+    pub pool: String,
+    /// Message capacity.
+    pub capacity: usize,
+}
+
+/// A complete, serialisable deployment description.
+#[derive(Debug, Clone, Serialize, Deserialize, Default, PartialEq, Eq)]
+pub struct DeploymentSpec {
+    /// Enclaves to create.
+    #[serde(default)]
+    pub enclaves: Vec<EnclaveSpec>,
+    /// Actor instances.
+    #[serde(default)]
+    pub actors: Vec<ActorSpec>,
+    /// Worker threads.
+    #[serde(default)]
+    pub workers: Vec<WorkerSpec>,
+    /// Channels between actors.
+    #[serde(default)]
+    pub channels: Vec<ChannelSpec>,
+    /// Named shared pools.
+    #[serde(default)]
+    pub pools: Vec<PoolSpec>,
+    /// Named shared mboxes.
+    #[serde(default)]
+    pub mboxes: Vec<MboxSpec>,
+}
+
+/// Errors turning a [`DeploymentSpec`] into a builder.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// The JSON document could not be parsed.
+    Parse(serde_json::Error),
+    /// An actor referenced a `kind` that is not registered.
+    UnknownKind(String),
+    /// A spec entry referenced an undeclared name.
+    UnknownName {
+        /// What kind of object was looked up.
+        kind: &'static str,
+        /// The dangling name.
+        name: String,
+    },
+    /// A registered constructor rejected its parameters.
+    Constructor {
+        /// The actor kind whose constructor failed.
+        kind: String,
+        /// The constructor's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse(e) => write!(f, "malformed deployment spec: {e}"),
+            SpecError::UnknownKind(k) => write!(f, "actor kind {k:?} is not registered"),
+            SpecError::UnknownName { kind, name } => {
+                write!(f, "spec references unknown {kind} {name:?}")
+            }
+            SpecError::Constructor { kind, message } => {
+                write!(f, "constructor for kind {kind:?} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The result of a registered actor constructor.
+pub type ActorFactoryResult = Result<Box<dyn Actor>, String>;
+
+type Factory = Box<dyn Fn(&serde_json::Value) -> ActorFactoryResult + Send + Sync>;
+
+/// Maps actor `kind` strings to constructors.
+///
+/// Applications register every actor type they ship; deployment files can
+/// then instantiate them freely.
+#[derive(Default)]
+pub struct ActorRegistry {
+    factories: HashMap<String, Factory>,
+}
+
+impl fmt::Debug for ActorRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut kinds: Vec<_> = self.factories.keys().collect();
+        kinds.sort();
+        f.debug_struct("ActorRegistry").field("kinds", &kinds).finish()
+    }
+}
+
+impl ActorRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a constructor for `kind`.
+    ///
+    /// The constructor receives the spec's `params` value and returns the
+    /// actor or a human-readable error.
+    pub fn register<F>(&mut self, kind: &str, factory: F) -> &mut Self
+    where
+        F: Fn(&serde_json::Value) -> ActorFactoryResult + Send + Sync + 'static,
+    {
+        self.factories.insert(kind.to_owned(), Box::new(factory));
+        self
+    }
+
+    /// Whether `kind` has a registered constructor.
+    pub fn contains(&self, kind: &str) -> bool {
+        self.factories.contains_key(kind)
+    }
+
+    fn construct(&self, kind: &str, params: &serde_json::Value) -> Result<Box<dyn Actor>, SpecError> {
+        let factory = self
+            .factories
+            .get(kind)
+            .ok_or_else(|| SpecError::UnknownKind(kind.to_owned()))?;
+        factory(params).map_err(|message| SpecError::Constructor {
+            kind: kind.to_owned(),
+            message,
+        })
+    }
+}
+
+impl DeploymentSpec {
+    /// Parse a spec from JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Parse`] on malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, SpecError> {
+        serde_json::from_str(json).map_err(SpecError::Parse)
+    }
+
+    /// Serialise the spec to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serialisation cannot fail")
+    }
+
+    /// Instantiate every actor through `registry` and assemble a
+    /// [`DeploymentBuilder`].
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownKind`], [`SpecError::UnknownName`] or
+    /// [`SpecError::Constructor`]; structural problems (double
+    /// assignment, etc.) surface later from
+    /// [`DeploymentBuilder::build`].
+    pub fn into_builder(self, registry: &ActorRegistry) -> Result<DeploymentBuilder, SpecError> {
+        let mut b = DeploymentBuilder::new();
+        let mut enclave_slots = HashMap::new();
+        for e in &self.enclaves {
+            let slot = b.enclave_sized(&e.name, e.size_bytes.unwrap_or(DEFAULT_ENCLAVE_BYTES));
+            enclave_slots.insert(e.name.clone(), slot);
+        }
+        let mut actor_slots = HashMap::new();
+        for a in &self.actors {
+            let placement = match &a.enclave {
+                None => Placement::Untrusted,
+                Some(name) => Placement::Enclave(*enclave_slots.get(name).ok_or_else(|| {
+                    SpecError::UnknownName {
+                        kind: "enclave",
+                        name: name.clone(),
+                    }
+                })?),
+            };
+            let actor = registry.construct(&a.kind, &a.params)?;
+            let slot = b.actor_boxed(&a.name, placement, actor);
+            actor_slots.insert(a.name.clone(), slot);
+        }
+        let lookup_actor = |name: &str| {
+            actor_slots.get(name).copied().ok_or_else(|| SpecError::UnknownName {
+                kind: "actor",
+                name: name.to_owned(),
+            })
+        };
+        for w in &self.workers {
+            let mut slots = Vec::with_capacity(w.actors.len());
+            for name in &w.actors {
+                slots.push(lookup_actor(name)?);
+            }
+            match w.cpu {
+                Some(cpu) => b.worker_pinned(&slots, cpu),
+                None => b.worker(&slots),
+            };
+        }
+        for c in &self.channels {
+            let defaults = ChannelOptions::default();
+            let options = ChannelOptions {
+                nodes: c.nodes.unwrap_or(defaults.nodes),
+                payload: c.payload.unwrap_or(defaults.payload),
+                policy: match c.encrypted {
+                    Some(false) => EncryptionPolicy::NeverEncrypt,
+                    _ => EncryptionPolicy::Auto,
+                },
+            };
+            b.channel_with(lookup_actor(&c.a)?, lookup_actor(&c.b)?, options);
+        }
+        for p in &self.pools {
+            let region = match &p.enclave {
+                None => Placement::Untrusted,
+                Some(name) => Placement::Enclave(*enclave_slots.get(name).ok_or_else(|| {
+                    SpecError::UnknownName {
+                        kind: "enclave",
+                        name: name.clone(),
+                    }
+                })?),
+            };
+            b.pool(&p.name, region, p.nodes, p.payload);
+        }
+        for m in &self.mboxes {
+            b.mbox(&m.name, &m.pool, m.capacity);
+        }
+        Ok(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{Control, Ctx};
+
+    struct Idle;
+    impl Actor for Idle {
+        fn body(&mut self, _ctx: &mut Ctx) -> Control {
+            Control::Park
+        }
+    }
+
+    fn registry() -> ActorRegistry {
+        let mut r = ActorRegistry::new();
+        r.register("idle", |_| Ok(Box::new(Idle)));
+        r.register("picky", |params| {
+            if params.get("ok").is_some() {
+                Ok(Box::new(Idle))
+            } else {
+                Err("missing 'ok' parameter".to_owned())
+            }
+        });
+        r
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let spec = DeploymentSpec {
+            enclaves: vec![EnclaveSpec {
+                name: "e".into(),
+                size_bytes: Some(1024),
+            }],
+            actors: vec![ActorSpec {
+                name: "a".into(),
+                kind: "idle".into(),
+                enclave: Some("e".into()),
+                params: serde_json::Value::Null,
+            }],
+            workers: vec![WorkerSpec {
+                actors: vec!["a".into()],
+                cpu: Some(2),
+            }],
+            channels: vec![],
+            pools: vec![PoolSpec {
+                name: "p".into(),
+                enclave: None,
+                nodes: 8,
+                payload: 64,
+            }],
+            mboxes: vec![MboxSpec {
+                name: "m".into(),
+                pool: "p".into(),
+                capacity: 8,
+            }],
+        };
+        let json = spec.to_json();
+        let parsed = DeploymentSpec::from_json(&json).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let spec = DeploymentSpec::from_json(
+            r#"{"actors": [{"name": "x", "kind": "nosuch"}], "workers": [{"actors": ["x"]}]}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            spec.into_builder(&registry()),
+            Err(SpecError::UnknownKind(k)) if k == "nosuch"
+        ));
+    }
+
+    #[test]
+    fn unknown_enclave_rejected() {
+        let spec = DeploymentSpec::from_json(
+            r#"{"actors": [{"name": "x", "kind": "idle", "enclave": "ghost"}]}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            spec.into_builder(&registry()),
+            Err(SpecError::UnknownName { kind: "enclave", .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_actor_in_worker_rejected() {
+        let spec =
+            DeploymentSpec::from_json(r#"{"workers": [{"actors": ["ghost"]}]}"#).unwrap();
+        assert!(matches!(
+            spec.into_builder(&registry()),
+            Err(SpecError::UnknownName { kind: "actor", .. })
+        ));
+    }
+
+    #[test]
+    fn constructor_error_is_reported() {
+        let spec = DeploymentSpec::from_json(
+            r#"{"actors": [{"name": "x", "kind": "picky"}], "workers": [{"actors": ["x"]}]}"#,
+        )
+        .unwrap();
+        let err = spec.into_builder(&registry()).unwrap_err();
+        assert!(err.to_string().contains("missing 'ok'"));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            DeploymentSpec::from_json("{nope"),
+            Err(SpecError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn full_spec_builds_and_validates() {
+        let spec = DeploymentSpec::from_json(
+            r#"{
+                "enclaves": [{"name": "e1"}, {"name": "e2"}],
+                "actors": [
+                    {"name": "p", "kind": "idle", "enclave": "e1"},
+                    {"name": "q", "kind": "idle", "enclave": "e2"}
+                ],
+                "workers": [{"actors": ["p"]}, {"actors": ["q"], "cpu": 1}],
+                "channels": [{"a": "p", "b": "q", "nodes": 8, "payload": 128}]
+            }"#,
+        )
+        .unwrap();
+        let deployment = spec.into_builder(&registry()).unwrap().build().unwrap();
+        assert_eq!(deployment.actor_count(), 2);
+        assert_eq!(deployment.enclave_count(), 2);
+        assert_eq!(deployment.worker_count(), 2);
+    }
+
+    #[test]
+    fn registry_debug_lists_kinds() {
+        let r = registry();
+        let s = format!("{r:?}");
+        assert!(s.contains("idle") && s.contains("picky"));
+        assert!(r.contains("idle"));
+        assert!(!r.contains("ghost"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Crate-level integration tests of the eactors runtime: JSON-spec-driven
+//! deployments, pinned workers, concurrent channel stress across worker
+//! threads, and panic/unwind safety of domain tracking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use eactors::prelude::*;
+use eactors::spec::{ActorRegistry, DeploymentSpec};
+use sgx_sim::{CostModel, Platform};
+
+fn platform() -> Platform {
+    Platform::builder().cost_model(CostModel::zero()).build()
+}
+
+#[test]
+fn spec_file_drives_a_real_runtime() {
+    // A full loop: JSON text -> spec -> builder -> runtime -> result.
+    struct Doubler;
+    impl Actor for Doubler {
+        fn body(&mut self, ctx: &mut Ctx) -> Control {
+            let mut buf = [0u8; 8];
+            match ctx.channel(0).try_recv(&mut buf) {
+                Ok(Some(8)) => {
+                    let v = u64::from_le_bytes(buf) * 2;
+                    let _ = ctx.channel(1).send(&v.to_le_bytes());
+                    Control::Busy
+                }
+                _ => Control::Idle,
+            }
+        }
+    }
+
+    let result = Arc::new(AtomicU64::new(0));
+    let result2 = result.clone();
+    let mut registry = ActorRegistry::new();
+    registry.register("feeder", |params| {
+        let value = params.get("value").and_then(|v| v.as_u64()).unwrap_or(1);
+        let mut sent = false;
+        Ok(Box::new(eactors::from_fn(move |ctx: &mut Ctx| {
+            if sent {
+                return Control::Park;
+            }
+            sent = true;
+            ctx.channel(0).send(&value.to_le_bytes()).expect("room");
+            Control::Busy
+        })))
+    });
+    registry.register("doubler", |_| Ok(Box::new(Doubler)));
+    registry.register("collector", move |_| {
+        let result = result2.clone();
+        Ok(Box::new(eactors::from_fn(move |ctx: &mut Ctx| {
+            let mut buf = [0u8; 8];
+            match ctx.channel(0).try_recv(&mut buf) {
+                Ok(Some(8)) => {
+                    result.store(u64::from_le_bytes(buf), Ordering::SeqCst);
+                    ctx.shutdown();
+                    Control::Park
+                }
+                _ => Control::Idle,
+            }
+        })))
+    });
+
+    let json = r#"{
+        "enclaves": [{"name": "worker-enclave", "size_bytes": 65536}],
+        "actors": [
+            {"name": "feeder", "kind": "feeder", "params": {"value": 21}},
+            {"name": "doubler", "kind": "doubler", "enclave": "worker-enclave"},
+            {"name": "collector", "kind": "collector"}
+        ],
+        "workers": [{"actors": ["feeder", "doubler"], "cpu": 0}, {"actors": ["collector"]}],
+        "channels": [
+            {"a": "feeder", "b": "doubler", "nodes": 8, "payload": 64},
+            {"a": "doubler", "b": "collector", "nodes": 8, "payload": 64}
+        ]
+    }"#;
+    let deployment = DeploymentSpec::from_json(json)
+        .expect("valid json")
+        .into_builder(&registry)
+        .expect("all kinds registered")
+        .build()
+        .expect("valid topology");
+    let p = platform();
+    Runtime::start(&p, deployment).expect("start").join();
+    assert_eq!(result.load(Ordering::SeqCst), 42);
+}
+
+#[test]
+fn concurrent_channel_stress_across_workers() {
+    // Four producers on separate workers hammer one consumer through
+    // individual channels; nothing may be lost or duplicated.
+    let p = platform();
+    let mut b = DeploymentBuilder::new();
+    let per_producer = 2_000u64;
+
+    let consumer_slot = {
+        let mut seen: Vec<u64> = Vec::new();
+        b.actor(
+            "consumer",
+            Placement::Untrusted,
+            eactors::from_fn(move |ctx| {
+                let mut buf = [0u8; 8];
+                let mut any = false;
+                for slot in 0..ctx.channel_count() {
+                    while let Ok(Some(8)) = ctx.channel(slot).try_recv(&mut buf) {
+                        seen.push(u64::from_le_bytes(buf));
+                        any = true;
+                    }
+                }
+                if seen.len() as u64 == 4 * per_producer {
+                    let unique: std::collections::HashSet<_> = seen.iter().collect();
+                    assert_eq!(unique.len(), seen.len(), "duplicate delivery");
+                    ctx.shutdown();
+                    return Control::Park;
+                }
+                if any {
+                    Control::Busy
+                } else {
+                    Control::Idle
+                }
+            }),
+        )
+    };
+
+    let mut producers = Vec::new();
+    for pid in 0..4u64 {
+        let mut next = 0u64;
+        let producer = b.actor(
+            &format!("producer-{pid}"),
+            Placement::Untrusted,
+            eactors::from_fn(move |ctx| {
+                if next == per_producer {
+                    return Control::Park;
+                }
+                let tag = (pid << 32) | next;
+                match ctx.channel(0).send(&tag.to_le_bytes()) {
+                    Ok(()) => {
+                        next += 1;
+                        Control::Busy
+                    }
+                    Err(_) => Control::Idle, // back-pressure
+                }
+            }),
+        );
+        b.channel(producer, consumer_slot);
+        producers.push(producer);
+    }
+    for producer in producers {
+        b.worker(&[producer]);
+    }
+    b.worker(&[consumer_slot]);
+
+    let report = Runtime::start(&p, b.build().expect("valid")).expect("start").join();
+    assert!(report.total_executions() >= 4 * per_producer);
+}
+
+#[test]
+fn encrypted_channels_under_concurrency() {
+    // Two enclaved actors on separate workers exchanging encrypted
+    // messages bidirectionally at full speed.
+    let p = platform();
+    let mut b = DeploymentBuilder::new();
+    let e1 = b.enclave("a");
+    let e2 = b.enclave("b");
+    let rounds = 3_000u64;
+
+    let make_side = move |initiates: bool| {
+        let mut sent = 0u64;
+        let mut received = 0u64;
+        move |ctx: &mut Ctx| {
+            let mut buf = [0u8; 64];
+            let mut any = false;
+            while let Ok(Some(n)) = ctx.channel(0).try_recv(&mut buf) {
+                assert_eq!(&buf[..n], b"payload");
+                received += 1;
+                any = true;
+            }
+            while sent < rounds && ctx.channel(0).send(b"payload").is_ok() {
+                sent += 1;
+                any = true;
+            }
+            if sent == rounds && received == rounds {
+                if initiates {
+                    ctx.shutdown();
+                }
+                return Control::Park;
+            }
+            if any {
+                Control::Busy
+            } else {
+                Control::Idle
+            }
+        }
+    };
+    let left = b.actor("left", Placement::Enclave(e1), eactors::from_fn(make_side(true)));
+    let right = b.actor("right", Placement::Enclave(e2), eactors::from_fn(make_side(false)));
+    b.channel_with(
+        left,
+        right,
+        ChannelOptions { nodes: 32, payload: 128, policy: EncryptionPolicy::Auto },
+    );
+    b.worker(&[left]);
+    b.worker(&[right]);
+    Runtime::start(&p, b.build().expect("valid")).expect("start").join();
+}
+
+#[test]
+fn worker_report_reflects_idle_passes() {
+    let p = platform();
+    let mut b = DeploymentBuilder::new();
+    let mut polls = 0;
+    let idler = b.actor(
+        "idler",
+        Placement::Untrusted,
+        eactors::from_fn(move |_| {
+            polls += 1;
+            if polls > 100 {
+                Control::Park
+            } else {
+                Control::Idle
+            }
+        }),
+    );
+    b.worker(&[idler]);
+    let report = Runtime::start(&p, b.build().expect("valid")).expect("start").join();
+    assert!(report.workers[0].idle_passes >= 100);
+    assert!(report.workers[0].passes >= report.workers[0].idle_passes);
+}
+
+#[test]
+fn domain_restored_after_actor_panic() {
+    // A panicking ecall must not leave the thread marked as inside the
+    // enclave (the DomainGuard unwinds).
+    let p = platform();
+    let e = p.create_enclave("panicky", 0).expect("epc");
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        e.ecall(|| panic!("boom"));
+    }));
+    assert!(result.is_err());
+    assert_eq!(sgx_sim::current_domain(), sgx_sim::Domain::Untrusted);
+    // The enclave remains usable.
+    assert_eq!(e.ecall(|| 7), 7);
+}
+
+#[test]
+fn stop_token_halts_runtime_from_outside() {
+    let p = platform();
+    let mut b = DeploymentBuilder::new();
+    let spinner = b.actor("spinner", Placement::Untrusted, eactors::from_fn(|_| Control::Busy));
+    b.worker(&[spinner]);
+    let rt = Runtime::start(&p, b.build().expect("valid")).expect("start");
+    let token = rt.stop_token();
+    let stopper = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        token.stop();
+    });
+    let report = rt.join();
+    stopper.join().expect("stopper thread");
+    assert!(report.total_executions() > 0);
+}

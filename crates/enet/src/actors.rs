@@ -1,0 +1,453 @@
+//! The untrusted networking system actors (paper §4.2, Figure 6).
+//!
+//! Five actors bridge the gap between enclaved application logic and the
+//! kernel's TCP/IP stack: [`Opener`] creates sockets, [`Accepter`] takes
+//! new connections from server sockets, [`Reader`] polls subscribed
+//! sockets and forwards incoming bytes into per-user mboxes, [`Writer`]
+//! transmits, and [`Closer`] tears sockets down. They always run
+//! untrusted (the backend enforces it); application eactors talk to them
+//! exclusively through mboxes, so an enclaved actor gets network I/O
+//! without a single execution-mode transition.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use eactors::actor::{Actor, Control, Ctx};
+use eactors::arena::Mbox;
+
+use crate::backend::{ListenerId, NetBackend, RecvOutcome, SocketId};
+use crate::dir::{MboxDirectory, MboxRef};
+use crate::msg::{NetMsg, DATA_HEADER};
+
+/// Encode `msg` into a node from the mbox's arena and enqueue it.
+///
+/// Returns `false` (dropping nothing from `msg`) when the pool is
+/// exhausted, the mbox is full, or the payload does not fit — callers
+/// retry on their next execution.
+pub fn send_msg(mbox: &Arc<Mbox>, msg: &NetMsg) -> bool {
+    if msg.encoded_len() > mbox.arena().payload_size() {
+        return false;
+    }
+    match mbox.arena().try_pop() {
+        Some(mut node) => {
+            let n = msg.encode(node.buffer_mut());
+            node.set_len(n);
+            mbox.send(node).is_ok()
+        }
+        None => false,
+    }
+}
+
+/// Dequeue and decode one message, recycling the node.
+pub fn recv_msg(mbox: &Arc<Mbox>) -> Option<NetMsg> {
+    mbox.recv().and_then(|node| NetMsg::decode(node.bytes()))
+}
+
+/// The OPENER: creates server or client sockets on request.
+pub struct Opener {
+    net: Arc<dyn NetBackend>,
+    requests: Arc<Mbox>,
+    dir: Arc<MboxDirectory>,
+}
+
+impl std::fmt::Debug for Opener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Opener").finish_non_exhaustive()
+    }
+}
+
+impl Opener {
+    /// An OPENER serving requests from `requests`.
+    pub fn new(net: Arc<dyn NetBackend>, requests: Arc<Mbox>, dir: Arc<MboxDirectory>) -> Self {
+        Opener { net, requests, dir }
+    }
+}
+
+impl Actor for Opener {
+    fn body(&mut self, _ctx: &mut Ctx) -> Control {
+        let mut worked = false;
+        while let Some(msg) = recv_msg(&self.requests) {
+            worked = true;
+            let (reply, response) = match msg {
+                NetMsg::OpenListen { port, reply } => (
+                    reply,
+                    match self.net.listen(port) {
+                        Ok(ListenerId(id)) => NetMsg::OpenOk { id, listener: true },
+                        Err(_) => NetMsg::OpenFail { port },
+                    },
+                ),
+                NetMsg::OpenConnect { port, reply } => (
+                    reply,
+                    match self.net.connect(port) {
+                        Ok(SocketId(id)) => NetMsg::OpenOk { id, listener: false },
+                        Err(_) => NetMsg::OpenFail { port },
+                    },
+                ),
+                _ => continue, // not ours; drop
+            };
+            if let Some(mbox) = self.dir.get(reply) {
+                send_msg(&mbox, &response);
+            }
+        }
+        if worked {
+            Control::Busy
+        } else {
+            Control::Idle
+        }
+    }
+}
+
+/// The ACCEPTER: polls watched server sockets and announces new
+/// connections.
+pub struct Accepter {
+    net: Arc<dyn NetBackend>,
+    requests: Arc<Mbox>,
+    dir: Arc<MboxDirectory>,
+    watches: Vec<(u64, MboxRef)>,
+}
+
+impl std::fmt::Debug for Accepter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Accepter")
+            .field("watches", &self.watches.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Accepter {
+    /// An ACCEPTER taking `WatchListener` subscriptions from `requests`.
+    pub fn new(net: Arc<dyn NetBackend>, requests: Arc<Mbox>, dir: Arc<MboxDirectory>) -> Self {
+        Accepter {
+            net,
+            requests,
+            dir,
+            watches: Vec::new(),
+        }
+    }
+}
+
+impl Actor for Accepter {
+    fn body(&mut self, _ctx: &mut Ctx) -> Control {
+        let mut worked = false;
+        while let Some(msg) = recv_msg(&self.requests) {
+            if let NetMsg::WatchListener { listener, reply } = msg {
+                self.watches.push((listener, reply));
+                worked = true;
+            }
+        }
+        self.watches.retain(|&(listener, reply)| {
+            let Some(mbox) = self.dir.get(reply) else {
+                return false;
+            };
+            loop {
+                match self.net.accept(ListenerId(listener)) {
+                    Ok(Some(SocketId(socket))) => {
+                        worked = true;
+                        if !send_msg(&mbox, &NetMsg::Accepted { listener, socket }) {
+                            // Reply mbox congested: the connection stays in
+                            // our hands; close it rather than leak it.
+                            let _ = self.net.close(SocketId(socket));
+                        }
+                    }
+                    Ok(None) => return true,
+                    Err(_) => return false, // listener closed
+                }
+            }
+        });
+        if worked {
+            Control::Busy
+        } else {
+            Control::Idle
+        }
+    }
+}
+
+struct ReadWatch {
+    socket: u64,
+    reply: MboxRef,
+}
+
+/// The READER: polls subscribed sockets and forwards received bytes.
+///
+/// Supports the paper's batch pattern: an application sends one
+/// `WatchSocket` per client (each with its per-user mbox) and the READER
+/// services all of them every pass.
+pub struct Reader {
+    net: Arc<dyn NetBackend>,
+    requests: Arc<Mbox>,
+    dir: Arc<MboxDirectory>,
+    watches: Vec<ReadWatch>,
+    scratch: Vec<u8>,
+}
+
+impl std::fmt::Debug for Reader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reader")
+            .field("watches", &self.watches.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Reader {
+    /// A READER taking `WatchSocket`/`Unwatch` requests from `requests`.
+    pub fn new(net: Arc<dyn NetBackend>, requests: Arc<Mbox>, dir: Arc<MboxDirectory>) -> Self {
+        Reader {
+            net,
+            requests,
+            dir,
+            watches: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl Actor for Reader {
+    fn body(&mut self, _ctx: &mut Ctx) -> Control {
+        let mut worked = false;
+        while let Some(msg) = recv_msg(&self.requests) {
+            match msg {
+                NetMsg::WatchSocket { socket, reply } => {
+                    self.watches.push(ReadWatch { socket, reply });
+                    worked = true;
+                }
+                NetMsg::WatchBatch { entries } => {
+                    // The paper's batch request: one message subscribes a
+                    // whole private client list.
+                    self.watches
+                        .extend(entries.into_iter().map(|(socket, reply)| ReadWatch { socket, reply }));
+                    worked = true;
+                }
+                NetMsg::Unwatch { socket } => {
+                    self.watches.retain(|w| w.socket != socket);
+                    worked = true;
+                }
+                _ => {}
+            }
+        }
+        let net = &self.net;
+        let dir = &self.dir;
+        let scratch = &mut self.scratch;
+        self.watches.retain(|w| {
+            let Some(mbox) = dir.get(w.reply) else {
+                return false;
+            };
+            // Chunk size: whatever fits in one reply node.
+            let chunk = mbox.arena().payload_size().saturating_sub(DATA_HEADER);
+            if chunk == 0 {
+                return false;
+            }
+            if scratch.len() < chunk {
+                scratch.resize(chunk, 0);
+            }
+            match net.recv(SocketId(w.socket), &mut scratch[..chunk]) {
+                Ok(RecvOutcome::Data(n)) => {
+                    worked = true;
+                    send_msg(
+                        &mbox,
+                        &NetMsg::Data {
+                            socket: w.socket,
+                            payload: scratch[..n].to_vec(),
+                        },
+                    );
+                    true
+                }
+                Ok(RecvOutcome::WouldBlock) => true,
+                Ok(RecvOutcome::Eof) | Err(_) => {
+                    worked = true;
+                    send_msg(&mbox, &NetMsg::SocketClosed { socket: w.socket });
+                    false
+                }
+            }
+        });
+        if worked {
+            Control::Busy
+        } else {
+            Control::Idle
+        }
+    }
+}
+
+/// The WRITER: transmits `Write` payloads, preserving per-socket order
+/// under partial writes.
+pub struct Writer {
+    net: Arc<dyn NetBackend>,
+    requests: Arc<Mbox>,
+    pending: HashMap<u64, VecDeque<u8>>,
+}
+
+impl std::fmt::Debug for Writer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Writer")
+            .field("pending_sockets", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Writer {
+    /// A WRITER draining `Write` messages from `requests`.
+    pub fn new(net: Arc<dyn NetBackend>, requests: Arc<Mbox>) -> Self {
+        Writer {
+            net,
+            requests,
+            pending: HashMap::new(),
+        }
+    }
+
+    fn flush(&mut self) -> bool {
+        let mut progressed = false;
+        self.pending.retain(|&socket, queue| {
+            while !queue.is_empty() {
+                let (head, _) = queue.as_slices();
+                match self.net.send(SocketId(socket), head) {
+                    Ok(0) => return true, // peer buffer full; keep pending
+                    Ok(n) => {
+                        progressed = true;
+                        queue.drain(..n);
+                    }
+                    Err(_) => return false, // socket gone; drop pending
+                }
+            }
+            false
+        });
+        progressed
+    }
+}
+
+impl Actor for Writer {
+    fn body(&mut self, _ctx: &mut Ctx) -> Control {
+        let mut worked = self.flush();
+        while let Some(msg) = recv_msg(&self.requests) {
+            if let NetMsg::Write { socket, payload } = msg {
+                worked = true;
+                if let Some(queue) = self.pending.get_mut(&socket) {
+                    // Order must be preserved behind earlier pending bytes.
+                    queue.extend(payload);
+                    continue;
+                }
+                let mut offset = 0;
+                // A send error means the socket is gone; drop the rest.
+                while let Ok(n) = self.net.send(SocketId(socket), &payload[offset..]) {
+                    offset += n;
+                    if offset == payload.len() {
+                        break;
+                    }
+                    if n == 0 {
+                        // Peer buffer full: park the tail for later.
+                        self.pending
+                            .entry(socket)
+                            .or_default()
+                            .extend(&payload[offset..]);
+                        break;
+                    }
+                }
+            }
+        }
+        if worked {
+            Control::Busy
+        } else {
+            Control::Idle
+        }
+    }
+}
+
+/// The CLOSER: closes sockets on request.
+pub struct Closer {
+    net: Arc<dyn NetBackend>,
+    requests: Arc<Mbox>,
+}
+
+impl std::fmt::Debug for Closer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Closer").finish_non_exhaustive()
+    }
+}
+
+impl Closer {
+    /// A CLOSER draining `Close` messages from `requests`.
+    pub fn new(net: Arc<dyn NetBackend>, requests: Arc<Mbox>) -> Self {
+        Closer { net, requests }
+    }
+}
+
+impl Actor for Closer {
+    fn body(&mut self, _ctx: &mut Ctx) -> Control {
+        let mut worked = false;
+        while let Some(msg) = recv_msg(&self.requests) {
+            if let NetMsg::Close { socket } = msg {
+                worked = true;
+                let _ = self.net.close(SocketId(socket));
+            }
+        }
+        if worked {
+            Control::Busy
+        } else {
+            Control::Idle
+        }
+    }
+}
+
+/// Convenience bundle wiring all five system actors into a deployment.
+///
+/// Creates the request mboxes (backed by a shared untrusted pool), the
+/// [`MboxDirectory`], and the actor instances. The caller decides which
+/// workers execute them.
+pub struct SystemActors {
+    /// The shared mbox directory for reply routing.
+    pub dir: Arc<MboxDirectory>,
+    /// Request mbox of the OPENER.
+    pub opener_requests: Arc<Mbox>,
+    /// Request mbox of the ACCEPTER.
+    pub accepter_requests: Arc<Mbox>,
+    /// Request mbox of the READER.
+    pub reader_requests: Arc<Mbox>,
+    /// Request mbox of the WRITER.
+    pub writer_requests: Arc<Mbox>,
+    /// Request mbox of the CLOSER.
+    pub closer_requests: Arc<Mbox>,
+    /// The OPENER actor, ready to be added to a deployment.
+    pub opener: Opener,
+    /// The ACCEPTER actor.
+    pub accepter: Accepter,
+    /// The READER actor.
+    pub reader: Reader,
+    /// The WRITER actor.
+    pub writer: Writer,
+    /// The CLOSER actor.
+    pub closer: Closer,
+}
+
+impl std::fmt::Debug for SystemActors {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemActors").finish_non_exhaustive()
+    }
+}
+
+impl SystemActors {
+    /// Build the standard networking actor set over `net`.
+    ///
+    /// `pool` provides the nodes for all five request mboxes; size its
+    /// payload for the largest `Write` the application sends.
+    pub fn new(net: Arc<dyn NetBackend>, pool: Arc<eactors::arena::Arena>) -> Self {
+        let dir = Arc::new(MboxDirectory::new());
+        let cap = pool.capacity() as usize;
+        let opener_requests = Mbox::new(pool.clone(), cap);
+        let accepter_requests = Mbox::new(pool.clone(), cap);
+        let reader_requests = Mbox::new(pool.clone(), cap);
+        let writer_requests = Mbox::new(pool.clone(), cap);
+        let closer_requests = Mbox::new(pool, cap);
+        SystemActors {
+            opener: Opener::new(net.clone(), opener_requests.clone(), dir.clone()),
+            accepter: Accepter::new(net.clone(), accepter_requests.clone(), dir.clone()),
+            reader: Reader::new(net.clone(), reader_requests.clone(), dir.clone()),
+            writer: Writer::new(net.clone(), writer_requests.clone()),
+            closer: Closer::new(net, closer_requests.clone()),
+            dir,
+            opener_requests,
+            accepter_requests,
+            reader_requests,
+            writer_requests,
+            closer_requests,
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The network backend abstraction.
+//!
+//! Enclaves cannot issue system calls, so all networking in EActors runs
+//! in untrusted *system actors* (§4.2). This module defines the socket
+//! interface those actors program against. Two backends implement it:
+//! [`crate::SimNet`] (an in-process TCP-like substrate with a syscall
+//! cost model — used by the benchmarks so thousands of emulated clients
+//! fit on one machine) and [`crate::TcpLoopback`] (real `std::net`
+//! sockets on localhost).
+
+use std::fmt;
+
+/// Identifier of a connected socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SocketId(pub u64);
+
+/// Identifier of a listening (server) socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ListenerId(pub u64);
+
+/// Outcome of a non-blocking receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvOutcome {
+    /// `n` bytes were copied into the buffer.
+    Data(usize),
+    /// No data available right now.
+    WouldBlock,
+    /// The peer closed the connection and the buffer is drained.
+    Eof,
+}
+
+/// Errors from network operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A system call was attempted from inside an enclave. Real enclaves
+    /// cannot do this; the simulation turns the mistake into a loud error
+    /// instead of a silent OCall.
+    TrustedDomain,
+    /// The port is already in use.
+    PortInUse(u16),
+    /// Nothing listens on the port.
+    ConnectionRefused(u16),
+    /// The socket or listener id is unknown or already closed.
+    BadSocket,
+    /// The peer's receive buffer is full (back-pressure; retry).
+    WouldBlock,
+    /// An OS-level error from the real-socket backend.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::TrustedDomain => {
+                write!(f, "network system calls must run in untrusted actors")
+            }
+            NetError::PortInUse(p) => write!(f, "port {p} is already in use"),
+            NetError::ConnectionRefused(p) => write!(f, "connection refused on port {p}"),
+            NetError::BadSocket => write!(f, "unknown or closed socket"),
+            NetError::WouldBlock => write!(f, "operation would block"),
+            NetError::Io(e) => write!(f, "socket i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// A non-blocking TCP-like transport.
+///
+/// All methods are callable from any thread; every call models one system
+/// call (and is rejected when issued from enclave code).
+pub trait NetBackend: Send + Sync + fmt::Debug {
+    /// Open a server socket on `port`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::PortInUse`] when the port is taken,
+    /// [`NetError::TrustedDomain`] from enclave code.
+    fn listen(&self, port: u16) -> Result<ListenerId, NetError>;
+
+    /// Open a client connection to `port`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::ConnectionRefused`] when nothing listens there.
+    fn connect(&self, port: u16) -> Result<SocketId, NetError>;
+
+    /// Accept one pending connection, or `None` when the backlog is
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadSocket`] for an unknown listener.
+    fn accept(&self, listener: ListenerId) -> Result<Option<SocketId>, NetError>;
+
+    /// Send up to `data.len()` bytes; returns how many were accepted
+    /// (0 when the peer's buffer is full).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadSocket`] for a closed socket.
+    fn send(&self, socket: SocketId, data: &[u8]) -> Result<usize, NetError>;
+
+    /// Receive into `buf` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadSocket`] for an unknown socket.
+    fn recv(&self, socket: SocketId, buf: &mut [u8]) -> Result<RecvOutcome, NetError>;
+
+    /// Close a socket (the peer observes EOF after draining).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadSocket`] for an unknown socket.
+    fn close(&self, socket: SocketId) -> Result<(), NetError>;
+
+    /// Close a listener.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadSocket`] for an unknown listener.
+    fn close_listener(&self, listener: ListenerId) -> Result<(), NetError>;
+}

@@ -1,0 +1,109 @@
+//! A directory giving mboxes small numeric handles.
+//!
+//! The paper's C implementation passes raw mbox pointers inside request
+//! messages ("it indicates a mbox, which is used by the OPENER to return
+//! the socket identifier", §4.2). Message payloads here are plain bytes,
+//! so applications register reply mboxes once and refer to them by
+//! [`MboxRef`] in wire messages.
+
+use std::sync::Arc;
+
+use eactors::arena::Mbox;
+use parking_lot::RwLock;
+
+/// Handle to a registered mbox, embeddable in wire messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MboxRef(pub u32);
+
+/// Registry of reply mboxes shared between applications and the system
+/// actors.
+///
+/// # Examples
+///
+/// ```
+/// use eactors::arena::{Arena, Mbox};
+/// use enet::MboxDirectory;
+///
+/// let dir = MboxDirectory::new();
+/// let arena = Arena::new("replies", 8, 64);
+/// let inbox = Mbox::new(arena, 8);
+/// let handle = dir.register(inbox.clone());
+/// assert!(dir.get(handle).is_some());
+/// dir.unregister(handle);
+/// assert!(dir.get(handle).is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct MboxDirectory {
+    slots: RwLock<Vec<Option<Arc<Mbox>>>>,
+}
+
+impl MboxDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `mbox`, returning its handle.
+    pub fn register(&self, mbox: Arc<Mbox>) -> MboxRef {
+        let mut slots = self.slots.write();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(mbox);
+                return MboxRef(i as u32);
+            }
+        }
+        slots.push(Some(mbox));
+        MboxRef((slots.len() - 1) as u32)
+    }
+
+    /// Look a handle up.
+    pub fn get(&self, r: MboxRef) -> Option<Arc<Mbox>> {
+        self.slots.read().get(r.0 as usize).cloned().flatten()
+    }
+
+    /// Remove a registration (its slot is recycled).
+    pub fn unregister(&self, r: MboxRef) {
+        if let Some(slot) = self.slots.write().get_mut(r.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Number of live registrations.
+    pub fn len(&self) -> usize {
+        self.slots.read().iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no mboxes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eactors::arena::Arena;
+
+    #[test]
+    fn register_get_unregister_recycles_slots() {
+        let dir = MboxDirectory::new();
+        let arena = Arena::new("t", 4, 16);
+        let a = dir.register(Mbox::new(arena.clone(), 4));
+        let b = dir.register(Mbox::new(arena.clone(), 4));
+        assert_ne!(a, b);
+        assert_eq!(dir.len(), 2);
+        dir.unregister(a);
+        assert!(dir.get(a).is_none());
+        assert!(dir.get(b).is_some());
+        let c = dir.register(Mbox::new(arena, 4));
+        assert_eq!(c, a, "slot should be recycled");
+        assert!(!dir.is_empty());
+    }
+
+    #[test]
+    fn unknown_handle_is_none() {
+        let dir = MboxDirectory::new();
+        assert!(dir.get(MboxRef(42)).is_none());
+        dir.unregister(MboxRef(42)); // harmless
+    }
+}

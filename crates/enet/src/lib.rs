@@ -1,0 +1,308 @@
+//! # enet — networking for the EActors framework
+//!
+//! Enclaves cannot issue system calls, so EActors performs all network
+//! I/O in untrusted *system actors* connected to the application through
+//! mboxes (§4.2 of the paper, Figure 6):
+//!
+//! * [`Opener`] — creates server or client sockets;
+//! * [`Accepter`] — accepts connections on watched server sockets;
+//! * [`Reader`] — polls subscribed sockets, forwarding bytes to per-user
+//!   mboxes (including the XMPP batch pattern);
+//! * [`Writer`] — transmits, preserving order under partial writes;
+//! * [`Closer`] — closes sockets.
+//!
+//! Two interchangeable [`NetBackend`]s are provided: [`SimNet`], an
+//! in-process TCP substrate with a syscall cost model (used by the paper
+//! reproduction benchmarks, where hundreds of emulated clients run on one
+//! machine), and [`TcpLoopback`], real `std::net` sockets.
+//!
+//! ## Example: an echo flow without actors
+//!
+//! ```
+//! use enet::{NetBackend, RecvOutcome, SimNet};
+//! use sgx_sim::Platform;
+//!
+//! let net = SimNet::new(Platform::builder().build().costs());
+//! let listener = net.listen(7)?;
+//! let client = net.connect(7)?;
+//! let server = net.accept(listener)?.expect("pending");
+//! net.send(client, b"echo")?;
+//! let mut buf = [0u8; 8];
+//! if let RecvOutcome::Data(n) = net.recv(server, &mut buf)? {
+//!     net.send(server, &buf[..n])?;
+//! }
+//! assert_eq!(net.recv(client, &mut buf)?, RecvOutcome::Data(4));
+//! # Ok::<(), enet::NetError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod actors;
+mod backend;
+mod dir;
+mod msg;
+mod sim;
+mod tcp;
+
+pub use actors::{recv_msg, send_msg, Accepter, Closer, Opener, Reader, SystemActors, Writer};
+pub use backend::{ListenerId, NetBackend, NetError, RecvOutcome, SocketId};
+pub use dir::{MboxDirectory, MboxRef};
+pub use msg::{NetMsg, DATA_HEADER};
+pub use sim::{SimNet, DEFAULT_SOCKET_BUFFER};
+pub use tcp::TcpLoopback;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eactors::actor::Actor;
+    use eactors::arena::{Arena, Mbox};
+    use eactors::prelude::*;
+    use sgx_sim::{CostModel, Platform};
+    use std::sync::Arc;
+
+    /// Full-stack test: an enclaved echo actor served by all five system
+    /// actors, with an emulated client on the sim network.
+    #[test]
+    fn enclaved_echo_server_through_system_actors() {
+        let platform = Platform::builder().cost_model(CostModel::zero()).build();
+        let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(platform.costs()));
+        let pool = Arena::new("net-pool", 256, 512);
+        let sys = SystemActors::new(net.clone(), pool.clone());
+
+        // Reply mbox for the echo service.
+        let replies = Mbox::new(pool.clone(), 256);
+        let reply_ref = sys.dir.register(replies.clone());
+
+        let opener_rq = sys.opener_requests.clone();
+        let accepter_rq = sys.accepter_requests.clone();
+        let reader_rq = sys.reader_requests.clone();
+        let writer_rq = sys.writer_requests.clone();
+
+        // The enclaved echo logic: drive the handshake, then echo Data.
+        let mut started = false;
+        let echo = move |_ctx: &mut Ctx| {
+            if !started {
+                started = true;
+                assert!(send_msg(
+                    &opener_rq,
+                    &NetMsg::OpenListen { port: 7, reply: reply_ref }
+                ));
+                return Control::Busy;
+            }
+            let mut worked = false;
+            while let Some(msg) = recv_msg(&replies) {
+                worked = true;
+                match msg {
+                    NetMsg::OpenOk { id, listener: true } => {
+                        send_msg(
+                            &accepter_rq,
+                            &NetMsg::WatchListener { listener: id, reply: reply_ref },
+                        );
+                    }
+                    NetMsg::Accepted { socket, .. } => {
+                        send_msg(&reader_rq, &NetMsg::WatchSocket { socket, reply: reply_ref });
+                    }
+                    NetMsg::Data { socket, payload } => {
+                        send_msg(&writer_rq, &NetMsg::Write { socket, payload });
+                    }
+                    _ => {}
+                }
+            }
+            if worked {
+                Control::Busy
+            } else {
+                Control::Idle
+            }
+        };
+
+        let mut b = DeploymentBuilder::new();
+        let e = b.enclave("echo");
+        let a_echo = b.actor("echo", Placement::Enclave(e), eactors::from_fn(echo));
+        let a_open = b.actor("opener", Placement::Untrusted, sys.opener);
+        let a_acc = b.actor("accepter", Placement::Untrusted, sys.accepter);
+        let a_rd = b.actor("reader", Placement::Untrusted, sys.reader);
+        let a_wr = b.actor("writer", Placement::Untrusted, sys.writer);
+        let a_cl = b.actor("closer", Placement::Untrusted, sys.closer);
+        b.worker(&[a_echo]);
+        b.worker(&[a_open, a_acc, a_rd, a_wr, a_cl]);
+
+        let rt = Runtime::start(&platform, b.build().unwrap()).unwrap();
+
+        // Emulated client on its own (untrusted) thread.
+        let client_net = net.clone();
+        let client = std::thread::spawn(move || {
+            let sock = loop {
+                match client_net.connect(7) {
+                    Ok(s) => break s,
+                    Err(_) => std::thread::yield_now(),
+                }
+            };
+            client_net.send(sock, b"hello enclave").unwrap();
+            let mut buf = [0u8; 64];
+            let mut got = Vec::new();
+            while got.len() < 13 {
+                match client_net.recv(sock, &mut buf).unwrap() {
+                    RecvOutcome::Data(n) => got.extend_from_slice(&buf[..n]),
+                    RecvOutcome::WouldBlock => std::thread::yield_now(),
+                    RecvOutcome::Eof => break,
+                }
+            }
+            got
+        });
+
+        let echoed = client.join().unwrap();
+        assert_eq!(echoed, b"hello enclave");
+        rt.shutdown();
+        rt.join();
+    }
+
+    #[test]
+    fn opener_reports_failures() {
+        let platform = Platform::builder().cost_model(CostModel::zero()).build();
+        let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(platform.costs()));
+        let pool = Arena::new("p", 32, 128);
+        let sys = SystemActors::new(net, pool.clone());
+        let replies = Mbox::new(pool, 32);
+        let r = sys.dir.register(replies.clone());
+
+        send_msg(&sys.opener_requests, &NetMsg::OpenConnect { port: 99, reply: r });
+        let mut opener = sys.opener;
+
+        let done = {
+            let replies = replies.clone();
+            move |ctx: &mut Ctx| {
+                if let Some(NetMsg::OpenFail { port }) = recv_msg(&replies) {
+                    assert_eq!(port, 99);
+                    ctx.shutdown();
+                    return Control::Park;
+                }
+                Control::Idle
+            }
+        };
+        let mut b = DeploymentBuilder::new();
+        let a1 = b.actor(
+            "opener",
+            Placement::Untrusted,
+            eactors::from_fn(move |ctx| opener.body(ctx)),
+        );
+        let a2 = b.actor("checker", Placement::Untrusted, eactors::from_fn(done));
+        b.worker(&[a1, a2]);
+        Runtime::start(&platform, b.build().unwrap()).unwrap().join();
+    }
+
+    #[test]
+    fn writer_preserves_order_across_partial_writes() {
+        let platform = Platform::builder().cost_model(CostModel::zero()).build();
+        // Tiny socket buffers force partial writes.
+        let sim = SimNet::with_buffer_size(platform.costs(), 8);
+        let net: Arc<dyn NetBackend> = Arc::new(sim.clone());
+        let pool = Arena::new("p", 64, 256);
+        let sys = SystemActors::new(net.clone(), pool);
+
+        let l = sim.listen(9).unwrap();
+        let client = sim.connect(9).unwrap();
+        let server = sim.accept(l).unwrap().unwrap();
+
+        // Queue three writes totalling far more than the 8-byte buffer.
+        for chunk in [&b"AAAAAAAAAA"[..], b"BBBBBBBBBB", b"CCCCCCCCCC"] {
+            assert!(send_msg(
+                &sys.writer_requests,
+                &NetMsg::Write { socket: server.0, payload: chunk.to_vec() }
+            ));
+        }
+
+        let mut writer = sys.writer;
+        let sim2 = sim.clone();
+        let mut sink: Vec<u8> = Vec::new();
+        let collector = move |ctx: &mut Ctx| {
+            let mut buf = [0u8; 16];
+            match sim2.recv(client, &mut buf) {
+                Ok(RecvOutcome::Data(n)) => {
+                    sink.extend_from_slice(&buf[..n]);
+                    if sink.len() >= 30 {
+                        assert_eq!(&sink[..], b"AAAAAAAAAABBBBBBBBBBCCCCCCCCCC");
+                        ctx.shutdown();
+                        return Control::Park;
+                    }
+                    Control::Busy
+                }
+                _ => Control::Idle,
+            }
+        };
+
+        let mut b = DeploymentBuilder::new();
+        let w = b.actor(
+            "writer",
+            Placement::Untrusted,
+            eactors::from_fn(move |ctx| writer.body(ctx)),
+        );
+        let c = b.actor("collector", Placement::Untrusted, eactors::from_fn(collector));
+        b.worker(&[w, c]);
+        Runtime::start(&platform, b.build().unwrap()).unwrap().join();
+    }
+
+    #[test]
+    fn reader_unwatch_stops_forwarding() {
+        let platform = Platform::builder().cost_model(CostModel::zero()).build();
+        let sim = SimNet::new(platform.costs());
+        let net: Arc<dyn NetBackend> = Arc::new(sim.clone());
+        let pool = Arena::new("p", 64, 256);
+        let sys = SystemActors::new(net, pool.clone());
+
+        let l = sim.listen(9).unwrap();
+        let client = sim.connect(9).unwrap();
+        let server = sim.accept(l).unwrap().unwrap();
+
+        let replies = Mbox::new(pool, 64);
+        let r = sys.dir.register(replies.clone());
+        send_msg(&sys.reader_requests, &NetMsg::WatchSocket { socket: server.0, reply: r });
+
+        let mut reader = sys.reader;
+        let reader_rq = sys.reader_requests.clone();
+        let sim2 = sim.clone();
+        let mut phase = 0;
+        let driver = move |ctx: &mut Ctx| {
+            match phase {
+                0 => {
+                    sim2.send(client, b"first").unwrap();
+                    phase = 1;
+                    Control::Busy
+                }
+                1 => match recv_msg(&replies) {
+                    Some(NetMsg::Data { payload, .. }) => {
+                        assert_eq!(payload, b"first");
+                        send_msg(&reader_rq, &NetMsg::Unwatch { socket: server.0 });
+                        phase = 2;
+                        Control::Busy
+                    }
+                    _ => Control::Idle,
+                },
+                2 => {
+                    // After unwatch, sent data must NOT be forwarded.
+                    sim2.send(client, b"second").unwrap();
+                    phase = 3;
+                    Control::Busy
+                }
+                _ => {
+                    phase += 1;
+                    if phase > 50 {
+                        assert!(recv_msg(&replies).is_none(), "data after unwatch");
+                        ctx.shutdown();
+                        return Control::Park;
+                    }
+                    Control::Idle
+                }
+            }
+        };
+
+        let mut b = DeploymentBuilder::new();
+        let rd = b.actor(
+            "reader",
+            Placement::Untrusted,
+            eactors::from_fn(move |ctx| reader.body(ctx)),
+        );
+        let dr = b.actor("driver", Placement::Untrusted, eactors::from_fn(driver));
+        b.worker(&[rd, dr]);
+        Runtime::start(&platform, b.build().unwrap()).unwrap().join();
+    }
+}

@@ -1,0 +1,345 @@
+//! Wire messages exchanged with the system actors.
+//!
+//! Application eactors talk to OPENER / ACCEPTER / READER / WRITER /
+//! CLOSER through mboxes carrying these messages, encoded into node
+//! payloads. The encoding is a one-byte tag followed by little-endian
+//! fields; `Data` and `Write` carry their payload inline after the
+//! header.
+
+use crate::dir::MboxRef;
+
+/// A message to or from a system actor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetMsg {
+    /// Ask the OPENER for a server socket on `port`.
+    OpenListen {
+        /// Port to listen on.
+        port: u16,
+        /// Where the OPENER sends the reply.
+        reply: MboxRef,
+    },
+    /// Ask the OPENER for a client connection to `port`.
+    OpenConnect {
+        /// Port to connect to.
+        port: u16,
+        /// Where the OPENER sends the reply.
+        reply: MboxRef,
+    },
+    /// OPENER succeeded; `id` is a listener id (`listener == true`) or a
+    /// socket id.
+    OpenOk {
+        /// The new listener or socket id.
+        id: u64,
+        /// Whether `id` names a listener.
+        listener: bool,
+    },
+    /// OPENER failed (port in use / connection refused).
+    OpenFail {
+        /// The port the request named.
+        port: u16,
+    },
+    /// Subscribe the ACCEPTER to a listener; each new connection produces
+    /// an [`NetMsg::Accepted`].
+    WatchListener {
+        /// Listener to watch.
+        listener: u64,
+        /// Where accepted sockets are announced.
+        reply: MboxRef,
+    },
+    /// A connection was accepted.
+    Accepted {
+        /// The listener it arrived on.
+        listener: u64,
+        /// The new connected socket.
+        socket: u64,
+    },
+    /// Subscribe the READER to a socket; incoming bytes arrive as
+    /// [`NetMsg::Data`] in the reply mbox. This is the per-client entry
+    /// of the paper's batch request.
+    WatchSocket {
+        /// Socket to poll.
+        socket: u64,
+        /// Per-user mbox receiving the data.
+        reply: MboxRef,
+    },
+    /// Subscribe the READER to a whole batch of sockets in one message —
+    /// the paper's PCL pattern: the XMPP eactor "requests to read data
+    /// from all connections using a batch request" (§5.1.2). Each entry
+    /// pairs a socket with its per-user reply mbox.
+    WatchBatch {
+        /// (socket, reply mbox) pairs.
+        entries: Vec<(u64, MboxRef)>,
+    },
+    /// Stop polling a socket.
+    Unwatch {
+        /// Socket to forget.
+        socket: u64,
+    },
+    /// Bytes received from a socket (READER → application).
+    Data {
+        /// Source socket.
+        socket: u64,
+        /// The received bytes.
+        payload: Vec<u8>,
+    },
+    /// The peer closed the socket (READER → application).
+    SocketClosed {
+        /// The closed socket.
+        socket: u64,
+    },
+    /// Bytes to transmit (application → WRITER).
+    Write {
+        /// Destination socket.
+        socket: u64,
+        /// The bytes to send.
+        payload: Vec<u8>,
+    },
+    /// Close a socket (application → CLOSER).
+    Close {
+        /// Socket to close.
+        socket: u64,
+    },
+}
+
+mod tag {
+    pub const OPEN_LISTEN: u8 = 1;
+    pub const OPEN_CONNECT: u8 = 2;
+    pub const OPEN_OK: u8 = 3;
+    pub const OPEN_FAIL: u8 = 4;
+    pub const WATCH_LISTENER: u8 = 5;
+    pub const ACCEPTED: u8 = 6;
+    pub const WATCH_SOCKET: u8 = 7;
+    pub const UNWATCH: u8 = 8;
+    pub const WATCH_BATCH: u8 = 13;
+    pub const DATA: u8 = 9;
+    pub const SOCKET_CLOSED: u8 = 10;
+    pub const WRITE: u8 = 11;
+    pub const CLOSE: u8 = 12;
+}
+
+/// Header bytes a [`NetMsg::Data`] / [`NetMsg::Write`] adds before its
+/// payload — the largest header in the protocol.
+pub const DATA_HEADER: usize = 1 + 8;
+
+impl NetMsg {
+    /// Encoded size of this message in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            NetMsg::OpenListen { .. } | NetMsg::OpenConnect { .. } => 1 + 2 + 4,
+            NetMsg::OpenOk { .. } => 1 + 8 + 1,
+            NetMsg::OpenFail { .. } => 1 + 2,
+            NetMsg::WatchListener { .. } | NetMsg::WatchSocket { .. } => 1 + 8 + 4,
+            NetMsg::WatchBatch { entries } => 1 + 2 + entries.len() * 12,
+            NetMsg::Accepted { .. } => 1 + 8 + 8,
+            NetMsg::Unwatch { .. } | NetMsg::SocketClosed { .. } | NetMsg::Close { .. } => 1 + 8,
+            NetMsg::Data { payload, .. } | NetMsg::Write { payload, .. } => {
+                DATA_HEADER + payload.len()
+            }
+        }
+    }
+
+    /// Encode into `out`, returning the bytes written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is smaller than [`NetMsg::encoded_len`]; size your
+    /// node payloads accordingly.
+    pub fn encode(&self, out: &mut [u8]) -> usize {
+        let needed = self.encoded_len();
+        assert!(out.len() >= needed, "message needs {needed} bytes, buffer has {}", out.len());
+        match self {
+            NetMsg::OpenListen { port, reply } => {
+                out[0] = tag::OPEN_LISTEN;
+                out[1..3].copy_from_slice(&port.to_le_bytes());
+                out[3..7].copy_from_slice(&reply.0.to_le_bytes());
+            }
+            NetMsg::OpenConnect { port, reply } => {
+                out[0] = tag::OPEN_CONNECT;
+                out[1..3].copy_from_slice(&port.to_le_bytes());
+                out[3..7].copy_from_slice(&reply.0.to_le_bytes());
+            }
+            NetMsg::OpenOk { id, listener } => {
+                out[0] = tag::OPEN_OK;
+                out[1..9].copy_from_slice(&id.to_le_bytes());
+                out[9] = *listener as u8;
+            }
+            NetMsg::OpenFail { port } => {
+                out[0] = tag::OPEN_FAIL;
+                out[1..3].copy_from_slice(&port.to_le_bytes());
+            }
+            NetMsg::WatchListener { listener, reply } => {
+                out[0] = tag::WATCH_LISTENER;
+                out[1..9].copy_from_slice(&listener.to_le_bytes());
+                out[9..13].copy_from_slice(&reply.0.to_le_bytes());
+            }
+            NetMsg::Accepted { listener, socket } => {
+                out[0] = tag::ACCEPTED;
+                out[1..9].copy_from_slice(&listener.to_le_bytes());
+                out[9..17].copy_from_slice(&socket.to_le_bytes());
+            }
+            NetMsg::WatchSocket { socket, reply } => {
+                out[0] = tag::WATCH_SOCKET;
+                out[1..9].copy_from_slice(&socket.to_le_bytes());
+                out[9..13].copy_from_slice(&reply.0.to_le_bytes());
+            }
+            NetMsg::WatchBatch { entries } => {
+                out[0] = tag::WATCH_BATCH;
+                out[1..3].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                for (i, (socket, reply)) in entries.iter().enumerate() {
+                    let at = 3 + i * 12;
+                    out[at..at + 8].copy_from_slice(&socket.to_le_bytes());
+                    out[at + 8..at + 12].copy_from_slice(&reply.0.to_le_bytes());
+                }
+            }
+            NetMsg::Unwatch { socket } => {
+                out[0] = tag::UNWATCH;
+                out[1..9].copy_from_slice(&socket.to_le_bytes());
+            }
+            NetMsg::Data { socket, payload } => {
+                out[0] = tag::DATA;
+                out[1..9].copy_from_slice(&socket.to_le_bytes());
+                out[DATA_HEADER..DATA_HEADER + payload.len()].copy_from_slice(payload);
+            }
+            NetMsg::SocketClosed { socket } => {
+                out[0] = tag::SOCKET_CLOSED;
+                out[1..9].copy_from_slice(&socket.to_le_bytes());
+            }
+            NetMsg::Write { socket, payload } => {
+                out[0] = tag::WRITE;
+                out[1..9].copy_from_slice(&socket.to_le_bytes());
+                out[DATA_HEADER..DATA_HEADER + payload.len()].copy_from_slice(payload);
+            }
+            NetMsg::Close { socket } => {
+                out[0] = tag::CLOSE;
+                out[1..9].copy_from_slice(&socket.to_le_bytes());
+            }
+        }
+        needed
+    }
+
+    /// Decode a message from `data`, or `None` when malformed.
+    pub fn decode(data: &[u8]) -> Option<NetMsg> {
+        let (&t, rest) = data.split_first()?;
+        let u16_at = |r: &[u8], o: usize| -> Option<u16> {
+            Some(u16::from_le_bytes([*r.get(o)?, *r.get(o + 1)?]))
+        };
+        let u32_at = |r: &[u8], o: usize| -> Option<u32> {
+            let s = r.get(o..o + 4)?;
+            Some(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+        };
+        let u64_at = |r: &[u8], o: usize| -> Option<u64> {
+            let s = r.get(o..o + 8)?;
+            let mut b = [0u8; 8];
+            b.copy_from_slice(s);
+            Some(u64::from_le_bytes(b))
+        };
+        Some(match t {
+            tag::OPEN_LISTEN => NetMsg::OpenListen {
+                port: u16_at(rest, 0)?,
+                reply: MboxRef(u32_at(rest, 2)?),
+            },
+            tag::OPEN_CONNECT => NetMsg::OpenConnect {
+                port: u16_at(rest, 0)?,
+                reply: MboxRef(u32_at(rest, 2)?),
+            },
+            tag::OPEN_OK => NetMsg::OpenOk {
+                id: u64_at(rest, 0)?,
+                listener: *rest.get(8)? != 0,
+            },
+            tag::OPEN_FAIL => NetMsg::OpenFail {
+                port: u16_at(rest, 0)?,
+            },
+            tag::WATCH_LISTENER => NetMsg::WatchListener {
+                listener: u64_at(rest, 0)?,
+                reply: MboxRef(u32_at(rest, 8)?),
+            },
+            tag::ACCEPTED => NetMsg::Accepted {
+                listener: u64_at(rest, 0)?,
+                socket: u64_at(rest, 8)?,
+            },
+            tag::WATCH_SOCKET => NetMsg::WatchSocket {
+                socket: u64_at(rest, 0)?,
+                reply: MboxRef(u32_at(rest, 8)?),
+            },
+            tag::WATCH_BATCH => {
+                let count = u16_at(rest, 0)? as usize;
+                let mut entries = Vec::with_capacity(count);
+                for i in 0..count {
+                    let at = 2 + i * 12;
+                    entries.push((u64_at(rest, at)?, MboxRef(u32_at(rest, at + 8)?)));
+                }
+                NetMsg::WatchBatch { entries }
+            }
+            tag::UNWATCH => NetMsg::Unwatch {
+                socket: u64_at(rest, 0)?,
+            },
+            tag::DATA => NetMsg::Data {
+                socket: u64_at(rest, 0)?,
+                payload: rest.get(8..)?.to_vec(),
+            },
+            tag::SOCKET_CLOSED => NetMsg::SocketClosed {
+                socket: u64_at(rest, 0)?,
+            },
+            tag::WRITE => NetMsg::Write {
+                socket: u64_at(rest, 0)?,
+                payload: rest.get(8..)?.to_vec(),
+            },
+            tag::CLOSE => NetMsg::Close {
+                socket: u64_at(rest, 0)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: NetMsg) {
+        let mut buf = vec![0u8; msg.encoded_len()];
+        let n = msg.encode(&mut buf);
+        assert_eq!(n, buf.len());
+        assert_eq!(NetMsg::decode(&buf).unwrap(), msg);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(NetMsg::OpenListen { port: 5222, reply: MboxRef(3) });
+        round_trip(NetMsg::OpenConnect { port: 80, reply: MboxRef(0) });
+        round_trip(NetMsg::OpenOk { id: u64::MAX, listener: true });
+        round_trip(NetMsg::OpenOk { id: 7, listener: false });
+        round_trip(NetMsg::OpenFail { port: 1 });
+        round_trip(NetMsg::WatchListener { listener: 9, reply: MboxRef(1) });
+        round_trip(NetMsg::Accepted { listener: 9, socket: 10 });
+        round_trip(NetMsg::WatchSocket { socket: 11, reply: MboxRef(2) });
+        round_trip(NetMsg::Unwatch { socket: 11 });
+        round_trip(NetMsg::WatchBatch { entries: vec![] });
+        round_trip(NetMsg::WatchBatch {
+            entries: (0..40).map(|i| (i as u64 * 7, MboxRef(i))).collect(),
+        });
+        round_trip(NetMsg::Data { socket: 4, payload: b"hello".to_vec() });
+        round_trip(NetMsg::Data { socket: 4, payload: vec![] });
+        round_trip(NetMsg::SocketClosed { socket: 4 });
+        round_trip(NetMsg::Write { socket: 5, payload: vec![0xFF; 100] });
+        round_trip(NetMsg::Close { socket: 5 });
+    }
+
+    #[test]
+    fn malformed_inputs_are_none() {
+        assert!(NetMsg::decode(&[]).is_none());
+        assert!(NetMsg::decode(&[99]).is_none());
+        assert!(NetMsg::decode(&[tag::OPEN_OK, 1, 2]).is_none());
+        assert!(NetMsg::decode(&[tag::ACCEPTED, 0, 0, 0]).is_none());
+        // A batch header promising more entries than present.
+        assert!(NetMsg::decode(&[tag::WATCH_BATCH, 2, 0, 1, 2, 3]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "message needs")]
+    fn encode_into_tiny_buffer_panics() {
+        let mut buf = [0u8; 2];
+        NetMsg::Close { socket: 1 }.encode(&mut buf);
+    }
+}

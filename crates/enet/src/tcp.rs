@@ -1,0 +1,201 @@
+//! A real-socket backend over `std::net` on localhost.
+//!
+//! Functionally interchangeable with [`crate::SimNet`]; useful for
+//! demonstrating that the system actors drive genuine kernel sockets.
+//! Benchmarks use the simulated backend instead, for determinism and
+//! scale.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sgx_sim::{current_domain, CostHandle};
+
+use crate::backend::{ListenerId, NetBackend, NetError, RecvOutcome, SocketId};
+
+/// Real non-blocking TCP sockets bound to 127.0.0.1.
+///
+/// The `port` passed to [`NetBackend::listen`]/[`NetBackend::connect`] is
+/// a *logical* port; the OS assigns an ephemeral port and the mapping is
+/// kept internally, so tests never collide with other processes.
+#[derive(Debug, Clone)]
+pub struct TcpLoopback {
+    inner: Arc<TcpInner>,
+}
+
+#[derive(Debug)]
+struct TcpInner {
+    costs: CostHandle,
+    next_id: AtomicU64,
+    listeners: Mutex<HashMap<u64, TcpListener>>,
+    ports: Mutex<HashMap<u16, u16>>, // logical port -> OS port
+    sockets: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl TcpLoopback {
+    /// A fresh backend charging syscalls through `costs`.
+    pub fn new(costs: CostHandle) -> Self {
+        TcpLoopback {
+            inner: Arc::new(TcpInner {
+                costs,
+                next_id: AtomicU64::new(1),
+                listeners: Mutex::new(HashMap::new()),
+                ports: Mutex::new(HashMap::new()),
+                sockets: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    fn syscall(&self) -> Result<(), NetError> {
+        if current_domain().is_trusted() {
+            return Err(NetError::TrustedDomain);
+        }
+        self.inner.costs.charge_syscall();
+        Ok(())
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.inner.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl NetBackend for TcpLoopback {
+    fn listen(&self, port: u16) -> Result<ListenerId, NetError> {
+        self.syscall()?;
+        let mut ports = self.inner.ports.lock();
+        if ports.contains_key(&port) {
+            return Err(NetError::PortInUse(port));
+        }
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+        listener.set_nonblocking(true)?;
+        let os_port = listener.local_addr()?.port();
+        ports.insert(port, os_port);
+        let id = self.fresh_id();
+        self.inner.listeners.lock().insert(id, listener);
+        Ok(ListenerId(id))
+    }
+
+    fn connect(&self, port: u16) -> Result<SocketId, NetError> {
+        self.syscall()?;
+        let os_port = *self
+            .inner
+            .ports
+            .lock()
+            .get(&port)
+            .ok_or(NetError::ConnectionRefused(port))?;
+        let stream =
+            TcpStream::connect((Ipv4Addr::LOCALHOST, os_port)).map_err(|_| NetError::ConnectionRefused(port))?;
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        let id = self.fresh_id();
+        self.inner.sockets.lock().insert(id, stream);
+        Ok(SocketId(id))
+    }
+
+    fn accept(&self, listener: ListenerId) -> Result<Option<SocketId>, NetError> {
+        self.syscall()?;
+        let listeners = self.inner.listeners.lock();
+        let l = listeners.get(&listener.0).ok_or(NetError::BadSocket)?;
+        match l.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(true)?;
+                stream.set_nodelay(true)?;
+                let id = self.fresh_id();
+                drop(listeners);
+                self.inner.sockets.lock().insert(id, stream);
+                Ok(Some(SocketId(id)))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn send(&self, socket: SocketId, data: &[u8]) -> Result<usize, NetError> {
+        self.syscall()?;
+        let mut sockets = self.inner.sockets.lock();
+        let s = sockets.get_mut(&socket.0).ok_or(NetError::BadSocket)?;
+        match s.write(data) {
+            Ok(n) => Ok(n),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(0),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn recv(&self, socket: SocketId, buf: &mut [u8]) -> Result<RecvOutcome, NetError> {
+        self.syscall()?;
+        let mut sockets = self.inner.sockets.lock();
+        let s = sockets.get_mut(&socket.0).ok_or(NetError::BadSocket)?;
+        match s.read(buf) {
+            Ok(0) => Ok(RecvOutcome::Eof),
+            Ok(n) => Ok(RecvOutcome::Data(n)),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(RecvOutcome::WouldBlock),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn close(&self, socket: SocketId) -> Result<(), NetError> {
+        self.syscall()?;
+        self.inner
+            .sockets
+            .lock()
+            .remove(&socket.0)
+            .map(drop)
+            .ok_or(NetError::BadSocket)
+    }
+
+    fn close_listener(&self, listener: ListenerId) -> Result<(), NetError> {
+        self.syscall()?;
+        let mut listeners = self.inner.listeners.lock();
+        listeners.remove(&listener.0).ok_or(NetError::BadSocket)?;
+        // Free the logical port mapping.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgx_sim::{CostModel, Platform};
+
+    fn net() -> TcpLoopback {
+        TcpLoopback::new(Platform::builder().cost_model(CostModel::zero()).build().costs())
+    }
+
+    #[test]
+    fn real_sockets_round_trip() {
+        let n = net();
+        let l = n.listen(5222).unwrap();
+        let c = n.connect(5222).unwrap();
+        // Accept may need a beat on a real kernel.
+        let s = loop {
+            if let Some(s) = n.accept(l).unwrap() {
+                break s;
+            }
+            std::thread::yield_now();
+        };
+        assert!(n.send(c, b"hello").unwrap() > 0);
+        let mut buf = [0u8; 16];
+        let got = loop {
+            match n.recv(s, &mut buf).unwrap() {
+                RecvOutcome::Data(k) => break k,
+                RecvOutcome::WouldBlock => std::thread::yield_now(),
+                RecvOutcome::Eof => panic!("unexpected eof"),
+            }
+        };
+        assert_eq!(&buf[..got], b"hello");
+        n.close(c).unwrap();
+        n.close(s).unwrap();
+        n.close_listener(l).unwrap();
+    }
+
+    #[test]
+    fn enclave_code_cannot_use_real_sockets() {
+        let p = Platform::builder().cost_model(CostModel::zero()).build();
+        let n = TcpLoopback::new(p.costs());
+        let e = p.create_enclave("svc", 0).unwrap();
+        assert!(matches!(e.ecall(|| n.listen(1)), Err(NetError::TrustedDomain)));
+    }
+}

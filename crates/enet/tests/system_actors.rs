@@ -1,0 +1,209 @@
+//! Integration tests of the networking system actors beyond the happy
+//! path: batch subscriptions, multiple listeners, closer semantics and
+//! real-socket interchangeability.
+
+use std::sync::Arc;
+
+use eactors::actor::Actor;
+use eactors::arena::{Arena, Mbox};
+use eactors::prelude::*;
+use enet::{
+    recv_msg, send_msg, MboxDirectory, NetBackend, NetMsg, RecvOutcome, SimNet, SystemActors,
+    TcpLoopback,
+};
+use sgx_sim::{CostModel, Platform};
+
+fn platform() -> Platform {
+    Platform::builder().cost_model(CostModel::zero()).build()
+}
+
+/// Drive a single actor until `done` reports completion.
+fn drive_actor(platform: &Platform, mut actor: impl Actor + 'static, done: impl FnMut(&mut Ctx) -> Control + Send + 'static) {
+    let mut b = DeploymentBuilder::new();
+    let a = b.actor(
+        "subject",
+        Placement::Untrusted,
+        eactors::from_fn(move |ctx| actor.body(ctx)),
+    );
+    let d = b.actor("checker", Placement::Untrusted, eactors::from_fn(done));
+    b.worker(&[a, d]);
+    Runtime::start(platform, b.build().expect("valid")).expect("start").join();
+}
+
+#[test]
+fn reader_batch_subscription_serves_all_sockets() {
+    let p = platform();
+    let sim = SimNet::new(p.costs());
+    let net: Arc<dyn NetBackend> = Arc::new(sim.clone());
+    let pool = Arena::new("pool", 128, 256);
+    let sys = SystemActors::new(net, pool.clone());
+
+    // Three connected socket pairs.
+    let l = sim.listen(9).unwrap();
+    let mut pairs = Vec::new();
+    for _ in 0..3 {
+        let c = sim.connect(9).unwrap();
+        let s = sim.accept(l).unwrap().unwrap();
+        pairs.push((c, s));
+    }
+
+    // One reply mbox per server socket (the per-user mbox pattern).
+    let replies: Vec<_> = (0..3).map(|_| Mbox::new(pool.clone(), 16)).collect();
+    let entries: Vec<(u64, enet::MboxRef)> = pairs
+        .iter()
+        .zip(&replies)
+        .map(|((_, s), mbox)| (s.0, sys.dir.register(mbox.clone())))
+        .collect();
+    assert!(send_msg(&sys.reader_requests, &NetMsg::WatchBatch { entries }));
+
+    // Send distinct payloads from each client.
+    for (i, (c, _)) in pairs.iter().enumerate() {
+        sim.send(*c, format!("payload-{i}").as_bytes()).unwrap();
+    }
+
+    let replies2 = replies.clone();
+    let mut got = [false; 3];
+    drive_actor(&p, sys.reader, move |ctx| {
+        for (i, mbox) in replies2.iter().enumerate() {
+            if let Some(NetMsg::Data { payload, .. }) = recv_msg(mbox) {
+                assert_eq!(payload, format!("payload-{i}").into_bytes());
+                got[i] = true;
+            }
+        }
+        if got.iter().all(|&g| g) {
+            ctx.shutdown();
+            Control::Park
+        } else {
+            Control::Idle
+        }
+    });
+}
+
+#[test]
+fn accepter_watches_multiple_listeners() {
+    let p = platform();
+    let sim = SimNet::new(p.costs());
+    let net: Arc<dyn NetBackend> = Arc::new(sim.clone());
+    let pool = Arena::new("pool", 64, 128);
+    let sys = SystemActors::new(net, pool.clone());
+
+    let l1 = sim.listen(100).unwrap();
+    let l2 = sim.listen(200).unwrap();
+    let replies = Mbox::new(pool, 16);
+    let r = sys.dir.register(replies.clone());
+    send_msg(&sys.accepter_requests, &NetMsg::WatchListener { listener: l1.0, reply: r });
+    send_msg(&sys.accepter_requests, &NetMsg::WatchListener { listener: l2.0, reply: r });
+
+    sim.connect(100).unwrap();
+    sim.connect(200).unwrap();
+    sim.connect(100).unwrap();
+
+    let mut seen = Vec::new();
+    drive_actor(&p, sys.accepter, move |ctx| {
+        while let Some(NetMsg::Accepted { listener, .. }) = recv_msg(&replies) {
+            seen.push(listener);
+        }
+        if seen.iter().filter(|&&l| l == l1.0).count() == 2
+            && seen.iter().filter(|&&l| l == l2.0).count() == 1
+        {
+            ctx.shutdown();
+            Control::Park
+        } else {
+            Control::Idle
+        }
+    });
+}
+
+#[test]
+fn closer_closes_and_peer_sees_eof() {
+    let p = platform();
+    let sim = SimNet::new(p.costs());
+    let net: Arc<dyn NetBackend> = Arc::new(sim.clone());
+    let pool = Arena::new("pool", 16, 64);
+    let sys = SystemActors::new(net, pool);
+
+    let l = sim.listen(9).unwrap();
+    let c = sim.connect(9).unwrap();
+    let s = sim.accept(l).unwrap().unwrap();
+    send_msg(&sys.closer_requests, &NetMsg::Close { socket: s.0 });
+
+    let sim2 = sim.clone();
+    drive_actor(&p, sys.closer, move |ctx| {
+        let mut buf = [0u8; 8];
+        match sim2.recv(c, &mut buf) {
+            Ok(RecvOutcome::Eof) => {
+                ctx.shutdown();
+                Control::Park
+            }
+            _ => Control::Idle,
+        }
+    });
+}
+
+#[test]
+fn system_actors_work_over_real_tcp_sockets() {
+    // The same actor set over the std::net loopback backend: backends
+    // are interchangeable.
+    let p = platform();
+    let tcp = TcpLoopback::new(p.costs());
+    let net: Arc<dyn NetBackend> = Arc::new(tcp.clone());
+    let pool = Arena::new("pool", 64, 512);
+    let sys = SystemActors::new(net, pool.clone());
+
+    let replies = Mbox::new(pool, 32);
+    let r = sys.dir.register(replies.clone());
+    send_msg(&sys.opener_requests, &NetMsg::OpenListen { port: 777, reply: r });
+
+    // Run opener + accepter + reader together.
+    let mut opener = sys.opener;
+    let mut accepter = sys.accepter;
+    let mut reader = sys.reader;
+    let accepter_rq = sys.accepter_requests.clone();
+    let reader_rq = sys.reader_requests.clone();
+
+    let tcp2 = tcp.clone();
+    let mut client = None;
+    let done = move |ctx: &mut Ctx| {
+        match recv_msg(&replies) {
+            Some(NetMsg::OpenOk { id, listener: true }) => {
+                send_msg(&accepter_rq, &NetMsg::WatchListener { listener: id, reply: r });
+                client = Some(tcp2.connect(777).unwrap());
+                return Control::Busy;
+            }
+            Some(NetMsg::Accepted { socket, .. }) => {
+                send_msg(&reader_rq, &NetMsg::WatchSocket { socket, reply: r });
+                tcp2.send(client.unwrap(), b"over real tcp").unwrap();
+                return Control::Busy;
+            }
+            Some(NetMsg::Data { payload, .. }) => {
+                assert_eq!(payload, b"over real tcp");
+                ctx.shutdown();
+                return Control::Park;
+            }
+            _ => {}
+        }
+        Control::Idle
+    };
+
+    let mut b = DeploymentBuilder::new();
+    let a1 = b.actor("opener", Placement::Untrusted, eactors::from_fn(move |ctx| opener.body(ctx)));
+    let a2 = b.actor("accepter", Placement::Untrusted, eactors::from_fn(move |ctx| accepter.body(ctx)));
+    let a3 = b.actor("reader", Placement::Untrusted, eactors::from_fn(move |ctx| reader.body(ctx)));
+    let a4 = b.actor("driver", Placement::Untrusted, eactors::from_fn(done));
+    b.worker(&[a1, a2, a3, a4]);
+    Runtime::start(&p, b.build().expect("valid")).expect("start").join();
+}
+
+#[test]
+fn directory_shared_across_actor_sets() {
+    // Two independent actor sets can share one MboxDirectory through the
+    // same arena without handle collisions.
+    let pool = Arena::new("pool", 16, 64);
+    let dir = MboxDirectory::new();
+    let handles: Vec<_> = (0..8).map(|_| dir.register(Mbox::new(pool.clone(), 4))).collect();
+    let unique: std::collections::HashSet<_> = handles.iter().map(|h| h.0).collect();
+    assert_eq!(unique.len(), 8);
+    for h in &handles {
+        assert!(dir.get(*h).is_some());
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type of the Persistent Object Store.
+
+use std::fmt;
+
+/// Errors returned by [`crate::PosStore`] operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PosError {
+    /// No free entries remain; run the cleaner or grow the store.
+    Full,
+    /// A key or combined key/value pair exceeds the entry payload size.
+    TooLarge {
+        /// Bytes needed to store the pair.
+        needed: usize,
+        /// Entry payload capacity.
+        capacity: usize,
+    },
+    /// The caller's output buffer is too small for the stored value.
+    BufferTooSmall {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes provided.
+        got: usize,
+    },
+    /// Decryption of a stored pair failed (corruption or wrong key).
+    Crypto(sgx_sim::SgxError),
+    /// The persisted image is malformed.
+    Corrupt(&'static str),
+    /// An I/O error while persisting or opening a store file.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PosError::Full => write!(f, "object store is full (run the cleaner or grow it)"),
+            PosError::TooLarge { needed, capacity } => {
+                write!(f, "pair needs {needed} bytes but entries hold {capacity}")
+            }
+            PosError::BufferTooSmall { needed, got } => {
+                write!(f, "output buffer too small: need {needed} bytes, got {got}")
+            }
+            PosError::Crypto(e) => write!(f, "stored pair failed decryption: {e}"),
+            PosError::Corrupt(what) => write!(f, "persisted store image is corrupt: {what}"),
+            PosError::Io(e) => write!(f, "store i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PosError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PosError::Crypto(e) => Some(e),
+            PosError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PosError {
+    fn from(e: std::io::Error) -> Self {
+        PosError::Io(e)
+    }
+}
+
+impl From<sgx_sim::SgxError> for PosError {
+    fn from(e: sgx_sim::SgxError) -> Self {
+        PosError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errors = [
+            PosError::Full,
+            PosError::TooLarge { needed: 10, capacity: 4 },
+            PosError::BufferTooSmall { needed: 8, got: 2 },
+            PosError::Crypto(sgx_sim::SgxError::MacMismatch),
+            PosError::Corrupt("bad magic"),
+            PosError::Io(std::io::Error::other("disk on fire")),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+            assert!(!format!("{e:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let e: PosError = std::io::Error::other("x").into();
+        assert!(matches!(e, PosError::Io(_)));
+        let e: PosError = sgx_sim::SgxError::MacMismatch.into();
+        assert!(matches!(e, PosError::Crypto(_)));
+    }
+}

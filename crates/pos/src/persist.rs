@@ -1,0 +1,201 @@
+//! Persistence: dump and restore the store region.
+//!
+//! The paper's POS is a memory-mapped file that leans on the kernel page
+//! cache, syncing only occasionally (§4.1). Without `mmap` in our
+//! dependency budget we simulate the same life cycle with an explicit
+//! binary image: [`PosStore::persist`] is the `sync`, [`PosStore::open`]
+//! is the boot-time mapping. The on-disk layout mirrors Figure 4:
+//! superblock (magic, version, geometry, epoch), sealed keys, stack
+//! heads, entry headers, payload region, and the retired list.
+
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::error::PosError;
+use crate::store::{state, PosConfig, PosEncryption, PosStore, Retired, NIL};
+
+const MAGIC: u64 = 0x4541_504F_5356_3031; // "EAPOSV01"
+const VERSION: u32 = 1;
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PosError> {
+        if self.pos + n > self.data.len() {
+            return Err(PosError::Corrupt("image truncated"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, PosError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, PosError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, PosError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+}
+
+impl PosStore {
+    /// Serialise the whole store into a byte image.
+    pub fn to_image(&self) -> Vec<u8> {
+        let entries = self.capacity();
+        let payload = self.payload_size();
+        let stacks = self.stack_heads();
+        let mut out = Vec::with_capacity(64 + entries as usize * (payload + 21));
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&entries.to_le_bytes());
+        out.extend_from_slice(&(payload as u64).to_le_bytes());
+        out.extend_from_slice(&(stacks.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.epochs.current().to_le_bytes());
+        out.extend_from_slice(&self.free_head_word().to_le_bytes());
+        out.extend_from_slice(&self.free_entries().to_le_bytes());
+        let sealed = self.sealed_keys();
+        out.extend_from_slice(&(sealed.len() as u32).to_le_bytes());
+        out.extend_from_slice(&sealed);
+        for h in stacks {
+            out.extend_from_slice(&h.load(Ordering::Acquire).to_le_bytes());
+        }
+        for i in 0..entries {
+            let h = self.header(i);
+            out.extend_from_slice(&h.next.load(Ordering::Acquire).to_le_bytes());
+            out.push(h.state.load(Ordering::Acquire));
+            out.extend_from_slice(&h.khash.load(Ordering::Relaxed).to_le_bytes());
+            out.extend_from_slice(&h.klen.load(Ordering::Relaxed).to_le_bytes());
+            out.extend_from_slice(&h.vlen.load(Ordering::Relaxed).to_le_bytes());
+        }
+        for i in 0..entries {
+            out.extend_from_slice(self.raw_payload(i));
+        }
+        let retired = self.retired.lock();
+        out.extend_from_slice(&(retired.len() as u32).to_le_bytes());
+        for r in retired.iter() {
+            out.extend_from_slice(&r.idx.to_le_bytes());
+            out.extend_from_slice(&r.epoch.to_le_bytes());
+            out.push(r.unlinked as u8);
+        }
+        out
+    }
+
+    /// Write the store image to `path` (the paper's occasional `sync`).
+    ///
+    /// Quiesce writers first for a consistent image; concurrent readers
+    /// are harmless.
+    ///
+    /// # Errors
+    ///
+    /// [`PosError::Io`] on filesystem failure.
+    pub fn persist(&self, path: impl AsRef<Path>) -> Result<(), PosError> {
+        let image = self.to_image();
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&image)?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    /// Reconstruct a store from a byte image.
+    ///
+    /// `encryption` must match what the store was created with (pass the
+    /// key recovered from the sealed-keys blob). After a reboot no
+    /// readers exist, so all pending retirees are reclaimed immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`PosError::Corrupt`] on a malformed image.
+    pub fn from_image(image: &[u8], encryption: Option<PosEncryption>) -> Result<Arc<Self>, PosError> {
+        let mut c = Cursor { data: image, pos: 0 };
+        if c.u64()? != MAGIC {
+            return Err(PosError::Corrupt("bad magic"));
+        }
+        if c.u32()? != VERSION {
+            return Err(PosError::Corrupt("unsupported version"));
+        }
+        let entries = c.u32()?;
+        let payload = c.u64()? as usize;
+        let stacks = c.u32()?;
+        if entries == 0 || payload == 0 || stacks == 0 {
+            return Err(PosError::Corrupt("zero geometry"));
+        }
+        let epoch = c.u64()?;
+        let free_head = c.u64()?;
+        let free_count = c.u64()?;
+        let sealed_len = c.u32()? as usize;
+        let sealed = c.take(sealed_len)?.to_vec();
+
+        let store = PosStore::new(PosConfig {
+            entries,
+            payload,
+            stacks,
+            encryption,
+        });
+        store.set_sealed_keys(&sealed);
+        for _ in 0..epoch {
+            store.epochs.advance();
+        }
+        for head in store.stack_heads() {
+            head.store(c.u32()?, Ordering::Release);
+        }
+        for i in 0..entries {
+            let h = store.header(i);
+            h.next.store(c.u32()?, Ordering::Release);
+            let st = c.u8()?;
+            if st > state::UNLINKED {
+                return Err(PosError::Corrupt("bad entry state"));
+            }
+            h.state.store(st, Ordering::Release);
+            h.khash.store(c.u64()?, Ordering::Relaxed);
+            h.klen.store(c.u32()?, Ordering::Relaxed);
+            h.vlen.store(c.u32()?, Ordering::Relaxed);
+        }
+        for i in 0..entries {
+            let src = c.take(payload)?;
+            store.load_payload(i, src);
+        }
+        store.restore_free_head(free_head, free_count);
+        let n_retired = c.u32()? as usize;
+        let mut retired = Vec::with_capacity(n_retired);
+        for _ in 0..n_retired {
+            let idx = c.u32()?;
+            if idx >= entries && idx != NIL {
+                return Err(PosError::Corrupt("retired index out of range"));
+            }
+            retired.push(Retired {
+                idx,
+                epoch: c.u64()?,
+                unlinked: c.u8()? != 0,
+            });
+        }
+        *store.retired.lock() = retired;
+        // Fresh boot: no readers can be pinned, reclaim everything now.
+        store.clean_to_quiescence();
+        Ok(store)
+    }
+
+    /// Read a store image from `path` (the boot-time mapping).
+    ///
+    /// # Errors
+    ///
+    /// [`PosError::Io`] on filesystem failure, [`PosError::Corrupt`] on a
+    /// malformed image.
+    pub fn open(path: impl AsRef<Path>, encryption: Option<PosEncryption>) -> Result<Arc<Self>, PosError> {
+        let mut data = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut data)?;
+        Self::from_image(&data, encryption)
+    }
+}

@@ -1,0 +1,186 @@
+//! The Syncer: an untrusted eactor making store state durable.
+//!
+//! The paper's POS "allows us to avoid system calls besides infrequent
+//! calls to make the in-memory state actually persistent (i.e. using
+//! sync)" and notes that file-system storage is provided "by implementing
+//! dedicated untrusted eactors that execute the necessary system calls"
+//! (§4.1). The [`Syncer`] is that eactor: it periodically writes every
+//! registered store's image to its file, charging the syscall cost —
+//! enclaved actors never touch the filesystem.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use eactors::actor::{Actor, Control, Ctx};
+
+use crate::store::PosStore;
+
+/// Periodically persists registered stores (run it untrusted).
+///
+/// # Examples
+///
+/// ```
+/// use pos::{PosConfig, PosStore, Syncer};
+///
+/// let store = PosStore::new(PosConfig::default());
+/// let path = std::env::temp_dir().join("syncer-doc.pos");
+/// let syncer = Syncer::new(vec![(store, path.clone())], 100);
+/// # let _ = syncer;
+/// # std::fs::remove_file(path).ok();
+/// ```
+#[derive(Debug)]
+pub struct Syncer {
+    stores: Vec<(Arc<PosStore>, PathBuf)>,
+    interval: u64,
+    countdown: u64,
+    syncs: Arc<AtomicU64>,
+    failures: Arc<AtomicU64>,
+}
+
+impl Syncer {
+    /// A syncer persisting `stores` every `interval` body executions
+    /// (minimum 1).
+    pub fn new(stores: Vec<(Arc<PosStore>, PathBuf)>, interval: u64) -> Self {
+        let interval = interval.max(1);
+        Syncer {
+            stores,
+            interval,
+            countdown: interval,
+            syncs: Arc::new(AtomicU64::new(0)),
+            failures: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Shared counter of completed sync passes (all stores written).
+    pub fn syncs(&self) -> Arc<AtomicU64> {
+        self.syncs.clone()
+    }
+
+    /// Shared counter of failed persist attempts.
+    pub fn failures(&self) -> Arc<AtomicU64> {
+        self.failures.clone()
+    }
+}
+
+impl Actor for Syncer {
+    fn body(&mut self, ctx: &mut Ctx) -> Control {
+        self.countdown -= 1;
+        if self.countdown > 0 {
+            return Control::Idle;
+        }
+        self.countdown = self.interval;
+        debug_assert!(
+            !ctx.domain().is_trusted(),
+            "the Syncer performs system calls and must run untrusted"
+        );
+        for (store, path) in &self.stores {
+            ctx.costs().charge_syscall(); // the sync(2)-style call
+            match store.persist(path) {
+                Ok(()) => {}
+                Err(_) => {
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    return Control::Idle;
+                }
+            }
+        }
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        Control::Busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PosConfig, PosStore};
+    use eactors::prelude::*;
+    use sgx_sim::{CostModel, Platform};
+
+    #[test]
+    fn syncer_persists_live_updates_from_an_enclaved_writer() {
+        let dir = std::env::temp_dir().join(format!("syncer-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live.pos");
+        let store = PosStore::new(PosConfig {
+            entries: 32,
+            payload: 64,
+            stacks: 4,
+            encryption: None,
+        });
+
+        let platform = Platform::builder().cost_model(CostModel::zero()).build();
+        let mut b = DeploymentBuilder::new();
+        let e = b.enclave("writer-enclave");
+
+        // An enclaved writer updating the store — no filesystem access.
+        let store_w = store.clone();
+        let mut i = 0u64;
+        let writer = b.actor(
+            "writer",
+            Placement::Enclave(e),
+            eactors::from_fn(move |_| {
+                if i == 20 {
+                    return Control::Park;
+                }
+                let r = store_w.register_reader();
+                store_w.set(&r, b"progress", &i.to_le_bytes()).unwrap();
+                store_w.clean();
+                i += 1;
+                Control::Busy
+            }),
+        );
+        let syncer = Syncer::new(vec![(store.clone(), path.clone())], 1);
+        let syncs = syncer.syncs();
+        let s = b.actor("syncer", Placement::Untrusted, syncer);
+        let syncs2 = syncs.clone();
+        let stopper = b.actor(
+            "stopper",
+            Placement::Untrusted,
+            eactors::from_fn(move |ctx| {
+                if syncs2.load(Ordering::Relaxed) >= 5 {
+                    ctx.shutdown();
+                    Control::Park
+                } else {
+                    Control::Idle
+                }
+            }),
+        );
+        b.worker(&[writer]);
+        b.worker(&[s, stopper]);
+        Runtime::start(&platform, b.build().unwrap()).unwrap().join();
+
+        // The persisted image is loadable and holds a progress value.
+        let reopened = PosStore::open(&path, None).unwrap();
+        let r = reopened.register_reader();
+        let mut buf = [0u8; 8];
+        assert!(reopened.get(&r, b"progress", &mut buf).unwrap().is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failures_are_counted_not_fatal() {
+        let store = PosStore::new(PosConfig::default());
+        let bad_path = PathBuf::from("/nonexistent-dir-zzz/image.pos");
+        let platform = Platform::builder().cost_model(CostModel::zero()).build();
+        let mut b = DeploymentBuilder::new();
+        let syncer = Syncer::new(vec![(store, bad_path)], 1);
+        let failures = syncer.failures();
+        let s = b.actor("syncer", Placement::Untrusted, syncer);
+        let failures2 = failures.clone();
+        let stopper = b.actor(
+            "stopper",
+            Placement::Untrusted,
+            eactors::from_fn(move |ctx| {
+                if failures2.load(Ordering::Relaxed) >= 3 {
+                    ctx.shutdown();
+                    Control::Park
+                } else {
+                    Control::Idle
+                }
+            }),
+        );
+        b.worker(&[s, stopper]);
+        Runtime::start(&platform, b.build().unwrap()).unwrap().join();
+        assert!(failures.load(Ordering::Relaxed) >= 3);
+    }
+}

@@ -1,0 +1,182 @@
+//! Stress and recovery tests of the Persistent Object Store: heavy
+//! concurrent churn with an aggressive cleaner, crash-style persistence
+//! (image taken while retirees are pending), and entry conservation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use pos::{PosConfig, PosError, PosStore};
+
+#[test]
+fn churn_with_aggressive_cleaner_conserves_entries() {
+    let entries = 2048u32;
+    let store = PosStore::new(PosConfig {
+        entries,
+        payload: 64,
+        stacks: 16,
+        encryption: None,
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        // Four writers churning four keys each.
+        for w in 0..4 {
+            let store = store.clone();
+            s.spawn(move || {
+                let r = store.register_reader();
+                for i in 0..3_000u64 {
+                    let key = format!("w{w}-k{}", i % 4);
+                    loop {
+                        match store.set(&r, key.as_bytes(), &i.to_le_bytes()) {
+                            Ok(()) => break,
+                            Err(PosError::Full) => {
+                                store.clean();
+                                std::thread::yield_now();
+                            }
+                            Err(e) => panic!("{e}"),
+                        }
+                    }
+                    if i % 5 == 0 {
+                        store.delete(&r, key.as_bytes()).ok();
+                    }
+                }
+            });
+        }
+        // Two readers validating monotonicity per key.
+        for w in 0..2 {
+            let store = store.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                let r = store.register_reader();
+                let mut buf = [0u8; 8];
+                let mut last = [0u64; 4];
+                while !stop.load(Ordering::Relaxed) {
+                    for (k, floor) in last.iter_mut().enumerate() {
+                        let key = format!("w{w}-k{k}");
+                        if let Ok(Some(8)) = store.get(&r, key.as_bytes(), &mut buf) {
+                            let v = u64::from_le_bytes(buf);
+                            assert!(v >= *floor, "key {key} went backwards: {v} < {floor}");
+                            *floor = v;
+                        }
+                    }
+                }
+            });
+        }
+        // The cleaner racing everything.
+        let store2 = store.clone();
+        let stop2 = stop.clone();
+        let cleaner = s.spawn(move || {
+            let mut freed = 0usize;
+            while !stop2.load(Ordering::Relaxed) {
+                freed += store2.clean();
+            }
+            freed
+        });
+        // Writers are the first four spawned handles; scope joins all at
+        // the end — signal the open-ended threads once writers are done.
+        // (Writers finish on their own; give them time.)
+        std::thread::sleep(std::time::Duration::from_millis(600));
+        stop.store(true, Ordering::Relaxed);
+        let _ = cleaner;
+    });
+
+    // Quiesce: all superseded versions reclaimable, live keys intact.
+    store.clean_to_quiescence();
+    let live = entries as u64 - store.free_entries();
+    assert!(live <= 16, "at most one live version per 16 keys, found {live}");
+}
+
+#[test]
+fn image_taken_mid_churn_recovers_consistently() {
+    // Persist while retirees are pending (as a crash-consistent snapshot
+    // would); reopening must reclaim them and serve the newest values.
+    let store = PosStore::new(PosConfig {
+        entries: 64,
+        payload: 64,
+        stacks: 4,
+        encryption: None,
+    });
+    let r = store.register_reader();
+    for i in 0..10u64 {
+        store.set(&r, b"alpha", &i.to_le_bytes()).unwrap();
+        store.set(&r, b"beta", &(i * 2).to_le_bytes()).unwrap();
+    }
+    // No clean() — the retired list is full of pending entries.
+    let image = store.to_image();
+    let before_free = store.free_entries();
+
+    let reopened = PosStore::from_image(&image, None).unwrap();
+    let r2 = reopened.register_reader();
+    let mut buf = [0u8; 8];
+    assert_eq!(reopened.get(&r2, b"alpha", &mut buf).unwrap(), Some(8));
+    assert_eq!(u64::from_le_bytes(buf), 9);
+    assert_eq!(reopened.get(&r2, b"beta", &mut buf).unwrap(), Some(8));
+    assert_eq!(u64::from_le_bytes(buf), 18);
+    // Boot-time cleaning reclaimed what the live store had not.
+    assert!(
+        reopened.free_entries() > before_free,
+        "reopen must reclaim pending retirees ({} vs {before_free})",
+        reopened.free_entries()
+    );
+}
+
+#[test]
+fn many_keys_across_many_stacks() {
+    let store = PosStore::new(PosConfig {
+        entries: 4096,
+        payload: 96,
+        stacks: 64,
+        encryption: None,
+    });
+    let r = store.register_reader();
+    for i in 0..2_000u32 {
+        store
+            .set(&r, format!("key-{i}").as_bytes(), format!("value-{i}").as_bytes())
+            .unwrap();
+    }
+    let mut buf = [0u8; 96];
+    for i in (0..2_000u32).step_by(37) {
+        let n = store
+            .get(&r, format!("key-{i}").as_bytes(), &mut buf)
+            .unwrap()
+            .expect("present");
+        assert_eq!(&buf[..n], format!("value-{i}").as_bytes());
+    }
+}
+
+#[test]
+fn sealed_keys_blob_survives_round_trips() {
+    let store = PosStore::new(PosConfig::default());
+    assert!(store.sealed_keys().is_empty());
+    store.set_sealed_keys(&[7u8; 96]);
+    let image = store.to_image();
+    let reopened = PosStore::from_image(&image, None).unwrap();
+    assert_eq!(reopened.sealed_keys(), vec![7u8; 96]);
+    // Overwrite works.
+    reopened.set_sealed_keys(b"v2");
+    assert_eq!(reopened.sealed_keys(), b"v2");
+}
+
+#[test]
+fn tombstones_are_eventually_reclaimed() {
+    let store = PosStore::new(PosConfig {
+        entries: 16,
+        payload: 64,
+        stacks: 2,
+        encryption: None,
+    });
+    let r = store.register_reader();
+    for i in 0..4u8 {
+        store.set(&r, format!("k{i}").as_bytes(), &[i]).unwrap();
+        store.delete(&r, format!("k{i}").as_bytes()).unwrap();
+    }
+    // 4 shadowed values + 4 tombstones outstanding.
+    assert_eq!(store.free_entries(), 8);
+    store.clean_to_quiescence();
+    // Everything — including the tombstones — returns to the pool.
+    assert_eq!(store.free_entries(), 16);
+    let mut buf = [0u8; 8];
+    for i in 0..4u8 {
+        assert_eq!(store.get(&r, format!("k{i}").as_bytes(), &mut buf).unwrap(), None);
+    }
+}

@@ -1,0 +1,216 @@
+//! Local attestation and session establishment between enclaves.
+//!
+//! EActors channels that cross enclave boundaries encrypt their payloads;
+//! the key is agreed through SGX local attestation (§3.3). This module
+//! simulates the SDK flow: a *report* over the initiator's identity, MACed
+//! with a key only enclaves on the same platform can derive, verified by
+//! the target, followed by derivation of a shared session key bound to the
+//! two identities.
+
+use crate::crypto::{mix64, SessionKey};
+use crate::domain::current_domain;
+use crate::enclave::Enclave;
+use crate::error::SgxError;
+
+/// A local attestation report: evidence that `source` runs on the same
+/// platform as the target it names.
+///
+/// Produced by [`create_report`], checked by [`verify_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    source_measurement: u64,
+    target_measurement: u64,
+    mac: u64,
+}
+
+impl Report {
+    /// Measurement of the enclave that produced this report.
+    pub fn source_measurement(&self) -> u64 {
+        self.source_measurement
+    }
+}
+
+fn report_mac(platform_secret: u64, source: u64, target: u64) -> u64 {
+    mix64(platform_secret ^ mix64(source) ^ mix64(target.rotate_left(13)))
+}
+
+/// Create a report attesting `source` towards an enclave with
+/// `target_measurement`.
+///
+/// # Errors
+///
+/// [`SgxError::WrongDomain`] if the thread is not inside `source`.
+pub fn create_report(source: &Enclave, target_measurement: u64) -> Result<Report, SgxError> {
+    if current_domain() != source.domain() {
+        return Err(SgxError::WrongDomain {
+            expected: "inside the reporting enclave",
+        });
+    }
+    // Report generation is an EREPORT plus MAC: small fixed cost.
+    source.costs().charge(500);
+    Ok(Report {
+        source_measurement: source.measurement().as_u64(),
+        target_measurement,
+        mac: report_mac(
+            source.inner.platform_secret,
+            source.measurement().as_u64(),
+            target_measurement,
+        ),
+    })
+}
+
+/// Verify a report inside `target`.
+///
+/// # Errors
+///
+/// * [`SgxError::WrongDomain`] if the thread is not inside `target`;
+/// * [`SgxError::ReportVerification`] if the report was not produced for
+///   this target on this platform.
+pub fn verify_report(target: &Enclave, report: &Report) -> Result<(), SgxError> {
+    if current_domain() != target.domain() {
+        return Err(SgxError::WrongDomain {
+            expected: "inside the verifying enclave",
+        });
+    }
+    target.costs().charge(500);
+    let expected = report_mac(
+        target.inner.platform_secret,
+        report.source_measurement,
+        report.target_measurement,
+    );
+    if report.target_measurement != target.measurement().as_u64() || report.mac != expected {
+        return Err(SgxError::ReportVerification);
+    }
+    Ok(())
+}
+
+/// Derive the shared session key two attested enclaves agree on.
+///
+/// Both sides compute the same key from the platform secret and the pair
+/// of measurements (order-independent), plus a caller-chosen channel
+/// discriminator so distinct channels between the same enclaves use
+/// distinct keys.
+fn derive_session_key(platform_secret: u64, a: u64, b: u64, channel: u64) -> SessionKey {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    SessionKey::derive(&[platform_secret, lo, hi, channel])
+}
+
+/// Run the full local-attestation handshake between `initiator` and
+/// `client`, returning the shared session key for `channel`.
+///
+/// This is the framework entry point used when an encrypted channel is
+/// connected (§3.3): initiator reports to client, client verifies and
+/// reports back, initiator verifies, both derive the key. The function
+/// performs the ECalls itself, so call it from untrusted setup code.
+///
+/// # Errors
+///
+/// [`SgxError::ReportVerification`] if either verification fails (e.g. the
+/// enclaves live on different simulated platforms).
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::{attest, Platform};
+///
+/// let platform = Platform::builder().build();
+/// let a = platform.create_enclave("a", 4096)?;
+/// let b = platform.create_enclave("b", 4096)?;
+/// let key_a = attest::establish_session(&a, &b, 1)?;
+/// let key_b = attest::establish_session(&b, &a, 1)?;
+/// assert_eq!(key_a, key_b);
+/// # Ok::<(), sgx_sim::SgxError>(())
+/// ```
+pub fn establish_session(
+    initiator: &Enclave,
+    client: &Enclave,
+    channel: u64,
+) -> Result<SessionKey, SgxError> {
+    let to_client = initiator.ecall(|| create_report(initiator, client.measurement().as_u64()))?;
+    let to_initiator = client.ecall(|| {
+        verify_report(client, &to_client)?;
+        create_report(client, initiator.measurement().as_u64())
+    })?;
+    initiator.ecall(|| {
+        verify_report(initiator, &to_initiator)?;
+        Ok(derive_session_key(
+            initiator.inner.platform_secret,
+            initiator.measurement().as_u64(),
+            client.measurement().as_u64(),
+            channel,
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostModel, Platform};
+
+    fn platform() -> Platform {
+        Platform::builder().cost_model(CostModel::zero()).build()
+    }
+
+    #[test]
+    fn handshake_agrees_on_key() {
+        let p = platform();
+        let a = p.create_enclave("a", 0).unwrap();
+        let b = p.create_enclave("b", 0).unwrap();
+        let k1 = establish_session(&a, &b, 9).unwrap();
+        let k2 = establish_session(&b, &a, 9).unwrap();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn channels_get_distinct_keys() {
+        let p = platform();
+        let a = p.create_enclave("a", 0).unwrap();
+        let b = p.create_enclave("b", 0).unwrap();
+        let k1 = establish_session(&a, &b, 1).unwrap();
+        let k2 = establish_session(&a, &b, 2).unwrap();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn cross_platform_attestation_fails() {
+        let p1 = Platform::builder().cost_model(CostModel::zero()).seed(1).build();
+        let p2 = Platform::builder().cost_model(CostModel::zero()).seed(2).build();
+        let a = p1.create_enclave("a", 0).unwrap();
+        let b = p2.create_enclave("b", 0).unwrap();
+        assert_eq!(
+            establish_session(&a, &b, 1).unwrap_err(),
+            SgxError::ReportVerification
+        );
+    }
+
+    #[test]
+    fn report_for_wrong_target_rejected() {
+        let p = platform();
+        let a = p.create_enclave("a", 0).unwrap();
+        let b = p.create_enclave("b", 0).unwrap();
+        let c = p.create_enclave("c", 0).unwrap();
+        let report = a.ecall(|| create_report(&a, b.measurement().as_u64()).unwrap());
+        let err = c.ecall(|| verify_report(&c, &report).unwrap_err());
+        assert_eq!(err, SgxError::ReportVerification);
+    }
+
+    #[test]
+    fn report_requires_enclave_domain() {
+        let p = platform();
+        let a = p.create_enclave("a", 0).unwrap();
+        assert!(create_report(&a, 0).is_err());
+        let report = a.ecall(|| create_report(&a, a.measurement().as_u64()).unwrap());
+        assert!(verify_report(&a, &report).is_err());
+    }
+
+    #[test]
+    fn forged_mac_rejected() {
+        let p = platform();
+        let a = p.create_enclave("a", 0).unwrap();
+        let b = p.create_enclave("b", 0).unwrap();
+        let mut report = a.ecall(|| create_report(&a, b.measurement().as_u64()).unwrap());
+        report.mac ^= 1;
+        let err = b.ecall(|| verify_report(&b, &report).unwrap_err());
+        assert_eq!(err, SgxError::ReportVerification);
+    }
+}

@@ -1,0 +1,437 @@
+//! Cost-model authenticated encryption.
+//!
+//! SGX enclaves protect data leaving the EPC with AES-GCM (via the SDK's
+//! IPP library). This module simulates that with a fast xoshiro-based
+//! keystream plus a 64-bit polynomial MAC, while charging the calibrated
+//! per-byte crypto cost through a [`CostHandle`]. The *interface* matches
+//! what the EActors channels need (seal into / open from caller-provided
+//! buffers, no allocation); the *security* is deliberately not real — see
+//! the crate-level disclaimer.
+//!
+//! Wire format of a sealed message:
+//!
+//! ```text
+//! | nonce (8 bytes LE) | ciphertext (len bytes) | tag (8 bytes LE) |
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::costs::CostHandle;
+use crate::error::SgxError;
+
+/// Bytes of framing a sealed message adds on top of the plaintext.
+pub const SEAL_OVERHEAD: usize = 16;
+
+/// A 256-bit symmetric session key.
+///
+/// Obtained from [`crate::attest::establish_session`] (channel keys), from
+/// sealing-key derivation, or directly from bytes for tests.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SessionKey([u8; 32]);
+
+impl SessionKey {
+    /// Build a key from raw bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        SessionKey(bytes)
+    }
+
+    /// Derive a key from a chain of 64-bit inputs (simulated KDF).
+    pub fn derive(parts: &[u64]) -> Self {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for &p in parts {
+            state = mix64(state ^ p);
+        }
+        let mut bytes = [0u8; 32];
+        for (i, chunk) in bytes.chunks_exact_mut(8).enumerate() {
+            state = mix64(state.wrapping_add(i as u64 + 1));
+            chunk.copy_from_slice(&state.to_le_bytes());
+        }
+        SessionKey(bytes)
+    }
+
+    /// Derive a labelled subkey (e.g. one per channel direction, so the
+    /// two endpoints of a session never reuse a (key, nonce) pair).
+    pub fn child(&self, label: u64) -> SessionKey {
+        let lanes = self.lanes();
+        SessionKey::derive(&[lanes[0], lanes[1], lanes[2], lanes[3], mix64(label)])
+    }
+
+    fn lanes(&self) -> [u64; 4] {
+        let mut lanes = [0u64; 4];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&self.0[i * 8..(i + 1) * 8]);
+            *lane = u64::from_le_bytes(b);
+        }
+        lanes
+    }
+}
+
+impl std::fmt::Debug for SessionKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("SessionKey").finish_non_exhaustive()
+    }
+}
+
+/// Authenticated stream cipher bound to a session key and a cost handle.
+///
+/// Thread-safe: concurrent `seal` calls draw distinct nonces from an atomic
+/// counter.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::crypto::{SessionCipher, SessionKey, SEAL_OVERHEAD};
+/// use sgx_sim::Platform;
+///
+/// let platform = Platform::builder().build();
+/// let cipher = SessionCipher::new(SessionKey::derive(&[1, 2, 3]), platform.costs());
+///
+/// let mut sealed = vec![0u8; 5 + SEAL_OVERHEAD];
+/// let n = cipher.seal(b"hello", &mut sealed)?;
+/// let mut opened = vec![0u8; 5];
+/// let m = cipher.open(&sealed[..n], &mut opened)?;
+/// assert_eq!(&opened[..m], b"hello");
+/// # Ok::<(), sgx_sim::SgxError>(())
+/// ```
+#[derive(Debug)]
+pub struct SessionCipher {
+    key: SessionKey,
+    costs: CostHandle,
+    nonce: AtomicU64,
+}
+
+impl SessionCipher {
+    /// Create a cipher for `key`, charging costs through `costs`.
+    pub fn new(key: SessionKey, costs: CostHandle) -> Self {
+        // Nonce space is partitioned per cipher instance by key-dependent
+        // offset so two endpoints of one session do not collide.
+        let start = mix64(key.lanes()[0] ^ 0xA5A5_5A5A);
+        SessionCipher {
+            key,
+            costs,
+            nonce: AtomicU64::new(start),
+        }
+    }
+
+    /// Sealed size for a plaintext of `len` bytes.
+    pub fn sealed_len(len: usize) -> usize {
+        len + SEAL_OVERHEAD
+    }
+
+    /// Encrypt and authenticate `plaintext` into `out`.
+    ///
+    /// Returns the number of bytes written
+    /// (`plaintext.len() + SEAL_OVERHEAD`).
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::BufferTooSmall`] if `out` cannot hold the sealed
+    /// message.
+    pub fn seal(&self, plaintext: &[u8], out: &mut [u8]) -> Result<usize, SgxError> {
+        let needed = Self::sealed_len(plaintext.len());
+        if out.len() < needed {
+            return Err(SgxError::BufferTooSmall {
+                needed,
+                got: out.len(),
+            });
+        }
+        self.costs.charge_crypto(plaintext.len());
+        let nonce = self.nonce.fetch_add(1, Ordering::Relaxed);
+        out[..8].copy_from_slice(&nonce.to_le_bytes());
+        let (body, rest) = out[8..].split_at_mut(plaintext.len());
+        body.copy_from_slice(plaintext);
+        Keystream::new(&self.key, nonce).xor_into(body);
+        let tag = self.tag(nonce, body);
+        rest[..8].copy_from_slice(&tag.to_le_bytes());
+        Ok(needed)
+    }
+
+    /// Verify and decrypt `sealed` into `out`.
+    ///
+    /// Returns the plaintext length.
+    ///
+    /// # Errors
+    ///
+    /// * [`SgxError::InvalidInput`] if `sealed` is shorter than the framing;
+    /// * [`SgxError::BufferTooSmall`] if `out` cannot hold the plaintext;
+    /// * [`SgxError::MacMismatch`] if authentication fails.
+    pub fn open(&self, sealed: &[u8], out: &mut [u8]) -> Result<usize, SgxError> {
+        if sealed.len() < SEAL_OVERHEAD {
+            return Err(SgxError::InvalidInput("sealed message shorter than framing"));
+        }
+        let pt_len = sealed.len() - SEAL_OVERHEAD;
+        if out.len() < pt_len {
+            return Err(SgxError::BufferTooSmall {
+                needed: pt_len,
+                got: out.len(),
+            });
+        }
+        let mut nonce_bytes = [0u8; 8];
+        nonce_bytes.copy_from_slice(&sealed[..8]);
+        let nonce = u64::from_le_bytes(nonce_bytes);
+        let body = &sealed[8..8 + pt_len];
+        let mut tag_bytes = [0u8; 8];
+        tag_bytes.copy_from_slice(&sealed[8 + pt_len..]);
+        if self.tag(nonce, body) != u64::from_le_bytes(tag_bytes) {
+            return Err(SgxError::MacMismatch);
+        }
+        self.costs.charge_crypto(pt_len);
+        out[..pt_len].copy_from_slice(body);
+        Keystream::new(&self.key, nonce).xor_into(&mut out[..pt_len]);
+        Ok(pt_len)
+    }
+
+    /// Deterministic 64-bit keyed digest of `data`.
+    ///
+    /// Used by the Persistent Object Store to compare encrypted keys
+    /// without decrypting them (§4.1 of the paper).
+    pub fn det_digest(&self, data: &[u8]) -> u64 {
+        self.costs.charge_crypto(data.len());
+        poly_mac(self.key.lanes()[2], self.key.lanes()[3], 0, data)
+    }
+
+    fn tag(&self, nonce: u64, ciphertext: &[u8]) -> u64 {
+        let lanes = self.key.lanes();
+        poly_mac(lanes[0], lanes[1], nonce, ciphertext)
+    }
+}
+
+/// xoshiro256**-style keystream.
+struct Keystream {
+    s: [u64; 4],
+}
+
+impl Keystream {
+    fn new(key: &SessionKey, nonce: u64) -> Self {
+        let lanes = key.lanes();
+        let mut s = [
+            mix64(lanes[0] ^ nonce),
+            mix64(lanes[1] ^ nonce.rotate_left(17)),
+            mix64(lanes[2] ^ nonce.rotate_left(31)),
+            mix64(lanes[3] ^ nonce.rotate_left(47)),
+        ];
+        if s == [0; 4] {
+            s[0] = 1;
+        }
+        Keystream { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// XOR the keystream over `data`, eight bytes at a stride.
+    fn xor_into(&mut self, data: &mut [u8]) {
+        let mut chunks = data.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            let word = u64::from_le_bytes(b) ^ self.next_u64();
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let ks = self.next_u64().to_le_bytes();
+            for (dst, &k) in rem.iter_mut().zip(&ks) {
+                *dst ^= k;
+            }
+        }
+    }
+}
+
+/// Polynomial MAC over `data` keyed by (k0, k1), mixed with `nonce`.
+fn poly_mac(k0: u64, k1: u64, nonce: u64, data: &[u8]) -> u64 {
+    let mut acc = mix64(k0 ^ nonce);
+    let mult = k1 | 1;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(chunk);
+        acc = acc.wrapping_add(u64::from_le_bytes(b)).wrapping_mul(mult);
+        acc ^= acc >> 29;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut b = [0u8; 8];
+        b[..rem.len()].copy_from_slice(rem);
+        b[7] = rem.len() as u8; // length padding so truncation changes the tag
+        acc = acc.wrapping_add(u64::from_le_bytes(b)).wrapping_mul(mult);
+    }
+    mix64(acc ^ (data.len() as u64))
+}
+
+/// An unkeyed 64-bit digest of arbitrary bytes.
+///
+/// Convenience for deriving identifiers and key material from names
+/// (e.g. per-user session keys in the messaging service). Not a
+/// cryptographic hash — see the crate-level disclaimer.
+pub fn digest(data: &[u8]) -> u64 {
+    hash_bytes(0xD16E_57D1_6E57_0001, data)
+}
+
+/// SplitMix64 finaliser: a cheap, well-distributed 64-bit mixer.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash arbitrary bytes to 64 bits (for measurements, key hashing).
+pub(crate) fn hash_bytes(seed: u64, data: &[u8]) -> u64 {
+    poly_mac(mix64(seed), 0x100_0000_01B3, seed, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::{CostHandle, CostModel};
+
+    fn cipher() -> SessionCipher {
+        SessionCipher::new(
+            SessionKey::derive(&[42]),
+            CostHandle::new(CostModel::zero(), u64::MAX),
+        )
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = cipher();
+        let msg = b"the quick brown fox";
+        let mut sealed = vec![0u8; SessionCipher::sealed_len(msg.len())];
+        let n = c.seal(msg, &mut sealed).unwrap();
+        assert_eq!(n, msg.len() + SEAL_OVERHEAD);
+        let mut out = vec![0u8; msg.len()];
+        let m = c.open(&sealed, &mut out).unwrap();
+        assert_eq!(&out[..m], msg);
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let c = cipher();
+        let msg = [0u8; 64];
+        let mut sealed = vec![0u8; SessionCipher::sealed_len(64)];
+        c.seal(&msg, &mut sealed).unwrap();
+        assert_ne!(&sealed[8..72], &msg[..]);
+    }
+
+    #[test]
+    fn nonces_make_ciphertexts_distinct() {
+        let c = cipher();
+        let msg = b"same message";
+        let mut a = vec![0u8; SessionCipher::sealed_len(msg.len())];
+        let mut b = vec![0u8; SessionCipher::sealed_len(msg.len())];
+        c.seal(msg, &mut a).unwrap();
+        c.seal(msg, &mut b).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let c = cipher();
+        let msg = b"integrity matters";
+        let mut sealed = vec![0u8; SessionCipher::sealed_len(msg.len())];
+        let n = c.seal(msg, &mut sealed).unwrap();
+        let mut out = vec![0u8; msg.len()];
+        for i in 0..n {
+            let mut tampered = sealed.clone();
+            tampered[i] ^= 0x40;
+            assert_eq!(c.open(&tampered, &mut out), Err(SgxError::MacMismatch), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let c = cipher();
+        let msg = b"hello world";
+        let mut sealed = vec![0u8; SessionCipher::sealed_len(msg.len())];
+        let n = c.seal(msg, &mut sealed).unwrap();
+        let mut out = vec![0u8; msg.len()];
+        assert!(c.open(&sealed[..n - 1], &mut out).is_err());
+        assert!(c.open(&sealed[..SEAL_OVERHEAD - 1], &mut out).is_err());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let a = cipher();
+        let b = SessionCipher::new(
+            SessionKey::derive(&[43]),
+            CostHandle::new(CostModel::zero(), u64::MAX),
+        );
+        let msg = b"secret";
+        let mut sealed = vec![0u8; SessionCipher::sealed_len(msg.len())];
+        a.seal(msg, &mut sealed).unwrap();
+        let mut out = vec![0u8; msg.len()];
+        assert_eq!(b.open(&sealed, &mut out), Err(SgxError::MacMismatch));
+    }
+
+    #[test]
+    fn buffer_errors() {
+        let c = cipher();
+        let mut small = [0u8; 4];
+        assert!(matches!(
+            c.seal(b"too big for that", &mut small),
+            Err(SgxError::BufferTooSmall { .. })
+        ));
+        let msg = b"roundtrip";
+        let mut sealed = vec![0u8; SessionCipher::sealed_len(msg.len())];
+        c.seal(msg, &mut sealed).unwrap();
+        assert!(matches!(
+            c.open(&sealed, &mut small),
+            Err(SgxError::BufferTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_plaintext_round_trips() {
+        let c = cipher();
+        let mut sealed = vec![0u8; SEAL_OVERHEAD];
+        let n = c.seal(b"", &mut sealed).unwrap();
+        assert_eq!(n, SEAL_OVERHEAD);
+        let mut out = [0u8; 0];
+        assert_eq!(c.open(&sealed, &mut out).unwrap(), 0);
+    }
+
+    #[test]
+    fn det_digest_is_deterministic_and_keyed() {
+        let c1 = cipher();
+        let c2 = cipher();
+        assert_eq!(c1.det_digest(b"key"), c2.det_digest(b"key"));
+        let other = SessionCipher::new(
+            SessionKey::derive(&[7]),
+            CostHandle::new(CostModel::zero(), u64::MAX),
+        );
+        assert_ne!(c1.det_digest(b"key"), other.det_digest(b"key"));
+        assert_ne!(c1.det_digest(b"key"), c1.det_digest(b"kez"));
+    }
+
+    #[test]
+    fn debug_hides_key_material() {
+        let k = SessionKey::from_bytes([0xAB; 32]);
+        let s = format!("{k:?}");
+        assert!(!s.contains("171")); // 0xAB
+        assert!(!s.to_lowercase().contains("ab, ab"));
+    }
+
+    #[test]
+    fn crypto_costs_are_charged() {
+        let costs = CostHandle::new(CostModel::calibrated(), u64::MAX);
+        let c = SessionCipher::new(SessionKey::derive(&[1]), costs.clone());
+        let before = costs.stats().snapshot().cycles_charged();
+        let msg = vec![7u8; 4096];
+        let mut sealed = vec![0u8; SessionCipher::sealed_len(msg.len())];
+        c.seal(&msg, &mut sealed).unwrap();
+        let after = costs.stats().snapshot().cycles_charged();
+        assert!(after - before >= CostModel::calibrated().crypto_cycles(4096));
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-thread protection-domain tracking.
+//!
+//! Every thread is, at any instant, executing either untrusted code or code
+//! "inside" exactly one simulated enclave. Crossing between domains is what
+//! costs transitions; staying put is free. This mirrors real SGX, where a
+//! logical processor is in enclave mode between EENTER and EEXIT.
+
+use std::cell::Cell;
+
+use crate::costs::CostHandle;
+use crate::enclave::EnclaveId;
+
+thread_local! {
+    static CURRENT: Cell<Domain> = const { Cell::new(Domain::Untrusted) };
+}
+
+/// The protection domain a thread executes in.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::{current_domain, Domain, Platform};
+///
+/// assert_eq!(current_domain(), Domain::Untrusted);
+/// let platform = Platform::builder().build();
+/// let enclave = platform.create_enclave("e", 4096)?;
+/// enclave.ecall(|| assert_eq!(sgx_sim::current_domain(), Domain::Enclave(enclave.id())));
+/// # Ok::<(), sgx_sim::SgxError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Normal, unprotected execution.
+    Untrusted,
+    /// Execution inside the enclave with the given id.
+    Enclave(EnclaveId),
+}
+
+impl Domain {
+    /// Whether this domain is an enclave.
+    pub fn is_trusted(&self) -> bool {
+        matches!(self, Domain::Enclave(_))
+    }
+}
+
+/// The domain the calling thread currently executes in.
+pub fn current_domain() -> Domain {
+    CURRENT.with(|c| c.get())
+}
+
+/// Number of boundary crossings needed to move between two domains.
+///
+/// Staying put costs nothing; entering or leaving an enclave is one
+/// crossing; hopping directly between two enclaves is an exit plus an
+/// entry.
+pub(crate) fn crossings(from: Domain, to: Domain) -> u32 {
+    match (from, to) {
+        (a, b) if a == b => 0,
+        (Domain::Untrusted, Domain::Enclave(_)) | (Domain::Enclave(_), Domain::Untrusted) => 1,
+        (Domain::Enclave(_), Domain::Enclave(_)) => 2,
+        (Domain::Untrusted, Domain::Untrusted) => 0,
+    }
+}
+
+/// Switch the calling thread to `to`, charging the required crossings.
+///
+/// Returns the previous domain so callers can switch back. This is the
+/// raw, non-RAII primitive behind [`crate::Enclave::enter`]; frameworks
+/// whose scheduling loops migrate a thread between protection domains
+/// (the EActors worker) use it directly. Application code should prefer
+/// [`crate::Enclave::ecall`].
+pub fn switch_domain(costs: &CostHandle, to: Domain) -> Domain {
+    switch_to(costs, to)
+}
+
+pub(crate) fn switch_to(costs: &CostHandle, to: Domain) -> Domain {
+    let from = current_domain();
+    for _ in 0..crossings(from, to) {
+        costs.charge_transition();
+    }
+    CURRENT.with(|c| c.set(to));
+    from
+}
+
+/// RAII guard restoring the previous domain (and charging the crossings
+/// back) when dropped.
+///
+/// Produced by [`crate::Enclave::enter`]. Dropping the guard is the EEXIT.
+#[derive(Debug)]
+pub struct DomainGuard {
+    costs: CostHandle,
+    previous: Domain,
+}
+
+impl DomainGuard {
+    pub(crate) fn new(costs: CostHandle, previous: Domain) -> Self {
+        DomainGuard { costs, previous }
+    }
+
+    /// The domain that will be restored when this guard drops.
+    pub fn previous(&self) -> Domain {
+        self.previous
+    }
+}
+
+impl Drop for DomainGuard {
+    fn drop(&mut self) {
+        switch_to(&self.costs, self.previous);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::CostModel;
+
+    fn handle() -> CostHandle {
+        CostHandle::new(CostModel::zero(), u64::MAX)
+    }
+
+    #[test]
+    fn starts_untrusted() {
+        assert_eq!(current_domain(), Domain::Untrusted);
+    }
+
+    #[test]
+    fn crossing_counts() {
+        let e1 = Domain::Enclave(EnclaveId::from_raw(1));
+        let e2 = Domain::Enclave(EnclaveId::from_raw(2));
+        let u = Domain::Untrusted;
+        assert_eq!(crossings(u, u), 0);
+        assert_eq!(crossings(e1, e1), 0);
+        assert_eq!(crossings(u, e1), 1);
+        assert_eq!(crossings(e1, u), 1);
+        assert_eq!(crossings(e1, e2), 2);
+    }
+
+    #[test]
+    fn switch_and_restore() {
+        let costs = handle();
+        let e1 = Domain::Enclave(EnclaveId::from_raw(7));
+        let prev = switch_to(&costs, e1);
+        assert_eq!(prev, Domain::Untrusted);
+        assert_eq!(current_domain(), e1);
+        {
+            let _g = DomainGuard::new(costs.clone(), prev);
+        }
+        assert_eq!(current_domain(), Domain::Untrusted);
+        assert_eq!(costs.stats().snapshot().transitions(), 2);
+    }
+
+    #[test]
+    fn enclave_to_enclave_charges_two_crossings() {
+        let costs = handle();
+        let e1 = Domain::Enclave(EnclaveId::from_raw(1));
+        let e2 = Domain::Enclave(EnclaveId::from_raw(2));
+        switch_to(&costs, e1);
+        let base = costs.stats().snapshot().transitions();
+        switch_to(&costs, e2);
+        assert_eq!(costs.stats().snapshot().transitions() - base, 2);
+        switch_to(&costs, Domain::Untrusted);
+    }
+
+    #[test]
+    fn domain_is_trusted() {
+        assert!(!Domain::Untrusted.is_trusted());
+        assert!(Domain::Enclave(EnclaveId::from_raw(0)).is_trusted());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for simulated SGX operations.
+
+use std::fmt;
+
+/// Errors returned by simulated SGX primitives.
+///
+/// Mirrors the `sgx_status_t` failures relevant to the EActors code paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SgxError {
+    /// Enclave creation would exceed the platform's configured hard limit
+    /// on total enclave memory.
+    OutOfEpc {
+        /// Bytes requested for the new enclave.
+        requested: u64,
+        /// Bytes still available under the hard limit.
+        available: u64,
+    },
+    /// An operation that must run inside an enclave was called from
+    /// untrusted code (or from the wrong enclave).
+    WrongDomain {
+        /// Human-readable description of the required domain.
+        expected: &'static str,
+    },
+    /// Authenticated decryption failed: the ciphertext was truncated,
+    /// corrupted or produced under a different key.
+    MacMismatch,
+    /// A sealed blob was produced by a different enclave identity.
+    SealIdentityMismatch,
+    /// An attestation report failed verification.
+    ReportVerification,
+    /// A buffer supplied by the caller is too small.
+    BufferTooSmall {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes provided.
+        got: usize,
+    },
+    /// Malformed input (truncated header, bad magic, ...).
+    InvalidInput(&'static str),
+}
+
+impl fmt::Display for SgxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgxError::OutOfEpc {
+                requested,
+                available,
+            } => write!(
+                f,
+                "enclave creation needs {requested} bytes but only {available} remain under the EPC hard limit"
+            ),
+            SgxError::WrongDomain { expected } => {
+                write!(f, "operation requires execution {expected}")
+            }
+            SgxError::MacMismatch => write!(f, "authenticated decryption failed (MAC mismatch)"),
+            SgxError::SealIdentityMismatch => {
+                write!(f, "sealed blob was produced by a different enclave identity")
+            }
+            SgxError::ReportVerification => write!(f, "attestation report verification failed"),
+            SgxError::BufferTooSmall { needed, got } => {
+                write!(f, "buffer too small: need {needed} bytes, got {got}")
+            }
+            SgxError::InvalidInput(what) => write!(f, "invalid input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SgxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let variants = [
+            SgxError::OutOfEpc {
+                requested: 10,
+                available: 5,
+            },
+            SgxError::WrongDomain {
+                expected: "inside enclave 3",
+            },
+            SgxError::MacMismatch,
+            SgxError::SealIdentityMismatch,
+            SgxError::ReportVerification,
+            SgxError::BufferTooSmall { needed: 8, got: 4 },
+            SgxError::InvalidInput("bad magic"),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! # sgx-sim — a software simulation of the Intel SGX substrate
+//!
+//! This crate reproduces, in software, the *cost structure and interface* of
+//! Intel Software Guard eXtensions (SGX) as used by the EActors paper
+//! (Sartakov et al., Middleware 2018). It is the substrate on which the
+//! `eactors` framework and both paper use cases run.
+//!
+//! SGX hardware gives three things that matter to the paper's evaluation:
+//!
+//! 1. **Execution-mode transitions are expensive.** Entering or leaving an
+//!    enclave (ECall/OCall) costs roughly 8 000–9 000 CPU cycles. This crate
+//!    charges a calibrated busy-wait on every [`Domain`] crossing, tracked
+//!    per thread, so code that *stays* inside one enclave pays nothing —
+//!    exactly the property EActors exploits.
+//! 2. **Enclave memory (EPC) is scarce.** Only ~93 MiB are usable; exceeding
+//!    it triggers costly paging. [`Platform`] keeps a global EPC budget and
+//!    applies a paging factor to per-byte charges once it is exceeded.
+//! 3. **Some trusted services are slow.** The SDK mutex spins briefly and
+//!    then leaves the enclave to sleep ([`SgxMutex`]); the trusted random
+//!    number generator is much slower than an untrusted PRNG
+//!    ([`TrustedRng`]); data crossing enclave boundaries must be copied
+//!    and, between mutually distrusting enclaves, encrypted
+//!    ([`crypto::SessionCipher`]).
+//!
+//! All magnitudes live in a single [`CostModel`] so experiments can sweep
+//! them (e.g. the transition-cost ablation) and functional tests can zero
+//! them out.
+//!
+//! ## Security disclaimer
+//!
+//! Nothing in this crate is cryptographically secure. The "encryption",
+//! "sealing" and "attestation" here simulate the *interfaces and costs* of
+//! their SGX counterparts so that systems built on top exercise the same
+//! code paths; they must never be used to protect real data.
+//!
+//! ## Example
+//!
+//! ```
+//! use sgx_sim::{Platform, CostModel};
+//!
+//! let platform = Platform::builder()
+//!     .cost_model(CostModel::calibrated())
+//!     .build();
+//! let enclave = platform.create_enclave("worker", 1 << 20)?;
+//!
+//! // An ECall: charges entry + exit transitions around the closure.
+//! let sum = enclave.ecall(|| 2 + 2);
+//! assert_eq!(sum, 4);
+//!
+//! // Transitions were accounted for.
+//! assert!(platform.stats().transitions() >= 2);
+//! # Ok::<(), sgx_sim::SgxError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attest;
+pub mod costs;
+pub mod crypto;
+mod domain;
+mod enclave;
+mod error;
+mod mutex;
+mod platform;
+mod rng;
+pub mod seal;
+mod stats;
+
+pub use costs::{CostHandle, CostModel};
+pub use domain::{current_domain, switch_domain, Domain, DomainGuard};
+pub use enclave::{Enclave, EnclaveId, Measurement};
+pub use error::SgxError;
+pub use mutex::{SgxMutex, SgxMutexGuard};
+pub use platform::{Platform, PlatformBuilder};
+pub use rng::TrustedRng;
+pub use stats::StatsSnapshot;
+
+/// Usable Enclave Page Cache on the paper's evaluation machine, in bytes.
+///
+/// Current CPUs at the time provided 128 MiB of EPC of which roughly 93 MiB
+/// were usable for enclave pages (§2.2 of the paper).
+pub const DEFAULT_EPC_BYTES: u64 = 93 * 1024 * 1024;

@@ -1,0 +1,262 @@
+//! The SGX SDK mutex: spin briefly, then leave the enclave to sleep.
+//!
+//! Threads cannot be suspended by the OS *inside* an enclave, so the SDK's
+//! `sgx_thread_mutex` spins for a short period and then performs an OCall
+//! to sleep on a futex — paying two boundary crossings plus a system call
+//! per contended acquisition. Figure 1 of the paper shows this makes a
+//! contended SDK mutex orders of magnitude slower than a pthread mutex;
+//! [`SgxMutex`] reproduces that behaviour.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use crate::costs::CostHandle;
+use crate::domain::current_domain;
+
+/// A mutex with SGX SDK semantics: bounded in-enclave spinning followed by
+/// an enclave exit and an OS sleep.
+///
+/// When the lock is acquired within the spin budget no charge applies;
+/// otherwise the calling thread pays an EEXIT, a futex syscall and an
+/// EENTER (only if it currently executes inside an enclave — untrusted
+/// callers pay just the syscall, matching a pthread mutex under
+/// contention).
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::{Platform, SgxMutex};
+///
+/// let platform = Platform::builder().build();
+/// let counter = SgxMutex::new(0u64, platform.costs());
+/// *counter.lock() += 1;
+/// assert_eq!(*counter.lock(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SgxMutex<T> {
+    locked: AtomicBool,
+    waiters: AtomicU32,
+    sleep_lock: Mutex<()>,
+    wakeup: Condvar,
+    costs: CostHandle,
+    value: UnsafeCell<T>,
+}
+
+// Safety: access to `value` is serialised by the `locked` flag exactly like
+// a standard mutex.
+unsafe impl<T: Send> Send for SgxMutex<T> {}
+unsafe impl<T: Send> Sync for SgxMutex<T> {}
+
+impl<T> SgxMutex<T> {
+    /// Create a mutex protecting `value`, charging through `costs`.
+    pub fn new(value: T, costs: CostHandle) -> Self {
+        SgxMutex {
+            locked: AtomicBool::new(false),
+            waiters: AtomicU32::new(0),
+            sleep_lock: Mutex::new(()),
+            wakeup: Condvar::new(),
+            costs,
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    fn try_acquire(&self) -> bool {
+        self.locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Acquire the mutex, blocking (with SDK cost semantics) if contended.
+    pub fn lock(&self) -> SgxMutexGuard<'_, T> {
+        let spin_budget = self.costs.model().mutex_spin_budget;
+        for _ in 0..spin_budget {
+            if self.try_acquire() {
+                return SgxMutexGuard { mutex: self };
+            }
+            std::hint::spin_loop();
+        }
+        // Spin budget exhausted: step out of the enclave and sleep.
+        let trusted = current_domain().is_trusted();
+        if trusted {
+            self.costs.charge_transition(); // EEXIT
+        }
+        self.costs.charge(self.costs.model().mutex_syscall_cycles);
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.sleep_lock.lock().expect("sgx mutex sleep lock poisoned");
+        while !self.try_acquire() {
+            guard = self
+                .wakeup
+                .wait(guard)
+                .expect("sgx mutex sleep lock poisoned");
+        }
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        drop(guard);
+        if trusted {
+            self.costs.charge_transition(); // EENTER
+        }
+        SgxMutexGuard { mutex: self }
+    }
+
+    /// Try to acquire without blocking; `None` if the mutex is held.
+    pub fn try_lock(&self) -> Option<SgxMutexGuard<'_, T>> {
+        if self.try_acquire() {
+            Some(SgxMutexGuard { mutex: self })
+        } else {
+            None
+        }
+    }
+
+    /// Consume the mutex and return the protected value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            // Waking a sleeper requires a futex syscall, which an enclave
+            // can only issue through an OCall: `sgx_thread_mutex_unlock`
+            // pays an exit, the wake syscall and a re-entry whenever the
+            // waiter queue is non-empty. This, not the waiter's own
+            // sleep, is what makes a contended SDK mutex so expensive —
+            // every release while anyone waits costs a full transition
+            // round trip (Figure 1).
+            if current_domain().is_trusted() {
+                self.costs.charge_transition(); // EEXIT
+            }
+            self.costs.charge(self.costs.model().mutex_syscall_cycles);
+            // Hold the sleep lock momentarily so a waiter between its
+            // failed try_acquire and cv.wait cannot miss this wakeup.
+            let _g = self.sleep_lock.lock().expect("sgx mutex sleep lock poisoned");
+            self.wakeup.notify_one();
+            if current_domain().is_trusted() {
+                self.costs.charge_transition(); // EENTER
+            }
+        }
+    }
+}
+
+/// RAII guard returned by [`SgxMutex::lock`]; releases the lock on drop.
+#[derive(Debug)]
+pub struct SgxMutexGuard<'a, T> {
+    mutex: &'a SgxMutex<T>,
+}
+
+impl<T> Deref for SgxMutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // Safety: the guard proves exclusive ownership of the lock.
+        unsafe { &*self.mutex.value.get() }
+    }
+}
+
+impl<T> DerefMut for SgxMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: the guard proves exclusive ownership of the lock.
+        unsafe { &mut *self.mutex.value.get() }
+    }
+}
+
+impl<T> Drop for SgxMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.unlock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostModel, Platform};
+    use std::sync::Arc;
+
+    fn costs() -> CostHandle {
+        Platform::builder().cost_model(CostModel::zero()).build().costs()
+    }
+
+    #[test]
+    fn lock_unlock_single_thread() {
+        let m = SgxMutex::new(5, costs());
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let m = SgxMutex::new((), costs());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let m = Arc::new(SgxMutex::new(0u64, costs()));
+        let threads = 8;
+        let per_thread = 10_000;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), threads * per_thread);
+    }
+
+    #[test]
+    fn contended_lock_inside_enclave_charges_transitions() {
+        let p = Platform::builder()
+            .cost_model(CostModel {
+                mutex_spin_budget: 1,
+                ..CostModel::zero()
+            })
+            .build();
+        let e = p.create_enclave("e", 0).unwrap();
+        let m = Arc::new(SgxMutex::new(0u64, p.costs()));
+
+        // Hold the lock from another thread long enough to force the slow path.
+        let m2 = Arc::clone(&m);
+        let holder = std::thread::spawn(move || {
+            let g = m2.lock();
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            drop(g);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+
+        let before = p.stats().transitions();
+        e.ecall(|| {
+            let _g = m.lock();
+        });
+        holder.join().unwrap();
+        // ecall in/out = 2, contended lock exit+reenter = 2.
+        assert!(p.stats().transitions() - before >= 4);
+    }
+
+    #[test]
+    fn uncontended_lock_charges_nothing() {
+        let p = Platform::builder().build();
+        let e = p.create_enclave("e", 0).unwrap();
+        let m = SgxMutex::new(0u64, p.costs());
+        e.ecall(|| {
+            let before = p.stats().transitions();
+            for _ in 0..100 {
+                *m.lock() += 1;
+            }
+            assert_eq!(p.stats().transitions(), before);
+        });
+    }
+}

@@ -1,0 +1,202 @@
+//! The simulated SGX platform: cost model, EPC budget, enclave factory.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crate::costs::{CostHandle, CostModel};
+use crate::crypto::mix64;
+use crate::enclave::{Enclave, EnclaveId};
+use crate::error::SgxError;
+use crate::stats::StatsSnapshot;
+use crate::DEFAULT_EPC_BYTES;
+
+/// A simulated SGX-capable machine.
+///
+/// Owns the [`CostModel`], the EPC budget and the per-platform secret that
+/// sealing and local attestation derive keys from. Cheap to clone.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::{CostModel, Platform};
+///
+/// let platform = Platform::builder()
+///     .cost_model(CostModel::zero())
+///     .epc_budget(1 << 20)
+///     .seed(7)
+///     .build();
+/// let e = platform.create_enclave("svc", 4096)?;
+/// assert_eq!(e.memory_bytes(), 4096);
+/// # Ok::<(), sgx_sim::SgxError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Platform {
+    inner: Arc<PlatformInner>,
+}
+
+#[derive(Debug)]
+struct PlatformInner {
+    costs: CostHandle,
+    secret: u64,
+    next_enclave: AtomicU32,
+    epc_hard_limit: u64,
+}
+
+impl Platform {
+    /// Start configuring a platform.
+    pub fn builder() -> PlatformBuilder {
+        PlatformBuilder::default()
+    }
+
+    /// Create an enclave named `name` with `bytes` of initial memory.
+    ///
+    /// Creation charges page-add costs for every 4 KiB page, as the SGX
+    /// driver does when populating the enclave (§2.2). The name determines
+    /// the enclave's [`crate::Measurement`]; creating two enclaves with the
+    /// same name models launching two instances of the same enclave binary.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::OutOfEpc`] if the platform was built with a hard limit
+    /// and this enclave would exceed it. (Exceeding the *soft* EPC budget
+    /// succeeds but triggers the paging cost factor, as on real hardware.)
+    pub fn create_enclave(&self, name: &str, bytes: u64) -> Result<Enclave, SgxError> {
+        let hard = self.inner.epc_hard_limit;
+        let used = self.inner.costs.epc_used();
+        if used.saturating_add(bytes) > hard {
+            return Err(SgxError::OutOfEpc {
+                requested: bytes,
+                available: hard.saturating_sub(used),
+            });
+        }
+        let id = EnclaveId::from_raw(self.inner.next_enclave.fetch_add(1, Ordering::Relaxed));
+        self.inner.costs.epc_alloc(bytes);
+        Ok(Enclave::new(
+            id,
+            name,
+            self.inner.costs.clone(),
+            self.inner.secret,
+            bytes,
+        ))
+    }
+
+    /// The cost handle shared by everything on this platform.
+    pub fn costs(&self) -> CostHandle {
+        self.inner.costs.clone()
+    }
+
+    /// A snapshot of the platform's expense counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.costs.stats().snapshot()
+    }
+
+    /// The per-platform secret (CPU fused key analogue). Framework use.
+    pub fn secret(&self) -> u64 {
+        self.inner.secret
+    }
+}
+
+/// Builder for [`Platform`]. Obtained from [`Platform::builder`].
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    cost_model: CostModel,
+    epc_budget: u64,
+    epc_hard_limit: u64,
+    seed: u64,
+}
+
+impl Default for PlatformBuilder {
+    fn default() -> Self {
+        PlatformBuilder {
+            cost_model: CostModel::calibrated(),
+            epc_budget: DEFAULT_EPC_BYTES,
+            epc_hard_limit: u64::MAX,
+            seed: 0xEAC7_0125,
+        }
+    }
+}
+
+impl PlatformBuilder {
+    /// Use `model` for all charges (default: [`CostModel::calibrated`]).
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Soft EPC budget in bytes; beyond it per-byte charges pay the paging
+    /// factor (default: [`DEFAULT_EPC_BYTES`]).
+    pub fn epc_budget(mut self, bytes: u64) -> Self {
+        self.epc_budget = bytes;
+        self
+    }
+
+    /// Hard limit on combined enclave memory; creation beyond it fails
+    /// (default: unlimited, matching Linux SGX paging semantics).
+    pub fn epc_hard_limit(mut self, bytes: u64) -> Self {
+        self.epc_hard_limit = bytes;
+        self
+    }
+
+    /// Seed for the platform secret; fixing it makes sealing, attestation
+    /// and the trusted RNG deterministic across runs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the platform.
+    pub fn build(self) -> Platform {
+        Platform {
+            inner: Arc::new(PlatformInner {
+                costs: CostHandle::new(self.cost_model, self.epc_budget),
+                secret: mix64(self.seed ^ 0xC0FF_EE00_DEAD_BEEF),
+                next_enclave: AtomicU32::new(0),
+                epc_hard_limit: self.epc_hard_limit,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enclave_ids_are_unique() {
+        let p = Platform::builder().cost_model(CostModel::zero()).build();
+        let a = p.create_enclave("a", 0).unwrap();
+        let b = p.create_enclave("b", 0).unwrap();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn hard_limit_rejects_creation() {
+        let p = Platform::builder()
+            .cost_model(CostModel::zero())
+            .epc_hard_limit(8192)
+            .build();
+        let _a = p.create_enclave("a", 6000).unwrap();
+        let err = p.create_enclave("b", 6000).unwrap_err();
+        assert!(matches!(err, SgxError::OutOfEpc { available, .. } if available == 2192));
+    }
+
+    #[test]
+    fn soft_budget_allows_creation_but_flags_paging() {
+        let p = Platform::builder()
+            .cost_model(CostModel::zero())
+            .epc_budget(4096)
+            .build();
+        let _a = p.create_enclave("a", 10_000).unwrap();
+        assert!(p.costs().epc_over_budget());
+        assert!(p.stats().paging_events() > 0);
+    }
+
+    #[test]
+    fn same_seed_same_secret() {
+        let a = Platform::builder().seed(9).build();
+        let b = Platform::builder().seed(9).build();
+        let c = Platform::builder().seed(10).build();
+        assert_eq!(a.secret(), b.secret());
+        assert_ne!(a.secret(), c.secret());
+    }
+}

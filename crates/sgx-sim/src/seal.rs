@@ -1,0 +1,180 @@
+//! Data sealing: encrypting data so only the same enclave identity on the
+//! same platform can recover it.
+//!
+//! The EActors Persistent Object Store uses sealing to protect encryption
+//! keys across reboots (§4.1). A sealed blob binds the data to the
+//! enclave's measurement and the platform secret, mirroring the SDK's
+//! `sgx_seal_data` with `MRENCLAVE` policy.
+//!
+//! Wire format: `| measurement (8 bytes LE) | SessionCipher sealed message |`.
+
+use crate::crypto::{SessionCipher, SessionKey, SEAL_OVERHEAD};
+use crate::domain::current_domain;
+use crate::enclave::Enclave;
+use crate::error::SgxError;
+
+/// Bytes of framing a sealed blob adds on top of the plaintext.
+pub const SEALED_OVERHEAD: usize = 8 + SEAL_OVERHEAD;
+
+/// Sealed size for a plaintext of `len` bytes.
+pub fn sealed_len(len: usize) -> usize {
+    len + SEALED_OVERHEAD
+}
+
+fn sealing_cipher(enclave: &Enclave) -> SessionCipher {
+    let key = SessionKey::derive(&[
+        enclave.inner.platform_secret,
+        enclave.inner.measurement.0,
+        0x5EA1_5EA1,
+    ]);
+    SessionCipher::new(key, enclave.costs())
+}
+
+/// Seal `plaintext` to this enclave's identity, writing into `out`.
+///
+/// Returns the number of bytes written ([`sealed_len`] of the plaintext).
+///
+/// # Errors
+///
+/// * [`SgxError::WrongDomain`] if the thread is not inside `enclave`;
+/// * [`SgxError::BufferTooSmall`] if `out` is too small.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::{seal, Platform};
+///
+/// let platform = Platform::builder().build();
+/// let enclave = platform.create_enclave("store", 4096)?;
+/// enclave.ecall(|| {
+///     let mut blob = vec![0u8; seal::sealed_len(6)];
+///     seal::seal_data(&enclave, b"secret", &mut blob)?;
+///     let mut out = vec![0u8; 6];
+///     let n = seal::unseal_data(&enclave, &blob, &mut out)?;
+///     assert_eq!(&out[..n], b"secret");
+///     Ok::<(), sgx_sim::SgxError>(())
+/// })?;
+/// # Ok::<(), sgx_sim::SgxError>(())
+/// ```
+pub fn seal_data(enclave: &Enclave, plaintext: &[u8], out: &mut [u8]) -> Result<usize, SgxError> {
+    if current_domain() != enclave.domain() {
+        return Err(SgxError::WrongDomain {
+            expected: "inside the sealing enclave",
+        });
+    }
+    let needed = sealed_len(plaintext.len());
+    if out.len() < needed {
+        return Err(SgxError::BufferTooSmall {
+            needed,
+            got: out.len(),
+        });
+    }
+    out[..8].copy_from_slice(&enclave.inner.measurement.0.to_le_bytes());
+    let written = sealing_cipher(enclave).seal(plaintext, &mut out[8..])?;
+    Ok(8 + written)
+}
+
+/// Recover data sealed by [`seal_data`].
+///
+/// Returns the plaintext length.
+///
+/// # Errors
+///
+/// * [`SgxError::WrongDomain`] if the thread is not inside `enclave`;
+/// * [`SgxError::SealIdentityMismatch`] if the blob was sealed by a
+///   different enclave identity;
+/// * [`SgxError::MacMismatch`] if the blob was tampered with;
+/// * [`SgxError::InvalidInput`] / [`SgxError::BufferTooSmall`] for
+///   malformed input or an undersized output buffer.
+pub fn unseal_data(enclave: &Enclave, blob: &[u8], out: &mut [u8]) -> Result<usize, SgxError> {
+    if current_domain() != enclave.domain() {
+        return Err(SgxError::WrongDomain {
+            expected: "inside the unsealing enclave",
+        });
+    }
+    if blob.len() < SEALED_OVERHEAD {
+        return Err(SgxError::InvalidInput("sealed blob shorter than framing"));
+    }
+    let mut meas = [0u8; 8];
+    meas.copy_from_slice(&blob[..8]);
+    if u64::from_le_bytes(meas) != enclave.inner.measurement.0 {
+        return Err(SgxError::SealIdentityMismatch);
+    }
+    sealing_cipher(enclave).open(&blob[8..], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CostModel, Platform};
+
+    fn platform() -> Platform {
+        Platform::builder().cost_model(CostModel::zero()).build()
+    }
+
+    #[test]
+    fn seal_requires_enclave_domain() {
+        let p = platform();
+        let e = p.create_enclave("e", 0).unwrap();
+        let mut out = vec![0u8; sealed_len(4)];
+        assert!(seal_data(&e, b"data", &mut out).is_err());
+    }
+
+    #[test]
+    fn same_identity_can_unseal_across_instances() {
+        let p = platform();
+        let e1 = p.create_enclave("svc", 0).unwrap();
+        let e2 = p.create_enclave("svc", 0).unwrap(); // same binary, new instance
+        let mut blob = vec![0u8; sealed_len(5)];
+        e1.ecall(|| seal_data(&e1, b"state", &mut blob).unwrap());
+        let mut out = vec![0u8; 5];
+        let n = e2.ecall(|| unseal_data(&e2, &blob, &mut out).unwrap());
+        assert_eq!(&out[..n], b"state");
+    }
+
+    #[test]
+    fn different_identity_is_rejected() {
+        let p = platform();
+        let a = p.create_enclave("a", 0).unwrap();
+        let b = p.create_enclave("b", 0).unwrap();
+        let mut blob = vec![0u8; sealed_len(5)];
+        a.ecall(|| seal_data(&a, b"state", &mut blob).unwrap());
+        let mut out = vec![0u8; 5];
+        let err = b.ecall(|| unseal_data(&b, &blob, &mut out).unwrap_err());
+        assert_eq!(err, SgxError::SealIdentityMismatch);
+    }
+
+    #[test]
+    fn different_platform_is_rejected() {
+        let p1 = Platform::builder().cost_model(CostModel::zero()).seed(1).build();
+        let p2 = Platform::builder().cost_model(CostModel::zero()).seed(2).build();
+        let a = p1.create_enclave("svc", 0).unwrap();
+        let b = p2.create_enclave("svc", 0).unwrap();
+        let mut blob = vec![0u8; sealed_len(5)];
+        a.ecall(|| seal_data(&a, b"state", &mut blob).unwrap());
+        let mut out = vec![0u8; 5];
+        let err = b.ecall(|| unseal_data(&b, &blob, &mut out).unwrap_err());
+        assert_eq!(err, SgxError::MacMismatch);
+    }
+
+    #[test]
+    fn tampering_is_rejected() {
+        let p = platform();
+        let e = p.create_enclave("e", 0).unwrap();
+        let mut blob = vec![0u8; sealed_len(8)];
+        e.ecall(|| seal_data(&e, b"12345678", &mut blob).unwrap());
+        blob[12] ^= 1;
+        let mut out = vec![0u8; 8];
+        let err = e.ecall(|| unseal_data(&e, &blob, &mut out).unwrap_err());
+        assert_eq!(err, SgxError::MacMismatch);
+    }
+
+    #[test]
+    fn truncated_blob_is_invalid() {
+        let p = platform();
+        let e = p.create_enclave("e", 0).unwrap();
+        let mut out = vec![0u8; 8];
+        let err = e.ecall(|| unseal_data(&e, &[0u8; 4], &mut out).unwrap_err());
+        assert!(matches!(err, SgxError::InvalidInput(_)));
+    }
+}

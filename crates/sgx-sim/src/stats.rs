@@ -1,0 +1,108 @@
+//! Platform-wide accounting of simulated SGX expenses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters shared through [`crate::CostHandle`].
+#[derive(Debug, Default)]
+pub(crate) struct Stats {
+    transitions: AtomicU64,
+    cycles_charged: AtomicU64,
+    syscalls: AtomicU64,
+    paging_events: AtomicU64,
+}
+
+impl Stats {
+    pub(crate) fn add_transition(&self) {
+        self.transitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_cycles(&self, cycles: u64) {
+        if cycles > 0 {
+            self.cycles_charged.fetch_add(cycles, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn add_syscall(&self) {
+        self.syscalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_paging_event(&self) {
+        self.paging_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            transitions: self.transitions.load(Ordering::Relaxed),
+            cycles_charged: self.cycles_charged.load(Ordering::Relaxed),
+            syscalls: self.syscalls.load(Ordering::Relaxed),
+            paging_events: self.paging_events.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the platform's SGX expense counters.
+///
+/// Obtained from [`crate::Platform::stats`]; counters only ever increase, so
+/// differences between two snapshots measure an interval.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::Platform;
+///
+/// let platform = Platform::builder().build();
+/// let enclave = platform.create_enclave("e", 4096)?;
+/// let before = platform.stats();
+/// enclave.ecall(|| ());
+/// let after = platform.stats();
+/// assert_eq!(after.transitions() - before.transitions(), 2);
+/// # Ok::<(), sgx_sim::SgxError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    transitions: u64,
+    cycles_charged: u64,
+    syscalls: u64,
+    paging_events: u64,
+}
+
+impl StatsSnapshot {
+    /// Total enclave-boundary crossings (an ECall round trip is two).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Total simulated cycles burned by all charges.
+    pub fn cycles_charged(&self) -> u64 {
+        self.cycles_charged
+    }
+
+    /// Total simulated system calls issued by untrusted components.
+    pub fn syscalls(&self) -> u64 {
+        self.syscalls
+    }
+
+    /// Number of enclave allocations that pushed the EPC over budget.
+    pub fn paging_events(&self) -> u64 {
+        self.paging_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counts() {
+        let s = Stats::default();
+        s.add_transition();
+        s.add_transition();
+        s.add_cycles(500);
+        s.add_syscall();
+        let snap = s.snapshot();
+        assert_eq!(snap.transitions(), 2);
+        assert_eq!(snap.cycles_charged(), 500);
+        assert_eq!(snap.syscalls(), 1);
+        assert_eq!(snap.paging_events(), 0);
+    }
+}

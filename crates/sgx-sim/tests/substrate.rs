@@ -1,0 +1,163 @@
+//! Substrate-level integration and property tests: domain tracking under
+//! concurrency and unwinding, cipher algebra, attestation topologies, and
+//! EPC bookkeeping across enclave lifecycles.
+
+use proptest::prelude::*;
+use sgx_sim::crypto::{SessionCipher, SessionKey};
+use sgx_sim::{attest, current_domain, seal, CostModel, Domain, Platform, TrustedRng};
+
+fn platform() -> Platform {
+    Platform::builder().cost_model(CostModel::zero()).build()
+}
+
+#[test]
+fn each_thread_tracks_its_own_domain() {
+    let p = platform();
+    let e1 = p.create_enclave("one", 0).unwrap();
+    let e2 = p.create_enclave("two", 0).unwrap();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let e1 = e1.clone();
+            let e2 = e2.clone();
+            s.spawn(move || {
+                for _ in 0..1_000 {
+                    e1.ecall(|| {
+                        assert_eq!(current_domain(), Domain::Enclave(e1.id()));
+                        e1.ocall(0, || assert_eq!(current_domain(), Domain::Untrusted))
+                            .unwrap();
+                    });
+                    e2.ecall(|| assert_eq!(current_domain(), Domain::Enclave(e2.id())));
+                    assert_eq!(current_domain(), Domain::Untrusted);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn nested_ecalls_restore_each_level() {
+    let p = platform();
+    let outer = p.create_enclave("outer", 0).unwrap();
+    let inner = p.create_enclave("inner", 0).unwrap();
+    outer.ecall(|| {
+        // Enclave-to-enclave call through the untrusted trampoline.
+        inner.ecall(|| {
+            assert_eq!(current_domain(), Domain::Enclave(inner.id()));
+        });
+        assert_eq!(current_domain(), Domain::Enclave(outer.id()));
+    });
+    assert_eq!(current_domain(), Domain::Untrusted);
+}
+
+#[test]
+fn transitions_count_exactly() {
+    let p = platform();
+    let e1 = p.create_enclave("a", 0).unwrap();
+    let e2 = p.create_enclave("b", 0).unwrap();
+    let base = p.stats().transitions();
+    e1.ecall(|| ()); // +2
+    e1.ecall(|| {
+        e1.ecall(|| ()); // +0 (already inside)
+        e2.ecall(|| ()); // +4 (exit e1, enter e2, exit e2, enter e1)
+        e1.ocall(0, || ()).unwrap(); // +2
+    }); // +2
+    assert_eq!(p.stats().transitions() - base, 10);
+}
+
+#[test]
+fn trusted_rng_is_deterministic_per_platform_seed() {
+    let draws = |seed: u64| {
+        let p = Platform::builder().cost_model(CostModel::zero()).seed(seed).build();
+        let e = p.create_enclave("rng", 0).unwrap();
+        let rng = TrustedRng::new(e.clone());
+        e.ecall(|| (0..8).map(|_| rng.next_u64().unwrap()).collect::<Vec<_>>())
+    };
+    assert_eq!(draws(1), draws(1));
+    assert_ne!(draws(1), draws(2));
+}
+
+#[test]
+fn attestation_all_pairs_in_a_ring_agree() {
+    let p = platform();
+    let enclaves: Vec<_> = (0..5)
+        .map(|i| p.create_enclave(&format!("party-{i}"), 0).unwrap())
+        .collect();
+    for i in 0..5 {
+        let j = (i + 1) % 5;
+        let k1 = attest::establish_session(&enclaves[i], &enclaves[j], i as u64).unwrap();
+        let k2 = attest::establish_session(&enclaves[j], &enclaves[i], i as u64).unwrap();
+        assert_eq!(k1, k2, "link {i}->{j}");
+    }
+}
+
+#[test]
+fn epc_balance_after_many_lifecycles() {
+    let p = platform();
+    let base = p.costs().epc_used();
+    for round in 0..50 {
+        let e = p.create_enclave("temp", 8192).unwrap();
+        e.grow(4096 * (round % 3));
+        drop(e);
+    }
+    assert_eq!(p.costs().epc_used(), base, "EPC must balance to zero");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Two ciphers with the same key interoperate in both directions for
+    /// any message sequence; sealed frames never equal their plaintext.
+    #[test]
+    fn cipher_bidirectional_interop(
+        msgs in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..128), 1..8),
+        key in any::<u64>(),
+    ) {
+        let p = platform();
+        let a = SessionCipher::new(SessionKey::derive(&[key]), p.costs());
+        let b = SessionCipher::new(SessionKey::derive(&[key]), p.costs());
+        for (i, msg) in msgs.iter().enumerate() {
+            let (tx, rx): (&SessionCipher, &SessionCipher) =
+                if i % 2 == 0 { (&a, &b) } else { (&b, &a) };
+            let mut sealed = vec![0u8; SessionCipher::sealed_len(msg.len())];
+            let n = tx.seal(msg, &mut sealed).expect("sized");
+            prop_assert_ne!(&sealed[8..8 + msg.len()], &msg[..]);
+            let mut out = vec![0u8; msg.len()];
+            let m = rx.open(&sealed[..n], &mut out).expect("same key");
+            prop_assert_eq!(&out[..m], &msg[..]);
+        }
+    }
+
+    /// Sealing round-trips for any data and never unseals under another
+    /// platform seed.
+    #[test]
+    fn sealing_respects_platform_boundary(data in prop::collection::vec(any::<u8>(), 0..128), s1 in any::<u64>(), s2 in any::<u64>()) {
+        prop_assume!(s1 != s2);
+        let p1 = Platform::builder().cost_model(CostModel::zero()).seed(s1).build();
+        let p2 = Platform::builder().cost_model(CostModel::zero()).seed(s2).build();
+        let a = p1.create_enclave("svc", 0).unwrap();
+        let b = p2.create_enclave("svc", 0).unwrap();
+        let mut blob = vec![0u8; seal::sealed_len(data.len())];
+        a.ecall(|| seal::seal_data(&a, &data, &mut blob).unwrap());
+        let mut out = vec![0u8; data.len()];
+        let n = a.ecall(|| seal::unseal_data(&a, &blob, &mut out).unwrap());
+        prop_assert_eq!(&out[..n], &data[..]);
+        let foreign = b.ecall(|| seal::unseal_data(&b, &blob, &mut out));
+        prop_assert!(foreign.is_err());
+    }
+
+    /// det_digest is stable, keyed and input-sensitive.
+    #[test]
+    fn det_digest_properties(a in prop::collection::vec(any::<u8>(), 0..64), b in prop::collection::vec(any::<u8>(), 0..64), k1 in any::<u64>(), k2 in any::<u64>()) {
+        let p = platform();
+        let c1 = SessionCipher::new(SessionKey::derive(&[k1]), p.costs());
+        let c1b = SessionCipher::new(SessionKey::derive(&[k1]), p.costs());
+        prop_assert_eq!(c1.det_digest(&a), c1b.det_digest(&a));
+        if a != b {
+            prop_assert_ne!(c1.det_digest(&a), c1.det_digest(&b));
+        }
+        if k1 != k2 {
+            let c2 = SessionCipher::new(SessionKey::derive(&[k2]), p.costs());
+            prop_assert_ne!(c1.det_digest(&a), c2.det_digest(&a));
+        }
+    }
+}

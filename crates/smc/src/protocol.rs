@@ -1,0 +1,155 @@
+//! The secure-sum protocol arithmetic (paper §5.2, Figure 8).
+//!
+//! `K` parties hold secret `u32` vectors. Party 1 masks its secret with a
+//! random vector `Rnd`; each party adds its own secret (element-wise,
+//! wrapping) and forwards; party 1 finally subtracts `Rnd`, leaving the
+//! sum of all secrets without any party having revealed its own.
+
+/// Deterministically derive party `party`'s initial secret vector.
+///
+/// Keeping secrets a pure function of `(seed, party, dim)` lets tests and
+/// the driver compute reference results independently.
+pub fn derive_secret(seed: u64, party: usize, dim: usize) -> Vec<u32> {
+    let mut state = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(party as u64 + 1);
+    (0..dim)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state.wrapping_add(i as u64)) as u32
+        })
+        .collect()
+}
+
+/// `msg[i] += secret[i]` (wrapping) — one party's contribution.
+pub fn add_assign(msg: &mut [u32], secret: &[u32]) {
+    debug_assert_eq!(msg.len(), secret.len());
+    for (m, &s) in msg.iter_mut().zip(secret) {
+        *m = m.wrapping_add(s);
+    }
+}
+
+/// `sum[i] -= rnd[i]` (wrapping) — party 1 unmasking the final message.
+pub fn sub_assign(sum: &mut [u32], rnd: &[u32]) {
+    debug_assert_eq!(sum.len(), rnd.len());
+    for (m, &r) in sum.iter_mut().zip(rnd) {
+        *m = m.wrapping_sub(r);
+    }
+}
+
+/// The Case #2 per-round secret refresh (§6.3.2 "dynamically computed
+/// vectors"): every party recomputes its secret after each sum. One LCG
+/// step per element models the "additional workload".
+pub fn update_secret(secret: &mut [u32]) {
+    for s in secret.iter_mut() {
+        *s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+    }
+}
+
+/// Serialise a vector into `out` (little-endian), returning bytes written.
+///
+/// # Panics
+///
+/// Panics if `out` is smaller than `4 * v.len()`.
+pub fn encode_u32s(v: &[u32], out: &mut [u8]) -> usize {
+    let needed = v.len() * 4;
+    assert!(out.len() >= needed, "need {needed} bytes, have {}", out.len());
+    for (chunk, &x) in out.chunks_exact_mut(4).zip(v) {
+        chunk.copy_from_slice(&x.to_le_bytes());
+    }
+    needed
+}
+
+/// Deserialise a vector from `data` into `out`.
+///
+/// Returns `false` when `data` is not exactly `4 * out.len()` bytes.
+pub fn decode_u32s(data: &[u8], out: &mut [u32]) -> bool {
+    if data.len() != out.len() * 4 {
+        return false;
+    }
+    for (x, chunk) in out.iter_mut().zip(data.chunks_exact(4)) {
+        *x = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    true
+}
+
+/// A plain (insecure) reference implementation: the element-wise wrapping
+/// sum of all parties' secrets. What the protocol must compute.
+pub fn reference_sum(secrets: &[Vec<u32>]) -> Vec<u32> {
+    let dim = secrets.first().map_or(0, Vec::len);
+    let mut sum = vec![0u32; dim];
+    for s in secrets {
+        add_assign(&mut sum, s);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secrets_are_deterministic_and_distinct() {
+        let a = derive_secret(1, 0, 16);
+        let b = derive_secret(1, 0, 16);
+        let c = derive_secret(1, 1, 16);
+        let d = derive_secret(2, 0, 16);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn mask_add_unmask_recovers_sum() {
+        let secrets: Vec<Vec<u32>> = (0..5).map(|p| derive_secret(9, p, 32)).collect();
+        let rnd = derive_secret(77, 99, 32);
+        // Party 1 masks, everyone adds, party 1 unmasks.
+        let mut msg = rnd.clone();
+        for s in &secrets {
+            add_assign(&mut msg, s);
+        }
+        sub_assign(&mut msg, &rnd);
+        assert_eq!(msg, reference_sum(&secrets));
+    }
+
+    #[test]
+    fn wrapping_behaviour() {
+        let mut m = vec![u32::MAX];
+        add_assign(&mut m, &[1]);
+        assert_eq!(m, vec![0]);
+        sub_assign(&mut m, &[1]);
+        assert_eq!(m, vec![u32::MAX]);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let v: Vec<u32> = (0..100).map(|i| i * 31 + 7).collect();
+        let mut buf = vec![0u8; 400];
+        assert_eq!(encode_u32s(&v, &mut buf), 400);
+        let mut out = vec![0u32; 100];
+        assert!(decode_u32s(&buf, &mut out));
+        assert_eq!(out, v);
+        // Wrong size fails.
+        assert!(!decode_u32s(&buf[..396], &mut out));
+    }
+
+    #[test]
+    fn update_secret_changes_every_element() {
+        let mut s = derive_secret(3, 0, 64);
+        let orig = s.clone();
+        update_secret(&mut s);
+        assert!(s.iter().zip(&orig).all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn empty_vectors_are_fine() {
+        let mut empty: Vec<u32> = vec![];
+        add_assign(&mut empty, &[]);
+        assert_eq!(encode_u32s(&[], &mut []), 0);
+        assert!(decode_u32s(&[], &mut empty));
+        assert_eq!(reference_sum(&[]), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,219 @@
+//! The SGX-SDK-style deployment of the secure-sum service (Figure 9b).
+//!
+//! Each party is an enclave, but a single untrusted thread executes the
+//! protocol by entering and leaving one enclave after another — the
+//! baseline the paper compares EActors against. Messages between
+//! consecutive enclaves pass through untrusted buffers, encrypted with
+//! session keys agreed through local attestation (as in the EActors
+//! variant), but every hop costs a full ECall round trip and the rounds
+//! cannot pipeline.
+
+use std::time::Instant;
+
+use sgx_sim::crypto::{SessionCipher, SEAL_OVERHEAD};
+use sgx_sim::{attest, Enclave, Platform, TrustedRng};
+
+use crate::protocol::{add_assign, decode_u32s, encode_u32s, sub_assign, update_secret};
+use crate::{SmcConfig, SmcError, SmcResult};
+
+struct SdkParty {
+    enclave: Enclave,
+    secret: Vec<u32>,
+    /// Cipher for the link *towards* this party (decrypt incoming).
+    rx: Option<SessionCipher>,
+    /// Cipher for the link *from* this party (encrypt outgoing).
+    tx: SessionCipher,
+    rng: TrustedRng,
+}
+
+/// The assembled SDK-style service. Build once, run many rounds.
+pub struct SdkSmc {
+    config: SmcConfig,
+    parties: Vec<SdkParty>,
+    /// Untrusted transfer buffer the single thread shuttles between
+    /// enclaves.
+    wire: Vec<u8>,
+    plain: Vec<u32>,
+    rnd: Vec<u32>,
+    replicas: Vec<Vec<u32>>,
+    completed: u64,
+}
+
+impl std::fmt::Debug for SdkSmc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SdkSmc")
+            .field("parties", &self.parties.len())
+            .field("dim", &self.config.dim)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SdkSmc {
+    /// Create the enclaves, attest the ring links and install the
+    /// parties' secrets.
+    ///
+    /// # Errors
+    ///
+    /// [`SmcError`] on an invalid configuration or a platform failure.
+    pub fn new(platform: &Platform, config: &SmcConfig) -> Result<Self, SmcError> {
+        config.validate()?;
+        let secrets = config.initial_secrets();
+        let enclaves: Vec<Enclave> = (0..config.parties)
+            .map(|i| platform.create_enclave(&format!("sdk-party-{}", i + 1), 512 * 1024))
+            .collect::<Result<_, _>>()?;
+
+        let k = config.parties;
+        let mut parties = Vec::with_capacity(k);
+        for i in 0..k {
+            let next = (i + 1) % k;
+            let out_key = attest::establish_session(&enclaves[i], &enclaves[next], i as u64)?;
+            let in_key = if i == 0 {
+                None // installed on the second pass below
+            } else {
+                Some(attest::establish_session(
+                    &enclaves[i - 1],
+                    &enclaves[i],
+                    (i - 1) as u64,
+                )?)
+            };
+            parties.push(SdkParty {
+                rng: TrustedRng::new(enclaves[i].clone()),
+                tx: SessionCipher::new(out_key, platform.costs()),
+                rx: in_key.map(|key| SessionCipher::new(key, platform.costs())),
+                enclave: enclaves[i].clone(),
+                secret: secrets[i].clone(),
+            });
+        }
+        // Party 1 receives on the (K → 1) link.
+        let last_key = attest::establish_session(&enclaves[k - 1], &enclaves[0], (k - 1) as u64)?;
+        parties[0].rx = Some(SessionCipher::new(last_key, platform.costs()));
+
+        let dim = config.dim;
+        Ok(SdkSmc {
+            replicas: if config.verify { secrets } else { Vec::new() },
+            config: config.clone(),
+            parties,
+            wire: vec![0u8; dim * 4 + SEAL_OVERHEAD],
+            plain: vec![0u32; dim],
+            rnd: vec![0u32; dim],
+            completed: 0,
+        })
+    }
+
+    /// Execute one secure-sum round, returning the unmasked sum.
+    pub fn round(&mut self) -> Vec<u32> {
+        let dim = self.config.dim;
+        let dynamic = self.config.dynamic;
+
+        // ECall into party 1: mask and encrypt towards party 2.
+        {
+            let p = &mut self.parties[0];
+            let (wire, plain, rnd) = (&mut self.wire, &mut self.plain, &mut self.rnd);
+            p.enclave.clone().ecall(|| {
+                p.rng.fill_u32(rnd).expect("inside enclave");
+                plain.copy_from_slice(rnd);
+                add_assign(plain, &p.secret);
+                if dynamic {
+                    update_secret(&mut p.secret);
+                }
+                let mut bytes = vec![0u8; dim * 4];
+                encode_u32s(plain, &mut bytes);
+                p.tx.seal(&bytes, wire).expect("wire buffer sized");
+            });
+        }
+
+        // ECall into parties 2..K in turn: decrypt, add, re-encrypt.
+        for i in 1..self.parties.len() {
+            let p = &mut self.parties[i];
+            let (wire, plain) = (&mut self.wire, &mut self.plain);
+            p.enclave.clone().ecall(|| {
+                let mut bytes = vec![0u8; dim * 4];
+                p.rx.as_ref()
+                    .expect("ring fully keyed")
+                    .open(wire, &mut bytes)
+                    .expect("ring message authentic");
+                decode_u32s(&bytes, plain);
+                add_assign(plain, &p.secret);
+                if dynamic {
+                    update_secret(&mut p.secret);
+                }
+                encode_u32s(plain, &mut bytes);
+                p.tx.seal(&bytes, wire).expect("wire buffer sized");
+            });
+        }
+
+        // Final ECall into party 1: decrypt and unmask.
+        let result = {
+            let p = &self.parties[0];
+            let (wire, plain, rnd) = (&mut self.wire, &mut self.plain, &self.rnd);
+            p.enclave.clone().ecall(|| {
+                let mut bytes = vec![0u8; dim * 4];
+                p.rx.as_ref()
+                    .expect("ring fully keyed")
+                    .open(wire, &mut bytes)
+                    .expect("ring message authentic");
+                decode_u32s(&bytes, plain);
+                sub_assign(plain, rnd);
+                plain.clone()
+            })
+        };
+
+        self.completed += 1;
+        if self.config.verify {
+            let expected = crate::protocol::reference_sum(&self.replicas);
+            assert_eq!(
+                result, expected,
+                "SDK secure sum diverged at round {}",
+                self.completed
+            );
+            if dynamic {
+                for r in &mut self.replicas {
+                    update_secret(r);
+                }
+            }
+        }
+        result
+    }
+
+    /// Run `config.rounds` rounds and report throughput.
+    pub fn run(&mut self) -> SmcResult {
+        let started = Instant::now();
+        for _ in 0..self.config.rounds {
+            self.round();
+        }
+        let elapsed = started.elapsed();
+        SmcResult {
+            rounds: self.config.rounds,
+            elapsed,
+            throughput_rps: self.config.rounds as f64 / elapsed.as_secs_f64(),
+        }
+    }
+}
+
+/// Build and run the SDK-style deployment in one call (counterpart of
+/// [`crate::run_ea`]).
+///
+/// # Errors
+///
+/// [`SmcError`] on an invalid configuration or a platform failure.
+///
+/// # Examples
+///
+/// ```
+/// use sgx_sim::{CostModel, Platform};
+/// use smc::{run_sdk, SmcConfig};
+///
+/// let platform = Platform::builder().cost_model(CostModel::zero()).build();
+/// let result = run_sdk(&platform, &SmcConfig {
+///     parties: 3,
+///     dim: 8,
+///     rounds: 20,
+///     verify: true,
+///     ..SmcConfig::default()
+/// })?;
+/// assert!(result.throughput_rps > 0.0);
+/// # Ok::<(), smc::SmcError>(())
+/// ```
+pub fn run_sdk(platform: &Platform, config: &SmcConfig) -> Result<SmcResult, SmcError> {
+    Ok(SdkSmc::new(platform, config)?.run())
+}

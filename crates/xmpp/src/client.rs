@@ -1,0 +1,565 @@
+//! Emulated XMPP clients — the workload generator for Figures 14–17.
+//!
+//! The paper emulates clients with libstrophe, one thread each. To drive
+//! up to a thousand clients deterministically on one machine, this module
+//! multiplexes clients as non-blocking state machines over a small number
+//! of untrusted driver threads; the protocol behaviour matches §6.4:
+//!
+//! * **One-to-one**: half the clients send a message to their partner and
+//!   wait for the response before sending the next; partners respond to
+//!   every message. Throughput counts completed send/receive pairs.
+//! * **One-to-many**: all participants of a group join its room; one
+//!   participant (the pacer) sends a new message whenever it receives its
+//!   previous one. Throughput counts pacer rounds.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use enet::{NetBackend, NetError, RecvOutcome, SocketId};
+use rand::{Rng, SeedableRng};
+
+use crate::stanza::Stanza;
+use crate::wire::{encode_frame, ConnCrypto, FrameBuf};
+
+/// A one-to-one workload description.
+#[derive(Debug, Clone)]
+pub struct O2oWorkload {
+    /// Concurrent clients (half senders, half receivers).
+    pub clients: usize,
+    /// Message payload bytes (the paper uses up to 150).
+    pub payload: usize,
+    /// Measurement duration.
+    pub duration: Duration,
+    /// Driver threads multiplexing the clients.
+    pub driver_threads: usize,
+    /// Encrypt connections (must match the server).
+    pub wire_crypto: bool,
+    /// Server port.
+    pub port: u16,
+}
+
+impl Default for O2oWorkload {
+    fn default() -> Self {
+        O2oWorkload {
+            clients: 50,
+            payload: 150,
+            duration: Duration::from_secs(2),
+            driver_threads: 4,
+            wire_crypto: true,
+            port: 5222,
+        }
+    }
+}
+
+/// A one-to-many (group chat) workload description.
+#[derive(Debug, Clone)]
+pub struct O2mWorkload {
+    /// Number of group chats.
+    pub groups: usize,
+    /// Participants per group.
+    pub participants: usize,
+    /// Message payload bytes.
+    pub payload: usize,
+    /// Measurement duration.
+    pub duration: Duration,
+    /// Driver threads multiplexing the clients.
+    pub driver_threads: usize,
+    /// Encrypt connections (must match the server).
+    pub wire_crypto: bool,
+    /// Server port.
+    pub port: u16,
+}
+
+impl Default for O2mWorkload {
+    fn default() -> Self {
+        O2mWorkload {
+            groups: 1,
+            participants: 20,
+            payload: 150,
+            duration: Duration::from_secs(2),
+            driver_threads: 4,
+            wire_crypto: true,
+            port: 5222,
+        }
+    }
+}
+
+/// Outcome of a workload run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadResult {
+    /// Completed requests (message pairs for O2O, pacer rounds for O2M).
+    pub completed: u64,
+    /// Measurement duration actually elapsed.
+    pub elapsed: Duration,
+    /// Requests per second.
+    pub throughput_rps: f64,
+    /// Clients that finished the handshake.
+    pub connected: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Connect,
+    AwaitStreamOk,
+    Joining,
+    Running,
+    Dead,
+}
+
+enum Role {
+    /// Sends to `partner`, counts a request per response received.
+    Sender { partner: String },
+    /// Responds to every message with a message back to its sender.
+    Responder,
+    /// Group pacer: sends to `room` whenever its previous message echoes
+    /// back.
+    Pacer { room: String },
+    /// Group member: joins and passively receives.
+    Listener { room: String },
+}
+
+struct EmClient {
+    name: String,
+    role: Role,
+    phase: Phase,
+    socket: Option<SocketId>,
+    crypto: ConnCrypto,
+    frames: FrameBuf,
+    outbuf: Vec<u8>,
+    completed: u64,
+    payload: String,
+    /// Idle polls since the last frame; drives retransmission — a
+    /// message sent before the partner finished its handshake is dropped
+    /// by the server (offline recipient), so senders and pacers must
+    /// retry like real clients do.
+    stalls: u32,
+}
+
+/// Idle polls before a sender/pacer retransmits its in-flight message.
+const RETRY_AFTER_POLLS: u32 = 400;
+
+impl EmClient {
+    fn new(name: String, role: Role, payload_len: usize, wire_crypto: bool, costs: &sgx_sim::CostHandle, rng: &mut impl Rng) -> Self {
+        let payload: String = (0..payload_len)
+            .map(|_| rng.gen_range(b'a'..=b'z') as char)
+            .collect();
+        let crypto = if wire_crypto {
+            ConnCrypto::for_user(&name, costs.clone())
+        } else {
+            ConnCrypto::plaintext()
+        };
+        EmClient {
+            name,
+            role,
+            phase: Phase::Connect,
+            socket: None,
+            crypto,
+            frames: FrameBuf::new(),
+            outbuf: Vec::new(),
+            completed: 0,
+            payload,
+            stalls: 0,
+        }
+    }
+
+    fn queue_plain(&mut self, stanza: &Stanza) {
+        encode_frame(stanza.to_xml().as_bytes(), &mut self.outbuf);
+    }
+
+    fn queue_sealed(&mut self, stanza: &Stanza) {
+        let sealed = self.crypto.seal_stanza(&stanza.to_xml());
+        encode_frame(&sealed, &mut self.outbuf);
+    }
+
+    fn flush(&mut self, net: &dyn NetBackend) {
+        if self.outbuf.is_empty() {
+            return;
+        }
+        let Some(socket) = self.socket else { return };
+        match net.send(socket, &self.outbuf) {
+            Ok(n) => {
+                self.outbuf.drain(..n);
+            }
+            Err(_) => self.phase = Phase::Dead,
+        }
+    }
+
+    /// One scheduling quantum; returns true if progress was made.
+    fn step(&mut self, net: &dyn NetBackend, port: u16, server: &str) -> bool {
+        match self.phase {
+            Phase::Dead => false,
+            Phase::Connect => {
+                match net.connect(port) {
+                    Ok(s) => {
+                        self.socket = Some(s);
+                        self.queue_plain(&Stanza::Stream {
+                            from: self.name.clone(),
+                            to: server.to_owned(),
+                        });
+                        self.flush(net);
+                        self.phase = Phase::AwaitStreamOk;
+                        true
+                    }
+                    Err(NetError::ConnectionRefused(_)) => false, // server not up yet
+                    Err(_) => {
+                        self.phase = Phase::Dead;
+                        false
+                    }
+                }
+            }
+            _ => {
+                self.flush(net);
+                let mut progressed = false;
+                let mut buf = [0u8; 2048];
+                let Some(socket) = self.socket else { return false };
+                loop {
+                    match net.recv(socket, &mut buf) {
+                        Ok(RecvOutcome::Data(n)) => {
+                            self.frames.push(&buf[..n]);
+                            progressed = true;
+                        }
+                        Ok(RecvOutcome::WouldBlock) => break,
+                        Ok(RecvOutcome::Eof) | Err(_) => {
+                            self.phase = Phase::Dead;
+                            return progressed;
+                        }
+                    }
+                }
+                while let Ok(Some(frame)) = self.frames.next_frame() {
+                    progressed = true;
+                    self.stalls = 0;
+                    self.handle_frame(&frame);
+                }
+                if !progressed && self.phase == Phase::Running {
+                    self.stalls += 1;
+                    if self.stalls > RETRY_AFTER_POLLS {
+                        self.stalls = 0;
+                        self.retransmit();
+                    }
+                }
+                self.flush(net);
+                progressed
+            }
+        }
+    }
+
+    /// Resend the in-flight request (sender/pacer recovery after the
+    /// server dropped a message towards a not-yet-registered partner).
+    fn retransmit(&mut self) {
+        match &self.role {
+            Role::Sender { partner } => {
+                let partner = partner.clone();
+                let body = self.payload.clone();
+                self.queue_sealed(&Stanza::Message { to: partner, from: String::new(), body });
+            }
+            Role::Pacer { room } => {
+                let to = Stanza::room_address(room);
+                let body = self.payload.clone();
+                self.queue_sealed(&Stanza::Message { to, from: String::new(), body });
+            }
+            Role::Responder | Role::Listener { .. } => {}
+        }
+    }
+
+    fn handle_frame(&mut self, frame: &[u8]) {
+        let stanza = if self.phase == Phase::AwaitStreamOk {
+            // The handshake acknowledgement is plaintext.
+            std::str::from_utf8(frame).ok().and_then(|x| Stanza::parse(x).ok())
+        } else {
+            self.crypto
+                .open_stanza(frame)
+                .ok()
+                .and_then(|x| Stanza::parse(&x).ok())
+        };
+        let Some(stanza) = stanza else { return };
+        match (self.phase, stanza) {
+            (Phase::AwaitStreamOk, Stanza::StreamOk { .. }) => match &self.role {
+                Role::Sender { partner } => {
+                    let partner = partner.clone();
+                    self.phase = Phase::Running;
+                    let body = self.payload.clone();
+                    self.queue_sealed(&Stanza::Message {
+                        to: partner,
+                        from: String::new(),
+                        body,
+                    });
+                }
+                Role::Responder => self.phase = Phase::Running,
+                Role::Pacer { room } | Role::Listener { room } => {
+                    let room = room.clone();
+                    self.phase = Phase::Joining;
+                    self.queue_sealed(&Stanza::Join { room });
+                }
+            },
+            (Phase::AwaitStreamOk, Stanza::StreamError { .. }) => self.phase = Phase::Dead,
+            (Phase::Joining, Stanza::Joined { .. }) => {
+                self.phase = Phase::Running;
+                if let Role::Pacer { room } = &self.role {
+                    let to = Stanza::room_address(room);
+                    let body = self.payload.clone();
+                    self.queue_sealed(&Stanza::Message { to, from: String::new(), body });
+                }
+            }
+            (Phase::Running, Stanza::Message { from, .. }) => match &self.role {
+                Role::Sender { .. } => {
+                    // Our partner's response: one request completed.
+                    self.completed += 1;
+                    let partner = match &self.role {
+                        Role::Sender { partner } => partner.clone(),
+                        _ => unreachable!(),
+                    };
+                    let body = self.payload.clone();
+                    self.queue_sealed(&Stanza::Message { to: partner, from: String::new(), body });
+                }
+                Role::Responder => {
+                    let body = self.payload.clone();
+                    self.queue_sealed(&Stanza::Message { to: from, from: String::new(), body });
+                }
+                Role::Pacer { room } => {
+                    // Our previous group message came back: next round.
+                    self.completed += 1;
+                    let to = Stanza::room_address(room);
+                    let body = self.payload.clone();
+                    self.queue_sealed(&Stanza::Message { to, from: String::new(), body });
+                }
+                Role::Listener { .. } => {
+                    self.completed += 1; // deliveries observed
+                }
+            },
+            _ => {}
+        }
+    }
+}
+
+fn drive(
+    net: Arc<dyn NetBackend>,
+    mut clients: Vec<EmClient>,
+    port: u16,
+    deadline: Instant,
+    stop: Arc<AtomicBool>,
+    completed: Arc<AtomicU64>,
+    connected: Arc<AtomicU64>,
+) {
+    let server = "eactors.example";
+    let mut reported_connected = vec![false; clients.len()];
+    while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+        let mut any = false;
+        for (i, c) in clients.iter_mut().enumerate() {
+            let was_handshaking = matches!(c.phase, Phase::Connect | Phase::AwaitStreamOk);
+            if c.step(net.as_ref(), port, server) {
+                any = true;
+            }
+            if was_handshaking
+                && !matches!(c.phase, Phase::Connect | Phase::AwaitStreamOk | Phase::Dead)
+                && !reported_connected[i]
+            {
+                reported_connected[i] = true;
+                connected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if !any {
+            std::thread::yield_now();
+        }
+    }
+    let total: u64 = clients
+        .iter()
+        .filter(|c| matches!(c.role, Role::Sender { .. } | Role::Pacer { .. }))
+        .map(|c| c.completed)
+        .sum();
+    completed.fetch_add(total, Ordering::Relaxed);
+    // Tear the connections down.
+    for c in &clients {
+        if let Some(s) = c.socket {
+            let _ = net.close(s);
+        }
+    }
+}
+
+fn run_clients(
+    net: Arc<dyn NetBackend>,
+    clients: Vec<EmClient>,
+    driver_threads: usize,
+    port: u16,
+    duration: Duration,
+) -> WorkloadResult {
+    let completed = Arc::new(AtomicU64::new(0));
+    let connected = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let deadline = started + duration;
+    let threads = driver_threads.max(1);
+
+    // Distribute clients over driver threads round-robin so partner pairs
+    // don't all share one thread.
+    let mut buckets: Vec<Vec<EmClient>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, c) in clients.into_iter().enumerate() {
+        buckets[i % threads].push(c);
+    }
+    let handles: Vec<_> = buckets
+        .into_iter()
+        .map(|bucket| {
+            let net = net.clone();
+            let stop = stop.clone();
+            let completed = completed.clone();
+            let connected = connected.clone();
+            std::thread::spawn(move || drive(net, bucket, port, deadline, stop, completed, connected))
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client driver panicked");
+    }
+    let elapsed = started.elapsed();
+    let completed = completed.load(Ordering::Relaxed);
+    WorkloadResult {
+        completed,
+        elapsed,
+        throughput_rps: completed as f64 / elapsed.as_secs_f64(),
+        connected: connected.load(Ordering::Relaxed),
+    }
+}
+
+/// Run the one-to-one workload against a server listening on
+/// `workload.port`.
+pub fn run_o2o(net: Arc<dyn NetBackend>, costs: &sgx_sim::CostHandle, workload: &O2oWorkload) -> WorkloadResult {
+    let pairs = (workload.clients / 2).max(1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC11E);
+    let mut clients = Vec::with_capacity(pairs * 2);
+    for p in 0..pairs {
+        let sender = format!("u{}", p);
+        let receiver = format!("u{}", p + pairs);
+        clients.push(EmClient::new(
+            receiver.clone(),
+            Role::Responder,
+            workload.payload,
+            workload.wire_crypto,
+            costs,
+            &mut rng,
+        ));
+        clients.push(EmClient::new(
+            sender,
+            Role::Sender { partner: receiver },
+            workload.payload,
+            workload.wire_crypto,
+            costs,
+            &mut rng,
+        ));
+    }
+    run_clients(net, clients, workload.driver_threads, workload.port, workload.duration)
+}
+
+/// Run the group-chat workload against a server listening on
+/// `workload.port`.
+///
+/// Group `k`'s members are named `g<k>-u<i>`, so the service's
+/// `Assignment::ByRoomTag` policy confines each room to one instance.
+pub fn run_o2m(net: Arc<dyn NetBackend>, costs: &sgx_sim::CostHandle, workload: &O2mWorkload) -> WorkloadResult {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC12E);
+    let mut clients = Vec::with_capacity(workload.groups * workload.participants);
+    for g in 0..workload.groups {
+        let room = format!("room{g}");
+        for u in 0..workload.participants {
+            let name = format!("g{g}-u{u}");
+            let role = if u == 0 {
+                Role::Pacer { room: room.clone() }
+            } else {
+                Role::Listener { room: room.clone() }
+            };
+            clients.push(EmClient::new(
+                name,
+                role,
+                workload.payload,
+                workload.wire_crypto,
+                costs,
+                &mut rng,
+            ));
+        }
+    }
+    run_clients(net, clients, workload.driver_threads, workload.port, workload.duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enet::SimNet;
+    use sgx_sim::{CostModel, Platform};
+
+    fn costs() -> sgx_sim::CostHandle {
+        Platform::builder().cost_model(CostModel::zero()).build().costs()
+    }
+
+    #[test]
+    fn workload_against_dead_server_reports_zero_connected() {
+        // Nothing listens: every client stays in Connect; the run must
+        // terminate at the deadline with zeros, not hang.
+        let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(costs()));
+        let result = run_o2o(
+            net,
+            &costs(),
+            &O2oWorkload {
+                clients: 4,
+                duration: Duration::from_millis(100),
+                driver_threads: 1,
+                ..O2oWorkload::default()
+            },
+        );
+        assert_eq!(result.connected, 0);
+        assert_eq!(result.completed, 0);
+    }
+
+    #[test]
+    fn clients_tear_down_their_sockets() {
+        let c = costs();
+        let sim = SimNet::new(c.clone());
+        let net: Arc<dyn NetBackend> = Arc::new(sim.clone());
+        // A trivial inline echo "server": accept and discard.
+        let listener = sim.listen(5222).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let sim = sim.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    while let Ok(Some(_)) = sim.accept(listener) {}
+                    std::thread::yield_now();
+                }
+            })
+        };
+        run_o2o(
+            net,
+            &c,
+            &O2oWorkload {
+                clients: 6,
+                duration: Duration::from_millis(150),
+                driver_threads: 2,
+                ..O2oWorkload::default()
+            },
+        );
+        stop.store(true, Ordering::Relaxed);
+        acceptor.join().unwrap();
+        // All client-side sockets were closed; only the 6 orphaned
+        // server-side ends may remain.
+        assert!(sim.open_sockets() <= 6, "clients leaked sockets: {}", sim.open_sockets());
+    }
+
+    #[test]
+    fn o2m_naming_matches_room_tag_convention() {
+        // The pacer of group 3 must be named g3-u0 so ByRoomTag pins it.
+        let w = O2mWorkload { groups: 4, participants: 2, ..O2mWorkload::default() };
+        for g in 0..w.groups {
+            let name = format!("g{g}-u0");
+            assert!(name.starts_with(&format!("g{g}-")));
+        }
+    }
+
+    #[test]
+    fn throughput_math_is_consistent() {
+        let r = WorkloadResult {
+            completed: 500,
+            elapsed: Duration::from_secs(2),
+            throughput_rps: 250.0,
+            connected: 10,
+        };
+        assert_eq!(r.completed as f64 / r.elapsed.as_secs_f64(), r.throughput_rps);
+    }
+}

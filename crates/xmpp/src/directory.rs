@@ -1,0 +1,290 @@
+//! The Online list: shared user and group state over the POS.
+//!
+//! The CONNECTOR stores established connections in a list shared with the
+//! XMPP eactors (§5.1.1, Figure 7). This module realises that list — plus
+//! group-chat membership — on top of the Persistent Object Store, so any
+//! XMPP instance can resolve a recipient's socket (and which instance
+//! owns it) and the state survives service restarts.
+//!
+//! When the service spans multiple enclaves the underlying store is
+//! encrypted; with a single enclave it can stay plaintext in enclave
+//! memory — the effect §6.4.3 measures.
+
+use std::sync::Arc;
+
+use pos::{PosConfig, PosEncryption, PosError, PosStore, ReaderHandle};
+
+/// Where a user's connection lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UserEntry {
+    /// The connected socket.
+    pub socket: u64,
+    /// The XMPP instance owning the socket (all writes go through its
+    /// WRITER to preserve per-socket ordering).
+    pub instance: u32,
+}
+
+/// One group-chat member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Member {
+    /// Member user name (determines the connection key).
+    pub user: String,
+    /// The member's socket.
+    pub socket: u64,
+    /// The instance owning the socket.
+    pub instance: u32,
+}
+
+/// Shared registry: user → connection and room → members.
+///
+/// Each actor using the directory registers its own [`DirectoryReader`].
+///
+/// # Examples
+///
+/// ```
+/// use xmpp::Directory;
+///
+/// let dir = Directory::with_capacity(64, 32, None);
+/// let r = dir.reader();
+/// dir.register_user(&r, "alice", 7, 0)?;
+/// assert_eq!(dir.lookup_user(&r, "alice")?.map(|e| e.socket), Some(7));
+/// # Ok::<(), pos::PosError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Directory {
+    store: Arc<PosStore>,
+}
+
+/// A registered reader of the directory (one per actor).
+pub type DirectoryReader = ReaderHandle;
+
+impl Directory {
+    /// A directory sized for `users` concurrent users and groups of up to
+    /// `group_size` members; pass `encryption` when the store lives in
+    /// untrusted memory shared by multiple enclaves.
+    pub fn with_capacity(users: u32, group_size: u32, encryption: Option<PosEncryption>) -> Self {
+        let entries = (users * 4).max(64);
+        // user / socket / instance triples plus string overhead.
+        let payload = (48 * group_size as usize + 64).max(256);
+        Directory {
+            store: PosStore::new(PosConfig {
+                entries,
+                payload,
+                stacks: 32,
+                encryption,
+            }),
+        }
+    }
+
+    /// Wrap an existing store.
+    pub fn from_store(store: Arc<PosStore>) -> Self {
+        Directory { store }
+    }
+
+    /// The underlying store (for the Cleaner actor and persistence).
+    pub fn store(&self) -> &Arc<PosStore> {
+        &self.store
+    }
+
+    /// Register a reader handle for an actor.
+    pub fn reader(&self) -> DirectoryReader {
+        self.store.register_reader()
+    }
+
+    /// Record `user` as connected on `socket`, owned by `instance`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PosError`] (e.g. a full store).
+    pub fn register_user(
+        &self,
+        r: &DirectoryReader,
+        user: &str,
+        socket: u64,
+        instance: u32,
+    ) -> Result<(), PosError> {
+        let mut value = [0u8; 12];
+        value[..8].copy_from_slice(&socket.to_le_bytes());
+        value[8..].copy_from_slice(&instance.to_le_bytes());
+        self.store.set(r, format!("u:{user}").as_bytes(), &value)
+    }
+
+    /// Forget `user`'s connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PosError`].
+    pub fn unregister_user(&self, r: &DirectoryReader, user: &str) -> Result<(), PosError> {
+        self.store.delete(r, format!("u:{user}").as_bytes())
+    }
+
+    /// Where `user` is connected, if online.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PosError`].
+    pub fn lookup_user(&self, r: &DirectoryReader, user: &str) -> Result<Option<UserEntry>, PosError> {
+        let mut buf = [0u8; 12];
+        match self.store.get(r, format!("u:{user}").as_bytes(), &mut buf)? {
+            Some(12) => Ok(Some(UserEntry {
+                socket: u64::from_le_bytes(buf[..8].try_into().expect("sized")),
+                instance: u32::from_le_bytes(buf[8..].try_into().expect("sized")),
+            })),
+            _ => Ok(None),
+        }
+    }
+
+    /// Add a member to `room` (idempotent by user name).
+    ///
+    /// Group membership is updated by the single XMPP eactor owning the
+    /// room (the paper dedicates each group chat to one eactor), so
+    /// read-modify-write here is single-writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PosError`]; `TooLarge` when the room is full.
+    pub fn join_group(&self, r: &DirectoryReader, room: &str, member: Member) -> Result<(), PosError> {
+        let mut members = self.group_members(r, room)?;
+        if let Some(existing) = members.iter_mut().find(|m| m.user == member.user) {
+            *existing = member; // reconnect: refresh socket/instance
+        } else {
+            members.push(member);
+        }
+        self.write_members(r, room, &members)
+    }
+
+    /// Remove `user` from `room`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PosError`].
+    pub fn leave_group(&self, r: &DirectoryReader, room: &str, user: &str) -> Result<(), PosError> {
+        let mut members = self.group_members(r, room)?;
+        let before = members.len();
+        members.retain(|m| m.user != user);
+        if members.len() == before {
+            return Ok(());
+        }
+        self.write_members(r, room, &members)
+    }
+
+    /// Current members of `room` (empty when the room is unknown).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PosError`].
+    pub fn group_members(&self, r: &DirectoryReader, room: &str) -> Result<Vec<Member>, PosError> {
+        let mut buf = vec![0u8; self.store.payload_size()];
+        let n = match self.store.get(r, format!("g:{room}").as_bytes(), &mut buf)? {
+            Some(n) => n,
+            None => return Ok(Vec::new()),
+        };
+        let data = &buf[..n];
+        let mut members = Vec::new();
+        let mut pos = 0;
+        while pos + 13 <= data.len() {
+            let socket = u64::from_le_bytes(data[pos..pos + 8].try_into().expect("sized"));
+            let instance = u32::from_le_bytes(data[pos + 8..pos + 12].try_into().expect("sized"));
+            let ulen = data[pos + 12] as usize;
+            pos += 13;
+            if pos + ulen > data.len() {
+                break;
+            }
+            let user = String::from_utf8_lossy(&data[pos..pos + ulen]).into_owned();
+            pos += ulen;
+            members.push(Member { user, socket, instance });
+        }
+        Ok(members)
+    }
+
+    fn write_members(&self, r: &DirectoryReader, room: &str, members: &[Member]) -> Result<(), PosError> {
+        let mut value = Vec::new();
+        for m in members {
+            value.extend_from_slice(&m.socket.to_le_bytes());
+            value.extend_from_slice(&m.instance.to_le_bytes());
+            value.push(m.user.len().min(255) as u8);
+            value.extend_from_slice(&m.user.as_bytes()[..m.user.len().min(255)]);
+        }
+        self.store.set(r, format!("g:{room}").as_bytes(), &value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(user: &str, socket: u64, instance: u32) -> Member {
+        Member { user: user.into(), socket, instance }
+    }
+
+    #[test]
+    fn user_lifecycle() {
+        let d = Directory::with_capacity(8, 4, None);
+        let r = d.reader();
+        assert_eq!(d.lookup_user(&r, "bob").unwrap(), None);
+        d.register_user(&r, "bob", 3, 1).unwrap();
+        assert_eq!(
+            d.lookup_user(&r, "bob").unwrap(),
+            Some(UserEntry { socket: 3, instance: 1 })
+        );
+        // Reconnect on a new socket supersedes.
+        d.register_user(&r, "bob", 9, 2).unwrap();
+        assert_eq!(d.lookup_user(&r, "bob").unwrap().unwrap().socket, 9);
+        d.unregister_user(&r, "bob").unwrap();
+        assert_eq!(d.lookup_user(&r, "bob").unwrap(), None);
+    }
+
+    #[test]
+    fn group_lifecycle() {
+        let d = Directory::with_capacity(8, 8, None);
+        let r = d.reader();
+        assert!(d.group_members(&r, "tea").unwrap().is_empty());
+        d.join_group(&r, "tea", member("a", 1, 0)).unwrap();
+        d.join_group(&r, "tea", member("b", 2, 0)).unwrap();
+        d.join_group(&r, "tea", member("b", 5, 1)).unwrap(); // reconnect
+        let m = d.group_members(&r, "tea").unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[1], member("b", 5, 1));
+        d.leave_group(&r, "tea", "a").unwrap();
+        assert_eq!(d.group_members(&r, "tea").unwrap(), vec![member("b", 5, 1)]);
+        d.leave_group(&r, "tea", "ghost").unwrap(); // no-op
+    }
+
+    #[test]
+    fn groups_and_users_do_not_collide() {
+        let d = Directory::with_capacity(8, 4, None);
+        let r = d.reader();
+        d.register_user(&r, "x", 5, 0).unwrap();
+        d.join_group(&r, "x", member("y", 6, 0)).unwrap();
+        assert_eq!(d.lookup_user(&r, "x").unwrap().unwrap().socket, 5);
+        assert_eq!(d.group_members(&r, "x").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn encrypted_directory_round_trips() {
+        use sgx_sim::crypto::SessionKey;
+        use sgx_sim::{CostModel, Platform};
+        let costs = Platform::builder().cost_model(CostModel::zero()).build().costs();
+        let d = Directory::with_capacity(8, 4, Some(PosEncryption {
+            key: SessionKey::derive(&[1, 2, 3]),
+            costs,
+        }));
+        let r = d.reader();
+        d.register_user(&r, "alice", 11, 3).unwrap();
+        assert_eq!(
+            d.lookup_user(&r, "alice").unwrap(),
+            Some(UserEntry { socket: 11, instance: 3 })
+        );
+    }
+
+    #[test]
+    fn cleaner_keeps_directory_usable() {
+        let d = Directory::with_capacity(4, 4, None);
+        let r = d.reader();
+        for sock in 0..40u64 {
+            d.register_user(&r, "hot", sock, 0).unwrap();
+            d.store().clean();
+        }
+        assert_eq!(d.lookup_user(&r, "hot").unwrap().unwrap().socket, 39);
+    }
+}

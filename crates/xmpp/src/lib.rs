@@ -1,0 +1,349 @@
+//! # xmpp — the secure instant-messaging use case
+//!
+//! Reproduces §5.1 of the EActors paper: an XMPP service whose protocol
+//! logic runs in SGX enclaves, decomposed into a CONNECTOR eactor plus
+//! `N` XMPP instances with untrusted READER/WRITER system actors
+//! (Figure 7). Supports one-to-one chat (end-to-end style routing of
+//! opaque bodies) and one-to-many group chat, where the server decrypts
+//! each member's message once and re-encrypts it for every member —
+//! optionally confining each room to its own eactor and enclave.
+//!
+//! The crate also ships the two baseline servers the paper measures
+//! against ([`baseline`]) and the emulated-client workload generator
+//! ([`client`]), so Figures 14–17 can be regenerated end to end:
+//!
+//! | Figure | What varies | Entry point |
+//! |---|---|---|
+//! | 14 | clients × {EJB, JBD2, EA/3, EA/6, EA/48} | [`start_service`] / [`baseline::BaselineServer`] + [`client::run_o2o`] |
+//! | 15 | group size, trusted vs untrusted | [`client::run_o2m`] |
+//! | 16 | enclave count for 48 eactors | [`EnclaveLayout`] |
+//! | 17 | trusted vs untrusted, instance count | [`XmppConfig::trusted`] |
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod client;
+mod directory;
+mod service;
+pub mod stanza;
+pub mod wire;
+
+pub use directory::{Directory, DirectoryReader, Member, UserEntry};
+pub use service::{
+    start_service, Assignment, EnclaveLayout, RunningService, ServiceStats, XmppConfig,
+};
+
+use std::fmt;
+
+/// Errors configuring or starting the messaging service.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum XmppError {
+    /// At least one XMPP instance is required.
+    NoInstances,
+    /// The deployment failed to build or start.
+    Config(eactors::ConfigError),
+}
+
+impl fmt::Display for XmppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmppError::NoInstances => write!(f, "the service needs at least one XMPP instance"),
+            XmppError::Config(e) => write!(f, "deployment error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XmppError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XmppError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<eactors::ConfigError> for XmppError {
+    fn from(e: eactors::ConfigError) -> Self {
+        XmppError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{BaselineConfig, BaselineKind, BaselineServer};
+    use crate::client::{run_o2m, run_o2o, O2mWorkload, O2oWorkload};
+    use enet::{NetBackend, SimNet};
+    use sgx_sim::{CostModel, Platform};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn platform() -> Platform {
+        Platform::builder().cost_model(CostModel::zero()).build()
+    }
+
+    fn o2o(clients: usize) -> O2oWorkload {
+        O2oWorkload {
+            clients,
+            duration: Duration::from_millis(600),
+            driver_threads: 2,
+            ..O2oWorkload::default()
+        }
+    }
+
+    #[test]
+    fn service_o2o_end_to_end() {
+        let p = platform();
+        let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+        let svc = start_service(&p, net.clone(), &XmppConfig::default()).unwrap();
+        let result = run_o2o(net, &p.costs(), &o2o(8));
+        assert_eq!(result.connected, 8, "all clients must complete the handshake");
+        assert!(result.completed > 0, "senders must complete request pairs");
+        let report = svc.shutdown();
+        assert!(report.total_executions() > 0);
+    }
+
+    #[test]
+    fn service_o2o_multiple_instances_route_across() {
+        let p = platform();
+        let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+        let svc = start_service(
+            &p,
+            net.clone(),
+            &XmppConfig { instances: 4, ..XmppConfig::default() },
+        )
+        .unwrap();
+        // Round-robin assignment guarantees partners land on different
+        // instances, exercising cross-instance routing.
+        let result = run_o2o(net, &p.costs(), &o2o(8));
+        assert_eq!(result.connected, 8);
+        assert!(result.completed > 0);
+        assert!(svc.stats.o2o_routed.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn service_untrusted_mode_behaves_identically() {
+        let p = platform();
+        let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+        let svc = start_service(
+            &p,
+            net.clone(),
+            &XmppConfig { trusted: false, ..XmppConfig::default() },
+        )
+        .unwrap();
+        let result = run_o2o(net, &p.costs(), &o2o(6));
+        assert_eq!(result.connected, 6);
+        assert!(result.completed > 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn service_o2m_group_chat() {
+        let p = platform();
+        let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+        let svc = start_service(
+            &p,
+            net.clone(),
+            &XmppConfig {
+                instances: 2,
+                assignment: Assignment::ByRoomTag,
+                ..XmppConfig::default()
+            },
+        )
+        .unwrap();
+        let result = run_o2m(
+            net,
+            &p.costs(),
+            &O2mWorkload {
+                groups: 2,
+                participants: 5,
+                duration: Duration::from_millis(600),
+                driver_threads: 2,
+                ..O2mWorkload::default()
+            },
+        );
+        assert_eq!(result.connected, 10);
+        assert!(result.completed > 0, "pacers must cycle group messages");
+        assert!(svc.stats.o2m_delivered.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn service_single_enclave_layout() {
+        let p = platform();
+        let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+        let svc = start_service(
+            &p,
+            net.clone(),
+            &XmppConfig {
+                instances: 3,
+                enclave_layout: EnclaveLayout::Single,
+                ..XmppConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(svc.runtime.enclaves().len(), 1);
+        let result = run_o2o(net, &p.costs(), &o2o(6));
+        assert!(result.completed > 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn service_plaintext_wire_mode() {
+        let p = platform();
+        let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+        let svc = start_service(
+            &p,
+            net.clone(),
+            &XmppConfig { wire_crypto: false, ..XmppConfig::default() },
+        )
+        .unwrap();
+        let result = run_o2o(
+            net,
+            &p.costs(),
+            &O2oWorkload { wire_crypto: false, ..o2o(4) },
+        );
+        assert!(result.completed > 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn baseline_jabberd2_end_to_end() {
+        let p = platform();
+        let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+        let server = BaselineServer::start(net.clone(), p.costs(), BaselineConfig::default());
+        let result = run_o2o(net, &p.costs(), &o2o(8));
+        assert_eq!(result.connected, 8);
+        assert!(result.completed > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn baseline_ejabberd_end_to_end() {
+        let p = platform();
+        let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+        let server = BaselineServer::start(
+            net.clone(),
+            p.costs(),
+            BaselineConfig { kind: BaselineKind::Ejabberd, ..BaselineConfig::default() },
+        );
+        let result = run_o2o(net, &p.costs(), &o2o(8));
+        assert_eq!(result.connected, 8);
+        assert!(result.completed > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn baseline_group_chat_works_on_both() {
+        for kind in [BaselineKind::Jabberd2, BaselineKind::Ejabberd] {
+            let p = platform();
+            let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+            let server = BaselineServer::start(
+                net.clone(),
+                p.costs(),
+                BaselineConfig { kind, ..BaselineConfig::default() },
+            );
+            let result = run_o2m(
+                net,
+                &p.costs(),
+                &O2mWorkload {
+                    participants: 4,
+                    duration: Duration::from_millis(500),
+                    driver_threads: 2,
+                    ..O2mWorkload::default()
+                },
+            );
+            assert!(result.completed > 0, "baseline {kind:?} group chat failed");
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn zero_instances_rejected() {
+        let p = platform();
+        let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+        assert!(matches!(
+            start_service(&p, net, &XmppConfig { instances: 0, ..XmppConfig::default() }),
+            Err(XmppError::NoInstances)
+        ));
+    }
+
+    #[test]
+    fn message_bodies_are_opaque_on_the_wire() {
+        // With wire crypto on, the message payload must never appear in
+        // any socket buffer — the guarantee that makes the untrusted
+        // networking actors safe.
+        let p = platform();
+        let sim = SimNet::new(p.costs());
+        let net: Arc<dyn NetBackend> = Arc::new(sim.clone());
+        let svc = start_service(&p, net.clone(), &XmppConfig::default()).unwrap();
+
+        // A manual client pair exchanging a needle message.
+        use crate::stanza::Stanza;
+        use crate::wire::{encode_frame, ConnCrypto, FrameBuf};
+        use enet::RecvOutcome;
+        let costs = p.costs();
+        let connect = |name: &str| {
+            let s = loop {
+                match sim.connect(5222) {
+                    Ok(s) => break s,
+                    Err(_) => std::thread::yield_now(),
+                }
+            };
+            let mut out = Vec::new();
+            encode_frame(
+                Stanza::Stream { from: name.into(), to: "srv".into() }.to_xml().as_bytes(),
+                &mut out,
+            );
+            sim.send(s, &out).unwrap();
+            // Wait for stream-ok.
+            let mut fb = FrameBuf::new();
+            let mut buf = [0u8; 512];
+            loop {
+                match sim.recv(s, &mut buf).unwrap() {
+                    RecvOutcome::Data(n) => {
+                        fb.push(&buf[..n]);
+                        if fb.next_frame().unwrap().is_some() {
+                            break;
+                        }
+                    }
+                    _ => std::thread::yield_now(),
+                }
+            }
+            s
+        };
+        let alice = connect("alice");
+        let bob = connect("bob");
+        let needle = "supersecretneedle";
+        let alice_crypto = ConnCrypto::for_user("alice", costs.clone());
+        let sealed = alice_crypto.seal_stanza(
+            &Stanza::Message { to: "bob".into(), from: String::new(), body: needle.into() }.to_xml(),
+        );
+        let mut frame = Vec::new();
+        encode_frame(&sealed, &mut frame);
+        assert!(!frame.windows(needle.len()).any(|w| w == needle.as_bytes()));
+        sim.send(alice, &frame).unwrap();
+
+        // Bob receives it, decrypts with his key, sees the needle.
+        let bob_crypto = ConnCrypto::for_user("bob", costs.clone());
+        let mut fb = FrameBuf::new();
+        let mut buf = [0u8; 1024];
+        let xml = loop {
+            match sim.recv(bob, &mut buf).unwrap() {
+                RecvOutcome::Data(n) => {
+                    fb.push(&buf[..n]);
+                    if let Some(f) = fb.next_frame().unwrap() {
+                        // The sealed frame on the wire must not leak.
+                        assert!(!f.windows(needle.len()).any(|w| w == needle.as_bytes()));
+                        break bob_crypto.open_stanza(&f).unwrap();
+                    }
+                }
+                _ => std::thread::yield_now(),
+            }
+        };
+        assert!(xml.contains(needle));
+        svc.shutdown();
+    }
+}

@@ -1,0 +1,705 @@
+//! The EActors XMPP service (paper §5.1, Figure 7).
+//!
+//! The service is decomposed into an enclaved **CONNECTOR** — which
+//! drives the ACCEPTOR, performs the stream handshake and records
+//! connections in the shared Online list — and `N` **XMPP instances**,
+//! each an (optionally enclaved) eactor with its own untrusted READER and
+//! WRITER system actors. Instances fetch their assigned clients, batch
+//! their socket subscriptions to the READER, and route messages:
+//! one-to-one by directory lookup (possibly across instances), and
+//! one-to-many by decrypting once and re-encrypting for every room member
+//! — the paper's group-chat confinement.
+//!
+//! Deployment knobs reproduce the paper's experiments: instance count
+//! (Fig 14), trusted vs untrusted execution (Fig 15/17) and how instances
+//! map onto enclaves (Fig 16).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use eactors::arena::{Arena, Mbox};
+use eactors::prelude::*;
+use enet::{recv_msg, send_msg, MboxDirectory, MboxRef, NetBackend, NetMsg, SystemActors};
+use sgx_sim::crypto::SessionKey;
+use sgx_sim::Platform;
+
+use crate::directory::{Directory, DirectoryReader, Member};
+use crate::stanza::Stanza;
+use crate::wire::{encode_frame, ConnCrypto, FrameBuf};
+use crate::XmppError;
+
+/// How XMPP instances map onto enclaves (Fig 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnclaveLayout {
+    /// All instances (and the CONNECTOR) share one enclave; shared state
+    /// needs no encryption.
+    Single,
+    /// One enclave per instance (plus one for the CONNECTOR); shared
+    /// state crosses enclave boundaries encrypted.
+    PerInstance,
+    /// Instances spread over `n` enclaves round-robin.
+    Count(usize),
+}
+
+/// How the CONNECTOR assigns authenticated clients to instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// Spread clients round-robin (the one-to-one experiments).
+    RoundRobin,
+    /// Confine each group to one instance: user names of the form
+    /// `g<k>-...` land on instance `k % instances` (the group-chat
+    /// experiments — each room's chat runs in its dedicated eactor and
+    /// enclave).
+    ByRoomTag,
+}
+
+/// Deployment configuration of the messaging service.
+#[derive(Debug, Clone)]
+pub struct XmppConfig {
+    /// Number of XMPP instances (each with its own READER and WRITER).
+    pub instances: usize,
+    /// Run the CONNECTOR and XMPP eactors inside enclaves.
+    pub trusted: bool,
+    /// Instance → enclave mapping (only meaningful when trusted).
+    pub enclave_layout: EnclaveLayout,
+    /// Client → instance assignment policy.
+    pub assignment: Assignment,
+    /// Port the service listens on.
+    pub port: u16,
+    /// Service-level connection encryption (the paper's design; disable
+    /// only for ablations).
+    pub wire_crypto: bool,
+    /// Expected concurrent clients (sizes pools and the directory).
+    pub max_clients: u32,
+    /// Execute each instance's READER and WRITER on one shared worker
+    /// (the paper's EA/3-style pairing) instead of two.
+    pub shared_net_worker: bool,
+    /// The server's XMPP domain name.
+    pub server_name: String,
+}
+
+impl Default for XmppConfig {
+    fn default() -> Self {
+        XmppConfig {
+            instances: 1,
+            trusted: true,
+            enclave_layout: EnclaveLayout::PerInstance,
+            assignment: Assignment::RoundRobin,
+            port: 5222,
+            wire_crypto: true,
+            max_clients: 128,
+            shared_net_worker: true,
+            server_name: "eactors.example".into(),
+        }
+    }
+}
+
+/// Live counters exported by a running service.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Sessions successfully established.
+    pub sessions: AtomicU64,
+    /// One-to-one messages routed.
+    pub o2o_routed: AtomicU64,
+    /// Group messages fanned out (one per delivered copy).
+    pub o2m_delivered: AtomicU64,
+    /// Messages dropped because the recipient was offline.
+    pub offline_drops: AtomicU64,
+    /// Malformed or unauthenticated frames dropped.
+    pub bad_frames: AtomicU64,
+}
+
+/// Assignment message: CONNECTOR → instance. Private wire format.
+struct AssignMsg {
+    socket: u64,
+    user: String,
+    leftover: Vec<u8>,
+}
+
+impl AssignMsg {
+    fn encode(&self, out: &mut [u8]) -> Option<usize> {
+        let needed = 8 + 2 + self.user.len() + 2 + self.leftover.len();
+        if out.len() < needed || self.user.len() > u16::MAX as usize {
+            return None;
+        }
+        out[..8].copy_from_slice(&self.socket.to_le_bytes());
+        out[8..10].copy_from_slice(&(self.user.len() as u16).to_le_bytes());
+        let mut pos = 10;
+        out[pos..pos + self.user.len()].copy_from_slice(self.user.as_bytes());
+        pos += self.user.len();
+        out[pos..pos + 2].copy_from_slice(&(self.leftover.len() as u16).to_le_bytes());
+        pos += 2;
+        out[pos..pos + self.leftover.len()].copy_from_slice(&self.leftover);
+        Some(needed)
+    }
+
+    fn decode(data: &[u8]) -> Option<AssignMsg> {
+        if data.len() < 12 {
+            return None;
+        }
+        let socket = u64::from_le_bytes(data[..8].try_into().ok()?);
+        let ulen = u16::from_le_bytes([data[8], data[9]]) as usize;
+        let user = String::from_utf8(data.get(10..10 + ulen)?.to_vec()).ok()?;
+        let pos = 10 + ulen;
+        let llen = u16::from_le_bytes([*data.get(pos)?, *data.get(pos + 1)?]) as usize;
+        let leftover = data.get(pos + 2..pos + 2 + llen)?.to_vec();
+        Some(AssignMsg { socket, user, leftover })
+    }
+}
+
+/// The enclaved CONNECTOR: listens, accepts, performs the stream
+/// handshake and hands authenticated clients to their instance.
+struct Connector {
+    port: u16,
+    listening: bool,
+    reply: Arc<Mbox>,
+    reply_ref: MboxRef,
+    opener_rq: Arc<Mbox>,
+    accepter_rq: Arc<Mbox>,
+    reader_rq: Arc<Mbox>,
+    closer_rq: Arc<Mbox>,
+    assigns: Arc<Vec<Arc<Mbox>>>,
+    assignment: Assignment,
+    rr_next: usize,
+    pending: HashMap<u64, FrameBuf>,
+    stats: Arc<ServiceStats>,
+}
+
+impl Connector {
+    fn pick_instance(&mut self, user: &str) -> usize {
+        let n = self.assigns.len();
+        match self.assignment {
+            Assignment::RoundRobin => {
+                let i = self.rr_next;
+                self.rr_next = (self.rr_next + 1) % n;
+                i
+            }
+            Assignment::ByRoomTag => user
+                .strip_prefix('g')
+                .and_then(|rest| rest.split('-').next())
+                .and_then(|tag| tag.parse::<usize>().ok())
+                .map(|k| k % n)
+                .unwrap_or_else(|| {
+                    (sgx_sim::crypto::digest(user.as_bytes()) % n as u64) as usize
+                }),
+        }
+    }
+
+    fn assign(&mut self, socket: u64, user: String, leftover: Vec<u8>) {
+        let instance = self.pick_instance(&user);
+        let msg = AssignMsg { socket, user, leftover };
+        let mbox = &self.assigns[instance];
+        if let Some(mut node) = mbox.arena().try_pop() {
+            if let Some(n) = msg.encode(node.buffer_mut()) {
+                node.set_len(n);
+                if mbox.send(node).is_ok() {
+                    return;
+                }
+            }
+        }
+        // Assignment failed (congestion): drop the connection.
+        send_msg(&self.closer_rq, &NetMsg::Close { socket });
+    }
+}
+
+impl Actor for Connector {
+    fn body(&mut self, _ctx: &mut Ctx) -> Control {
+        if !self.listening {
+            self.listening = true;
+            send_msg(
+                &self.opener_rq,
+                &NetMsg::OpenListen { port: self.port, reply: self.reply_ref },
+            );
+            return Control::Busy;
+        }
+        let mut worked = false;
+        while let Some(msg) = recv_msg(&self.reply) {
+            worked = true;
+            match msg {
+                NetMsg::OpenOk { id, listener: true } => {
+                    send_msg(
+                        &self.accepter_rq,
+                        &NetMsg::WatchListener { listener: id, reply: self.reply_ref },
+                    );
+                }
+                NetMsg::Accepted { socket, .. } => {
+                    self.pending.insert(socket, FrameBuf::new());
+                    send_msg(
+                        &self.reader_rq,
+                        &NetMsg::WatchSocket { socket, reply: self.reply_ref },
+                    );
+                }
+                NetMsg::Data { socket, payload } => {
+                    let Some(fb) = self.pending.get_mut(&socket) else {
+                        continue;
+                    };
+                    fb.push(&payload);
+                    match fb.next_frame() {
+                        Ok(Some(frame)) => {
+                            // The handshake frame is plaintext.
+                            let stanza = String::from_utf8(frame)
+                                .ok()
+                                .and_then(|xml| Stanza::parse(&xml).ok());
+                            match stanza {
+                                Some(Stanza::Stream { from, .. }) => {
+                                    let mut fb = self
+                                        .pending
+                                        .remove(&socket)
+                                        .expect("checked present above");
+                                    send_msg(&self.reader_rq, &NetMsg::Unwatch { socket });
+                                    self.assign(socket, from, fb.take_remaining());
+                                }
+                                _ => {
+                                    self.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                                    self.pending.remove(&socket);
+                                    send_msg(&self.reader_rq, &NetMsg::Unwatch { socket });
+                                    send_msg(&self.closer_rq, &NetMsg::Close { socket });
+                                }
+                            }
+                        }
+                        Ok(None) => {}
+                        Err(_) => {
+                            self.pending.remove(&socket);
+                            send_msg(&self.reader_rq, &NetMsg::Unwatch { socket });
+                            send_msg(&self.closer_rq, &NetMsg::Close { socket });
+                        }
+                    }
+                }
+                NetMsg::SocketClosed { socket } => {
+                    self.pending.remove(&socket);
+                }
+                _ => {}
+            }
+        }
+        if worked {
+            Control::Busy
+        } else {
+            Control::Idle
+        }
+    }
+}
+
+struct Session {
+    user: String,
+    crypto: ConnCrypto,
+    frames: FrameBuf,
+    rooms: Vec<String>,
+}
+
+/// One XMPP protocol instance (the paper's `XMPP #i` eactor).
+struct XmppInstance {
+    index: u32,
+    wire_crypto: bool,
+    directory: Directory,
+    dir_reader: Option<DirectoryReader>,
+    sessions: HashMap<u64, Session>,
+    out_crypto: HashMap<String, ConnCrypto>,
+    data: Arc<Mbox>,
+    data_ref: MboxRef,
+    reader_rq: Arc<Mbox>,
+    writers: Arc<Vec<Arc<Mbox>>>,
+    assign: Arc<Mbox>,
+    stats: Arc<ServiceStats>,
+}
+
+impl XmppInstance {
+    fn write_to(
+        &mut self,
+        costs: &sgx_sim::CostHandle,
+        user: &str,
+        socket: u64,
+        instance: u32,
+        xml: &str,
+    ) {
+        let wire_crypto = self.wire_crypto;
+        let crypto = self.out_crypto.entry(user.to_owned()).or_insert_with(|| {
+            if wire_crypto {
+                ConnCrypto::for_user(user, costs.clone())
+            } else {
+                ConnCrypto::plaintext()
+            }
+        });
+        let sealed = crypto.seal_stanza(xml);
+        let mut frame = Vec::with_capacity(sealed.len() + 4);
+        encode_frame(&sealed, &mut frame);
+        send_msg(
+            &self.writers[instance as usize],
+            &NetMsg::Write { socket, payload: frame },
+        );
+    }
+
+    fn handle_stanza(&mut self, ctx: &Ctx, socket: u64, stanza: Stanza) {
+        let costs = ctx.costs().clone();
+        let (sender, instance) = {
+            let Some(s) = self.sessions.get(&socket) else { return };
+            (s.user.clone(), self.index)
+        };
+        match stanza {
+            Stanza::Message { to, body, .. } => {
+                if let Some(room) = Stanza::room_of(&to).map(str::to_owned) {
+                    // One-to-many: decrypt once (already done), re-encrypt
+                    // per member (§5.1: a dedicated enclave per group).
+                    let reader = self.dir_reader.as_ref().expect("ctor ran");
+                    let members = self
+                        .directory
+                        .group_members(reader, &room)
+                        .unwrap_or_default();
+                    let xml = Stanza::Message {
+                        to: Stanza::room_address(&room),
+                        from: sender.clone(),
+                        body,
+                    }
+                    .to_xml();
+                    for m in members {
+                        self.write_to(&costs, &m.user, m.socket, m.instance, &xml);
+                        self.stats.o2m_delivered.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    // One-to-one: resolve the recipient anywhere in the
+                    // service and route through its owning WRITER.
+                    let reader = self.dir_reader.as_ref().expect("ctor ran");
+                    match self.directory.lookup_user(reader, &to) {
+                        Ok(Some(entry)) => {
+                            let xml = Stanza::Message {
+                                to: to.clone(),
+                                from: sender,
+                                body,
+                            }
+                            .to_xml();
+                            self.write_to(&costs, &to, entry.socket, entry.instance, &xml);
+                            self.stats.o2o_routed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            self.stats.offline_drops.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            Stanza::Join { room } => {
+                let reader = self.dir_reader.as_ref().expect("ctor ran");
+                let _ = self.directory.join_group(
+                    reader,
+                    &room,
+                    Member { user: sender.clone(), socket, instance },
+                );
+                if let Some(s) = self.sessions.get_mut(&socket) {
+                    if !s.rooms.contains(&room) {
+                        s.rooms.push(room.clone());
+                    }
+                }
+                let xml = Stanza::Joined { room }.to_xml();
+                self.write_to(&costs, &sender, socket, instance, &xml);
+            }
+            Stanza::Presence { .. } => {
+                // Presence is recorded implicitly by the directory; no
+                // broadcast in this subset.
+            }
+            Stanza::Iq { id, kind, query } => {
+                if kind == "get" {
+                    let xml = Stanza::Iq { id, kind: "result".into(), query }.to_xml();
+                    self.write_to(&costs, &sender, socket, instance, &xml);
+                }
+            }
+            // Stream management stanzas are not valid mid-session.
+            Stanza::Stream { .. } | Stanza::StreamOk { .. } | Stanza::StreamError { .. }
+            | Stanza::Joined { .. } => {
+                self.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn drop_session(&mut self, socket: u64) {
+        if let Some(session) = self.sessions.remove(&socket) {
+            let reader = self.dir_reader.as_ref().expect("ctor ran");
+            let _ = self.directory.unregister_user(reader, &session.user);
+            for room in &session.rooms {
+                let _ = self.directory.leave_group(reader, room, &session.user);
+            }
+        }
+    }
+
+    fn pump_frames(&mut self, ctx: &Ctx, socket: u64) {
+        loop {
+            let (frame, user_ok) = {
+                let Some(session) = self.sessions.get_mut(&socket) else { return };
+                match session.frames.next_frame() {
+                    Ok(Some(frame)) => (frame, true),
+                    Ok(None) => return,
+                    Err(_) => (Vec::new(), false),
+                }
+            };
+            if !user_ok {
+                self.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                self.drop_session(socket);
+                return;
+            }
+            let stanza = {
+                let session = self.sessions.get(&socket).expect("present above");
+                session
+                    .crypto
+                    .open_stanza(&frame)
+                    .ok()
+                    .and_then(|xml| Stanza::parse(&xml).ok())
+            };
+            match stanza {
+                Some(stanza) => self.handle_stanza(ctx, socket, stanza),
+                None => {
+                    self.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+impl Actor for XmppInstance {
+    fn ctor(&mut self, _ctx: &mut Ctx) {
+        self.dir_reader = Some(self.directory.reader());
+    }
+
+    fn body(&mut self, ctx: &mut Ctx) -> Control {
+        let mut worked = false;
+
+        // Newly assigned clients (the PCL refresh: fetch the users this
+        // instance serves, then batch-subscribe their sockets).
+        let mut batch: Vec<(u64, enet::MboxRef)> = Vec::new();
+        while let Some(node) = self.assign.recv() {
+            let Some(msg) = AssignMsg::decode(node.bytes()) else {
+                continue;
+            };
+            drop(node);
+            worked = true;
+            let crypto = if self.wire_crypto {
+                ConnCrypto::for_user(&msg.user, ctx.costs().clone())
+            } else {
+                ConnCrypto::plaintext()
+            };
+            let mut frames = FrameBuf::new();
+            frames.push(&msg.leftover);
+            let reader = self.dir_reader.as_ref().expect("ctor ran");
+            let _ = self
+                .directory
+                .register_user(reader, &msg.user, msg.socket, self.index);
+            self.sessions.insert(
+                msg.socket,
+                Session { user: msg.user.clone(), crypto, frames, rooms: Vec::new() },
+            );
+            self.stats.sessions.fetch_add(1, Ordering::Relaxed);
+            batch.push((msg.socket, self.data_ref));
+            // Acknowledge the stream (plaintext, completing the
+            // handshake) through our own WRITER.
+            let ok = Stanza::StreamOk { id: format!("s{}", msg.socket) }.to_xml();
+            let mut frame = Vec::new();
+            encode_frame(ok.as_bytes(), &mut frame);
+            send_msg(
+                &self.writers[self.index as usize],
+                &NetMsg::Write { socket: msg.socket, payload: frame },
+            );
+            // Any stanzas that raced the handshake.
+            self.pump_frames(ctx, msg.socket);
+        }
+        if !batch.is_empty() {
+            // One batch request subscribes the whole refreshed PCL
+            // (§5.1.2); fall back to per-socket subscriptions if the
+            // batch does not fit a node.
+            if !send_msg(&self.reader_rq, &NetMsg::WatchBatch { entries: batch.clone() }) {
+                for (socket, reply) in batch {
+                    send_msg(&self.reader_rq, &NetMsg::WatchSocket { socket, reply });
+                }
+            }
+        }
+
+        // Incoming data from our READER.
+        while let Some(msg) = recv_msg(&self.data) {
+            worked = true;
+            match msg {
+                NetMsg::Data { socket, payload } => {
+                    if let Some(session) = self.sessions.get_mut(&socket) {
+                        session.frames.push(&payload);
+                        self.pump_frames(ctx, socket);
+                    }
+                }
+                NetMsg::SocketClosed { socket } => {
+                    self.drop_session(socket);
+                }
+                _ => {}
+            }
+        }
+
+        if worked {
+            Control::Busy
+        } else {
+            Control::Idle
+        }
+    }
+}
+
+/// A started messaging service: the runtime plus its shared state.
+pub struct RunningService {
+    /// The EActors runtime executing the service.
+    pub runtime: Runtime,
+    /// The shared Online list / group directory.
+    pub directory: Directory,
+    /// Live counters.
+    pub stats: Arc<ServiceStats>,
+}
+
+impl std::fmt::Debug for RunningService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunningService").finish_non_exhaustive()
+    }
+}
+
+impl RunningService {
+    /// Stop the service and wait for its workers.
+    pub fn shutdown(self) -> RuntimeReport {
+        self.runtime.shutdown();
+        self.runtime.join()
+    }
+}
+
+/// Start the messaging service on `platform` over `net`.
+///
+/// # Errors
+///
+/// [`XmppError`] on an invalid configuration or a platform failure.
+pub fn start_service(
+    platform: &Platform,
+    net: Arc<dyn NetBackend>,
+    config: &XmppConfig,
+) -> Result<RunningService, XmppError> {
+    if config.instances == 0 {
+        return Err(XmppError::NoInstances);
+    }
+    let stats = Arc::new(ServiceStats::default());
+
+    // Shared Online list: encrypted when it crosses enclave boundaries.
+    let multi_enclave = config.trusted
+        && !matches!(config.enclave_layout, EnclaveLayout::Single)
+        && config.instances > 1;
+    let encryption = multi_enclave.then(|| pos::PosEncryption {
+        key: SessionKey::derive(&[platform.secret(), 0x0D12_EC70]),
+        costs: platform.costs(),
+    });
+    let directory = Directory::with_capacity(config.max_clients, config.max_clients, encryption);
+
+    let mut b = DeploymentBuilder::new();
+
+    // Enclaves.
+    let enclave_count = if !config.trusted {
+        0
+    } else {
+        match config.enclave_layout {
+            EnclaveLayout::Single => 1,
+            EnclaveLayout::PerInstance => config.instances + 1,
+            EnclaveLayout::Count(n) => n.max(1),
+        }
+    };
+    let enclaves: Vec<_> = (0..enclave_count)
+        .map(|i| b.enclave(&format!("xmpp-enclave-{i}")))
+        .collect();
+    let placement_of = |slot: usize| -> Placement {
+        if !config.trusted {
+            Placement::Untrusted
+        } else {
+            Placement::Enclave(enclaves[slot % enclaves.len()])
+        }
+    };
+    // Connector uses the last enclave slot; instances 0..N map onto the
+    // remaining ones (with Single everything coincides).
+    let connector_placement = placement_of(enclave_count.saturating_sub(1));
+
+    // Per-instance node pools and mboxes.
+    let per_instance_nodes =
+        ((config.max_clients as usize * 6 / config.instances) as u32 + 256).next_power_of_two();
+    let dir_handles = Arc::new(MboxDirectory::new());
+    let mut writers_vec = Vec::with_capacity(config.instances);
+    let mut assigns_vec = Vec::with_capacity(config.instances);
+    let mut instance_parts = Vec::with_capacity(config.instances);
+    for i in 0..config.instances {
+        let pool = Arena::new(&format!("xmpp-pool-{i}"), per_instance_nodes, 2048);
+        let data = Mbox::new(pool.clone(), per_instance_nodes as usize);
+        let data_ref = dir_handles.register(data.clone());
+        let reader_rq = Mbox::new(pool.clone(), per_instance_nodes as usize);
+        let writer_rq = Mbox::new(pool.clone(), per_instance_nodes as usize);
+        let assign = Mbox::new(pool.clone(), per_instance_nodes as usize);
+        writers_vec.push(writer_rq.clone());
+        assigns_vec.push(assign.clone());
+        instance_parts.push((pool, data, data_ref, reader_rq, writer_rq, assign));
+    }
+    let writers = Arc::new(writers_vec);
+    let assigns = Arc::new(assigns_vec);
+
+    // Connector's system actor set (OPENER, ACCEPTER, handshake READER,
+    // CLOSER share the connector pool).
+    let conn_pool = Arena::new("connector-pool", (config.max_clients * 4).next_power_of_two(), 1024);
+    let conn_sys = SystemActors::new(net.clone(), conn_pool.clone());
+    let conn_reply = Mbox::new(conn_pool.clone(), conn_pool.capacity() as usize);
+    let conn_reply_ref = conn_sys.dir.register(conn_reply.clone());
+
+    let connector = Connector {
+        port: config.port,
+        listening: false,
+        reply: conn_reply,
+        reply_ref: conn_reply_ref,
+        opener_rq: conn_sys.opener_requests.clone(),
+        accepter_rq: conn_sys.accepter_requests.clone(),
+        reader_rq: conn_sys.reader_requests.clone(),
+        closer_rq: conn_sys.closer_requests.clone(),
+        assigns: assigns.clone(),
+        assignment: config.assignment,
+        rr_next: 0,
+        pending: HashMap::new(),
+        stats: stats.clone(),
+    };
+
+    let a_connector = b.actor("connector", connector_placement, connector);
+    let a_c_open = b.actor("conn-opener", Placement::Untrusted, conn_sys.opener);
+    let a_c_acc = b.actor("conn-accepter", Placement::Untrusted, conn_sys.accepter);
+    let a_c_read = b.actor("conn-reader", Placement::Untrusted, conn_sys.reader);
+    let a_c_write = b.actor("conn-writer", Placement::Untrusted, conn_sys.writer);
+    let a_c_close = b.actor("conn-closer", Placement::Untrusted, conn_sys.closer);
+    b.worker(&[a_connector]);
+    b.worker(&[a_c_open, a_c_acc, a_c_read, a_c_write, a_c_close]);
+
+    // XMPP instances, each with a dedicated READER and WRITER.
+    for (i, (_pool, data, data_ref, reader_rq, writer_rq, assign)) in
+        instance_parts.into_iter().enumerate()
+    {
+        let instance = XmppInstance {
+            index: i as u32,
+            wire_crypto: config.wire_crypto,
+            directory: directory.clone(),
+            dir_reader: None,
+            sessions: HashMap::new(),
+            out_crypto: HashMap::new(),
+            data,
+            data_ref,
+            reader_rq: reader_rq.clone(),
+            writers: writers.clone(),
+            assign,
+            stats: stats.clone(),
+        };
+        let a_x = b.actor(&format!("xmpp-{i}"), placement_of(i), instance);
+        let a_r = b.actor(
+            &format!("reader-{i}"),
+            Placement::Untrusted,
+            enet::Reader::new(net.clone(), reader_rq, dir_handles.clone()),
+        );
+        let a_w = b.actor(
+            &format!("writer-{i}"),
+            Placement::Untrusted,
+            enet::Writer::new(net.clone(), writer_rq),
+        );
+        b.worker(&[a_x]);
+        if config.shared_net_worker {
+            b.worker(&[a_r, a_w]);
+        } else {
+            b.worker(&[a_r]);
+            b.worker(&[a_w]);
+        }
+    }
+
+    let runtime = Runtime::start(platform, b.build()?)?;
+    Ok(RunningService { runtime, directory, stats })
+}

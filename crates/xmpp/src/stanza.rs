@@ -1,0 +1,376 @@
+//! XMPP stanzas: the subset of RFC 6120/XEP-0045 the service implements.
+//!
+//! The paper's service "implements core parts of the XMPP protocol"
+//! (§5.1). This module covers the stanzas both communication patterns
+//! need — stream setup, one-to-one `<message/>`, group chat (`<join/>` +
+//! room-addressed messages), `<presence/>` and a minimal `<iq/>` — as
+//! self-closing XML elements with escaped attributes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed stanza.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Stanza {
+    /// Stream opening: `<stream from="user" to="server"/>`. Carries the
+    /// authentication identity in this simplified handshake.
+    Stream {
+        /// The connecting user.
+        from: String,
+        /// The server name.
+        to: String,
+    },
+    /// Server acknowledgement: `<stream-ok id="..."/>`.
+    StreamOk {
+        /// Server-assigned session id.
+        id: String,
+    },
+    /// Server rejection: `<stream-error reason="..."/>`.
+    StreamError {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A chat message. `to` of the form `room@muc` addresses a group.
+    Message {
+        /// Recipient (user, or `room@muc`).
+        to: String,
+        /// Sender (filled in by the server on delivery).
+        from: String,
+        /// The (possibly end-to-end encrypted) message body.
+        body: String,
+    },
+    /// Group-chat join request: `<join room="r"/>`.
+    Join {
+        /// The room to join.
+        room: String,
+    },
+    /// Group-chat join acknowledgement.
+    Joined {
+        /// The room joined.
+        room: String,
+    },
+    /// Presence notification.
+    Presence {
+        /// The user whose presence changed.
+        from: String,
+        /// `available` or `unavailable`.
+        show: String,
+    },
+    /// Info/query (ping, roster, ...) — carried for protocol
+    /// completeness.
+    Iq {
+        /// Request id.
+        id: String,
+        /// `get`, `set` or `result`.
+        kind: String,
+        /// Query payload name.
+        query: String,
+    },
+}
+
+/// Errors from stanza parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StanzaError {
+    /// The element is not one of the supported stanzas.
+    UnknownElement(String),
+    /// A required attribute is missing.
+    MissingAttribute(&'static str),
+    /// The XML-ish syntax is malformed.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for StanzaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StanzaError::UnknownElement(name) => write!(f, "unknown stanza <{name}/>"),
+            StanzaError::MissingAttribute(a) => write!(f, "missing attribute {a:?}"),
+            StanzaError::Malformed(what) => write!(f, "malformed stanza: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StanzaError {}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn unescape(s: &str) -> Result<String, StanzaError> {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let entity_end = rest
+            .find(';')
+            .ok_or(StanzaError::Malformed("unterminated entity"))?;
+        match &rest[..=entity_end] {
+            "&amp;" => out.push('&'),
+            "&lt;" => out.push('<'),
+            "&gt;" => out.push('>'),
+            "&quot;" => out.push('"'),
+            _ => return Err(StanzaError::Malformed("unknown entity")),
+        }
+        rest = &rest[entity_end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+fn write_element(name: &str, attrs: &[(&str, &str)]) -> String {
+    let mut out = String::with_capacity(32);
+    out.push('<');
+    out.push_str(name);
+    for (k, v) in attrs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        escape(v, &mut out);
+        out.push('"');
+    }
+    out.push_str("/>");
+    out
+}
+
+impl Stanza {
+    /// Serialise to wire text.
+    pub fn to_xml(&self) -> String {
+        match self {
+            Stanza::Stream { from, to } => write_element("stream", &[("from", from), ("to", to)]),
+            Stanza::StreamOk { id } => write_element("stream-ok", &[("id", id)]),
+            Stanza::StreamError { reason } => write_element("stream-error", &[("reason", reason)]),
+            Stanza::Message { to, from, body } => {
+                write_element("message", &[("to", to), ("from", from), ("body", body)])
+            }
+            Stanza::Join { room } => write_element("join", &[("room", room)]),
+            Stanza::Joined { room } => write_element("joined", &[("room", room)]),
+            Stanza::Presence { from, show } => {
+                write_element("presence", &[("from", from), ("show", show)])
+            }
+            Stanza::Iq { id, kind, query } => {
+                write_element("iq", &[("id", id), ("kind", kind), ("query", query)])
+            }
+        }
+    }
+
+    /// Parse one self-closing element (`<name attr="v" .../>`).
+    ///
+    /// # Errors
+    ///
+    /// [`StanzaError`] on malformed syntax, unknown elements or missing
+    /// attributes.
+    pub fn parse(text: &str) -> Result<Stanza, StanzaError> {
+        let text = text.trim();
+        let inner = text
+            .strip_prefix('<')
+            .and_then(|t| t.strip_suffix("/>"))
+            .ok_or(StanzaError::Malformed("not a self-closing element"))?;
+        let mut chars = inner.char_indices().peekable();
+        let name_end = inner
+            .find(|c: char| c.is_whitespace())
+            .unwrap_or(inner.len());
+        let name = &inner[..name_end];
+        if name.is_empty() {
+            return Err(StanzaError::Malformed("empty element name"));
+        }
+        // Parse attributes.
+        let mut attrs: BTreeMap<&str, String> = BTreeMap::new();
+        while let Some(&(i, c)) = chars.peek() {
+            if i < name_end || c.is_whitespace() {
+                chars.next();
+                continue;
+            }
+            // key="value"
+            let key_start = i;
+            let mut key_end = None;
+            for (j, c2) in inner[key_start..].char_indices() {
+                if c2 == '=' {
+                    key_end = Some(key_start + j);
+                    break;
+                }
+            }
+            let key_end = key_end.ok_or(StanzaError::Malformed("attribute without value"))?;
+            let key = inner[key_start..key_end].trim();
+            let after_eq = key_end + 1;
+            if inner.as_bytes().get(after_eq) != Some(&b'"') {
+                return Err(StanzaError::Malformed("attribute value not quoted"));
+            }
+            let val_start = after_eq + 1;
+            let val_len = inner[val_start..]
+                .find('"')
+                .ok_or(StanzaError::Malformed("unterminated attribute value"))?;
+            let value = unescape(&inner[val_start..val_start + val_len])?;
+            attrs.insert(key, value);
+            // Advance the iterator past the attribute.
+            let next_pos = val_start + val_len + 1;
+            while let Some(&(j, _)) = chars.peek() {
+                if j < next_pos {
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut take = |k: &'static str| attrs.remove(k).ok_or(StanzaError::MissingAttribute(k));
+        Ok(match name {
+            "stream" => Stanza::Stream {
+                from: take("from")?,
+                to: take("to")?,
+            },
+            "stream-ok" => Stanza::StreamOk { id: take("id")? },
+            "stream-error" => Stanza::StreamError {
+                reason: take("reason")?,
+            },
+            "message" => Stanza::Message {
+                to: take("to")?,
+                from: take("from").unwrap_or_default(), // optional on parse
+                body: take("body")?,
+            },
+            "join" => Stanza::Join { room: take("room")? },
+            "joined" => Stanza::Joined { room: take("room")? },
+            "presence" => Stanza::Presence {
+                from: take("from")?,
+                show: take("show")?,
+            },
+            "iq" => Stanza::Iq {
+                id: take("id")?,
+                kind: take("kind")?,
+                query: take("query")?,
+            },
+            other => return Err(StanzaError::UnknownElement(other.to_owned())),
+        })
+    }
+
+    /// Whether a message `to` address names a group chat room.
+    pub fn is_room_address(to: &str) -> bool {
+        to.ends_with("@muc")
+    }
+
+    /// Build a room address from a room name.
+    pub fn room_address(room: &str) -> String {
+        format!("{room}@muc")
+    }
+
+    /// Extract the room name from a room address, if it is one.
+    pub fn room_of(to: &str) -> Option<&str> {
+        to.strip_suffix("@muc")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(s: Stanza) {
+        let xml = s.to_xml();
+        assert_eq!(Stanza::parse(&xml).unwrap(), s, "xml: {xml}");
+    }
+
+    #[test]
+    fn all_stanzas_round_trip() {
+        round_trip(Stanza::Stream { from: "alice".into(), to: "server".into() });
+        round_trip(Stanza::StreamOk { id: "s1".into() });
+        round_trip(Stanza::StreamError { reason: "auth failed".into() });
+        round_trip(Stanza::Message {
+            to: "bob".into(),
+            from: "alice".into(),
+            body: "hello world".into(),
+        });
+        round_trip(Stanza::Join { room: "tearoom".into() });
+        round_trip(Stanza::Joined { room: "tearoom".into() });
+        round_trip(Stanza::Presence { from: "alice".into(), show: "available".into() });
+        round_trip(Stanza::Iq { id: "42".into(), kind: "get".into(), query: "ping".into() });
+    }
+
+    #[test]
+    fn special_characters_escape() {
+        round_trip(Stanza::Message {
+            to: "bob".into(),
+            from: "alice".into(),
+            body: "a<b & \"c\" > d".into(),
+        });
+        let xml = Stanza::Message {
+            to: "b".into(),
+            from: "a".into(),
+            body: "<script>".into(),
+        }
+        .to_xml();
+        assert!(!xml.contains("<script>"));
+    }
+
+    #[test]
+    fn binary_ish_bodies_survive_as_hex() {
+        // Encrypted bodies are hex-encoded upstream, but escaping must
+        // handle anything stringly.
+        round_trip(Stanza::Message {
+            to: "b".into(),
+            from: "a".into(),
+            body: "00ff3c3e26".into(),
+        });
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(Stanza::parse("").is_err());
+        assert!(Stanza::parse("<message>").is_err());
+        assert!(Stanza::parse("message/>").is_err());
+        assert!(Stanza::parse("<unknown thing=\"x\"/>").is_err());
+        assert!(Stanza::parse("<message to=bob/>").is_err());
+        assert!(Stanza::parse("<message to=\"bob/>").is_err());
+        assert!(matches!(
+            Stanza::parse("<message to=\"b\"/>"),
+            Err(StanzaError::MissingAttribute("body"))
+        ));
+    }
+
+    #[test]
+    fn unknown_entity_rejected() {
+        assert!(Stanza::parse("<message to=\"b\" body=\"&nbsp;\"/>").is_err());
+        assert!(Stanza::parse("<message to=\"b\" body=\"&amp\"/>").is_err());
+    }
+
+    #[test]
+    fn message_from_is_optional_on_parse() {
+        let s = Stanza::parse("<message to=\"bob\" body=\"hi\"/>").unwrap();
+        assert_eq!(
+            s,
+            Stanza::Message { to: "bob".into(), from: String::new(), body: "hi".into() }
+        );
+    }
+
+    #[test]
+    fn room_addressing() {
+        assert!(Stanza::is_room_address("tea@muc"));
+        assert!(!Stanza::is_room_address("bob"));
+        assert_eq!(Stanza::room_address("tea"), "tea@muc");
+        assert_eq!(Stanza::room_of("tea@muc"), Some("tea"));
+        assert_eq!(Stanza::room_of("bob"), None);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let s = Stanza::parse("  <join room=\"r\"/>  ").unwrap();
+        assert_eq!(s, Stanza::Join { room: "r".into() });
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            StanzaError::UnknownElement("x".into()),
+            StanzaError::MissingAttribute("to"),
+            StanzaError::Malformed("nope"),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

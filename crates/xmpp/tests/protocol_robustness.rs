@@ -1,0 +1,263 @@
+//! Robustness tests of the messaging service against misbehaving peers:
+//! garbage bytes, oversized frames, wrong-key traffic, handshake abuse —
+//! the service must drop the offender and keep serving everyone else.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use enet::{NetBackend, RecvOutcome, SimNet, SocketId};
+use sgx_sim::{CostModel, Platform};
+use xmpp::stanza::Stanza;
+use xmpp::wire::{encode_frame, ConnCrypto, FrameBuf};
+use xmpp::{start_service, XmppConfig};
+
+fn platform() -> Platform {
+    Platform::builder().cost_model(CostModel::zero()).build()
+}
+
+fn setup() -> (Platform, SimNet, Arc<dyn NetBackend>, xmpp::RunningService) {
+    let p = platform();
+    let sim = SimNet::new(p.costs());
+    let net: Arc<dyn NetBackend> = Arc::new(sim.clone());
+    let svc = start_service(&p, net.clone(), &XmppConfig::default()).unwrap();
+    (p, sim, net, svc)
+}
+
+fn connect_handshake(sim: &SimNet, user: &str) -> SocketId {
+    let s = loop {
+        match sim.connect(5222) {
+            Ok(s) => break s,
+            Err(_) => std::thread::yield_now(),
+        }
+    };
+    let mut out = Vec::new();
+    encode_frame(
+        Stanza::Stream { from: user.into(), to: "srv".into() }.to_xml().as_bytes(),
+        &mut out,
+    );
+    sim.send(s, &out).unwrap();
+    let mut fb = FrameBuf::new();
+    let mut buf = [0u8; 512];
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        assert!(Instant::now() < deadline, "handshake timed out for {user}");
+        match sim.recv(s, &mut buf).unwrap() {
+            RecvOutcome::Data(n) => {
+                fb.push(&buf[..n]);
+                if let Some(frame) = fb.next_frame().unwrap() {
+                    let xml = String::from_utf8(frame).unwrap();
+                    assert!(matches!(Stanza::parse(&xml), Ok(Stanza::StreamOk { .. })));
+                    return s;
+                }
+            }
+            RecvOutcome::WouldBlock => std::thread::yield_now(),
+            RecvOutcome::Eof => panic!("server closed during handshake"),
+        }
+    }
+}
+
+/// Send a sealed stanza and wait for one sealed stanza back.
+fn exchange(sim: &SimNet, socket: SocketId, crypto: &ConnCrypto, out_stanza: &Stanza) -> Stanza {
+    let sealed = crypto.seal_stanza(&out_stanza.to_xml());
+    let mut wire = Vec::new();
+    encode_frame(&sealed, &mut wire);
+    sim.send(socket, &wire).unwrap();
+    let mut fb = FrameBuf::new();
+    let mut buf = [0u8; 1024];
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        assert!(Instant::now() < deadline, "no response");
+        match sim.recv(socket, &mut buf).unwrap() {
+            RecvOutcome::Data(n) => {
+                fb.push(&buf[..n]);
+                if let Some(frame) = fb.next_frame().unwrap() {
+                    let xml = crypto.open_stanza(&frame).unwrap();
+                    return Stanza::parse(&xml).unwrap();
+                }
+            }
+            RecvOutcome::WouldBlock => std::thread::yield_now(),
+            RecvOutcome::Eof => panic!("server closed"),
+        }
+    }
+}
+
+#[test]
+fn garbage_handshake_gets_dropped_service_survives() {
+    let (p, sim, _net, svc) = setup();
+    // Attacker: raw garbage instead of a stream frame.
+    let bad = loop {
+        match sim.connect(5222) {
+            Ok(s) => break s,
+            Err(_) => std::thread::yield_now(),
+        }
+    };
+    let mut garbage = Vec::new();
+    encode_frame(b"<<<<not a stanza at all>>>>", &mut garbage);
+    sim.send(bad, &garbage).unwrap();
+    // The connector must eventually close the offender.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut buf = [0u8; 64];
+    loop {
+        assert!(Instant::now() < deadline, "offender never dropped");
+        match sim.recv(bad, &mut buf) {
+            Ok(RecvOutcome::Eof) | Err(_) => break,
+            _ => std::thread::yield_now(),
+        }
+    }
+    // A well-behaved client still gets full service.
+    let alice = connect_handshake(&sim, "alice");
+    let _bob = connect_handshake(&sim, "bob");
+    let crypto = ConnCrypto::for_user("alice", p.costs());
+    let reply = exchange(
+        &sim,
+        alice,
+        &crypto,
+        &Stanza::Iq { id: "1".into(), kind: "get".into(), query: "ping".into() },
+    );
+    assert!(matches!(reply, Stanza::Iq { kind, .. } if kind == "result"));
+    svc.shutdown();
+}
+
+#[test]
+fn oversized_frame_header_drops_connection() {
+    let (_p, sim, _net, svc) = setup();
+    let s = loop {
+        match sim.connect(5222) {
+            Ok(s) => break s,
+            Err(_) => std::thread::yield_now(),
+        }
+    };
+    // Announce a 2 GiB frame.
+    sim.send(s, &(u32::MAX - 1).to_le_bytes()).unwrap();
+    sim.send(s, b"some bytes").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut buf = [0u8; 64];
+    loop {
+        assert!(Instant::now() < deadline, "oversized-frame peer never dropped");
+        match sim.recv(s, &mut buf) {
+            Ok(RecvOutcome::Eof) | Err(_) => break,
+            _ => std::thread::yield_now(),
+        }
+    }
+    svc.shutdown();
+}
+
+#[test]
+fn wrong_key_traffic_is_counted_and_ignored() {
+    let (p, sim, _net, svc) = setup();
+    let mallory = connect_handshake(&sim, "mallory");
+    // Mallory seals with the WRONG key (bob's) after authenticating as
+    // mallory: frames fail authentication at the server.
+    let wrong = ConnCrypto::for_user("bob", p.costs());
+    let sealed = wrong.seal_stanza(
+        &Stanza::Message { to: "bob".into(), from: String::new(), body: "x".into() }.to_xml(),
+    );
+    let mut wire = Vec::new();
+    encode_frame(&sealed, &mut wire);
+    sim.send(mallory, &wire).unwrap();
+
+    use std::sync::atomic::Ordering;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while svc.stats.bad_frames.load(Ordering::Relaxed) == 0 {
+        assert!(Instant::now() < deadline, "bad frame never registered");
+        std::thread::yield_now();
+    }
+    svc.shutdown();
+}
+
+#[test]
+fn byte_at_a_time_delivery_still_parses() {
+    // A pathological client dribbling its handshake one byte per segment.
+    let (p, sim, _net, svc) = setup();
+    let s = loop {
+        match sim.connect(5222) {
+            Ok(s) => break s,
+            Err(_) => std::thread::yield_now(),
+        }
+    };
+    let mut wire = Vec::new();
+    encode_frame(
+        Stanza::Stream { from: "slowpoke".into(), to: "srv".into() }.to_xml().as_bytes(),
+        &mut wire,
+    );
+    for &byte in &wire {
+        while sim.send(s, &[byte]).unwrap() == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::yield_now();
+    }
+    // Handshake must still complete.
+    let mut fb = FrameBuf::new();
+    let mut buf = [0u8; 256];
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        assert!(Instant::now() < deadline, "dribbled handshake never acknowledged");
+        match sim.recv(s, &mut buf).unwrap() {
+            RecvOutcome::Data(n) => {
+                fb.push(&buf[..n]);
+                if let Some(frame) = fb.next_frame().unwrap() {
+                    let xml = String::from_utf8(frame).unwrap();
+                    assert!(matches!(Stanza::parse(&xml), Ok(Stanza::StreamOk { .. })));
+                    break;
+                }
+            }
+            RecvOutcome::WouldBlock => std::thread::yield_now(),
+            RecvOutcome::Eof => panic!("server closed"),
+        }
+    }
+    // And the session is functional.
+    let crypto = ConnCrypto::for_user("slowpoke", p.costs());
+    let reply = exchange(
+        &sim,
+        s,
+        &crypto,
+        &Stanza::Iq { id: "9".into(), kind: "get".into(), query: "ping".into() },
+    );
+    assert!(matches!(reply, Stanza::Iq { .. }));
+    svc.shutdown();
+}
+
+#[test]
+fn reconnect_supersedes_old_registration() {
+    let (p, sim, _net, svc) = setup();
+    let crypto = ConnCrypto::for_user("alice", p.costs());
+    let bob_crypto = ConnCrypto::for_user("bob", p.costs());
+
+    let _old = connect_handshake(&sim, "alice");
+    let new = connect_handshake(&sim, "alice"); // reconnect, new socket
+    let bob = connect_handshake(&sim, "bob");
+
+    // Bob messages alice; it must arrive on the NEW connection.
+    let sealed = bob_crypto.seal_stanza(
+        &Stanza::Message { to: "alice".into(), from: String::new(), body: "hi".into() }.to_xml(),
+    );
+    let mut wire = Vec::new();
+    encode_frame(&sealed, &mut wire);
+    sim.send(bob, &wire).unwrap();
+
+    let mut fb = FrameBuf::new();
+    let mut buf = [0u8; 1024];
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        assert!(Instant::now() < deadline, "message never arrived on the new socket");
+        match sim.recv(new, &mut buf).unwrap() {
+            RecvOutcome::Data(n) => {
+                fb.push(&buf[..n]);
+                if let Some(frame) = fb.next_frame().unwrap() {
+                    let xml = crypto.open_stanza(&frame).unwrap();
+                    match Stanza::parse(&xml).unwrap() {
+                        Stanza::Message { from, body, .. } => {
+                            assert_eq!(from, "bob");
+                            assert_eq!(body, "hi");
+                            break;
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+            }
+            RecvOutcome::WouldBlock => std::thread::yield_now(),
+            RecvOutcome::Eof => panic!("new connection closed"),
+        }
+    }
+    svc.shutdown();
+}

@@ -1,0 +1,7 @@
+//! Root crate: re-exports workspace crates for examples and integration tests.
+pub use eactors;
+pub use enet;
+pub use pos;
+pub use sgx_sim;
+pub use smc;
+pub use xmpp;

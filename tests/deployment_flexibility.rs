@@ -1,0 +1,201 @@
+//! Integration: the same actor logic must behave identically under every
+//! deployment policy — untrusted, one shared enclave, enclave-per-actor —
+//! while the transition accounting reflects each choice (paper §3.2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use eactors::prelude::*;
+use sgx_sim::{CostModel, Platform};
+
+/// Counts messages relayed through a two-hop pipeline and returns the
+/// receiver's checksum.
+fn run_pipeline(placements: [Option<usize>; 3], enclaves: usize) -> (u64, u64) {
+    let platform = Platform::builder().cost_model(CostModel::zero()).build();
+    let mut b = DeploymentBuilder::new();
+    let slots: Vec<_> = (0..enclaves).map(|i| b.enclave(&format!("e{i}"))).collect();
+    let place = |p: Option<usize>| match p {
+        None => Placement::Untrusted,
+        Some(i) => Placement::Enclave(slots[i]),
+    };
+
+    let total = 200u64;
+    let mut next = 0u64;
+    let source = b.actor(
+        "source",
+        place(placements[0]),
+        eactors::from_fn(move |ctx| {
+            if next == total {
+                return Control::Park;
+            }
+            if ctx.channel(0).send(&next.to_le_bytes()).is_ok() {
+                next += 1;
+                Control::Busy
+            } else {
+                Control::Idle
+            }
+        }),
+    );
+    let relay = b.actor(
+        "relay",
+        place(placements[1]),
+        eactors::from_fn(move |ctx| {
+            let mut buf = [0u8; 8];
+            match ctx.channel(0).try_recv(&mut buf) {
+                Ok(Some(8)) => {
+                    let v = u64::from_le_bytes(buf).wrapping_mul(3);
+                    let _ = ctx.channel(1).send(&v.to_le_bytes());
+                    Control::Busy
+                }
+                _ => Control::Idle,
+            }
+        }),
+    );
+    let checksum = Arc::new(AtomicU64::new(0));
+    let sink_sum = checksum.clone();
+    let mut got = 0u64;
+    let sink = b.actor(
+        "sink",
+        place(placements[2]),
+        eactors::from_fn(move |ctx| {
+            let mut buf = [0u8; 8];
+            match ctx.channel(0).try_recv(&mut buf) {
+                Ok(Some(8)) => {
+                    sink_sum.fetch_add(u64::from_le_bytes(buf), Ordering::Relaxed);
+                    got += 1;
+                    if got == total {
+                        ctx.shutdown();
+                        return Control::Park;
+                    }
+                    Control::Busy
+                }
+                _ => Control::Idle,
+            }
+        }),
+    );
+    b.channel(source, relay);
+    b.channel(relay, sink);
+    b.worker(&[source, relay, sink]);
+
+    let before = platform.stats().transitions();
+    let runtime = Runtime::start(&platform, b.build().expect("valid")).expect("start");
+    runtime.join();
+    let transitions = platform.stats().transitions() - before;
+    (checksum.load(Ordering::Relaxed), transitions)
+}
+
+/// Sum of `v * 3` for `v` in `0..200`.
+const EXPECTED: u64 = 3 * (199 * 200) / 2;
+
+#[test]
+fn untrusted_deployment_is_correct_and_transition_free() {
+    let (sum, transitions) = run_pipeline([None, None, None], 0);
+    assert_eq!(sum, EXPECTED);
+    assert_eq!(transitions, 0);
+}
+
+#[test]
+fn shared_enclave_deployment_is_correct_and_cheap() {
+    let (sum, transitions) = run_pipeline([Some(0), Some(0), Some(0)], 1);
+    assert_eq!(sum, EXPECTED);
+    // Setup costs a constant handful of crossings (one in/out per actor
+    // constructor plus the worker's entry and exit); the 200 messages
+    // and 600+ body executions add none.
+    assert!(
+        transitions <= 10,
+        "shared enclave must cost only constant setup crossings, got {transitions}"
+    );
+}
+
+#[test]
+fn enclave_per_actor_pays_per_pass_not_per_message() {
+    let (sum, transitions) = run_pipeline([Some(0), Some(1), Some(2)], 3);
+    assert_eq!(sum, EXPECTED);
+    // Migrating a worker across three enclaves costs crossings per pass,
+    // but correctness is untouched.
+    assert!(transitions > 0);
+}
+
+#[test]
+fn mixed_trusted_untrusted_is_correct() {
+    let (sum, _) = run_pipeline([None, Some(0), None], 1);
+    assert_eq!(sum, EXPECTED);
+}
+
+#[test]
+fn dedicated_workers_reach_the_same_result() {
+    // Same topology, one worker per actor: tests the concurrent path.
+    let platform = Platform::builder().cost_model(CostModel::zero()).build();
+    let mut b = DeploymentBuilder::new();
+    let e = b.enclave("only");
+    let total = 500u64;
+    let mut next = 0u64;
+    let source = b.actor(
+        "source",
+        Placement::Untrusted,
+        eactors::from_fn(move |ctx| {
+            if next == total {
+                return Control::Park;
+            }
+            match ctx.channel(0).send(&next.to_le_bytes()) {
+                Ok(()) => {
+                    next += 1;
+                    Control::Busy
+                }
+                Err(_) => Control::Idle,
+            }
+        }),
+    );
+    let sum = Arc::new(AtomicU64::new(0));
+    let sink_sum = sum.clone();
+    let mut got = 0u64;
+    let sink = b.actor(
+        "sink",
+        Placement::Enclave(e),
+        eactors::from_fn(move |ctx| {
+            let mut buf = [0u8; 8];
+            match ctx.channel(0).try_recv(&mut buf) {
+                Ok(Some(8)) => {
+                    sink_sum.fetch_add(u64::from_le_bytes(buf), Ordering::Relaxed);
+                    got += 1;
+                    if got == total {
+                        ctx.shutdown();
+                        return Control::Park;
+                    }
+                    Control::Busy
+                }
+                _ => Control::Idle,
+            }
+        }),
+    );
+    b.channel(source, sink);
+    b.worker(&[source]);
+    b.worker(&[sink]);
+    Runtime::start(&platform, b.build().expect("valid")).expect("start").join();
+    assert_eq!(sum.load(Ordering::Relaxed), (0..500u64).sum::<u64>());
+}
+
+#[test]
+fn dropping_a_runtime_signals_stop() {
+    let platform = Platform::builder().cost_model(CostModel::zero()).build();
+    let mut b = DeploymentBuilder::new();
+    let spinner = b.actor("spinner", Placement::Untrusted, eactors::from_fn(|_| Control::Busy));
+    b.worker(&[spinner]);
+    let rt = Runtime::start(&platform, b.build().expect("valid")).expect("start");
+    let token = rt.stop_token();
+    assert!(!token.is_stopped());
+    drop(rt);
+    assert!(token.is_stopped(), "drop must signal the workers to stop");
+}
+
+#[test]
+fn run_for_collects_a_report_after_the_deadline() {
+    let platform = Platform::builder().cost_model(CostModel::zero()).build();
+    let mut b = DeploymentBuilder::new();
+    let spinner = b.actor("spinner", Placement::Untrusted, eactors::from_fn(|_| Control::Busy));
+    b.worker(&[spinner]);
+    let rt = Runtime::start(&platform, b.build().expect("valid")).expect("start");
+    let report = rt.run_for(std::time::Duration::from_millis(30));
+    assert!(report.total_executions() > 0);
+    assert!(report.elapsed >= std::time::Duration::from_millis(30));
+}

@@ -1,0 +1,214 @@
+//! Integration: failure injection across the stack — back-pressure,
+//! resource exhaustion, tampering and identity mismatches must all fail
+//! loudly and recoverably, never silently corrupt.
+
+use eactors::arena::Arena;
+use eactors::channel::ChannelPair;
+use eactors::ChannelError;
+use pos::{PosConfig, PosError, PosStore};
+use sgx_sim::crypto::SessionKey;
+use sgx_sim::{attest, CostModel, Platform, SgxError};
+
+fn platform() -> Platform {
+    Platform::builder().cost_model(CostModel::zero()).build()
+}
+
+#[test]
+fn channel_backpressure_recovers_without_loss() {
+    let (mut tx, mut rx) = ChannelPair::plaintext(0, Arena::new("small", 4, 32)).into_ends();
+    let mut sent = 0u32;
+    let mut received = 0u32;
+    let mut buf = [0u8; 32];
+    // Interleave saturation and draining for a while.
+    for round in 0..100u32 {
+        loop {
+            match tx.send(&round.to_le_bytes()) {
+                Ok(()) => sent += 1,
+                Err(ChannelError::NoFreeNodes) | Err(ChannelError::Full) => break,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        while let Ok(Some(_)) = rx.try_recv(&mut buf) {
+            received += 1;
+        }
+    }
+    while let Ok(Some(_)) = rx.try_recv(&mut buf) {
+        received += 1;
+    }
+    assert_eq!(sent, received, "every accepted message must be delivered");
+    assert!(sent >= 100, "back-pressure must not deadlock the sender");
+}
+
+#[test]
+fn epc_hard_limit_fails_creation_but_platform_survives() {
+    let p = Platform::builder()
+        .cost_model(CostModel::zero())
+        .epc_hard_limit(64 * 1024)
+        .build();
+    let _a = p.create_enclave("a", 48 * 1024).expect("fits");
+    let err = p.create_enclave("b", 48 * 1024).expect_err("must exceed limit");
+    assert!(matches!(err, SgxError::OutOfEpc { .. }));
+    // Dropping the first enclave frees its pages; creation now succeeds.
+    drop(_a);
+    p.create_enclave("b", 48 * 1024).expect("EPC was released");
+}
+
+#[test]
+fn epc_soft_budget_triggers_paging_penalty() {
+    let p = Platform::builder().epc_budget(16 * 1024).build();
+    let _big = p.create_enclave("big", 64 * 1024).expect("soft budget only");
+    let before = p.stats().cycles_charged();
+    p.costs().charge_copy(4096);
+    let paged = p.stats().cycles_charged() - before;
+
+    let q = Platform::builder().build();
+    let before = q.stats().cycles_charged();
+    q.costs().charge_copy(4096);
+    let normal = q.stats().cycles_charged() - before;
+    assert!(
+        paged >= normal * 4,
+        "over-budget copies must pay the paging factor: {paged} vs {normal}"
+    );
+}
+
+#[test]
+fn cross_platform_attestation_is_refused() {
+    let p1 = Platform::builder().seed(1).cost_model(CostModel::zero()).build();
+    let p2 = Platform::builder().seed(2).cost_model(CostModel::zero()).build();
+    let a = p1.create_enclave("a", 0).expect("epc");
+    let b = p2.create_enclave("b", 0).expect("epc");
+    assert_eq!(
+        attest::establish_session(&a, &b, 0).expect_err("different platforms"),
+        SgxError::ReportVerification
+    );
+}
+
+#[test]
+fn malicious_runtime_injection_is_rejected_by_channel() {
+    let arena = Arena::new("ch", 8, 256);
+    let key = SessionKey::derive(&[1, 2, 3]);
+    let (mut a, mut b) = ChannelPair::encrypted(0, arena, &key, platform().costs()).into_ends();
+
+    // Legitimate traffic works.
+    a.send(b"legit").expect("room");
+    assert_eq!(b.recv_vec().expect("ok").expect("present"), b"legit");
+
+    // The runtime injects garbage nodes straight into the mbox.
+    for junk in [&b""[..], &[0u8; 15], &[0xFFu8; 64]] {
+        let mut node = a.alloc_node().expect("room");
+        node.write(junk);
+        a.send_node(node).expect("room");
+        match b.try_recv(&mut [0u8; 256]) {
+            Err(ChannelError::Tampered) => {}
+            other => panic!("junk of {} bytes must be rejected, got {other:?}", junk.len()),
+        }
+    }
+
+    // The channel keeps working afterwards (nodes were recycled).
+    a.send(b"still alive").expect("nodes recycled");
+    assert_eq!(b.recv_vec().expect("ok").expect("present"), b"still alive");
+}
+
+#[test]
+fn replayed_ciphertext_is_not_silently_accepted_as_new_nonce_stream() {
+    // A replay attack at the node level: the runtime duplicates a sealed
+    // message. The MAC cannot detect replays (matching the paper's
+    // threat discussion — rollback needs LCM/ROTE-style defences), but
+    // the duplicate must decrypt to the identical plaintext, never to
+    // something else.
+    let arena = Arena::new("ch", 8, 256);
+    let key = SessionKey::derive(&[9]);
+    let (mut a, mut b) = ChannelPair::encrypted(0, arena, &key, platform().costs()).into_ends();
+    a.send(b"pay 10 gold").expect("room");
+    let node = b.recv_node().expect("present");
+    let sealed = node.bytes().to_vec();
+    drop(node);
+
+    // Re-inject the captured ciphertext twice.
+    for _ in 0..2 {
+        let mut node = a.alloc_node().expect("room");
+        node.write(&sealed);
+        a.send_node(node).expect("room");
+        let got = b.recv_vec().expect("ok").expect("present");
+        assert_eq!(got, b"pay 10 gold");
+    }
+}
+
+#[test]
+fn pos_full_then_cleaned_then_usable() {
+    let store = PosStore::new(PosConfig {
+        entries: 8,
+        payload: 64,
+        stacks: 2,
+        encryption: None,
+    });
+    let r = store.register_reader();
+    for i in 0..8u8 {
+        store.set(&r, b"key", &[i]).expect("capacity");
+    }
+    assert!(matches!(store.set(&r, b"key", &[99]), Err(PosError::Full)));
+    assert!(store.clean_to_quiescence() >= 6);
+    store.set(&r, b"key", &[99]).expect("space reclaimed");
+    let mut buf = [0u8; 4];
+    assert_eq!(store.get(&r, b"key", &mut buf).expect("ok"), Some(1));
+    assert_eq!(buf[0], 99);
+}
+
+#[test]
+fn pos_image_corruption_never_yields_wrong_data() {
+    let costs = platform().costs();
+    let store = PosStore::new(PosConfig {
+        entries: 16,
+        payload: 128,
+        stacks: 2,
+        encryption: Some(pos::PosEncryption { key: SessionKey::derive(&[5]), costs: costs.clone() }),
+    });
+    let r = store.register_reader();
+    store.set(&r, b"account", b"1000").expect("room");
+    let mut image = store.to_image();
+    // Flip a byte somewhere in the payload region.
+    let idx = image.len() / 2;
+    image[idx] ^= 0x20;
+    match PosStore::from_image(&image, Some(pos::PosEncryption { key: SessionKey::derive(&[5]), costs })) {
+        Err(_) => {} // rejected outright: fine
+        Ok(reopened) => {
+            let r = reopened.register_reader();
+            let mut buf = [0u8; 16];
+            match reopened.get(&r, b"account", &mut buf) {
+                Ok(Some(4)) => assert_eq!(&buf[..4], b"1000", "silent corruption"),
+                Ok(Some(_)) => panic!("wrong-length value after corruption"),
+                Ok(None) | Err(_) => {} // lost or detected: acceptable, never wrong
+            }
+        }
+    }
+}
+
+#[test]
+fn worker_survives_actor_that_parks_immediately() {
+    let p = platform();
+    let mut b = eactors::DeploymentBuilder::new();
+    use eactors::prelude::*;
+    let dead = b.actor("dead", Placement::Untrusted, eactors::from_fn(|_| Control::Park));
+    let mut n = 0;
+    let alive = b.actor(
+        "alive",
+        Placement::Untrusted,
+        eactors::from_fn(move |_| {
+            n += 1;
+            if n >= 50 {
+                Control::Park
+            } else {
+                Control::Busy
+            }
+        }),
+    );
+    b.worker(&[dead, alive]);
+    let report = Runtime::start(&p, b.build().expect("valid")).expect("start").join();
+    let alive_runs = report.workers[0]
+        .executions
+        .iter()
+        .find(|(name, _)| name == "alive")
+        .map(|(_, n)| *n)
+        .expect("reported");
+    assert_eq!(alive_runs, 50);
+}

@@ -1,0 +1,210 @@
+//! Property-based tests over the core invariants: the messaging
+//! substrate never loses or duplicates nodes, the object store is a map
+//! with newest-wins semantics under arbitrary operation sequences, crypto
+//! and stanza codecs round-trip arbitrary inputs, and the secure-sum
+//! protocol equals the plain sum for arbitrary configurations.
+
+use proptest::prelude::*;
+
+use eactors::arena::{Arena, Mbox};
+use eactors::channel::ChannelPair;
+use pos::{PosConfig, PosError, PosStore};
+use sgx_sim::crypto::{SessionCipher, SessionKey};
+use sgx_sim::{CostModel, Platform};
+
+fn costs() -> sgx_sim::CostHandle {
+    Platform::builder().cost_model(CostModel::zero()).build().costs()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Any interleaving of pops, sends and recvs conserves nodes: at the
+    /// end, free + queued = capacity and every queued payload is intact.
+    #[test]
+    fn mbox_conserves_nodes(ops in prop::collection::vec(0u8..3, 1..200), capacity in 1u32..32) {
+        let arena = Arena::new("prop", capacity, 16);
+        let mbox = Mbox::new(arena.clone(), capacity as usize);
+        let mut held = Vec::new();
+        let mut queued = std::collections::VecDeque::new();
+        let mut counter = 0u64;
+        for op in ops {
+            match op {
+                0 => {
+                    if let Some(mut node) = arena.try_pop() {
+                        node.write(&counter.to_le_bytes());
+                        held.push((node, counter));
+                        counter += 1;
+                    }
+                }
+                1 => {
+                    if let Some((node, tag)) = held.pop() {
+                        match mbox.send(node) {
+                            Ok(()) => queued.push_back(tag),
+                            Err(node) => held.push((node, tag)),
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(node) = mbox.recv() {
+                        let expected = queued.pop_front().expect("recv implies queued");
+                        let mut b = [0u8; 8];
+                        b.copy_from_slice(node.bytes());
+                        prop_assert_eq!(u64::from_le_bytes(b), expected);
+                    }
+                }
+            }
+        }
+        let outstanding = held.len() + queued.len();
+        prop_assert_eq!(arena.free_nodes() + outstanding, capacity as usize);
+        drop(held);
+        while mbox.recv().is_some() {}
+        prop_assert_eq!(arena.free_nodes(), capacity as usize);
+    }
+
+    /// The POS behaves as a map with newest-wins semantics under any
+    /// sequence of set/delete/clean, for keys drawn from a small pool
+    /// (maximising version shadowing and hash collisions).
+    #[test]
+    fn pos_matches_model_map(
+        ops in prop::collection::vec((0u8..3, 0usize..6, 0u32..1000), 1..120),
+        stacks in 1u32..8,
+    ) {
+        let store = PosStore::new(PosConfig {
+            entries: 512,
+            payload: 64,
+            stacks,
+            encryption: None,
+        });
+        let reader = store.register_reader();
+        let mut model: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+        for (op, key_idx, value) in ops {
+            let key = format!("key-{key_idx}");
+            match op {
+                0 => {
+                    match store.set(&reader, key.as_bytes(), &value.to_le_bytes()) {
+                        Ok(()) => { model.insert(key_idx, value); }
+                        Err(PosError::Full) => { store.clean_to_quiescence(); }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                1 => {
+                    store.delete(&reader, key.as_bytes()).ok();
+                    model.remove(&key_idx);
+                }
+                _ => { store.clean(); }
+            }
+            // Verify the full model after every step.
+            for idx in 0..6usize {
+                let key = format!("key-{idx}");
+                let mut buf = [0u8; 8];
+                let got = store.get(&reader, key.as_bytes(), &mut buf).expect("get ok");
+                match model.get(&idx) {
+                    Some(&v) => {
+                        prop_assert_eq!(got, Some(4));
+                        prop_assert_eq!(u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]), v);
+                    }
+                    None => prop_assert_eq!(got, None),
+                }
+            }
+        }
+    }
+
+    /// Cipher round-trip for arbitrary payloads and keys; tampering any
+    /// byte is always detected.
+    #[test]
+    fn cipher_round_trip_and_tamper(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        key_parts in prop::collection::vec(any::<u64>(), 1..4),
+        flip in any::<usize>(),
+    ) {
+        let cipher = SessionCipher::new(SessionKey::derive(&key_parts), costs());
+        let mut sealed = vec![0u8; SessionCipher::sealed_len(payload.len())];
+        let n = cipher.seal(&payload, &mut sealed).expect("sized");
+        let mut out = vec![0u8; payload.len()];
+        let m = cipher.open(&sealed[..n], &mut out).expect("authentic");
+        prop_assert_eq!(&out[..m], &payload[..]);
+
+        let mut tampered = sealed.clone();
+        tampered[flip % n] ^= 1 + (flip % 255) as u8;
+        prop_assert!(cipher.open(&tampered[..n], &mut out).is_err());
+    }
+
+    /// Channel transport (plain and encrypted) delivers arbitrary
+    /// messages verbatim and in order.
+    #[test]
+    fn channel_delivers_in_order(
+        messages in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..100), 1..16),
+        encrypted in any::<bool>(),
+    ) {
+        let arena = Arena::new("prop", 32, 160);
+        let (mut a, mut b) = if encrypted {
+            ChannelPair::encrypted(0, arena, &SessionKey::derive(&[1]), costs()).into_ends()
+        } else {
+            ChannelPair::plaintext(0, arena).into_ends()
+        };
+        for msg in &messages {
+            a.send(msg).expect("pool sized for 16 messages");
+        }
+        for msg in &messages {
+            let got = b.recv_vec().expect("authentic").expect("present");
+            prop_assert_eq!(&got, msg);
+        }
+        prop_assert!(b.recv_vec().expect("ok").is_none());
+    }
+
+    /// Secure sum equals the plain reference for arbitrary ring sizes,
+    /// dimensions and seeds, in both deployments and both cases.
+    #[test]
+    fn secure_sum_equals_reference(
+        parties in 2usize..6,
+        dim in 1usize..40,
+        seed in any::<u64>(),
+        dynamic in any::<bool>(),
+    ) {
+        let config = smc::SmcConfig {
+            parties,
+            dim,
+            dynamic,
+            rounds: 3,
+            verify: true, // panics internally on divergence
+            seed,
+            ..smc::SmcConfig::default()
+        };
+        let p = Platform::builder().cost_model(CostModel::zero()).build();
+        smc::run_sdk(&p, &config).expect("sdk runs");
+        let p = Platform::builder().cost_model(CostModel::zero()).build();
+        smc::run_ea(&p, &config).expect("ea runs");
+    }
+
+    /// Stanza serialisation round-trips arbitrary attribute content.
+    #[test]
+    fn stanza_round_trips(to in "[a-z0-9@.-]{1,20}", from in "[a-z0-9]{1,10}", body in ".{0,100}") {
+        use xmpp::stanza::Stanza;
+        let stanza = Stanza::Message { to, from, body };
+        let xml = stanza.to_xml();
+        prop_assert_eq!(Stanza::parse(&xml).expect("own output parses"), stanza);
+    }
+
+    /// Sealing binds to identity: the same enclave identity on the same
+    /// platform recovers the data, arbitrary other identities never do.
+    #[test]
+    fn sealing_binds_identity(data in prop::collection::vec(any::<u8>(), 1..64), other in "[a-z]{1,8}") {
+        use sgx_sim::seal;
+        let p = Platform::builder().cost_model(CostModel::zero()).build();
+        let original = p.create_enclave("sealer", 0).expect("epc");
+        let mut blob = vec![0u8; seal::sealed_len(data.len())];
+        original.ecall(|| seal::seal_data(&original, &data, &mut blob).expect("inside"));
+
+        let same = p.create_enclave("sealer", 0).expect("epc");
+        let mut out = vec![0u8; data.len()];
+        let n = same.ecall(|| seal::unseal_data(&same, &blob, &mut out).expect("same identity"));
+        prop_assert_eq!(&out[..n], &data[..]);
+
+        if other != "sealer" {
+            let different = p.create_enclave(&other, 0).expect("epc");
+            let result = different.ecall(|| seal::unseal_data(&different, &blob, &mut out));
+            prop_assert!(result.is_err());
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Integration: the full messaging stack — service, baselines, clients —
+//! exercised beyond the happy path: protocol-level message integrity,
+//! disconnect handling, room membership churn, and functional equivalence
+//! between the three servers.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use enet::{NetBackend, RecvOutcome, SimNet, SocketId};
+use sgx_sim::{CostModel, Platform};
+use xmpp::baseline::{BaselineConfig, BaselineKind, BaselineServer};
+use xmpp::stanza::Stanza;
+use xmpp::wire::{encode_frame, ConnCrypto, FrameBuf};
+use xmpp::{start_service, Assignment, XmppConfig};
+
+fn platform() -> Platform {
+    Platform::builder().cost_model(CostModel::zero()).build()
+}
+
+/// A deliberately low-level scripted client (no emulator involved).
+struct RawClient {
+    net: Arc<dyn NetBackend>,
+    socket: SocketId,
+    crypto: ConnCrypto,
+    frames: FrameBuf,
+}
+
+impl RawClient {
+    fn connect(net: Arc<dyn NetBackend>, costs: &sgx_sim::CostHandle, port: u16, user: &str) -> Self {
+        let socket = loop {
+            match net.connect(port) {
+                Ok(s) => break s,
+                Err(_) => std::thread::yield_now(),
+            }
+        };
+        let mut out = Vec::new();
+        encode_frame(
+            Stanza::Stream { from: user.into(), to: "srv".into() }.to_xml().as_bytes(),
+            &mut out,
+        );
+        net.send(socket, &out).expect("connected");
+        let mut client = RawClient {
+            net,
+            socket,
+            crypto: ConnCrypto::for_user(user, costs.clone()),
+            frames: FrameBuf::new(),
+        };
+        // Wait for the plaintext stream-ok.
+        let frame = client.next_frame_raw();
+        let xml = String::from_utf8(frame).expect("plaintext handshake");
+        assert!(matches!(Stanza::parse(&xml), Ok(Stanza::StreamOk { .. })), "got {xml}");
+        client
+    }
+
+    fn next_frame_raw(&mut self) -> Vec<u8> {
+        let mut buf = [0u8; 1024];
+        loop {
+            if let Some(frame) = self.frames.next_frame().expect("sane frames") {
+                return frame;
+            }
+            match self.net.recv(self.socket, &mut buf).expect("socket open") {
+                RecvOutcome::Data(n) => self.frames.push(&buf[..n]),
+                RecvOutcome::WouldBlock => std::thread::yield_now(),
+                RecvOutcome::Eof => panic!("unexpected EOF"),
+            }
+        }
+    }
+
+    fn send(&mut self, stanza: &Stanza) {
+        let sealed = self.crypto.seal_stanza(&stanza.to_xml());
+        let mut out = Vec::new();
+        encode_frame(&sealed, &mut out);
+        let mut sent = 0;
+        while sent < out.len() {
+            sent += self.net.send(self.socket, &out[sent..]).expect("socket open");
+        }
+    }
+
+    fn recv(&mut self) -> Stanza {
+        let frame = self.next_frame_raw();
+        let xml = self.crypto.open_stanza(&frame).expect("our key");
+        Stanza::parse(&xml).expect("valid stanza")
+    }
+
+    fn close(self) {
+        let _ = self.net.close(self.socket);
+    }
+}
+
+#[test]
+fn o2o_message_content_and_sender_are_preserved() {
+    let p = platform();
+    let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+    let svc = start_service(&p, net.clone(), &XmppConfig { instances: 2, ..XmppConfig::default() }).unwrap();
+
+    let mut alice = RawClient::connect(net.clone(), &p.costs(), 5222, "alice");
+    let mut bob = RawClient::connect(net.clone(), &p.costs(), 5222, "bob");
+
+    alice.send(&Stanza::Message {
+        to: "bob".into(),
+        from: String::new(),
+        body: "original content & <specials>".into(),
+    });
+    match bob.recv() {
+        Stanza::Message { to, from, body } => {
+            assert_eq!(to, "bob");
+            assert_eq!(from, "alice", "server must stamp the authenticated sender");
+            assert_eq!(body, "original content & <specials>");
+        }
+        other => panic!("expected a message, got {other:?}"),
+    }
+    alice.close();
+    bob.close();
+    svc.shutdown();
+}
+
+#[test]
+fn sender_identity_cannot_be_forged() {
+    // A malicious client claims to be someone else in the stanza's from
+    // attribute; the server must overwrite it with the authenticated
+    // stream identity.
+    let p = platform();
+    let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+    let svc = start_service(&p, net.clone(), &XmppConfig::default()).unwrap();
+
+    let mut mallory = RawClient::connect(net.clone(), &p.costs(), 5222, "mallory");
+    let mut bob = RawClient::connect(net.clone(), &p.costs(), 5222, "bob");
+
+    mallory.send(&Stanza::Message {
+        to: "bob".into(),
+        from: "alice".into(), // forged
+        body: "send money".into(),
+    });
+    match bob.recv() {
+        Stanza::Message { from, .. } => assert_eq!(from, "mallory", "forged sender must not pass"),
+        other => panic!("expected a message, got {other:?}"),
+    }
+    mallory.close();
+    bob.close();
+    svc.shutdown();
+}
+
+#[test]
+fn offline_recipients_do_not_crash_and_presence_is_updated_on_disconnect() {
+    let p = platform();
+    let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+    let svc = start_service(&p, net.clone(), &XmppConfig::default()).unwrap();
+
+    let mut alice = RawClient::connect(net.clone(), &p.costs(), 5222, "alice");
+    let bob = RawClient::connect(net.clone(), &p.costs(), 5222, "bob");
+    bob.close();
+
+    // Give the service a beat to observe the close.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        use std::sync::atomic::Ordering;
+        alice.send(&Stanza::Message { to: "bob".into(), from: String::new(), body: "hi".into() });
+        std::thread::sleep(Duration::from_millis(20));
+        if svc.stats.offline_drops.load(Ordering::Relaxed) > 0 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "disconnect never registered");
+    }
+    alice.close();
+    svc.shutdown();
+}
+
+#[test]
+fn group_membership_churn() {
+    let p = platform();
+    let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+    let svc = start_service(
+        &p,
+        net.clone(),
+        &XmppConfig { assignment: Assignment::ByRoomTag, ..XmppConfig::default() },
+    )
+    .unwrap();
+
+    let mut a = RawClient::connect(net.clone(), &p.costs(), 5222, "g0-ua");
+    let mut b = RawClient::connect(net.clone(), &p.costs(), 5222, "g0-ub");
+    let mut c = RawClient::connect(net.clone(), &p.costs(), 5222, "g0-uc");
+    for m in [&mut a, &mut b, &mut c] {
+        m.send(&Stanza::Join { room: "tea".into() });
+        assert!(matches!(m.recv(), Stanza::Joined { .. }));
+    }
+
+    // All three receive a's message (including the sender).
+    a.send(&Stanza::Message { to: Stanza::room_address("tea"), from: String::new(), body: "hi".into() });
+    for m in [&mut a, &mut b, &mut c] {
+        match m.recv() {
+            Stanza::Message { from, body, .. } => {
+                assert_eq!(from, "g0-ua");
+                assert_eq!(body, "hi");
+            }
+            other => panic!("expected room message, got {other:?}"),
+        }
+    }
+
+    // c leaves (disconnects); subsequent messages reach only a and b.
+    c.close();
+    std::thread::sleep(Duration::from_millis(50));
+    b.send(&Stanza::Message { to: Stanza::room_address("tea"), from: String::new(), body: "round2".into() });
+    for m in [&mut a, &mut b] {
+        match m.recv() {
+            Stanza::Message { body, .. } => assert_eq!(body, "round2"),
+            other => panic!("expected room message, got {other:?}"),
+        }
+    }
+    a.close();
+    b.close();
+    svc.shutdown();
+}
+
+#[test]
+fn iq_ping_answered() {
+    let p = platform();
+    let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+    let svc = start_service(&p, net.clone(), &XmppConfig::default()).unwrap();
+    let mut alice = RawClient::connect(net.clone(), &p.costs(), 5222, "alice");
+    alice.send(&Stanza::Iq { id: "7".into(), kind: "get".into(), query: "ping".into() });
+    match alice.recv() {
+        Stanza::Iq { id, kind, query } => {
+            assert_eq!((id.as_str(), kind.as_str(), query.as_str()), ("7", "result", "ping"));
+        }
+        other => panic!("expected iq result, got {other:?}"),
+    }
+    alice.close();
+    svc.shutdown();
+}
+
+#[test]
+fn all_three_servers_agree_on_protocol_semantics() {
+    // The same scripted conversation must produce identical visible
+    // behaviour on the EActors service and both baselines.
+    enum Target {
+        Ea,
+        Baseline(BaselineKind),
+    }
+    for target in [Target::Ea, Target::Baseline(BaselineKind::Jabberd2), Target::Baseline(BaselineKind::Ejabberd)] {
+        let p = platform();
+        let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+        enum Running {
+            Svc(xmpp::RunningService),
+            Base(BaselineServer),
+        }
+        let server = match target {
+            Target::Ea => Running::Svc(start_service(&p, net.clone(), &XmppConfig::default()).unwrap()),
+            Target::Baseline(kind) => Running::Base(BaselineServer::start(
+                net.clone(),
+                p.costs(),
+                BaselineConfig { kind, ..BaselineConfig::default() },
+            )),
+        };
+
+        let mut x = RawClient::connect(net.clone(), &p.costs(), 5222, "x");
+        let mut y = RawClient::connect(net.clone(), &p.costs(), 5222, "y");
+        x.send(&Stanza::Message { to: "y".into(), from: String::new(), body: "m1".into() });
+        match y.recv() {
+            Stanza::Message { from, body, .. } => {
+                assert_eq!(from, "x");
+                assert_eq!(body, "m1");
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+        x.send(&Stanza::Join { room: "r".into() });
+        assert!(matches!(x.recv(), Stanza::Joined { .. }));
+        x.send(&Stanza::Message { to: Stanza::room_address("r"), from: String::new(), body: "g".into() });
+        match x.recv() {
+            Stanza::Message { body, .. } => assert_eq!(body, "g"),
+            other => panic!("expected reflected room message, got {other:?}"),
+        }
+        x.close();
+        y.close();
+        match server {
+            Running::Svc(s) => {
+                s.shutdown();
+            }
+            Running::Base(s) => s.shutdown(),
+        }
+    }
+}
