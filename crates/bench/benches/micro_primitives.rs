@@ -1,128 +1,146 @@
-//! Criterion micro-benchmarks of the core primitives: node pool and mbox
+//! Micro-benchmarks of the core primitives: node pool and mbox
 //! operations, channel send/recv (plain and encrypted), POS set/get,
 //! cipher seal/open and the simulated ECall round trip. These are the
 //! building blocks whose relative costs drive every figure.
+//!
+//! Self-contained harness (no external benchmark framework): each case
+//! is warmed up, then timed over enough iterations to exceed a fixed
+//! measurement window, reporting mean ns/iter and throughput where a
+//! per-iteration byte count is known.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::{Duration, Instant};
+
 use eactors::arena::{Arena, Mbox};
 use eactors::channel::ChannelPair;
 use sgx_sim::crypto::{SessionCipher, SessionKey};
 use sgx_sim::{CostModel, Platform};
 
-fn bench_pool(c: &mut Criterion) {
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(200);
+
+/// Time `f` repeatedly and print mean ns/iter (and MiB/s if `bytes` per
+/// iteration is known).
+fn bench(name: &str, bytes: Option<u64>, mut f: impl FnMut()) {
+    // Warm-up: fill caches, let the first lazy initialisations happen.
+    let start = Instant::now();
+    while start.elapsed() < WARMUP {
+        f();
+    }
+    let mut iters = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < MEASURE {
+        for _ in 0..64 {
+            f();
+        }
+        iters += 64;
+    }
+    let elapsed = start.elapsed();
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    match bytes {
+        Some(b) => {
+            let mib_s = (b as f64 * iters as f64) / (1024.0 * 1024.0) / elapsed.as_secs_f64();
+            println!("{name:<32} {ns_per_iter:>12.1} ns/iter {mib_s:>10.1} MiB/s");
+        }
+        None => println!("{name:<32} {ns_per_iter:>12.1} ns/iter"),
+    }
+}
+
+fn bench_pool() {
     let arena = Arena::new("bench", 64, 256);
-    c.bench_function("pool_pop_push", |b| {
-        b.iter(|| {
-            let node = arena.try_pop().expect("free node");
-            std::hint::black_box(&node);
-        })
+    bench("pool_pop_push", None, || {
+        let node = arena.try_pop().expect("free node");
+        std::hint::black_box(&node);
     });
 }
 
-fn bench_mbox(c: &mut Criterion) {
+fn bench_mbox() {
     let arena = Arena::new("bench", 64, 256);
     let mbox = Mbox::new(arena.clone(), 64);
-    c.bench_function("mbox_send_recv", |b| {
-        b.iter(|| {
-            let mut node = arena.try_pop().expect("free node");
-            node.write(b"0123456789abcdef");
-            mbox.send(node).expect("mbox has room");
-            std::hint::black_box(mbox.recv().expect("just sent"));
-        })
+    bench("mbox_send_recv", None, || {
+        let mut node = arena.try_pop().expect("free node");
+        node.write(b"0123456789abcdef");
+        mbox.send(node).expect("mbox has room");
+        std::hint::black_box(mbox.recv().expect("just sent"));
     });
 }
 
-fn bench_channel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("channel_1k");
-    group.throughput(Throughput::Bytes(1024));
+fn bench_channel() {
     let platform = Platform::builder().cost_model(CostModel::zero()).build();
     let payload = [7u8; 1024];
     let mut buf = [0u8; 2048];
 
     let (mut a, mut b2) = ChannelPair::plaintext(0, Arena::new("p", 16, 2048)).into_ends();
-    group.bench_function("plaintext", |b| {
-        b.iter(|| {
-            a.send(&payload).expect("room");
-            std::hint::black_box(b2.try_recv(&mut buf).expect("ok"));
-        })
+    bench("channel_1k/plaintext", Some(1024), || {
+        a.send(&payload).expect("room");
+        std::hint::black_box(b2.try_recv(&mut buf).expect("ok"));
     });
 
     let key = SessionKey::derive(&[1]);
     let (mut a, mut b2) =
         ChannelPair::encrypted(1, Arena::new("e", 16, 2048), &key, platform.costs()).into_ends();
-    group.bench_function("encrypted_zero_cost_model", |b| {
-        b.iter(|| {
-            a.send(&payload).expect("room");
-            std::hint::black_box(b2.try_recv(&mut buf).expect("ok"));
-        })
+    bench("channel_1k/encrypted_zero", Some(1024), || {
+        a.send(&payload).expect("room");
+        std::hint::black_box(b2.try_recv(&mut buf).expect("ok"));
     });
 
     let calibrated = Platform::builder().build();
     let (mut a, mut b2) =
         ChannelPair::encrypted(2, Arena::new("c", 16, 2048), &key, calibrated.costs()).into_ends();
-    group.bench_function("encrypted_calibrated", |b| {
-        b.iter(|| {
-            a.send(&payload).expect("room");
-            std::hint::black_box(b2.try_recv(&mut buf).expect("ok"));
-        })
+    bench("channel_1k/encrypted_calibrated", Some(1024), || {
+        a.send(&payload).expect("room");
+        std::hint::black_box(b2.try_recv(&mut buf).expect("ok"));
     });
-    group.finish();
 }
 
-fn bench_ecall(c: &mut Criterion) {
+fn bench_ecall() {
     let calibrated = Platform::builder().build();
     let enclave = calibrated.create_enclave("bench", 4096).expect("epc");
-    c.bench_function("ecall_round_trip_calibrated", |b| {
-        b.iter(|| enclave.ecall(|| std::hint::black_box(42)))
+    bench("ecall_round_trip_calibrated", None, || {
+        enclave.ecall(|| std::hint::black_box(42));
     });
 
     let zero = Platform::builder().cost_model(CostModel::zero()).build();
     let enclave = zero.create_enclave("bench", 4096).expect("epc");
-    c.bench_function("ecall_round_trip_zero", |b| {
-        b.iter(|| enclave.ecall(|| std::hint::black_box(42)))
+    bench("ecall_round_trip_zero", None, || {
+        enclave.ecall(|| std::hint::black_box(42));
     });
 }
 
-fn bench_cipher(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cipher_4k");
-    group.throughput(Throughput::Bytes(4096));
+fn bench_cipher() {
     let zero = Platform::builder().cost_model(CostModel::zero()).build();
     let cipher = SessionCipher::new(SessionKey::derive(&[9]), zero.costs());
     let msg = vec![3u8; 4096];
     let mut sealed = vec![0u8; SessionCipher::sealed_len(4096)];
     let mut out = vec![0u8; 4096];
-    group.bench_function("seal_open", |b| {
-        b.iter(|| {
-            let n = cipher.seal(&msg, &mut sealed).expect("sized");
-            std::hint::black_box(cipher.open(&sealed[..n], &mut out).expect("authentic"));
-        })
+    bench("cipher_4k/seal_open", Some(4096), || {
+        let n = cipher.seal(&msg, &mut sealed).expect("sized");
+        std::hint::black_box(cipher.open(&sealed[..n], &mut out).expect("authentic"));
     });
-    group.finish();
 }
 
-fn bench_pos(c: &mut Criterion) {
+fn bench_pos() {
     let store = pos::PosStore::new(pos::PosConfig::default());
     let reader = store.register_reader();
-    store.set(&reader, b"hot-key", b"value-bytes").expect("room");
+    store
+        .set(&reader, b"hot-key", b"value-bytes")
+        .expect("room");
     let mut buf = [0u8; 64];
-    c.bench_function("pos_get_hot", |b| {
-        b.iter(|| std::hint::black_box(store.get(&reader, b"hot-key", &mut buf).expect("ok")))
+    bench("pos_get_hot", None, || {
+        std::hint::black_box(store.get(&reader, b"hot-key", &mut buf).expect("ok"));
     });
-    c.bench_function("pos_set_then_clean", |b| {
-        b.iter(|| {
-            store.set(&reader, b"hot-key", b"value-bytes").expect("room");
-            store.clean();
-        })
+    bench("pos_set_then_clean", None, || {
+        store
+            .set(&reader, b"hot-key", b"value-bytes")
+            .expect("room");
+        store.clean();
     });
 }
 
-criterion_group!(
-    benches,
-    bench_pool,
-    bench_mbox,
-    bench_channel,
-    bench_ecall,
-    bench_cipher,
-    bench_pos
-);
-criterion_main!(benches);
+fn main() {
+    bench_pool();
+    bench_mbox();
+    bench_channel();
+    bench_ecall();
+    bench_cipher();
+    bench_pos();
+}

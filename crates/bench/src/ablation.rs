@@ -31,7 +31,10 @@ pub fn transition_sweep(scale: Scale) -> FigureReport {
         "microseconds per pair",
     );
     for cycles in [0u64, 1_000, 4_000, 8_000, 16_000] {
-        let model = CostModel { transition_cycles: cycles, ..CostModel::calibrated() };
+        let model = CostModel {
+            transition_cycles: cycles,
+            ..CostModel::calibrated()
+        };
 
         // Native pattern: 6 crossings + copies per pair.
         let platform = Platform::builder().cost_model(model.clone()).build();
@@ -87,7 +90,11 @@ pub fn substrate(scale: Scale) -> FigureReport {
         mbox.send(node).expect("mbox sized");
         drop(mbox.recv().expect("just sent"));
     }
-    report.push("node/mbox", 0.0, ops as f64 / start.elapsed().as_secs_f64() / 1e6);
+    report.push(
+        "node/mbox",
+        0.0,
+        ops as f64 / start.elapsed().as_secs_f64() / 1e6,
+    );
 
     let queue = std::sync::Mutex::new(std::collections::VecDeque::new());
     let start = Instant::now();
@@ -97,7 +104,11 @@ pub fn substrate(scale: Scale) -> FigureReport {
         queue.lock().expect("queue").push_back(msg);
         drop(queue.lock().expect("queue").pop_front());
     }
-    report.push("mutex+alloc", 1.0, ops as f64 / start.elapsed().as_secs_f64() / 1e6);
+    report.push(
+        "mutex+alloc",
+        1.0,
+        ops as f64 / start.elapsed().as_secs_f64() / 1e6,
+    );
     report
 }
 
@@ -124,8 +135,7 @@ pub fn pos_stacks(scale: Scale) -> FigureReport {
                 .set(&reader, format!("key-{k}").as_bytes(), &k.to_le_bytes())
                 .expect("store sized");
         }
-        let key_names: Vec<Vec<u8>> =
-            (0..keys).map(|k| format!("key-{k}").into_bytes()).collect();
+        let key_names: Vec<Vec<u8>> = (0..keys).map(|k| format!("key-{k}").into_bytes()).collect();
         let mut buf = [0u8; 8];
         let start = Instant::now();
         for i in 0..gets {
@@ -307,6 +317,9 @@ mod tests {
         let mbox = report.value("node/mbox", 0.0).expect("measured");
         let mutex = report.value("mutex+alloc", 1.0).expect("measured");
         // The allocation-free path should not lose badly to the naive one.
-        assert!(mbox > mutex * 0.3, "mbox {mbox:.2}M vs mutex {mutex:.2}M ops/s");
+        assert!(
+            mbox > mutex * 0.3,
+            "mbox {mbox:.2}M vs mutex {mutex:.2}M ops/s"
+        );
     }
 }

@@ -22,7 +22,15 @@ fn main() {
         .collect();
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
-            "fig1", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tcb",
+            "fig1",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "tcb",
             "ablations",
         ];
     }

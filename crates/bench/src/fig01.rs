@@ -75,8 +75,16 @@ pub fn run(scale: Scale) -> FigureReport {
     );
     let platform = Platform::builder().build();
     for &threads in &sweep {
-        report.push("pthread_mutex", threads as f64, drain_pthread(elements, threads));
-        report.push("sgx_mutex", threads as f64, drain_sgx(&platform, elements, threads));
+        report.push(
+            "pthread_mutex",
+            threads as f64,
+            drain_pthread(elements, threads),
+        );
+        report.push(
+            "sgx_mutex",
+            threads as f64,
+            drain_sgx(&platform, elements, threads),
+        );
     }
     report
 }

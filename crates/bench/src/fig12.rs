@@ -67,7 +67,10 @@ pub fn run(scale: Scale, dynamic: bool) -> Vec<FigureReport> {
         "vector dimension",
         "throughput (10^3 req/s)",
     );
-    for dim in scale.sweep(&[2_000, 6_000, 10_000], &[2_000, 4_000, 6_000, 8_000, 10_000]) {
+    for dim in scale.sweep(
+        &[2_000, 6_000, 10_000],
+        &[2_000, 4_000, 6_000, 8_000, 10_000],
+    ) {
         for parties in [3usize, 8] {
             let (sdk, ea) = measure(parties, dim, dynamic, long_rounds);
             b.push(format!("EC/{parties}"), dim as f64, sdk);
@@ -108,7 +111,10 @@ mod tests {
         // The paper's headline SMC result: for short vectors the EActors
         // deployment clearly outperforms the ECall-based one.
         let (sdk, ea) = measure(3, 20, false, 150);
-        assert!(ea > sdk, "EA ({ea:.2}) must beat EC ({sdk:.2}) for short vectors");
+        assert!(
+            ea > sdk,
+            "EA ({ea:.2}) must beat EC ({sdk:.2}) for short vectors"
+        );
     }
 
     #[test]

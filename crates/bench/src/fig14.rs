@@ -58,7 +58,10 @@ pub fn measure_o2o(server: Server, clients: usize, duration: std::time::Duration
             let s = BaselineServer::start(
                 net.clone(),
                 platform.costs(),
-                BaselineConfig { kind: BaselineKind::Ejabberd, ..BaselineConfig::default() },
+                BaselineConfig {
+                    kind: BaselineKind::Ejabberd,
+                    ..BaselineConfig::default()
+                },
             );
             let r = run_o2o(net, &platform.costs(), &workload);
             s.shutdown();
@@ -68,7 +71,10 @@ pub fn measure_o2o(server: Server, clients: usize, duration: std::time::Duration
             let s = BaselineServer::start(
                 net.clone(),
                 platform.costs(),
-                BaselineConfig { kind: BaselineKind::Jabberd2, ..BaselineConfig::default() },
+                BaselineConfig {
+                    kind: BaselineKind::Jabberd2,
+                    ..BaselineConfig::default()
+                },
             );
             let r = run_o2o(net, &platform.costs(), &workload);
             s.shutdown();

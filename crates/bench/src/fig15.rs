@@ -47,11 +47,7 @@ impl GroupServer {
 
 /// Measure one (server, participants) point; returns pacer rounds per
 /// second.
-pub fn measure_o2m(
-    server: GroupServer,
-    participants: usize,
-    duration: std::time::Duration,
-) -> f64 {
+pub fn measure_o2m(server: GroupServer, participants: usize, duration: std::time::Duration) -> f64 {
     let platform = Platform::builder().build();
     let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(platform.costs()));
     let workload = O2mWorkload {
@@ -71,7 +67,10 @@ pub fn measure_o2m(
             let s = BaselineServer::start(
                 net.clone(),
                 platform.costs(),
-                BaselineConfig { kind, ..BaselineConfig::default() },
+                BaselineConfig {
+                    kind,
+                    ..BaselineConfig::default()
+                },
             );
             let r = run_o2m(net, &platform.costs(), &workload);
             s.shutdown();

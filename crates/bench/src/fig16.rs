@@ -17,12 +17,13 @@ use crate::report::FigureReport;
 use crate::scale::Scale;
 
 /// Measure throughput of the 16-instance service over `enclaves`
-/// enclaves.
+/// enclaves, returning the runtime report so callers can inspect
+/// per-worker scheduling costs (transitions, parks).
 pub fn measure_enclaves(
     enclaves: usize,
     clients: usize,
     duration: std::time::Duration,
-) -> f64 {
+) -> (f64, eactors::RuntimeReport) {
     let platform = Platform::builder().build();
     let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(platform.costs()));
     let layout = match enclaves {
@@ -44,10 +45,15 @@ pub fn measure_enclaves(
     let r = run_o2o(
         net,
         &platform.costs(),
-        &O2oWorkload { clients, duration, driver_threads: 2, ..O2oWorkload::default() },
+        &O2oWorkload {
+            clients,
+            duration,
+            driver_threads: 2,
+            ..O2oWorkload::default()
+        },
     );
-    svc.shutdown();
-    r.throughput_rps
+    let runtime_report = svc.shutdown();
+    (r.throughput_rps, runtime_report)
 }
 
 /// Run the experiment.
@@ -61,7 +67,17 @@ pub fn run(scale: Scale) -> FigureReport {
         "throughput (req/s)",
     );
     for enclaves in [1usize, 2, 16] {
-        report.push("EA/48", enclaves as f64, measure_enclaves(enclaves, clients, duration));
+        let (rps, rt) = measure_enclaves(enclaves, clients, duration);
+        report.push("EA/48", enclaves as f64, rps);
+        // Per-worker transition counts quantify what the layout costs:
+        // more enclaves mean more boundary crossings per scheduling pass.
+        for w in &rt.workers {
+            report.push(
+                format!("transitions/{enclaves}e"),
+                w.worker as f64,
+                w.transitions as f64,
+            );
+        }
     }
     report
 }
@@ -74,8 +90,9 @@ mod tests {
     #[test]
     fn all_layouts_serve_traffic() {
         for enclaves in [1usize, 2] {
-            let t = measure_enclaves(enclaves, 20, Duration::from_millis(600));
+            let (t, rt) = measure_enclaves(enclaves, 20, Duration::from_millis(600));
             assert!(t > 0.0, "{enclaves}-enclave layout served nothing");
+            assert!(!rt.workers.is_empty(), "runtime report must carry workers");
         }
     }
 }

@@ -16,13 +16,14 @@ use xmpp::{start_service, XmppConfig};
 use crate::report::FigureReport;
 use crate::scale::Scale;
 
-/// Measure one (instances, trusted) point; returns requests per second.
+/// Measure one (instances, trusted) point; returns requests per second
+/// plus the runtime report with per-worker scheduling costs.
 pub fn measure_mode(
     instances: usize,
     trusted: bool,
     clients: usize,
     duration: std::time::Duration,
-) -> f64 {
+) -> (f64, eactors::RuntimeReport) {
     let platform = Platform::builder().build();
     let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(platform.costs()));
     let svc = start_service(
@@ -39,10 +40,15 @@ pub fn measure_mode(
     let r = run_o2o(
         net,
         &platform.costs(),
-        &O2oWorkload { clients, duration, driver_threads: 2, ..O2oWorkload::default() },
+        &O2oWorkload {
+            clients,
+            duration,
+            driver_threads: 2,
+            ..O2oWorkload::default()
+        },
     );
-    svc.shutdown();
-    r.throughput_rps
+    let runtime_report = svc.shutdown();
+    (r.throughput_rps, runtime_report)
 }
 
 /// Run the experiment.
@@ -57,8 +63,20 @@ pub fn run(scale: Scale) -> FigureReport {
     );
     for instances in [1usize, 2, 16] {
         let eactors = (instances * 3) as f64;
-        report.push("trusted", eactors, measure_mode(instances, true, clients, duration));
-        report.push("untrusted", eactors, measure_mode(instances, false, clients, duration));
+        for (mode, trusted) in [("trusted", true), ("untrusted", false)] {
+            let (rps, rt) = measure_mode(instances, trusted, clients, duration);
+            report.push(mode, eactors, rps);
+            // Per-worker transitions: trusted workers confined to one
+            // enclave should pay no more than their untrusted twins —
+            // the figure's "trusted execution comes for free" claim.
+            for w in &rt.workers {
+                report.push(
+                    format!("transitions/{instances}i/{mode}"),
+                    w.worker as f64,
+                    w.transitions as f64,
+                );
+            }
+        }
     }
     report
 }
@@ -71,8 +89,8 @@ mod tests {
     #[test]
     fn no_perceptible_trusted_overhead() {
         let d = Duration::from_millis(800);
-        let trusted = measure_mode(1, true, 20, d);
-        let untrusted = measure_mode(1, false, 20, d);
+        let (trusted, _) = measure_mode(1, true, 20, d);
+        let (untrusted, _) = measure_mode(1, false, 20, d);
         let ratio = trusted / untrusted;
         assert!(
             (0.5..2.0).contains(&ratio),

@@ -5,7 +5,7 @@ use std::path::PathBuf;
 
 /// One data point of a figure: a series name, the x value, and the
 /// measured y value(s).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Series label (e.g. `EA/3`, `Native`, `EC-1000`).
     pub series: String,
@@ -18,12 +18,16 @@ pub struct Row {
 impl Row {
     /// Convenience constructor.
     pub fn new(series: impl Into<String>, x: f64, y: f64) -> Self {
-        Row { series: series.into(), x, y }
+        Row {
+            series: series.into(),
+            x,
+            y,
+        }
     }
 }
 
 /// A rendered experiment: identification, axes and data.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureReport {
     /// Figure id (`fig01`, `fig12a`, ...).
     pub id: String,
@@ -84,7 +88,10 @@ impl FigureReport {
         if !self.rows.is_empty() && self.rows.len() == self.series().len() {
             let mut out = String::new();
             out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
-            out.push_str(&format!("   ({}; host cpus: {})\n", self.y_label, self.host_cpus));
+            out.push_str(&format!(
+                "   ({}; host cpus: {})\n",
+                self.y_label, self.host_cpus
+            ));
             let width = self.rows.iter().map(|r| r.series.len()).max().unwrap_or(0);
             for r in &self.rows {
                 out.push_str(&format!("   {:<width$}  {:>12.0}\n", r.series, r.y));
@@ -108,7 +115,10 @@ impl FigureReport {
             "   ({} vs {}; host cpus: {})\n",
             self.y_label, self.x_label, self.host_cpus
         ));
-        out.push_str(&format!("{:>12}", self.x_label.split_whitespace().next().unwrap_or("x")));
+        out.push_str(&format!(
+            "{:>12}",
+            self.x_label.split_whitespace().next().unwrap_or("x")
+        ));
         for s in self.series() {
             out.push_str(&format!("{s:>14}"));
         }
@@ -139,7 +149,11 @@ impl FigureReport {
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.csv", self.id));
         let mut f = std::fs::File::create(&path)?;
-        writeln!(f, "# {} — {} (host cpus: {})", self.id, self.title, self.host_cpus)?;
+        writeln!(
+            f,
+            "# {} — {} (host cpus: {})",
+            self.id, self.title, self.host_cpus
+        )?;
         writeln!(f, "series,{},{}", self.x_label, self.y_label)?;
         for r in &self.rows {
             writeln!(f, "{},{},{}", r.series, r.x, r.y)?;

@@ -88,7 +88,11 @@ pub fn run() -> FigureReport {
         ("sgx-sim (platform substrate)", "crates/sgx-sim/src", true),
         ("eactors (framework core)", "crates/core/src", true),
         ("pos (object store)", "crates/pos/src", true),
-        ("enet (networking, untrusted by design)", "crates/enet/src", false),
+        (
+            "enet (networking, untrusted by design)",
+            "crates/enet/src",
+            false,
+        ),
         ("smc use case", "crates/smc/src", true),
         ("xmpp use case", "crates/xmpp/src", true),
         ("bench harness (untrusted)", "crates/bench/src", false),
@@ -104,14 +108,23 @@ pub fn run() -> FigureReport {
         report.push(*name, i as f64, loc as f64);
     }
     report.push("TOTAL", crates.len() as f64, total as f64);
-    report.push("enclave-resident total", crates.len() as f64 + 1.0, trusted_total as f64);
+    report.push(
+        "enclave-resident total",
+        crates.len() as f64 + 1.0,
+        trusted_total as f64,
+    );
 
     // Enclave memory of a deployed single-instance XMPP service.
     let platform = sgx_sim::Platform::builder().build();
     let net: std::sync::Arc<dyn enet::NetBackend> =
         std::sync::Arc::new(enet::SimNet::new(platform.costs()));
     if let Ok(svc) = xmpp::start_service(&platform, net, &xmpp::XmppConfig::default()) {
-        let bytes: u64 = svc.runtime.enclaves().iter().map(|e| e.memory_bytes()).sum();
+        let bytes: u64 = svc
+            .runtime
+            .enclaves()
+            .iter()
+            .map(|e| e.memory_bytes())
+            .sum();
         report.push(
             "xmpp enclave memory (KiB; paper ~500)",
             crates.len() as f64 + 2.0,
@@ -149,6 +162,9 @@ mod tests {
             .find(|r| r.series == "TOTAL")
             .map(|r| r.y)
             .unwrap_or(0.0);
-        assert!(total > 5_000.0, "expected a substantial code base, got {total}");
+        assert!(
+            total > 5_000.0,
+            "expected a substantial code base, got {total}"
+        );
     }
 }

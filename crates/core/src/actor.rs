@@ -103,6 +103,10 @@ impl StopToken {
     /// Signal every observer to stop.
     pub fn stop(&self) {
         self.flag.store(true, Ordering::Release);
+        // A parked worker cannot observe the flag until it wakes; when
+        // stop is signalled from a worker thread, nudge this runtime's
+        // wake hub. (The runtime's own shutdown paths notify explicitly.)
+        crate::wake::notify_current();
     }
 
     /// Whether stop has been signalled.
@@ -126,6 +130,7 @@ pub struct Ctx {
     pub(crate) arenas: Arc<HashMap<String, Arc<Arena>>>,
     pub(crate) stop: StopToken,
     pub(crate) costs: CostHandle,
+    pub(crate) wake: Arc<crate::wake::WakeHub>,
     pub(crate) executions: u64,
 }
 
@@ -203,6 +208,14 @@ impl Ctx {
     /// How many times this actor's body has run so far.
     pub fn executions(&self) -> u64 {
         self.executions
+    }
+
+    /// Number of this runtime's workers currently parked on the wake hub.
+    ///
+    /// Lets an actor observe whether its peers have gone idle — useful in
+    /// tests and in producers that batch work until a consumer sleeps.
+    pub fn sleeping_workers(&self) -> usize {
+        self.wake.sleepers()
     }
 }
 

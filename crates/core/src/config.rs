@@ -72,6 +72,60 @@ impl Default for ChannelOptions {
     }
 }
 
+/// What a worker does after passes in which no actor made progress.
+///
+/// Workers escalate through three tiers as an idle streak grows: first
+/// **spin** (cheapest resume, keeps the cache hot), then **yield** to the
+/// OS scheduler, and finally **park** on the runtime's wake hub until a
+/// peer's `Mbox::send` wakes them (see [`crate::wake::WakeHub`]). Any
+/// productive pass resets the streak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdlePolicy {
+    /// Idle passes spent spinning before the yield tier.
+    pub spin_passes: u32,
+    /// Idle passes spent yielding before the park tier.
+    pub yield_passes: u32,
+    /// Upper bound on one parked sleep. `None` parks until a wake event —
+    /// only safe when every input of every actor arrives through an mbox.
+    /// Actors that poll sources the mbox layer cannot see (the enet
+    /// READER and ACCEPTER poll simulated sockets) need the bounded
+    /// default so data arriving without a send still gets served.
+    pub park_timeout: Option<std::time::Duration>,
+}
+
+impl Default for IdlePolicy {
+    fn default() -> Self {
+        IdlePolicy {
+            spin_passes: 64,
+            yield_passes: 64,
+            park_timeout: Some(std::time::Duration::from_micros(200)),
+        }
+    }
+}
+
+impl IdlePolicy {
+    /// Never park: spin forever on idle passes (the pre-parking
+    /// behaviour, for latency-critical deployments).
+    pub fn spin_only() -> Self {
+        IdlePolicy {
+            spin_passes: u32::MAX,
+            yield_passes: 0,
+            park_timeout: None,
+        }
+    }
+
+    /// Park as soon as one pass makes no progress, waiting indefinitely
+    /// for a wake event (deterministic parking, used by tests and
+    /// mbox-only deployments).
+    pub fn park_immediately() -> Self {
+        IdlePolicy {
+            spin_passes: 0,
+            yield_passes: 0,
+            park_timeout: None,
+        }
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct EnclaveDecl {
     pub(crate) name: String,
@@ -155,6 +209,7 @@ pub struct DeploymentBuilder {
     pools: Vec<PoolDecl>,
     mboxes: Vec<MboxDecl>,
     channel_defaults: ChannelOptions,
+    idle: Option<IdlePolicy>,
 }
 
 /// Default enclave size: the paper reports ~500 KiB for an XMPP-service
@@ -185,7 +240,12 @@ impl DeploymentBuilder {
     ///
     /// The placement is the *entire* difference between a trusted and an
     /// untrusted deployment of the same logic.
-    pub fn actor(&mut self, name: &str, placement: Placement, actor: impl Actor + 'static) -> ActorSlot {
+    pub fn actor(
+        &mut self,
+        name: &str,
+        placement: Placement,
+        actor: impl Actor + 'static,
+    ) -> ActorSlot {
         self.actor_boxed(name, placement, Box::new(actor))
     }
 
@@ -234,7 +294,12 @@ impl DeploymentBuilder {
     }
 
     /// Connect two actors with explicit options.
-    pub fn channel_with(&mut self, a: ActorSlot, b: ActorSlot, options: ChannelOptions) -> &mut Self {
+    pub fn channel_with(
+        &mut self,
+        a: ActorSlot,
+        b: ActorSlot,
+        options: ChannelOptions,
+    ) -> &mut Self {
         self.channels.push(ChannelDecl { a, b, options });
         self
     }
@@ -242,6 +307,13 @@ impl DeploymentBuilder {
     /// Set the default options used by [`DeploymentBuilder::channel`].
     pub fn channel_defaults(&mut self, options: ChannelOptions) -> &mut Self {
         self.channel_defaults = options;
+        self
+    }
+
+    /// Set the idle strategy all workers follow (defaults to
+    /// [`IdlePolicy::default`]).
+    pub fn idle_policy(&mut self, policy: IdlePolicy) -> &mut Self {
+        self.idle = Some(policy);
         self
     }
 
@@ -323,7 +395,9 @@ impl DeploymentBuilder {
                     return Err(ConfigError::UnknownSlot("actor", ai));
                 }
                 if assigned[ai] {
-                    return Err(ConfigError::ActorDoubleAssigned(self.actors[ai].name.clone()));
+                    return Err(ConfigError::ActorDoubleAssigned(
+                        self.actors[ai].name.clone(),
+                    ));
                 }
                 assigned[ai] = true;
             }
@@ -357,6 +431,7 @@ impl DeploymentBuilder {
             channels: self.channels,
             pools: self.pools,
             mboxes: self.mboxes,
+            idle: self.idle.unwrap_or_default(),
         })
     }
 }
@@ -376,6 +451,7 @@ pub struct Deployment {
     pub(crate) channels: Vec<ChannelDecl>,
     pub(crate) pools: Vec<PoolDecl>,
     pub(crate) mboxes: Vec<MboxDecl>,
+    pub(crate) idle: IdlePolicy,
 }
 
 impl Deployment {
@@ -439,7 +515,10 @@ mod tests {
         let (mut b, a, c) = two_actor_builder();
         b.worker(&[a, c]);
         b.worker(&[a]);
-        assert!(matches!(b.build(), Err(ConfigError::ActorDoubleAssigned(_))));
+        assert!(matches!(
+            b.build(),
+            Err(ConfigError::ActorDoubleAssigned(_))
+        ));
     }
 
     #[test]

@@ -38,11 +38,17 @@ impl fmt::Display for ChannelError {
             ChannelError::NoFreeNodes => write!(f, "channel pool exhausted (apply back-pressure)"),
             ChannelError::Full => write!(f, "channel mbox full (apply back-pressure)"),
             ChannelError::TooLarge { size, capacity } => {
-                write!(f, "message of {size} bytes exceeds channel payload capacity {capacity}")
+                write!(
+                    f,
+                    "message of {size} bytes exceeds channel payload capacity {capacity}"
+                )
             }
             ChannelError::Tampered => write!(f, "incoming message failed authentication"),
             ChannelError::BufferTooSmall { needed, got } => {
-                write!(f, "receive buffer too small: need {needed} bytes, got {got}")
+                write!(
+                    f,
+                    "receive buffer too small: need {needed} bytes, got {got}"
+                )
             }
         }
     }
@@ -89,7 +95,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "channel connects actor {name:?} to itself")
             }
             ConfigError::PayloadTooSmall(size) => {
-                write!(f, "channel payload size {size} cannot hold an encrypted message")
+                write!(
+                    f,
+                    "channel payload size {size} cannot hold an encrypted message"
+                )
             }
             ConfigError::Sgx(e) => write!(f, "platform error: {e}"),
         }
@@ -120,7 +129,10 @@ mod tests {
         let errors: Vec<Box<dyn std::error::Error>> = vec![
             Box::new(ChannelError::NoFreeNodes),
             Box::new(ChannelError::Full),
-            Box::new(ChannelError::TooLarge { size: 10, capacity: 4 }),
+            Box::new(ChannelError::TooLarge {
+                size: 10,
+                capacity: 4,
+            }),
             Box::new(ChannelError::Tampered),
             Box::new(ChannelError::BufferTooSmall { needed: 8, got: 2 }),
             Box::new(ConfigError::UnknownSlot("actor", 3)),

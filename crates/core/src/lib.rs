@@ -69,14 +69,16 @@ pub mod arena;
 pub mod channel;
 pub mod config;
 mod error;
+pub mod json;
 pub mod runtime;
 pub mod spec;
+pub mod wake;
 
 pub use actor::{from_fn, Actor, ActorId, Control, Ctx, StopToken};
 pub use channel::{ChannelEnd, ChannelId};
 pub use config::{
     ActorSlot, ChannelOptions, Deployment, DeploymentBuilder, EnclaveSlot, EncryptionPolicy,
-    Placement,
+    IdlePolicy, Placement,
 };
 pub use error::{ChannelError, ConfigError};
 pub use runtime::{Runtime, RuntimeReport, WorkerReport};
@@ -85,7 +87,9 @@ pub use runtime::{Runtime, RuntimeReport, WorkerReport};
 pub mod prelude {
     pub use crate::actor::{from_fn, Actor, Control, Ctx, StopToken};
     pub use crate::channel::ChannelEnd;
-    pub use crate::config::{ChannelOptions, DeploymentBuilder, EncryptionPolicy, Placement};
+    pub use crate::config::{
+        ChannelOptions, DeploymentBuilder, EncryptionPolicy, IdlePolicy, Placement,
+    };
     pub use crate::error::{ChannelError, ConfigError};
     pub use crate::runtime::{Runtime, RuntimeReport};
 }

@@ -3,7 +3,7 @@
 //! The paper drives its custom build process from a configuration file
 //! that maps eactors to enclaves, workers and CPUs (§3.2), so the *same*
 //! application sources yield different trusted/untrusted deployments. This
-//! module is the runtime equivalent: a serde-serialisable
+//! module is the runtime equivalent: a JSON-serialisable
 //! [`DeploymentSpec`] plus an [`ActorRegistry`] of named constructors,
 //! turning a JSON document into a [`crate::config::DeploymentBuilder`].
 //!
@@ -42,73 +42,64 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::actor::Actor;
 use crate::config::{
     ChannelOptions, DeploymentBuilder, EncryptionPolicy, Placement, DEFAULT_ENCLAVE_BYTES,
 };
+use crate::json::{self, Value};
 
 /// Declarative description of an enclave.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EnclaveSpec {
     /// Enclave name (also determines its simulated measurement).
     pub name: String,
     /// Base EPC bytes for code and data.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub size_bytes: Option<u64>,
 }
 
 /// Declarative description of an actor instance.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActorSpec {
     /// Unique instance name.
     pub name: String,
     /// Registered constructor kind (see [`ActorRegistry::register`]).
     pub kind: String,
     /// Enclave to place the actor in; omitted means untrusted.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub enclave: Option<String>,
     /// Free-form parameters forwarded to the constructor.
-    #[serde(default, skip_serializing_if = "serde_json::Value::is_null")]
-    pub params: serde_json::Value,
+    pub params: Value,
 }
 
 /// Declarative description of a worker thread.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkerSpec {
     /// Names of the actors this worker executes round-robin.
     pub actors: Vec<String>,
     /// Optional CPU to pin the worker to.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub cpu: Option<usize>,
 }
 
 /// Declarative description of a channel.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChannelSpec {
     /// Initiator actor name.
     pub a: String,
     /// Client actor name.
     pub b: String,
     /// Preallocated node count (default 64).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub nodes: Option<u32>,
     /// Payload bytes per node (default 4096).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub payload: Option<usize>,
     /// `false` forces plaintext even across enclaves (default: auto).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub encrypted: Option<bool>,
 }
 
 /// Declarative description of a named shared pool.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolSpec {
     /// Pool name.
     pub name: String,
     /// Enclave owning the pool memory; omitted means untrusted memory.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub enclave: Option<String>,
     /// Node count.
     pub nodes: u32,
@@ -117,7 +108,7 @@ pub struct PoolSpec {
 }
 
 /// Declarative description of a named shared mbox.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MboxSpec {
     /// Mbox name.
     pub name: String,
@@ -128,25 +119,19 @@ pub struct MboxSpec {
 }
 
 /// A complete, serialisable deployment description.
-#[derive(Debug, Clone, Serialize, Deserialize, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeploymentSpec {
     /// Enclaves to create.
-    #[serde(default)]
     pub enclaves: Vec<EnclaveSpec>,
     /// Actor instances.
-    #[serde(default)]
     pub actors: Vec<ActorSpec>,
     /// Worker threads.
-    #[serde(default)]
     pub workers: Vec<WorkerSpec>,
     /// Channels between actors.
-    #[serde(default)]
     pub channels: Vec<ChannelSpec>,
     /// Named shared pools.
-    #[serde(default)]
     pub pools: Vec<PoolSpec>,
     /// Named shared mboxes.
-    #[serde(default)]
     pub mboxes: Vec<MboxSpec>,
 }
 
@@ -155,7 +140,9 @@ pub struct DeploymentSpec {
 #[non_exhaustive]
 pub enum SpecError {
     /// The JSON document could not be parsed.
-    Parse(serde_json::Error),
+    Parse(json::ParseError),
+    /// The JSON parsed but does not match the spec schema.
+    Schema(String),
     /// An actor referenced a `kind` that is not registered.
     UnknownKind(String),
     /// A spec entry referenced an undeclared name.
@@ -178,6 +165,7 @@ impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecError::Parse(e) => write!(f, "malformed deployment spec: {e}"),
+            SpecError::Schema(msg) => write!(f, "invalid deployment spec: {msg}"),
             SpecError::UnknownKind(k) => write!(f, "actor kind {k:?} is not registered"),
             SpecError::UnknownName { kind, name } => {
                 write!(f, "spec references unknown {kind} {name:?}")
@@ -201,7 +189,7 @@ impl std::error::Error for SpecError {
 /// The result of a registered actor constructor.
 pub type ActorFactoryResult = Result<Box<dyn Actor>, String>;
 
-type Factory = Box<dyn Fn(&serde_json::Value) -> ActorFactoryResult + Send + Sync>;
+type Factory = Box<dyn Fn(&Value) -> ActorFactoryResult + Send + Sync>;
 
 /// Maps actor `kind` strings to constructors.
 ///
@@ -216,7 +204,9 @@ impl fmt::Debug for ActorRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut kinds: Vec<_> = self.factories.keys().collect();
         kinds.sort();
-        f.debug_struct("ActorRegistry").field("kinds", &kinds).finish()
+        f.debug_struct("ActorRegistry")
+            .field("kinds", &kinds)
+            .finish()
     }
 }
 
@@ -232,7 +222,7 @@ impl ActorRegistry {
     /// actor or a human-readable error.
     pub fn register<F>(&mut self, kind: &str, factory: F) -> &mut Self
     where
-        F: Fn(&serde_json::Value) -> ActorFactoryResult + Send + Sync + 'static,
+        F: Fn(&Value) -> ActorFactoryResult + Send + Sync + 'static,
     {
         self.factories.insert(kind.to_owned(), Box::new(factory));
         self
@@ -243,7 +233,7 @@ impl ActorRegistry {
         self.factories.contains_key(kind)
     }
 
-    fn construct(&self, kind: &str, params: &serde_json::Value) -> Result<Box<dyn Actor>, SpecError> {
+    fn construct(&self, kind: &str, params: &Value) -> Result<Box<dyn Actor>, SpecError> {
         let factory = self
             .factories
             .get(kind)
@@ -262,12 +252,189 @@ impl DeploymentSpec {
     ///
     /// [`SpecError::Parse`] on malformed JSON.
     pub fn from_json(json: &str) -> Result<Self, SpecError> {
-        serde_json::from_str(json).map_err(SpecError::Parse)
+        let doc = json::parse(json).map_err(SpecError::Parse)?;
+        Self::from_value(&doc)
     }
 
     /// Serialise the spec to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("spec serialisation cannot fail")
+        self.to_value().pretty()
+    }
+
+    fn from_value(doc: &Value) -> Result<Self, SpecError> {
+        let obj = || schema("deployment spec must be a JSON object");
+        if doc.as_object().is_none() {
+            return Err(obj());
+        }
+        Ok(DeploymentSpec {
+            enclaves: list(doc, "enclaves", |v| {
+                Ok(EnclaveSpec {
+                    name: req_str(v, "name", "enclave")?,
+                    size_bytes: opt_u64(v, "size_bytes", "enclave")?,
+                })
+            })?,
+            actors: list(doc, "actors", |v| {
+                Ok(ActorSpec {
+                    name: req_str(v, "name", "actor")?,
+                    kind: req_str(v, "kind", "actor")?,
+                    enclave: opt_str(v, "enclave", "actor")?,
+                    params: v.get("params").cloned().unwrap_or(Value::Null),
+                })
+            })?,
+            workers: list(doc, "workers", |v| {
+                Ok(WorkerSpec {
+                    actors: str_array(v, "actors", "worker")?,
+                    cpu: opt_u64(v, "cpu", "worker")?.map(|c| c as usize),
+                })
+            })?,
+            channels: list(doc, "channels", |v| {
+                Ok(ChannelSpec {
+                    a: req_str(v, "a", "channel")?,
+                    b: req_str(v, "b", "channel")?,
+                    nodes: opt_u64(v, "nodes", "channel")?.map(|n| n as u32),
+                    payload: opt_u64(v, "payload", "channel")?.map(|n| n as usize),
+                    encrypted: match v.get("encrypted") {
+                        None | Some(Value::Null) => None,
+                        Some(e) => Some(
+                            e.as_bool()
+                                .ok_or_else(|| schema("channel \"encrypted\" must be a boolean"))?,
+                        ),
+                    },
+                })
+            })?,
+            pools: list(doc, "pools", |v| {
+                Ok(PoolSpec {
+                    name: req_str(v, "name", "pool")?,
+                    enclave: opt_str(v, "enclave", "pool")?,
+                    nodes: req_u64(v, "nodes", "pool")? as u32,
+                    payload: req_u64(v, "payload", "pool")? as usize,
+                })
+            })?,
+            mboxes: list(doc, "mboxes", |v| {
+                Ok(MboxSpec {
+                    name: req_str(v, "name", "mbox")?,
+                    pool: req_str(v, "pool", "mbox")?,
+                    capacity: req_u64(v, "capacity", "mbox")? as usize,
+                })
+            })?,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let string = |s: &str| Value::String(s.to_owned());
+        let num = |n: u64| Value::Number(n as f64);
+        let mut root = Vec::new();
+        root.push((
+            "enclaves".to_owned(),
+            Value::Array(
+                self.enclaves
+                    .iter()
+                    .map(|e| {
+                        let mut m = vec![("name".to_owned(), string(&e.name))];
+                        if let Some(b) = e.size_bytes {
+                            m.push(("size_bytes".to_owned(), num(b)));
+                        }
+                        Value::Object(m)
+                    })
+                    .collect(),
+            ),
+        ));
+        root.push((
+            "actors".to_owned(),
+            Value::Array(
+                self.actors
+                    .iter()
+                    .map(|a| {
+                        let mut m = vec![
+                            ("name".to_owned(), string(&a.name)),
+                            ("kind".to_owned(), string(&a.kind)),
+                        ];
+                        if let Some(e) = &a.enclave {
+                            m.push(("enclave".to_owned(), string(e)));
+                        }
+                        if !a.params.is_null() {
+                            m.push(("params".to_owned(), a.params.clone()));
+                        }
+                        Value::Object(m)
+                    })
+                    .collect(),
+            ),
+        ));
+        root.push((
+            "workers".to_owned(),
+            Value::Array(
+                self.workers
+                    .iter()
+                    .map(|w| {
+                        let mut m = vec![(
+                            "actors".to_owned(),
+                            Value::Array(w.actors.iter().map(|a| string(a)).collect()),
+                        )];
+                        if let Some(cpu) = w.cpu {
+                            m.push(("cpu".to_owned(), num(cpu as u64)));
+                        }
+                        Value::Object(m)
+                    })
+                    .collect(),
+            ),
+        ));
+        root.push((
+            "channels".to_owned(),
+            Value::Array(
+                self.channels
+                    .iter()
+                    .map(|c| {
+                        let mut m = vec![
+                            ("a".to_owned(), string(&c.a)),
+                            ("b".to_owned(), string(&c.b)),
+                        ];
+                        if let Some(n) = c.nodes {
+                            m.push(("nodes".to_owned(), num(n as u64)));
+                        }
+                        if let Some(p) = c.payload {
+                            m.push(("payload".to_owned(), num(p as u64)));
+                        }
+                        if let Some(e) = c.encrypted {
+                            m.push(("encrypted".to_owned(), Value::Bool(e)));
+                        }
+                        Value::Object(m)
+                    })
+                    .collect(),
+            ),
+        ));
+        root.push((
+            "pools".to_owned(),
+            Value::Array(
+                self.pools
+                    .iter()
+                    .map(|p| {
+                        let mut m = vec![("name".to_owned(), string(&p.name))];
+                        if let Some(e) = &p.enclave {
+                            m.push(("enclave".to_owned(), string(e)));
+                        }
+                        m.push(("nodes".to_owned(), num(p.nodes as u64)));
+                        m.push(("payload".to_owned(), num(p.payload as u64)));
+                        Value::Object(m)
+                    })
+                    .collect(),
+            ),
+        ));
+        root.push((
+            "mboxes".to_owned(),
+            Value::Array(
+                self.mboxes
+                    .iter()
+                    .map(|m| {
+                        Value::Object(vec![
+                            ("name".to_owned(), string(&m.name)),
+                            ("pool".to_owned(), string(&m.pool)),
+                            ("capacity".to_owned(), num(m.capacity as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        Value::Object(root)
     }
 
     /// Instantiate every actor through `registry` and assemble a
@@ -302,10 +469,13 @@ impl DeploymentSpec {
             actor_slots.insert(a.name.clone(), slot);
         }
         let lookup_actor = |name: &str| {
-            actor_slots.get(name).copied().ok_or_else(|| SpecError::UnknownName {
-                kind: "actor",
-                name: name.to_owned(),
-            })
+            actor_slots
+                .get(name)
+                .copied()
+                .ok_or_else(|| SpecError::UnknownName {
+                    kind: "actor",
+                    name: name.to_owned(),
+                })
         };
         for w in &self.workers {
             let mut slots = Vec::with_capacity(w.actors.len());
@@ -348,6 +518,71 @@ impl DeploymentSpec {
     }
 }
 
+fn schema(message: &str) -> SpecError {
+    SpecError::Schema(message.to_owned())
+}
+
+/// Read an optional array member of `doc`, mapping each element.
+fn list<T>(
+    doc: &Value,
+    key: &str,
+    f: impl Fn(&Value) -> Result<T, SpecError>,
+) -> Result<Vec<T>, SpecError> {
+    match doc.get(key) {
+        None | Some(Value::Null) => Ok(Vec::new()),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| schema(&format!("\"{key}\" must be an array")))?
+            .iter()
+            .map(f)
+            .collect(),
+    }
+}
+
+fn req_str(v: &Value, key: &str, what: &str) -> Result<String, SpecError> {
+    opt_str(v, key, what)?.ok_or_else(|| schema(&format!("{what} is missing \"{key}\"")))
+}
+
+fn opt_str(v: &Value, key: &str, what: &str) -> Result<Option<String>, SpecError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(s) => s
+            .as_str()
+            .map(|s| Some(s.to_owned()))
+            .ok_or_else(|| schema(&format!("{what} \"{key}\" must be a string"))),
+    }
+}
+
+fn str_array(v: &Value, key: &str, what: &str) -> Result<Vec<String>, SpecError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(Vec::new()),
+        Some(a) => a
+            .as_array()
+            .ok_or_else(|| schema(&format!("{what} \"{key}\" must be an array")))?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| schema(&format!("{what} \"{key}\" must contain strings")))
+            })
+            .collect(),
+    }
+}
+
+fn req_u64(v: &Value, key: &str, what: &str) -> Result<u64, SpecError> {
+    opt_u64(v, key, what)?.ok_or_else(|| schema(&format!("{what} is missing \"{key}\"")))
+}
+
+fn opt_u64(v: &Value, key: &str, what: &str) -> Result<Option<u64>, SpecError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(n) => n
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| schema(&format!("{what} \"{key}\" must be a non-negative integer"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,7 +619,7 @@ mod tests {
                 name: "a".into(),
                 kind: "idle".into(),
                 enclave: Some("e".into()),
-                params: serde_json::Value::Null,
+                params: Value::Null,
             }],
             workers: vec![WorkerSpec {
                 actors: vec!["a".into()],
@@ -428,14 +663,16 @@ mod tests {
         .unwrap();
         assert!(matches!(
             spec.into_builder(&registry()),
-            Err(SpecError::UnknownName { kind: "enclave", .. })
+            Err(SpecError::UnknownName {
+                kind: "enclave",
+                ..
+            })
         ));
     }
 
     #[test]
     fn unknown_actor_in_worker_rejected() {
-        let spec =
-            DeploymentSpec::from_json(r#"{"workers": [{"actors": ["ghost"]}]}"#).unwrap();
+        let spec = DeploymentSpec::from_json(r#"{"workers": [{"actors": ["ghost"]}]}"#).unwrap();
         assert!(matches!(
             spec.into_builder(&registry()),
             Err(SpecError::UnknownName { kind: "actor", .. })

@@ -1,0 +1,214 @@
+//! Wake-on-send worker parking (eventcount).
+//!
+//! A busy EActors worker polls its actors' mboxes in a tight loop; when
+//! every actor reports [`crate::actor::Control::Idle`] for long enough,
+//! burning a core on empty polls is pure waste. [`WakeHub`] lets a worker
+//! *park* — block on a condition variable, outside any enclave — until a
+//! peer enqueues a message. [`crate::arena::Mbox::send`] bumps the hub's
+//! event counter on every successful enqueue, so a parked worker resumes
+//! as soon as there is something to do.
+//!
+//! One hub exists per [`crate::runtime::Runtime`]; worker threads register
+//! it in a thread-local so the mbox layer can notify without carrying a
+//! hub reference through every queue (mboxes are freely created outside
+//! the runtime). Sends from threads that are not workers (test drivers,
+//! external pollers) simply do not notify — which is why parking defaults
+//! to a bounded timeout (see [`crate::config::IdlePolicy`]).
+//!
+//! # Protocol
+//!
+//! The classic eventcount handshake closes the race between "worker
+//! decides queues are empty" and "sender enqueues right then":
+//!
+//! 1. worker: [`WakeHub::prepare_park`] (registers as sleeper, snapshots
+//!    the epoch),
+//! 2. worker: polls every input **again**,
+//! 3. worker: if still empty, [`WakeHub::park`] — sleeps only while the
+//!    epoch is unchanged.
+//!
+//! A sender either observes the registered sleeper (and bumps the epoch,
+//! ending the sleep) or enqueued before step 2's poll (and the worker sees
+//! the message). The `SeqCst` fences on both sides make that disjunction
+//! total.
+
+use std::cell::RefCell;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<WakeHub>>> = const { RefCell::new(None) };
+}
+
+/// Event counter + sleeper registry coordinating worker parking.
+#[derive(Debug, Default)]
+pub struct WakeHub {
+    /// Bumped by every notify that observes sleepers; parked workers sleep
+    /// only while this is unchanged from their snapshot.
+    epoch: AtomicU64,
+    /// Workers between `prepare_park` and the end of `park`.
+    sleepers: AtomicUsize,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl WakeHub {
+    /// A fresh hub with no sleepers.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Workers currently registered as (about to be) parked.
+    pub fn sleepers(&self) -> usize {
+        self.sleepers.load(Ordering::SeqCst)
+    }
+
+    /// Signal that new work exists: wake every parked worker.
+    ///
+    /// Cheap when nobody sleeps — one fence plus one load; the epoch bump
+    /// and condvar broadcast only happen with registered sleepers.
+    pub fn notify(&self) {
+        // The fence orders the caller's queue publication before the
+        // sleeper check (StoreLoad), pairing with `prepare_park`.
+        fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.cond.notify_all();
+    }
+
+    /// Register as a sleeper and snapshot the epoch.
+    ///
+    /// The caller must poll its inputs once more before calling
+    /// [`WakeHub::park`] with the returned snapshot, or call
+    /// [`WakeHub::cancel_park`] if that poll found work.
+    pub fn prepare_park(&self) -> u64 {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        // Order the sleeper registration before the caller's re-poll
+        // (StoreLoad), pairing with `notify`.
+        fence(Ordering::SeqCst);
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Deregister after `prepare_park` without sleeping.
+    pub fn cancel_park(&self) {
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Sleep until the epoch moves past `seen` or `timeout` elapses
+    /// (`None` sleeps indefinitely). Returns `true` when woken by a
+    /// notify, `false` on timeout. Deregisters the sleeper either way.
+    pub fn park(&self, seen: u64, timeout: Option<Duration>) -> bool {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        let woken = loop {
+            if self.epoch.load(Ordering::SeqCst) != seen {
+                break true;
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        break false;
+                    }
+                    guard = self
+                        .cond
+                        .wait_timeout(guard, d - now)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+                None => guard = self.cond.wait(guard).unwrap_or_else(|e| e.into_inner()),
+            }
+        };
+        drop(guard);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        woken
+    }
+}
+
+/// Install `hub` as the calling thread's notify target (worker threads
+/// call this once at startup).
+pub(crate) fn set_current(hub: Arc<WakeHub>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(hub));
+}
+
+/// Notify the calling thread's hub, if one is installed.
+///
+/// Called by the mbox layer after every successful enqueue; a no-op on
+/// threads that are not runtime workers.
+pub(crate) fn notify_current() {
+    CURRENT.with(|c| {
+        if let Some(hub) = c.borrow().as_ref() {
+            hub.notify();
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notify_without_sleepers_is_cheap_and_harmless() {
+        let hub = WakeHub::new();
+        hub.notify();
+        assert_eq!(hub.epoch.load(Ordering::SeqCst), 0, "no sleeper, no bump");
+        assert_eq!(hub.sleepers(), 0);
+    }
+
+    #[test]
+    fn park_times_out_without_notify() {
+        let hub = WakeHub::new();
+        let seen = hub.prepare_park();
+        assert_eq!(hub.sleepers(), 1);
+        let woken = hub.park(seen, Some(Duration::from_millis(5)));
+        assert!(!woken);
+        assert_eq!(hub.sleepers(), 0);
+    }
+
+    #[test]
+    fn cancel_park_deregisters() {
+        let hub = WakeHub::new();
+        let _seen = hub.prepare_park();
+        hub.cancel_park();
+        assert_eq!(hub.sleepers(), 0);
+    }
+
+    #[test]
+    fn notify_wakes_a_parked_thread() {
+        let hub = WakeHub::new();
+        let parked = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let h = hub.clone();
+            let p = parked.clone();
+            let t = s.spawn(move || {
+                let seen = h.prepare_park();
+                p.store(1, Ordering::SeqCst);
+                h.park(seen, None)
+            });
+            while parked.load(Ordering::SeqCst) == 0 {
+                std::hint::spin_loop();
+            }
+            // Give the sleeper time to actually block, then wake it.
+            std::thread::sleep(Duration::from_millis(5));
+            hub.notify();
+            assert!(
+                t.join().expect("parker exits"),
+                "woken by notify, not timeout"
+            );
+        });
+        assert_eq!(hub.sleepers(), 0);
+    }
+
+    #[test]
+    fn notify_between_prepare_and_park_prevents_sleep() {
+        let hub = WakeHub::new();
+        let seen = hub.prepare_park();
+        hub.notify(); // sender observes the registered sleeper
+        let start = Instant::now();
+        assert!(hub.park(seen, None), "epoch moved; park must not block");
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+}

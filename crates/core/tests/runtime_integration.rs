@@ -151,7 +151,9 @@ fn concurrent_channel_stress_across_workers() {
     }
     b.worker(&[consumer_slot]);
 
-    let report = Runtime::start(&p, b.build().expect("valid")).expect("start").join();
+    let report = Runtime::start(&p, b.build().expect("valid"))
+        .expect("start")
+        .join();
     assert!(report.total_executions() >= 4 * per_producer);
 }
 
@@ -193,16 +195,30 @@ fn encrypted_channels_under_concurrency() {
             }
         }
     };
-    let left = b.actor("left", Placement::Enclave(e1), eactors::from_fn(make_side(true)));
-    let right = b.actor("right", Placement::Enclave(e2), eactors::from_fn(make_side(false)));
+    let left = b.actor(
+        "left",
+        Placement::Enclave(e1),
+        eactors::from_fn(make_side(true)),
+    );
+    let right = b.actor(
+        "right",
+        Placement::Enclave(e2),
+        eactors::from_fn(make_side(false)),
+    );
     b.channel_with(
         left,
         right,
-        ChannelOptions { nodes: 32, payload: 128, policy: EncryptionPolicy::Auto },
+        ChannelOptions {
+            nodes: 32,
+            payload: 128,
+            policy: EncryptionPolicy::Auto,
+        },
     );
     b.worker(&[left]);
     b.worker(&[right]);
-    Runtime::start(&p, b.build().expect("valid")).expect("start").join();
+    Runtime::start(&p, b.build().expect("valid"))
+        .expect("start")
+        .join();
 }
 
 #[test]
@@ -223,7 +239,9 @@ fn worker_report_reflects_idle_passes() {
         }),
     );
     b.worker(&[idler]);
-    let report = Runtime::start(&p, b.build().expect("valid")).expect("start").join();
+    let report = Runtime::start(&p, b.build().expect("valid"))
+        .expect("start")
+        .join();
     assert!(report.workers[0].idle_passes >= 100);
     assert!(report.workers[0].passes >= report.workers[0].idle_passes);
 }
@@ -247,7 +265,11 @@ fn domain_restored_after_actor_panic() {
 fn stop_token_halts_runtime_from_outside() {
     let p = platform();
     let mut b = DeploymentBuilder::new();
-    let spinner = b.actor("spinner", Placement::Untrusted, eactors::from_fn(|_| Control::Busy));
+    let spinner = b.actor(
+        "spinner",
+        Placement::Untrusted,
+        eactors::from_fn(|_| Control::Busy),
+    );
     b.worker(&[spinner]);
     let rt = Runtime::start(&p, b.build().expect("valid")).expect("start");
     let token = rt.stop_token();

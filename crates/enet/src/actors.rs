@@ -44,6 +44,28 @@ pub fn recv_msg(mbox: &Arc<Mbox>) -> Option<NetMsg> {
     mbox.recv().and_then(|node| NetMsg::decode(node.bytes()))
 }
 
+/// Drain `mbox` completely, invoking `f` per decoded message, and return
+/// how many nodes were consumed.
+///
+/// Nodes are claimed in batches ([`Mbox::recv_batch`]) so the dequeue
+/// cursor is touched once per run instead of once per message — the
+/// system actors sit on high-fan-in mboxes where that difference shows.
+/// Undecodable nodes are dropped (and still counted as consumed).
+pub fn drain_msgs(mbox: &Arc<Mbox>, mut f: impl FnMut(NetMsg)) -> usize {
+    const BATCH: usize = 32;
+    let mut nodes = Vec::with_capacity(BATCH);
+    let mut consumed = 0;
+    while mbox.recv_batch(&mut nodes, BATCH) > 0 {
+        consumed += nodes.len();
+        for node in nodes.drain(..) {
+            if let Some(msg) = NetMsg::decode(node.bytes()) {
+                f(msg);
+            }
+        }
+    }
+    consumed
+}
+
 /// The OPENER: creates server or client sockets on request.
 pub struct Opener {
     net: Arc<dyn NetBackend>,
@@ -66,30 +88,33 @@ impl Opener {
 
 impl Actor for Opener {
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
-        let mut worked = false;
-        while let Some(msg) = recv_msg(&self.requests) {
-            worked = true;
+        let net = &self.net;
+        let dir = &self.dir;
+        let worked = drain_msgs(&self.requests, |msg| {
             let (reply, response) = match msg {
                 NetMsg::OpenListen { port, reply } => (
                     reply,
-                    match self.net.listen(port) {
+                    match net.listen(port) {
                         Ok(ListenerId(id)) => NetMsg::OpenOk { id, listener: true },
                         Err(_) => NetMsg::OpenFail { port },
                     },
                 ),
                 NetMsg::OpenConnect { port, reply } => (
                     reply,
-                    match self.net.connect(port) {
-                        Ok(SocketId(id)) => NetMsg::OpenOk { id, listener: false },
+                    match net.connect(port) {
+                        Ok(SocketId(id)) => NetMsg::OpenOk {
+                            id,
+                            listener: false,
+                        },
                         Err(_) => NetMsg::OpenFail { port },
                     },
                 ),
-                _ => continue, // not ours; drop
+                _ => return, // not ours; drop
             };
-            if let Some(mbox) = self.dir.get(reply) {
+            if let Some(mbox) = dir.get(reply) {
                 send_msg(&mbox, &response);
             }
-        }
+        }) > 0;
         if worked {
             Control::Busy
         } else {
@@ -129,13 +154,12 @@ impl Accepter {
 
 impl Actor for Accepter {
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
-        let mut worked = false;
-        while let Some(msg) = recv_msg(&self.requests) {
+        let watches = &mut self.watches;
+        let mut worked = drain_msgs(&self.requests, |msg| {
             if let NetMsg::WatchListener { listener, reply } = msg {
-                self.watches.push((listener, reply));
-                worked = true;
+                watches.push((listener, reply));
             }
-        }
+        }) > 0;
         self.watches.retain(|&(listener, reply)| {
             let Some(mbox) = self.dir.get(reply) else {
                 return false;
@@ -204,27 +228,25 @@ impl Reader {
 
 impl Actor for Reader {
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
-        let mut worked = false;
-        while let Some(msg) = recv_msg(&self.requests) {
-            match msg {
-                NetMsg::WatchSocket { socket, reply } => {
-                    self.watches.push(ReadWatch { socket, reply });
-                    worked = true;
-                }
-                NetMsg::WatchBatch { entries } => {
-                    // The paper's batch request: one message subscribes a
-                    // whole private client list.
-                    self.watches
-                        .extend(entries.into_iter().map(|(socket, reply)| ReadWatch { socket, reply }));
-                    worked = true;
-                }
-                NetMsg::Unwatch { socket } => {
-                    self.watches.retain(|w| w.socket != socket);
-                    worked = true;
-                }
-                _ => {}
+        let watches = &mut self.watches;
+        let mut worked = drain_msgs(&self.requests, |msg| match msg {
+            NetMsg::WatchSocket { socket, reply } => {
+                watches.push(ReadWatch { socket, reply });
             }
-        }
+            NetMsg::WatchBatch { entries } => {
+                // The paper's batch request: one message subscribes a
+                // whole private client list.
+                watches.extend(
+                    entries
+                        .into_iter()
+                        .map(|(socket, reply)| ReadWatch { socket, reply }),
+                );
+            }
+            NetMsg::Unwatch { socket } => {
+                watches.retain(|w| w.socket != socket);
+            }
+            _ => {}
+        }) > 0;
         let net = &self.net;
         let dir = &self.dir;
         let scratch = &mut self.scratch;
@@ -317,24 +339,25 @@ impl Writer {
 impl Actor for Writer {
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
         let mut worked = self.flush();
-        while let Some(msg) = recv_msg(&self.requests) {
+        let net = &self.net;
+        let pending = &mut self.pending;
+        worked |= drain_msgs(&self.requests, |msg| {
             if let NetMsg::Write { socket, payload } = msg {
-                worked = true;
-                if let Some(queue) = self.pending.get_mut(&socket) {
+                if let Some(queue) = pending.get_mut(&socket) {
                     // Order must be preserved behind earlier pending bytes.
                     queue.extend(payload);
-                    continue;
+                    return;
                 }
                 let mut offset = 0;
                 // A send error means the socket is gone; drop the rest.
-                while let Ok(n) = self.net.send(SocketId(socket), &payload[offset..]) {
+                while let Ok(n) = net.send(SocketId(socket), &payload[offset..]) {
                     offset += n;
                     if offset == payload.len() {
                         break;
                     }
                     if n == 0 {
                         // Peer buffer full: park the tail for later.
-                        self.pending
+                        pending
                             .entry(socket)
                             .or_default()
                             .extend(&payload[offset..]);
@@ -342,7 +365,7 @@ impl Actor for Writer {
                     }
                 }
             }
-        }
+        }) > 0;
         if worked {
             Control::Busy
         } else {
@@ -372,13 +395,12 @@ impl Closer {
 
 impl Actor for Closer {
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
-        let mut worked = false;
-        while let Some(msg) = recv_msg(&self.requests) {
+        let net = &self.net;
+        let worked = drain_msgs(&self.requests, |msg| {
             if let NetMsg::Close { socket } = msg {
-                worked = true;
-                let _ = self.net.close(SocketId(socket));
+                let _ = net.close(SocketId(socket));
             }
-        }
+        }) > 0;
         if worked {
             Control::Busy
         } else {

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use eactors::arena::Mbox;
-use parking_lot::RwLock;
+use sgx_sim::sync::RwLock;
 
 /// Handle to a registered mbox, embeddable in wire messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

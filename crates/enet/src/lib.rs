@@ -44,7 +44,9 @@ mod msg;
 mod sim;
 mod tcp;
 
-pub use actors::{recv_msg, send_msg, Accepter, Closer, Opener, Reader, SystemActors, Writer};
+pub use actors::{
+    drain_msgs, recv_msg, send_msg, Accepter, Closer, Opener, Reader, SystemActors, Writer,
+};
 pub use backend::{ListenerId, NetBackend, NetError, RecvOutcome, SocketId};
 pub use dir::{MboxDirectory, MboxRef};
 pub use msg::{NetMsg, DATA_HEADER};
@@ -85,7 +87,10 @@ mod tests {
                 started = true;
                 assert!(send_msg(
                     &opener_rq,
-                    &NetMsg::OpenListen { port: 7, reply: reply_ref }
+                    &NetMsg::OpenListen {
+                        port: 7,
+                        reply: reply_ref
+                    }
                 ));
                 return Control::Busy;
             }
@@ -96,11 +101,20 @@ mod tests {
                     NetMsg::OpenOk { id, listener: true } => {
                         send_msg(
                             &accepter_rq,
-                            &NetMsg::WatchListener { listener: id, reply: reply_ref },
+                            &NetMsg::WatchListener {
+                                listener: id,
+                                reply: reply_ref,
+                            },
                         );
                     }
                     NetMsg::Accepted { socket, .. } => {
-                        send_msg(&reader_rq, &NetMsg::WatchSocket { socket, reply: reply_ref });
+                        send_msg(
+                            &reader_rq,
+                            &NetMsg::WatchSocket {
+                                socket,
+                                reply: reply_ref,
+                            },
+                        );
                     }
                     NetMsg::Data { socket, payload } => {
                         send_msg(&writer_rq, &NetMsg::Write { socket, payload });
@@ -165,7 +179,10 @@ mod tests {
         let replies = Mbox::new(pool, 32);
         let r = sys.dir.register(replies.clone());
 
-        send_msg(&sys.opener_requests, &NetMsg::OpenConnect { port: 99, reply: r });
+        send_msg(
+            &sys.opener_requests,
+            &NetMsg::OpenConnect { port: 99, reply: r },
+        );
         let mut opener = sys.opener;
 
         let done = {
@@ -187,7 +204,9 @@ mod tests {
         );
         let a2 = b.actor("checker", Placement::Untrusted, eactors::from_fn(done));
         b.worker(&[a1, a2]);
-        Runtime::start(&platform, b.build().unwrap()).unwrap().join();
+        Runtime::start(&platform, b.build().unwrap())
+            .unwrap()
+            .join();
     }
 
     #[test]
@@ -207,7 +226,10 @@ mod tests {
         for chunk in [&b"AAAAAAAAAA"[..], b"BBBBBBBBBB", b"CCCCCCCCCC"] {
             assert!(send_msg(
                 &sys.writer_requests,
-                &NetMsg::Write { socket: server.0, payload: chunk.to_vec() }
+                &NetMsg::Write {
+                    socket: server.0,
+                    payload: chunk.to_vec()
+                }
             ));
         }
 
@@ -236,9 +258,15 @@ mod tests {
             Placement::Untrusted,
             eactors::from_fn(move |ctx| writer.body(ctx)),
         );
-        let c = b.actor("collector", Placement::Untrusted, eactors::from_fn(collector));
+        let c = b.actor(
+            "collector",
+            Placement::Untrusted,
+            eactors::from_fn(collector),
+        );
         b.worker(&[w, c]);
-        Runtime::start(&platform, b.build().unwrap()).unwrap().join();
+        Runtime::start(&platform, b.build().unwrap())
+            .unwrap()
+            .join();
     }
 
     #[test]
@@ -255,7 +283,13 @@ mod tests {
 
         let replies = Mbox::new(pool, 64);
         let r = sys.dir.register(replies.clone());
-        send_msg(&sys.reader_requests, &NetMsg::WatchSocket { socket: server.0, reply: r });
+        send_msg(
+            &sys.reader_requests,
+            &NetMsg::WatchSocket {
+                socket: server.0,
+                reply: r,
+            },
+        );
 
         let mut reader = sys.reader;
         let reader_rq = sys.reader_requests.clone();
@@ -303,6 +337,8 @@ mod tests {
         );
         let dr = b.actor("driver", Placement::Untrusted, eactors::from_fn(driver));
         b.worker(&[rd, dr]);
-        Runtime::start(&platform, b.build().unwrap()).unwrap().join();
+        Runtime::start(&platform, b.build().unwrap())
+            .unwrap()
+            .join();
     }
 }

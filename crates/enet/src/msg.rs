@@ -147,7 +147,11 @@ impl NetMsg {
     /// node payloads accordingly.
     pub fn encode(&self, out: &mut [u8]) -> usize {
         let needed = self.encoded_len();
-        assert!(out.len() >= needed, "message needs {needed} bytes, buffer has {}", out.len());
+        assert!(
+            out.len() >= needed,
+            "message needs {needed} bytes, buffer has {}",
+            out.len()
+        );
         match self {
             NetMsg::OpenListen { port, reply } => {
                 out[0] = tag::OPEN_LISTEN;
@@ -306,23 +310,53 @@ mod tests {
 
     #[test]
     fn all_variants_round_trip() {
-        round_trip(NetMsg::OpenListen { port: 5222, reply: MboxRef(3) });
-        round_trip(NetMsg::OpenConnect { port: 80, reply: MboxRef(0) });
-        round_trip(NetMsg::OpenOk { id: u64::MAX, listener: true });
-        round_trip(NetMsg::OpenOk { id: 7, listener: false });
+        round_trip(NetMsg::OpenListen {
+            port: 5222,
+            reply: MboxRef(3),
+        });
+        round_trip(NetMsg::OpenConnect {
+            port: 80,
+            reply: MboxRef(0),
+        });
+        round_trip(NetMsg::OpenOk {
+            id: u64::MAX,
+            listener: true,
+        });
+        round_trip(NetMsg::OpenOk {
+            id: 7,
+            listener: false,
+        });
         round_trip(NetMsg::OpenFail { port: 1 });
-        round_trip(NetMsg::WatchListener { listener: 9, reply: MboxRef(1) });
-        round_trip(NetMsg::Accepted { listener: 9, socket: 10 });
-        round_trip(NetMsg::WatchSocket { socket: 11, reply: MboxRef(2) });
+        round_trip(NetMsg::WatchListener {
+            listener: 9,
+            reply: MboxRef(1),
+        });
+        round_trip(NetMsg::Accepted {
+            listener: 9,
+            socket: 10,
+        });
+        round_trip(NetMsg::WatchSocket {
+            socket: 11,
+            reply: MboxRef(2),
+        });
         round_trip(NetMsg::Unwatch { socket: 11 });
         round_trip(NetMsg::WatchBatch { entries: vec![] });
         round_trip(NetMsg::WatchBatch {
             entries: (0..40).map(|i| (i as u64 * 7, MboxRef(i))).collect(),
         });
-        round_trip(NetMsg::Data { socket: 4, payload: b"hello".to_vec() });
-        round_trip(NetMsg::Data { socket: 4, payload: vec![] });
+        round_trip(NetMsg::Data {
+            socket: 4,
+            payload: b"hello".to_vec(),
+        });
+        round_trip(NetMsg::Data {
+            socket: 4,
+            payload: vec![],
+        });
         round_trip(NetMsg::SocketClosed { socket: 4 });
-        round_trip(NetMsg::Write { socket: 5, payload: vec![0xFF; 100] });
+        round_trip(NetMsg::Write {
+            socket: 5,
+            payload: vec![0xFF; 100],
+        });
         round_trip(NetMsg::Close { socket: 5 });
     }
 

@@ -11,8 +11,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use bytes::{Buf, BytesMut};
-use parking_lot::Mutex;
+use sgx_sim::sync::Mutex;
 use sgx_sim::{current_domain, CostHandle};
 
 use crate::backend::{ListenerId, NetBackend, NetError, RecvOutcome, SocketId};
@@ -23,7 +22,7 @@ pub const DEFAULT_SOCKET_BUFFER: usize = 64 * 1024;
 #[derive(Debug)]
 struct SocketState {
     peer: u64,
-    rx: BytesMut,
+    rx: std::collections::VecDeque<u8>,
     /// Peer closed; EOF once `rx` drains.
     peer_closed: bool,
     /// This side closed; operations fail.
@@ -116,7 +115,10 @@ impl NetBackend for SimNet {
         }
         let id = self.fresh_id();
         ports.insert(port, id);
-        self.inner.listeners.lock().insert(id, ListenerState::default());
+        self.inner
+            .listeners
+            .lock()
+            .insert(id, ListenerState::default());
         Ok(ListenerId(id))
     }
 
@@ -136,7 +138,7 @@ impl NetBackend for SimNet {
                 client,
                 SocketState {
                     peer: server,
-                    rx: BytesMut::new(),
+                    rx: std::collections::VecDeque::new(),
                     peer_closed: false,
                     closed: false,
                 },
@@ -145,7 +147,7 @@ impl NetBackend for SimNet {
                 server,
                 SocketState {
                     peer: client,
-                    rx: BytesMut::new(),
+                    rx: std::collections::VecDeque::new(),
                     peer_closed: false,
                     closed: false,
                 },
@@ -192,7 +194,7 @@ impl NetBackend for SimNet {
         };
         let room = buffer_size.saturating_sub(peer.rx.len());
         let n = room.min(data.len());
-        peer.rx.extend_from_slice(&data[..n]);
+        peer.rx.extend(&data[..n]);
         Ok(n)
     }
 
@@ -211,8 +213,9 @@ impl NetBackend for SimNet {
             });
         }
         let n = s.rx.len().min(buf.len());
-        buf[..n].copy_from_slice(&s.rx[..n]);
-        s.rx.advance(n);
+        for (dst, src) in buf[..n].iter_mut().zip(s.rx.drain(..n)) {
+            *dst = src;
+        }
         Ok(RecvOutcome::Data(n))
     }
 
@@ -233,7 +236,10 @@ impl NetBackend for SimNet {
         self.syscall()?;
         let mut listeners = self.inner.listeners.lock();
         listeners.remove(&listener.0).ok_or(NetError::BadSocket)?;
-        self.inner.ports.lock().retain(|_, &mut id| id != listener.0);
+        self.inner
+            .ports
+            .lock()
+            .retain(|_, &mut id| id != listener.0);
         Ok(())
     }
 }
@@ -244,7 +250,12 @@ mod tests {
     use sgx_sim::{CostModel, Platform};
 
     fn net() -> SimNet {
-        SimNet::new(Platform::builder().cost_model(CostModel::zero()).build().costs())
+        SimNet::new(
+            Platform::builder()
+                .cost_model(CostModel::zero())
+                .build()
+                .costs(),
+        )
     }
 
     #[test]
@@ -271,7 +282,10 @@ mod tests {
         let n = net();
         n.listen(80).unwrap();
         assert!(matches!(n.listen(80), Err(NetError::PortInUse(80))));
-        assert!(matches!(n.connect(81), Err(NetError::ConnectionRefused(81))));
+        assert!(matches!(
+            n.connect(81),
+            Err(NetError::ConnectionRefused(81))
+        ));
     }
 
     #[test]
@@ -294,7 +308,10 @@ mod tests {
     #[test]
     fn bounded_buffer_applies_backpressure() {
         let n = SimNet::with_buffer_size(
-            Platform::builder().cost_model(CostModel::zero()).build().costs(),
+            Platform::builder()
+                .cost_model(CostModel::zero())
+                .build()
+                .costs(),
             8,
         );
         let l = n.listen(80).unwrap();
@@ -330,11 +347,23 @@ mod tests {
     fn operations_on_bad_ids_fail() {
         let n = net();
         let mut buf = [0u8; 4];
-        assert!(matches!(n.send(SocketId(999), b"x"), Err(NetError::BadSocket)));
-        assert!(matches!(n.recv(SocketId(999), &mut buf), Err(NetError::BadSocket)));
+        assert!(matches!(
+            n.send(SocketId(999), b"x"),
+            Err(NetError::BadSocket)
+        ));
+        assert!(matches!(
+            n.recv(SocketId(999), &mut buf),
+            Err(NetError::BadSocket)
+        ));
         assert!(matches!(n.close(SocketId(999)), Err(NetError::BadSocket)));
-        assert!(matches!(n.accept(ListenerId(999)), Err(NetError::BadSocket)));
-        assert!(matches!(n.close_listener(ListenerId(999)), Err(NetError::BadSocket)));
+        assert!(matches!(
+            n.accept(ListenerId(999)),
+            Err(NetError::BadSocket)
+        ));
+        assert!(matches!(
+            n.close_listener(ListenerId(999)),
+            Err(NetError::BadSocket)
+        ));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::net::{Ipv4Addr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sgx_sim::sync::Mutex;
 use sgx_sim::{current_domain, CostHandle};
 
 use crate::backend::{ListenerId, NetBackend, NetError, RecvOutcome, SocketId};
@@ -86,8 +86,8 @@ impl NetBackend for TcpLoopback {
             .lock()
             .get(&port)
             .ok_or(NetError::ConnectionRefused(port))?;
-        let stream =
-            TcpStream::connect((Ipv4Addr::LOCALHOST, os_port)).map_err(|_| NetError::ConnectionRefused(port))?;
+        let stream = TcpStream::connect((Ipv4Addr::LOCALHOST, os_port))
+            .map_err(|_| NetError::ConnectionRefused(port))?;
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true)?;
         let id = self.fresh_id();
@@ -161,7 +161,12 @@ mod tests {
     use sgx_sim::{CostModel, Platform};
 
     fn net() -> TcpLoopback {
-        TcpLoopback::new(Platform::builder().cost_model(CostModel::zero()).build().costs())
+        TcpLoopback::new(
+            Platform::builder()
+                .cost_model(CostModel::zero())
+                .build()
+                .costs(),
+        )
     }
 
     #[test]
@@ -196,6 +201,9 @@ mod tests {
         let p = Platform::builder().cost_model(CostModel::zero()).build();
         let n = TcpLoopback::new(p.costs());
         let e = p.create_enclave("svc", 0).unwrap();
-        assert!(matches!(e.ecall(|| n.listen(1)), Err(NetError::TrustedDomain)));
+        assert!(matches!(
+            e.ecall(|| n.listen(1)),
+            Err(NetError::TrustedDomain)
+        ));
     }
 }

@@ -18,7 +18,11 @@ fn platform() -> Platform {
 }
 
 /// Drive a single actor until `done` reports completion.
-fn drive_actor(platform: &Platform, mut actor: impl Actor + 'static, done: impl FnMut(&mut Ctx) -> Control + Send + 'static) {
+fn drive_actor(
+    platform: &Platform,
+    mut actor: impl Actor + 'static,
+    done: impl FnMut(&mut Ctx) -> Control + Send + 'static,
+) {
     let mut b = DeploymentBuilder::new();
     let a = b.actor(
         "subject",
@@ -27,7 +31,9 @@ fn drive_actor(platform: &Platform, mut actor: impl Actor + 'static, done: impl 
     );
     let d = b.actor("checker", Placement::Untrusted, eactors::from_fn(done));
     b.worker(&[a, d]);
-    Runtime::start(platform, b.build().expect("valid")).expect("start").join();
+    Runtime::start(platform, b.build().expect("valid"))
+        .expect("start")
+        .join();
 }
 
 #[test]
@@ -54,7 +60,10 @@ fn reader_batch_subscription_serves_all_sockets() {
         .zip(&replies)
         .map(|((_, s), mbox)| (s.0, sys.dir.register(mbox.clone())))
         .collect();
-    assert!(send_msg(&sys.reader_requests, &NetMsg::WatchBatch { entries }));
+    assert!(send_msg(
+        &sys.reader_requests,
+        &NetMsg::WatchBatch { entries }
+    ));
 
     // Send distinct payloads from each client.
     for (i, (c, _)) in pairs.iter().enumerate() {
@@ -91,8 +100,20 @@ fn accepter_watches_multiple_listeners() {
     let l2 = sim.listen(200).unwrap();
     let replies = Mbox::new(pool, 16);
     let r = sys.dir.register(replies.clone());
-    send_msg(&sys.accepter_requests, &NetMsg::WatchListener { listener: l1.0, reply: r });
-    send_msg(&sys.accepter_requests, &NetMsg::WatchListener { listener: l2.0, reply: r });
+    send_msg(
+        &sys.accepter_requests,
+        &NetMsg::WatchListener {
+            listener: l1.0,
+            reply: r,
+        },
+    );
+    send_msg(
+        &sys.accepter_requests,
+        &NetMsg::WatchListener {
+            listener: l2.0,
+            reply: r,
+        },
+    );
 
     sim.connect(100).unwrap();
     sim.connect(200).unwrap();
@@ -152,7 +173,13 @@ fn system_actors_work_over_real_tcp_sockets() {
 
     let replies = Mbox::new(pool, 32);
     let r = sys.dir.register(replies.clone());
-    send_msg(&sys.opener_requests, &NetMsg::OpenListen { port: 777, reply: r });
+    send_msg(
+        &sys.opener_requests,
+        &NetMsg::OpenListen {
+            port: 777,
+            reply: r,
+        },
+    );
 
     // Run opener + accepter + reader together.
     let mut opener = sys.opener;
@@ -166,7 +193,13 @@ fn system_actors_work_over_real_tcp_sockets() {
     let done = move |ctx: &mut Ctx| {
         match recv_msg(&replies) {
             Some(NetMsg::OpenOk { id, listener: true }) => {
-                send_msg(&accepter_rq, &NetMsg::WatchListener { listener: id, reply: r });
+                send_msg(
+                    &accepter_rq,
+                    &NetMsg::WatchListener {
+                        listener: id,
+                        reply: r,
+                    },
+                );
                 client = Some(tcp2.connect(777).unwrap());
                 return Control::Busy;
             }
@@ -186,12 +219,26 @@ fn system_actors_work_over_real_tcp_sockets() {
     };
 
     let mut b = DeploymentBuilder::new();
-    let a1 = b.actor("opener", Placement::Untrusted, eactors::from_fn(move |ctx| opener.body(ctx)));
-    let a2 = b.actor("accepter", Placement::Untrusted, eactors::from_fn(move |ctx| accepter.body(ctx)));
-    let a3 = b.actor("reader", Placement::Untrusted, eactors::from_fn(move |ctx| reader.body(ctx)));
+    let a1 = b.actor(
+        "opener",
+        Placement::Untrusted,
+        eactors::from_fn(move |ctx| opener.body(ctx)),
+    );
+    let a2 = b.actor(
+        "accepter",
+        Placement::Untrusted,
+        eactors::from_fn(move |ctx| accepter.body(ctx)),
+    );
+    let a3 = b.actor(
+        "reader",
+        Placement::Untrusted,
+        eactors::from_fn(move |ctx| reader.body(ctx)),
+    );
     let a4 = b.actor("driver", Placement::Untrusted, eactors::from_fn(done));
     b.worker(&[a1, a2, a3, a4]);
-    Runtime::start(&p, b.build().expect("valid")).expect("start").join();
+    Runtime::start(&p, b.build().expect("valid"))
+        .expect("start")
+        .join();
 }
 
 #[test]
@@ -200,7 +247,9 @@ fn directory_shared_across_actor_sets() {
     // same arena without handle collisions.
     let pool = Arena::new("pool", 16, 64);
     let dir = MboxDirectory::new();
-    let handles: Vec<_> = (0..8).map(|_| dir.register(Mbox::new(pool.clone(), 4))).collect();
+    let handles: Vec<_> = (0..8)
+        .map(|_| dir.register(Mbox::new(pool.clone(), 4)))
+        .collect();
     let unique: std::collections::HashSet<_> = handles.iter().map(|h| h.0).collect();
     assert_eq!(unique.len(), 8);
     for h in &handles {

@@ -113,7 +113,9 @@ mod tests {
             }),
         );
         b.worker(&[cleaner, stopper]);
-        Runtime::start(&platform, b.build().unwrap()).unwrap().join();
+        Runtime::start(&platform, b.build().unwrap())
+            .unwrap()
+            .join();
         // Only the newest version remains.
         assert_eq!(store.free_entries(), 7);
         let mut buf = [0u8; 8];

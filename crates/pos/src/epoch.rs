@@ -11,7 +11,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sgx_sim::sync::Mutex;
 
 /// Epoch value meaning "not inside any store operation".
 const QUIESCENT: u64 = u64::MAX;
@@ -121,7 +121,10 @@ mod tests {
         s.advance();
         s.advance(); // epoch = 2
         let guard = r.pin(&s);
-        assert!(!s.safe_to_free(2), "reader pinned at 2 blocks epoch-2 retirees");
+        assert!(
+            !s.safe_to_free(2),
+            "reader pinned at 2 blocks epoch-2 retirees"
+        );
         assert!(s.safe_to_free(1), "older retirees are safe");
         drop(guard);
         assert!(s.safe_to_free(2), "unpinned reader no longer blocks");

@@ -77,7 +77,10 @@ mod tests {
     fn displays_are_nonempty() {
         let errors = [
             PosError::Full,
-            PosError::TooLarge { needed: 10, capacity: 4 },
+            PosError::TooLarge {
+                needed: 10,
+                capacity: 4,
+            },
             PosError::BufferTooSmall { needed: 8, got: 2 },
             PosError::Crypto(sgx_sim::SgxError::MacMismatch),
             PosError::Corrupt("bad magic"),

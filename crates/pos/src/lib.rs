@@ -64,7 +64,10 @@ mod tests {
     }
 
     fn encrypted() -> std::sync::Arc<PosStore> {
-        let costs = Platform::builder().cost_model(CostModel::zero()).build().costs();
+        let costs = Platform::builder()
+            .cost_model(CostModel::zero())
+            .build()
+            .costs();
         PosStore::new(PosConfig {
             entries: 32,
             payload: 128,
@@ -244,7 +247,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("pos-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("enc.pos");
-        let costs = Platform::builder().cost_model(CostModel::zero()).build().costs();
+        let costs = Platform::builder()
+            .cost_model(CostModel::zero())
+            .build()
+            .costs();
         let key = SessionKey::derive(&[9, 9]);
         {
             let s = PosStore::new(PosConfig {
@@ -270,7 +276,10 @@ mod tests {
 
     #[test]
     fn reopen_with_wrong_key_fails_on_get() {
-        let costs = Platform::builder().cost_model(CostModel::zero()).build().costs();
+        let costs = Platform::builder()
+            .cost_model(CostModel::zero())
+            .build()
+            .costs();
         let s = PosStore::new(PosConfig {
             entries: 16,
             payload: 128,

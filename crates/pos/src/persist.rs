@@ -118,8 +118,14 @@ impl PosStore {
     /// # Errors
     ///
     /// [`PosError::Corrupt`] on a malformed image.
-    pub fn from_image(image: &[u8], encryption: Option<PosEncryption>) -> Result<Arc<Self>, PosError> {
-        let mut c = Cursor { data: image, pos: 0 };
+    pub fn from_image(
+        image: &[u8],
+        encryption: Option<PosEncryption>,
+    ) -> Result<Arc<Self>, PosError> {
+        let mut c = Cursor {
+            data: image,
+            pos: 0,
+        };
         if c.u64()? != MAGIC {
             return Err(PosError::Corrupt("bad magic"));
         }
@@ -193,7 +199,10 @@ impl PosStore {
     ///
     /// [`PosError::Io`] on filesystem failure, [`PosError::Corrupt`] on a
     /// malformed image.
-    pub fn open(path: impl AsRef<Path>, encryption: Option<PosEncryption>) -> Result<Arc<Self>, PosError> {
+    pub fn open(
+        path: impl AsRef<Path>,
+        encryption: Option<PosEncryption>,
+    ) -> Result<Arc<Self>, PosError> {
         let mut data = Vec::new();
         std::fs::File::open(path)?.read_to_end(&mut data)?;
         Self::from_image(&data, encryption)

@@ -3,8 +3,8 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use sgx_sim::crypto::{SessionCipher, SessionKey, SEAL_OVERHEAD};
+use sgx_sim::sync::Mutex;
 use sgx_sim::CostHandle;
 
 use crate::epoch::{EpochState, ReaderHandle};
@@ -167,7 +167,10 @@ impl PosStore {
     ///
     /// Panics on a zero-sized geometry.
     pub fn new(config: PosConfig) -> Arc<Self> {
-        assert!(config.entries > 0 && config.entries < u32::MAX, "bad entry count");
+        assert!(
+            config.entries > 0 && config.entries < u32::MAX,
+            "bad entry count"
+        );
         assert!(config.payload > 0, "bad payload size");
         assert!(config.stacks > 0, "need at least one stack");
         let headers: Box<[EntryHeader]> = (0..config.entries)
@@ -271,10 +274,12 @@ impl PosStore {
             }
             let next = self.headers[idx as usize].next.load(Ordering::Relaxed);
             let new = ((tag.wrapping_add(1) as u64) << 32) | next as u64;
-            match self
-                .free_head
-                .compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire)
-            {
+            match self.free_head.compare_exchange_weak(
+                head,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
                 Ok(_) => {
                     self.free_count.fetch_sub(1, Ordering::Relaxed);
                     return Some(idx);
@@ -285,17 +290,23 @@ impl PosStore {
     }
 
     pub(crate) fn push_free(&self, idx: u32) {
-        self.headers[idx as usize].state.store(state::FREE, Ordering::Release);
+        self.headers[idx as usize]
+            .state
+            .store(state::FREE, Ordering::Release);
         let mut head = self.free_head.load(Ordering::Acquire);
         loop {
             let tag = (head >> 32) as u32;
             let top = head as u32;
-            self.headers[idx as usize].next.store(top, Ordering::Relaxed);
+            self.headers[idx as usize]
+                .next
+                .store(top, Ordering::Relaxed);
             let new = ((tag.wrapping_add(1) as u64) << 32) | idx as u64;
-            match self
-                .free_head
-                .compare_exchange_weak(head, new, Ordering::AcqRel, Ordering::Acquire)
-            {
+            match self.free_head.compare_exchange_weak(
+                head,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
                 Ok(_) => {
                     self.free_count.fetch_add(1, Ordering::Relaxed);
                     return;
@@ -306,9 +317,17 @@ impl PosStore {
     }
 
     /// Encode a pair into entry `idx`, returning (klen, vlen) as stored.
-    fn fill_entry(&self, idx: u32, khash: u64, key: &[u8], value: &[u8], vlen_meta: u32) -> Result<(), PosError> {
+    fn fill_entry(
+        &self,
+        idx: u32,
+        khash: u64,
+        key: &[u8],
+        value: &[u8],
+        vlen_meta: u32,
+    ) -> Result<(), PosError> {
         let h = &self.headers[idx as usize];
-        let buf = unsafe { std::slice::from_raw_parts_mut(self.payload_slice(idx), self.payload_size) };
+        let buf =
+            unsafe { std::slice::from_raw_parts_mut(self.payload_slice(idx), self.payload_size) };
         match &self.cipher {
             Some(cipher) => {
                 // Combined pair: klen prefix + key + value, sealed as one.
@@ -353,7 +372,9 @@ impl PosStore {
         out: Option<&mut [u8]>,
     ) -> Result<Option<usize>, PosError> {
         let h = &self.headers[idx as usize];
-        let buf = unsafe { std::slice::from_raw_parts(self.payload_slice(idx) as *const u8, self.payload_size) };
+        let buf = unsafe {
+            std::slice::from_raw_parts(self.payload_slice(idx) as *const u8, self.payload_size)
+        };
         match &self.cipher {
             Some(cipher) => {
                 let sealed_len = h.klen.load(Ordering::Relaxed) as usize;
@@ -390,7 +411,11 @@ impl PosStore {
                     return Ok(None);
                 }
                 let vlen_meta = h.vlen.load(Ordering::Relaxed);
-                let vlen = if vlen_meta == TOMBSTONE { 0 } else { vlen_meta as usize };
+                let vlen = if vlen_meta == TOMBSTONE {
+                    0
+                } else {
+                    vlen_meta as usize
+                };
                 match out {
                     Some(out) => {
                         if out.len() < vlen {
@@ -408,7 +433,13 @@ impl PosStore {
         }
     }
 
-    fn set_inner(&self, reader: &ReaderHandle, key: &[u8], value: &[u8], vlen_meta: u32) -> Result<(), PosError> {
+    fn set_inner(
+        &self,
+        reader: &ReaderHandle,
+        key: &[u8],
+        value: &[u8],
+        vlen_meta: u32,
+    ) -> Result<(), PosError> {
         let _pin = reader.pin(&self.epochs);
         let khash = self.hash_key(key);
         let idx = self.pop_free().ok_or(PosError::Full)?;
@@ -439,7 +470,12 @@ impl PosStore {
             if ch.khash.load(Ordering::Relaxed) == khash
                 && ch
                     .state
-                    .compare_exchange(state::VALID, state::OUTDATED, Ordering::AcqRel, Ordering::Relaxed)
+                    .compare_exchange(
+                        state::VALID,
+                        state::OUTDATED,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    )
                     .is_ok()
             {
                 // Only retire entries whose key *actually* matches; a hash
@@ -510,7 +546,11 @@ impl PosStore {
                 let vlen_meta = h.vlen.load(Ordering::Relaxed);
                 // `None` here is a hash collision; keep scanning.
                 if let Some(n) = self.read_entry(cur, key, Some(out))? {
-                    return Ok(if vlen_meta == TOMBSTONE { None } else { Some(n) });
+                    return Ok(if vlen_meta == TOMBSTONE {
+                        None
+                    } else {
+                        Some(n)
+                    });
                 }
             }
             cur = h.next.load(Ordering::Acquire);
@@ -628,7 +668,11 @@ impl PosStore {
                             )
                             .is_ok()
                     {
-                        newly_retired.push(Retired { idx: cur, epoch: now, unlinked: false });
+                        newly_retired.push(Retired {
+                            idx: cur,
+                            epoch: now,
+                            unlinked: false,
+                        });
                     }
                 }
                 cur = next;
@@ -658,7 +702,9 @@ impl PosStore {
                 if next == idx {
                     // Predecessors are only modified by the (single)
                     // cleaner, so a plain store is safe.
-                    self.headers[cur as usize].next.store(target_next, Ordering::Release);
+                    self.headers[cur as usize]
+                        .next
+                        .store(target_next, Ordering::Release);
                     return;
                 }
                 cur = next;
@@ -673,7 +719,9 @@ impl PosStore {
     }
 
     pub(crate) fn raw_payload(&self, idx: u32) -> &[u8] {
-        unsafe { std::slice::from_raw_parts(self.payload_slice(idx) as *const u8, self.payload_size) }
+        unsafe {
+            std::slice::from_raw_parts(self.payload_slice(idx) as *const u8, self.payload_size)
+        }
     }
 
     /// Overwrite entry `idx`'s payload from `src` (image restore only —

@@ -147,7 +147,9 @@ mod tests {
         );
         b.worker(&[writer]);
         b.worker(&[s, stopper]);
-        Runtime::start(&platform, b.build().unwrap()).unwrap().join();
+        Runtime::start(&platform, b.build().unwrap())
+            .unwrap()
+            .join();
 
         // The persisted image is loadable and holds a progress value.
         let reopened = PosStore::open(&path, None).unwrap();
@@ -180,7 +182,9 @@ mod tests {
             }),
         );
         b.worker(&[s, stopper]);
-        Runtime::start(&platform, b.build().unwrap()).unwrap().join();
+        Runtime::start(&platform, b.build().unwrap())
+            .unwrap()
+            .join();
         assert!(failures.load(Ordering::Relaxed) >= 3);
     }
 }

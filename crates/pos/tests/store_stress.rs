@@ -83,7 +83,10 @@ fn churn_with_aggressive_cleaner_conserves_entries() {
     // Quiesce: all superseded versions reclaimable, live keys intact.
     store.clean_to_quiescence();
     let live = entries as u64 - store.free_entries();
-    assert!(live <= 16, "at most one live version per 16 keys, found {live}");
+    assert!(
+        live <= 16,
+        "at most one live version per 16 keys, found {live}"
+    );
 }
 
 #[test]
@@ -131,7 +134,11 @@ fn many_keys_across_many_stacks() {
     let r = store.register_reader();
     for i in 0..2_000u32 {
         store
-            .set(&r, format!("key-{i}").as_bytes(), format!("value-{i}").as_bytes())
+            .set(
+                &r,
+                format!("key-{i}").as_bytes(),
+                format!("value-{i}").as_bytes(),
+            )
             .unwrap();
     }
     let mut buf = [0u8; 96];
@@ -177,6 +184,9 @@ fn tombstones_are_eventually_reclaimed() {
     assert_eq!(store.free_entries(), 16);
     let mut buf = [0u8; 8];
     for i in 0..4u8 {
-        assert_eq!(store.get(&r, format!("k{i}").as_bytes(), &mut buf).unwrap(), None);
+        assert_eq!(
+            store.get(&r, format!("k{i}").as_bytes(), &mut buf).unwrap(),
+            None
+        );
     }
 }

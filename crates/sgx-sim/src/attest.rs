@@ -173,8 +173,14 @@ mod tests {
 
     #[test]
     fn cross_platform_attestation_fails() {
-        let p1 = Platform::builder().cost_model(CostModel::zero()).seed(1).build();
-        let p2 = Platform::builder().cost_model(CostModel::zero()).seed(2).build();
+        let p1 = Platform::builder()
+            .cost_model(CostModel::zero())
+            .seed(1)
+            .build();
+        let p2 = Platform::builder()
+            .cost_model(CostModel::zero())
+            .seed(2)
+            .build();
         let a = p1.create_enclave("a", 0).unwrap();
         let b = p2.create_enclave("b", 0).unwrap();
         assert_eq!(

@@ -15,8 +15,6 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::stats::Stats;
 
 /// Message size at which cross-boundary copies leave the L1 data cache.
@@ -39,7 +37,7 @@ pub const L1_DATA_CACHE_BYTES: usize = 32 * 1024;
 /// let model = CostModel { transition_cycles: 16_000, ..CostModel::calibrated() };
 /// assert!(model.transition_cycles > CostModel::calibrated().transition_cycles);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Cycles charged for each crossing of an enclave boundary (one way).
     ///

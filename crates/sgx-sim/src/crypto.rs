@@ -159,7 +159,9 @@ impl SessionCipher {
     /// * [`SgxError::MacMismatch`] if authentication fails.
     pub fn open(&self, sealed: &[u8], out: &mut [u8]) -> Result<usize, SgxError> {
         if sealed.len() < SEAL_OVERHEAD {
-            return Err(SgxError::InvalidInput("sealed message shorter than framing"));
+            return Err(SgxError::InvalidInput(
+                "sealed message shorter than framing",
+            ));
         }
         let pt_len = sealed.len() - SEAL_OVERHEAD;
         if out.len() < pt_len {
@@ -346,7 +348,11 @@ mod tests {
         for i in 0..n {
             let mut tampered = sealed.clone();
             tampered[i] ^= 0x40;
-            assert_eq!(c.open(&tampered, &mut out), Err(SgxError::MacMismatch), "byte {i}");
+            assert_eq!(
+                c.open(&tampered, &mut out),
+                Err(SgxError::MacMismatch),
+                "byte {i}"
+            );
         }
     }
 

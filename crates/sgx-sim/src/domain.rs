@@ -40,6 +40,13 @@ impl Domain {
     pub fn is_trusted(&self) -> bool {
         matches!(self, Domain::Enclave(_))
     }
+
+    /// Number of boundary crossings a thread pays to move from `self` to
+    /// `to`: zero staying put, one across the enclave boundary, two for a
+    /// direct enclave-to-enclave hop (exit plus entry).
+    pub fn crossings_to(self, to: Domain) -> u32 {
+        crossings(self, to)
+    }
 }
 
 /// The domain the calling thread currently executes in.

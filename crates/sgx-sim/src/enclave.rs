@@ -59,7 +59,8 @@ pub(crate) struct EnclaveInner {
 
 impl Drop for EnclaveInner {
     fn drop(&mut self) {
-        self.costs.epc_free(self.memory_bytes.load(Ordering::Relaxed));
+        self.costs
+            .epc_free(self.memory_bytes.load(Ordering::Relaxed));
     }
 }
 

@@ -66,6 +66,7 @@ mod platform;
 mod rng;
 pub mod seal;
 mod stats;
+pub mod sync;
 
 pub use costs::{CostHandle, CostModel};
 pub use domain::{current_domain, switch_domain, Domain, DomainGuard};

@@ -84,7 +84,10 @@ impl<T> SgxMutex<T> {
         }
         self.costs.charge(self.costs.model().mutex_syscall_cycles);
         self.waiters.fetch_add(1, Ordering::SeqCst);
-        let mut guard = self.sleep_lock.lock().expect("sgx mutex sleep lock poisoned");
+        let mut guard = self
+            .sleep_lock
+            .lock()
+            .expect("sgx mutex sleep lock poisoned");
         while !self.try_acquire() {
             guard = self
                 .wakeup
@@ -129,7 +132,10 @@ impl<T> SgxMutex<T> {
             self.costs.charge(self.costs.model().mutex_syscall_cycles);
             // Hold the sleep lock momentarily so a waiter between its
             // failed try_acquire and cv.wait cannot miss this wakeup.
-            let _g = self.sleep_lock.lock().expect("sgx mutex sleep lock poisoned");
+            let _g = self
+                .sleep_lock
+                .lock()
+                .expect("sgx mutex sleep lock poisoned");
             self.wakeup.notify_one();
             if current_domain().is_trusted() {
                 self.costs.charge_transition(); // EENTER
@@ -173,7 +179,10 @@ mod tests {
     use std::sync::Arc;
 
     fn costs() -> CostHandle {
-        Platform::builder().cost_model(CostModel::zero()).build().costs()
+        Platform::builder()
+            .cost_model(CostModel::zero())
+            .build()
+            .costs()
     }
 
     #[test]

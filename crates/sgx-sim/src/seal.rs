@@ -146,8 +146,14 @@ mod tests {
 
     #[test]
     fn different_platform_is_rejected() {
-        let p1 = Platform::builder().cost_model(CostModel::zero()).seed(1).build();
-        let p2 = Platform::builder().cost_model(CostModel::zero()).seed(2).build();
+        let p1 = Platform::builder()
+            .cost_model(CostModel::zero())
+            .seed(1)
+            .build();
+        let p2 = Platform::builder()
+            .cost_model(CostModel::zero())
+            .seed(2)
+            .build();
         let a = p1.create_enclave("svc", 0).unwrap();
         let b = p2.create_enclave("svc", 0).unwrap();
         let mut blob = vec![0u8; sealed_len(5)];

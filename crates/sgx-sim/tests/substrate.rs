@@ -2,7 +2,6 @@
 //! concurrency and unwinding, cipher algebra, attestation topologies, and
 //! EPC bookkeeping across enclave lifecycles.
 
-use proptest::prelude::*;
 use sgx_sim::crypto::{SessionCipher, SessionKey};
 use sgx_sim::{attest, current_domain, seal, CostModel, Domain, Platform, TrustedRng};
 
@@ -67,7 +66,10 @@ fn transitions_count_exactly() {
 #[test]
 fn trusted_rng_is_deterministic_per_platform_seed() {
     let draws = |seed: u64| {
-        let p = Platform::builder().cost_model(CostModel::zero()).seed(seed).build();
+        let p = Platform::builder()
+            .cost_model(CostModel::zero())
+            .seed(seed)
+            .build();
         let e = p.create_enclave("rng", 0).unwrap();
         let rng = TrustedRng::new(e.clone());
         e.ecall(|| (0..8).map(|_| rng.next_u64().unwrap()).collect::<Vec<_>>())
@@ -102,16 +104,44 @@ fn epc_balance_after_many_lifecycles() {
     assert_eq!(p.costs().epc_used(), base, "EPC must balance to zero");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+/// Deterministic PRNG (SplitMix64) for generating test cases.
+struct Gen(u64);
 
-    /// Two ciphers with the same key interoperate in both directions for
-    /// any message sequence; sealed frames never equal their plaintext.
-    #[test]
-    fn cipher_bidirectional_interop(
-        msgs in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..128), 1..8),
-        key in any::<u64>(),
-    ) {
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+}
+
+/// Two ciphers with the same key interoperate in both directions for
+/// any message sequence; sealed frames never equal their plaintext.
+#[test]
+fn cipher_bidirectional_interop() {
+    let mut g = Gen::new(0x1B7E_0001);
+    for _case in 0..48 {
+        let msgs: Vec<Vec<u8>> = (0..g.range(1, 8))
+            .map(|_| {
+                let len = g.range(1, 128) as usize;
+                g.bytes(len)
+            })
+            .collect();
+        let key = g.next_u64();
         let p = platform();
         let a = SessionCipher::new(SessionKey::derive(&[key]), p.costs());
         let b = SessionCipher::new(SessionKey::derive(&[key]), p.costs());
@@ -120,44 +150,68 @@ proptest! {
                 if i % 2 == 0 { (&a, &b) } else { (&b, &a) };
             let mut sealed = vec![0u8; SessionCipher::sealed_len(msg.len())];
             let n = tx.seal(msg, &mut sealed).expect("sized");
-            prop_assert_ne!(&sealed[8..8 + msg.len()], &msg[..]);
+            assert_ne!(&sealed[8..8 + msg.len()], &msg[..]);
             let mut out = vec![0u8; msg.len()];
             let m = rx.open(&sealed[..n], &mut out).expect("same key");
-            prop_assert_eq!(&out[..m], &msg[..]);
+            assert_eq!(&out[..m], &msg[..]);
         }
     }
+}
 
-    /// Sealing round-trips for any data and never unseals under another
-    /// platform seed.
-    #[test]
-    fn sealing_respects_platform_boundary(data in prop::collection::vec(any::<u8>(), 0..128), s1 in any::<u64>(), s2 in any::<u64>()) {
-        prop_assume!(s1 != s2);
-        let p1 = Platform::builder().cost_model(CostModel::zero()).seed(s1).build();
-        let p2 = Platform::builder().cost_model(CostModel::zero()).seed(s2).build();
+/// Sealing round-trips for any data and never unseals under another
+/// platform seed.
+#[test]
+fn sealing_respects_platform_boundary() {
+    let mut g = Gen::new(0x5EA1_0002);
+    for _case in 0..48 {
+        let len = g.range(0, 128) as usize;
+        let data = g.bytes(len);
+        let s1 = g.next_u64();
+        let s2 = g.next_u64();
+        if s1 == s2 {
+            continue;
+        }
+        let p1 = Platform::builder()
+            .cost_model(CostModel::zero())
+            .seed(s1)
+            .build();
+        let p2 = Platform::builder()
+            .cost_model(CostModel::zero())
+            .seed(s2)
+            .build();
         let a = p1.create_enclave("svc", 0).unwrap();
         let b = p2.create_enclave("svc", 0).unwrap();
         let mut blob = vec![0u8; seal::sealed_len(data.len())];
         a.ecall(|| seal::seal_data(&a, &data, &mut blob).unwrap());
         let mut out = vec![0u8; data.len()];
         let n = a.ecall(|| seal::unseal_data(&a, &blob, &mut out).unwrap());
-        prop_assert_eq!(&out[..n], &data[..]);
+        assert_eq!(&out[..n], &data[..]);
         let foreign = b.ecall(|| seal::unseal_data(&b, &blob, &mut out));
-        prop_assert!(foreign.is_err());
+        assert!(foreign.is_err());
     }
+}
 
-    /// det_digest is stable, keyed and input-sensitive.
-    #[test]
-    fn det_digest_properties(a in prop::collection::vec(any::<u8>(), 0..64), b in prop::collection::vec(any::<u8>(), 0..64), k1 in any::<u64>(), k2 in any::<u64>()) {
+/// det_digest is stable, keyed and input-sensitive.
+#[test]
+fn det_digest_properties() {
+    let mut g = Gen::new(0xD16E_0003);
+    for _case in 0..48 {
+        let a_len = g.range(0, 64) as usize;
+        let a = g.bytes(a_len);
+        let b_len = g.range(0, 64) as usize;
+        let b = g.bytes(b_len);
+        let k1 = g.next_u64();
+        let k2 = g.next_u64();
         let p = platform();
         let c1 = SessionCipher::new(SessionKey::derive(&[k1]), p.costs());
         let c1b = SessionCipher::new(SessionKey::derive(&[k1]), p.costs());
-        prop_assert_eq!(c1.det_digest(&a), c1b.det_digest(&a));
+        assert_eq!(c1.det_digest(&a), c1b.det_digest(&a));
         if a != b {
-            prop_assert_ne!(c1.det_digest(&a), c1.det_digest(&b));
+            assert_ne!(c1.det_digest(&a), c1.det_digest(&b));
         }
         if k1 != k2 {
             let c2 = SessionCipher::new(SessionKey::derive(&[k2]), p.costs());
-            prop_assert_ne!(c1.det_digest(&a), c2.det_digest(&a));
+            assert_ne!(c1.det_digest(&a), c2.det_digest(&a));
         }
     }
 }

@@ -225,8 +225,14 @@ mod tests {
             run_ea(&p, &cfg(1, 4, false, 1)),
             Err(SmcError::TooFewParties(1))
         ));
-        assert!(matches!(run_ea(&p, &cfg(3, 0, false, 1)), Err(SmcError::EmptyVector)));
-        assert!(matches!(run_sdk(&p, &cfg(3, 4, false, 0)), Err(SmcError::NoRounds)));
+        assert!(matches!(
+            run_ea(&p, &cfg(3, 0, false, 1)),
+            Err(SmcError::EmptyVector)
+        ));
+        assert!(matches!(
+            run_sdk(&p, &cfg(3, 4, false, 0)),
+            Err(SmcError::NoRounds)
+        ));
     }
 
     #[test]
@@ -256,7 +262,10 @@ mod tests {
         let before = p.stats().transitions();
         sdk.round();
         let per_round = p.stats().transitions() - before;
-        assert!(per_round >= 8, "expected ≥ 2*(K+1) crossings, got {per_round}");
+        assert!(
+            per_round >= 8,
+            "expected ≥ 2*(K+1) crossings, got {per_round}"
+        );
 
         let p2 = Platform::builder().build();
         let before = p2.stats().transitions();

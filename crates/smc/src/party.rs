@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use eactors::prelude::*;
-use parking_lot::Mutex;
+use sgx_sim::sync::Mutex;
 use sgx_sim::{Platform, TrustedRng};
 
 use crate::protocol::{add_assign, decode_u32s, encode_u32s, sub_assign, update_secret};
@@ -65,7 +65,8 @@ impl Actor for FirstParty {
                     // bottleneck the paper identifies in §6.3.1.
                     let mut rnd = vec![0u32; self.dim];
                     if let Some(rng) = &self.rng {
-                        rng.fill_u32(&mut rnd).expect("party runs inside its enclave");
+                        rng.fill_u32(&mut rnd)
+                            .expect("party runs inside its enclave");
                     }
                     self.scratch_vec.copy_from_slice(&rnd);
                     add_assign(&mut self.scratch_vec, &self.secret);
@@ -308,6 +309,9 @@ pub fn run_ea(platform: &Platform, config: &SmcConfig) -> Result<SmcResult, SmcE
 
     let runtime = Runtime::start(platform, b.build()?)?;
     runtime.join();
-    let result = out.lock().take().expect("driver stores a result before shutdown");
+    let result = out
+        .lock()
+        .take()
+        .expect("driver stores a result before shutdown");
     Ok(result)
 }

@@ -55,7 +55,11 @@ pub fn update_secret(secret: &mut [u32]) {
 /// Panics if `out` is smaller than `4 * v.len()`.
 pub fn encode_u32s(v: &[u32], out: &mut [u8]) -> usize {
     let needed = v.len() * 4;
-    assert!(out.len() >= needed, "need {needed} bytes, have {}", out.len());
+    assert!(
+        out.len() >= needed,
+        "need {needed} bytes, have {}",
+        out.len()
+    );
     for (chunk, &x) in out.chunks_exact_mut(4).zip(v) {
         chunk.copy_from_slice(&x.to_le_bytes());
     }

@@ -127,12 +127,20 @@ fn secrets_never_cross_the_wire_in_plaintext() {
     run_ea(&counting, &config).unwrap();
     let spent = counting.stats().cycles_charged() - before;
     // 3 hops × (seal+open) of ≥32 bytes plus RNG: well above zero.
-    assert!(spent > 1_000, "encrypted ring must charge crypto, got {spent}");
+    assert!(
+        spent > 1_000,
+        "encrypted ring must charge crypto, got {spent}"
+    );
 }
 
 #[test]
 fn throughput_report_is_consistent() {
-    let config = SmcConfig { parties: 3, dim: 2, rounds: 50, ..SmcConfig::default() };
+    let config = SmcConfig {
+        parties: 3,
+        dim: 2,
+        rounds: 50,
+        ..SmcConfig::default()
+    };
     let r = run_sdk(&zero_platform(), &config).unwrap();
     assert_eq!(r.rounds, 50);
     let implied = r.rounds as f64 / r.elapsed.as_secs_f64();

@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use enet::{NetBackend, RecvOutcome, SocketId};
-use parking_lot::Mutex;
+use sgx_sim::sync::Mutex;
 use sgx_sim::CostHandle;
 
 use crate::stanza::Stanza;
@@ -217,7 +217,9 @@ fn start_jabberd2(
                             }
                         }
                     }
-                    let Some(conn) = conns.get_mut(&s) else { continue };
+                    let Some(conn) = conns.get_mut(&s) else {
+                        continue;
+                    };
                     while let Ok(Some(frame)) = conn.frames.next_frame() {
                         any = true;
                         if conn.user.is_none() {
@@ -233,7 +235,9 @@ fn start_jabberd2(
                                 };
                                 sessions.lock().insert(from.clone(), s);
                                 conn.user = Some(from);
-                                conn.queue_plain(&Stanza::StreamOk { id: format!("s{s}") });
+                                conn.queue_plain(&Stanza::StreamOk {
+                                    id: format!("s{s}"),
+                                });
                             } else {
                                 conn.dead = true;
                             }
@@ -314,7 +318,10 @@ fn start_jabberd2(
                                 for m in members {
                                     if let Some(&socket) = sessions.get(&m) {
                                         costs.charge_syscall(); // pipe write
-                                        out.push_back(Delivery { socket, xml: xml.clone() });
+                                        out.push_back(Delivery {
+                                            socket,
+                                            xml: xml.clone(),
+                                        });
                                     }
                                 }
                             } else if let Some(&socket) = sessions.lock().get(&to) {
@@ -341,7 +348,12 @@ fn start_jabberd2(
                                 costs.charge_syscall();
                                 to_c2s.lock().push_back(Delivery {
                                     socket,
-                                    xml: Stanza::Iq { id, kind: "result".into(), query }.to_xml(),
+                                    xml: Stanza::Iq {
+                                        id,
+                                        kind: "result".into(),
+                                        query,
+                                    }
+                                    .to_xml(),
                                 });
                             }
                         }
@@ -373,10 +385,12 @@ fn start_ejabberd(
     }));
     // Per-scheduler queues: fresh connections and cross-scheduler
     // deliveries (Erlang-style message passing to the owning process).
-    let conn_inboxes: Vec<Arc<Mutex<VecDeque<u64>>>> =
-        (0..schedulers).map(|_| Arc::new(Mutex::new(VecDeque::new()))).collect();
-    let delivery_inboxes: Vec<Arc<Mutex<VecDeque<Delivery>>>> =
-        (0..schedulers).map(|_| Arc::new(Mutex::new(VecDeque::new()))).collect();
+    let conn_inboxes: Vec<Arc<Mutex<VecDeque<u64>>>> = (0..schedulers)
+        .map(|_| Arc::new(Mutex::new(VecDeque::new())))
+        .collect();
+    let delivery_inboxes: Vec<Arc<Mutex<VecDeque<Delivery>>>> = (0..schedulers)
+        .map(|_| Arc::new(Mutex::new(VecDeque::new())))
+        .collect();
 
     (0..schedulers)
         .map(|sched| {
@@ -431,7 +445,9 @@ fn start_ejabberd(
                                 }
                             }
                         }
-                        let Some(conn) = conns.get_mut(&s) else { continue };
+                        let Some(conn) = conns.get_mut(&s) else {
+                            continue;
+                        };
                         while let Ok(Some(frame)) = conn.frames.next_frame() {
                             any = true;
                             // The Erlang VM's per-message cost: scheduling,
@@ -450,7 +466,9 @@ fn start_ejabberd(
                                     };
                                     registry.lock().users.insert(from.clone(), (sched, s));
                                     conn.user = Some(from);
-                                    conn.queue_plain(&Stanza::StreamOk { id: format!("s{s}") });
+                                    conn.queue_plain(&Stanza::StreamOk {
+                                        id: format!("s{s}"),
+                                    });
                                 } else {
                                     conn.dead = true;
                                 }
@@ -468,11 +486,8 @@ fn start_ejabberd(
                                     if let Some(room) = Stanza::room_of(&to).map(str::to_owned) {
                                         let (members, targets): (Vec<String>, Vec<(usize, u64)>) = {
                                             let reg = registry.lock();
-                                            let members = reg
-                                                .rooms
-                                                .get(&room)
-                                                .cloned()
-                                                .unwrap_or_default();
+                                            let members =
+                                                reg.rooms.get(&room).cloned().unwrap_or_default();
                                             let targets = members
                                                 .iter()
                                                 .filter_map(|m| reg.users.get(m).copied())
@@ -488,9 +503,10 @@ fn start_ejabberd(
                                         .to_xml();
                                         for (owner, socket) in targets {
                                             costs.charge(vm_overhead / 4); // message pass
-                                            delivery_inboxes[owner]
-                                                .lock()
-                                                .push_back(Delivery { socket, xml: xml.clone() });
+                                            delivery_inboxes[owner].lock().push_back(Delivery {
+                                                socket,
+                                                xml: xml.clone(),
+                                            });
                                         }
                                     } else {
                                         let target = registry.lock().users.get(&to).copied();
@@ -515,7 +531,12 @@ fn start_ejabberd(
                                 }
                                 Stanza::Iq { id, kind, query } if kind == "get" => {
                                     conn.queue_sealed(
-                                        &Stanza::Iq { id, kind: "result".into(), query }.to_xml(),
+                                        &Stanza::Iq {
+                                            id,
+                                            kind: "result".into(),
+                                            query,
+                                        }
+                                        .to_xml(),
                                     );
                                 }
                                 _ => {}

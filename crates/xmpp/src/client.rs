@@ -17,7 +17,6 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use enet::{NetBackend, NetError, RecvOutcome, SocketId};
-use rand::{Rng, SeedableRng};
 
 use crate::stanza::Stanza;
 use crate::wire::{encode_frame, ConnCrypto, FrameBuf};
@@ -139,11 +138,38 @@ struct EmClient {
 /// Idle polls before a sender/pacer retransmits its in-flight message.
 const RETRY_AFTER_POLLS: u32 = 400;
 
+/// Deterministic payload generator (SplitMix64): the workload only needs
+/// reproducible filler bytes, not statistical quality.
+struct PayloadRng(u64);
+
+impl PayloadRng {
+    fn new(seed: u64) -> Self {
+        PayloadRng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn lowercase(&mut self) -> char {
+        (b'a' + (self.next_u64() % 26) as u8) as char
+    }
+}
+
 impl EmClient {
-    fn new(name: String, role: Role, payload_len: usize, wire_crypto: bool, costs: &sgx_sim::CostHandle, rng: &mut impl Rng) -> Self {
-        let payload: String = (0..payload_len)
-            .map(|_| rng.gen_range(b'a'..=b'z') as char)
-            .collect();
+    fn new(
+        name: String,
+        role: Role,
+        payload_len: usize,
+        wire_crypto: bool,
+        costs: &sgx_sim::CostHandle,
+        rng: &mut PayloadRng,
+    ) -> Self {
+        let payload: String = (0..payload_len).map(|_| rng.lowercase()).collect();
         let crypto = if wire_crypto {
             ConnCrypto::for_user(&name, costs.clone())
         } else {
@@ -212,7 +238,9 @@ impl EmClient {
                 self.flush(net);
                 let mut progressed = false;
                 let mut buf = [0u8; 2048];
-                let Some(socket) = self.socket else { return false };
+                let Some(socket) = self.socket else {
+                    return false;
+                };
                 loop {
                     match net.recv(socket, &mut buf) {
                         Ok(RecvOutcome::Data(n)) => {
@@ -251,12 +279,20 @@ impl EmClient {
             Role::Sender { partner } => {
                 let partner = partner.clone();
                 let body = self.payload.clone();
-                self.queue_sealed(&Stanza::Message { to: partner, from: String::new(), body });
+                self.queue_sealed(&Stanza::Message {
+                    to: partner,
+                    from: String::new(),
+                    body,
+                });
             }
             Role::Pacer { room } => {
                 let to = Stanza::room_address(room);
                 let body = self.payload.clone();
-                self.queue_sealed(&Stanza::Message { to, from: String::new(), body });
+                self.queue_sealed(&Stanza::Message {
+                    to,
+                    from: String::new(),
+                    body,
+                });
             }
             Role::Responder | Role::Listener { .. } => {}
         }
@@ -265,7 +301,9 @@ impl EmClient {
     fn handle_frame(&mut self, frame: &[u8]) {
         let stanza = if self.phase == Phase::AwaitStreamOk {
             // The handshake acknowledgement is plaintext.
-            std::str::from_utf8(frame).ok().and_then(|x| Stanza::parse(x).ok())
+            std::str::from_utf8(frame)
+                .ok()
+                .and_then(|x| Stanza::parse(x).ok())
         } else {
             self.crypto
                 .open_stanza(frame)
@@ -298,7 +336,11 @@ impl EmClient {
                 if let Role::Pacer { room } = &self.role {
                     let to = Stanza::room_address(room);
                     let body = self.payload.clone();
-                    self.queue_sealed(&Stanza::Message { to, from: String::new(), body });
+                    self.queue_sealed(&Stanza::Message {
+                        to,
+                        from: String::new(),
+                        body,
+                    });
                 }
             }
             (Phase::Running, Stanza::Message { from, .. }) => match &self.role {
@@ -310,18 +352,30 @@ impl EmClient {
                         _ => unreachable!(),
                     };
                     let body = self.payload.clone();
-                    self.queue_sealed(&Stanza::Message { to: partner, from: String::new(), body });
+                    self.queue_sealed(&Stanza::Message {
+                        to: partner,
+                        from: String::new(),
+                        body,
+                    });
                 }
                 Role::Responder => {
                     let body = self.payload.clone();
-                    self.queue_sealed(&Stanza::Message { to: from, from: String::new(), body });
+                    self.queue_sealed(&Stanza::Message {
+                        to: from,
+                        from: String::new(),
+                        body,
+                    });
                 }
                 Role::Pacer { room } => {
                     // Our previous group message came back: next round.
                     self.completed += 1;
                     let to = Stanza::room_address(room);
                     let body = self.payload.clone();
-                    self.queue_sealed(&Stanza::Message { to, from: String::new(), body });
+                    self.queue_sealed(&Stanza::Message {
+                        to,
+                        from: String::new(),
+                        body,
+                    });
                 }
                 Role::Listener { .. } => {
                     self.completed += 1; // deliveries observed
@@ -403,7 +457,9 @@ fn run_clients(
             let stop = stop.clone();
             let completed = completed.clone();
             let connected = connected.clone();
-            std::thread::spawn(move || drive(net, bucket, port, deadline, stop, completed, connected))
+            std::thread::spawn(move || {
+                drive(net, bucket, port, deadline, stop, completed, connected)
+            })
         })
         .collect();
     for h in handles {
@@ -421,9 +477,13 @@ fn run_clients(
 
 /// Run the one-to-one workload against a server listening on
 /// `workload.port`.
-pub fn run_o2o(net: Arc<dyn NetBackend>, costs: &sgx_sim::CostHandle, workload: &O2oWorkload) -> WorkloadResult {
+pub fn run_o2o(
+    net: Arc<dyn NetBackend>,
+    costs: &sgx_sim::CostHandle,
+    workload: &O2oWorkload,
+) -> WorkloadResult {
     let pairs = (workload.clients / 2).max(1);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC11E);
+    let mut rng = PayloadRng::new(0xC11E);
     let mut clients = Vec::with_capacity(pairs * 2);
     for p in 0..pairs {
         let sender = format!("u{}", p);
@@ -445,7 +505,13 @@ pub fn run_o2o(net: Arc<dyn NetBackend>, costs: &sgx_sim::CostHandle, workload: 
             &mut rng,
         ));
     }
-    run_clients(net, clients, workload.driver_threads, workload.port, workload.duration)
+    run_clients(
+        net,
+        clients,
+        workload.driver_threads,
+        workload.port,
+        workload.duration,
+    )
 }
 
 /// Run the group-chat workload against a server listening on
@@ -453,8 +519,12 @@ pub fn run_o2o(net: Arc<dyn NetBackend>, costs: &sgx_sim::CostHandle, workload: 
 ///
 /// Group `k`'s members are named `g<k>-u<i>`, so the service's
 /// `Assignment::ByRoomTag` policy confines each room to one instance.
-pub fn run_o2m(net: Arc<dyn NetBackend>, costs: &sgx_sim::CostHandle, workload: &O2mWorkload) -> WorkloadResult {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC12E);
+pub fn run_o2m(
+    net: Arc<dyn NetBackend>,
+    costs: &sgx_sim::CostHandle,
+    workload: &O2mWorkload,
+) -> WorkloadResult {
+    let mut rng = PayloadRng::new(0xC12E);
     let mut clients = Vec::with_capacity(workload.groups * workload.participants);
     for g in 0..workload.groups {
         let room = format!("room{g}");
@@ -475,7 +545,13 @@ pub fn run_o2m(net: Arc<dyn NetBackend>, costs: &sgx_sim::CostHandle, workload: 
             ));
         }
     }
-    run_clients(net, clients, workload.driver_threads, workload.port, workload.duration)
+    run_clients(
+        net,
+        clients,
+        workload.driver_threads,
+        workload.port,
+        workload.duration,
+    )
 }
 
 #[cfg(test)]
@@ -485,7 +561,10 @@ mod tests {
     use sgx_sim::{CostModel, Platform};
 
     fn costs() -> sgx_sim::CostHandle {
-        Platform::builder().cost_model(CostModel::zero()).build().costs()
+        Platform::builder()
+            .cost_model(CostModel::zero())
+            .build()
+            .costs()
     }
 
     #[test]
@@ -539,13 +618,21 @@ mod tests {
         acceptor.join().unwrap();
         // All client-side sockets were closed; only the 6 orphaned
         // server-side ends may remain.
-        assert!(sim.open_sockets() <= 6, "clients leaked sockets: {}", sim.open_sockets());
+        assert!(
+            sim.open_sockets() <= 6,
+            "clients leaked sockets: {}",
+            sim.open_sockets()
+        );
     }
 
     #[test]
     fn o2m_naming_matches_room_tag_convention() {
         // The pacer of group 3 must be named g3-u0 so ByRoomTag pins it.
-        let w = O2mWorkload { groups: 4, participants: 2, ..O2mWorkload::default() };
+        let w = O2mWorkload {
+            groups: 4,
+            participants: 2,
+            ..O2mWorkload::default()
+        };
         for g in 0..w.groups {
             let name = format!("g{g}-u0");
             assert!(name.starts_with(&format!("g{g}-")));
@@ -560,6 +647,9 @@ mod tests {
             throughput_rps: 250.0,
             connected: 10,
         };
-        assert_eq!(r.completed as f64 / r.elapsed.as_secs_f64(), r.throughput_rps);
+        assert_eq!(
+            r.completed as f64 / r.elapsed.as_secs_f64(),
+            r.throughput_rps
+        );
     }
 }

@@ -123,9 +123,16 @@ impl Directory {
     /// # Errors
     ///
     /// Propagates [`PosError`].
-    pub fn lookup_user(&self, r: &DirectoryReader, user: &str) -> Result<Option<UserEntry>, PosError> {
+    pub fn lookup_user(
+        &self,
+        r: &DirectoryReader,
+        user: &str,
+    ) -> Result<Option<UserEntry>, PosError> {
         let mut buf = [0u8; 12];
-        match self.store.get(r, format!("u:{user}").as_bytes(), &mut buf)? {
+        match self
+            .store
+            .get(r, format!("u:{user}").as_bytes(), &mut buf)?
+        {
             Some(12) => Ok(Some(UserEntry {
                 socket: u64::from_le_bytes(buf[..8].try_into().expect("sized")),
                 instance: u32::from_le_bytes(buf[8..].try_into().expect("sized")),
@@ -143,7 +150,12 @@ impl Directory {
     /// # Errors
     ///
     /// Propagates [`PosError`]; `TooLarge` when the room is full.
-    pub fn join_group(&self, r: &DirectoryReader, room: &str, member: Member) -> Result<(), PosError> {
+    pub fn join_group(
+        &self,
+        r: &DirectoryReader,
+        room: &str,
+        member: Member,
+    ) -> Result<(), PosError> {
         let mut members = self.group_members(r, room)?;
         if let Some(existing) = members.iter_mut().find(|m| m.user == member.user) {
             *existing = member; // reconnect: refresh socket/instance
@@ -175,7 +187,10 @@ impl Directory {
     /// Propagates [`PosError`].
     pub fn group_members(&self, r: &DirectoryReader, room: &str) -> Result<Vec<Member>, PosError> {
         let mut buf = vec![0u8; self.store.payload_size()];
-        let n = match self.store.get(r, format!("g:{room}").as_bytes(), &mut buf)? {
+        let n = match self
+            .store
+            .get(r, format!("g:{room}").as_bytes(), &mut buf)?
+        {
             Some(n) => n,
             None => return Ok(Vec::new()),
         };
@@ -192,12 +207,21 @@ impl Directory {
             }
             let user = String::from_utf8_lossy(&data[pos..pos + ulen]).into_owned();
             pos += ulen;
-            members.push(Member { user, socket, instance });
+            members.push(Member {
+                user,
+                socket,
+                instance,
+            });
         }
         Ok(members)
     }
 
-    fn write_members(&self, r: &DirectoryReader, room: &str, members: &[Member]) -> Result<(), PosError> {
+    fn write_members(
+        &self,
+        r: &DirectoryReader,
+        room: &str,
+        members: &[Member],
+    ) -> Result<(), PosError> {
         let mut value = Vec::new();
         for m in members {
             value.extend_from_slice(&m.socket.to_le_bytes());
@@ -214,7 +238,11 @@ mod tests {
     use super::*;
 
     fn member(user: &str, socket: u64, instance: u32) -> Member {
-        Member { user: user.into(), socket, instance }
+        Member {
+            user: user.into(),
+            socket,
+            instance,
+        }
     }
 
     #[test]
@@ -225,7 +253,10 @@ mod tests {
         d.register_user(&r, "bob", 3, 1).unwrap();
         assert_eq!(
             d.lookup_user(&r, "bob").unwrap(),
-            Some(UserEntry { socket: 3, instance: 1 })
+            Some(UserEntry {
+                socket: 3,
+                instance: 1
+            })
         );
         // Reconnect on a new socket supersedes.
         d.register_user(&r, "bob", 9, 2).unwrap();
@@ -264,16 +295,26 @@ mod tests {
     fn encrypted_directory_round_trips() {
         use sgx_sim::crypto::SessionKey;
         use sgx_sim::{CostModel, Platform};
-        let costs = Platform::builder().cost_model(CostModel::zero()).build().costs();
-        let d = Directory::with_capacity(8, 4, Some(PosEncryption {
-            key: SessionKey::derive(&[1, 2, 3]),
-            costs,
-        }));
+        let costs = Platform::builder()
+            .cost_model(CostModel::zero())
+            .build()
+            .costs();
+        let d = Directory::with_capacity(
+            8,
+            4,
+            Some(PosEncryption {
+                key: SessionKey::derive(&[1, 2, 3]),
+                costs,
+            }),
+        );
         let r = d.reader();
         d.register_user(&r, "alice", 11, 3).unwrap();
         assert_eq!(
             d.lookup_user(&r, "alice").unwrap(),
-            Some(UserEntry { socket: 11, instance: 3 })
+            Some(UserEntry {
+                socket: 11,
+                instance: 3
+            })
         );
     }
 

@@ -98,7 +98,10 @@ mod tests {
         let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
         let svc = start_service(&p, net.clone(), &XmppConfig::default()).unwrap();
         let result = run_o2o(net, &p.costs(), &o2o(8));
-        assert_eq!(result.connected, 8, "all clients must complete the handshake");
+        assert_eq!(
+            result.connected, 8,
+            "all clients must complete the handshake"
+        );
         assert!(result.completed > 0, "senders must complete request pairs");
         let report = svc.shutdown();
         assert!(report.total_executions() > 0);
@@ -111,7 +114,10 @@ mod tests {
         let svc = start_service(
             &p,
             net.clone(),
-            &XmppConfig { instances: 4, ..XmppConfig::default() },
+            &XmppConfig {
+                instances: 4,
+                ..XmppConfig::default()
+            },
         )
         .unwrap();
         // Round-robin assignment guarantees partners land on different
@@ -119,7 +125,12 @@ mod tests {
         let result = run_o2o(net, &p.costs(), &o2o(8));
         assert_eq!(result.connected, 8);
         assert!(result.completed > 0);
-        assert!(svc.stats.o2o_routed.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        assert!(
+            svc.stats
+                .o2o_routed
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0
+        );
         svc.shutdown();
     }
 
@@ -130,7 +141,10 @@ mod tests {
         let svc = start_service(
             &p,
             net.clone(),
-            &XmppConfig { trusted: false, ..XmppConfig::default() },
+            &XmppConfig {
+                trusted: false,
+                ..XmppConfig::default()
+            },
         )
         .unwrap();
         let result = run_o2o(net, &p.costs(), &o2o(6));
@@ -166,7 +180,12 @@ mod tests {
         );
         assert_eq!(result.connected, 10);
         assert!(result.completed > 0, "pacers must cycle group messages");
-        assert!(svc.stats.o2m_delivered.load(std::sync::atomic::Ordering::Relaxed) > 0);
+        assert!(
+            svc.stats
+                .o2m_delivered
+                .load(std::sync::atomic::Ordering::Relaxed)
+                > 0
+        );
         svc.shutdown();
     }
 
@@ -197,13 +216,19 @@ mod tests {
         let svc = start_service(
             &p,
             net.clone(),
-            &XmppConfig { wire_crypto: false, ..XmppConfig::default() },
+            &XmppConfig {
+                wire_crypto: false,
+                ..XmppConfig::default()
+            },
         )
         .unwrap();
         let result = run_o2o(
             net,
             &p.costs(),
-            &O2oWorkload { wire_crypto: false, ..o2o(4) },
+            &O2oWorkload {
+                wire_crypto: false,
+                ..o2o(4)
+            },
         );
         assert!(result.completed > 0);
         svc.shutdown();
@@ -227,7 +252,10 @@ mod tests {
         let server = BaselineServer::start(
             net.clone(),
             p.costs(),
-            BaselineConfig { kind: BaselineKind::Ejabberd, ..BaselineConfig::default() },
+            BaselineConfig {
+                kind: BaselineKind::Ejabberd,
+                ..BaselineConfig::default()
+            },
         );
         let result = run_o2o(net, &p.costs(), &o2o(8));
         assert_eq!(result.connected, 8);
@@ -243,7 +271,10 @@ mod tests {
             let server = BaselineServer::start(
                 net.clone(),
                 p.costs(),
-                BaselineConfig { kind, ..BaselineConfig::default() },
+                BaselineConfig {
+                    kind,
+                    ..BaselineConfig::default()
+                },
             );
             let result = run_o2m(
                 net,
@@ -265,7 +296,14 @@ mod tests {
         let p = platform();
         let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
         assert!(matches!(
-            start_service(&p, net, &XmppConfig { instances: 0, ..XmppConfig::default() }),
+            start_service(
+                &p,
+                net,
+                &XmppConfig {
+                    instances: 0,
+                    ..XmppConfig::default()
+                }
+            ),
             Err(XmppError::NoInstances)
         ));
     }
@@ -294,7 +332,12 @@ mod tests {
             };
             let mut out = Vec::new();
             encode_frame(
-                Stanza::Stream { from: name.into(), to: "srv".into() }.to_xml().as_bytes(),
+                Stanza::Stream {
+                    from: name.into(),
+                    to: "srv".into(),
+                }
+                .to_xml()
+                .as_bytes(),
                 &mut out,
             );
             sim.send(s, &out).unwrap();
@@ -319,7 +362,12 @@ mod tests {
         let needle = "supersecretneedle";
         let alice_crypto = ConnCrypto::for_user("alice", costs.clone());
         let sealed = alice_crypto.seal_stanza(
-            &Stanza::Message { to: "bob".into(), from: String::new(), body: needle.into() }.to_xml(),
+            &Stanza::Message {
+                to: "bob".into(),
+                from: String::new(),
+                body: needle.into(),
+            }
+            .to_xml(),
         );
         let mut frame = Vec::new();
         encode_frame(&sealed, &mut frame);

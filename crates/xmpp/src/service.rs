@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use eactors::arena::{Arena, Mbox};
 use eactors::prelude::*;
-use enet::{recv_msg, send_msg, MboxDirectory, MboxRef, NetBackend, NetMsg, SystemActors};
+use enet::{drain_msgs, send_msg, MboxDirectory, MboxRef, NetBackend, NetMsg, SystemActors};
 use sgx_sim::crypto::SessionKey;
 use sgx_sim::Platform;
 
@@ -110,6 +110,9 @@ pub struct ServiceStats {
     pub bad_frames: AtomicU64,
 }
 
+/// Nodes claimed per `recv_batch` call when draining assignments.
+const ASSIGN_BATCH: usize = 32;
+
 /// Assignment message: CONNECTOR → instance. Private wire format.
 struct AssignMsg {
     socket: u64,
@@ -144,7 +147,11 @@ impl AssignMsg {
         let pos = 10 + ulen;
         let llen = u16::from_le_bytes([*data.get(pos)?, *data.get(pos + 1)?]) as usize;
         let leftover = data.get(pos + 2..pos + 2 + llen)?.to_vec();
-        Some(AssignMsg { socket, user, leftover })
+        Some(AssignMsg {
+            socket,
+            user,
+            leftover,
+        })
     }
 }
 
@@ -180,15 +187,17 @@ impl Connector {
                 .and_then(|rest| rest.split('-').next())
                 .and_then(|tag| tag.parse::<usize>().ok())
                 .map(|k| k % n)
-                .unwrap_or_else(|| {
-                    (sgx_sim::crypto::digest(user.as_bytes()) % n as u64) as usize
-                }),
+                .unwrap_or_else(|| (sgx_sim::crypto::digest(user.as_bytes()) % n as u64) as usize),
         }
     }
 
     fn assign(&mut self, socket: u64, user: String, leftover: Vec<u8>) {
         let instance = self.pick_instance(&user);
-        let msg = AssignMsg { socket, user, leftover };
+        let msg = AssignMsg {
+            socket,
+            user,
+            leftover,
+        };
         let mbox = &self.assigns[instance];
         if let Some(mut node) = mbox.arena().try_pop() {
             if let Some(n) = msg.encode(node.buffer_mut()) {
@@ -209,30 +218,41 @@ impl Actor for Connector {
             self.listening = true;
             send_msg(
                 &self.opener_rq,
-                &NetMsg::OpenListen { port: self.port, reply: self.reply_ref },
+                &NetMsg::OpenListen {
+                    port: self.port,
+                    reply: self.reply_ref,
+                },
             );
             return Control::Busy;
         }
-        let mut worked = false;
-        while let Some(msg) = recv_msg(&self.reply) {
-            worked = true;
+        // Batched drain: one cursor claim covers a whole run of replies
+        // (accept storms arrive in bursts). Clone the Arc out so the
+        // closure may borrow `self` mutably.
+        let reply = Arc::clone(&self.reply);
+        let worked = drain_msgs(&reply, |msg| {
             match msg {
                 NetMsg::OpenOk { id, listener: true } => {
                     send_msg(
                         &self.accepter_rq,
-                        &NetMsg::WatchListener { listener: id, reply: self.reply_ref },
+                        &NetMsg::WatchListener {
+                            listener: id,
+                            reply: self.reply_ref,
+                        },
                     );
                 }
                 NetMsg::Accepted { socket, .. } => {
                     self.pending.insert(socket, FrameBuf::new());
                     send_msg(
                         &self.reader_rq,
-                        &NetMsg::WatchSocket { socket, reply: self.reply_ref },
+                        &NetMsg::WatchSocket {
+                            socket,
+                            reply: self.reply_ref,
+                        },
                     );
                 }
                 NetMsg::Data { socket, payload } => {
                     let Some(fb) = self.pending.get_mut(&socket) else {
-                        continue;
+                        return;
                     };
                     fb.push(&payload);
                     match fb.next_frame() {
@@ -271,7 +291,7 @@ impl Actor for Connector {
                 }
                 _ => {}
             }
-        }
+        }) > 0;
         if worked {
             Control::Busy
         } else {
@@ -325,14 +345,19 @@ impl XmppInstance {
         encode_frame(&sealed, &mut frame);
         send_msg(
             &self.writers[instance as usize],
-            &NetMsg::Write { socket, payload: frame },
+            &NetMsg::Write {
+                socket,
+                payload: frame,
+            },
         );
     }
 
     fn handle_stanza(&mut self, ctx: &Ctx, socket: u64, stanza: Stanza) {
         let costs = ctx.costs().clone();
         let (sender, instance) = {
-            let Some(s) = self.sessions.get(&socket) else { return };
+            let Some(s) = self.sessions.get(&socket) else {
+                return;
+            };
             (s.user.clone(), self.index)
         };
         match stanza {
@@ -381,7 +406,11 @@ impl XmppInstance {
                 let _ = self.directory.join_group(
                     reader,
                     &room,
-                    Member { user: sender.clone(), socket, instance },
+                    Member {
+                        user: sender.clone(),
+                        socket,
+                        instance,
+                    },
                 );
                 if let Some(s) = self.sessions.get_mut(&socket) {
                     if !s.rooms.contains(&room) {
@@ -397,12 +426,19 @@ impl XmppInstance {
             }
             Stanza::Iq { id, kind, query } => {
                 if kind == "get" {
-                    let xml = Stanza::Iq { id, kind: "result".into(), query }.to_xml();
+                    let xml = Stanza::Iq {
+                        id,
+                        kind: "result".into(),
+                        query,
+                    }
+                    .to_xml();
                     self.write_to(&costs, &sender, socket, instance, &xml);
                 }
             }
             // Stream management stanzas are not valid mid-session.
-            Stanza::Stream { .. } | Stanza::StreamOk { .. } | Stanza::StreamError { .. }
+            Stanza::Stream { .. }
+            | Stanza::StreamOk { .. }
+            | Stanza::StreamError { .. }
             | Stanza::Joined { .. } => {
                 self.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
             }
@@ -422,7 +458,9 @@ impl XmppInstance {
     fn pump_frames(&mut self, ctx: &Ctx, socket: u64) {
         loop {
             let (frame, user_ok) = {
-                let Some(session) = self.sessions.get_mut(&socket) else { return };
+                let Some(session) = self.sessions.get_mut(&socket) else {
+                    return;
+                };
                 match session.frames.next_frame() {
                     Ok(Some(frame)) => (frame, true),
                     Ok(None) => return,
@@ -461,70 +499,90 @@ impl Actor for XmppInstance {
         let mut worked = false;
 
         // Newly assigned clients (the PCL refresh: fetch the users this
-        // instance serves, then batch-subscribe their sockets).
+        // instance serves, then batch-subscribe their sockets). Claimed
+        // in batches so one cursor update covers a whole burst of
+        // assignments.
         let mut batch: Vec<(u64, enet::MboxRef)> = Vec::new();
-        while let Some(node) = self.assign.recv() {
-            let Some(msg) = AssignMsg::decode(node.bytes()) else {
-                continue;
-            };
-            drop(node);
+        let assign = Arc::clone(&self.assign);
+        let mut nodes = Vec::with_capacity(ASSIGN_BATCH);
+        while assign.recv_batch(&mut nodes, ASSIGN_BATCH) > 0 {
             worked = true;
-            let crypto = if self.wire_crypto {
-                ConnCrypto::for_user(&msg.user, ctx.costs().clone())
-            } else {
-                ConnCrypto::plaintext()
-            };
-            let mut frames = FrameBuf::new();
-            frames.push(&msg.leftover);
-            let reader = self.dir_reader.as_ref().expect("ctor ran");
-            let _ = self
-                .directory
-                .register_user(reader, &msg.user, msg.socket, self.index);
-            self.sessions.insert(
-                msg.socket,
-                Session { user: msg.user.clone(), crypto, frames, rooms: Vec::new() },
-            );
-            self.stats.sessions.fetch_add(1, Ordering::Relaxed);
-            batch.push((msg.socket, self.data_ref));
-            // Acknowledge the stream (plaintext, completing the
-            // handshake) through our own WRITER.
-            let ok = Stanza::StreamOk { id: format!("s{}", msg.socket) }.to_xml();
-            let mut frame = Vec::new();
-            encode_frame(ok.as_bytes(), &mut frame);
-            send_msg(
-                &self.writers[self.index as usize],
-                &NetMsg::Write { socket: msg.socket, payload: frame },
-            );
-            // Any stanzas that raced the handshake.
-            self.pump_frames(ctx, msg.socket);
+            for node in nodes.drain(..) {
+                let Some(msg) = AssignMsg::decode(node.bytes()) else {
+                    continue;
+                };
+                drop(node);
+                let crypto = if self.wire_crypto {
+                    ConnCrypto::for_user(&msg.user, ctx.costs().clone())
+                } else {
+                    ConnCrypto::plaintext()
+                };
+                let mut frames = FrameBuf::new();
+                frames.push(&msg.leftover);
+                let reader = self.dir_reader.as_ref().expect("ctor ran");
+                let _ = self
+                    .directory
+                    .register_user(reader, &msg.user, msg.socket, self.index);
+                self.sessions.insert(
+                    msg.socket,
+                    Session {
+                        user: msg.user.clone(),
+                        crypto,
+                        frames,
+                        rooms: Vec::new(),
+                    },
+                );
+                self.stats.sessions.fetch_add(1, Ordering::Relaxed);
+                batch.push((msg.socket, self.data_ref));
+                // Acknowledge the stream (plaintext, completing the
+                // handshake) through our own WRITER.
+                let ok = Stanza::StreamOk {
+                    id: format!("s{}", msg.socket),
+                }
+                .to_xml();
+                let mut frame = Vec::new();
+                encode_frame(ok.as_bytes(), &mut frame);
+                send_msg(
+                    &self.writers[self.index as usize],
+                    &NetMsg::Write {
+                        socket: msg.socket,
+                        payload: frame,
+                    },
+                );
+                // Any stanzas that raced the handshake.
+                self.pump_frames(ctx, msg.socket);
+            }
         }
         if !batch.is_empty() {
             // One batch request subscribes the whole refreshed PCL
             // (§5.1.2); fall back to per-socket subscriptions if the
             // batch does not fit a node.
-            if !send_msg(&self.reader_rq, &NetMsg::WatchBatch { entries: batch.clone() }) {
+            if !send_msg(
+                &self.reader_rq,
+                &NetMsg::WatchBatch {
+                    entries: batch.clone(),
+                },
+            ) {
                 for (socket, reply) in batch {
                     send_msg(&self.reader_rq, &NetMsg::WatchSocket { socket, reply });
                 }
             }
         }
 
-        // Incoming data from our READER.
-        while let Some(msg) = recv_msg(&self.data) {
-            worked = true;
-            match msg {
-                NetMsg::Data { socket, payload } => {
-                    if let Some(session) = self.sessions.get_mut(&socket) {
-                        session.frames.push(&payload);
-                        self.pump_frames(ctx, socket);
-                    }
+        // Incoming data from our READER, drained in batches.
+        let data = Arc::clone(&self.data);
+        worked |= drain_msgs(&data, |msg| match msg {
+            NetMsg::Data { socket, payload } => {
+                if let Some(session) = self.sessions.get_mut(&socket) {
+                    session.frames.push(&payload);
+                    self.pump_frames(ctx, socket);
                 }
-                NetMsg::SocketClosed { socket } => {
-                    self.drop_session(socket);
-                }
-                _ => {}
             }
-        }
+            NetMsg::SocketClosed { socket } => {
+                self.drop_session(socket);
+            }
+            _ => {}
+        }) > 0;
 
         if worked {
             Control::Busy
@@ -632,7 +690,11 @@ pub fn start_service(
 
     // Connector's system actor set (OPENER, ACCEPTER, handshake READER,
     // CLOSER share the connector pool).
-    let conn_pool = Arena::new("connector-pool", (config.max_clients * 4).next_power_of_two(), 1024);
+    let conn_pool = Arena::new(
+        "connector-pool",
+        (config.max_clients * 4).next_power_of_two(),
+        1024,
+    );
     let conn_sys = SystemActors::new(net.clone(), conn_pool.clone());
     let conn_reply = Mbox::new(conn_pool.clone(), conn_pool.capacity() as usize);
     let conn_reply_ref = conn_sys.dir.register(conn_reply.clone());
@@ -701,5 +763,9 @@ pub fn start_service(
     }
 
     let runtime = Runtime::start(platform, b.build()?)?;
-    Ok(RunningService { runtime, directory, stats })
+    Ok(RunningService {
+        runtime,
+        directory,
+        stats,
+    })
 }

@@ -236,8 +236,12 @@ impl Stanza {
                 from: take("from").unwrap_or_default(), // optional on parse
                 body: take("body")?,
             },
-            "join" => Stanza::Join { room: take("room")? },
-            "joined" => Stanza::Joined { room: take("room")? },
+            "join" => Stanza::Join {
+                room: take("room")?,
+            },
+            "joined" => Stanza::Joined {
+                room: take("room")?,
+            },
             "presence" => Stanza::Presence {
                 from: take("from")?,
                 show: take("show")?,
@@ -278,18 +282,34 @@ mod tests {
 
     #[test]
     fn all_stanzas_round_trip() {
-        round_trip(Stanza::Stream { from: "alice".into(), to: "server".into() });
+        round_trip(Stanza::Stream {
+            from: "alice".into(),
+            to: "server".into(),
+        });
         round_trip(Stanza::StreamOk { id: "s1".into() });
-        round_trip(Stanza::StreamError { reason: "auth failed".into() });
+        round_trip(Stanza::StreamError {
+            reason: "auth failed".into(),
+        });
         round_trip(Stanza::Message {
             to: "bob".into(),
             from: "alice".into(),
             body: "hello world".into(),
         });
-        round_trip(Stanza::Join { room: "tearoom".into() });
-        round_trip(Stanza::Joined { room: "tearoom".into() });
-        round_trip(Stanza::Presence { from: "alice".into(), show: "available".into() });
-        round_trip(Stanza::Iq { id: "42".into(), kind: "get".into(), query: "ping".into() });
+        round_trip(Stanza::Join {
+            room: "tearoom".into(),
+        });
+        round_trip(Stanza::Joined {
+            room: "tearoom".into(),
+        });
+        round_trip(Stanza::Presence {
+            from: "alice".into(),
+            show: "available".into(),
+        });
+        round_trip(Stanza::Iq {
+            id: "42".into(),
+            kind: "get".into(),
+            query: "ping".into(),
+        });
     }
 
     #[test]
@@ -344,7 +364,11 @@ mod tests {
         let s = Stanza::parse("<message to=\"bob\" body=\"hi\"/>").unwrap();
         assert_eq!(
             s,
-            Stanza::Message { to: "bob".into(), from: String::new(), body: "hi".into() }
+            Stanza::Message {
+                to: "bob".into(),
+                from: String::new(),
+                body: "hi".into()
+            }
         );
     }
 

@@ -171,7 +171,10 @@ mod tests {
     use sgx_sim::{CostModel, Platform};
 
     fn costs() -> CostHandle {
-        Platform::builder().cost_model(CostModel::zero()).build().costs()
+        Platform::builder()
+            .cost_model(CostModel::zero())
+            .build()
+            .costs()
     }
 
     #[test]

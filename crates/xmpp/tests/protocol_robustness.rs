@@ -32,7 +32,12 @@ fn connect_handshake(sim: &SimNet, user: &str) -> SocketId {
     };
     let mut out = Vec::new();
     encode_frame(
-        Stanza::Stream { from: user.into(), to: "srv".into() }.to_xml().as_bytes(),
+        Stanza::Stream {
+            from: user.into(),
+            to: "srv".into(),
+        }
+        .to_xml()
+        .as_bytes(),
         &mut out,
     );
     sim.send(s, &out).unwrap();
@@ -112,7 +117,11 @@ fn garbage_handshake_gets_dropped_service_survives() {
         &sim,
         alice,
         &crypto,
-        &Stanza::Iq { id: "1".into(), kind: "get".into(), query: "ping".into() },
+        &Stanza::Iq {
+            id: "1".into(),
+            kind: "get".into(),
+            query: "ping".into(),
+        },
     );
     assert!(matches!(reply, Stanza::Iq { kind, .. } if kind == "result"));
     svc.shutdown();
@@ -133,7 +142,10 @@ fn oversized_frame_header_drops_connection() {
     let deadline = Instant::now() + Duration::from_secs(5);
     let mut buf = [0u8; 64];
     loop {
-        assert!(Instant::now() < deadline, "oversized-frame peer never dropped");
+        assert!(
+            Instant::now() < deadline,
+            "oversized-frame peer never dropped"
+        );
         match sim.recv(s, &mut buf) {
             Ok(RecvOutcome::Eof) | Err(_) => break,
             _ => std::thread::yield_now(),
@@ -150,7 +162,12 @@ fn wrong_key_traffic_is_counted_and_ignored() {
     // mallory: frames fail authentication at the server.
     let wrong = ConnCrypto::for_user("bob", p.costs());
     let sealed = wrong.seal_stanza(
-        &Stanza::Message { to: "bob".into(), from: String::new(), body: "x".into() }.to_xml(),
+        &Stanza::Message {
+            to: "bob".into(),
+            from: String::new(),
+            body: "x".into(),
+        }
+        .to_xml(),
     );
     let mut wire = Vec::new();
     encode_frame(&sealed, &mut wire);
@@ -177,7 +194,12 @@ fn byte_at_a_time_delivery_still_parses() {
     };
     let mut wire = Vec::new();
     encode_frame(
-        Stanza::Stream { from: "slowpoke".into(), to: "srv".into() }.to_xml().as_bytes(),
+        Stanza::Stream {
+            from: "slowpoke".into(),
+            to: "srv".into(),
+        }
+        .to_xml()
+        .as_bytes(),
         &mut wire,
     );
     for &byte in &wire {
@@ -191,7 +213,10 @@ fn byte_at_a_time_delivery_still_parses() {
     let mut buf = [0u8; 256];
     let deadline = Instant::now() + Duration::from_secs(5);
     loop {
-        assert!(Instant::now() < deadline, "dribbled handshake never acknowledged");
+        assert!(
+            Instant::now() < deadline,
+            "dribbled handshake never acknowledged"
+        );
         match sim.recv(s, &mut buf).unwrap() {
             RecvOutcome::Data(n) => {
                 fb.push(&buf[..n]);
@@ -211,7 +236,11 @@ fn byte_at_a_time_delivery_still_parses() {
         &sim,
         s,
         &crypto,
-        &Stanza::Iq { id: "9".into(), kind: "get".into(), query: "ping".into() },
+        &Stanza::Iq {
+            id: "9".into(),
+            kind: "get".into(),
+            query: "ping".into(),
+        },
     );
     assert!(matches!(reply, Stanza::Iq { .. }));
     svc.shutdown();
@@ -229,7 +258,12 @@ fn reconnect_supersedes_old_registration() {
 
     // Bob messages alice; it must arrive on the NEW connection.
     let sealed = bob_crypto.seal_stanza(
-        &Stanza::Message { to: "alice".into(), from: String::new(), body: "hi".into() }.to_xml(),
+        &Stanza::Message {
+            to: "alice".into(),
+            from: String::new(),
+            body: "hi".into(),
+        }
+        .to_xml(),
     );
     let mut wire = Vec::new();
     encode_frame(&sealed, &mut wire);
@@ -239,7 +273,10 @@ fn reconnect_supersedes_old_registration() {
     let mut buf = [0u8; 1024];
     let deadline = Instant::now() + Duration::from_secs(5);
     loop {
-        assert!(Instant::now() < deadline, "message never arrived on the new socket");
+        assert!(
+            Instant::now() < deadline,
+            "message never arrived on the new socket"
+        );
         match sim.recv(new, &mut buf).unwrap() {
             RecvOutcome::Data(n) => {
                 fb.push(&buf[..n]);

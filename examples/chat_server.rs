@@ -70,8 +70,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nserver stats:");
     println!("  sessions opened   : {}", stats.sessions.load(Relaxed));
     println!("  one-to-one routed : {}", stats.o2o_routed.load(Relaxed));
-    println!("  group deliveries  : {}", stats.o2m_delivered.load(Relaxed));
-    println!("  offline drops     : {}", stats.offline_drops.load(Relaxed));
+    println!(
+        "  group deliveries  : {}",
+        stats.o2m_delivered.load(Relaxed)
+    );
+    println!(
+        "  offline drops     : {}",
+        stats.offline_drops.load(Relaxed)
+    );
 
     service.shutdown();
     Ok(())

@@ -81,7 +81,12 @@ fn registry() -> ActorRegistry {
     let mut r = ActorRegistry::new();
     r.register("producer", |_| Ok(Box::new(Producer { remaining: ITEMS })));
     r.register("transformer", |_| Ok(Box::new(Transformer)));
-    r.register("auditor", |_| Ok(Box::new(Auditor { expected: ITEMS, sum: 0 })));
+    r.register("auditor", |_| {
+        Ok(Box::new(Auditor {
+            expected: ITEMS,
+            sum: 0,
+        }))
+    });
     r
 }
 
@@ -121,7 +126,11 @@ fn spec(name: &str) -> String {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let registry = registry();
-    for name in ["all untrusted", "transformer enclaved", "one enclave per stage"] {
+    for name in [
+        "all untrusted",
+        "transformer enclaved",
+        "one enclave per stage",
+    ] {
         println!("deployment: {name}");
         let platform = Platform::builder().build();
         let deployment = DeploymentSpec::from_json(&spec(name))?

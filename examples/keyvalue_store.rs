@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         entries: 256,
         payload: 256,
         stacks: 16,
-        encryption: Some(PosEncryption { key: store_key.clone(), costs: platform.costs() }),
+        encryption: Some(PosEncryption {
+            key: store_key.clone(),
+            costs: platform.costs(),
+        }),
     });
 
     // Seal the key material into the superblock (simulated 32-byte blob).
@@ -39,7 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     store.delete(&reader, b"user:bob")?;
 
     let mut buf = [0u8; 64];
-    let n = store.get(&reader, b"user:alice", &mut buf)?.expect("alice present");
+    let n = store
+        .get(&reader, b"user:alice", &mut buf)?
+        .expect("alice present");
     println!("alice -> {}", String::from_utf8_lossy(&buf[..n]));
     println!("bob   -> {:?}", store.get(&reader, b"user:bob", &mut buf)?);
     println!("free entries before cleaning: {}", store.free_entries());
@@ -47,23 +52,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The Cleaner reclaims shadowed versions once readers moved on.
     let cleaner = Cleaner::new(store.clone(), 1);
     let freed = store.clean_to_quiescence();
-    println!("cleaner reclaimed {freed} superseded entries (actor freed {} so far)", cleaner.freed_total());
+    println!(
+        "cleaner reclaimed {freed} superseded entries (actor freed {} so far)",
+        cleaner.freed_total()
+    );
     println!("free entries after cleaning : {}", store.free_entries());
 
     // Persist ("sync" of the memory-mapped file) and reboot.
     let path = std::env::temp_dir().join("eactors-example.pos");
     store.persist(&path)?;
-    let reopened = PosStore::open(&path, Some(PosEncryption { key: store_key, costs: platform.costs() }))?;
+    let reopened = PosStore::open(
+        &path,
+        Some(PosEncryption {
+            key: store_key,
+            costs: platform.costs(),
+        }),
+    )?;
     let reader = reopened.register_reader();
-    let n = reopened.get(&reader, b"user:alice", &mut buf)?.expect("state survived reboot");
-    println!("\nafter reboot: alice -> {}", String::from_utf8_lossy(&buf[..n]));
+    let n = reopened
+        .get(&reader, b"user:alice", &mut buf)?
+        .expect("state survived reboot");
+    println!(
+        "\nafter reboot: alice -> {}",
+        String::from_utf8_lossy(&buf[..n])
+    );
     // The sealed key blob is still recoverable inside the same enclave
     // identity.
     enclave.ecall(|| {
         let blob = reopened.sealed_keys();
         let mut out = vec![0u8; blob.len()];
         let n = seal::unseal_data(&enclave, &blob, &mut out).expect("same identity");
-        println!("unsealed key material: {}", String::from_utf8_lossy(&out[..n]));
+        println!(
+            "unsealed key material: {}",
+            String::from_utf8_lossy(&out[..n])
+        );
     });
     std::fs::remove_file(&path).ok();
     Ok(())

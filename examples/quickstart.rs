@@ -70,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let greeter = builder.actor(
         "greeter",
         Placement::Enclave(left),
-        Greeter { sent: 0, received: 0, rounds: 5 },
+        Greeter {
+            sent: 0,
+            received: 0,
+            rounds: 5,
+        },
     );
     let echo = builder.actor("echo", Placement::Enclave(right), Echo);
     // Two enclaves => this channel transparently encrypts (the key is
@@ -89,6 +93,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "mode transitions: {} (all from setup/teardown — messaging added none)",
         after.transitions() - before.transitions()
     );
-    println!("cycles charged  : {}", after.cycles_charged() - before.cycles_charged());
+    println!(
+        "cycles charged  : {}",
+        after.cycles_charged() - before.cycles_charged()
+    );
     Ok(())
 }

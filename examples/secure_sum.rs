@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sum = sdk.round();
     let expected = protocol::reference_sum(&config.initial_secrets());
     assert_eq!(sum, expected);
-    println!("round result matches the reference: {:?} ...", &sum[..4.min(sum.len())]);
+    println!(
+        "round result matches the reference: {:?} ...",
+        &sum[..4.min(sum.len())]
+    );
 
     // Throughput: EActors ring vs SDK-style ECall chain.
     let platform = Platform::builder().build();

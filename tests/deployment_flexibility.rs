@@ -171,7 +171,9 @@ fn dedicated_workers_reach_the_same_result() {
     b.channel(source, sink);
     b.worker(&[source]);
     b.worker(&[sink]);
-    Runtime::start(&platform, b.build().expect("valid")).expect("start").join();
+    Runtime::start(&platform, b.build().expect("valid"))
+        .expect("start")
+        .join();
     assert_eq!(sum.load(Ordering::Relaxed), (0..500u64).sum::<u64>());
 }
 
@@ -179,7 +181,11 @@ fn dedicated_workers_reach_the_same_result() {
 fn dropping_a_runtime_signals_stop() {
     let platform = Platform::builder().cost_model(CostModel::zero()).build();
     let mut b = DeploymentBuilder::new();
-    let spinner = b.actor("spinner", Placement::Untrusted, eactors::from_fn(|_| Control::Busy));
+    let spinner = b.actor(
+        "spinner",
+        Placement::Untrusted,
+        eactors::from_fn(|_| Control::Busy),
+    );
     b.worker(&[spinner]);
     let rt = Runtime::start(&platform, b.build().expect("valid")).expect("start");
     let token = rt.stop_token();
@@ -192,7 +198,11 @@ fn dropping_a_runtime_signals_stop() {
 fn run_for_collects_a_report_after_the_deadline() {
     let platform = Platform::builder().cost_model(CostModel::zero()).build();
     let mut b = DeploymentBuilder::new();
-    let spinner = b.actor("spinner", Placement::Untrusted, eactors::from_fn(|_| Control::Busy));
+    let spinner = b.actor(
+        "spinner",
+        Placement::Untrusted,
+        eactors::from_fn(|_| Control::Busy),
+    );
     b.worker(&[spinner]);
     let rt = Runtime::start(&platform, b.build().expect("valid")).expect("start");
     let report = rt.run_for(std::time::Duration::from_millis(30));

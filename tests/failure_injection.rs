@@ -46,7 +46,9 @@ fn epc_hard_limit_fails_creation_but_platform_survives() {
         .epc_hard_limit(64 * 1024)
         .build();
     let _a = p.create_enclave("a", 48 * 1024).expect("fits");
-    let err = p.create_enclave("b", 48 * 1024).expect_err("must exceed limit");
+    let err = p
+        .create_enclave("b", 48 * 1024)
+        .expect_err("must exceed limit");
     assert!(matches!(err, SgxError::OutOfEpc { .. }));
     // Dropping the first enclave frees its pages; creation now succeeds.
     drop(_a);
@@ -56,7 +58,9 @@ fn epc_hard_limit_fails_creation_but_platform_survives() {
 #[test]
 fn epc_soft_budget_triggers_paging_penalty() {
     let p = Platform::builder().epc_budget(16 * 1024).build();
-    let _big = p.create_enclave("big", 64 * 1024).expect("soft budget only");
+    let _big = p
+        .create_enclave("big", 64 * 1024)
+        .expect("soft budget only");
     let before = p.stats().cycles_charged();
     p.costs().charge_copy(4096);
     let paged = p.stats().cycles_charged() - before;
@@ -73,8 +77,14 @@ fn epc_soft_budget_triggers_paging_penalty() {
 
 #[test]
 fn cross_platform_attestation_is_refused() {
-    let p1 = Platform::builder().seed(1).cost_model(CostModel::zero()).build();
-    let p2 = Platform::builder().seed(2).cost_model(CostModel::zero()).build();
+    let p1 = Platform::builder()
+        .seed(1)
+        .cost_model(CostModel::zero())
+        .build();
+    let p2 = Platform::builder()
+        .seed(2)
+        .cost_model(CostModel::zero())
+        .build();
     let a = p1.create_enclave("a", 0).expect("epc");
     let b = p2.create_enclave("b", 0).expect("epc");
     assert_eq!(
@@ -100,7 +110,10 @@ fn malicious_runtime_injection_is_rejected_by_channel() {
         a.send_node(node).expect("room");
         match b.try_recv(&mut [0u8; 256]) {
             Err(ChannelError::Tampered) => {}
-            other => panic!("junk of {} bytes must be rejected, got {other:?}", junk.len()),
+            other => panic!(
+                "junk of {} bytes must be rejected, got {other:?}",
+                junk.len()
+            ),
         }
     }
 
@@ -161,7 +174,10 @@ fn pos_image_corruption_never_yields_wrong_data() {
         entries: 16,
         payload: 128,
         stacks: 2,
-        encryption: Some(pos::PosEncryption { key: SessionKey::derive(&[5]), costs: costs.clone() }),
+        encryption: Some(pos::PosEncryption {
+            key: SessionKey::derive(&[5]),
+            costs: costs.clone(),
+        }),
     });
     let r = store.register_reader();
     store.set(&r, b"account", b"1000").expect("room");
@@ -169,7 +185,13 @@ fn pos_image_corruption_never_yields_wrong_data() {
     // Flip a byte somewhere in the payload region.
     let idx = image.len() / 2;
     image[idx] ^= 0x20;
-    match PosStore::from_image(&image, Some(pos::PosEncryption { key: SessionKey::derive(&[5]), costs })) {
+    match PosStore::from_image(
+        &image,
+        Some(pos::PosEncryption {
+            key: SessionKey::derive(&[5]),
+            costs,
+        }),
+    ) {
         Err(_) => {} // rejected outright: fine
         Ok(reopened) => {
             let r = reopened.register_reader();
@@ -188,7 +210,11 @@ fn worker_survives_actor_that_parks_immediately() {
     let p = platform();
     let mut b = eactors::DeploymentBuilder::new();
     use eactors::prelude::*;
-    let dead = b.actor("dead", Placement::Untrusted, eactors::from_fn(|_| Control::Park));
+    let dead = b.actor(
+        "dead",
+        Placement::Untrusted,
+        eactors::from_fn(|_| Control::Park),
+    );
     let mut n = 0;
     let alive = b.actor(
         "alive",
@@ -203,7 +229,9 @@ fn worker_survives_actor_that_parks_immediately() {
         }),
     );
     b.worker(&[dead, alive]);
-    let report = Runtime::start(&p, b.build().expect("valid")).expect("start").join();
+    let report = Runtime::start(&p, b.build().expect("valid"))
+        .expect("start")
+        .join();
     let alive_runs = report.workers[0]
         .executions
         .iter()

@@ -1,10 +1,13 @@
-//! Property-based tests over the core invariants: the messaging
-//! substrate never loses or duplicates nodes, the object store is a map
-//! with newest-wins semantics under arbitrary operation sequences, crypto
-//! and stanza codecs round-trip arbitrary inputs, and the secure-sum
-//! protocol equals the plain sum for arbitrary configurations.
-
-use proptest::prelude::*;
+//! Randomised-but-deterministic tests over the core invariants: the
+//! messaging substrate never loses or duplicates nodes, the object store
+//! is a map with newest-wins semantics under arbitrary operation
+//! sequences, crypto and stanza codecs round-trip arbitrary inputs, and
+//! the secure-sum protocol equals the plain sum for arbitrary
+//! configurations.
+//!
+//! Each test drives a fixed number of cases from a seeded SplitMix64
+//! generator, so failures reproduce exactly without an external
+//! property-testing framework.
 
 use eactors::arena::{Arena, Mbox};
 use eactors::channel::ChannelPair;
@@ -13,23 +16,59 @@ use sgx_sim::crypto::{SessionCipher, SessionKey};
 use sgx_sim::{CostModel, Platform};
 
 fn costs() -> sgx_sim::CostHandle {
-    Platform::builder().cost_model(CostModel::zero()).build().costs()
+    Platform::builder()
+        .cost_model(CostModel::zero())
+        .build()
+        .costs()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// Deterministic PRNG (SplitMix64) for generating test cases.
+struct Gen(u64);
 
-    /// Any interleaving of pops, sends and recvs conserves nodes: at the
-    /// end, free + queued = capacity and every queued payload is intact.
-    #[test]
-    fn mbox_conserves_nodes(ops in prop::collection::vec(0u8..3, 1..200), capacity in 1u32..32) {
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+
+    fn ascii(&mut self, alphabet: &[u8], len: usize) -> String {
+        (0..len)
+            .map(|_| alphabet[self.range(0, alphabet.len() as u64) as usize] as char)
+            .collect()
+    }
+}
+
+/// Any interleaving of pops, sends and recvs conserves nodes: at the
+/// end, free + queued = capacity and every queued payload is intact.
+#[test]
+fn mbox_conserves_nodes() {
+    let mut g = Gen::new(0x4D42_0001);
+    for _case in 0..64 {
+        let capacity = g.range(1, 32) as u32;
+        let n_ops = g.range(1, 200) as usize;
         let arena = Arena::new("prop", capacity, 16);
         let mbox = Mbox::new(arena.clone(), capacity as usize);
         let mut held = Vec::new();
         let mut queued = std::collections::VecDeque::new();
         let mut counter = 0u64;
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match g.range(0, 3) {
                 0 => {
                     if let Some(mut node) = arena.try_pop() {
                         node.write(&counter.to_le_bytes());
@@ -50,26 +89,28 @@ proptest! {
                         let expected = queued.pop_front().expect("recv implies queued");
                         let mut b = [0u8; 8];
                         b.copy_from_slice(node.bytes());
-                        prop_assert_eq!(u64::from_le_bytes(b), expected);
+                        assert_eq!(u64::from_le_bytes(b), expected);
                     }
                 }
             }
         }
         let outstanding = held.len() + queued.len();
-        prop_assert_eq!(arena.free_nodes() + outstanding, capacity as usize);
+        assert_eq!(arena.free_nodes() + outstanding, capacity as usize);
         drop(held);
         while mbox.recv().is_some() {}
-        prop_assert_eq!(arena.free_nodes(), capacity as usize);
+        assert_eq!(arena.free_nodes(), capacity as usize);
     }
+}
 
-    /// The POS behaves as a map with newest-wins semantics under any
-    /// sequence of set/delete/clean, for keys drawn from a small pool
-    /// (maximising version shadowing and hash collisions).
-    #[test]
-    fn pos_matches_model_map(
-        ops in prop::collection::vec((0u8..3, 0usize..6, 0u32..1000), 1..120),
-        stacks in 1u32..8,
-    ) {
+/// The POS behaves as a map with newest-wins semantics under any
+/// sequence of set/delete/clean, for keys drawn from a small pool
+/// (maximising version shadowing and hash collisions).
+#[test]
+fn pos_matches_model_map() {
+    let mut g = Gen::new(0x505_0002);
+    for _case in 0..64 {
+        let stacks = g.range(1, 8) as u32;
+        let n_ops = g.range(1, 120) as usize;
         let store = PosStore::new(PosConfig {
             entries: 512,
             payload: 64,
@@ -78,65 +119,85 @@ proptest! {
         });
         let reader = store.register_reader();
         let mut model: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
-        for (op, key_idx, value) in ops {
+        for _ in 0..n_ops {
+            let op = g.range(0, 3);
+            let key_idx = g.range(0, 6) as usize;
+            let value = g.range(0, 1000) as u32;
             let key = format!("key-{key_idx}");
             match op {
-                0 => {
-                    match store.set(&reader, key.as_bytes(), &value.to_le_bytes()) {
-                        Ok(()) => { model.insert(key_idx, value); }
-                        Err(PosError::Full) => { store.clean_to_quiescence(); }
-                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                0 => match store.set(&reader, key.as_bytes(), &value.to_le_bytes()) {
+                    Ok(()) => {
+                        model.insert(key_idx, value);
                     }
-                }
+                    Err(PosError::Full) => {
+                        store.clean_to_quiescence();
+                    }
+                    Err(e) => panic!("unexpected pos error: {e}"),
+                },
                 1 => {
                     store.delete(&reader, key.as_bytes()).ok();
                     model.remove(&key_idx);
                 }
-                _ => { store.clean(); }
+                _ => {
+                    store.clean();
+                }
             }
             // Verify the full model after every step.
             for idx in 0..6usize {
                 let key = format!("key-{idx}");
                 let mut buf = [0u8; 8];
-                let got = store.get(&reader, key.as_bytes(), &mut buf).expect("get ok");
+                let got = store
+                    .get(&reader, key.as_bytes(), &mut buf)
+                    .expect("get ok");
                 match model.get(&idx) {
                     Some(&v) => {
-                        prop_assert_eq!(got, Some(4));
-                        prop_assert_eq!(u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]), v);
+                        assert_eq!(got, Some(4));
+                        assert_eq!(u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]), v);
                     }
-                    None => prop_assert_eq!(got, None),
+                    None => assert_eq!(got, None),
                 }
             }
         }
     }
+}
 
-    /// Cipher round-trip for arbitrary payloads and keys; tampering any
-    /// byte is always detected.
-    #[test]
-    fn cipher_round_trip_and_tamper(
-        payload in prop::collection::vec(any::<u8>(), 0..512),
-        key_parts in prop::collection::vec(any::<u64>(), 1..4),
-        flip in any::<usize>(),
-    ) {
+/// Cipher round-trip for arbitrary payloads and keys; tampering any
+/// byte is always detected.
+#[test]
+fn cipher_round_trip_and_tamper() {
+    let mut g = Gen::new(0xC1F3_0003);
+    for _case in 0..64 {
+        let len = g.range(0, 512) as usize;
+        let payload = g.bytes(len);
+        let key_parts: Vec<u64> = (0..g.range(1, 4)).map(|_| g.next_u64()).collect();
+        let flip = g.next_u64() as usize;
+
         let cipher = SessionCipher::new(SessionKey::derive(&key_parts), costs());
         let mut sealed = vec![0u8; SessionCipher::sealed_len(payload.len())];
         let n = cipher.seal(&payload, &mut sealed).expect("sized");
         let mut out = vec![0u8; payload.len()];
         let m = cipher.open(&sealed[..n], &mut out).expect("authentic");
-        prop_assert_eq!(&out[..m], &payload[..]);
+        assert_eq!(&out[..m], &payload[..]);
 
         let mut tampered = sealed.clone();
         tampered[flip % n] ^= 1 + (flip % 255) as u8;
-        prop_assert!(cipher.open(&tampered[..n], &mut out).is_err());
+        assert!(cipher.open(&tampered[..n], &mut out).is_err());
     }
+}
 
-    /// Channel transport (plain and encrypted) delivers arbitrary
-    /// messages verbatim and in order.
-    #[test]
-    fn channel_delivers_in_order(
-        messages in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..100), 1..16),
-        encrypted in any::<bool>(),
-    ) {
+/// Channel transport (plain and encrypted) delivers arbitrary
+/// messages verbatim and in order.
+#[test]
+fn channel_delivers_in_order() {
+    let mut g = Gen::new(0xC4A7_0004);
+    for case in 0..64 {
+        let messages: Vec<Vec<u8>> = (0..g.range(1, 16))
+            .map(|_| {
+                let len = g.range(0, 100) as usize;
+                g.bytes(len)
+            })
+            .collect();
+        let encrypted = case % 2 == 0;
         let arena = Arena::new("prop", 32, 160);
         let (mut a, mut b) = if encrypted {
             ChannelPair::encrypted(0, arena, &SessionKey::derive(&[1]), costs()).into_ends()
@@ -148,27 +209,25 @@ proptest! {
         }
         for msg in &messages {
             let got = b.recv_vec().expect("authentic").expect("present");
-            prop_assert_eq!(&got, msg);
+            assert_eq!(&got, msg);
         }
-        prop_assert!(b.recv_vec().expect("ok").is_none());
+        assert!(b.recv_vec().expect("ok").is_none());
     }
+}
 
-    /// Secure sum equals the plain reference for arbitrary ring sizes,
-    /// dimensions and seeds, in both deployments and both cases.
-    #[test]
-    fn secure_sum_equals_reference(
-        parties in 2usize..6,
-        dim in 1usize..40,
-        seed in any::<u64>(),
-        dynamic in any::<bool>(),
-    ) {
+/// Secure sum equals the plain reference for arbitrary ring sizes,
+/// dimensions and seeds, in both deployments and both cases.
+#[test]
+fn secure_sum_equals_reference() {
+    let mut g = Gen::new(0x53C5_0005);
+    for case in 0..16 {
         let config = smc::SmcConfig {
-            parties,
-            dim,
-            dynamic,
+            parties: g.range(2, 6) as usize,
+            dim: g.range(1, 40) as usize,
+            dynamic: case % 2 == 0,
             rounds: 3,
             verify: true, // panics internally on divergence
-            seed,
+            seed: g.next_u64(),
             ..smc::SmcConfig::default()
         };
         let p = Platform::builder().cost_model(CostModel::zero()).build();
@@ -176,35 +235,54 @@ proptest! {
         let p = Platform::builder().cost_model(CostModel::zero()).build();
         smc::run_ea(&p, &config).expect("ea runs");
     }
+}
 
-    /// Stanza serialisation round-trips arbitrary attribute content.
-    #[test]
-    fn stanza_round_trips(to in "[a-z0-9@.-]{1,20}", from in "[a-z0-9]{1,10}", body in ".{0,100}") {
-        use xmpp::stanza::Stanza;
+/// Stanza serialisation round-trips arbitrary attribute content.
+#[test]
+fn stanza_round_trips() {
+    use xmpp::stanza::Stanza;
+    let mut g = Gen::new(0x57A7_0006);
+    for _case in 0..64 {
+        let to_len = g.range(1, 21) as usize;
+        let to = g.ascii(b"abcdefghijklmnopqrstuvwxyz0123456789@.-", to_len);
+        let from_len = g.range(1, 11) as usize;
+        let from = g.ascii(b"abcdefghijklmnopqrstuvwxyz0123456789", from_len);
+        // Bodies exercise the full printable range plus XML specials.
+        let body_len = g.range(0, 100) as usize;
+        let body = g.ascii(b"abcXYZ012 <>&\"'#;[]{}()!?.,:/\\=+-_~^%$", body_len);
         let stanza = Stanza::Message { to, from, body };
         let xml = stanza.to_xml();
-        prop_assert_eq!(Stanza::parse(&xml).expect("own output parses"), stanza);
+        assert_eq!(Stanza::parse(&xml).expect("own output parses"), stanza);
     }
+}
 
-    /// Sealing binds to identity: the same enclave identity on the same
-    /// platform recovers the data, arbitrary other identities never do.
-    #[test]
-    fn sealing_binds_identity(data in prop::collection::vec(any::<u8>(), 1..64), other in "[a-z]{1,8}") {
-        use sgx_sim::seal;
+/// Sealing binds to identity: the same enclave identity on the same
+/// platform recovers the data, arbitrary other identities never do.
+#[test]
+fn sealing_binds_identity() {
+    let mut g = Gen::new(0x5EA1_0007);
+    for _case in 0..32 {
+        let data_len = g.range(1, 64) as usize;
+        let data = g.bytes(data_len);
+        let other_len = g.range(1, 9) as usize;
+        let other = g.ascii(b"abcdefghijklmnopqrstuvwxyz", other_len);
+
         let p = Platform::builder().cost_model(CostModel::zero()).build();
         let original = p.create_enclave("sealer", 0).expect("epc");
-        let mut blob = vec![0u8; seal::sealed_len(data.len())];
-        original.ecall(|| seal::seal_data(&original, &data, &mut blob).expect("inside"));
+        let mut blob = vec![0u8; sgx_sim::seal::sealed_len(data.len())];
+        original.ecall(|| sgx_sim::seal::seal_data(&original, &data, &mut blob).expect("inside"));
 
         let same = p.create_enclave("sealer", 0).expect("epc");
         let mut out = vec![0u8; data.len()];
-        let n = same.ecall(|| seal::unseal_data(&same, &blob, &mut out).expect("same identity"));
-        prop_assert_eq!(&out[..n], &data[..]);
+        let n = same
+            .ecall(|| sgx_sim::seal::unseal_data(&same, &blob, &mut out).expect("same identity"));
+        assert_eq!(&out[..n], &data[..]);
 
         if other != "sealer" {
             let different = p.create_enclave(&other, 0).expect("epc");
-            let result = different.ecall(|| seal::unseal_data(&different, &blob, &mut out));
-            prop_assert!(result.is_err());
+            let result =
+                different.ecall(|| sgx_sim::seal::unseal_data(&different, &blob, &mut out));
+            assert!(result.is_err());
         }
     }
 }

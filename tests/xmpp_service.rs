@@ -26,7 +26,12 @@ struct RawClient {
 }
 
 impl RawClient {
-    fn connect(net: Arc<dyn NetBackend>, costs: &sgx_sim::CostHandle, port: u16, user: &str) -> Self {
+    fn connect(
+        net: Arc<dyn NetBackend>,
+        costs: &sgx_sim::CostHandle,
+        port: u16,
+        user: &str,
+    ) -> Self {
         let socket = loop {
             match net.connect(port) {
                 Ok(s) => break s,
@@ -35,7 +40,12 @@ impl RawClient {
         };
         let mut out = Vec::new();
         encode_frame(
-            Stanza::Stream { from: user.into(), to: "srv".into() }.to_xml().as_bytes(),
+            Stanza::Stream {
+                from: user.into(),
+                to: "srv".into(),
+            }
+            .to_xml()
+            .as_bytes(),
             &mut out,
         );
         net.send(socket, &out).expect("connected");
@@ -48,7 +58,10 @@ impl RawClient {
         // Wait for the plaintext stream-ok.
         let frame = client.next_frame_raw();
         let xml = String::from_utf8(frame).expect("plaintext handshake");
-        assert!(matches!(Stanza::parse(&xml), Ok(Stanza::StreamOk { .. })), "got {xml}");
+        assert!(
+            matches!(Stanza::parse(&xml), Ok(Stanza::StreamOk { .. })),
+            "got {xml}"
+        );
         client
     }
 
@@ -72,7 +85,10 @@ impl RawClient {
         encode_frame(&sealed, &mut out);
         let mut sent = 0;
         while sent < out.len() {
-            sent += self.net.send(self.socket, &out[sent..]).expect("socket open");
+            sent += self
+                .net
+                .send(self.socket, &out[sent..])
+                .expect("socket open");
         }
     }
 
@@ -91,7 +107,15 @@ impl RawClient {
 fn o2o_message_content_and_sender_are_preserved() {
     let p = platform();
     let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
-    let svc = start_service(&p, net.clone(), &XmppConfig { instances: 2, ..XmppConfig::default() }).unwrap();
+    let svc = start_service(
+        &p,
+        net.clone(),
+        &XmppConfig {
+            instances: 2,
+            ..XmppConfig::default()
+        },
+    )
+    .unwrap();
 
     let mut alice = RawClient::connect(net.clone(), &p.costs(), 5222, "alice");
     let mut bob = RawClient::connect(net.clone(), &p.costs(), 5222, "bob");
@@ -154,12 +178,19 @@ fn offline_recipients_do_not_crash_and_presence_is_updated_on_disconnect() {
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     loop {
         use std::sync::atomic::Ordering;
-        alice.send(&Stanza::Message { to: "bob".into(), from: String::new(), body: "hi".into() });
+        alice.send(&Stanza::Message {
+            to: "bob".into(),
+            from: String::new(),
+            body: "hi".into(),
+        });
         std::thread::sleep(Duration::from_millis(20));
         if svc.stats.offline_drops.load(Ordering::Relaxed) > 0 {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "disconnect never registered");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "disconnect never registered"
+        );
     }
     alice.close();
     svc.shutdown();
@@ -172,7 +203,10 @@ fn group_membership_churn() {
     let svc = start_service(
         &p,
         net.clone(),
-        &XmppConfig { assignment: Assignment::ByRoomTag, ..XmppConfig::default() },
+        &XmppConfig {
+            assignment: Assignment::ByRoomTag,
+            ..XmppConfig::default()
+        },
     )
     .unwrap();
 
@@ -185,7 +219,11 @@ fn group_membership_churn() {
     }
 
     // All three receive a's message (including the sender).
-    a.send(&Stanza::Message { to: Stanza::room_address("tea"), from: String::new(), body: "hi".into() });
+    a.send(&Stanza::Message {
+        to: Stanza::room_address("tea"),
+        from: String::new(),
+        body: "hi".into(),
+    });
     for m in [&mut a, &mut b, &mut c] {
         match m.recv() {
             Stanza::Message { from, body, .. } => {
@@ -199,7 +237,11 @@ fn group_membership_churn() {
     // c leaves (disconnects); subsequent messages reach only a and b.
     c.close();
     std::thread::sleep(Duration::from_millis(50));
-    b.send(&Stanza::Message { to: Stanza::room_address("tea"), from: String::new(), body: "round2".into() });
+    b.send(&Stanza::Message {
+        to: Stanza::room_address("tea"),
+        from: String::new(),
+        body: "round2".into(),
+    });
     for m in [&mut a, &mut b] {
         match m.recv() {
             Stanza::Message { body, .. } => assert_eq!(body, "round2"),
@@ -217,10 +259,17 @@ fn iq_ping_answered() {
     let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
     let svc = start_service(&p, net.clone(), &XmppConfig::default()).unwrap();
     let mut alice = RawClient::connect(net.clone(), &p.costs(), 5222, "alice");
-    alice.send(&Stanza::Iq { id: "7".into(), kind: "get".into(), query: "ping".into() });
+    alice.send(&Stanza::Iq {
+        id: "7".into(),
+        kind: "get".into(),
+        query: "ping".into(),
+    });
     match alice.recv() {
         Stanza::Iq { id, kind, query } => {
-            assert_eq!((id.as_str(), kind.as_str(), query.as_str()), ("7", "result", "ping"));
+            assert_eq!(
+                (id.as_str(), kind.as_str(), query.as_str()),
+                ("7", "result", "ping")
+            );
         }
         other => panic!("expected iq result, got {other:?}"),
     }
@@ -236,7 +285,11 @@ fn all_three_servers_agree_on_protocol_semantics() {
         Ea,
         Baseline(BaselineKind),
     }
-    for target in [Target::Ea, Target::Baseline(BaselineKind::Jabberd2), Target::Baseline(BaselineKind::Ejabberd)] {
+    for target in [
+        Target::Ea,
+        Target::Baseline(BaselineKind::Jabberd2),
+        Target::Baseline(BaselineKind::Ejabberd),
+    ] {
         let p = platform();
         let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
         enum Running {
@@ -244,17 +297,26 @@ fn all_three_servers_agree_on_protocol_semantics() {
             Base(BaselineServer),
         }
         let server = match target {
-            Target::Ea => Running::Svc(start_service(&p, net.clone(), &XmppConfig::default()).unwrap()),
+            Target::Ea => {
+                Running::Svc(start_service(&p, net.clone(), &XmppConfig::default()).unwrap())
+            }
             Target::Baseline(kind) => Running::Base(BaselineServer::start(
                 net.clone(),
                 p.costs(),
-                BaselineConfig { kind, ..BaselineConfig::default() },
+                BaselineConfig {
+                    kind,
+                    ..BaselineConfig::default()
+                },
             )),
         };
 
         let mut x = RawClient::connect(net.clone(), &p.costs(), 5222, "x");
         let mut y = RawClient::connect(net.clone(), &p.costs(), 5222, "y");
-        x.send(&Stanza::Message { to: "y".into(), from: String::new(), body: "m1".into() });
+        x.send(&Stanza::Message {
+            to: "y".into(),
+            from: String::new(),
+            body: "m1".into(),
+        });
         match y.recv() {
             Stanza::Message { from, body, .. } => {
                 assert_eq!(from, "x");
@@ -264,7 +326,11 @@ fn all_three_servers_agree_on_protocol_semantics() {
         }
         x.send(&Stanza::Join { room: "r".into() });
         assert!(matches!(x.recv(), Stanza::Joined { .. }));
-        x.send(&Stanza::Message { to: Stanza::room_address("r"), from: String::new(), body: "g".into() });
+        x.send(&Stanza::Message {
+            to: Stanza::room_address("r"),
+            from: String::new(),
+            body: "g".into(),
+        });
         match x.recv() {
             Stanza::Message { body, .. } => assert_eq!(body, "g"),
             other => panic!("expected reflected room message, got {other:?}"),
