@@ -47,6 +47,9 @@ pub enum NetError {
     WouldBlock,
     /// An OS-level error from the real-socket backend.
     Io(std::io::Error),
+    /// A scripted failure from a fault-injection plan fired at the named
+    /// failpoint site (simulation backend only).
+    Injected(&'static str),
 }
 
 impl fmt::Display for NetError {
@@ -60,6 +63,7 @@ impl fmt::Display for NetError {
             NetError::BadSocket => write!(f, "unknown or closed socket"),
             NetError::WouldBlock => write!(f, "operation would block"),
             NetError::Io(e) => write!(f, "socket i/o error: {e}"),
+            NetError::Injected(site) => write!(f, "fault injected at {site}"),
         }
     }
 }

@@ -50,7 +50,7 @@ pub use actors::{
 pub use backend::{ListenerId, NetBackend, NetError, RecvOutcome, SocketId};
 pub use dir::{MboxDirectory, MboxRef};
 pub use msg::{NetMsg, DATA_HEADER};
-pub use sim::{SimNet, DEFAULT_SOCKET_BUFFER};
+pub use sim::{failpoints, SimNet, DEFAULT_SOCKET_BUFFER};
 pub use tcp::TcpLoopback;
 
 #[cfg(test)]

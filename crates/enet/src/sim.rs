@@ -12,12 +12,24 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sgx_sim::sync::Mutex;
-use sgx_sim::{current_domain, CostHandle};
+use sgx_sim::{current_domain, CostHandle, FaultPlan};
 
 use crate::backend::{ListenerId, NetBackend, NetError, RecvOutcome, SocketId};
 
 /// Default per-socket receive buffer (matches a typical kernel default).
 pub const DEFAULT_SOCKET_BUFFER: usize = 64 * 1024;
+
+/// Failpoint site names consulted by [`SimNet`] when built
+/// [`SimNet::with_faults`]. Arm them on a [`FaultPlan`] to script network
+/// failures: refused connections and sockets dropped mid-stream.
+pub mod failpoints {
+    /// `connect` is refused even though a listener exists.
+    pub const SIM_CONNECT: &str = "enet.sim.connect";
+    /// `send` drops the socket pair (connection reset).
+    pub const SIM_SEND: &str = "enet.sim.send";
+    /// `recv` drops the socket pair (connection reset).
+    pub const SIM_RECV: &str = "enet.sim.recv";
+}
 
 #[derive(Debug)]
 struct SocketState {
@@ -62,6 +74,7 @@ pub struct SimNet {
 struct SimNetInner {
     costs: CostHandle,
     buffer_size: usize,
+    faults: FaultPlan,
     next_id: AtomicU64,
     listeners: Mutex<HashMap<u64, ListenerState>>,
     ports: Mutex<HashMap<u16, u64>>,
@@ -76,15 +89,38 @@ impl SimNet {
 
     /// A network with a custom per-socket receive buffer size.
     pub fn with_buffer_size(costs: CostHandle, buffer_size: usize) -> Self {
+        Self::build(costs, buffer_size, FaultPlan::default())
+    }
+
+    /// A network consulting `faults` (typically `platform.faults()`) at
+    /// the [`failpoints`] sites, so tests can script refused connections
+    /// and dropped sockets deterministically.
+    pub fn with_faults(costs: CostHandle, faults: FaultPlan) -> Self {
+        Self::build(costs, DEFAULT_SOCKET_BUFFER, faults)
+    }
+
+    fn build(costs: CostHandle, buffer_size: usize, faults: FaultPlan) -> Self {
         SimNet {
             inner: Arc::new(SimNetInner {
                 costs,
                 buffer_size,
+                faults,
                 next_id: AtomicU64::new(1),
                 listeners: Mutex::new(HashMap::new()),
                 ports: Mutex::new(HashMap::new()),
                 sockets: Mutex::new(HashMap::new()),
             }),
+        }
+    }
+
+    /// Tear down a socket pair as a connection reset would: the socket
+    /// vanishes, the peer sees EOF after draining.
+    fn drop_socket(&self, socket: u64) {
+        let mut sockets = self.inner.sockets.lock();
+        if let Some(s) = sockets.remove(&socket) {
+            if let Some(peer) = sockets.get_mut(&s.peer) {
+                peer.peer_closed = true;
+            }
         }
     }
 
@@ -124,6 +160,9 @@ impl NetBackend for SimNet {
 
     fn connect(&self, port: u16) -> Result<SocketId, NetError> {
         self.syscall()?;
+        if self.inner.faults.should_fail(failpoints::SIM_CONNECT) {
+            return Err(NetError::Injected(failpoints::SIM_CONNECT));
+        }
         let listener = *self
             .inner
             .ports
@@ -175,6 +214,10 @@ impl NetBackend for SimNet {
 
     fn send(&self, socket: SocketId, data: &[u8]) -> Result<usize, NetError> {
         self.syscall()?;
+        if self.inner.faults.should_fail(failpoints::SIM_SEND) {
+            self.drop_socket(socket.0);
+            return Err(NetError::Injected(failpoints::SIM_SEND));
+        }
         let mut sockets = self.inner.sockets.lock();
         let peer_id = {
             let s = sockets.get(&socket.0).ok_or(NetError::BadSocket)?;
@@ -200,6 +243,10 @@ impl NetBackend for SimNet {
 
     fn recv(&self, socket: SocketId, buf: &mut [u8]) -> Result<RecvOutcome, NetError> {
         self.syscall()?;
+        if self.inner.faults.should_fail(failpoints::SIM_RECV) {
+            self.drop_socket(socket.0);
+            return Err(NetError::Injected(failpoints::SIM_RECV));
+        }
         let mut sockets = self.inner.sockets.lock();
         let s = sockets.get_mut(&socket.0).ok_or(NetError::BadSocket)?;
         if s.closed {
@@ -364,6 +411,77 @@ mod tests {
             n.close_listener(ListenerId(999)),
             Err(NetError::BadSocket)
         ));
+    }
+
+    #[test]
+    fn injected_send_fault_drops_the_socket() {
+        use sgx_sim::FaultPlan;
+        let plan = FaultPlan::new();
+        let n = SimNet::with_faults(
+            Platform::builder()
+                .cost_model(CostModel::zero())
+                .build()
+                .costs(),
+            plan.clone(),
+        );
+        let l = n.listen(80).unwrap();
+        let c = n.connect(80).unwrap();
+        let s = n.accept(l).unwrap().unwrap();
+        plan.fail_nth(failpoints::SIM_SEND, 2);
+        assert_eq!(n.send(c, b"ok").unwrap(), 2);
+        assert!(matches!(
+            n.send(c, b"boom"),
+            Err(NetError::Injected(failpoints::SIM_SEND))
+        ));
+        // The socket is gone; the peer drains then sees EOF.
+        assert!(matches!(n.send(c, b"x"), Err(NetError::BadSocket)));
+        let mut buf = [0u8; 8];
+        assert_eq!(n.recv(s, &mut buf).unwrap(), RecvOutcome::Data(2));
+        assert_eq!(n.recv(s, &mut buf).unwrap(), RecvOutcome::Eof);
+        assert_eq!(plan.trips(failpoints::SIM_SEND), 1);
+    }
+
+    #[test]
+    fn injected_connect_fault_refuses_once_then_recovers() {
+        use sgx_sim::FaultPlan;
+        let plan = FaultPlan::new();
+        let n = SimNet::with_faults(
+            Platform::builder()
+                .cost_model(CostModel::zero())
+                .build()
+                .costs(),
+            plan.clone(),
+        );
+        n.listen(80).unwrap();
+        plan.fail_nth(failpoints::SIM_CONNECT, 1);
+        assert!(matches!(
+            n.connect(80),
+            Err(NetError::Injected(failpoints::SIM_CONNECT))
+        ));
+        n.connect(80).unwrap();
+    }
+
+    #[test]
+    fn injected_recv_fault_resets_the_connection() {
+        use sgx_sim::FaultPlan;
+        let plan = FaultPlan::new();
+        let n = SimNet::with_faults(
+            Platform::builder()
+                .cost_model(CostModel::zero())
+                .build()
+                .costs(),
+            plan.clone(),
+        );
+        let l = n.listen(80).unwrap();
+        let c = n.connect(80).unwrap();
+        let _s = n.accept(l).unwrap().unwrap();
+        plan.fail_nth(failpoints::SIM_RECV, 1);
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            n.recv(c, &mut buf),
+            Err(NetError::Injected(failpoints::SIM_RECV))
+        ));
+        assert!(matches!(n.recv(c, &mut buf), Err(NetError::BadSocket)));
     }
 
     #[test]

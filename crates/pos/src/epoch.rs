@@ -35,6 +35,12 @@ impl EpochState {
         self.epoch.fetch_add(1, Ordering::SeqCst) + 1
     }
 
+    /// Set the epoch directly (image restore — O(1) even for epochs near
+    /// `u64::MAX`; no reader can be pinned during reconstruction).
+    pub(crate) fn restore(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::SeqCst);
+    }
+
     /// Register a new reader slot.
     pub(crate) fn register(&self) -> Arc<AtomicU64> {
         let slot = Arc::new(AtomicU64::new(QUIESCENT));
@@ -147,5 +153,13 @@ mod tests {
         assert_eq!(s.current(), 0);
         assert_eq!(s.advance(), 1);
         assert_eq!(s.current(), 1);
+    }
+
+    #[test]
+    fn restore_sets_epoch_directly() {
+        let s = EpochState::default();
+        s.restore(u64::MAX - 1);
+        assert_eq!(s.current(), u64::MAX - 1);
+        assert!(s.safe_to_free(u64::MAX - 2));
     }
 }

@@ -45,8 +45,9 @@ mod syncer;
 pub use cleaner::Cleaner;
 pub use epoch::ReaderHandle;
 pub use error::PosError;
+pub use persist::{crc64, failpoints, DEFAULT_RESTORE_BUDGET};
 pub use store::{PosConfig, PosEncryption, PosStore};
-pub use syncer::Syncer;
+pub use syncer::{Syncer, MAX_BACKOFF_PASSES};
 
 #[cfg(test)]
 mod tests {
@@ -275,7 +276,7 @@ mod tests {
     }
 
     #[test]
-    fn reopen_with_wrong_key_fails_on_get() {
+    fn reopen_with_wrong_key_is_rejected_at_restore() {
         let costs = Platform::builder()
             .cost_model(CostModel::zero())
             .build()
@@ -292,22 +293,19 @@ mod tests {
         let r = s.register_reader();
         s.set(&r, b"k", b"v").unwrap();
         let image = s.to_image();
-        let s2 = PosStore::from_image(
-            &image,
-            Some(PosEncryption {
-                key: SessionKey::derive(&[2]),
-                costs,
-            }),
-        )
-        .unwrap();
-        let r2 = s2.register_reader();
-        let mut buf = [0u8; 16];
-        // Wrong key: the digest differs, so the key simply isn't found
-        // (or decryption fails) — never the wrong plaintext.
-        match s2.get(&r2, b"k", &mut buf) {
-            Ok(None) | Err(PosError::Crypto(_)) => {}
-            other => panic!("unexpected: {other:?}"),
-        }
+        // Wrong key: the keyed superblock tag cannot be reproduced, so
+        // the image is rejected before any field is trusted — the store
+        // never opens with data it cannot authenticate.
+        assert!(matches!(
+            PosStore::from_image(
+                &image,
+                Some(PosEncryption {
+                    key: SessionKey::derive(&[2]),
+                    costs,
+                }),
+            ),
+            Err(PosError::Corrupt("superblock authentication failed"))
+        ));
     }
 
     #[test]

@@ -5,19 +5,110 @@
 //! dependency budget we simulate the same life cycle with an explicit
 //! binary image: [`PosStore::persist`] is the `sync`, [`PosStore::open`]
 //! is the boot-time mapping. The on-disk layout mirrors Figure 4:
-//! superblock (magic, version, geometry, epoch), sealed keys, stack
-//! heads, entry headers, payload region, and the retired list.
+//! superblock (magic, version, flags, geometry, epoch), sealed keys,
+//! stack heads, entry headers, payload region, and the retired list.
+//!
+//! # Durability and trust
+//!
+//! The image file lives on host-controlled storage, so persistence treats
+//! it as adversarial input:
+//!
+//! * **Atomic replace** — [`PosStore::persist`] writes `<path>.tmp`,
+//!   fsyncs, then renames over the target, so a crash at any point leaves
+//!   either the old or the new image, never a torn mix.
+//! * **Tamper evidence** — V2 images end in a CRC64 over the whole image;
+//!   encrypted stores additionally carry a keyed authentication tag over
+//!   the superblock. [`PosStore::from_image`] verifies both before
+//!   trusting any field.
+//! * **Adversarial restore** — geometry is validated against the image
+//!   length and a configurable memory budget before any allocation, and
+//!   all lists are walked with cycle/bounds checks (see
+//!   `PosStore::validate_restored`).
+//! * **Fault injection** — [`PosStore::persist_with`] consults named
+//!   failpoints (see [`failpoints`]) on a [`sgx_sim::FaultPlan`], so
+//!   tests can kill the write at every step and prove recovery.
+//!
+//! V1 images (pre-checksum) remain readable; they get the same structural
+//! validation but carry no integrity trailer.
 
 use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use sgx_sim::FaultPlan;
+
 use crate::error::PosError;
 use crate::store::{state, PosConfig, PosEncryption, PosStore, Retired, NIL};
 
 const MAGIC: u64 = 0x4541_504F_5356_3031; // "EAPOSV01"
-const VERSION: u32 = 1;
+/// Current image version: checksummed, atomically replaced.
+const VERSION: u32 = 2;
+/// Legacy version: no flags byte, no integrity trailer.
+const VERSION_V1: u32 = 1;
+/// Superblock flag: payloads are sealed and a keyed tag follows the
+/// retired list.
+const FLAG_ENCRYPTED: u8 = 1;
+/// Serialised bytes per entry header (next, state, khash, klen, vlen).
+const HEADER_BYTES: u64 = 21;
+
+/// Default cap on the memory a restored store may allocate (1 GiB).
+///
+/// [`PosStore::from_image`] rejects images whose declared geometry needs
+/// more; use [`PosStore::from_image_with_budget`] to override.
+pub const DEFAULT_RESTORE_BUDGET: u64 = 1 << 30;
+
+/// Failpoint site names consulted by [`PosStore::persist_with`].
+///
+/// Arm them on a [`sgx_sim::FaultPlan`] to simulate a host crash at each
+/// step of the sync: tmp-file creation, a torn mid-image write, the
+/// fsync, or the final rename.
+pub mod failpoints {
+    /// Creating `<path>.tmp` fails.
+    pub const PERSIST_CREATE: &str = "pos.persist.create";
+    /// The image write tears halfway through (partial tmp file remains).
+    pub const PERSIST_WRITE: &str = "pos.persist.write";
+    /// The fsync of the tmp file fails.
+    pub const PERSIST_SYNC: &str = "pos.persist.sync";
+    /// The rename over the target fails (tmp file remains, target keeps
+    /// the old image).
+    pub const PERSIST_RENAME: &str = "pos.persist.rename";
+}
+
+/// CRC64 (ECMA-182, reflected) lookup table, built at compile time.
+const CRC64_TABLE: [u64; 256] = {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xC96C_5795_D787_0F42
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC64 (ECMA-182, reflected) of `data` — the checksum sealed into V2
+/// store images. Exposed so tools and tests can re-frame tampered images.
+pub fn crc64(data: &[u8]) -> u64 {
+    let mut crc = !0u64;
+    for &b in data {
+        crc = CRC64_TABLE[((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+fn injected(site: &'static str) -> PosError {
+    PosError::Io(std::io::Error::other(format!("fault injected at {site}")))
+}
 
 struct Cursor<'a> {
     data: &'a [u8],
@@ -26,11 +117,15 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], PosError> {
-        if self.pos + n > self.data.len() {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(PosError::Corrupt("length overflow"))?;
+        if end > self.data.len() {
             return Err(PosError::Corrupt("image truncated"));
         }
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.data[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
@@ -52,7 +147,8 @@ impl<'a> Cursor<'a> {
 }
 
 impl PosStore {
-    /// Serialise the whole store into a byte image.
+    /// Serialise the whole store into a V2 byte image (checksummed, and
+    /// tagged when the store is encrypted).
     pub fn to_image(&self) -> Vec<u8> {
         let entries = self.capacity();
         let payload = self.payload_size();
@@ -63,12 +159,14 @@ impl PosStore {
         out.extend_from_slice(&entries.to_le_bytes());
         out.extend_from_slice(&(payload as u64).to_le_bytes());
         out.extend_from_slice(&(stacks.len() as u32).to_le_bytes());
+        out.push(if self.encrypted() { FLAG_ENCRYPTED } else { 0 });
         out.extend_from_slice(&self.epochs.current().to_le_bytes());
         out.extend_from_slice(&self.free_head_word().to_le_bytes());
         out.extend_from_slice(&self.free_entries().to_le_bytes());
         let sealed = self.sealed_keys();
         out.extend_from_slice(&(sealed.len() as u32).to_le_bytes());
         out.extend_from_slice(&sealed);
+        let superblock_end = out.len();
         for h in stacks {
             out.extend_from_slice(&h.load(Ordering::Acquire).to_le_bytes());
         }
@@ -83,17 +181,29 @@ impl PosStore {
         for i in 0..entries {
             out.extend_from_slice(self.raw_payload(i));
         }
-        let retired = self.retired.lock();
-        out.extend_from_slice(&(retired.len() as u32).to_le_bytes());
-        for r in retired.iter() {
-            out.extend_from_slice(&r.idx.to_le_bytes());
-            out.extend_from_slice(&r.epoch.to_le_bytes());
-            out.push(r.unlinked as u8);
+        {
+            let retired = self.retired.lock();
+            out.extend_from_slice(&(retired.len() as u32).to_le_bytes());
+            for r in retired.iter() {
+                out.extend_from_slice(&r.idx.to_le_bytes());
+                out.extend_from_slice(&r.epoch.to_le_bytes());
+                out.push(r.unlinked as u8);
+            }
         }
+        if let Some(tag) = self.superblock_tag(&out[..superblock_end]) {
+            out.extend_from_slice(&tag.to_le_bytes());
+        }
+        let crc = crc64(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
         out
     }
 
     /// Write the store image to `path` (the paper's occasional `sync`).
+    ///
+    /// Crash-consistent: the image goes to `<path>.tmp` first, is fsynced,
+    /// and is renamed over the target only once fully durable. A crash at
+    /// any point leaves `path` holding either the previous image or the
+    /// new one, never a torn mix.
     ///
     /// Quiesce writers first for a consistent image; concurrent readers
     /// are harmless.
@@ -102,14 +212,55 @@ impl PosStore {
     ///
     /// [`PosError::Io`] on filesystem failure.
     pub fn persist(&self, path: impl AsRef<Path>) -> Result<(), PosError> {
+        self.persist_with(path, &FaultPlan::default())
+    }
+
+    /// [`PosStore::persist`] with failpoints: each step consults `faults`
+    /// (see [`failpoints`]) so tests can kill the sync mid-flight.
+    ///
+    /// # Errors
+    ///
+    /// [`PosError::Io`] on filesystem failure or an injected fault.
+    pub fn persist_with(&self, path: impl AsRef<Path>, faults: &FaultPlan) -> Result<(), PosError> {
+        let path = path.as_ref();
         let image = self.to_image();
-        let mut f = std::fs::File::create(path)?;
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+
+        if faults.should_fail(failpoints::PERSIST_CREATE) {
+            return Err(injected(failpoints::PERSIST_CREATE));
+        }
+        let mut f = std::fs::File::create(&tmp)?;
+        if faults.should_fail(failpoints::PERSIST_WRITE) {
+            // Simulate a crash mid-write: half the image reaches the tmp
+            // file, the target is untouched.
+            f.write_all(&image[..image.len() / 2])?;
+            let _ = f.sync_all();
+            return Err(injected(failpoints::PERSIST_WRITE));
+        }
         f.write_all(&image)?;
+        if faults.should_fail(failpoints::PERSIST_SYNC) {
+            return Err(injected(failpoints::PERSIST_SYNC));
+        }
         f.sync_all()?;
+        drop(f);
+        if faults.should_fail(failpoints::PERSIST_RENAME) {
+            return Err(injected(failpoints::PERSIST_RENAME));
+        }
+        std::fs::rename(&tmp, path)?;
+        // Make the rename itself durable (best effort — some filesystems
+        // do not support fsync on directories).
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
         Ok(())
     }
 
-    /// Reconstruct a store from a byte image.
+    /// Reconstruct a store from a byte image with the default
+    /// [`DEFAULT_RESTORE_BUDGET`] memory cap.
     ///
     /// `encryption` must match what the store was created with (pass the
     /// key recovered from the sealed-keys blob). After a reboot no
@@ -117,32 +268,113 @@ impl PosStore {
     ///
     /// # Errors
     ///
-    /// [`PosError::Corrupt`] on a malformed image.
+    /// [`PosError::Corrupt`] on a malformed, truncated, tampered or
+    /// oversized image.
     pub fn from_image(
         image: &[u8],
         encryption: Option<PosEncryption>,
     ) -> Result<Arc<Self>, PosError> {
-        let mut c = Cursor {
+        Self::from_image_with_budget(image, encryption, DEFAULT_RESTORE_BUDGET)
+    }
+
+    /// [`PosStore::from_image`] with an explicit memory budget: images
+    /// whose declared geometry would allocate more than `budget` bytes
+    /// are rejected as [`PosError::Corrupt`] before any allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`PosError::Corrupt`] on a malformed, truncated, tampered or
+    /// over-budget image.
+    pub fn from_image_with_budget(
+        image: &[u8],
+        encryption: Option<PosEncryption>,
+        budget: u64,
+    ) -> Result<Arc<Self>, PosError> {
+        let mut head = Cursor {
             data: image,
             pos: 0,
         };
-        if c.u64()? != MAGIC {
+        if head.u64()? != MAGIC {
             return Err(PosError::Corrupt("bad magic"));
         }
-        if c.u32()? != VERSION {
-            return Err(PosError::Corrupt("unsupported version"));
-        }
+        let version = head.u32()?;
+        // Everything before the integrity trailer (V1 has no trailer).
+        let body = match version {
+            VERSION_V1 => image,
+            VERSION => {
+                let crc_at = image
+                    .len()
+                    .checked_sub(8)
+                    .filter(|&at| at >= head.pos)
+                    .ok_or(PosError::Corrupt("image truncated"))?;
+                let mut stored = [0u8; 8];
+                stored.copy_from_slice(&image[crc_at..]);
+                if crc64(&image[..crc_at]) != u64::from_le_bytes(stored) {
+                    return Err(PosError::Corrupt("checksum mismatch"));
+                }
+                &image[..crc_at]
+            }
+            _ => return Err(PosError::Corrupt("unsupported version")),
+        };
+        let mut c = Cursor {
+            data: body,
+            pos: head.pos,
+        };
         let entries = c.u32()?;
         let payload = c.u64()? as usize;
         let stacks = c.u32()?;
+        let flags = if version >= VERSION {
+            let flags = c.u8()?;
+            if flags & !FLAG_ENCRYPTED != 0 {
+                return Err(PosError::Corrupt("unknown flags"));
+            }
+            if (flags & FLAG_ENCRYPTED != 0) != encryption.is_some() {
+                return Err(PosError::Corrupt(if flags & FLAG_ENCRYPTED != 0 {
+                    "image is encrypted but no key was supplied"
+                } else {
+                    "key supplied for a plaintext image"
+                }));
+            }
+            flags
+        } else if encryption.is_some() {
+            FLAG_ENCRYPTED
+        } else {
+            0
+        };
         if entries == 0 || payload == 0 || stacks == 0 {
             return Err(PosError::Corrupt("zero geometry"));
+        }
+        if entries == u32::MAX {
+            return Err(PosError::Corrupt("entry count out of range"));
         }
         let epoch = c.u64()?;
         let free_head = c.u64()?;
         let free_count = c.u64()?;
         let sealed_len = c.u32()? as usize;
+
+        // Validate the declared geometry against what the image actually
+        // contains and the memory budget *before* allocating anything, so
+        // an inflated header cannot OOM the restore.
+        let payload_region = (entries as u64)
+            .checked_mul(payload as u64)
+            .ok_or(PosError::Corrupt("geometry overflow"))?;
+        let declared = (sealed_len as u64)
+            .checked_add(stacks as u64 * 4)
+            .and_then(|n| n.checked_add(entries as u64 * HEADER_BYTES))
+            .and_then(|n| n.checked_add(payload_region))
+            .and_then(|n| n.checked_add(4)) // retired-list length field
+            .ok_or(PosError::Corrupt("geometry overflow"))?;
+        let remaining = (body.len() - c.pos) as u64;
+        if declared > remaining {
+            return Err(PosError::Corrupt("geometry exceeds image size"));
+        }
+        let header_mem = entries as u64 * std::mem::size_of::<crate::store::EntryHeader>() as u64;
+        if payload_region.saturating_add(header_mem) > budget {
+            return Err(PosError::Corrupt("geometry exceeds restore budget"));
+        }
+
         let sealed = c.take(sealed_len)?.to_vec();
+        let superblock_end = c.pos;
 
         let store = PosStore::new(PosConfig {
             entries,
@@ -151,15 +383,21 @@ impl PosStore {
             encryption,
         });
         store.set_sealed_keys(&sealed);
-        for _ in 0..epoch {
-            store.epochs.advance();
-        }
+        store.epochs.restore(epoch);
         for head in store.stack_heads() {
-            head.store(c.u32()?, Ordering::Release);
+            let idx = c.u32()?;
+            if idx != NIL && idx >= entries {
+                return Err(PosError::Corrupt("stack head out of range"));
+            }
+            head.store(idx, Ordering::Release);
         }
         for i in 0..entries {
             let h = store.header(i);
-            h.next.store(c.u32()?, Ordering::Release);
+            let next = c.u32()?;
+            if next != NIL && next >= entries {
+                return Err(PosError::Corrupt("entry link out of range"));
+            }
+            h.next.store(next, Ordering::Release);
             let st = c.u8()?;
             if st > state::UNLINKED {
                 return Err(PosError::Corrupt("bad entry state"));
@@ -173,13 +411,25 @@ impl PosStore {
             let src = c.take(payload)?;
             store.load_payload(i, src);
         }
+        if (free_head as u32) != NIL && (free_head as u32) >= entries {
+            return Err(PosError::Corrupt("free head out of range"));
+        }
+        if free_count > entries as u64 {
+            return Err(PosError::Corrupt("free count exceeds capacity"));
+        }
         store.restore_free_head(free_head, free_count);
         let n_retired = c.u32()? as usize;
-        let mut retired = Vec::with_capacity(n_retired);
+        let mut retired = Vec::new();
+        let mut seen = vec![false; entries as usize];
+        // `n_retired` is untrusted, but each record consumes 13 bytes
+        // from the cursor, so the loop is bounded by the image length.
         for _ in 0..n_retired {
             let idx = c.u32()?;
-            if idx >= entries && idx != NIL {
+            if idx >= entries {
                 return Err(PosError::Corrupt("retired index out of range"));
+            }
+            if std::mem::replace(&mut seen[idx as usize], true) {
+                return Err(PosError::Corrupt("duplicate retired entry"));
             }
             retired.push(Retired {
                 idx,
@@ -188,6 +438,17 @@ impl PosStore {
             });
         }
         *store.retired.lock() = retired;
+        if flags & FLAG_ENCRYPTED != 0 && version >= VERSION {
+            let tag = c.u64()?;
+            match store.superblock_tag(&body[..superblock_end]) {
+                Some(expect) if expect == tag => {}
+                _ => return Err(PosError::Corrupt("superblock authentication failed")),
+            }
+        }
+        if c.pos != body.len() {
+            return Err(PosError::Corrupt("trailing bytes after image"));
+        }
+        store.validate_restored()?;
         // Fresh boot: no readers can be pinned, reclaim everything now.
         store.clean_to_quiescence();
         Ok(store)
@@ -203,8 +464,22 @@ impl PosStore {
         path: impl AsRef<Path>,
         encryption: Option<PosEncryption>,
     ) -> Result<Arc<Self>, PosError> {
+        Self::open_with_budget(path, encryption, DEFAULT_RESTORE_BUDGET)
+    }
+
+    /// [`PosStore::open`] with an explicit restore memory budget.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PosStore::from_image_with_budget`], plus
+    /// [`PosError::Io`] on filesystem failure.
+    pub fn open_with_budget(
+        path: impl AsRef<Path>,
+        encryption: Option<PosEncryption>,
+        budget: u64,
+    ) -> Result<Arc<Self>, PosError> {
         let mut data = Vec::new();
         std::fs::File::open(path)?.read_to_end(&mut data)?;
-        Self::from_image(&data, encryption)
+        Self::from_image_with_budget(&data, encryption, budget)
     }
 }

@@ -745,6 +745,76 @@ impl PosStore {
         self.free_count.store(count, Ordering::Release);
     }
 
+    /// Keyed authentication tag over the image superblock (encrypted
+    /// stores only — the "AEAD tag" of the durability model).
+    pub(crate) fn superblock_tag(&self, superblock: &[u8]) -> Option<u64> {
+        self.cipher.as_ref().map(|c| c.det_digest(superblock))
+    }
+
+    /// Structural validation of a just-restored store (image restore
+    /// only; single-threaded, runs before the store is shared).
+    ///
+    /// The image comes from host-controlled storage, so every list it
+    /// encodes is walked defensively: indices must be in range, chains
+    /// must terminate (a crafted cycle would otherwise hang `get`), and
+    /// the lengths of live entries must fit the payload region (an
+    /// oversized `klen`/`vlen` would otherwise panic `read_entry`).
+    /// Logical tearing from a concurrently-mutating snapshot is repaired
+    /// where safe (the free count is recomputed from the walk) rather
+    /// than rejected, since `persist` may legitimately race writers.
+    pub(crate) fn validate_restored(&self) -> Result<(), PosError> {
+        let entries = self.config_entries as usize;
+        // Free list: bounded walk, in-range, acyclic; the counter is
+        // recomputed from the walk.
+        let mut on_free_list = vec![false; entries];
+        let mut idx = self.free_head.load(Ordering::Acquire) as u32;
+        let mut free_walk = 0u64;
+        while idx != NIL {
+            let i = idx as usize;
+            if i >= entries {
+                return Err(PosError::Corrupt("free-list index out of range"));
+            }
+            if std::mem::replace(&mut on_free_list[i], true) {
+                return Err(PosError::Corrupt("free list is cyclic"));
+            }
+            free_walk += 1;
+            idx = self.headers[i].next.load(Ordering::Acquire);
+        }
+        self.free_count.store(free_walk, Ordering::Release);
+        // Stacks: bounded walks; live entries must have sane lengths.
+        for head in self.stack_heads.iter() {
+            let mut idx = head.load(Ordering::Acquire);
+            let mut steps = 0usize;
+            while idx != NIL {
+                let i = idx as usize;
+                if i >= entries {
+                    return Err(PosError::Corrupt("stack index out of range"));
+                }
+                steps += 1;
+                if steps > entries {
+                    return Err(PosError::Corrupt("stack chain is cyclic"));
+                }
+                let h = &self.headers[i];
+                let st = h.state.load(Ordering::Acquire);
+                if st == state::VALID || st == state::OUTDATED {
+                    let klen = h.klen.load(Ordering::Relaxed) as usize;
+                    if klen > self.payload_size {
+                        return Err(PosError::Corrupt("entry key length exceeds payload"));
+                    }
+                    let vlen_meta = h.vlen.load(Ordering::Relaxed);
+                    if self.cipher.is_none()
+                        && vlen_meta != TOMBSTONE
+                        && klen + vlen_meta as usize > self.payload_size
+                    {
+                        return Err(PosError::Corrupt("entry value length exceeds payload"));
+                    }
+                }
+                idx = h.next.load(Ordering::Acquire);
+            }
+        }
+        Ok(())
+    }
+
     /// Bytes of memory the store occupies (for EPC/host accounting).
     pub fn memory_bytes(&self) -> u64 {
         (self.config_entries as usize * (self.payload_size + std::mem::size_of::<EntryHeader>()))

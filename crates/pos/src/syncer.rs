@@ -7,14 +7,37 @@
 //! (§4.1). The [`Syncer`] is that eactor: it periodically writes every
 //! registered store's image to its file, charging the syscall cost —
 //! enclaved actors never touch the filesystem.
+//!
+//! Failure handling: a store whose persist fails does **not** abort the
+//! pass — the remaining stores are still written. The failed store backs
+//! off (its retry is skipped for a doubling number of passes, capped at
+//! [`MAX_BACKOFF_PASSES`]) so a persistently broken path cannot hog the
+//! pass with syscalls, then is retried. The Syncer consults the
+//! platform's [`FaultPlan`] when one is attached, so crash tests can
+//! inject failures at every persist step.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use eactors::actor::{Actor, Control, Ctx};
+use sgx_sim::FaultPlan;
 
 use crate::store::PosStore;
+
+/// Upper bound on a failed store's backoff, in sync passes.
+pub const MAX_BACKOFF_PASSES: u64 = 8;
+
+#[derive(Debug)]
+struct StoreSlot {
+    store: Arc<PosStore>,
+    path: PathBuf,
+    /// Passes to skip before the next retry (0 = attempt now).
+    skip: u64,
+    /// Backoff applied on the next failure; doubles per consecutive
+    /// failure, capped at [`MAX_BACKOFF_PASSES`].
+    penalty: u64,
+}
 
 /// Periodically persists registered stores (run it untrusted).
 ///
@@ -31,9 +54,10 @@ use crate::store::PosStore;
 /// ```
 #[derive(Debug)]
 pub struct Syncer {
-    stores: Vec<(Arc<PosStore>, PathBuf)>,
+    slots: Vec<StoreSlot>,
     interval: u64,
     countdown: u64,
+    faults: FaultPlan,
     syncs: Arc<AtomicU64>,
     failures: Arc<AtomicU64>,
 }
@@ -44,15 +68,32 @@ impl Syncer {
     pub fn new(stores: Vec<(Arc<PosStore>, PathBuf)>, interval: u64) -> Self {
         let interval = interval.max(1);
         Syncer {
-            stores,
+            slots: stores
+                .into_iter()
+                .map(|(store, path)| StoreSlot {
+                    store,
+                    path,
+                    skip: 0,
+                    penalty: 1,
+                })
+                .collect(),
             interval,
             countdown: interval,
+            faults: FaultPlan::default(),
             syncs: Arc::new(AtomicU64::new(0)),
             failures: Arc::new(AtomicU64::new(0)),
         }
     }
 
-    /// Shared counter of completed sync passes (all stores written).
+    /// Thread a fault-injection plan through every persist (typically
+    /// `platform.faults()`), enabling the `pos.persist.*` failpoints.
+    pub fn with_fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Shared counter of clean sync passes (every store attempted and
+    /// written; passes with failures or backed-off stores don't count).
     pub fn syncs(&self) -> Arc<AtomicU64> {
         self.syncs.clone()
     }
@@ -74,17 +115,29 @@ impl Actor for Syncer {
             !ctx.domain().is_trusted(),
             "the Syncer performs system calls and must run untrusted"
         );
-        for (store, path) in &self.stores {
+        let mut all_ok = true;
+        for slot in &mut self.slots {
+            if slot.skip > 0 {
+                slot.skip -= 1;
+                all_ok = false;
+                continue;
+            }
             ctx.costs().charge_syscall(); // the sync(2)-style call
-            match store.persist(path) {
-                Ok(()) => {}
+            match slot.store.persist_with(&slot.path, &self.faults) {
+                Ok(()) => {
+                    slot.penalty = 1;
+                }
                 Err(_) => {
                     self.failures.fetch_add(1, Ordering::Relaxed);
-                    return Control::Idle;
+                    slot.skip = slot.penalty;
+                    slot.penalty = (slot.penalty * 2).min(MAX_BACKOFF_PASSES);
+                    all_ok = false;
                 }
             }
         }
-        self.syncs.fetch_add(1, Ordering::Relaxed);
+        if all_ok {
+            self.syncs.fetch_add(1, Ordering::Relaxed);
+        }
         Control::Busy
     }
 }
@@ -96,17 +149,21 @@ mod tests {
     use eactors::prelude::*;
     use sgx_sim::{CostModel, Platform};
 
+    fn small_store() -> Arc<PosStore> {
+        PosStore::new(PosConfig {
+            entries: 32,
+            payload: 64,
+            stacks: 4,
+            encryption: None,
+        })
+    }
+
     #[test]
     fn syncer_persists_live_updates_from_an_enclaved_writer() {
         let dir = std::env::temp_dir().join(format!("syncer-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("live.pos");
-        let store = PosStore::new(PosConfig {
-            entries: 32,
-            payload: 64,
-            stacks: 4,
-            encryption: None,
-        });
+        let store = small_store();
 
         let platform = Platform::builder().cost_model(CostModel::zero()).build();
         let mut b = DeploymentBuilder::new();
@@ -186,5 +243,104 @@ mod tests {
             .unwrap()
             .join();
         assert!(failures.load(Ordering::Relaxed) >= 3);
+    }
+
+    #[test]
+    fn one_failing_store_does_not_starve_the_others() {
+        let dir = std::env::temp_dir().join(format!("syncer-multi-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good_path = dir.join("good.pos");
+        std::fs::remove_file(&good_path).ok();
+        let bad = PosStore::new(PosConfig::default());
+        let good = small_store();
+        let r = good.register_reader();
+        good.set(&r, b"k", b"v").unwrap();
+
+        let platform = Platform::builder().cost_model(CostModel::zero()).build();
+        let mut b = DeploymentBuilder::new();
+        // The failing store is registered FIRST: pre-fix, its failure
+        // aborted the pass and the good store was never written.
+        let syncer = Syncer::new(
+            vec![
+                (bad, PathBuf::from("/nonexistent-dir-zzz/bad.pos")),
+                (good.clone(), good_path.clone()),
+            ],
+            1,
+        );
+        let failures = syncer.failures();
+        let s = b.actor("syncer", Placement::Untrusted, syncer);
+        let failures2 = failures.clone();
+        let probe_path = good_path.clone();
+        let stopper = b.actor(
+            "stopper",
+            Placement::Untrusted,
+            eactors::from_fn(move |ctx| {
+                if failures2.load(Ordering::Relaxed) >= 2 && probe_path.exists() {
+                    ctx.shutdown();
+                    Control::Park
+                } else {
+                    Control::Idle
+                }
+            }),
+        );
+        b.worker(&[s, stopper]);
+        Runtime::start(&platform, b.build().unwrap())
+            .unwrap()
+            .join();
+
+        let reopened = PosStore::open(&good_path, None).unwrap();
+        let r = reopened.register_reader();
+        let mut buf = [0u8; 8];
+        assert_eq!(reopened.get(&r, b"k", &mut buf).unwrap(), Some(1));
+        assert!(failures.load(Ordering::Relaxed) >= 2);
+        std::fs::remove_file(&good_path).ok();
+    }
+
+    #[test]
+    fn injected_persist_fault_recovers_on_retry() {
+        let dir = std::env::temp_dir().join(format!("syncer-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("faulty.pos");
+        std::fs::remove_file(&path).ok();
+        let store = small_store();
+        let r = store.register_reader();
+        store.set(&r, b"k", b"v").unwrap();
+
+        let plan = FaultPlan::new();
+        plan.fail_nth(crate::persist::failpoints::PERSIST_RENAME, 1);
+        let platform = Platform::builder()
+            .cost_model(CostModel::zero())
+            .fault_plan(plan.clone())
+            .build();
+        let mut b = DeploymentBuilder::new();
+        let syncer = Syncer::new(vec![(store, path.clone())], 1).with_fault_plan(platform.faults());
+        let failures = syncer.failures();
+        let syncs = syncer.syncs();
+        let s = b.actor("syncer", Placement::Untrusted, syncer);
+        let syncs2 = syncs.clone();
+        let stopper = b.actor(
+            "stopper",
+            Placement::Untrusted,
+            eactors::from_fn(move |ctx| {
+                if syncs2.load(Ordering::Relaxed) >= 1 {
+                    ctx.shutdown();
+                    Control::Park
+                } else {
+                    Control::Idle
+                }
+            }),
+        );
+        b.worker(&[s, stopper]);
+        Runtime::start(&platform, b.build().unwrap())
+            .unwrap()
+            .join();
+
+        assert_eq!(failures.load(Ordering::Relaxed), 1, "one injected failure");
+        assert_eq!(plan.trips(crate::persist::failpoints::PERSIST_RENAME), 1);
+        let reopened = PosStore::open(&path, None).unwrap();
+        let r = reopened.register_reader();
+        let mut buf = [0u8; 8];
+        assert_eq!(reopened.get(&r, b"k", &mut buf).unwrap(), Some(1));
+        std::fs::remove_file(&path).ok();
     }
 }

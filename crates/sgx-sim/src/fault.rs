@@ -1,0 +1,310 @@
+//! Deterministic fault injection: named failpoints for crash testing.
+//!
+//! In the SGX threat model the host owns every resource outside the
+//! enclave — disks tear writes, renames never happen, sockets vanish.
+//! A [`FaultPlan`] lets tests script those failures deterministically:
+//! code consults a failpoint by *site name* (e.g. `pos.persist.rename`)
+//! right before the fallible operation, and the plan decides whether the
+//! simulated host "crashes" there. Triggers are either exact (fail the
+//! nth hit, fail every nth hit, fail always) or probabilistic with a
+//! seeded PRNG, so every run is reproducible.
+//!
+//! The plan is cheap to clone (all clones share state) and is carried by
+//! [`crate::Platform`] so one plan governs every subsystem of a test —
+//! the POS syncer, the simulated network, and anything else that adopts
+//! the convention.
+//!
+//! # Examples
+//!
+//! ```
+//! use sgx_sim::FaultPlan;
+//!
+//! let plan = FaultPlan::new();
+//! plan.fail_nth("demo.write", 2);
+//! assert!(!plan.should_fail("demo.write")); // first hit passes
+//! assert!(plan.should_fail("demo.write")); // second hit trips
+//! assert!(!plan.should_fail("demo.write")); // one-shot: disarmed again
+//! assert_eq!(plan.hits("demo.write"), 3);
+//! assert_eq!(plan.trips("demo.write"), 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::crypto::mix64;
+use crate::sync::Mutex;
+
+/// Firing rule of one failpoint site.
+#[derive(Debug, Clone, Copy)]
+enum Trigger {
+    /// Never fires (site only counts hits).
+    Disarmed,
+    /// Fires exactly once, on the nth hit (1-based).
+    Nth(u64),
+    /// Fires on every nth hit (n, 2n, 3n, ...).
+    EveryNth(u64),
+    /// Fires on every hit.
+    Always,
+    /// Fires with probability `threshold / 2^64` per hit, drawn from a
+    /// seeded deterministic PRNG.
+    Probability { threshold: u64, state: u64 },
+}
+
+#[derive(Debug, Default)]
+struct Site {
+    trigger: Option<Trigger>,
+    hits: u64,
+    trips: u64,
+}
+
+impl Site {
+    fn evaluate(&mut self) -> bool {
+        self.hits += 1;
+        let fire = match &mut self.trigger {
+            None | Some(Trigger::Disarmed) => false,
+            Some(Trigger::Nth(n)) => {
+                if self.hits == *n {
+                    self.trigger = Some(Trigger::Disarmed);
+                    true
+                } else {
+                    false
+                }
+            }
+            Some(Trigger::EveryNth(n)) => *n > 0 && self.hits % *n == 0,
+            Some(Trigger::Always) => true,
+            Some(Trigger::Probability { threshold, state }) => {
+                *state = mix64(*state);
+                *state < *threshold
+            }
+        };
+        if fire {
+            self.trips += 1;
+        }
+        fire
+    }
+}
+
+/// A shared, deterministic schedule of injected failures.
+///
+/// Cloning is cheap; all clones observe and mutate the same plan. An
+/// empty (default) plan answers every query with "no fault" on a
+/// lock-free fast path, so production code can consult failpoints
+/// unconditionally.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Set once any site is armed; gates the fast path.
+    active: AtomicBool,
+    sites: Mutex<HashMap<String, Site>>,
+}
+
+impl FaultPlan {
+    /// An empty plan: every failpoint passes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn arm(&self, site: &str, trigger: Trigger) {
+        let mut sites = self.inner.sites.lock();
+        sites.entry(site.to_string()).or_default().trigger = Some(trigger);
+        self.inner.active.store(true, Ordering::Release);
+    }
+
+    /// Fail `site` exactly once, on its nth hit from now (1-based,
+    /// counting hits already recorded).
+    pub fn fail_nth(&self, site: &str, n: u64) {
+        let already = self.hits(site);
+        self.arm(site, Trigger::Nth(already + n.max(1)));
+    }
+
+    /// Fail `site` on every nth hit (n, 2n, ...). `n == 1` fails always.
+    pub fn fail_every(&self, site: &str, n: u64) {
+        self.arm(site, Trigger::EveryNth(n.max(1)));
+    }
+
+    /// Fail `site` on every hit until [`FaultPlan::clear`]ed.
+    pub fn fail_always(&self, site: &str) {
+        self.arm(site, Trigger::Always);
+    }
+
+    /// Fail `site` with probability `p` per hit, drawn from a PRNG seeded
+    /// with `seed` (same seed ⇒ same fault schedule).
+    pub fn fail_with_probability(&self, site: &str, p: f64, seed: u64) {
+        let threshold = if p >= 1.0 {
+            u64::MAX
+        } else if p <= 0.0 {
+            0
+        } else {
+            (p * u64::MAX as f64) as u64
+        };
+        self.arm(
+            site,
+            Trigger::Probability {
+                threshold,
+                state: mix64(seed ^ 0xFA17_FA17_FA17_FA17),
+            },
+        );
+    }
+
+    /// Disarm `site` (hit/trip counters are kept).
+    pub fn clear(&self, site: &str) {
+        if let Some(s) = self.inner.sites.lock().get_mut(site) {
+            s.trigger = None;
+        }
+    }
+
+    /// Disarm every site and forget all counters.
+    pub fn reset(&self) {
+        self.inner.sites.lock().clear();
+        self.inner.active.store(false, Ordering::Release);
+    }
+
+    /// Consult the failpoint named `site`: records a hit and reports
+    /// whether the caller must simulate a failure here.
+    ///
+    /// On an empty plan this is a single atomic load — hits are only
+    /// tracked once any site has been armed.
+    pub fn should_fail(&self, site: &str) -> bool {
+        if !self.inner.active.load(Ordering::Acquire) {
+            return false;
+        }
+        self.inner
+            .sites
+            .lock()
+            .entry(site.to_string())
+            .or_default()
+            .evaluate()
+    }
+
+    /// Times `site` has been consulted (0 while the plan was inactive).
+    pub fn hits(&self, site: &str) -> u64 {
+        self.inner
+            .sites
+            .lock()
+            .get(site)
+            .map(|s| s.hits)
+            .unwrap_or(0)
+    }
+
+    /// Times `site` actually injected a failure.
+    pub fn trips(&self, site: &str) -> u64 {
+        self.inner
+            .sites
+            .lock()
+            .get(site)
+            .map(|s| s.trips)
+            .unwrap_or(0)
+    }
+
+    /// Whether any site is currently armed or was armed since the last
+    /// [`FaultPlan::reset`].
+    pub fn is_active(&self) -> bool {
+        self.inner.active.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fails_and_counts_nothing() {
+        let plan = FaultPlan::new();
+        for _ in 0..10 {
+            assert!(!plan.should_fail("a.site"));
+        }
+        assert_eq!(plan.hits("a.site"), 0);
+        assert!(!plan.is_active());
+    }
+
+    #[test]
+    fn nth_hit_fires_once() {
+        let plan = FaultPlan::new();
+        plan.fail_nth("s", 3);
+        assert!(!plan.should_fail("s"));
+        assert!(!plan.should_fail("s"));
+        assert!(plan.should_fail("s"));
+        assert!(!plan.should_fail("s"));
+        assert_eq!(plan.trips("s"), 1);
+        assert_eq!(plan.hits("s"), 4);
+    }
+
+    #[test]
+    fn nth_counts_from_current_hits() {
+        let plan = FaultPlan::new();
+        plan.fail_always("other"); // activate tracking
+        plan.should_fail("s");
+        plan.should_fail("s");
+        plan.fail_nth("s", 1); // the *next* hit
+        assert!(plan.should_fail("s"));
+    }
+
+    #[test]
+    fn every_nth_repeats() {
+        let plan = FaultPlan::new();
+        plan.fail_every("s", 2);
+        let fired: Vec<bool> = (0..6).map(|_| plan.should_fail("s")).collect();
+        assert_eq!(fired, [false, true, false, true, false, true]);
+        assert_eq!(plan.trips("s"), 3);
+    }
+
+    #[test]
+    fn always_until_cleared() {
+        let plan = FaultPlan::new();
+        plan.fail_always("s");
+        assert!(plan.should_fail("s"));
+        assert!(plan.should_fail("s"));
+        plan.clear("s");
+        assert!(!plan.should_fail("s"));
+        assert_eq!(plan.hits("s"), 3, "hits survive clear");
+    }
+
+    #[test]
+    fn probability_is_deterministic_per_seed() {
+        let a = FaultPlan::new();
+        let b = FaultPlan::new();
+        a.fail_with_probability("s", 0.5, 42);
+        b.fail_with_probability("s", 0.5, 42);
+        let sa: Vec<bool> = (0..64).map(|_| a.should_fail("s")).collect();
+        let sb: Vec<bool> = (0..64).map(|_| b.should_fail("s")).collect();
+        assert_eq!(sa, sb);
+        let fired = sa.iter().filter(|&&f| f).count();
+        assert!(fired > 10 && fired < 54, "p=0.5 should fire ~half: {fired}");
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let plan = FaultPlan::new();
+        plan.fail_with_probability("never", 0.0, 1);
+        plan.fail_with_probability("ever", 1.0, 1);
+        for _ in 0..16 {
+            assert!(!plan.should_fail("never"));
+            assert!(plan.should_fail("ever"));
+        }
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let plan = FaultPlan::new();
+        let clone = plan.clone();
+        clone.fail_nth("s", 1);
+        assert!(plan.should_fail("s"));
+        assert_eq!(clone.trips("s"), 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let plan = FaultPlan::new();
+        plan.fail_always("s");
+        plan.should_fail("s");
+        plan.reset();
+        assert!(!plan.is_active());
+        assert!(!plan.should_fail("s"));
+        assert_eq!(plan.hits("s"), 0);
+    }
+}

@@ -61,6 +61,7 @@ pub mod crypto;
 mod domain;
 mod enclave;
 mod error;
+mod fault;
 mod mutex;
 mod platform;
 mod rng;
@@ -72,6 +73,7 @@ pub use costs::{CostHandle, CostModel};
 pub use domain::{current_domain, switch_domain, Domain, DomainGuard};
 pub use enclave::{Enclave, EnclaveId, Measurement};
 pub use error::SgxError;
+pub use fault::FaultPlan;
 pub use mutex::{SgxMutex, SgxMutexGuard};
 pub use platform::{Platform, PlatformBuilder};
 pub use rng::TrustedRng;

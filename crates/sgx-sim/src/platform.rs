@@ -7,6 +7,7 @@ use crate::costs::{CostHandle, CostModel};
 use crate::crypto::mix64;
 use crate::enclave::{Enclave, EnclaveId};
 use crate::error::SgxError;
+use crate::fault::FaultPlan;
 use crate::stats::StatsSnapshot;
 use crate::DEFAULT_EPC_BYTES;
 
@@ -40,6 +41,7 @@ struct PlatformInner {
     secret: u64,
     next_enclave: AtomicU32,
     epc_hard_limit: u64,
+    faults: FaultPlan,
 }
 
 impl Platform {
@@ -94,6 +96,17 @@ impl Platform {
     pub fn secret(&self) -> u64 {
         self.inner.secret
     }
+
+    /// The platform's fault-injection plan (shared; cheap to clone).
+    ///
+    /// Untrusted-resource simulations (the POS syncer, [`SimNet`]-style
+    /// backends) consult this plan at named failpoints, so a single plan
+    /// scripts host failures across a whole deployment.
+    ///
+    /// [`SimNet`]: https://docs.rs/eactors-net
+    pub fn faults(&self) -> FaultPlan {
+        self.inner.faults.clone()
+    }
 }
 
 /// Builder for [`Platform`]. Obtained from [`Platform::builder`].
@@ -103,6 +116,7 @@ pub struct PlatformBuilder {
     epc_budget: u64,
     epc_hard_limit: u64,
     seed: u64,
+    faults: FaultPlan,
 }
 
 impl Default for PlatformBuilder {
@@ -112,6 +126,7 @@ impl Default for PlatformBuilder {
             epc_budget: DEFAULT_EPC_BYTES,
             epc_hard_limit: u64::MAX,
             seed: 0xEAC7_0125,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -144,6 +159,13 @@ impl PlatformBuilder {
         self
     }
 
+    /// Script host-side failures with `plan` (default: no faults). The
+    /// platform shares the plan, so arming sites after `build` works too.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Build the platform.
     pub fn build(self) -> Platform {
         Platform {
@@ -152,6 +174,7 @@ impl PlatformBuilder {
                 secret: mix64(self.seed ^ 0xC0FF_EE00_DEAD_BEEF),
                 next_enclave: AtomicU32::new(0),
                 epc_hard_limit: self.epc_hard_limit,
+                faults: self.faults,
             }),
         }
     }
@@ -189,6 +212,18 @@ mod tests {
         let _a = p.create_enclave("a", 10_000).unwrap();
         assert!(p.costs().epc_over_budget());
         assert!(p.stats().paging_events() > 0);
+    }
+
+    #[test]
+    fn fault_plan_is_shared_through_the_platform() {
+        let plan = FaultPlan::new();
+        let p = Platform::builder().fault_plan(plan.clone()).build();
+        plan.fail_nth("site", 1);
+        assert!(p.faults().should_fail("site"));
+        assert_eq!(plan.trips("site"), 1);
+        // Default platforms carry an inert plan.
+        let q = Platform::builder().build();
+        assert!(!q.faults().should_fail("site"));
     }
 
     #[test]

@@ -206,6 +206,59 @@ fn pos_image_corruption_never_yields_wrong_data() {
 }
 
 #[test]
+fn platform_fault_plan_reaches_storage_and_network() {
+    use enet::{NetBackend, RecvOutcome, SimNet};
+    use sgx_sim::FaultPlan;
+
+    // One plan, armed before the platform exists, reaches every component
+    // that adopts the platform's faults.
+    let plan = FaultPlan::new();
+    plan.fail_nth(pos::failpoints::PERSIST_RENAME, 1);
+    plan.fail_nth(enet::failpoints::SIM_SEND, 1);
+    let p = Platform::builder()
+        .cost_model(CostModel::zero())
+        .fault_plan(plan.clone())
+        .build();
+
+    // Storage: the first sync dies at the rename, the retry lands.
+    let dir = std::env::temp_dir().join(format!("fi-plat-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join("faulty.pos");
+    let store = PosStore::new(PosConfig {
+        entries: 8,
+        payload: 64,
+        stacks: 2,
+        encryption: None,
+    });
+    let r = store.register_reader();
+    store.set(&r, b"k", b"v").expect("room");
+    assert!(store.persist_with(&path, &p.faults()).is_err());
+    store
+        .persist_with(&path, &p.faults())
+        .expect("fault was one-shot");
+    PosStore::open(&path, None).expect("durable after retry");
+    std::fs::remove_file(&path).ok();
+
+    // Network: the first send hits the injected reset; reconnecting works.
+    let net = SimNet::with_faults(p.costs(), p.faults());
+    let l = net.listen(5).expect("listen");
+    let c = net.connect(5).expect("connect");
+    let s = net.accept(l).expect("ok").expect("pending");
+    assert!(matches!(
+        net.send(c, b"boom"),
+        Err(enet::NetError::Injected(_))
+    ));
+    // The injected reset killed the connection on both sides.
+    let mut buf = [0u8; 8];
+    assert!(matches!(net.recv(s, &mut buf), Ok(RecvOutcome::Eof)));
+    let c2 = net.connect(5).expect("reconnect");
+    assert_eq!(net.send(c2, b"ok").expect("clean"), 2);
+
+    assert_eq!(p.faults().trips(pos::failpoints::PERSIST_RENAME), 1);
+    assert_eq!(p.faults().trips(enet::failpoints::SIM_SEND), 1);
+}
+
+#[test]
 fn worker_survives_actor_that_parks_immediately() {
     let p = platform();
     let mut b = eactors::DeploymentBuilder::new();
