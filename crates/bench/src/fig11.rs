@@ -79,6 +79,27 @@ fn run_native(size: usize, pairs: u64) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
+/// The opaque ping-pong payload as a borrowed wire message: encoding
+/// copies the bytes into the channel node, decoding borrows them back.
+struct Ping<'a>(&'a [u8]);
+
+impl<'m> Wire for Ping<'m> {
+    type View<'a> = Ping<'a>;
+
+    fn encoded_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn encode_into(&self, out: &mut [u8]) -> usize {
+        out[..self.0.len()].copy_from_slice(self.0);
+        self.0.len()
+    }
+
+    fn decode_from(data: &[u8]) -> Option<Ping<'_>> {
+        Some(Ping(data))
+    }
+}
+
 /// One EActors ping-pong measurement; returns seconds.
 fn run_ea(size: usize, pairs: u64, encrypted: bool) -> f64 {
     let platform = Platform::builder().build();
@@ -96,7 +117,6 @@ fn run_ea(size: usize, pairs: u64, encrypted: bool) -> f64 {
     let e2 = b.enclave("pong");
 
     let payload = vec![0xABu8; size];
-    let mut recv_buf = vec![0u8; size + 64];
     let mut remaining = pairs;
     let mut awaiting = false;
     let started = std::sync::Arc::new(std::sync::Mutex::new(None::<Instant>));
@@ -119,7 +139,7 @@ fn run_ea(size: usize, pairs: u64, encrypted: bool) -> f64 {
                     *s = Some(Instant::now());
                 }
                 drop(s);
-                match ctx.channel(0).send(&payload) {
+                match ctx.typed_channel::<Ping>(0).send(&Ping(&payload)) {
                     Ok(()) => {
                         awaiting = true;
                         remaining -= 1;
@@ -128,8 +148,8 @@ fn run_ea(size: usize, pairs: u64, encrypted: bool) -> f64 {
                     Err(_) => Control::Idle,
                 }
             } else {
-                match ctx.channel(0).try_recv(&mut recv_buf) {
-                    Ok(Some(_)) => {
+                match ctx.typed_channel::<Ping>(0).recv(|_| ()) {
+                    Ok(Some(())) => {
                         awaiting = false;
                         Control::Busy
                     }
@@ -138,17 +158,28 @@ fn run_ea(size: usize, pairs: u64, encrypted: bool) -> f64 {
             }
         }),
     );
+    // The echo copies into a reusable scratch buffer (the channel end is
+    // busy during recv), then encodes straight into the reply node: no
+    // allocation per message.
     let mut pong_buf = vec![0u8; size + 64];
     let pong = b.actor(
         "pong",
         Placement::Enclave(e2),
-        eactors::from_fn(move |ctx| match ctx.channel(0).try_recv(&mut pong_buf) {
-            Ok(Some(n)) => {
-                let reply = pong_buf[..n].to_vec();
-                let _ = ctx.channel(0).send(&reply);
-                Control::Busy
+        eactors::from_fn(move |ctx| {
+            let got = {
+                let buf = &mut pong_buf;
+                ctx.typed_channel::<Ping>(0).recv(|m| {
+                    buf[..m.0.len()].copy_from_slice(m.0);
+                    m.0.len()
+                })
+            };
+            match got {
+                Ok(Some(n)) => {
+                    let _ = ctx.typed_channel::<Ping>(0).send(&Ping(&pong_buf[..n]));
+                    Control::Busy
+                }
+                _ => Control::Idle,
             }
-            _ => Control::Idle,
         }),
     );
     b.channel(ping, pong);

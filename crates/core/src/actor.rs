@@ -14,6 +14,7 @@ use sgx_sim::{CostHandle, Domain, Enclave};
 
 use crate::arena::{Arena, Mbox};
 use crate::channel::ChannelEnd;
+use crate::wire::{Port, PortStats, TypedChannelEnd, Wire};
 
 /// Identifier of an actor within a deployment (declaration order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -127,6 +128,8 @@ pub struct Ctx {
     pub(crate) enclave: Option<Enclave>,
     pub(crate) channels: Vec<ChannelEnd>,
     pub(crate) mboxes: Arc<HashMap<String, Arc<Mbox>>>,
+    pub(crate) port_stats: Arc<HashMap<String, Arc<PortStats>>>,
+    pub(crate) port_types: Arc<HashMap<String, &'static str>>,
     pub(crate) arenas: Arc<HashMap<String, Arc<Arena>>>,
     pub(crate) stop: StopToken,
     pub(crate) costs: CostHandle,
@@ -182,6 +185,46 @@ impl Ctx {
     /// A named shared mbox declared in the deployment, if present.
     pub fn mbox(&self, name: &str) -> Option<&Arc<Mbox>> {
         self.mboxes.get(name)
+    }
+
+    /// A typed [`Port`] over a named shared mbox, if declared.
+    ///
+    /// Every port handed out for the same mbox name shares one
+    /// [`PortStats`], so send drops and corrupt frames aggregate per
+    /// mbox across all the actors using it. If the deployment declared
+    /// the mbox as a port of a specific wire type
+    /// ([`crate::config::DeploymentBuilder::port`]), requesting a
+    /// different type panics — a wiring bug best caught loudly.
+    pub fn port<T: Wire + 'static>(&self, name: &str) -> Option<Port<T>> {
+        let mbox = self.mboxes.get(name)?.clone();
+        if let Some(declared) = self.port_types.get(name) {
+            let requested = std::any::type_name::<T>();
+            assert!(
+                *declared == requested,
+                "mbox {name:?} is declared as a port of {declared}, not {requested}"
+            );
+        }
+        let stats = self
+            .port_stats
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| Arc::new(PortStats::default()));
+        Some(Port::with_stats(mbox, stats))
+    }
+
+    /// The shared [`PortStats`] of a named mbox, if declared.
+    pub fn port_stats(&self, name: &str) -> Option<&Arc<PortStats>> {
+        self.port_stats.get(name)
+    }
+
+    /// The typed view of the actor's `slot`-th channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor has no channel in that slot, like
+    /// [`Ctx::channel`].
+    pub fn typed_channel<T: Wire>(&mut self, slot: usize) -> TypedChannelEnd<'_, T> {
+        self.channel(slot).typed()
     }
 
     /// A named shared pool (arena) declared in the deployment, if present.

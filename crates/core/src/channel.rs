@@ -55,6 +55,17 @@ pub struct ChannelEnd {
     rx: Arc<Mbox>,
     tx_cipher: Option<SessionCipher>,
     rx_cipher: Option<SessionCipher>,
+    /// Reusable plaintext buffer for the seal/open step of encrypted
+    /// channels — the single copy on the message path. Grows to the pool
+    /// payload size on first use, then never reallocates.
+    scratch: Vec<u8>,
+    /// Reusable node buffer for [`ChannelEnd::drain`] batches.
+    batch: Vec<Node>,
+    /// Encrypted frames that failed authentication on this endpoint.
+    tampered_frames: u64,
+    /// Authentic frames that failed to decode as their expected
+    /// [`crate::wire::Wire`] type (bumped by the typed layer).
+    corrupt_frames: u64,
 }
 
 impl ChannelEnd {
@@ -135,10 +146,13 @@ impl ChannelEnd {
                         got: buf.len(),
                     });
                 }
-                let n = cipher
-                    .open(node.bytes(), buf)
-                    .map_err(|_| ChannelError::Tampered)?;
-                Ok(Some(n))
+                match cipher.open(node.bytes(), buf) {
+                    Ok(n) => Ok(Some(n)),
+                    Err(_) => {
+                        self.tampered_frames += 1;
+                        Err(ChannelError::Tampered)
+                    }
+                }
             }
             None => {
                 let len = node.len();
@@ -183,8 +197,10 @@ impl ChannelEnd {
     /// this on their high-fan-in mboxes.
     ///
     /// Unlike [`ChannelEnd::try_recv`], an encrypted frame that fails
-    /// authentication is **dropped and draining continues**: one forged
-    /// frame from the untrusted runtime cannot stall the batch. Receivers
+    /// authentication is **counted, dropped, and draining continues**:
+    /// one forged frame from the untrusted runtime cannot stall the
+    /// batch. The count is visible through
+    /// [`ChannelEnd::tampered_frames`] and the worker's report. Receivers
     /// that must observe per-message tamper errors should poll with
     /// `try_recv` instead.
     pub fn drain<F>(&mut self, max: usize, mut f: F) -> usize
@@ -192,27 +208,35 @@ impl ChannelEnd {
         F: FnMut(&[u8]),
     {
         const BATCH: usize = 32;
-        let mut nodes: Vec<Node> = Vec::with_capacity(BATCH.min(max));
-        // One scratch allocation for the whole drain (encrypted only).
-        let mut scratch = match &self.rx_cipher {
-            Some(_) => vec![0u8; self.pool.payload_size()],
-            None => Vec::new(),
-        };
+        if self.rx_cipher.is_some() && self.scratch.len() < self.pool.payload_size() {
+            self.scratch.resize(self.pool.payload_size(), 0);
+        }
+        // Disjoint field borrows: the batch and scratch buffers are
+        // endpoint state, reused across calls so a steady-state drain
+        // performs no allocation.
+        let ChannelEnd {
+            ref rx,
+            ref rx_cipher,
+            ref mut batch,
+            ref mut scratch,
+            ref mut tampered_frames,
+            ..
+        } = *self;
         let mut delivered = 0;
         while delivered < max {
             let want = BATCH.min(max - delivered);
-            if self.rx.recv_batch(&mut nodes, want) == 0 {
+            if rx.recv_batch(batch, want) == 0 {
                 break;
             }
-            for node in nodes.drain(..) {
-                match &self.rx_cipher {
-                    Some(cipher) => {
-                        if let Ok(n) = cipher.open(node.bytes(), &mut scratch) {
+            for node in batch.drain(..) {
+                match rx_cipher {
+                    Some(cipher) => match cipher.open(node.bytes(), scratch) {
+                        Ok(n) => {
                             f(&scratch[..n]);
                             delivered += 1;
                         }
-                        // Tampered: recycle the node, keep draining.
-                    }
+                        Err(_) => *tampered_frames += 1,
+                    },
                     None => {
                         f(node.bytes());
                         delivered += 1;
@@ -221,6 +245,108 @@ impl ChannelEnd {
             }
         }
         delivered
+    }
+
+    /// Send a message of exactly `len` bytes, letting `fill` write it in
+    /// place.
+    ///
+    /// On plaintext channels `fill` writes **directly into the node
+    /// buffer** — no intermediate copy exists anywhere on the path. On
+    /// encrypted channels `fill` writes into the endpoint's reusable
+    /// scratch buffer, which is then sealed into the node: the one copy
+    /// the encrypt path costs. This is the primitive
+    /// [`crate::wire::TypedChannelEnd`] encodes through.
+    ///
+    /// # Errors
+    ///
+    /// The same back-pressure and size errors as [`ChannelEnd::send`].
+    pub fn send_with(
+        &mut self,
+        len: usize,
+        fill: impl FnOnce(&mut [u8]),
+    ) -> Result<(), ChannelError> {
+        if len > self.max_message_len() {
+            return Err(ChannelError::TooLarge {
+                size: len,
+                capacity: self.max_message_len(),
+            });
+        }
+        let mut node = self.pool.try_pop().ok_or(ChannelError::NoFreeNodes)?;
+        match &self.tx_cipher {
+            Some(cipher) => {
+                if self.scratch.len() < len {
+                    self.scratch.resize(len, 0);
+                }
+                fill(&mut self.scratch[..len]);
+                let written = cipher
+                    .seal(&self.scratch[..len], node.buffer_mut())
+                    .expect("capacity checked above");
+                node.set_len(written);
+            }
+            None => {
+                fill(&mut node.buffer_mut()[..len]);
+                node.set_len(len);
+            }
+        }
+        self.tx.send(node).map_err(|_| ChannelError::Full)
+    }
+
+    /// Poll for a message and hand its decoded bytes to `f` in place.
+    ///
+    /// On plaintext channels `f` borrows the node buffer directly; on
+    /// encrypted channels it borrows the endpoint's reusable scratch
+    /// buffer holding the opened plaintext. Either way, no allocation.
+    ///
+    /// Returns `Ok(None)` when nothing is waiting.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Tampered`] if authentication of an encrypted
+    /// message fails (the node is consumed, recycled and counted in
+    /// [`ChannelEnd::tampered_frames`]).
+    pub fn recv_with<R>(&mut self, f: impl FnOnce(&[u8]) -> R) -> Result<Option<R>, ChannelError> {
+        let node = match self.rx.recv() {
+            Some(n) => n,
+            None => return Ok(None),
+        };
+        match &self.rx_cipher {
+            Some(cipher) => {
+                if self.scratch.len() < self.pool.payload_size() {
+                    self.scratch.resize(self.pool.payload_size(), 0);
+                }
+                match cipher.open(node.bytes(), &mut self.scratch) {
+                    Ok(n) => Ok(Some(f(&self.scratch[..n]))),
+                    Err(_) => {
+                        self.tampered_frames += 1;
+                        Err(ChannelError::Tampered)
+                    }
+                }
+            }
+            None => Ok(Some(f(node.bytes()))),
+        }
+    }
+
+    /// View this endpoint through the typed [`crate::wire::Wire`] layer.
+    pub fn typed<T: crate::wire::Wire>(&mut self) -> crate::wire::TypedChannelEnd<'_, T> {
+        crate::wire::TypedChannelEnd::new(self)
+    }
+
+    /// Encrypted frames that failed authentication on this endpoint —
+    /// evidence of tampering by the untrusted runtime or a forging peer.
+    pub fn tampered_frames(&self) -> u64 {
+        self.tampered_frames
+    }
+
+    /// Authentic frames that failed to decode as their declared wire
+    /// type (see [`crate::wire::TypedChannelEnd`]).
+    pub fn corrupt_frames(&self) -> u64 {
+        self.corrupt_frames
+    }
+
+    /// Record a frame that decoded cleanly at the transport layer but was
+    /// rejected by the typed codec above it.
+    pub(crate) fn note_corrupt_frame(&mut self) {
+        self.corrupt_frames += 1;
     }
 
     /// Pop a free node for the zero-copy plaintext path.
@@ -302,23 +428,31 @@ impl ChannelPair {
             }
             None => (None, None, None, None),
         };
+        let end = |pool: Arc<Arena>,
+                   tx: Arc<Mbox>,
+                   rx: Arc<Mbox>,
+                   tx_cipher: Option<SessionCipher>,
+                   rx_cipher: Option<SessionCipher>| ChannelEnd {
+            id: ChannelId(id),
+            pool,
+            tx,
+            rx,
+            tx_cipher,
+            rx_cipher,
+            scratch: Vec::new(),
+            batch: Vec::new(),
+            tampered_frames: 0,
+            corrupt_frames: 0,
+        };
         ChannelPair {
-            a: ChannelEnd {
-                id: ChannelId(id),
-                pool: arena.clone(),
-                tx: ab.clone(),
-                rx: ba.clone(),
-                tx_cipher: a_tx_cipher,
-                rx_cipher: a_rx_cipher,
-            },
-            b: ChannelEnd {
-                id: ChannelId(id),
-                pool: arena,
-                tx: ba,
-                rx: ab,
-                tx_cipher: b_tx_cipher,
-                rx_cipher: b_rx_cipher,
-            },
+            a: end(
+                arena.clone(),
+                ab.clone(),
+                ba.clone(),
+                a_tx_cipher,
+                a_rx_cipher,
+            ),
+            b: end(arena, ba, ab, b_tx_cipher, b_rx_cipher),
         }
     }
 
@@ -484,6 +618,56 @@ mod tests {
         let mut got: Vec<Vec<u8>> = Vec::new();
         assert_eq!(b.drain(100, |m| got.push(m.to_vec())), 2);
         assert_eq!(got, vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn send_with_and_recv_with_round_trip_in_place() {
+        let key = SessionKey::derive(&[7]);
+        for (mut a, mut b) in [
+            ChannelPair::plaintext(0, arena()).into_ends(),
+            ChannelPair::encrypted(0, arena(), &key, costs()).into_ends(),
+        ] {
+            a.send_with(5, |out| out.copy_from_slice(b"hello")).unwrap();
+            let got = b
+                .recv_with(|bytes| bytes.to_vec())
+                .unwrap()
+                .expect("message waiting");
+            assert_eq!(got, b"hello");
+            assert_eq!(b.recv_with(|_| ()).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn send_with_rejects_oversized() {
+        let (mut a, _b) = ChannelPair::plaintext(0, Arena::new("s", 2, 16)).into_ends();
+        assert!(matches!(
+            a.send_with(17, |_| panic!("fill must not run")),
+            Err(ChannelError::TooLarge { size: 17, .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_frames_are_counted() {
+        let key = SessionKey::derive(&[8]);
+        let (a, mut b) = ChannelPair::encrypted(0, arena(), &key, costs()).into_ends();
+        assert_eq!(b.tampered_frames(), 0);
+        let mut forged = a.alloc_node().unwrap();
+        forged.write(&[0u8; 30]);
+        a.send_node(forged).unwrap();
+        let mut buf = [0u8; 256];
+        assert_eq!(b.try_recv(&mut buf), Err(ChannelError::Tampered));
+        assert_eq!(b.tampered_frames(), 1);
+        // drain and recv_with count too.
+        let mut forged = a.alloc_node().unwrap();
+        forged.write(&[0u8; 30]);
+        a.send_node(forged).unwrap();
+        assert_eq!(b.drain(10, |_| panic!("nothing authentic")), 0);
+        assert_eq!(b.tampered_frames(), 2);
+        let mut forged = a.alloc_node().unwrap();
+        forged.write(&[0u8; 30]);
+        a.send_node(forged).unwrap();
+        assert_eq!(b.recv_with(|_| ()), Err(ChannelError::Tampered));
+        assert_eq!(b.tampered_frames(), 3);
     }
 
     #[test]

@@ -173,6 +173,9 @@ pub(crate) struct MboxDecl {
     pub(crate) name: String,
     pub(crate) pool: String,
     pub(crate) capacity: usize,
+    /// Declared wire type when the mbox was introduced through
+    /// [`DeploymentBuilder::port`]; `None` for untyped mboxes.
+    pub(crate) message: Option<&'static str>,
 }
 
 /// Builder for a [`Deployment`].
@@ -335,6 +338,30 @@ impl DeploymentBuilder {
             name: name.to_owned(),
             pool: pool.to_owned(),
             capacity,
+            message: None,
+        });
+        self
+    }
+
+    /// Declare a typed port: a named shared mbox whose messages are the
+    /// wire type `T`.
+    ///
+    /// Functionally an mbox plus a contract — actors obtain it through
+    /// [`crate::actor::Ctx::port`], which checks the requested type
+    /// against this declaration and hands every user the same shared
+    /// [`crate::wire::PortStats`], so backpressure drops and corrupt
+    /// frames aggregate per port.
+    pub fn port<T: crate::wire::Wire + 'static>(
+        &mut self,
+        name: &str,
+        pool: &str,
+        capacity: usize,
+    ) -> &mut Self {
+        self.mboxes.push(MboxDecl {
+            name: name.to_owned(),
+            pool: pool.to_owned(),
+            capacity,
+            message: Some(std::any::type_name::<T>()),
         });
         self
     }

@@ -23,6 +23,9 @@ pub enum ChannelError {
     /// Authenticated decryption of an incoming message failed — the
     /// untrusted runtime (or another enclave) tampered with the payload.
     Tampered,
+    /// The payload was authentic at the transport layer but did not
+    /// decode as the expected [`crate::wire::Wire`] type.
+    Malformed,
     /// The caller's receive buffer is too small for the decoded message.
     BufferTooSmall {
         /// Bytes required.
@@ -44,6 +47,9 @@ impl fmt::Display for ChannelError {
                 )
             }
             ChannelError::Tampered => write!(f, "incoming message failed authentication"),
+            ChannelError::Malformed => {
+                write!(f, "incoming message did not decode as its wire type")
+            }
             ChannelError::BufferTooSmall { needed, got } => {
                 write!(
                     f,
@@ -134,6 +140,7 @@ mod tests {
                 capacity: 4,
             }),
             Box::new(ChannelError::Tampered),
+            Box::new(ChannelError::Malformed),
             Box::new(ChannelError::BufferTooSmall { needed: 8, got: 2 }),
             Box::new(ConfigError::UnknownSlot("actor", 3)),
             Box::new(ConfigError::EmptyWorker(0)),

@@ -73,6 +73,7 @@ pub mod json;
 pub mod runtime;
 pub mod spec;
 pub mod wake;
+pub mod wire;
 
 pub use actor::{from_fn, Actor, ActorId, Control, Ctx, StopToken};
 pub use channel::{ChannelEnd, ChannelId};
@@ -82,6 +83,7 @@ pub use config::{
 };
 pub use error::{ChannelError, ConfigError};
 pub use runtime::{Runtime, RuntimeReport, WorkerReport};
+pub use wire::{Port, PortStats, TypedChannelEnd, Wire};
 
 /// The commonly needed imports in one place.
 pub mod prelude {
@@ -92,4 +94,5 @@ pub mod prelude {
     };
     pub use crate::error::{ChannelError, ConfigError};
     pub use crate::runtime::{Runtime, RuntimeReport};
+    pub use crate::wire::{Port, TypedChannelEnd, Wire};
 }

@@ -61,6 +61,13 @@ pub struct WorkerReport {
     pub parks: u64,
     /// Parks that ended in a wake event (rather than a timeout).
     pub wakes: u64,
+    /// Encrypted channel frames received by this worker's actors that
+    /// failed authentication — forged or bit-flipped traffic, summed
+    /// over the actors' channel endpoints.
+    pub tampered_frames: u64,
+    /// Authentic channel frames this worker's actors rejected at the
+    /// typed codec layer (see [`crate::wire`]).
+    pub corrupt_frames: u64,
 }
 
 /// What a finished runtime reports.
@@ -234,11 +241,19 @@ impl Runtime {
             arenas.insert(p.name.clone(), arena);
         }
         let mut mboxes: HashMap<String, Arc<Mbox>> = HashMap::new();
+        let mut port_stats: HashMap<String, Arc<crate::wire::PortStats>> = HashMap::new();
+        let mut port_types: HashMap<String, &'static str> = HashMap::new();
         for m in &deployment.mboxes {
             let pool = arenas
                 .get(&m.pool)
                 .expect("validated by DeploymentBuilder::build");
             mboxes.insert(m.name.clone(), Mbox::new(pool.clone(), m.capacity));
+            // One shared stats block per named mbox: every Ctx::port on
+            // this name aggregates into the same counters.
+            port_stats.insert(m.name.clone(), Arc::new(Default::default()));
+            if let Some(message) = m.message {
+                port_types.insert(m.name.clone(), message);
+            }
         }
 
         // 3. Channels: allocate the arena in the right region, attest and
@@ -278,6 +293,8 @@ impl Runtime {
 
         // 4. Build per-actor contexts.
         let mboxes = Arc::new(mboxes);
+        let port_stats = Arc::new(port_stats);
+        let port_types = Arc::new(port_types);
         let arenas = Arc::new(arenas);
         let mut ctxs: Vec<Option<Ctx>> = Vec::new();
         let mut channel_iter = actor_channels.into_iter();
@@ -296,6 +313,8 @@ impl Runtime {
                 enclave,
                 channels: channel_iter.next().expect("one channel vec per actor"),
                 mboxes: Arc::clone(&mboxes),
+                port_stats: Arc::clone(&port_stats),
+                port_types: Arc::clone(&port_types),
                 arenas: Arc::clone(&arenas),
                 stop: stop.clone(),
                 costs: costs.clone(),
@@ -430,6 +449,16 @@ impl Runtime {
                         migrations: counters.migrations,
                         parks,
                         wakes,
+                        tampered_frames: entries
+                            .iter()
+                            .flat_map(|e| e.ctx.channels.iter())
+                            .map(|c| c.tampered_frames())
+                            .sum(),
+                        corrupt_frames: entries
+                            .iter()
+                            .flat_map(|e| e.ctx.channels.iter())
+                            .map(|c| c.corrupt_frames())
+                            .sum(),
                     }
                 })
                 .expect("failed to spawn worker thread");

@@ -6,71 +6,102 @@
 //! sockets and forwards incoming bytes into per-user mboxes, [`Writer`]
 //! transmits, and [`Closer`] tears sockets down. They always run
 //! untrusted (the backend enforces it); application eactors talk to them
-//! exclusively through mboxes, so an enclaved actor gets network I/O
-//! without a single execution-mode transition.
+//! exclusively through typed [`Port`]s carrying [`NetMsg`], so an
+//! enclaved actor gets network I/O without a single execution-mode
+//! transition — and without a single heap allocation per message:
+//!
+//! * the READER receives straight into a node buffer of the reply mbox
+//!   (the `Data` header is written first, the kernel fills the rest);
+//! * the WRITER parks partially transmitted **nodes**, not copied bytes,
+//!   so back-pressure costs no allocation either;
+//! * every drop (full mbox, exhausted pool) and every undecodable frame
+//!   is counted in the ports' [`PortStats`], aggregated by
+//!   [`SystemActors::stats`].
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use eactors::actor::{Actor, Control, Ctx};
-use eactors::arena::Mbox;
+use eactors::arena::{Mbox, Node};
+use eactors::wire::{Port, PortStats, Wire};
 
 use crate::backend::{ListenerId, NetBackend, RecvOutcome, SocketId};
 use crate::dir::{MboxDirectory, MboxRef};
-use crate::msg::{NetMsg, DATA_HEADER};
+use crate::msg::{tag, NetMsg, DATA_HEADER};
 
-/// Encode `msg` into a node from the mbox's arena and enqueue it.
+/// The typed port all networking traffic flows through: a
+/// [`Port`] carrying [`NetMsg`] frames.
+pub type NetPort = Port<NetMsg<'static>>;
+
+/// Encode `msg` into a node from the mbox's arena and enqueue it,
+/// counting any failure in `stats`.
 ///
-/// Returns `false` (dropping nothing from `msg`) when the pool is
-/// exhausted, the mbox is full, or the payload does not fit — callers
-/// retry on their next execution.
-pub fn send_msg(mbox: &Arc<Mbox>, msg: &NetMsg) -> bool {
-    if msg.encoded_len() > mbox.arena().payload_size() {
+/// Returns `false` — after [`PortStats::note_send_drop`] — when the pool
+/// is exhausted, the mbox is full, or the payload does not fit in one
+/// node; callers retry on their next execution. Prefer a long-lived
+/// [`NetPort`] where possible; this helper serves producers that resolve
+/// destination mboxes dynamically (e.g. through a [`MboxDirectory`]) and
+/// share one telemetry block across them.
+pub fn send_msg(mbox: &Arc<Mbox>, msg: &NetMsg<'_>, stats: &PortStats) -> bool {
+    let len = msg.encoded_len();
+    if len > mbox.arena().payload_size() {
+        stats.note_send_drop();
         return false;
     }
-    match mbox.arena().try_pop() {
-        Some(mut node) => {
-            let n = msg.encode(node.buffer_mut());
-            node.set_len(n);
-            mbox.send(node).is_ok()
-        }
-        None => false,
+    let Some(mut node) = mbox.arena().try_pop() else {
+        stats.note_send_drop();
+        return false;
+    };
+    let n = msg.encode_into(node.buffer_mut());
+    node.set_len(n);
+    if mbox.send(node).is_ok() {
+        true
+    } else {
+        stats.note_send_drop();
+        false
     }
 }
 
-/// Dequeue and decode one message, recycling the node.
-pub fn recv_msg(mbox: &Arc<Mbox>) -> Option<NetMsg> {
-    mbox.recv().and_then(|node| NetMsg::decode(node.bytes()))
-}
-
-/// Drain `mbox` completely, invoking `f` per decoded message, and return
-/// how many nodes were consumed.
+/// Enqueue a [`NetMsg::Write`] whose `len`-byte payload is produced by
+/// `fill` directly inside the node buffer — the zero-copy path for
+/// services that frame or seal outgoing bytes (e.g. XMPP stanzas).
 ///
-/// Nodes are claimed in batches ([`Mbox::recv_batch`]) so the dequeue
-/// cursor is touched once per run instead of once per message — the
-/// system actors sit on high-fan-in mboxes where that difference shows.
-/// Undecodable nodes are dropped (and still counted as consumed).
-pub fn drain_msgs(mbox: &Arc<Mbox>, mut f: impl FnMut(NetMsg)) -> usize {
-    const BATCH: usize = 32;
-    let mut nodes = Vec::with_capacity(BATCH);
-    let mut consumed = 0;
-    while mbox.recv_batch(&mut nodes, BATCH) > 0 {
-        consumed += nodes.len();
-        for node in nodes.drain(..) {
-            if let Some(msg) = NetMsg::decode(node.bytes()) {
-                f(msg);
-            }
-        }
+/// The WRITE header is written first, then `fill` runs exactly once over
+/// the payload region. Returns `false` — after
+/// [`PortStats::note_send_drop`] — when the pool is exhausted, the
+/// payload does not fit in one node, or the mbox is full; `fill` is not
+/// called in the first two cases.
+pub fn send_write_with(
+    port: &NetPort,
+    socket: u64,
+    len: usize,
+    fill: impl FnOnce(&mut [u8]),
+) -> bool {
+    let total = DATA_HEADER + len;
+    let mbox = port.mbox();
+    if total > mbox.arena().payload_size() {
+        port.stats().note_send_drop();
+        return false;
     }
-    consumed
+    let Some(mut node) = mbox.arena().try_pop() else {
+        port.stats().note_send_drop();
+        return false;
+    };
+    let buf = node.buffer_mut();
+    buf[0] = tag::WRITE;
+    buf[1..DATA_HEADER].copy_from_slice(&socket.to_le_bytes());
+    fill(&mut buf[DATA_HEADER..total]);
+    node.set_len(total);
+    port.send_node(node).is_ok()
 }
 
 /// The OPENER: creates server or client sockets on request.
 pub struct Opener {
     net: Arc<dyn NetBackend>,
-    requests: Arc<Mbox>,
+    requests: NetPort,
     dir: Arc<MboxDirectory>,
+    replies: Arc<PortStats>,
 }
 
 impl std::fmt::Debug for Opener {
@@ -80,17 +111,32 @@ impl std::fmt::Debug for Opener {
 }
 
 impl Opener {
-    /// An OPENER serving requests from `requests`.
-    pub fn new(net: Arc<dyn NetBackend>, requests: Arc<Mbox>, dir: Arc<MboxDirectory>) -> Self {
-        Opener { net, requests, dir }
+    /// An OPENER serving requests from `requests`, counting undeliverable
+    /// replies in `replies`.
+    pub fn new(
+        net: Arc<dyn NetBackend>,
+        requests: NetPort,
+        dir: Arc<MboxDirectory>,
+        replies: Arc<PortStats>,
+    ) -> Self {
+        Opener {
+            net,
+            requests,
+            dir,
+            replies,
+        }
     }
 }
 
 impl Actor for Opener {
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
-        let net = &self.net;
-        let dir = &self.dir;
-        let worked = drain_msgs(&self.requests, |msg| {
+        let Opener {
+            net,
+            requests,
+            dir,
+            replies,
+        } = self;
+        let worked = requests.drain(|msg| {
             let (reply, response) = match msg {
                 NetMsg::OpenListen { port, reply } => (
                     reply,
@@ -112,7 +158,7 @@ impl Actor for Opener {
                 _ => return, // not ours; drop
             };
             if let Some(mbox) = dir.get(reply) {
-                send_msg(&mbox, &response);
+                send_msg(&mbox, &response, replies);
             }
         }) > 0;
         if worked {
@@ -127,8 +173,9 @@ impl Actor for Opener {
 /// connections.
 pub struct Accepter {
     net: Arc<dyn NetBackend>,
-    requests: Arc<Mbox>,
+    requests: NetPort,
     dir: Arc<MboxDirectory>,
+    replies: Arc<PortStats>,
     watches: Vec<(u64, MboxRef)>,
 }
 
@@ -142,11 +189,17 @@ impl std::fmt::Debug for Accepter {
 
 impl Accepter {
     /// An ACCEPTER taking `WatchListener` subscriptions from `requests`.
-    pub fn new(net: Arc<dyn NetBackend>, requests: Arc<Mbox>, dir: Arc<MboxDirectory>) -> Self {
+    pub fn new(
+        net: Arc<dyn NetBackend>,
+        requests: NetPort,
+        dir: Arc<MboxDirectory>,
+        replies: Arc<PortStats>,
+    ) -> Self {
         Accepter {
             net,
             requests,
             dir,
+            replies,
             watches: Vec::new(),
         }
     }
@@ -155,11 +208,12 @@ impl Accepter {
 impl Actor for Accepter {
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
         let watches = &mut self.watches;
-        let mut worked = drain_msgs(&self.requests, |msg| {
+        let mut worked = self.requests.drain(|msg| {
             if let NetMsg::WatchListener { listener, reply } = msg {
                 watches.push((listener, reply));
             }
         }) > 0;
+        let replies = &self.replies;
         self.watches.retain(|&(listener, reply)| {
             let Some(mbox) = self.dir.get(reply) else {
                 return false;
@@ -168,7 +222,7 @@ impl Actor for Accepter {
                 match self.net.accept(ListenerId(listener)) {
                     Ok(Some(SocketId(socket))) => {
                         worked = true;
-                        if !send_msg(&mbox, &NetMsg::Accepted { listener, socket }) {
+                        if !send_msg(&mbox, &NetMsg::Accepted { listener, socket }, replies) {
                             // Reply mbox congested: the connection stays in
                             // our hands; close it rather than leak it.
                             let _ = self.net.close(SocketId(socket));
@@ -194,15 +248,20 @@ struct ReadWatch {
 
 /// The READER: polls subscribed sockets and forwards received bytes.
 ///
-/// Supports the paper's batch pattern: an application sends one
-/// `WatchSocket` per client (each with its per-user mbox) and the READER
-/// services all of them every pass.
+/// Supports the paper's batch pattern: an application subscribes all of
+/// its clients with one `WatchBatch` (or one `WatchSocket` each) and the
+/// READER services all of them every pass.
+///
+/// Zero-copy receive path: a node is popped from the reply mbox's arena,
+/// the `Data` header written into it, and the kernel reads **directly
+/// into the node payload** — the application then decodes the payload in
+/// place. No intermediate buffer exists anywhere on the path.
 pub struct Reader {
     net: Arc<dyn NetBackend>,
-    requests: Arc<Mbox>,
+    requests: NetPort,
     dir: Arc<MboxDirectory>,
+    replies: Arc<PortStats>,
     watches: Vec<ReadWatch>,
-    scratch: Vec<u8>,
 }
 
 impl std::fmt::Debug for Reader {
@@ -214,14 +273,20 @@ impl std::fmt::Debug for Reader {
 }
 
 impl Reader {
-    /// A READER taking `WatchSocket`/`Unwatch` requests from `requests`.
-    pub fn new(net: Arc<dyn NetBackend>, requests: Arc<Mbox>, dir: Arc<MboxDirectory>) -> Self {
+    /// A READER taking `WatchSocket`/`WatchBatch`/`Unwatch` requests from
+    /// `requests`.
+    pub fn new(
+        net: Arc<dyn NetBackend>,
+        requests: NetPort,
+        dir: Arc<MboxDirectory>,
+        replies: Arc<PortStats>,
+    ) -> Self {
         Reader {
             net,
             requests,
             dir,
+            replies,
             watches: Vec::new(),
-            scratch: Vec::new(),
         }
     }
 }
@@ -229,7 +294,7 @@ impl Reader {
 impl Actor for Reader {
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
         let watches = &mut self.watches;
-        let mut worked = drain_msgs(&self.requests, |msg| match msg {
+        let mut worked = self.requests.drain(|msg| match msg {
             NetMsg::WatchSocket { socket, reply } => {
                 watches.push(ReadWatch { socket, reply });
             }
@@ -238,7 +303,7 @@ impl Actor for Reader {
                 // whole private client list.
                 watches.extend(
                     entries
-                        .into_iter()
+                        .iter()
                         .map(|(socket, reply)| ReadWatch { socket, reply }),
                 );
             }
@@ -249,35 +314,42 @@ impl Actor for Reader {
         }) > 0;
         let net = &self.net;
         let dir = &self.dir;
-        let scratch = &mut self.scratch;
+        let replies = &self.replies;
         self.watches.retain(|w| {
             let Some(mbox) = dir.get(w.reply) else {
                 return false;
             };
-            // Chunk size: whatever fits in one reply node.
-            let chunk = mbox.arena().payload_size().saturating_sub(DATA_HEADER);
-            if chunk == 0 {
+            if mbox.arena().payload_size() <= DATA_HEADER {
                 return false;
             }
-            if scratch.len() < chunk {
-                scratch.resize(chunk, 0);
-            }
-            match net.recv(SocketId(w.socket), &mut scratch[..chunk]) {
+            // Receive directly into a node of the reply mbox: header
+            // first, then the kernel fills the rest of the payload.
+            let Some(mut node) = mbox.arena().try_pop() else {
+                // Back-pressure: the application owns every node right
+                // now; poll again once it has recycled some.
+                return true;
+            };
+            let buf = node.buffer_mut();
+            buf[0] = tag::DATA;
+            buf[1..DATA_HEADER].copy_from_slice(&w.socket.to_le_bytes());
+            match net.recv(SocketId(w.socket), &mut buf[DATA_HEADER..]) {
                 Ok(RecvOutcome::Data(n)) => {
                     worked = true;
-                    send_msg(
-                        &mbox,
-                        &NetMsg::Data {
-                            socket: w.socket,
-                            payload: scratch[..n].to_vec(),
-                        },
-                    );
+                    node.set_len(DATA_HEADER + n);
+                    if mbox.send(node).is_err() {
+                        replies.note_send_drop();
+                    }
                     true
                 }
-                Ok(RecvOutcome::WouldBlock) => true,
+                Ok(RecvOutcome::WouldBlock) => true, // node returns to the pool
                 Ok(RecvOutcome::Eof) | Err(_) => {
                     worked = true;
-                    send_msg(&mbox, &NetMsg::SocketClosed { socket: w.socket });
+                    let n =
+                        NetMsg::SocketClosed { socket: w.socket }.encode_into(node.buffer_mut());
+                    node.set_len(n);
+                    if mbox.send(node).is_err() {
+                        replies.note_send_drop();
+                    }
                     false
                 }
             }
@@ -292,10 +364,15 @@ impl Actor for Reader {
 
 /// The WRITER: transmits `Write` payloads, preserving per-socket order
 /// under partial writes.
+///
+/// A partially transmitted message is parked as its **node** plus a byte
+/// offset — nothing is copied into side buffers, and a parked node keeps
+/// back-pressure honest by staying checked out of its pool.
 pub struct Writer {
     net: Arc<dyn NetBackend>,
-    requests: Arc<Mbox>,
-    pending: HashMap<u64, VecDeque<u8>>,
+    requests: NetPort,
+    pending: HashMap<u64, VecDeque<(Node, usize)>>,
+    batch: Vec<Node>,
 }
 
 impl std::fmt::Debug for Writer {
@@ -308,24 +385,28 @@ impl std::fmt::Debug for Writer {
 
 impl Writer {
     /// A WRITER draining `Write` messages from `requests`.
-    pub fn new(net: Arc<dyn NetBackend>, requests: Arc<Mbox>) -> Self {
+    pub fn new(net: Arc<dyn NetBackend>, requests: NetPort) -> Self {
         Writer {
             net,
             requests,
             pending: HashMap::new(),
+            batch: Vec::new(),
         }
     }
 
     fn flush(&mut self) -> bool {
         let mut progressed = false;
+        let net = &self.net;
         self.pending.retain(|&socket, queue| {
-            while !queue.is_empty() {
-                let (head, _) = queue.as_slices();
-                match self.net.send(SocketId(socket), head) {
+            while let Some((node, offset)) = queue.front_mut() {
+                match net.send(SocketId(socket), &node.bytes()[*offset..]) {
                     Ok(0) => return true, // peer buffer full; keep pending
                     Ok(n) => {
                         progressed = true;
-                        queue.drain(..n);
+                        *offset += n;
+                        if *offset == node.bytes().len() {
+                            queue.pop_front(); // node recycles to its pool
+                        }
                     }
                     Err(_) => return false, // socket gone; drop pending
                 }
@@ -339,33 +420,46 @@ impl Writer {
 impl Actor for Writer {
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
         let mut worked = self.flush();
-        let net = &self.net;
-        let pending = &mut self.pending;
-        worked |= drain_msgs(&self.requests, |msg| {
-            if let NetMsg::Write { socket, payload } = msg {
+        const BATCH: usize = 32;
+        let Writer {
+            net,
+            requests,
+            pending,
+            batch,
+        } = self;
+        while requests.mbox().recv_batch(batch, BATCH) > 0 {
+            worked = true;
+            for node in batch.drain(..) {
+                // `Write` payloads sit at a fixed offset in the frame, so
+                // the node itself is the transmit buffer.
+                let socket = match NetMsg::decode_from(node.bytes()) {
+                    Some(NetMsg::Write { socket, .. }) => socket,
+                    Some(_) => continue, // not ours; drop
+                    None => {
+                        requests.stats().note_corrupt_frame();
+                        continue;
+                    }
+                };
                 if let Some(queue) = pending.get_mut(&socket) {
                     // Order must be preserved behind earlier pending bytes.
-                    queue.extend(payload);
-                    return;
+                    queue.push_back((node, DATA_HEADER));
+                    continue;
                 }
-                let mut offset = 0;
-                // A send error means the socket is gone; drop the rest.
-                while let Ok(n) = net.send(SocketId(socket), &payload[offset..]) {
-                    offset += n;
-                    if offset == payload.len() {
-                        break;
-                    }
-                    if n == 0 {
-                        // Peer buffer full: park the tail for later.
-                        pending
-                            .entry(socket)
-                            .or_default()
-                            .extend(&payload[offset..]);
-                        break;
+                let mut offset = DATA_HEADER;
+                while offset < node.bytes().len() {
+                    // A send error means the socket is gone; drop the rest.
+                    match net.send(SocketId(socket), &node.bytes()[offset..]) {
+                        Ok(0) => {
+                            // Peer buffer full: park the node for later.
+                            pending.entry(socket).or_default().push_back((node, offset));
+                            break;
+                        }
+                        Ok(n) => offset += n,
+                        Err(_) => break,
                     }
                 }
             }
-        }) > 0;
+        }
         if worked {
             Control::Busy
         } else {
@@ -377,7 +471,7 @@ impl Actor for Writer {
 /// The CLOSER: closes sockets on request.
 pub struct Closer {
     net: Arc<dyn NetBackend>,
-    requests: Arc<Mbox>,
+    requests: NetPort,
 }
 
 impl std::fmt::Debug for Closer {
@@ -388,15 +482,15 @@ impl std::fmt::Debug for Closer {
 
 impl Closer {
     /// A CLOSER draining `Close` messages from `requests`.
-    pub fn new(net: Arc<dyn NetBackend>, requests: Arc<Mbox>) -> Self {
+    pub fn new(net: Arc<dyn NetBackend>, requests: NetPort) -> Self {
         Closer { net, requests }
     }
 }
 
 impl Actor for Closer {
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
-        let net = &self.net;
-        let worked = drain_msgs(&self.requests, |msg| {
+        let Closer { net, requests } = self;
+        let worked = requests.drain(|msg| {
             if let NetMsg::Close { socket } = msg {
                 let _ = net.close(SocketId(socket));
             }
@@ -409,24 +503,44 @@ impl Actor for Closer {
     }
 }
 
+/// Aggregated telemetry snapshot of the networking layer — see
+/// [`SystemActors::stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct NetStats {
+    /// Application messages dropped on the five request ports
+    /// (back-pressure towards the system actors).
+    pub request_drops: u64,
+    /// Frames that failed to decode as [`NetMsg`] and were discarded
+    /// instead of silently swallowed.
+    pub corrupt_frames: u64,
+    /// Replies and `Data` frames the system actors could not deliver to
+    /// application mboxes (congestion on the way back).
+    pub reply_drops: u64,
+}
+
 /// Convenience bundle wiring all five system actors into a deployment.
 ///
-/// Creates the request mboxes (backed by a shared untrusted pool), the
+/// Creates the request ports (backed by a shared untrusted pool), the
 /// [`MboxDirectory`], and the actor instances. The caller decides which
-/// workers execute them.
+/// workers execute them. Each request port's [`PortStats`] is shared with
+/// every clone handed to the application, so drop and corruption counts
+/// are visible per mbox; [`SystemActors::stats`] aggregates them.
 pub struct SystemActors {
     /// The shared mbox directory for reply routing.
     pub dir: Arc<MboxDirectory>,
-    /// Request mbox of the OPENER.
-    pub opener_requests: Arc<Mbox>,
-    /// Request mbox of the ACCEPTER.
-    pub accepter_requests: Arc<Mbox>,
-    /// Request mbox of the READER.
-    pub reader_requests: Arc<Mbox>,
-    /// Request mbox of the WRITER.
-    pub writer_requests: Arc<Mbox>,
-    /// Request mbox of the CLOSER.
-    pub closer_requests: Arc<Mbox>,
+    /// Request port of the OPENER.
+    pub opener_requests: NetPort,
+    /// Request port of the ACCEPTER.
+    pub accepter_requests: NetPort,
+    /// Request port of the READER.
+    pub reader_requests: NetPort,
+    /// Request port of the WRITER.
+    pub writer_requests: NetPort,
+    /// Request port of the CLOSER.
+    pub closer_requests: NetPort,
+    /// Telemetry of the reply direction (system actors → application).
+    pub reply_stats: Arc<PortStats>,
     /// The OPENER actor, ready to be added to a deployment.
     pub opener: Opener,
     /// The ACCEPTER actor.
@@ -453,15 +567,31 @@ impl SystemActors {
     pub fn new(net: Arc<dyn NetBackend>, pool: Arc<eactors::arena::Arena>) -> Self {
         let dir = Arc::new(MboxDirectory::new());
         let cap = pool.capacity() as usize;
-        let opener_requests = Mbox::new(pool.clone(), cap);
-        let accepter_requests = Mbox::new(pool.clone(), cap);
-        let reader_requests = Mbox::new(pool.clone(), cap);
-        let writer_requests = Mbox::new(pool.clone(), cap);
-        let closer_requests = Mbox::new(pool, cap);
+        let opener_requests: NetPort = Port::new(Mbox::new(pool.clone(), cap));
+        let accepter_requests: NetPort = Port::new(Mbox::new(pool.clone(), cap));
+        let reader_requests: NetPort = Port::new(Mbox::new(pool.clone(), cap));
+        let writer_requests: NetPort = Port::new(Mbox::new(pool.clone(), cap));
+        let closer_requests: NetPort = Port::new(Mbox::new(pool, cap));
+        let reply_stats = Arc::new(PortStats::default());
         SystemActors {
-            opener: Opener::new(net.clone(), opener_requests.clone(), dir.clone()),
-            accepter: Accepter::new(net.clone(), accepter_requests.clone(), dir.clone()),
-            reader: Reader::new(net.clone(), reader_requests.clone(), dir.clone()),
+            opener: Opener::new(
+                net.clone(),
+                opener_requests.clone(),
+                dir.clone(),
+                reply_stats.clone(),
+            ),
+            accepter: Accepter::new(
+                net.clone(),
+                accepter_requests.clone(),
+                dir.clone(),
+                reply_stats.clone(),
+            ),
+            reader: Reader::new(
+                net.clone(),
+                reader_requests.clone(),
+                dir.clone(),
+                reply_stats.clone(),
+            ),
             writer: Writer::new(net.clone(), writer_requests.clone()),
             closer: Closer::new(net, closer_requests.clone()),
             dir,
@@ -470,6 +600,28 @@ impl SystemActors {
             reader_requests,
             writer_requests,
             closer_requests,
+            reply_stats,
+        }
+    }
+
+    /// Aggregate the drop and corruption counters of the five request
+    /// ports and the reply path into one snapshot.
+    pub fn stats(&self) -> NetStats {
+        let ports = [
+            &self.opener_requests,
+            &self.accepter_requests,
+            &self.reader_requests,
+            &self.writer_requests,
+            &self.closer_requests,
+        ];
+        NetStats {
+            request_drops: ports.iter().map(|p| p.stats().send_drops()).sum(),
+            corrupt_frames: ports
+                .iter()
+                .map(|p| p.stats().corrupt_frames())
+                .sum::<u64>()
+                + self.reply_stats.corrupt_frames(),
+            reply_drops: self.reply_stats.send_drops(),
         }
     }
 }

@@ -11,6 +11,13 @@
 //! * [`Writer`] — transmits, preserving order under partial writes;
 //! * [`Closer`] — closes sockets.
 //!
+//! All traffic is typed [`NetMsg`] frames flowing through
+//! [`NetPort`]s (the [`eactors::wire`] layer): messages encode directly
+//! into arena nodes, decode in place as borrowed views, and incoming
+//! `Data` can be re-tagged into outgoing `Write` **in the same node**
+//! ([`data_frame_into_write`]) — an echo path moves bytes from socket to
+//! socket with zero heap allocations and zero copies beyond the kernel's.
+//!
 //! Two interchangeable [`NetBackend`]s are provided: [`SimNet`], an
 //! in-process TCP substrate with a syscall cost model (used by the paper
 //! reproduction benchmarks, where hundreds of emulated clients run on one
@@ -45,11 +52,12 @@ mod sim;
 mod tcp;
 
 pub use actors::{
-    drain_msgs, recv_msg, send_msg, Accepter, Closer, Opener, Reader, SystemActors, Writer,
+    send_msg, send_write_with, Accepter, Closer, NetPort, NetStats, Opener, Reader, SystemActors,
+    Writer,
 };
 pub use backend::{ListenerId, NetBackend, NetError, RecvOutcome, SocketId};
 pub use dir::{MboxDirectory, MboxRef};
-pub use msg::{NetMsg, DATA_HEADER};
+pub use msg::{data_frame_into_write, BatchEntries, NetMsg, DATA_HEADER};
 pub use sim::{failpoints, SimNet, DEFAULT_SOCKET_BUFFER};
 pub use tcp::TcpLoopback;
 
@@ -63,7 +71,9 @@ mod tests {
     use std::sync::Arc;
 
     /// Full-stack test: an enclaved echo actor served by all five system
-    /// actors, with an emulated client on the sim network.
+    /// actors, with an emulated client on the sim network. The echo path
+    /// is the zero-copy one: incoming `Data` nodes are re-tagged into
+    /// `Write` frames and forwarded wholesale.
     #[test]
     fn enclaved_echo_server_through_system_actors() {
         let platform = Platform::builder().cost_model(CostModel::zero()).build();
@@ -71,9 +81,9 @@ mod tests {
         let pool = Arena::new("net-pool", 256, 512);
         let sys = SystemActors::new(net.clone(), pool.clone());
 
-        // Reply mbox for the echo service.
-        let replies = Mbox::new(pool.clone(), 256);
-        let reply_ref = sys.dir.register(replies.clone());
+        // Reply port for the echo service.
+        let replies: NetPort = Port::new(Mbox::new(pool.clone(), 256));
+        let reply_ref = sys.dir.register(replies.mbox().clone());
 
         let opener_rq = sys.opener_requests.clone();
         let accepter_rq = sys.accepter_requests.clone();
@@ -85,39 +95,34 @@ mod tests {
         let echo = move |_ctx: &mut Ctx| {
             if !started {
                 started = true;
-                assert!(send_msg(
-                    &opener_rq,
-                    &NetMsg::OpenListen {
-                        port: 7,
-                        reply: reply_ref
-                    }
-                ));
+                assert!(opener_rq.send(&NetMsg::OpenListen {
+                    port: 7,
+                    reply: reply_ref
+                }));
                 return Control::Busy;
             }
             let mut worked = false;
-            while let Some(msg) = recv_msg(&replies) {
+            while let Some(mut node) = replies.recv_node() {
                 worked = true;
-                match msg {
-                    NetMsg::OpenOk { id, listener: true } => {
-                        send_msg(
-                            &accepter_rq,
-                            &NetMsg::WatchListener {
-                                listener: id,
-                                reply: reply_ref,
-                            },
-                        );
+                // A Data frame becomes a Write frame by flipping its tag
+                // in place; the node itself is forwarded to the WRITER.
+                let len = node.bytes().len();
+                if data_frame_into_write(&mut node.buffer_mut()[..len]) {
+                    let _ = writer_rq.send_node(node);
+                    continue;
+                }
+                match NetMsg::decode_from(node.bytes()) {
+                    Some(NetMsg::OpenOk { id, listener: true }) => {
+                        accepter_rq.send(&NetMsg::WatchListener {
+                            listener: id,
+                            reply: reply_ref,
+                        });
                     }
-                    NetMsg::Accepted { socket, .. } => {
-                        send_msg(
-                            &reader_rq,
-                            &NetMsg::WatchSocket {
-                                socket,
-                                reply: reply_ref,
-                            },
-                        );
-                    }
-                    NetMsg::Data { socket, payload } => {
-                        send_msg(&writer_rq, &NetMsg::Write { socket, payload });
+                    Some(NetMsg::Accepted { socket, .. }) => {
+                        reader_rq.send(&NetMsg::WatchSocket {
+                            socket,
+                            reply: reply_ref,
+                        });
                     }
                     _ => {}
                 }
@@ -171,25 +176,31 @@ mod tests {
     }
 
     #[test]
-    fn opener_reports_failures() {
+    fn opener_reports_failures_and_counts_corrupt_frames() {
         let platform = Platform::builder().cost_model(CostModel::zero()).build();
         let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(platform.costs()));
         let pool = Arena::new("p", 32, 128);
         let sys = SystemActors::new(net, pool.clone());
-        let replies = Mbox::new(pool, 32);
-        let r = sys.dir.register(replies.clone());
+        let replies: NetPort = Port::new(Mbox::new(pool, 32));
+        let r = sys.dir.register(replies.mbox().clone());
 
-        send_msg(
-            &sys.opener_requests,
-            &NetMsg::OpenConnect { port: 99, reply: r },
-        );
+        // One valid request plus one forged frame the OPENER must count
+        // and discard rather than silently swallow.
+        let mut garbage = sys.opener_requests.mbox().arena().try_pop().unwrap();
+        garbage.write(&[0x77, 1, 2, 3]);
+        sys.opener_requests.send_node(garbage).unwrap();
+        assert!(sys
+            .opener_requests
+            .send(&NetMsg::OpenConnect { port: 99, reply: r }));
+        let opener_stats = sys.opener_requests.stats().clone();
+        assert_eq!(sys.stats().corrupt_frames, 0);
+
         let mut opener = sys.opener;
-
         let done = {
             let replies = replies.clone();
             move |ctx: &mut Ctx| {
-                if let Some(NetMsg::OpenFail { port }) = recv_msg(&replies) {
-                    assert_eq!(port, 99);
+                let failed = replies.recv(|m| matches!(m, NetMsg::OpenFail { port: 99 }));
+                if failed == Some(true) {
                     ctx.shutdown();
                     return Control::Park;
                 }
@@ -207,6 +218,27 @@ mod tests {
         Runtime::start(&platform, b.build().unwrap())
             .unwrap()
             .join();
+        assert_eq!(opener_stats.corrupt_frames(), 1);
+    }
+
+    #[test]
+    fn request_ports_count_send_drops() {
+        let platform = Platform::builder().cost_model(CostModel::zero()).build();
+        let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(platform.costs()));
+        // A pool of one node: the second send has nothing to encode into.
+        let pool = Arena::new("tiny", 1, 64);
+        let sys = SystemActors::new(net, pool);
+        assert!(sys.closer_requests.send(&NetMsg::Close { socket: 1 }));
+        assert!(!sys.closer_requests.send(&NetMsg::Close { socket: 2 }));
+        assert_eq!(sys.closer_requests.stats().send_drops(), 1);
+        assert_eq!(
+            sys.stats(),
+            NetStats {
+                request_drops: 1,
+                corrupt_frames: 0,
+                reply_drops: 0,
+            }
+        );
     }
 
     #[test]
@@ -224,13 +256,10 @@ mod tests {
 
         // Queue three writes totalling far more than the 8-byte buffer.
         for chunk in [&b"AAAAAAAAAA"[..], b"BBBBBBBBBB", b"CCCCCCCCCC"] {
-            assert!(send_msg(
-                &sys.writer_requests,
-                &NetMsg::Write {
-                    socket: server.0,
-                    payload: chunk.to_vec()
-                }
-            ));
+            assert!(sys.writer_requests.send(&NetMsg::Write {
+                socket: server.0,
+                payload: chunk,
+            }));
         }
 
         let mut writer = sys.writer;
@@ -281,15 +310,12 @@ mod tests {
         let client = sim.connect(9).unwrap();
         let server = sim.accept(l).unwrap().unwrap();
 
-        let replies = Mbox::new(pool, 64);
-        let r = sys.dir.register(replies.clone());
-        send_msg(
-            &sys.reader_requests,
-            &NetMsg::WatchSocket {
-                socket: server.0,
-                reply: r,
-            },
-        );
+        let replies: NetPort = Port::new(Mbox::new(pool, 64));
+        let r = sys.dir.register(replies.mbox().clone());
+        sys.reader_requests.send(&NetMsg::WatchSocket {
+            socket: server.0,
+            reply: r,
+        });
 
         let mut reader = sys.reader;
         let reader_rq = sys.reader_requests.clone();
@@ -302,15 +328,22 @@ mod tests {
                     phase = 1;
                     Control::Busy
                 }
-                1 => match recv_msg(&replies) {
-                    Some(NetMsg::Data { payload, .. }) => {
-                        assert_eq!(payload, b"first");
-                        send_msg(&reader_rq, &NetMsg::Unwatch { socket: server.0 });
+                1 => {
+                    let got_first = replies.recv(|m| match m {
+                        NetMsg::Data { payload, .. } => {
+                            assert_eq!(payload, b"first");
+                            true
+                        }
+                        _ => false,
+                    });
+                    if got_first == Some(true) {
+                        reader_rq.send(&NetMsg::Unwatch { socket: server.0 });
                         phase = 2;
                         Control::Busy
+                    } else {
+                        Control::Idle
                     }
-                    _ => Control::Idle,
-                },
+                }
                 2 => {
                     // After unwatch, sent data must NOT be forwarded.
                     sim2.send(client, b"second").unwrap();
@@ -320,7 +353,7 @@ mod tests {
                 _ => {
                     phase += 1;
                     if phase > 50 {
-                        assert!(recv_msg(&replies).is_none(), "data after unwatch");
+                        assert!(replies.recv_node().is_none(), "data after unwatch");
                         ctx.shutdown();
                         return Control::Park;
                     }

@@ -2,16 +2,27 @@
 //!
 //! Application eactors talk to OPENER / ACCEPTER / READER / WRITER /
 //! CLOSER through mboxes carrying these messages, encoded into node
-//! payloads. The encoding is a one-byte tag followed by little-endian
-//! fields; `Data` and `Write` carry their payload inline after the
-//! header.
+//! payloads through the [`eactors::wire`] layer. The encoding is a
+//! one-byte tag followed by little-endian fields; `Data` and `Write`
+//! carry their payload inline after the header.
+//!
+//! [`NetMsg`] is a **borrowed view**: decoding never copies — payloads
+//! are slices into the node buffer, and a `WatchBatch` iterates its
+//! entries straight out of the encoded bytes. A message therefore moves
+//! from producer to consumer with zero heap allocations.
+
+use eactors::wire::Wire;
 
 use crate::dir::MboxRef;
 
 /// A message to or from a system actor.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The lifetime `'a` is the borrow of the buffer a received message was
+/// decoded from (a node payload); messages built for sending borrow the
+/// application's own data instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
-pub enum NetMsg {
+pub enum NetMsg<'a> {
     /// Ask the OPENER for a server socket on `port`.
     OpenListen {
         /// Port to listen on.
@@ -69,31 +80,33 @@ pub enum NetMsg {
     /// pairs a socket with its per-user reply mbox.
     WatchBatch {
         /// (socket, reply mbox) pairs.
-        entries: Vec<(u64, MboxRef)>,
+        entries: BatchEntries<'a>,
     },
     /// Stop polling a socket.
     Unwatch {
         /// Socket to forget.
         socket: u64,
     },
-    /// Bytes received from a socket (READER → application).
+    /// Bytes received from a socket (READER → application). The payload
+    /// borrows the node buffer it arrived in.
     Data {
         /// Source socket.
         socket: u64,
-        /// The received bytes.
-        payload: Vec<u8>,
+        /// The received bytes, in place.
+        payload: &'a [u8],
     },
     /// The peer closed the socket (READER → application).
     SocketClosed {
         /// The closed socket.
         socket: u64,
     },
-    /// Bytes to transmit (application → WRITER).
+    /// Bytes to transmit (application → WRITER). The payload borrows the
+    /// sender's buffer (or an incoming `Data` node being forwarded).
     Write {
         /// Destination socket.
         socket: u64,
-        /// The bytes to send.
-        payload: Vec<u8>,
+        /// The bytes to send, in place.
+        payload: &'a [u8],
     },
     /// Close a socket (application → CLOSER).
     Close {
@@ -102,7 +115,69 @@ pub enum NetMsg {
     },
 }
 
-mod tag {
+/// The entries of a [`NetMsg::WatchBatch`], either borrowed from the
+/// application (`Slice`, for encoding) or straight from the encoded
+/// frame (`Raw`, after decoding — no allocation, entries are read on
+/// iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchEntries<'a> {
+    /// Application-side entries awaiting encoding.
+    Slice(&'a [(u64, MboxRef)]),
+    /// Wire-side entries: validated, 12 bytes each, decoded lazily.
+    Raw(&'a [u8]),
+}
+
+impl<'a> BatchEntries<'a> {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            BatchEntries::Slice(s) => s.len(),
+            BatchEntries::Raw(b) => b.len() / 12,
+        }
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate the (socket, reply) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, MboxRef)> + 'a {
+        let (slice, raw) = match *self {
+            BatchEntries::Slice(s) => (Some(s), None),
+            BatchEntries::Raw(b) => (None, Some(b)),
+        };
+        slice
+            .into_iter()
+            .flatten()
+            .copied()
+            .chain(raw.into_iter().flat_map(|b| {
+                b.chunks_exact(12).map(|e| {
+                    let mut s = [0u8; 8];
+                    s.copy_from_slice(&e[..8]);
+                    let mut r = [0u8; 4];
+                    r.copy_from_slice(&e[8..]);
+                    (u64::from_le_bytes(s), MboxRef(u32::from_le_bytes(r)))
+                })
+            }))
+    }
+}
+
+impl<'a> From<&'a [(u64, MboxRef)]> for BatchEntries<'a> {
+    fn from(entries: &'a [(u64, MboxRef)]) -> Self {
+        BatchEntries::Slice(entries)
+    }
+}
+
+impl PartialEq for BatchEntries<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for BatchEntries<'_> {}
+
+pub(crate) mod tag {
     pub const OPEN_LISTEN: u8 = 1;
     pub const OPEN_CONNECT: u8 = 2;
     pub const OPEN_OK: u8 = 3;
@@ -122,9 +197,27 @@ mod tag {
 /// payload — the largest header in the protocol.
 pub const DATA_HEADER: usize = 1 + 8;
 
-impl NetMsg {
+/// Rewrite an encoded [`NetMsg::Data`] frame into a [`NetMsg::Write`]
+/// frame **in place**, returning whether the frame was a `Data` frame.
+///
+/// The two encodings differ only in the tag byte, so an echo-style actor
+/// can receive a `Data` node, flip its tag, and forward the very same
+/// node to the WRITER — true zero-copy ownership transfer.
+pub fn data_frame_into_write(frame: &mut [u8]) -> bool {
+    match frame.first_mut() {
+        Some(t) if *t == tag::DATA => {
+            *t = tag::WRITE;
+            true
+        }
+        _ => false,
+    }
+}
+
+impl<'m> Wire for NetMsg<'m> {
+    type View<'a> = NetMsg<'a>;
+
     /// Encoded size of this message in bytes.
-    pub fn encoded_len(&self) -> usize {
+    fn encoded_len(&self) -> usize {
         match self {
             NetMsg::OpenListen { .. } | NetMsg::OpenConnect { .. } => 1 + 2 + 4,
             NetMsg::OpenOk { .. } => 1 + 8 + 1,
@@ -143,9 +236,9 @@ impl NetMsg {
     ///
     /// # Panics
     ///
-    /// Panics if `out` is smaller than [`NetMsg::encoded_len`]; size your
+    /// Panics if `out` is smaller than [`Wire::encoded_len`]; size your
     /// node payloads accordingly.
-    pub fn encode(&self, out: &mut [u8]) -> usize {
+    fn encode_into(&self, out: &mut [u8]) -> usize {
         let needed = self.encoded_len();
         assert!(
             out.len() >= needed,
@@ -222,76 +315,106 @@ impl NetMsg {
         needed
     }
 
-    /// Decode a message from `data`, or `None` when malformed.
-    pub fn decode(data: &[u8]) -> Option<NetMsg> {
+    /// Decode a borrowed message from `data`, or `None` when malformed.
+    ///
+    /// The check is exact: trailing bytes after a fixed-size message (or
+    /// after a batch's declared entry count) reject the frame, so a
+    /// truncated *or* padded frame can never alias a valid one.
+    fn decode_from(data: &[u8]) -> Option<NetMsg<'_>> {
         let (&t, rest) = data.split_first()?;
-        let u16_at = |r: &[u8], o: usize| -> Option<u16> {
-            Some(u16::from_le_bytes([*r.get(o)?, *r.get(o + 1)?]))
+        let exact = |n: usize| if rest.len() == n { Some(()) } else { None };
+        let u16_at = |o: usize| -> Option<u16> {
+            Some(u16::from_le_bytes([*rest.get(o)?, *rest.get(o + 1)?]))
         };
-        let u32_at = |r: &[u8], o: usize| -> Option<u32> {
-            let s = r.get(o..o + 4)?;
+        let u32_at = |o: usize| -> Option<u32> {
+            let s = rest.get(o..o + 4)?;
             Some(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
         };
-        let u64_at = |r: &[u8], o: usize| -> Option<u64> {
-            let s = r.get(o..o + 8)?;
+        let u64_at = |o: usize| -> Option<u64> {
+            let s = rest.get(o..o + 8)?;
             let mut b = [0u8; 8];
             b.copy_from_slice(s);
             Some(u64::from_le_bytes(b))
         };
         Some(match t {
-            tag::OPEN_LISTEN => NetMsg::OpenListen {
-                port: u16_at(rest, 0)?,
-                reply: MboxRef(u32_at(rest, 2)?),
-            },
-            tag::OPEN_CONNECT => NetMsg::OpenConnect {
-                port: u16_at(rest, 0)?,
-                reply: MboxRef(u32_at(rest, 2)?),
-            },
-            tag::OPEN_OK => NetMsg::OpenOk {
-                id: u64_at(rest, 0)?,
-                listener: *rest.get(8)? != 0,
-            },
-            tag::OPEN_FAIL => NetMsg::OpenFail {
-                port: u16_at(rest, 0)?,
-            },
-            tag::WATCH_LISTENER => NetMsg::WatchListener {
-                listener: u64_at(rest, 0)?,
-                reply: MboxRef(u32_at(rest, 8)?),
-            },
-            tag::ACCEPTED => NetMsg::Accepted {
-                listener: u64_at(rest, 0)?,
-                socket: u64_at(rest, 8)?,
-            },
-            tag::WATCH_SOCKET => NetMsg::WatchSocket {
-                socket: u64_at(rest, 0)?,
-                reply: MboxRef(u32_at(rest, 8)?),
-            },
-            tag::WATCH_BATCH => {
-                let count = u16_at(rest, 0)? as usize;
-                let mut entries = Vec::with_capacity(count);
-                for i in 0..count {
-                    let at = 2 + i * 12;
-                    entries.push((u64_at(rest, at)?, MboxRef(u32_at(rest, at + 8)?)));
+            tag::OPEN_LISTEN => {
+                exact(6)?;
+                NetMsg::OpenListen {
+                    port: u16_at(0)?,
+                    reply: MboxRef(u32_at(2)?),
                 }
-                NetMsg::WatchBatch { entries }
             }
-            tag::UNWATCH => NetMsg::Unwatch {
-                socket: u64_at(rest, 0)?,
-            },
+            tag::OPEN_CONNECT => {
+                exact(6)?;
+                NetMsg::OpenConnect {
+                    port: u16_at(0)?,
+                    reply: MboxRef(u32_at(2)?),
+                }
+            }
+            tag::OPEN_OK => {
+                exact(9)?;
+                NetMsg::OpenOk {
+                    id: u64_at(0)?,
+                    // Canonical bool: any other byte is a forgery.
+                    listener: match *rest.get(8)? {
+                        0 => false,
+                        1 => true,
+                        _ => return None,
+                    },
+                }
+            }
+            tag::OPEN_FAIL => {
+                exact(2)?;
+                NetMsg::OpenFail { port: u16_at(0)? }
+            }
+            tag::WATCH_LISTENER => {
+                exact(12)?;
+                NetMsg::WatchListener {
+                    listener: u64_at(0)?,
+                    reply: MboxRef(u32_at(8)?),
+                }
+            }
+            tag::ACCEPTED => {
+                exact(16)?;
+                NetMsg::Accepted {
+                    listener: u64_at(0)?,
+                    socket: u64_at(8)?,
+                }
+            }
+            tag::WATCH_SOCKET => {
+                exact(12)?;
+                NetMsg::WatchSocket {
+                    socket: u64_at(0)?,
+                    reply: MboxRef(u32_at(8)?),
+                }
+            }
+            tag::WATCH_BATCH => {
+                let count = u16_at(0)? as usize;
+                exact(2 + count * 12)?;
+                NetMsg::WatchBatch {
+                    entries: BatchEntries::Raw(rest.get(2..2 + count * 12)?),
+                }
+            }
+            tag::UNWATCH => {
+                exact(8)?;
+                NetMsg::Unwatch { socket: u64_at(0)? }
+            }
             tag::DATA => NetMsg::Data {
-                socket: u64_at(rest, 0)?,
-                payload: rest.get(8..)?.to_vec(),
+                socket: u64_at(0)?,
+                payload: rest.get(8..)?,
             },
-            tag::SOCKET_CLOSED => NetMsg::SocketClosed {
-                socket: u64_at(rest, 0)?,
-            },
+            tag::SOCKET_CLOSED => {
+                exact(8)?;
+                NetMsg::SocketClosed { socket: u64_at(0)? }
+            }
             tag::WRITE => NetMsg::Write {
-                socket: u64_at(rest, 0)?,
-                payload: rest.get(8..)?.to_vec(),
+                socket: u64_at(0)?,
+                payload: rest.get(8..)?,
             },
-            tag::CLOSE => NetMsg::Close {
-                socket: u64_at(rest, 0)?,
-            },
+            tag::CLOSE => {
+                exact(8)?;
+                NetMsg::Close { socket: u64_at(0)? }
+            }
             _ => return None,
         })
     }
@@ -301,11 +424,11 @@ impl NetMsg {
 mod tests {
     use super::*;
 
-    fn round_trip(msg: NetMsg) {
+    fn round_trip(msg: NetMsg<'_>) {
         let mut buf = vec![0u8; msg.encoded_len()];
-        let n = msg.encode(&mut buf);
+        let n = msg.encode_into(&mut buf);
         assert_eq!(n, buf.len());
-        assert_eq!(NetMsg::decode(&buf).unwrap(), msg);
+        assert_eq!(NetMsg::decode_from(&buf).unwrap(), msg);
     }
 
     #[test]
@@ -340,40 +463,262 @@ mod tests {
             reply: MboxRef(2),
         });
         round_trip(NetMsg::Unwatch { socket: 11 });
-        round_trip(NetMsg::WatchBatch { entries: vec![] });
         round_trip(NetMsg::WatchBatch {
-            entries: (0..40).map(|i| (i as u64 * 7, MboxRef(i))).collect(),
+            entries: BatchEntries::Slice(&[]),
+        });
+        let batch: Vec<(u64, MboxRef)> = (0..40).map(|i| (i as u64 * 7, MboxRef(i))).collect();
+        round_trip(NetMsg::WatchBatch {
+            entries: BatchEntries::Slice(&batch),
         });
         round_trip(NetMsg::Data {
             socket: 4,
-            payload: b"hello".to_vec(),
+            payload: b"hello",
         });
         round_trip(NetMsg::Data {
             socket: 4,
-            payload: vec![],
+            payload: &[],
         });
         round_trip(NetMsg::SocketClosed { socket: 4 });
         round_trip(NetMsg::Write {
             socket: 5,
-            payload: vec![0xFF; 100],
+            payload: &[0xFF; 100],
         });
         round_trip(NetMsg::Close { socket: 5 });
     }
 
     #[test]
+    fn batch_entries_decode_lazily_and_compare() {
+        let entries = [(1u64, MboxRef(2)), (3, MboxRef(4))];
+        let msg = NetMsg::WatchBatch {
+            entries: BatchEntries::Slice(&entries),
+        };
+        let mut buf = vec![0u8; msg.encoded_len()];
+        msg.encode_into(&mut buf);
+        match NetMsg::decode_from(&buf).unwrap() {
+            NetMsg::WatchBatch { entries: raw } => {
+                assert!(matches!(raw, BatchEntries::Raw(_)));
+                assert_eq!(raw.len(), 2);
+                let collected: Vec<_> = raw.iter().collect();
+                assert_eq!(collected, entries);
+                assert_eq!(raw, BatchEntries::Slice(&entries));
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
     fn malformed_inputs_are_none() {
-        assert!(NetMsg::decode(&[]).is_none());
-        assert!(NetMsg::decode(&[99]).is_none());
-        assert!(NetMsg::decode(&[tag::OPEN_OK, 1, 2]).is_none());
-        assert!(NetMsg::decode(&[tag::ACCEPTED, 0, 0, 0]).is_none());
+        assert!(NetMsg::decode_from(&[]).is_none());
+        assert!(NetMsg::decode_from(&[99]).is_none());
+        assert!(NetMsg::decode_from(&[tag::OPEN_OK, 1, 2]).is_none());
+        assert!(NetMsg::decode_from(&[tag::ACCEPTED, 0, 0, 0]).is_none());
         // A batch header promising more entries than present.
-        assert!(NetMsg::decode(&[tag::WATCH_BATCH, 2, 0, 1, 2, 3]).is_none());
+        assert!(NetMsg::decode_from(&[tag::WATCH_BATCH, 2, 0, 1, 2, 3]).is_none());
+    }
+
+    /// Deterministic pseudo-random byte source (xorshift64*), good
+    /// enough for property-style coverage without a fuzzing dependency.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n.max(1) as u64) as usize
+        }
+    }
+
+    /// One random message per variant family, payload storage provided
+    /// by the caller so views can borrow it.
+    fn random_msg<'a>(
+        rng: &mut Rng,
+        payload: &'a mut Vec<u8>,
+        batch: &'a mut Vec<(u64, MboxRef)>,
+    ) -> NetMsg<'a> {
+        match rng.below(13) {
+            0 => NetMsg::OpenListen {
+                port: rng.next() as u16,
+                reply: MboxRef(rng.next() as u32),
+            },
+            1 => NetMsg::OpenConnect {
+                port: rng.next() as u16,
+                reply: MboxRef(rng.next() as u32),
+            },
+            2 => NetMsg::OpenOk {
+                id: rng.next(),
+                listener: rng.next() & 1 == 1,
+            },
+            3 => NetMsg::OpenFail {
+                port: rng.next() as u16,
+            },
+            4 => NetMsg::WatchListener {
+                listener: rng.next(),
+                reply: MboxRef(rng.next() as u32),
+            },
+            5 => NetMsg::Accepted {
+                listener: rng.next(),
+                socket: rng.next(),
+            },
+            6 => NetMsg::WatchSocket {
+                socket: rng.next(),
+                reply: MboxRef(rng.next() as u32),
+            },
+            7 => {
+                let n = rng.below(20);
+                batch.clear();
+                for _ in 0..n {
+                    batch.push((rng.next(), MboxRef(rng.next() as u32)));
+                }
+                NetMsg::WatchBatch {
+                    entries: BatchEntries::Slice(batch),
+                }
+            }
+            8 => NetMsg::Unwatch { socket: rng.next() },
+            9 => {
+                let n = rng.below(64);
+                payload.clear();
+                for _ in 0..n {
+                    payload.push(rng.next() as u8);
+                }
+                NetMsg::Data {
+                    socket: rng.next(),
+                    payload,
+                }
+            }
+            10 => NetMsg::SocketClosed { socket: rng.next() },
+            11 => {
+                let n = rng.below(64);
+                payload.clear();
+                for _ in 0..n {
+                    payload.push(rng.next() as u8);
+                }
+                NetMsg::Write {
+                    socket: rng.next(),
+                    payload,
+                }
+            }
+            _ => NetMsg::Close { socket: rng.next() },
+        }
+    }
+
+    #[test]
+    fn property_encode_decode_identity() {
+        let mut rng = Rng(0x9E3779B97F4A7C15);
+        for _ in 0..2_000 {
+            let (mut payload, mut batch) = (Vec::new(), Vec::new());
+            let msg = random_msg(&mut rng, &mut payload, &mut batch);
+            let mut buf = vec![0u8; msg.encoded_len()];
+            assert_eq!(msg.encode_into(&mut buf), buf.len());
+            let decoded = NetMsg::decode_from(&buf).expect("valid encoding must decode");
+            assert_eq!(decoded, msg, "identity violated for {msg:?}");
+        }
+    }
+
+    #[test]
+    fn property_truncated_frames_rejected_without_panic() {
+        let mut rng = Rng(0xDEADBEEFCAFEF00D);
+        for _ in 0..500 {
+            let (mut payload, mut batch) = (Vec::new(), Vec::new());
+            let msg = random_msg(&mut rng, &mut payload, &mut batch);
+            let mut buf = vec![0u8; msg.encoded_len()];
+            msg.encode_into(&mut buf);
+            // Every strict prefix must decode to None — except Data/Write
+            // prefixes longer than the header, which are themselves valid
+            // (shorter) Data/Write frames.
+            for cut in 0..buf.len() {
+                let truncated = &buf[..cut];
+                if let Some(decoded) = NetMsg::decode_from(truncated) {
+                    assert!(
+                        matches!(decoded, NetMsg::Data { .. } | NetMsg::Write { .. })
+                            && cut >= DATA_HEADER,
+                        "truncation of {msg:?} at {cut} decoded as {decoded:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn property_oversized_frames_rejected_without_panic() {
+        let mut rng = Rng(0x1234_5678_9ABC_DEF1);
+        for _ in 0..500 {
+            let (mut payload, mut batch) = (Vec::new(), Vec::new());
+            let msg = random_msg(&mut rng, &mut payload, &mut batch);
+            if matches!(msg, NetMsg::Data { .. } | NetMsg::Write { .. }) {
+                continue; // their payload legitimately extends to the end
+            }
+            let mut buf = vec![0u8; msg.encoded_len()];
+            msg.encode_into(&mut buf);
+            for extra in [1usize, 3, 11] {
+                let mut padded = buf.clone();
+                padded.extend(std::iter::repeat_n(0xAB, extra));
+                assert!(
+                    NetMsg::decode_from(&padded).is_none(),
+                    "padded {msg:?} (+{extra}) decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn property_bit_flips_never_panic() {
+        let mut rng = Rng(0x0F0F_F0F0_1234_4321);
+        for _ in 0..500 {
+            let (mut payload, mut batch) = (Vec::new(), Vec::new());
+            let msg = random_msg(&mut rng, &mut payload, &mut batch);
+            let mut buf = vec![0u8; msg.encoded_len()];
+            msg.encode_into(&mut buf);
+            if buf.is_empty() {
+                continue;
+            }
+            for _ in 0..16 {
+                let byte = rng.below(buf.len());
+                let bit = rng.below(8);
+                buf[byte] ^= 1 << bit;
+                // Must not panic; if it still decodes, the decode must be
+                // internally consistent (re-encodes to the same bytes).
+                if let Some(decoded) = NetMsg::decode_from(&buf) {
+                    let mut re = vec![0u8; decoded.encoded_len()];
+                    decoded.encode_into(&mut re);
+                    assert_eq!(re, buf, "inconsistent decode of {decoded:?}");
+                }
+                buf[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn data_frame_tag_flip_forwards_in_place() {
+        let msg = NetMsg::Data {
+            socket: 42,
+            payload: b"echo",
+        };
+        let mut buf = vec![0u8; msg.encoded_len()];
+        msg.encode_into(&mut buf);
+        assert!(data_frame_into_write(&mut buf));
+        assert_eq!(
+            NetMsg::decode_from(&buf).unwrap(),
+            NetMsg::Write {
+                socket: 42,
+                payload: b"echo",
+            }
+        );
+        // Non-Data frames are left alone.
+        assert!(!data_frame_into_write(&mut [tag::CLOSE, 0]));
+        assert!(!data_frame_into_write(&mut []));
     }
 
     #[test]
     #[should_panic(expected = "message needs")]
     fn encode_into_tiny_buffer_panics() {
         let mut buf = [0u8; 2];
-        NetMsg::Close { socket: 1 }.encode(&mut buf);
+        NetMsg::Close { socket: 1 }.encode_into(&mut buf);
     }
 }

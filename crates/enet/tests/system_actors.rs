@@ -8,7 +8,7 @@ use eactors::actor::Actor;
 use eactors::arena::{Arena, Mbox};
 use eactors::prelude::*;
 use enet::{
-    recv_msg, send_msg, MboxDirectory, NetBackend, NetMsg, RecvOutcome, SimNet, SystemActors,
+    BatchEntries, MboxDirectory, NetBackend, NetMsg, NetPort, RecvOutcome, SimNet, SystemActors,
     TcpLoopback,
 };
 use sgx_sim::{CostModel, Platform};
@@ -53,17 +53,18 @@ fn reader_batch_subscription_serves_all_sockets() {
         pairs.push((c, s));
     }
 
-    // One reply mbox per server socket (the per-user mbox pattern).
-    let replies: Vec<_> = (0..3).map(|_| Mbox::new(pool.clone(), 16)).collect();
+    // One reply port per server socket (the per-user mbox pattern).
+    let replies: Vec<NetPort> = (0..3)
+        .map(|_| Port::new(Mbox::new(pool.clone(), 16)))
+        .collect();
     let entries: Vec<(u64, enet::MboxRef)> = pairs
         .iter()
         .zip(&replies)
-        .map(|((_, s), mbox)| (s.0, sys.dir.register(mbox.clone())))
+        .map(|((_, s), port)| (s.0, sys.dir.register(port.mbox().clone())))
         .collect();
-    assert!(send_msg(
-        &sys.reader_requests,
-        &NetMsg::WatchBatch { entries }
-    ));
+    assert!(sys.reader_requests.send(&NetMsg::WatchBatch {
+        entries: BatchEntries::Slice(&entries),
+    }));
 
     // Send distinct payloads from each client.
     for (i, (c, _)) in pairs.iter().enumerate() {
@@ -73,9 +74,15 @@ fn reader_batch_subscription_serves_all_sockets() {
     let replies2 = replies.clone();
     let mut got = [false; 3];
     drive_actor(&p, sys.reader, move |ctx| {
-        for (i, mbox) in replies2.iter().enumerate() {
-            if let Some(NetMsg::Data { payload, .. }) = recv_msg(mbox) {
-                assert_eq!(payload, format!("payload-{i}").into_bytes());
+        for (i, port) in replies2.iter().enumerate() {
+            let matched = port.recv(|m| match m {
+                NetMsg::Data { payload, .. } => {
+                    assert_eq!(payload, format!("payload-{i}").into_bytes());
+                    true
+                }
+                _ => false,
+            });
+            if matched == Some(true) {
                 got[i] = true;
             }
         }
@@ -98,22 +105,16 @@ fn accepter_watches_multiple_listeners() {
 
     let l1 = sim.listen(100).unwrap();
     let l2 = sim.listen(200).unwrap();
-    let replies = Mbox::new(pool, 16);
-    let r = sys.dir.register(replies.clone());
-    send_msg(
-        &sys.accepter_requests,
-        &NetMsg::WatchListener {
-            listener: l1.0,
-            reply: r,
-        },
-    );
-    send_msg(
-        &sys.accepter_requests,
-        &NetMsg::WatchListener {
-            listener: l2.0,
-            reply: r,
-        },
-    );
+    let replies: NetPort = Port::new(Mbox::new(pool, 16));
+    let r = sys.dir.register(replies.mbox().clone());
+    sys.accepter_requests.send(&NetMsg::WatchListener {
+        listener: l1.0,
+        reply: r,
+    });
+    sys.accepter_requests.send(&NetMsg::WatchListener {
+        listener: l2.0,
+        reply: r,
+    });
 
     sim.connect(100).unwrap();
     sim.connect(200).unwrap();
@@ -121,7 +122,10 @@ fn accepter_watches_multiple_listeners() {
 
     let mut seen = Vec::new();
     drive_actor(&p, sys.accepter, move |ctx| {
-        while let Some(NetMsg::Accepted { listener, .. }) = recv_msg(&replies) {
+        while let Some(Some(listener)) = replies.recv(|m| match m {
+            NetMsg::Accepted { listener, .. } => Some(listener),
+            _ => None,
+        }) {
             seen.push(listener);
         }
         if seen.iter().filter(|&&l| l == l1.0).count() == 2
@@ -146,7 +150,7 @@ fn closer_closes_and_peer_sees_eof() {
     let l = sim.listen(9).unwrap();
     let c = sim.connect(9).unwrap();
     let s = sim.accept(l).unwrap().unwrap();
-    send_msg(&sys.closer_requests, &NetMsg::Close { socket: s.0 });
+    sys.closer_requests.send(&NetMsg::Close { socket: s.0 });
 
     let sim2 = sim.clone();
     drive_actor(&p, sys.closer, move |ctx| {
@@ -171,15 +175,12 @@ fn system_actors_work_over_real_tcp_sockets() {
     let pool = Arena::new("pool", 64, 512);
     let sys = SystemActors::new(net, pool.clone());
 
-    let replies = Mbox::new(pool, 32);
-    let r = sys.dir.register(replies.clone());
-    send_msg(
-        &sys.opener_requests,
-        &NetMsg::OpenListen {
-            port: 777,
-            reply: r,
-        },
-    );
+    let replies: NetPort = Port::new(Mbox::new(pool, 32));
+    let r = sys.dir.register(replies.mbox().clone());
+    sys.opener_requests.send(&NetMsg::OpenListen {
+        port: 777,
+        reply: r,
+    });
 
     // Run opener + accepter + reader together.
     let mut opener = sys.opener;
@@ -188,34 +189,45 @@ fn system_actors_work_over_real_tcp_sockets() {
     let accepter_rq = sys.accepter_requests.clone();
     let reader_rq = sys.reader_requests.clone();
 
+    enum Event {
+        Listening(u64),
+        Accepted(u64),
+        Echoed,
+        Other,
+    }
+
     let tcp2 = tcp.clone();
     let mut client = None;
     let done = move |ctx: &mut Ctx| {
-        match recv_msg(&replies) {
-            Some(NetMsg::OpenOk { id, listener: true }) => {
-                send_msg(
-                    &accepter_rq,
-                    &NetMsg::WatchListener {
-                        listener: id,
-                        reply: r,
-                    },
-                );
-                client = Some(tcp2.connect(777).unwrap());
-                return Control::Busy;
-            }
-            Some(NetMsg::Accepted { socket, .. }) => {
-                send_msg(&reader_rq, &NetMsg::WatchSocket { socket, reply: r });
-                tcp2.send(client.unwrap(), b"over real tcp").unwrap();
-                return Control::Busy;
-            }
-            Some(NetMsg::Data { payload, .. }) => {
+        let event = replies.recv(|m| match m {
+            NetMsg::OpenOk { id, listener: true } => Event::Listening(id),
+            NetMsg::Accepted { socket, .. } => Event::Accepted(socket),
+            NetMsg::Data { payload, .. } => {
                 assert_eq!(payload, b"over real tcp");
-                ctx.shutdown();
-                return Control::Park;
+                Event::Echoed
             }
-            _ => {}
+            _ => Event::Other,
+        });
+        match event {
+            Some(Event::Listening(id)) => {
+                accepter_rq.send(&NetMsg::WatchListener {
+                    listener: id,
+                    reply: r,
+                });
+                client = Some(tcp2.connect(777).unwrap());
+                Control::Busy
+            }
+            Some(Event::Accepted(socket)) => {
+                reader_rq.send(&NetMsg::WatchSocket { socket, reply: r });
+                tcp2.send(client.unwrap(), b"over real tcp").unwrap();
+                Control::Busy
+            }
+            Some(Event::Echoed) => {
+                ctx.shutdown();
+                Control::Park
+            }
+            _ => Control::Idle,
         }
-        Control::Idle
     };
 
     let mut b = DeploymentBuilder::new();

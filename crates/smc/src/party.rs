@@ -13,7 +13,7 @@ use eactors::prelude::*;
 use sgx_sim::sync::Mutex;
 use sgx_sim::{Platform, TrustedRng};
 
-use crate::protocol::{add_assign, decode_u32s, encode_u32s, sub_assign, update_secret};
+use crate::protocol::{add_assign, sub_assign, update_secret, SumVec};
 use crate::{SmcConfig, SmcError, SmcResult};
 
 /// Control messages on the driver ↔ party-1 channel.
@@ -29,7 +29,6 @@ struct FirstParty {
     dynamic: bool,
     pending_rnds: std::collections::VecDeque<Vec<u32>>,
     rng: Option<TrustedRng>,
-    scratch_bytes: Vec<u8>,
     scratch_vec: Vec<u32>,
 }
 
@@ -42,7 +41,6 @@ impl FirstParty {
             dynamic,
             pending_rnds: std::collections::VecDeque::new(),
             rng: None,
-            scratch_bytes: vec![0u8; dim * 4],
             scratch_vec: vec![0u32; dim],
         }
     }
@@ -73,9 +71,10 @@ impl Actor for FirstParty {
                     if self.dynamic {
                         update_secret(&mut self.secret);
                     }
-                    let n = encode_u32s(&self.scratch_vec, &mut self.scratch_bytes);
-                    ctx.channel(0)
-                        .send(&self.scratch_bytes[..n])
+                    // Encode straight into the channel node: no
+                    // intermediate byte buffer.
+                    ctx.typed_channel::<SumVec>(0)
+                        .send(&SumVec::Elems(&self.scratch_vec))
                         .expect("ring channel sized for the in-flight window");
                     self.pending_rnds.push_back(rnd);
                     worked = true;
@@ -84,17 +83,25 @@ impl Actor for FirstParty {
             }
         }
 
-        // Completed rounds arriving from party K.
-        while let Ok(Some(n)) = ctx.channel(1).try_recv(&mut self.scratch_bytes) {
-            assert!(decode_u32s(&self.scratch_bytes[..n], &mut self.scratch_vec));
+        // Completed rounds arriving from party K, decoded in place.
+        loop {
+            let scratch = &mut self.scratch_vec;
+            match ctx
+                .typed_channel::<SumVec>(1)
+                .recv(|v| v.copy_into(scratch))
+            {
+                Ok(Some(ok)) => assert!(ok, "ring frame has the wrong dimension"),
+                // Empty, or a tampered/corrupt frame (counted in the
+                // endpoint's telemetry): nothing to unmask this pass.
+                _ => break,
+            }
             let rnd = self
                 .pending_rnds
                 .pop_front()
                 .expect("a result implies a pending Rnd");
             sub_assign(&mut self.scratch_vec, &rnd);
-            let n = encode_u32s(&self.scratch_vec, &mut self.scratch_bytes);
-            ctx.channel(2)
-                .send(&self.scratch_bytes[..n])
+            ctx.typed_channel::<SumVec>(2)
+                .send(&SumVec::Elems(&self.scratch_vec))
                 .expect("driver channel sized for the in-flight window");
             worked = true;
         }
@@ -113,7 +120,6 @@ impl Actor for FirstParty {
 struct RingParty {
     secret: Vec<u32>,
     dynamic: bool,
-    scratch_bytes: Vec<u8>,
     scratch_vec: Vec<u32>,
 }
 
@@ -123,7 +129,6 @@ impl RingParty {
         RingParty {
             secret,
             dynamic,
-            scratch_bytes: vec![0u8; dim * 4],
             scratch_vec: vec![0u32; dim],
         }
     }
@@ -132,15 +137,21 @@ impl RingParty {
 impl Actor for RingParty {
     fn body(&mut self, ctx: &mut Ctx) -> Control {
         let mut worked = false;
-        while let Ok(Some(n)) = ctx.channel(0).try_recv(&mut self.scratch_bytes) {
-            assert!(decode_u32s(&self.scratch_bytes[..n], &mut self.scratch_vec));
+        loop {
+            let scratch = &mut self.scratch_vec;
+            match ctx
+                .typed_channel::<SumVec>(0)
+                .recv(|v| v.copy_into(scratch))
+            {
+                Ok(Some(ok)) => assert!(ok, "ring frame has the wrong dimension"),
+                _ => break,
+            }
             add_assign(&mut self.scratch_vec, &self.secret);
             if self.dynamic {
                 update_secret(&mut self.secret);
             }
-            let n = encode_u32s(&self.scratch_vec, &mut self.scratch_bytes);
-            ctx.channel(1)
-                .send(&self.scratch_bytes[..n])
+            ctx.typed_channel::<SumVec>(1)
+                .send(&SumVec::Elems(&self.scratch_vec))
                 .expect("ring channel sized for the in-flight window");
             worked = true;
         }
@@ -160,7 +171,6 @@ struct Driver {
     completed: u64,
     started_at: Option<Instant>,
     replicas: Vec<Vec<u32>>, // only when verifying
-    scratch_bytes: Vec<u8>,
     scratch_vec: Vec<u32>,
     out: Arc<Mutex<Option<SmcResult>>>,
 }
@@ -183,11 +193,18 @@ impl Actor for Driver {
             return Control::Busy;
         }
         let mut worked = false;
-        while let Ok(Some(n)) = ctx.channel(0).try_recv(&mut self.scratch_bytes) {
+        loop {
+            let scratch = &mut self.scratch_vec;
+            match ctx
+                .typed_channel::<SumVec>(0)
+                .recv(|v| v.copy_into(scratch))
+            {
+                Ok(Some(ok)) => assert!(ok, "result frame has the wrong dimension"),
+                _ => break,
+            }
             worked = true;
             self.completed += 1;
             if self.config.verify {
-                assert!(decode_u32s(&self.scratch_bytes[..n], &mut self.scratch_vec));
                 let expected = crate::protocol::reference_sum(&self.replicas);
                 assert_eq!(
                     self.scratch_vec, expected,
@@ -288,7 +305,6 @@ pub fn run_ea(platform: &Platform, config: &SmcConfig) -> Result<SmcResult, SmcE
             completed: 0,
             started_at: None,
             replicas: Vec::new(),
-            scratch_bytes: vec![0u8; config.dim * 4],
             scratch_vec: vec![0u32; config.dim],
             out: out.clone(),
         },

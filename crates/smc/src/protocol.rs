@@ -4,6 +4,11 @@
 //! random vector `Rnd`; each party adds its own secret (element-wise,
 //! wrapping) and forwards; party 1 finally subtracts `Rnd`, leaving the
 //! sum of all secrets without any party having revealed its own.
+//!
+//! The ring frame format is [`SumVec`], a [`Wire`] codec over
+//! little-endian `u32`s, carried on the runtime's typed channel ends.
+
+use eactors::wire::Wire;
 
 /// Deterministically derive party `party`'s initial secret vector.
 ///
@@ -48,35 +53,78 @@ pub fn update_secret(secret: &mut [u32]) {
     }
 }
 
-/// Serialise a vector into `out` (little-endian), returning bytes written.
+/// The ring frame: a `u32` vector as little-endian bytes, expressed as a
+/// [`Wire`] codec so parties encode straight into channel nodes and
+/// decode in place.
 ///
-/// # Panics
-///
-/// Panics if `out` is smaller than `4 * v.len()`.
-pub fn encode_u32s(v: &[u32], out: &mut [u8]) -> usize {
-    let needed = v.len() * 4;
-    assert!(
-        out.len() >= needed,
-        "need {needed} bytes, have {}",
-        out.len()
-    );
-    for (chunk, &x) in out.chunks_exact_mut(4).zip(v) {
-        chunk.copy_from_slice(&x.to_le_bytes());
-    }
-    needed
+/// Encoding borrows the host-order elements; decoding yields a view over
+/// the raw frame bytes (alignment forbids reborrowing them as `&[u32]`),
+/// copied out on demand with [`SumVec::copy_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SumVec<'a> {
+    /// Host-order elements (the encode side).
+    Elems(&'a [u32]),
+    /// Raw little-endian frame bytes (the decode side).
+    Raw(&'a [u8]),
 }
 
-/// Deserialise a vector from `data` into `out`.
-///
-/// Returns `false` when `data` is not exactly `4 * out.len()` bytes.
-pub fn decode_u32s(data: &[u8], out: &mut [u32]) -> bool {
-    if data.len() != out.len() * 4 {
-        return false;
+impl SumVec<'_> {
+    /// Number of `u32` elements in the vector.
+    pub fn len(&self) -> usize {
+        match self {
+            SumVec::Elems(v) => v.len(),
+            SumVec::Raw(b) => b.len() / 4,
+        }
     }
-    for (x, chunk) in out.iter_mut().zip(data.chunks_exact(4)) {
-        *x = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+
+    /// Whether the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
-    true
+
+    /// Copy the elements into `out`.
+    ///
+    /// Returns `false` — leaving `out` untouched — on a dimension
+    /// mismatch.
+    pub fn copy_into(&self, out: &mut [u32]) -> bool {
+        if self.len() != out.len() {
+            return false;
+        }
+        match self {
+            SumVec::Elems(v) => out.copy_from_slice(v),
+            SumVec::Raw(b) => {
+                for (x, chunk) in out.iter_mut().zip(b.chunks_exact(4)) {
+                    *x = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                }
+            }
+        }
+        true
+    }
+}
+
+impl<'m> Wire for SumVec<'m> {
+    type View<'a> = SumVec<'a>;
+
+    fn encoded_len(&self) -> usize {
+        self.len() * 4
+    }
+
+    fn encode_into(&self, out: &mut [u8]) -> usize {
+        let n = self.encoded_len();
+        match self {
+            SumVec::Elems(v) => {
+                for (chunk, &x) in out.chunks_exact_mut(4).zip(*v) {
+                    chunk.copy_from_slice(&x.to_le_bytes());
+                }
+            }
+            SumVec::Raw(b) => out[..n].copy_from_slice(b),
+        }
+        n
+    }
+
+    fn decode_from(data: &[u8]) -> Option<SumVec<'_>> {
+        (data.len() % 4 == 0).then_some(SumVec::Raw(data))
+    }
 }
 
 /// A plain (insecure) reference implementation: the element-wise wrapping
@@ -131,13 +179,20 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let v: Vec<u32> = (0..100).map(|i| i * 31 + 7).collect();
+        let msg = SumVec::Elems(&v);
+        assert_eq!(msg.encoded_len(), 400);
         let mut buf = vec![0u8; 400];
-        assert_eq!(encode_u32s(&v, &mut buf), 400);
+        assert_eq!(msg.encode_into(&mut buf), 400);
+        let view = SumVec::decode_from(&buf).expect("aligned frame");
+        assert_eq!(view.len(), 100);
         let mut out = vec![0u32; 100];
-        assert!(decode_u32s(&buf, &mut out));
+        assert!(view.copy_into(&mut out));
         assert_eq!(out, v);
-        // Wrong size fails.
-        assert!(!decode_u32s(&buf[..396], &mut out));
+        // Dimension mismatch fails; misaligned frames do not decode.
+        assert!(!SumVec::decode_from(&buf[..396])
+            .unwrap()
+            .copy_into(&mut out));
+        assert_eq!(SumVec::decode_from(&buf[..397]), None);
     }
 
     #[test]
@@ -152,8 +207,8 @@ mod tests {
     fn empty_vectors_are_fine() {
         let mut empty: Vec<u32> = vec![];
         add_assign(&mut empty, &[]);
-        assert_eq!(encode_u32s(&[], &mut []), 0);
-        assert!(decode_u32s(&[], &mut empty));
+        assert_eq!(SumVec::Elems(&[]).encode_into(&mut []), 0);
+        assert!(SumVec::decode_from(&[]).unwrap().copy_into(&mut empty));
         assert_eq!(reference_sum(&[]), Vec::<u32>::new());
     }
 }

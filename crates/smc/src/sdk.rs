@@ -13,7 +13,9 @@ use std::time::Instant;
 use sgx_sim::crypto::{SessionCipher, SEAL_OVERHEAD};
 use sgx_sim::{attest, Enclave, Platform, TrustedRng};
 
-use crate::protocol::{add_assign, decode_u32s, encode_u32s, sub_assign, update_secret};
+use eactors::wire::Wire;
+
+use crate::protocol::{add_assign, sub_assign, update_secret, SumVec};
 use crate::{SmcConfig, SmcError, SmcResult};
 
 struct SdkParty {
@@ -117,7 +119,7 @@ impl SdkSmc {
                     update_secret(&mut p.secret);
                 }
                 let mut bytes = vec![0u8; dim * 4];
-                encode_u32s(plain, &mut bytes);
+                SumVec::Elems(plain).encode_into(&mut bytes);
                 p.tx.seal(&bytes, wire).expect("wire buffer sized");
             });
         }
@@ -132,12 +134,14 @@ impl SdkSmc {
                     .expect("ring fully keyed")
                     .open(wire, &mut bytes)
                     .expect("ring message authentic");
-                decode_u32s(&bytes, plain);
+                SumVec::decode_from(&bytes)
+                    .expect("aligned frame")
+                    .copy_into(plain);
                 add_assign(plain, &p.secret);
                 if dynamic {
                     update_secret(&mut p.secret);
                 }
-                encode_u32s(plain, &mut bytes);
+                SumVec::Elems(plain).encode_into(&mut bytes);
                 p.tx.seal(&bytes, wire).expect("wire buffer sized");
             });
         }
@@ -152,7 +156,9 @@ impl SdkSmc {
                     .expect("ring fully keyed")
                     .open(wire, &mut bytes)
                     .expect("ring message authentic");
-                decode_u32s(&bytes, plain);
+                SumVec::decode_from(&bytes)
+                    .expect("aligned frame")
+                    .copy_into(plain);
                 sub_assign(plain, rnd);
                 plain.clone()
             })

@@ -2,6 +2,7 @@
 //! correctness: pipelining edge cases, confidentiality accounting, and
 //! cross-variant agreement over long runs.
 
+use eactors::wire::Wire;
 use sgx_sim::{CostModel, Platform};
 use smc::{protocol, run_ea, run_sdk, SdkSmc, SmcConfig};
 
@@ -109,7 +110,7 @@ fn secrets_never_cross_the_wire_in_plaintext() {
     // not enough — we re-derive the exact byte patterns).
     for s in &secrets {
         let mut bytes = vec![0u8; s.len() * 4];
-        protocol::encode_u32s(s, &mut bytes);
+        protocol::SumVec::Elems(s).encode_into(&mut bytes);
         // The final wire buffer is sealed; check it doesn't contain the
         // secret's byte pattern. (8 consecutive matching bytes would be
         // a leak, not coincidence.)

@@ -10,6 +10,12 @@
 //! one-to-many by decrypting once and re-encrypting for every room member
 //! — the paper's group-chat confinement.
 //!
+//! All messaging rides the [`eactors::wire`] layer: network traffic moves
+//! through typed [`NetPort`]s, assignments through a [`Port`] carrying
+//! the borrowed [`AssignMsg`] codec, and outgoing stanzas are sealed
+//! directly into WRITER nodes via [`enet::send_write_with`] — the steady
+//! state allocates nothing per message at the framing layer.
+//!
 //! Deployment knobs reproduce the paper's experiments: instance count
 //! (Fig 14), trusted vs untrusted execution (Fig 15/17) and how instances
 //! map onto enclaves (Fig 16).
@@ -18,15 +24,19 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use eactors::arena::{Arena, Mbox};
+use eactors::arena::{Arena, Mbox, Node};
 use eactors::prelude::*;
-use enet::{drain_msgs, send_msg, MboxDirectory, MboxRef, NetBackend, NetMsg, SystemActors};
+use eactors::wire::{Port, PortStats, Wire};
+use enet::{
+    send_write_with, BatchEntries, MboxDirectory, MboxRef, NetBackend, NetMsg, NetPort,
+    SystemActors,
+};
 use sgx_sim::crypto::SessionKey;
 use sgx_sim::Platform;
 
 use crate::directory::{Directory, DirectoryReader, Member};
 use crate::stanza::Stanza;
-use crate::wire::{encode_frame, ConnCrypto, FrameBuf};
+use crate::wire::{ConnCrypto, Frame, FrameBuf};
 use crate::XmppError;
 
 /// How XMPP instances map onto enclaves (Fig 16).
@@ -113,19 +123,30 @@ pub struct ServiceStats {
 /// Nodes claimed per `recv_batch` call when draining assignments.
 const ASSIGN_BATCH: usize = 32;
 
-/// Assignment message: CONNECTOR → instance. Private wire format.
-struct AssignMsg {
+/// Nodes claimed per `recv_batch` call when draining socket data.
+const DATA_BATCH: usize = 32;
+
+/// Assignment message: CONNECTOR → instance, a borrowed [`Wire`] view
+/// (`socket`, then `u16`-length-prefixed user name and leftover bytes).
+struct AssignMsg<'a> {
     socket: u64,
-    user: String,
-    leftover: Vec<u8>,
+    user: &'a str,
+    leftover: &'a [u8],
 }
 
-impl AssignMsg {
-    fn encode(&self, out: &mut [u8]) -> Option<usize> {
-        let needed = 8 + 2 + self.user.len() + 2 + self.leftover.len();
-        if out.len() < needed || self.user.len() > u16::MAX as usize {
-            return None;
-        }
+/// The typed port carrying [`AssignMsg`] frames.
+type AssignPort = Port<AssignMsg<'static>>;
+
+impl<'m> Wire for AssignMsg<'m> {
+    type View<'a> = AssignMsg<'a>;
+
+    fn encoded_len(&self) -> usize {
+        12 + self.user.len() + self.leftover.len()
+    }
+
+    fn encode_into(&self, out: &mut [u8]) -> usize {
+        debug_assert!(self.user.len() <= u16::MAX as usize);
+        debug_assert!(self.leftover.len() <= u16::MAX as usize);
         out[..8].copy_from_slice(&self.socket.to_le_bytes());
         out[8..10].copy_from_slice(&(self.user.len() as u16).to_le_bytes());
         let mut pos = 10;
@@ -133,25 +154,49 @@ impl AssignMsg {
         pos += self.user.len();
         out[pos..pos + 2].copy_from_slice(&(self.leftover.len() as u16).to_le_bytes());
         pos += 2;
-        out[pos..pos + self.leftover.len()].copy_from_slice(&self.leftover);
-        Some(needed)
+        out[pos..pos + self.leftover.len()].copy_from_slice(self.leftover);
+        pos + self.leftover.len()
     }
 
-    fn decode(data: &[u8]) -> Option<AssignMsg> {
-        if data.len() < 12 {
-            return None;
-        }
-        let socket = u64::from_le_bytes(data[..8].try_into().ok()?);
-        let ulen = u16::from_le_bytes([data[8], data[9]]) as usize;
-        let user = String::from_utf8(data.get(10..10 + ulen)?.to_vec()).ok()?;
+    fn decode_from(data: &[u8]) -> Option<AssignMsg<'_>> {
+        let socket = u64::from_le_bytes(data.get(..8)?.try_into().ok()?);
+        let ulen = u16::from_le_bytes([*data.get(8)?, *data.get(9)?]) as usize;
+        let user = std::str::from_utf8(data.get(10..10 + ulen)?).ok()?;
         let pos = 10 + ulen;
         let llen = u16::from_le_bytes([*data.get(pos)?, *data.get(pos + 1)?]) as usize;
-        let leftover = data.get(pos + 2..pos + 2 + llen)?.to_vec();
+        if data.len() != pos + 2 + llen {
+            return None;
+        }
         Some(AssignMsg {
             socket,
             user,
-            leftover,
+            leftover: &data[pos + 2..],
         })
+    }
+}
+
+/// Instance choice for an authenticated `user` (free function so the
+/// CONNECTOR's drain closure can call it over disjoint field borrows).
+fn pick_instance(
+    assignment: Assignment,
+    rr_next: &mut usize,
+    instances: usize,
+    user: &str,
+) -> usize {
+    match assignment {
+        Assignment::RoundRobin => {
+            let i = *rr_next;
+            *rr_next = (*rr_next + 1) % instances;
+            i
+        }
+        Assignment::ByRoomTag => user
+            .strip_prefix('g')
+            .and_then(|rest| rest.split('-').next())
+            .and_then(|tag| tag.parse::<usize>().ok())
+            .map(|k| k % instances)
+            .unwrap_or_else(|| {
+                (sgx_sim::crypto::digest(user.as_bytes()) % instances as u64) as usize
+            }),
     }
 }
 
@@ -160,134 +205,110 @@ impl AssignMsg {
 struct Connector {
     port: u16,
     listening: bool,
-    reply: Arc<Mbox>,
+    reply: NetPort,
     reply_ref: MboxRef,
-    opener_rq: Arc<Mbox>,
-    accepter_rq: Arc<Mbox>,
-    reader_rq: Arc<Mbox>,
-    closer_rq: Arc<Mbox>,
-    assigns: Arc<Vec<Arc<Mbox>>>,
+    opener_rq: NetPort,
+    accepter_rq: NetPort,
+    reader_rq: NetPort,
+    closer_rq: NetPort,
+    assigns: Arc<Vec<AssignPort>>,
     assignment: Assignment,
     rr_next: usize,
     pending: HashMap<u64, FrameBuf>,
     stats: Arc<ServiceStats>,
 }
 
-impl Connector {
-    fn pick_instance(&mut self, user: &str) -> usize {
-        let n = self.assigns.len();
-        match self.assignment {
-            Assignment::RoundRobin => {
-                let i = self.rr_next;
-                self.rr_next = (self.rr_next + 1) % n;
-                i
-            }
-            Assignment::ByRoomTag => user
-                .strip_prefix('g')
-                .and_then(|rest| rest.split('-').next())
-                .and_then(|tag| tag.parse::<usize>().ok())
-                .map(|k| k % n)
-                .unwrap_or_else(|| (sgx_sim::crypto::digest(user.as_bytes()) % n as u64) as usize),
-        }
-    }
-
-    fn assign(&mut self, socket: u64, user: String, leftover: Vec<u8>) {
-        let instance = self.pick_instance(&user);
-        let msg = AssignMsg {
-            socket,
-            user,
-            leftover,
-        };
-        let mbox = &self.assigns[instance];
-        if let Some(mut node) = mbox.arena().try_pop() {
-            if let Some(n) = msg.encode(node.buffer_mut()) {
-                node.set_len(n);
-                if mbox.send(node).is_ok() {
-                    return;
-                }
-            }
-        }
-        // Assignment failed (congestion): drop the connection.
-        send_msg(&self.closer_rq, &NetMsg::Close { socket });
-    }
-}
-
 impl Actor for Connector {
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
         if !self.listening {
             self.listening = true;
-            send_msg(
-                &self.opener_rq,
-                &NetMsg::OpenListen {
-                    port: self.port,
-                    reply: self.reply_ref,
-                },
-            );
+            self.opener_rq.send(&NetMsg::OpenListen {
+                port: self.port,
+                reply: self.reply_ref,
+            });
             return Control::Busy;
         }
         // Batched drain: one cursor claim covers a whole run of replies
-        // (accept storms arrive in bursts). Clone the Arc out so the
-        // closure may borrow `self` mutably.
-        let reply = Arc::clone(&self.reply);
-        let worked = drain_msgs(&reply, |msg| {
+        // (accept storms arrive in bursts). Destructure so the closure
+        // borrows fields disjointly from the reply port.
+        let Connector {
+            reply,
+            reply_ref,
+            accepter_rq,
+            reader_rq,
+            closer_rq,
+            assigns,
+            assignment,
+            rr_next,
+            pending,
+            stats,
+            ..
+        } = self;
+        let reply_ref = *reply_ref;
+        let assignment = *assignment;
+        let worked = reply.drain(|msg| {
             match msg {
                 NetMsg::OpenOk { id, listener: true } => {
-                    send_msg(
-                        &self.accepter_rq,
-                        &NetMsg::WatchListener {
-                            listener: id,
-                            reply: self.reply_ref,
-                        },
-                    );
+                    accepter_rq.send(&NetMsg::WatchListener {
+                        listener: id,
+                        reply: reply_ref,
+                    });
                 }
                 NetMsg::Accepted { socket, .. } => {
-                    self.pending.insert(socket, FrameBuf::new());
-                    send_msg(
-                        &self.reader_rq,
-                        &NetMsg::WatchSocket {
-                            socket,
-                            reply: self.reply_ref,
-                        },
-                    );
+                    pending.insert(socket, FrameBuf::new());
+                    reader_rq.send(&NetMsg::WatchSocket {
+                        socket,
+                        reply: reply_ref,
+                    });
                 }
                 NetMsg::Data { socket, payload } => {
-                    let Some(fb) = self.pending.get_mut(&socket) else {
+                    let Some(fb) = pending.get_mut(&socket) else {
                         return;
                     };
-                    fb.push(&payload);
-                    match fb.next_frame() {
-                        Ok(Some(frame)) => {
-                            // The handshake frame is plaintext.
-                            let stanza = String::from_utf8(frame)
-                                .ok()
-                                .and_then(|xml| Stanza::parse(&xml).ok());
-                            match stanza {
-                                Some(Stanza::Stream { from, .. }) => {
-                                    let mut fb = self
-                                        .pending
-                                        .remove(&socket)
-                                        .expect("checked present above");
-                                    send_msg(&self.reader_rq, &NetMsg::Unwatch { socket });
-                                    self.assign(socket, from, fb.take_remaining());
-                                }
-                                _ => {
-                                    self.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
-                                    self.pending.remove(&socket);
-                                    send_msg(&self.reader_rq, &NetMsg::Unwatch { socket });
-                                    send_msg(&self.closer_rq, &NetMsg::Close { socket });
-                                }
+                    fb.push(payload);
+                    // The handshake frame is plaintext; parse it in place.
+                    let stanza = fb.next_frame_with(|frame| {
+                        std::str::from_utf8(frame)
+                            .ok()
+                            .and_then(|xml| Stanza::parse(xml).ok())
+                    });
+                    match stanza {
+                        Ok(Some(Some(Stanza::Stream { from, .. })))
+                            if from.len() <= u16::MAX as usize =>
+                        {
+                            let mut fb = pending.remove(&socket).expect("checked present above");
+                            reader_rq.send(&NetMsg::Unwatch { socket });
+                            let leftover = fb.take_remaining();
+                            let instance = pick_instance(assignment, rr_next, assigns.len(), &from);
+                            let sent = leftover.len() <= u16::MAX as usize
+                                && assigns[instance].send(&AssignMsg {
+                                    socket,
+                                    user: &from,
+                                    leftover: &leftover,
+                                });
+                            if !sent {
+                                // Assignment failed (congestion): drop the
+                                // connection. The failure itself is counted
+                                // in the assign port's send-drop telemetry.
+                                closer_rq.send(&NetMsg::Close { socket });
                             }
+                        }
+                        Ok(Some(_)) => {
+                            stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                            pending.remove(&socket);
+                            reader_rq.send(&NetMsg::Unwatch { socket });
+                            closer_rq.send(&NetMsg::Close { socket });
                         }
                         Ok(None) => {}
                         Err(_) => {
-                            self.pending.remove(&socket);
-                            send_msg(&self.reader_rq, &NetMsg::Unwatch { socket });
-                            send_msg(&self.closer_rq, &NetMsg::Close { socket });
+                            pending.remove(&socket);
+                            reader_rq.send(&NetMsg::Unwatch { socket });
+                            closer_rq.send(&NetMsg::Close { socket });
                         }
                     }
                 }
                 NetMsg::SocketClosed { socket } => {
-                    self.pending.remove(&socket);
+                    pending.remove(&socket);
                 }
                 _ => {}
             }
@@ -307,6 +328,15 @@ struct Session {
     rooms: Vec<String>,
 }
 
+/// What one drained data node asks the instance to do, extracted before
+/// the node's borrow ends so `&mut self` methods can run afterwards.
+enum DataEvent {
+    Pump(u64),
+    Closed(u64),
+    Corrupt,
+    Ignore,
+}
+
 /// One XMPP protocol instance (the paper's `XMPP #i` eactor).
 struct XmppInstance {
     index: u32,
@@ -315,11 +345,16 @@ struct XmppInstance {
     dir_reader: Option<DirectoryReader>,
     sessions: HashMap<u64, Session>,
     out_crypto: HashMap<String, ConnCrypto>,
-    data: Arc<Mbox>,
+    data: NetPort,
     data_ref: MboxRef,
-    reader_rq: Arc<Mbox>,
-    writers: Arc<Vec<Arc<Mbox>>>,
-    assign: Arc<Mbox>,
+    reader_rq: NetPort,
+    writers: Arc<Vec<NetPort>>,
+    assign: AssignPort,
+    /// Reusable node batches and decrypt scratch: the steady state loops
+    /// allocate nothing per message.
+    assign_nodes: Vec<Node>,
+    data_nodes: Vec<Node>,
+    open_scratch: Vec<u8>,
     stats: Arc<ServiceStats>,
 }
 
@@ -332,22 +367,23 @@ impl XmppInstance {
         instance: u32,
         xml: &str,
     ) {
-        let wire_crypto = self.wire_crypto;
-        let crypto = self.out_crypto.entry(user.to_owned()).or_insert_with(|| {
-            if wire_crypto {
+        if !self.out_crypto.contains_key(user) {
+            let crypto = if self.wire_crypto {
                 ConnCrypto::for_user(user, costs.clone())
             } else {
                 ConnCrypto::plaintext()
-            }
-        });
-        let sealed = crypto.seal_stanza(xml);
-        let mut frame = Vec::with_capacity(sealed.len() + 4);
-        encode_frame(&sealed, &mut frame);
-        send_msg(
+            };
+            self.out_crypto.insert(user.to_owned(), crypto);
+        }
+        let crypto = &self.out_crypto[user];
+        // Seal the stanza directly into the WRITER's node: one copy, no
+        // intermediate frame buffer.
+        send_write_with(
             &self.writers[instance as usize],
-            &NetMsg::Write {
-                socket,
-                payload: frame,
+            socket,
+            crypto.frame_len(xml),
+            |out| {
+                crypto.frame_into(xml, out);
             },
         );
     }
@@ -457,33 +493,32 @@ impl XmppInstance {
 
     fn pump_frames(&mut self, ctx: &Ctx, socket: u64) {
         loop {
-            let (frame, user_ok) = {
+            // Open and parse the next frame in place: the payload is
+            // decrypted into the reusable scratch (or borrowed directly
+            // when plaintext); only the parsed stanza is owned.
+            let outcome = {
+                let scratch = &mut self.open_scratch;
                 let Some(session) = self.sessions.get_mut(&socket) else {
                     return;
                 };
-                match session.frames.next_frame() {
-                    Ok(Some(frame)) => (frame, true),
-                    Ok(None) => return,
-                    Err(_) => (Vec::new(), false),
-                }
+                let Session { crypto, frames, .. } = session;
+                frames.next_frame_with(|payload| {
+                    crypto
+                        .open_into(payload, scratch)
+                        .ok()
+                        .and_then(|xml| Stanza::parse(xml).ok())
+                })
             };
-            if !user_ok {
-                self.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
-                self.drop_session(socket);
-                return;
-            }
-            let stanza = {
-                let session = self.sessions.get(&socket).expect("present above");
-                session
-                    .crypto
-                    .open_stanza(&frame)
-                    .ok()
-                    .and_then(|xml| Stanza::parse(&xml).ok())
-            };
-            match stanza {
-                Some(stanza) => self.handle_stanza(ctx, socket, stanza),
-                None => {
+            match outcome {
+                Ok(None) => return,
+                Ok(Some(Some(stanza))) => self.handle_stanza(ctx, socket, stanza),
+                Ok(Some(None)) => {
                     self.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    self.drop_session(socket);
+                    return;
                 }
             }
         }
@@ -502,87 +537,110 @@ impl Actor for XmppInstance {
         // instance serves, then batch-subscribe their sockets). Claimed
         // in batches so one cursor update covers a whole burst of
         // assignments.
-        let mut batch: Vec<(u64, enet::MboxRef)> = Vec::new();
-        let assign = Arc::clone(&self.assign);
-        let mut nodes = Vec::with_capacity(ASSIGN_BATCH);
-        while assign.recv_batch(&mut nodes, ASSIGN_BATCH) > 0 {
+        let mut batch: Vec<(u64, MboxRef)> = Vec::new();
+        let assign_mbox = Arc::clone(self.assign.mbox());
+        let mut nodes = std::mem::take(&mut self.assign_nodes);
+        while assign_mbox.recv_batch(&mut nodes, ASSIGN_BATCH) > 0 {
             worked = true;
             for node in nodes.drain(..) {
-                let Some(msg) = AssignMsg::decode(node.bytes()) else {
+                // Decode the borrowed view, take ownership of what
+                // outlives the node, then recycle it before touching
+                // session state.
+                let parsed = AssignMsg::decode_from(node.bytes()).map(|m| {
+                    let mut frames = FrameBuf::new();
+                    frames.push(m.leftover);
+                    (m.socket, m.user.to_owned(), frames)
+                });
+                drop(node);
+                let Some((socket, user, frames)) = parsed else {
+                    self.assign.stats().note_corrupt_frame();
                     continue;
                 };
-                drop(node);
                 let crypto = if self.wire_crypto {
-                    ConnCrypto::for_user(&msg.user, ctx.costs().clone())
+                    ConnCrypto::for_user(&user, ctx.costs().clone())
                 } else {
                     ConnCrypto::plaintext()
                 };
-                let mut frames = FrameBuf::new();
-                frames.push(&msg.leftover);
                 let reader = self.dir_reader.as_ref().expect("ctor ran");
                 let _ = self
                     .directory
-                    .register_user(reader, &msg.user, msg.socket, self.index);
+                    .register_user(reader, &user, socket, self.index);
                 self.sessions.insert(
-                    msg.socket,
+                    socket,
                     Session {
-                        user: msg.user.clone(),
+                        user,
                         crypto,
                         frames,
                         rooms: Vec::new(),
                     },
                 );
                 self.stats.sessions.fetch_add(1, Ordering::Relaxed);
-                batch.push((msg.socket, self.data_ref));
+                batch.push((socket, self.data_ref));
                 // Acknowledge the stream (plaintext, completing the
-                // handshake) through our own WRITER.
+                // handshake) through our own WRITER, framed directly in
+                // the node.
                 let ok = Stanza::StreamOk {
-                    id: format!("s{}", msg.socket),
+                    id: format!("s{socket}"),
                 }
                 .to_xml();
-                let mut frame = Vec::new();
-                encode_frame(ok.as_bytes(), &mut frame);
-                send_msg(
+                let frame = Frame(ok.as_bytes());
+                send_write_with(
                     &self.writers[self.index as usize],
-                    &NetMsg::Write {
-                        socket: msg.socket,
-                        payload: frame,
+                    socket,
+                    frame.encoded_len(),
+                    |out| {
+                        frame.encode_into(out);
                     },
                 );
                 // Any stanzas that raced the handshake.
-                self.pump_frames(ctx, msg.socket);
+                self.pump_frames(ctx, socket);
             }
         }
+        self.assign_nodes = nodes;
         if !batch.is_empty() {
             // One batch request subscribes the whole refreshed PCL
             // (§5.1.2); fall back to per-socket subscriptions if the
             // batch does not fit a node.
-            if !send_msg(
-                &self.reader_rq,
-                &NetMsg::WatchBatch {
-                    entries: batch.clone(),
-                },
-            ) {
-                for (socket, reply) in batch {
-                    send_msg(&self.reader_rq, &NetMsg::WatchSocket { socket, reply });
+            if !self.reader_rq.send(&NetMsg::WatchBatch {
+                entries: BatchEntries::Slice(&batch),
+            }) {
+                for &(socket, reply) in &batch {
+                    self.reader_rq.send(&NetMsg::WatchSocket { socket, reply });
                 }
             }
         }
 
-        // Incoming data from our READER, drained in batches.
-        let data = Arc::clone(&self.data);
-        worked |= drain_msgs(&data, |msg| match msg {
-            NetMsg::Data { socket, payload } => {
-                if let Some(session) = self.sessions.get_mut(&socket) {
-                    session.frames.push(&payload);
-                    self.pump_frames(ctx, socket);
+        // Incoming data from our READER, drained in batches straight out
+        // of the arena nodes.
+        let data_mbox = Arc::clone(self.data.mbox());
+        let mut nodes = std::mem::take(&mut self.data_nodes);
+        while data_mbox.recv_batch(&mut nodes, DATA_BATCH) > 0 {
+            worked = true;
+            for node in nodes.drain(..) {
+                let event = match NetMsg::decode_from(node.bytes()) {
+                    Some(NetMsg::Data { socket, payload }) => {
+                        match self.sessions.get_mut(&socket) {
+                            Some(session) => {
+                                session.frames.push(payload);
+                                DataEvent::Pump(socket)
+                            }
+                            None => DataEvent::Ignore,
+                        }
+                    }
+                    Some(NetMsg::SocketClosed { socket }) => DataEvent::Closed(socket),
+                    Some(_) => DataEvent::Ignore,
+                    None => DataEvent::Corrupt,
+                };
+                drop(node);
+                match event {
+                    DataEvent::Pump(socket) => self.pump_frames(ctx, socket),
+                    DataEvent::Closed(socket) => self.drop_session(socket),
+                    DataEvent::Corrupt => self.data.stats().note_corrupt_frame(),
+                    DataEvent::Ignore => {}
                 }
             }
-            NetMsg::SocketClosed { socket } => {
-                self.drop_session(socket);
-            }
-            _ => {}
-        }) > 0;
+        }
+        self.data_nodes = nodes;
 
         if worked {
             Control::Busy
@@ -667,23 +725,25 @@ pub fn start_service(
     // remaining ones (with Single everything coincides).
     let connector_placement = placement_of(enclave_count.saturating_sub(1));
 
-    // Per-instance node pools and mboxes.
+    // Per-instance node pools and typed ports.
     let per_instance_nodes =
         ((config.max_clients as usize * 6 / config.instances) as u32 + 256).next_power_of_two();
     let dir_handles = Arc::new(MboxDirectory::new());
-    let mut writers_vec = Vec::with_capacity(config.instances);
-    let mut assigns_vec = Vec::with_capacity(config.instances);
+    let net_reply_stats = Arc::new(PortStats::default());
+    let mut writers_vec: Vec<NetPort> = Vec::with_capacity(config.instances);
+    let mut assigns_vec: Vec<AssignPort> = Vec::with_capacity(config.instances);
     let mut instance_parts = Vec::with_capacity(config.instances);
     for i in 0..config.instances {
         let pool = Arena::new(&format!("xmpp-pool-{i}"), per_instance_nodes, 2048);
-        let data = Mbox::new(pool.clone(), per_instance_nodes as usize);
-        let data_ref = dir_handles.register(data.clone());
-        let reader_rq = Mbox::new(pool.clone(), per_instance_nodes as usize);
-        let writer_rq = Mbox::new(pool.clone(), per_instance_nodes as usize);
-        let assign = Mbox::new(pool.clone(), per_instance_nodes as usize);
+        let cap = per_instance_nodes as usize;
+        let data: NetPort = Port::new(Mbox::new(pool.clone(), cap));
+        let data_ref = dir_handles.register(data.mbox().clone());
+        let reader_rq: NetPort = Port::new(Mbox::new(pool.clone(), cap));
+        let writer_rq: NetPort = Port::new(Mbox::new(pool.clone(), cap));
+        let assign: AssignPort = Port::new(Mbox::new(pool.clone(), cap));
         writers_vec.push(writer_rq.clone());
         assigns_vec.push(assign.clone());
-        instance_parts.push((pool, data, data_ref, reader_rq, writer_rq, assign));
+        instance_parts.push((data, data_ref, reader_rq, writer_rq, assign));
     }
     let writers = Arc::new(writers_vec);
     let assigns = Arc::new(assigns_vec);
@@ -696,8 +756,11 @@ pub fn start_service(
         1024,
     );
     let conn_sys = SystemActors::new(net.clone(), conn_pool.clone());
-    let conn_reply = Mbox::new(conn_pool.clone(), conn_pool.capacity() as usize);
-    let conn_reply_ref = conn_sys.dir.register(conn_reply.clone());
+    let conn_reply: NetPort = Port::with_stats(
+        Mbox::new(conn_pool.clone(), conn_pool.capacity() as usize),
+        conn_sys.reply_stats.clone(),
+    );
+    let conn_reply_ref = conn_sys.dir.register(conn_reply.mbox().clone());
 
     let connector = Connector {
         port: config.port,
@@ -725,7 +788,7 @@ pub fn start_service(
     b.worker(&[a_c_open, a_c_acc, a_c_read, a_c_write, a_c_close]);
 
     // XMPP instances, each with a dedicated READER and WRITER.
-    for (i, (_pool, data, data_ref, reader_rq, writer_rq, assign)) in
+    for (i, (data, data_ref, reader_rq, writer_rq, assign)) in
         instance_parts.into_iter().enumerate()
     {
         let instance = XmppInstance {
@@ -740,13 +803,21 @@ pub fn start_service(
             reader_rq: reader_rq.clone(),
             writers: writers.clone(),
             assign,
+            assign_nodes: Vec::new(),
+            data_nodes: Vec::new(),
+            open_scratch: Vec::new(),
             stats: stats.clone(),
         };
         let a_x = b.actor(&format!("xmpp-{i}"), placement_of(i), instance);
         let a_r = b.actor(
             &format!("reader-{i}"),
             Placement::Untrusted,
-            enet::Reader::new(net.clone(), reader_rq, dir_handles.clone()),
+            enet::Reader::new(
+                net.clone(),
+                reader_rq,
+                dir_handles.clone(),
+                net_reply_stats.clone(),
+            ),
         );
         let a_w = b.actor(
             &format!("writer-{i}"),

@@ -11,6 +11,7 @@
 //! handshake — and everything after is sealed when connection encryption
 //! is enabled.
 
+use eactors::wire::Wire;
 use sgx_sim::crypto::{digest, SessionCipher, SessionKey, SEAL_OVERHEAD};
 use sgx_sim::CostHandle;
 
@@ -51,10 +52,43 @@ pub fn user_key(user: &str) -> SessionKey {
     SessionKey::derive(&[digest(user.as_bytes()), 0x1C_4A70])
 }
 
+/// A length-prefixed XMPP frame: `u32` little-endian payload length,
+/// then the payload bytes.
+///
+/// This is the one on-the-wire unit of the XMPP service, expressed as an
+/// [`eactors::wire::Wire`] codec so producers can encode straight into
+/// arena node buffers and consumers can decode without copying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame<'a>(pub &'a [u8]);
+
+impl<'m> Wire for Frame<'m> {
+    type View<'a> = Frame<'a>;
+
+    fn encoded_len(&self) -> usize {
+        4 + self.0.len()
+    }
+
+    fn encode_into(&self, out: &mut [u8]) -> usize {
+        out[..4].copy_from_slice(&(self.0.len() as u32).to_le_bytes());
+        out[4..4 + self.0.len()].copy_from_slice(self.0);
+        4 + self.0.len()
+    }
+
+    fn decode_from(data: &[u8]) -> Option<Frame<'_>> {
+        let len = u32::from_le_bytes(data.get(..4)?.try_into().ok()?) as usize;
+        if len > MAX_FRAME || data.len() != 4 + len {
+            return None;
+        }
+        Some(Frame(&data[4..]))
+    }
+}
+
 /// Append a length-prefixed frame carrying `payload` to `out`.
 pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(payload);
+    let frame = Frame(payload);
+    let start = out.len();
+    out.resize(start + frame.encoded_len(), 0);
+    frame.encode_into(&mut out[start..]);
 }
 
 /// Reassembles frames from a TCP byte stream.
@@ -81,6 +115,20 @@ impl FrameBuf {
     /// [`WireError::FrameTooLarge`] for an oversized header (the caller
     /// should drop the connection).
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        self.next_frame_with(|payload| payload.to_vec())
+    }
+
+    /// Pop the next complete frame and hand its payload to `f` in place —
+    /// the allocation-free variant of [`FrameBuf::next_frame`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::FrameTooLarge`] for an oversized header (the caller
+    /// should drop the connection).
+    pub fn next_frame_with<R>(
+        &mut self,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<Option<R>, WireError> {
         if self.buf.len() < 4 {
             return Ok(None);
         }
@@ -91,9 +139,9 @@ impl FrameBuf {
         if self.buf.len() < 4 + len {
             return Ok(None);
         }
-        let payload = self.buf[4..4 + len].to_vec();
+        let out = f(&self.buf[4..4 + len]);
         self.buf.drain(..4 + len);
-        Ok(Some(payload))
+        Ok(Some(out))
     }
 
     /// Bytes buffered but not yet framed.
@@ -146,6 +194,36 @@ impl ConnCrypto {
         }
     }
 
+    /// On-the-wire size of the frame [`ConnCrypto::frame_into`] produces
+    /// for stanza text `xml`.
+    pub fn frame_len(&self, xml: &str) -> usize {
+        let overhead = if self.cipher.is_some() {
+            SEAL_OVERHEAD
+        } else {
+            0
+        };
+        4 + xml.len() + overhead
+    }
+
+    /// Write a complete frame — length prefix plus (sealed) stanza text —
+    /// directly into `out`, which must hold [`ConnCrypto::frame_len`]
+    /// bytes. Returns the bytes written.
+    ///
+    /// This is the allocation-free producer path: the only copy is the
+    /// seal (or plain memcpy) into the caller's buffer.
+    pub fn frame_into(&self, xml: &str, out: &mut [u8]) -> usize {
+        let total = self.frame_len(xml);
+        out[..4].copy_from_slice(&((total - 4) as u32).to_le_bytes());
+        match &self.cipher {
+            Some(c) => {
+                let n = c.seal(xml.as_bytes(), &mut out[4..total]).expect("sized");
+                debug_assert_eq!(4 + n, total);
+            }
+            None => out[4..total].copy_from_slice(xml.as_bytes()),
+        }
+        total
+    }
+
     /// Recover incoming stanza text from a frame payload.
     ///
     /// # Errors
@@ -153,14 +231,31 @@ impl ConnCrypto {
     /// [`WireError::BadSeal`] on authentication failure,
     /// [`WireError::NotText`] if the payload is not UTF-8.
     pub fn open_stanza(&self, payload: &[u8]) -> Result<String, WireError> {
+        let mut scratch = Vec::new();
+        self.open_into(payload, &mut scratch).map(str::to_owned)
+    }
+
+    /// Recover incoming stanza text without allocating: sealed payloads
+    /// decrypt into `scratch` (reused across calls), plaintext payloads
+    /// are returned as a direct borrow.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadSeal`] on authentication failure,
+    /// [`WireError::NotText`] if the payload is not UTF-8.
+    pub fn open_into<'s>(
+        &self,
+        payload: &'s [u8],
+        scratch: &'s mut Vec<u8>,
+    ) -> Result<&'s str, WireError> {
         match &self.cipher {
             Some(c) => {
-                let mut out = vec![0u8; payload.len()];
-                let n = c.open(payload, &mut out).map_err(|_| WireError::BadSeal)?;
-                out.truncate(n);
-                String::from_utf8(out).map_err(|_| WireError::NotText)
+                scratch.clear();
+                scratch.resize(payload.len(), 0);
+                let n = c.open(payload, scratch).map_err(|_| WireError::BadSeal)?;
+                std::str::from_utf8(&scratch[..n]).map_err(|_| WireError::NotText)
             }
-            None => String::from_utf8(payload.to_vec()).map_err(|_| WireError::NotText),
+            None => std::str::from_utf8(payload).map_err(|_| WireError::NotText),
         }
     }
 }
@@ -241,5 +336,51 @@ mod tests {
     fn user_keys_differ() {
         assert_ne!(user_key("a"), user_key("b"));
         assert_eq!(user_key("a"), user_key("a"));
+    }
+
+    #[test]
+    fn frame_wire_round_trip() {
+        let f = Frame(b"<iq/>");
+        let mut buf = vec![0u8; f.encoded_len()];
+        assert_eq!(f.encode_into(&mut buf), buf.len());
+        assert_eq!(Frame::decode_from(&buf), Some(f));
+        // Trailing garbage is rejected: a frame view is exactly one frame.
+        buf.push(0);
+        assert_eq!(Frame::decode_from(&buf), None);
+        assert_eq!(Frame::decode_from(&buf[..3]), None);
+    }
+
+    #[test]
+    fn frame_into_matches_seal_plus_encode() {
+        for crypto in [ConnCrypto::plaintext(), ConnCrypto::for_user("u", costs())] {
+            let xml = "<message to=\"b\" body=\"hi\"/>";
+            let mut direct = vec![0u8; crypto.frame_len(xml)];
+            assert_eq!(crypto.frame_into(xml, &mut direct), direct.len());
+            let mut legacy = Vec::new();
+            encode_frame(&crypto.seal_stanza(xml), &mut legacy);
+            // Same framing layout (ciphertext bytes differ per seal).
+            assert_eq!(direct.len(), legacy.len());
+            assert_eq!(direct[..4], legacy[..4]);
+            assert_eq!(crypto.open_stanza(&legacy[4..]).unwrap(), xml);
+            let mut fb = FrameBuf::new();
+            fb.push(&direct);
+            let mut scratch = Vec::new();
+            let got = fb
+                .next_frame_with(|p| crypto.open_into(p, &mut scratch).map(str::to_owned))
+                .unwrap()
+                .unwrap()
+                .unwrap();
+            assert_eq!(got, xml);
+        }
+    }
+
+    #[test]
+    fn open_into_borrows_plaintext_without_copy() {
+        let c = ConnCrypto::plaintext();
+        let payload = b"<presence/>";
+        let mut scratch = Vec::new();
+        let xml = c.open_into(payload, &mut scratch).unwrap();
+        assert_eq!(xml.as_ptr(), payload.as_ptr());
+        assert!(scratch.is_empty());
     }
 }

@@ -1,9 +1,10 @@
-//! Quickstart: two eactors in two enclaves exchanging encrypted messages.
+//! Quickstart: two eactors in two enclaves exchanging typed, encrypted
+//! messages.
 //!
-//! Demonstrates the core EActors workflow: implement actors, declare a
-//! deployment (enclaves + workers + channels), start the runtime, and
-//! observe that cross-enclave messaging costs no execution-mode
-//! transitions.
+//! Demonstrates the core EActors workflow: define a wire message,
+//! implement actors, declare a deployment (enclaves + workers + a typed
+//! channel and a typed port), start the runtime, and observe that
+//! cross-enclave messaging costs no execution-mode transitions.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -12,19 +13,45 @@
 use eactors::prelude::*;
 use sgx_sim::Platform;
 
-/// Sends greetings and counts the replies.
+/// The greeting on the wire: a borrowed view decoded in place from the
+/// node (or channel scratch) buffer — no heap allocation per message.
+struct Greeting<'a>(&'a str);
+
+impl<'m> Wire for Greeting<'m> {
+    type View<'a> = Greeting<'a>;
+
+    fn encoded_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn encode_into(&self, out: &mut [u8]) -> usize {
+        out[..self.0.len()].copy_from_slice(self.0.as_bytes());
+        self.0.len()
+    }
+
+    fn decode_from(data: &[u8]) -> Option<Greeting<'_>> {
+        std::str::from_utf8(data).ok().map(Greeting)
+    }
+}
+
+/// Sends greetings over the encrypted channel and counts replies arriving
+/// on the shared reply port.
 struct Greeter {
     sent: u32,
     received: u32,
     rounds: u32,
+    replies: Option<Port<Greeting<'static>>>,
 }
 
 impl Actor for Greeter {
+    fn ctor(&mut self, ctx: &mut Ctx) {
+        self.replies = ctx.port("replies");
+    }
+
     fn body(&mut self, ctx: &mut Ctx) -> Control {
-        // Poll for replies first.
-        let mut buf = [0u8; 128];
-        while let Ok(Some(n)) = ctx.channel(0).try_recv(&mut buf) {
-            println!("greeter got: {}", String::from_utf8_lossy(&buf[..n]));
+        // Poll the typed reply port first.
+        let replies = self.replies.as_ref().expect("declared in deployment");
+        while replies.recv(|g| println!("greeter got: {}", g.0)).is_some() {
             self.received += 1;
         }
         if self.received == self.rounds {
@@ -33,7 +60,11 @@ impl Actor for Greeter {
         }
         if self.sent < self.rounds {
             let msg = format!("hello #{}", self.sent);
-            if ctx.channel(0).send(msg.as_bytes()).is_ok() {
+            if ctx
+                .typed_channel::<Greeting>(0)
+                .send(&Greeting(&msg))
+                .is_ok()
+            {
                 self.sent += 1;
                 return Control::Busy;
             }
@@ -42,16 +73,28 @@ impl Actor for Greeter {
     }
 }
 
-/// Replies to every greeting.
-struct Echo;
+/// Replies to every greeting through the shared reply port.
+struct Echo {
+    replies: Option<Port<Greeting<'static>>>,
+    scratch: String,
+}
 
 impl Actor for Echo {
+    fn ctor(&mut self, ctx: &mut Ctx) {
+        self.replies = ctx.port("replies");
+    }
+
     fn body(&mut self, ctx: &mut Ctx) -> Control {
-        let mut buf = [0u8; 128];
-        match ctx.channel(0).try_recv(&mut buf) {
-            Ok(Some(n)) => {
-                let reply = format!("echo of {:?}", String::from_utf8_lossy(&buf[..n]));
-                let _ = ctx.channel(0).send(reply.as_bytes());
+        let scratch = &mut self.scratch;
+        let got = ctx.typed_channel::<Greeting>(0).recv(|g| {
+            scratch.clear();
+            scratch.push_str("echo of ");
+            scratch.push_str(g.0);
+        });
+        match got {
+            Ok(Some(())) => {
+                let replies = self.replies.as_ref().expect("declared in deployment");
+                replies.send(&Greeting(&self.scratch));
                 Control::Busy
             }
             _ => Control::Idle,
@@ -74,12 +117,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sent: 0,
             received: 0,
             rounds: 5,
+            replies: None,
         },
     );
-    let echo = builder.actor("echo", Placement::Enclave(right), Echo);
+    let echo = builder.actor(
+        "echo",
+        Placement::Enclave(right),
+        Echo {
+            replies: None,
+            scratch: String::new(),
+        },
+    );
     // Two enclaves => this channel transparently encrypts (the key is
     // agreed via simulated local attestation).
     builder.channel(greeter, echo);
+    // The reply path: a typed port over a shared untrusted pool. Every
+    // actor asking for "replies" gets the same wire type enforced and the
+    // same drop/corruption telemetry.
+    builder.pool("reply-pool", Placement::Untrusted, 16, 256);
+    builder.port::<Greeting>("replies", "reply-pool", 16);
     builder.worker(&[greeter]);
     builder.worker(&[echo]);
 

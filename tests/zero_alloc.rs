@@ -1,0 +1,268 @@
+//! The paper's resource-efficiency claim (§1, §3.2) made falsifiable:
+//! **no dynamic memory allocation at runtime**. A counting global
+//! allocator wraps the system allocator; each test warms a messaging
+//! loop up (first-use growth of scratch buffers, mbox rings and channel
+//! scratch is allowed), snapshots the counter, runs many more messages
+//! and asserts the count did not move — zero heap allocations per
+//! message in steady state.
+//!
+//! Three loops cover the three transports of the `eactors::wire` layer:
+//!
+//! * the Figure-11 ping-pong over a typed channel (plaintext and
+//!   transparently encrypted);
+//! * the XMPP framing layer: `ConnCrypto::frame_into` → `FrameBuf` →
+//!   `ConnCrypto::open_into`, both sealed and plaintext;
+//! * the enet echo path: a `Data` node re-tagged in place into a `Write`
+//!   frame and forwarded through typed ports.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use eactors::arena::{Arena, Mbox};
+use eactors::channel::{ChannelEnd, ChannelPair};
+use eactors::wire::{Port, Wire};
+use enet::{data_frame_into_write, send_write_with, NetMsg, NetPort};
+use sgx_sim::crypto::SessionKey;
+use sgx_sim::{CostModel, Platform};
+use xmpp::wire::{ConnCrypto, FrameBuf};
+
+/// Counts every allocation (and reallocation) that reaches the heap.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The counter is process-global, so the measurements must not overlap.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Allocations performed while running `f`.
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    f();
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+/// The Figure-11 payload: an opaque borrowed byte view.
+struct Ping<'a>(&'a [u8]);
+
+impl<'m> Wire for Ping<'m> {
+    type View<'a> = Ping<'a>;
+
+    fn encoded_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn encode_into(&self, out: &mut [u8]) -> usize {
+        out[..self.0.len()].copy_from_slice(self.0);
+        self.0.len()
+    }
+
+    fn decode_from(data: &[u8]) -> Option<Ping<'_>> {
+        Some(Ping(data))
+    }
+}
+
+/// One fig11-style round trip: ping encodes into a node, pong copies the
+/// view into its reusable scratch and replies, ping consumes the reply.
+fn pingpong_round(
+    ping: &mut ChannelEnd,
+    pong: &mut ChannelEnd,
+    payload: &[u8],
+    scratch: &mut [u8],
+) {
+    ping.typed::<Ping>()
+        .send(&Ping(payload))
+        .expect("send ping");
+    let n = pong
+        .typed::<Ping>()
+        .recv(|m| {
+            scratch[..m.0.len()].copy_from_slice(m.0);
+            m.0.len()
+        })
+        .expect("recv ping")
+        .expect("ping queued");
+    pong.typed::<Ping>()
+        .send(&Ping(&scratch[..n]))
+        .expect("send pong");
+    ping.typed::<Ping>()
+        .recv(|m| assert_eq!(m.0.len(), payload.len()))
+        .expect("recv pong")
+        .expect("pong queued");
+}
+
+#[test]
+fn fig11_pingpong_steady_state_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap();
+    let costs = Platform::builder()
+        .cost_model(CostModel::zero())
+        .build()
+        .costs();
+    let key = SessionKey::derive(&[0x42]);
+    let size = 4 * 1024;
+    for (label, pair) in [
+        (
+            "plaintext",
+            ChannelPair::plaintext(0, Arena::new("p", 8, size + 64)),
+        ),
+        (
+            "encrypted",
+            ChannelPair::encrypted(0, Arena::new("e", 8, size + 64), &key, costs.clone()),
+        ),
+    ] {
+        let (mut ping, mut pong) = pair.into_ends();
+        let payload = vec![0xABu8; size];
+        let mut scratch = vec![0u8; size + 64];
+        for _ in 0..16 {
+            pingpong_round(&mut ping, &mut pong, &payload, &mut scratch);
+        }
+        let steady = allocs_during(|| {
+            for _ in 0..256 {
+                pingpong_round(&mut ping, &mut pong, &payload, &mut scratch);
+            }
+        });
+        assert_eq!(
+            steady, 0,
+            "{label} channel ping-pong allocated {steady} times over 256 steady-state pairs"
+        );
+    }
+}
+
+#[test]
+fn xmpp_frame_echo_steady_state_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap();
+    let costs = Platform::builder()
+        .cost_model(CostModel::zero())
+        .build()
+        .costs();
+    let xml = "<message to='bob' from='alice'><body>steady state</body></message>";
+    for (label, client, server) in [
+        (
+            "sealed",
+            ConnCrypto::for_user("alice", costs.clone()),
+            ConnCrypto::for_user("alice", costs.clone()),
+        ),
+        (
+            "plaintext",
+            ConnCrypto::plaintext(),
+            ConnCrypto::plaintext(),
+        ),
+    ] {
+        let mut wire = vec![0u8; client.frame_len(xml)];
+        let mut inbound = FrameBuf::new();
+        let mut outbound = FrameBuf::new();
+        let mut server_scratch = Vec::new();
+        let mut client_scratch = Vec::new();
+        let mut echo_round = || {
+            // Client → server: seal and frame directly into the wire
+            // buffer, reassemble, open in place.
+            let n = client.frame_into(xml, &mut wire);
+            inbound.push(&wire[..n]);
+            let seen = inbound
+                .next_frame_with(|payload| {
+                    server
+                        .open_into(payload, &mut server_scratch)
+                        .expect("our key")
+                        .len()
+                })
+                .expect("sane frame")
+                .expect("complete frame");
+            assert_eq!(seen, xml.len());
+            // Server → client: the echo leg, same path in reverse.
+            let n = server.frame_into(xml, &mut wire);
+            outbound.push(&wire[..n]);
+            let seen = outbound
+                .next_frame_with(|payload| {
+                    client
+                        .open_into(payload, &mut client_scratch)
+                        .expect("our key")
+                        .len()
+                })
+                .expect("sane frame")
+                .expect("complete frame");
+            assert_eq!(seen, xml.len());
+        };
+        for _ in 0..16 {
+            echo_round();
+        }
+        let steady = allocs_during(|| {
+            for _ in 0..256 {
+                echo_round();
+            }
+        });
+        assert_eq!(
+            steady, 0,
+            "{label} XMPP frame echo allocated {steady} times over 256 steady-state messages"
+        );
+    }
+}
+
+#[test]
+fn enet_node_echo_steady_state_allocates_nothing() {
+    let _serial = SERIAL.lock().unwrap();
+    // The system-actor echo path without the sockets: a Data frame is
+    // produced into a node, re-tagged in place into a Write frame, and
+    // forwarded by ownership transfer — the node never leaves the arena
+    // and no byte is copied twice.
+    let pool = Arena::new("net", 8, 512);
+    let inbox: NetPort = Port::new(Mbox::new(pool.clone(), 8));
+    let writer: NetPort = Port::new(Mbox::new(pool, 8));
+    let body = [0x5Au8; 200];
+    let echo_round = || {
+        assert!(send_write_with(&inbox, 7, body.len(), |out| {
+            out.copy_from_slice(&body);
+        }));
+        let mut node = inbox.recv_node().expect("frame queued");
+        let len = node.bytes().len();
+        // Incoming frames are Data; the producer writes Write frames, so
+        // re-tag to Data first to exercise the real flip direction.
+        node.buffer_mut()[0] = 9; // tag::DATA
+        assert!(data_frame_into_write(&mut node.buffer_mut()[..len]));
+        writer.send_node(node).expect("writer mbox has room");
+        let echoed = writer
+            .recv(|m| match m {
+                NetMsg::Write { socket, payload } => {
+                    assert_eq!(socket, 7);
+                    payload.len()
+                }
+                other => panic!("expected a Write frame, got {other:?}"),
+            })
+            .expect("write frame queued");
+        assert_eq!(echoed, body.len());
+    };
+    for _ in 0..16 {
+        echo_round();
+    }
+    let steady = allocs_during(|| {
+        for _ in 0..256 {
+            echo_round();
+        }
+    });
+    assert_eq!(
+        steady, 0,
+        "enet node echo allocated {steady} times over 256 steady-state frames"
+    );
+}
