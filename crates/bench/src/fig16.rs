@@ -71,11 +71,19 @@ pub fn run(scale: Scale) -> FigureReport {
         report.push("EA/48", enclaves as f64, rps);
         // Per-worker transition counts quantify what the layout costs:
         // more enclaves mean more boundary crossings per scheduling pass.
+        // Sourced from the metrics registry — the same counters the
+        // workers incremented live — rather than the legacy report
+        // fields (which are views of the identical values; see the
+        // `report_fields_match_registry` test).
         for w in &rt.workers {
+            let transitions = rt
+                .metrics
+                .counter(&format!("worker_{}_transitions", w.worker))
+                .unwrap_or(0);
             report.push(
                 format!("transitions/{enclaves}e"),
                 w.worker as f64,
-                w.transitions as f64,
+                transitions as f64,
             );
         }
     }
@@ -93,6 +101,34 @@ mod tests {
             let (t, rt) = measure_enclaves(enclaves, 20, Duration::from_millis(600));
             assert!(t > 0.0, "{enclaves}-enclave layout served nothing");
             assert!(!rt.workers.is_empty(), "runtime report must carry workers");
+        }
+    }
+
+    /// The figures switched from the legacy [`eactors::WorkerReport`]
+    /// fields to registry-derived values; both must report the *same*
+    /// numbers, since the report fields are final reads of the very
+    /// counters the registry exports. One divergence would mean a
+    /// statistic grew a second owner.
+    #[test]
+    fn report_fields_match_registry() {
+        let (_, rt) = measure_enclaves(2, 12, Duration::from_millis(500));
+        assert!(!rt.workers.is_empty());
+        let counter = |name: &str| rt.metrics.counter(name).unwrap_or(0);
+        for w in &rt.workers {
+            let i = w.worker;
+            assert_eq!(w.passes, counter(&format!("worker_{i}_passes")));
+            assert_eq!(w.idle_passes, counter(&format!("worker_{i}_idle_passes")));
+            assert_eq!(w.transitions, counter(&format!("worker_{i}_transitions")));
+            assert_eq!(w.migrations, counter(&format!("worker_{i}_migrations")));
+            assert_eq!(w.parks, counter(&format!("worker_{i}_parks")));
+            assert_eq!(w.wakes, counter(&format!("worker_{i}_wakes")));
+            for (name, n) in &w.executions {
+                assert_eq!(
+                    *n,
+                    counter(&format!("actor_{name}_executions")),
+                    "executions for {name} diverged from the registry"
+                );
+            }
         }
     }
 }

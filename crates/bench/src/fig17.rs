@@ -69,11 +69,17 @@ pub fn run(scale: Scale) -> FigureReport {
             // Per-worker transitions: trusted workers confined to one
             // enclave should pay no more than their untrusted twins —
             // the figure's "trusted execution comes for free" claim.
+            // Registry-derived, like fig16: `worker_<i>_transitions` is
+            // the counter the worker itself incremented.
             for w in &rt.workers {
+                let transitions = rt
+                    .metrics
+                    .counter(&format!("worker_{}_transitions", w.worker))
+                    .unwrap_or(0);
                 report.push(
                     format!("transitions/{instances}i/{mode}"),
                     w.worker as f64,
-                    w.transitions as f64,
+                    transitions as f64,
                 );
             }
         }

@@ -134,7 +134,11 @@ pub struct Ctx {
     pub(crate) stop: StopToken,
     pub(crate) costs: CostHandle,
     pub(crate) wake: Arc<crate::wake::WakeHub>,
-    pub(crate) executions: u64,
+    pub(crate) obs: Arc<obs::ObsHub>,
+    /// Shared with the metrics registry as `actor_<name>_executions`; the
+    /// registry entry and this handle are the same counter, so reports and
+    /// exporters read the value the worker loop increments.
+    pub(crate) executions: Arc<obs::Counter>,
 }
 
 impl Ctx {
@@ -250,7 +254,7 @@ impl Ctx {
 
     /// How many times this actor's body has run so far.
     pub fn executions(&self) -> u64 {
-        self.executions
+        self.executions.get()
     }
 
     /// Number of this runtime's workers currently parked on the wake hub.
@@ -259,6 +263,14 @@ impl Ctx {
     /// tests and in producers that batch work until a consumer sleeps.
     pub fn sleeping_workers(&self) -> usize {
         self.wake.sleepers()
+    }
+
+    /// The deployment's observability hub: trace-ring registry plus the
+    /// [`obs::MetricsRegistry`] every subsystem registers its counters
+    /// and histograms with. System actors (notably
+    /// [`crate::collect::CollectorActor`]) capture a clone in their ctor.
+    pub fn obs_hub(&self) -> &Arc<obs::ObsHub> {
+        &self.obs
     }
 }
 

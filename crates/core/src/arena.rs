@@ -68,6 +68,11 @@ struct NodeSlot {
     next: AtomicU64, // only low 32 bits used; atomic for cross-thread visibility
     /// Valid payload length; written by the owner, read by the next owner.
     len: UnsafeCell<usize>,
+    /// Sim-cycle stamp of the last mbox send of this node, read by the
+    /// receiver to compute queueing delay. It lives here — not on
+    /// [`Node`] — because only the node *index* crosses an mbox slot,
+    /// and it is synchronised by the same release/acquire pair as `len`.
+    stamp: UnsafeCell<u64>,
 }
 
 /// A preallocated region of fixed-size message nodes plus its free list.
@@ -114,6 +119,7 @@ impl Arena {
                     NIL as u64
                 }),
                 len: UnsafeCell::new(0),
+                stamp: UnsafeCell::new(0),
             })
             .collect();
         let payload: Box<[UnsafeCell<u8>]> = (0..count as usize * payload_size)
@@ -218,6 +224,11 @@ impl Arena {
     #[inline]
     fn len_ptr(&self, idx: u32) -> *mut usize {
         self.slots[idx as usize].len.get()
+    }
+
+    #[inline]
+    fn stamp_ptr(&self, idx: u32) -> *mut u64 {
+        self.slots[idx as usize].stamp.get()
     }
 }
 
@@ -432,6 +443,14 @@ impl Mbox {
         if !Arc::ptr_eq(&node.arena, &self.arena) {
             return Err(node);
         }
+        let traced = cfg!(feature = "trace") && obs::enabled();
+        let len = if traced { node.len() } else { 0 };
+        if traced {
+            // Safety: we still own the node; the stamp is published to
+            // the receiver by the sequence Release store below, exactly
+            // like the payload.
+            unsafe { *self.arena.stamp_ptr(node.idx) = obs::clock::now_cycles() };
+        }
         let mut pos = self.enqueue_pos.0.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
@@ -453,6 +472,9 @@ impl Mbox {
                             // runtime — cheap (fence + load) when nobody
                             // sleeps or the sender is not a worker.
                             wake::notify_current();
+                            if traced {
+                                obs::emit(obs::EventKind::MboxSend, 0, len as u64, 0);
+                            }
                             return Ok(());
                         }
                         Err(p) => pos = p,
@@ -482,6 +504,16 @@ impl Mbox {
                             // Safety: we won the slot.
                             let idx = unsafe { *slot.value.get() };
                             slot.sequence.store(pos + self.mask + 1, Ordering::Release);
+                            if cfg!(feature = "trace") && obs::enabled() {
+                                // Safety: the node is ours now; stamp and
+                                // len were published with it.
+                                let (sent, len) = unsafe {
+                                    (*self.arena.stamp_ptr(idx), *self.arena.len_ptr(idx))
+                                };
+                                let delay = obs::clock::now_cycles().saturating_sub(sent);
+                                obs::note_queue_delay(delay);
+                                obs::emit(obs::EventKind::MboxRecv, 0, len as u64, delay);
+                            }
                             return Some(Node {
                                 arena: Arc::clone(&self.arena),
                                 idx,
@@ -546,8 +578,16 @@ impl Mbox {
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
+                    let traced = cfg!(feature = "trace") && obs::enabled();
+                    let now = if traced { obs::clock::now_cycles() } else { 0 };
                     for (i, node) in nodes.drain(..n).enumerate() {
                         let slot = &self.slots[(pos + i) & self.mask];
+                        if traced {
+                            // Safety: the node is still ours here; one
+                            // clock read stamps the whole batch.
+                            unsafe { *self.arena.stamp_ptr(node.idx) = now };
+                            obs::emit(obs::EventKind::MboxSend, 0, node.len() as u64, 0);
+                        }
                         // Safety: we claimed [pos, pos+n); each slot was
                         // observed free for this lap.
                         unsafe { *slot.value.get() = node.into_raw() };
@@ -602,6 +642,8 @@ impl Mbox {
             ) {
                 Ok(_) => {
                     out.reserve(n);
+                    let traced = cfg!(feature = "trace") && obs::enabled();
+                    let now = if traced { obs::clock::now_cycles() } else { 0 };
                     for i in 0..n {
                         let slot = &self.slots[(pos + i) & self.mask];
                         // Safety: we claimed [pos, pos+n); each slot was
@@ -609,6 +651,14 @@ impl Mbox {
                         let idx = unsafe { *slot.value.get() };
                         slot.sequence
                             .store(pos + i + self.mask + 1, Ordering::Release);
+                        if traced {
+                            // Safety: the node is ours now.
+                            let (sent, len) =
+                                unsafe { (*self.arena.stamp_ptr(idx), *self.arena.len_ptr(idx)) };
+                            let delay = now.saturating_sub(sent);
+                            obs::note_queue_delay(delay);
+                            obs::emit(obs::EventKind::MboxRecv, 0, len as u64, delay);
+                        }
                         out.push(Node {
                             arena: Arc::clone(&self.arena),
                             idx,

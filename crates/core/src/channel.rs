@@ -10,6 +10,8 @@
 
 use std::sync::Arc;
 
+use obs::registry::{Counter, MetricsRegistry};
+use obs::EventKind;
 use sgx_sim::crypto::{SessionCipher, SessionKey, SEAL_OVERHEAD};
 
 use crate::arena::{Arena, Mbox, Node};
@@ -62,10 +64,21 @@ pub struct ChannelEnd {
     /// Reusable node buffer for [`ChannelEnd::drain`] batches.
     batch: Vec<Node>,
     /// Encrypted frames that failed authentication on this endpoint.
-    tampered_frames: u64,
+    /// An [`obs::Counter`] so the deployment's metrics registry can
+    /// share it ([`ChannelEnd::register_obs`]) — one owner, one read
+    /// path.
+    tampered_frames: Arc<Counter>,
     /// Authentic frames that failed to decode as their expected
     /// [`crate::wire::Wire`] type (bumped by the typed layer).
-    corrupt_frames: u64,
+    corrupt_frames: Arc<Counter>,
+}
+
+/// Emit a channel seal/open trace event when tracing is compiled in.
+#[inline]
+fn trace_channel(kind: EventKind, id: ChannelId, plaintext_len: usize) {
+    if cfg!(feature = "trace") {
+        obs::emit(kind, id.0 as u16, plaintext_len as u64, 0);
+    }
 }
 
 impl ChannelEnd {
@@ -114,6 +127,7 @@ impl ChannelEnd {
                     .seal(bytes, node.buffer_mut())
                     .expect("capacity checked above");
                 node.set_len(written);
+                trace_channel(EventKind::ChannelSeal, self.id, bytes.len());
             }
             None => node.write(bytes),
         }
@@ -147,9 +161,12 @@ impl ChannelEnd {
                     });
                 }
                 match cipher.open(node.bytes(), buf) {
-                    Ok(n) => Ok(Some(n)),
+                    Ok(n) => {
+                        trace_channel(EventKind::ChannelOpen, self.id, n);
+                        Ok(Some(n))
+                    }
                     Err(_) => {
-                        self.tampered_frames += 1;
+                        self.tampered_frames.inc();
                         Err(ChannelError::Tampered)
                     }
                 }
@@ -215,11 +232,12 @@ impl ChannelEnd {
         // endpoint state, reused across calls so a steady-state drain
         // performs no allocation.
         let ChannelEnd {
+            id,
             ref rx,
             ref rx_cipher,
             ref mut batch,
             ref mut scratch,
-            ref mut tampered_frames,
+            ref tampered_frames,
             ..
         } = *self;
         let mut delivered = 0;
@@ -232,10 +250,11 @@ impl ChannelEnd {
                 match rx_cipher {
                     Some(cipher) => match cipher.open(node.bytes(), scratch) {
                         Ok(n) => {
+                            trace_channel(EventKind::ChannelOpen, id, n);
                             f(&scratch[..n]);
                             delivered += 1;
                         }
-                        Err(_) => *tampered_frames += 1,
+                        Err(_) => tampered_frames.inc(),
                     },
                     None => {
                         f(node.bytes());
@@ -282,6 +301,7 @@ impl ChannelEnd {
                     .seal(&self.scratch[..len], node.buffer_mut())
                     .expect("capacity checked above");
                 node.set_len(written);
+                trace_channel(EventKind::ChannelSeal, self.id, len);
             }
             None => {
                 fill(&mut node.buffer_mut()[..len]);
@@ -315,9 +335,12 @@ impl ChannelEnd {
                     self.scratch.resize(self.pool.payload_size(), 0);
                 }
                 match cipher.open(node.bytes(), &mut self.scratch) {
-                    Ok(n) => Ok(Some(f(&self.scratch[..n]))),
+                    Ok(n) => {
+                        trace_channel(EventKind::ChannelOpen, self.id, n);
+                        Ok(Some(f(&self.scratch[..n])))
+                    }
                     Err(_) => {
-                        self.tampered_frames += 1;
+                        self.tampered_frames.inc();
                         Err(ChannelError::Tampered)
                     }
                 }
@@ -334,19 +357,36 @@ impl ChannelEnd {
     /// Encrypted frames that failed authentication on this endpoint —
     /// evidence of tampering by the untrusted runtime or a forging peer.
     pub fn tampered_frames(&self) -> u64 {
-        self.tampered_frames
+        self.tampered_frames.get()
     }
 
     /// Authentic frames that failed to decode as their declared wire
     /// type (see [`crate::wire::TypedChannelEnd`]).
     pub fn corrupt_frames(&self) -> u64 {
-        self.corrupt_frames
+        self.corrupt_frames.get()
     }
 
     /// Record a frame that decoded cleanly at the transport layer but was
     /// rejected by the typed codec above it.
     pub(crate) fn note_corrupt_frame(&mut self) {
-        self.corrupt_frames += 1;
+        self.corrupt_frames.inc();
+    }
+
+    /// Expose this endpoint's tamper/corruption counters in `registry`
+    /// as `<prefix>_tampered_frames` and `<prefix>_corrupt_frames`.
+    ///
+    /// The registry shares the counter objects — nothing is copied, and
+    /// updates on the message path stay plain relaxed increments. Called
+    /// once per endpoint at deployment time.
+    pub fn register_obs(&self, registry: &MetricsRegistry, prefix: &str) {
+        registry.register_counter(
+            &format!("{prefix}_tampered_frames"),
+            self.tampered_frames.clone(),
+        );
+        registry.register_counter(
+            &format!("{prefix}_corrupt_frames"),
+            self.corrupt_frames.clone(),
+        );
     }
 
     /// Pop a free node for the zero-copy plaintext path.
@@ -441,8 +481,8 @@ impl ChannelPair {
             rx_cipher,
             scratch: Vec::new(),
             batch: Vec::new(),
-            tampered_frames: 0,
-            corrupt_frames: 0,
+            tampered_frames: Arc::new(Counter::new()),
+            corrupt_frames: Arc::new(Counter::new()),
         };
         ChannelPair {
             a: end(

@@ -332,6 +332,20 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Declare a COLLECTOR system actor (see
+    /// [`crate::collect::CollectorActor`]): the untrusted drainer of the
+    /// deployment's trace rings. Assign the returned slot to a worker
+    /// like any other actor — preferably one that already hosts
+    /// untrusted system actors.
+    pub fn collector(&mut self) -> ActorSlot {
+        let n = self.actors.len();
+        self.actor(
+            &format!("collector#{n}"),
+            Placement::Untrusted,
+            crate::collect::CollectorActor::new(),
+        )
+    }
+
     /// Declare a named shared mbox over the named pool.
     pub fn mbox(&mut self, name: &str, pool: &str, capacity: usize) -> &mut Self {
         self.mboxes.push(MboxDecl {

@@ -67,16 +67,28 @@
 pub mod actor;
 pub mod arena;
 pub mod channel;
+pub mod collect;
 pub mod config;
 mod error;
-pub mod json;
 pub mod runtime;
 pub mod spec;
 pub mod wake;
 pub mod wire;
 
+/// The observability subsystem (re-exported from the `eactors-obs`
+/// crate): SPSC trace rings, log2 histograms, the metrics registry and
+/// JSON/Prometheus exporters. The runtime owns an [`obs::ObsHub`] per
+/// deployment; see [`collect::CollectorActor`] for the draining side.
+pub use obs;
+
+/// Minimal dependency-free JSON (moved to the `eactors-obs` crate so the
+/// metrics exporters can use it; re-exported here unchanged for specs
+/// and existing callers).
+pub use obs::json;
+
 pub use actor::{from_fn, Actor, ActorId, Control, Ctx, StopToken};
 pub use channel::{ChannelEnd, ChannelId};
+pub use collect::CollectorActor;
 pub use config::{
     ActorSlot, ChannelOptions, Deployment, DeploymentBuilder, EnclaveSlot, EncryptionPolicy,
     IdlePolicy, Placement,

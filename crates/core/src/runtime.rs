@@ -25,6 +25,15 @@
 //!   [`IdlePolicy`]; parked workers block on the runtime's
 //!   [`crate::wake::WakeHub`] and resume when a peer's `Mbox::send`
 //!   signals new work.
+//!
+//! The runtime also owns the deployment's observability: every worker
+//! gets a fixed-size SPSC trace ring (preallocated here, in untrusted
+//! memory, honouring the no-runtime-allocation rule), all reporting
+//! counters live in one [`obs::MetricsRegistry`], and the
+//! [`crate::collect::CollectorActor`] drains the rings. The
+//! [`WorkerReport`] fields are read back from the registry — the worker
+//! loop increments registry counters directly, so there is exactly one
+//! owner and one read path per statistic.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -77,6 +86,13 @@ pub struct RuntimeReport {
     pub workers: Vec<WorkerReport>,
     /// Wall-clock time between start and the last worker exiting.
     pub elapsed: Duration,
+    /// Final snapshot of the metrics registry, taken after the residual
+    /// trace drain. The per-worker fields above are views of the same
+    /// counters (`worker_<i>_passes` and friends); the snapshot
+    /// additionally carries actor execution histograms, port/channel
+    /// statistics and event totals, plus the JSON and Prometheus
+    /// exporters.
+    pub metrics: obs::MetricsSnapshot,
 }
 
 impl RuntimeReport {
@@ -89,10 +105,17 @@ impl RuntimeReport {
     }
 }
 
+/// Events one worker can buffer before the collector must drain; beyond
+/// this, new events are counted as `trace_dropped` rather than blocking
+/// the worker (tracing must never add synchronisation to the hot path).
+const TRACE_RING_CAPACITY: usize = 4096;
+
 struct WorkerEntry {
     actor: Box<dyn Actor>,
     ctx: Ctx,
     parked: bool,
+    /// Body execution time, log2 buckets (`actor_<name>_exec_cycles`).
+    exec_hist: Arc<obs::Log2Hist>,
 }
 
 /// What one round-robin pass over a worker's actors observed.
@@ -102,10 +125,15 @@ struct PassOutcome {
     stopped: bool,
 }
 
-/// Per-worker migration counters threaded through [`run_pass`].
+/// Per-worker migration statistics threaded through [`run_pass`]. The
+/// counters are registry entries (`worker_<i>_transitions` etc.), shared
+/// rather than copied, so reports and exporters observe the live values.
 struct PassCounters {
-    transitions: u64,
-    migrations: u64,
+    transitions: Arc<obs::Counter>,
+    migrations: Arc<obs::Counter>,
+    /// Measured wall cost of each paying domain switch, in sim cycles
+    /// (`worker_<i>_transition_cycles`).
+    transition_cycles: Arc<obs::Log2Hist>,
 }
 
 /// Execute one round-robin pass: migrate to each live actor's domain,
@@ -115,10 +143,13 @@ fn run_pass(
     entries: &mut [WorkerEntry],
     stop: &StopToken,
     costs: &CostHandle,
-    counters: &mut PassCounters,
+    counters: &PassCounters,
 ) -> PassOutcome {
     let mut any_busy = false;
     let mut all_parked = true;
+    // One relaxed load per pass decides whether to pay for clock reads
+    // and ring pushes at all.
+    let traced = cfg!(feature = "trace") && obs::enabled();
     for entry in entries.iter_mut() {
         if entry.parked {
             continue;
@@ -128,15 +159,39 @@ fn run_pass(
         // shared it (the domain-batched order makes that the common case).
         let crossings = sgx_sim::current_domain().crossings_to(entry.ctx.domain);
         if crossings > 0 {
-            counters.transitions += u64::from(crossings);
-            counters.migrations += 1;
+            counters.transitions.add(u64::from(crossings));
+            counters.migrations.inc();
+            let before = if traced { obs::clock::now_cycles() } else { 0 };
+            switch_domain(costs, entry.ctx.domain);
+            if traced {
+                let cost = obs::clock::now_cycles().saturating_sub(before);
+                counters.transition_cycles.record(cost);
+                obs::emit(
+                    obs::EventKind::DomainCross,
+                    entry.ctx.id.as_raw() as u16,
+                    u64::from(crossings),
+                    cost,
+                );
+            }
+        } else {
+            switch_domain(costs, entry.ctx.domain);
         }
-        switch_domain(costs, entry.ctx.domain);
-        entry.ctx.executions += 1;
+        entry.ctx.executions.inc();
+        let began = if traced { obs::clock::now_cycles() } else { 0 };
         match entry.actor.body(&mut entry.ctx) {
             Control::Busy => any_busy = true,
             Control::Idle => {}
             Control::Park => entry.parked = true,
+        }
+        if traced {
+            let spent = obs::clock::now_cycles().saturating_sub(began);
+            entry.exec_hist.record(spent);
+            obs::emit(
+                obs::EventKind::ExecEnd,
+                entry.ctx.id.as_raw() as u16,
+                spent,
+                0,
+            );
         }
         if stop.is_stopped() {
             return PassOutcome {
@@ -185,6 +240,7 @@ fn run_pass(
 pub struct Runtime {
     stop: StopToken,
     hub: Arc<WakeHub>,
+    obs: Arc<obs::ObsHub>,
     handles: Vec<std::thread::JoinHandle<WorkerReport>>,
     enclaves: Vec<Enclave>,
     mboxes: Arc<HashMap<String, Arc<Mbox>>>,
@@ -225,6 +281,14 @@ impl Runtime {
         let idle = deployment.idle;
         let costs = platform.costs();
 
+        // Observability: the EACTORS_OBS env knob, one hub (and one
+        // metrics registry) per runtime. Everything below registers its
+        // counters here; trace rings are preallocated in step 6.
+        obs::init_from_env();
+        let obs_hub = obs::ObsHub::new();
+        let registry = obs_hub.registry();
+        hub.register_obs(registry);
+
         // 1. Enclaves.
         let mut enclaves = Vec::with_capacity(deployment.enclaves.len());
         for e in &deployment.enclaves {
@@ -249,8 +313,11 @@ impl Runtime {
                 .expect("validated by DeploymentBuilder::build");
             mboxes.insert(m.name.clone(), Mbox::new(pool.clone(), m.capacity));
             // One shared stats block per named mbox: every Ctx::port on
-            // this name aggregates into the same counters.
-            port_stats.insert(m.name.clone(), Arc::new(Default::default()));
+            // this name aggregates into the same counters, which are the
+            // registry's `port_<name>_*` entries.
+            let stats: Arc<crate::wire::PortStats> = Arc::new(Default::default());
+            stats.register(registry, &format!("port_{}", m.name));
+            port_stats.insert(m.name.clone(), stats);
             if let Some(message) = m.message {
                 port_types.insert(m.name.clone(), message);
             }
@@ -287,6 +354,8 @@ impl Runtime {
                 ChannelPair::plaintext(ci as u32, arena)
             };
             let (end_a, end_b) = pair.into_ends();
+            end_a.register_obs(registry, &format!("channel{ci}a"));
+            end_b.register_obs(registry, &format!("channel{ci}b"));
             actor_channels[c.a.0].push(end_a);
             actor_channels[c.b.0].push(end_b);
         }
@@ -319,7 +388,8 @@ impl Runtime {
                 stop: stop.clone(),
                 costs: costs.clone(),
                 wake: Arc::clone(&hub),
-                executions: 0,
+                obs: Arc::clone(&obs_hub),
+                executions: registry.counter(&format!("actor_{}_executions", a.name)),
             }));
         }
 
@@ -344,10 +414,15 @@ impl Runtime {
             let mut entries: Vec<WorkerEntry> = w
                 .actors
                 .iter()
-                .map(|slot| WorkerEntry {
-                    actor: actors[slot.0].take().expect("single assignment validated"),
-                    ctx: ctxs[slot.0].take().expect("single assignment validated"),
-                    parked: false,
+                .map(|slot| {
+                    let ctx = ctxs[slot.0].take().expect("single assignment validated");
+                    let exec_hist = registry.hist(&format!("actor_{}_exec_cycles", ctx.name));
+                    WorkerEntry {
+                        actor: actors[slot.0].take().expect("single assignment validated"),
+                        ctx,
+                        parked: false,
+                        exec_hist,
+                    }
                 })
                 .collect();
             // Domain-batched schedule: bucket the actors by protection
@@ -368,6 +443,24 @@ impl Runtime {
                     .position(|d| *d == e.ctx.domain)
                     .expect("every entry domain was collected")
             });
+            // Worker statistics are live registry counters — the loop
+            // below increments them in place and the report reads them
+            // back, so `Runtime::metrics` observes running workers.
+            let counters = PassCounters {
+                transitions: registry.counter(&format!("worker_{wi}_transitions")),
+                migrations: registry.counter(&format!("worker_{wi}_migrations")),
+                transition_cycles: registry.hist(&format!("worker_{wi}_transition_cycles")),
+            };
+            let c_passes = registry.counter(&format!("worker_{wi}_passes"));
+            let c_idle_passes = registry.counter(&format!("worker_{wi}_idle_passes"));
+            let c_parks = registry.counter(&format!("worker_{wi}_parks"));
+            let c_wakes = registry.counter(&format!("worker_{wi}_wakes"));
+            // The trace ring is preallocated *here*, at deployment time,
+            // in untrusted memory (like mboxes): the producing side emits
+            // from inside enclaves without transitions or allocations.
+            let (ring_producer, ring_consumer) = obs::TraceRing::with_capacity(TRACE_RING_CAPACITY);
+            obs_hub.register_ring(wi as u16, ring_consumer);
+            let queue_delay = registry.hist(&format!("worker_{wi}_queue_delay_cycles"));
             let stop = stop.clone();
             let costs = costs.clone();
             let hub = Arc::clone(&hub);
@@ -379,22 +472,17 @@ impl Runtime {
                         pin_to_cpu(cpu);
                     }
                     // Register this runtime's hub so Mbox::send on this
-                    // thread wakes this runtime's parked workers.
+                    // thread wakes this runtime's parked workers, and the
+                    // trace ring so mbox/channel layers can emit events
+                    // without carrying handles through every call.
                     wake::set_current(Arc::clone(&hub));
-                    let mut passes = 0u64;
-                    let mut idle_passes = 0u64;
+                    obs::install_thread(ring_producer, Arc::clone(&queue_delay), wi as u16);
                     let mut idle_streak = 0u64;
-                    let mut parks = 0u64;
-                    let mut wakes = 0u64;
-                    let mut counters = PassCounters {
-                        transitions: 0,
-                        migrations: 0,
-                    };
                     let spin_tier = u64::from(idle.spin_passes);
                     let yield_tier = spin_tier.saturating_add(u64::from(idle.yield_passes));
                     while !stop.is_stopped() {
-                        let out = run_pass(&mut entries, &stop, &costs, &mut counters);
-                        passes += 1;
+                        let out = run_pass(&mut entries, &stop, &costs, &counters);
+                        c_passes.inc();
                         if out.stopped || out.all_parked {
                             break;
                         }
@@ -402,7 +490,7 @@ impl Runtime {
                             idle_streak = 0;
                             continue;
                         }
-                        idle_passes += 1;
+                        c_idle_passes.inc();
                         idle_streak += 1;
                         if idle_streak <= spin_tier {
                             std::hint::spin_loop();
@@ -415,8 +503,8 @@ impl Runtime {
                             // re-poll or its notify ends the park at once
                             // (see crate::wake for the protocol).
                             let seen = hub.prepare_park();
-                            let out = run_pass(&mut entries, &stop, &costs, &mut counters);
-                            passes += 1;
+                            let out = run_pass(&mut entries, &stop, &costs, &counters);
+                            c_passes.inc();
                             if out.stopped || out.all_parked {
                                 hub.cancel_park();
                                 break;
@@ -426,29 +514,37 @@ impl Runtime {
                                 idle_streak = 0;
                                 continue;
                             }
-                            idle_passes += 1;
+                            c_idle_passes.inc();
                             // Sleep outside any enclave: a blocked thread
                             // must not squat in enclave mode.
                             switch_domain(&costs, Domain::Untrusted);
-                            parks += 1;
-                            if hub.park(seen, idle.park_timeout) {
-                                wakes += 1;
+                            c_parks.inc();
+                            if cfg!(feature = "trace") {
+                                obs::emit(obs::EventKind::Park, wi as u16, 0, 0);
+                            }
+                            let woken = hub.park(seen, idle.park_timeout);
+                            if woken {
+                                c_wakes.inc();
+                            }
+                            if cfg!(feature = "trace") {
+                                obs::emit(obs::EventKind::Wake, wi as u16, u64::from(woken), 0);
                             }
                         }
                     }
                     switch_domain(&costs, Domain::Untrusted);
+                    obs::clear_thread();
                     WorkerReport {
                         worker: wi,
                         executions: entries
                             .iter()
-                            .map(|e| (e.ctx.name.clone(), e.ctx.executions))
+                            .map(|e| (e.ctx.name.clone(), e.ctx.executions.get()))
                             .collect(),
-                        passes,
-                        idle_passes,
-                        transitions: counters.transitions,
-                        migrations: counters.migrations,
-                        parks,
-                        wakes,
+                        passes: c_passes.get(),
+                        idle_passes: c_idle_passes.get(),
+                        transitions: counters.transitions.get(),
+                        migrations: counters.migrations.get(),
+                        parks: c_parks.get(),
+                        wakes: c_wakes.get(),
                         tampered_frames: entries
                             .iter()
                             .flat_map(|e| e.ctx.channels.iter())
@@ -468,12 +564,29 @@ impl Runtime {
         Ok(Runtime {
             stop,
             hub,
+            obs: obs_hub,
             handles,
             enclaves,
             mboxes,
             arenas,
             started,
         })
+    }
+
+    /// The deployment's observability hub: ring registry plus the
+    /// [`obs::MetricsRegistry`] every subsystem registered with. Clone
+    /// the `Arc` to keep reading metrics after [`Runtime::join`].
+    pub fn obs_hub(&self) -> &Arc<obs::ObsHub> {
+        &self.obs
+    }
+
+    /// Drain any outstanding trace events and snapshot every counter and
+    /// histogram. Safe to call while workers run (values are live) — but
+    /// not concurrently with a deployed [`crate::collect::CollectorActor`]
+    /// body, whose poll this duplicates.
+    pub fn metrics(&self) -> obs::MetricsSnapshot {
+        self.obs.poll();
+        self.obs.registry().snapshot()
     }
 
     /// The stop token observed by all workers.
@@ -522,9 +635,13 @@ impl Runtime {
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect();
+        // Residual drain: events emitted after the collector's last body
+        // (or in deployments without one) still reach the registry.
+        self.obs.poll();
         RuntimeReport {
             workers,
             elapsed: self.started.elapsed(),
+            metrics: self.obs.registry().snapshot(),
         }
     }
 

@@ -50,6 +50,9 @@ pub struct WakeHub {
     sleepers: AtomicUsize,
     lock: Mutex<()>,
     cond: Condvar,
+    /// Notifies that actually woke sleepers (epoch bumps). Shared with
+    /// the deployment's metrics registry as `wake_notifies`.
+    notifies: Arc<obs::Counter>,
 }
 
 impl WakeHub {
@@ -75,8 +78,20 @@ impl WakeHub {
             return;
         }
         self.epoch.fetch_add(1, Ordering::SeqCst);
+        self.notifies.inc();
         let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         self.cond.notify_all();
+    }
+
+    /// Notifies that observed sleepers and bumped the epoch.
+    pub fn notify_count(&self) -> u64 {
+        self.notifies.get()
+    }
+
+    /// Expose the hub's notify counter in `registry` as `wake_notifies`
+    /// (shared, not copied). Called once at runtime start.
+    pub fn register_obs(&self, registry: &obs::MetricsRegistry) {
+        registry.register_counter("wake_notifies", self.notifies.clone());
     }
 
     /// Register as a sleeper and snapshot the epoch.

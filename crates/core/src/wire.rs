@@ -49,8 +49,9 @@
 //! ```
 
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use obs::registry::{Counter, MetricsRegistry};
 
 use crate::arena::{Mbox, Node};
 use crate::channel::ChannelEnd;
@@ -84,35 +85,54 @@ pub trait Wire {
 
 /// Shared telemetry of a [`Port`] (and of every clone of it).
 ///
-/// Counts are monotonically increasing and read with relaxed ordering —
-/// they are diagnostics, not synchronisation.
+/// The counters are [`obs::Counter`]s — the same objects that appear in
+/// the deployment's [`MetricsRegistry`] once [`PortStats::register`] has
+/// run, so each drop/corruption count has exactly one owner (this
+/// struct) and one read path (the registry snapshot, or these accessors,
+/// which read the very same atomics). Counts are monotonically
+/// increasing and read with relaxed ordering — they are diagnostics, not
+/// synchronisation.
 #[derive(Debug, Default)]
 pub struct PortStats {
-    send_drops: AtomicU64,
-    corrupt_frames: AtomicU64,
+    send_drops: Arc<Counter>,
+    corrupt_frames: Arc<Counter>,
 }
 
 impl PortStats {
     /// Messages dropped on send: pool exhausted, mbox full, or payload
     /// larger than a node.
     pub fn send_drops(&self) -> u64 {
-        self.send_drops.load(Ordering::Relaxed)
+        self.send_drops.get()
     }
 
     /// Received nodes that failed to decode as `T` and were discarded.
     pub fn corrupt_frames(&self) -> u64 {
-        self.corrupt_frames.load(Ordering::Relaxed)
+        self.corrupt_frames.get()
     }
 
     /// Record `n` dropped sends (used by producers that encode into
     /// nodes themselves but share a port's telemetry).
     pub fn note_send_drop(&self) {
-        self.send_drops.fetch_add(1, Ordering::Relaxed);
+        self.send_drops.inc();
     }
 
     /// Record a frame that failed to decode.
     pub fn note_corrupt_frame(&self) {
-        self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+        self.corrupt_frames.inc();
+    }
+
+    /// Expose this port's counters in `registry` as
+    /// `<prefix>_send_drops` and `<prefix>_corrupt_frames`.
+    ///
+    /// The registry shares the counter objects; nothing is copied and
+    /// the hot paths stay lock-free. Called once per named mbox at
+    /// deployment time.
+    pub fn register(&self, registry: &MetricsRegistry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}_send_drops"), self.send_drops.clone());
+        registry.register_counter(
+            &format!("{prefix}_corrupt_frames"),
+            self.corrupt_frames.clone(),
+        );
     }
 }
 

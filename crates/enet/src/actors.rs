@@ -604,6 +604,30 @@ impl SystemActors {
         }
     }
 
+    /// Expose the networking telemetry in `registry`: the five request
+    /// ports as `net_<actor>_requests_*`, the reply direction as
+    /// `net_replies_*`. The registered counters are the live atomics the
+    /// actors increment (shared, not copied), so [`SystemActors::stats`]
+    /// and the registry exporters always agree.
+    pub fn bind_obs(&self, registry: &eactors::obs::MetricsRegistry) {
+        self.opener_requests
+            .stats()
+            .register(registry, "net_opener_requests");
+        self.accepter_requests
+            .stats()
+            .register(registry, "net_accepter_requests");
+        self.reader_requests
+            .stats()
+            .register(registry, "net_reader_requests");
+        self.writer_requests
+            .stats()
+            .register(registry, "net_writer_requests");
+        self.closer_requests
+            .stats()
+            .register(registry, "net_closer_requests");
+        self.reply_stats.register(registry, "net_replies");
+    }
+
     /// Aggregate the drop and corruption counters of the five request
     /// ports and the reply path into one snapshot.
     pub fn stats(&self) -> NetStats {

@@ -1,0 +1,168 @@
+//! The compact binary trace event carried by [`crate::ring::TraceRing`].
+//!
+//! Events are 32-byte plain-old-data records: producers stamp them with
+//! the sim-cycle clock ([`crate::clock::now_cycles`]) and push them into
+//! a preallocated ring with no heap allocation, no formatting and no
+//! locking. The meaning of the two argument words depends on the kind —
+//! see [`EventKind`].
+
+/// What happened. Stored as one byte inside [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Slot filler; never emitted.
+    Empty = 0,
+    /// An actor body finished: `source` = actor id, `a` = execution
+    /// duration in sim cycles.
+    ExecEnd = 1,
+    /// A worker migrated between protection domains: `source` = actor id
+    /// being scheduled, `a` = boundary crossings paid, `b` = cycles the
+    /// switch took.
+    DomainCross = 2,
+    /// A node was enqueued into an mbox: `a` = payload bytes.
+    MboxSend = 3,
+    /// A node was dequeued from an mbox: `a` = payload bytes, `b` =
+    /// queueing delay (send → recv) in sim cycles.
+    MboxRecv = 4,
+    /// A channel payload was sealed (transparent encryption): `source` =
+    /// channel id, `a` = plaintext bytes.
+    ChannelSeal = 5,
+    /// A channel payload was opened (decrypted and authenticated):
+    /// `source` = channel id, `a` = plaintext bytes.
+    ChannelOpen = 6,
+    /// A fault-plan failpoint fired (e.g. an injected persist failure):
+    /// `source` = subsystem-specific site id.
+    FaultTrigger = 7,
+    /// The POS syncer completed a persistence pass: `a` = stores
+    /// persisted, `b` = 1 when every store was written.
+    PosSync = 8,
+    /// A worker parked on the wake hub.
+    Park = 9,
+    /// A parked worker was woken by a notify (not a timeout).
+    Wake = 10,
+}
+
+/// Number of distinct event kinds (including [`EventKind::Empty`]).
+pub const KIND_COUNT: usize = 11;
+
+impl EventKind {
+    /// Decode the stored byte; unknown bytes collapse to `Empty`.
+    pub fn from_u8(b: u8) -> EventKind {
+        match b {
+            1 => EventKind::ExecEnd,
+            2 => EventKind::DomainCross,
+            3 => EventKind::MboxSend,
+            4 => EventKind::MboxRecv,
+            5 => EventKind::ChannelSeal,
+            6 => EventKind::ChannelOpen,
+            7 => EventKind::FaultTrigger,
+            8 => EventKind::PosSync,
+            9 => EventKind::Park,
+            10 => EventKind::Wake,
+            _ => EventKind::Empty,
+        }
+    }
+
+    /// Stable snake_case name, used for registry counter names.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Empty => "empty",
+            EventKind::ExecEnd => "exec_end",
+            EventKind::DomainCross => "domain_cross",
+            EventKind::MboxSend => "mbox_send",
+            EventKind::MboxRecv => "mbox_recv",
+            EventKind::ChannelSeal => "channel_seal",
+            EventKind::ChannelOpen => "channel_open",
+            EventKind::FaultTrigger => "fault_trigger",
+            EventKind::PosSync => "pos_sync",
+            EventKind::Park => "park",
+            EventKind::Wake => "wake",
+        }
+    }
+
+    /// All kinds in tag order (index == discriminant).
+    pub fn all() -> [EventKind; KIND_COUNT] {
+        [
+            EventKind::Empty,
+            EventKind::ExecEnd,
+            EventKind::DomainCross,
+            EventKind::MboxSend,
+            EventKind::MboxRecv,
+            EventKind::ChannelSeal,
+            EventKind::ChannelOpen,
+            EventKind::FaultTrigger,
+            EventKind::PosSync,
+            EventKind::Park,
+            EventKind::Wake,
+        ]
+    }
+}
+
+/// One trace record: fixed size, `Copy`, no pointers — safe to live in
+/// untrusted shared memory like message nodes do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(C)]
+pub struct Event {
+    /// Sim-cycle timestamp ([`crate::clock::now_cycles`]) at emission.
+    pub cycles: u64,
+    /// First argument word; meaning depends on [`Event::kind`].
+    pub a: u64,
+    /// Second argument word; meaning depends on [`Event::kind`].
+    pub b: u64,
+    /// The [`EventKind`] discriminant.
+    pub kind: u8,
+    /// Emitting entity (actor id, channel id, site id — per kind).
+    pub source: u16,
+}
+
+impl Event {
+    /// Build an event stamped with the current sim-cycle clock.
+    pub fn now(kind: EventKind, source: u16, a: u64, b: u64) -> Event {
+        Event {
+            cycles: crate::clock::now_cycles(),
+            a,
+            b,
+            kind: kind as u8,
+            source,
+        }
+    }
+
+    /// The decoded kind.
+    pub fn kind(&self) -> EventKind {
+        EventKind::from_u8(self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips_through_u8() {
+        for kind in EventKind::all() {
+            assert_eq!(EventKind::from_u8(kind as u8), kind);
+        }
+        assert_eq!(EventKind::from_u8(200), EventKind::Empty);
+    }
+
+    #[test]
+    fn event_is_compact() {
+        assert!(std::mem::size_of::<Event>() <= 32, "events must stay small");
+    }
+
+    #[test]
+    fn now_stamps_monotonic_cycles() {
+        let a = Event::now(EventKind::MboxSend, 1, 2, 3);
+        let b = Event::now(EventKind::MboxRecv, 1, 2, 3);
+        assert!(b.cycles >= a.cycles);
+        assert_eq!(a.kind(), EventKind::MboxSend);
+        assert_eq!(a.source, 1);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            EventKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), KIND_COUNT);
+    }
+}

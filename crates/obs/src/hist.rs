@@ -1,0 +1,225 @@
+//! Fixed-bucket log2 histograms.
+//!
+//! A [`Log2Hist`] is 64 `AtomicU64` buckets plus count/sum/max — all
+//! preallocated, all updated with relaxed atomics, so recording a value
+//! is allocation-free and safe from any thread (including inside a
+//! simulated enclave). Bucket `i` holds values whose bit length is `i`,
+//! i.e. bucket 0 is exactly 0, bucket 1 is 1, bucket 2 is 2–3, bucket 3
+//! is 4–7 and so on: good enough resolution to tell a 400-cycle actor
+//! execution from an 8000-cycle enclave round trip, which is the
+//! discrimination the paper's figures actually need.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets; covers the full `u64` range.
+pub const BUCKETS: usize = 64;
+
+/// A lock-free, preallocated log2 histogram.
+#[derive(Debug)]
+pub struct Log2Hist {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Log2Hist {
+        Log2Hist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a value: its bit length, clamped to the last bucket.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Smallest value a bucket can hold (its lower bound, inclusive).
+pub fn bucket_floor(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        b => 1u64 << (b - 1),
+    }
+}
+
+impl Log2Hist {
+    /// A fresh, empty histogram.
+    pub fn new() -> Log2Hist {
+        Log2Hist::default()
+    }
+
+    /// Record one observation. Lock-free, allocation-free.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy of the current state. Individual fields
+    /// are read relaxed, so a snapshot taken during concurrent recording
+    /// may be off by in-flight observations — fine for monitoring.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            buckets,
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Log2Hist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket observation counts; bucket `i` covers values of bit
+    /// length `i` (see [`bucket_of`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Arithmetic mean of observed values, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Lower bound of the bucket containing quantile `q` (0.0–1.0).
+    /// Returns 0 when empty.
+    pub fn quantile_floor(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_floor(i);
+            }
+        }
+        self.max
+    }
+
+    /// Index of the highest non-empty bucket, or `None` when empty.
+    pub fn top_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&n| n > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        for b in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_floor(b)), b, "floor of bucket {b}");
+        }
+    }
+
+    #[test]
+    fn record_updates_summary_stats() {
+        let h = Log2Hist::new();
+        for v in [0, 1, 5, 5, 4096] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 4107);
+        assert_eq!(h.max(), 4096);
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 1); // 0
+        assert_eq!(snap.buckets[1], 1); // 1
+        assert_eq!(snap.buckets[3], 2); // 5, 5
+        assert_eq!(snap.buckets[13], 1); // 4096
+        assert_eq!(snap.top_bucket(), Some(13));
+        assert!((snap.mean() - 4107.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let h = Log2Hist::new();
+        for _ in 0..90 {
+            h.record(100); // bucket 7, floor 64
+        }
+        for _ in 0..10 {
+            h.record(10_000); // bucket 14, floor 8192
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile_floor(0.5), 64);
+        assert_eq!(snap.quantile_floor(0.99), 8192);
+        assert_eq!(snap.quantile_floor(0.0), 64);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroes() {
+        let snap = Log2Hist::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.mean(), 0.0);
+        assert_eq!(snap.quantile_floor(0.5), 0);
+        assert_eq!(snap.top_bucket(), None);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Log2Hist::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.snapshot().buckets.iter().sum::<u64>(), 40_000);
+    }
+}

@@ -1,21 +1,25 @@
 //! A minimal, dependency-free JSON value, parser and printer.
 //!
-//! Deployment specs ([`crate::spec`]) are small configuration documents,
-//! not high-throughput data, so this module favours simplicity: a
-//! recursive-descent parser over the full JSON grammar, an order-preserving
-//! object representation, and a pretty printer whose output re-parses to
-//! an equal value. Numbers are stored as `f64` (like JavaScript); the
-//! integer accessors reject values that lost precision.
+//! Deployment specs and metrics snapshots are small configuration-sized
+//! documents, not high-throughput data, so this module favours
+//! simplicity: a recursive-descent parser over the full JSON grammar, an
+//! order-preserving object representation, and a pretty printer whose
+//! output re-parses to an equal value. Numbers are stored as `f64` (like
+//! JavaScript); the integer accessors reject values that lost precision.
+//!
+//! Historically this lived in the core crate; it moved here so the
+//! metrics exporters ([`crate::registry`]) can emit JSON without a
+//! dependency cycle, and core re-exports it unchanged.
 //!
 //! # Examples
 //!
 //! ```
-//! use eactors::json::Value;
+//! use obs::json::Value;
 //!
-//! let v = eactors::json::parse(r#"{"threads": 4, "name": "pool"}"#)?;
+//! let v = obs::json::parse(r#"{"threads": 4, "name": "pool"}"#)?;
 //! assert_eq!(v.get("threads").and_then(Value::as_u64), Some(4));
 //! assert_eq!(v.get("name").and_then(Value::as_str), Some("pool"));
-//! # Ok::<(), eactors::json::ParseError>(())
+//! # Ok::<(), obs::json::ParseError>(())
 //! ```
 
 use std::fmt;

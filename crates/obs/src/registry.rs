@@ -1,0 +1,346 @@
+//! The metrics registry: named counters and histograms with snapshot
+//! exporters.
+//!
+//! All metric handles are `Arc`s handed out once (at deployment time, or
+//! on first use of a name) and updated with relaxed atomics afterwards —
+//! the registry lock is only taken to *create or look up* a metric,
+//! never on the hot path. This is how each runtime counter gets exactly
+//! one owner and one read path: the subsystem that owns an event
+//! registers its counter under a stable name, increments its own `Arc`,
+//! and every reader (worker reports, fig16/fig17, exporters) goes
+//! through [`MetricsRegistry::snapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{bucket_floor, HistSnapshot, Log2Hist};
+use crate::json::Value;
+
+/// A monotonically increasing counter. Cloning the `Arc` shares it;
+/// updates are relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Named counters and histograms. Lookup/creation takes a mutex; the
+/// returned `Arc` handles are lock-free thereafter.
+///
+/// Metrics are stored in insertion order and snapshotted in sorted name
+/// order, so exports are deterministic regardless of registration
+/// interleaving.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    hists: Mutex<Vec<(String, Arc<Log2Hist>)>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut counters = self.counters.lock().expect("registry poisoned");
+        if let Some((_, c)) = counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        let c = Arc::new(Counter::new());
+        counters.push((name.to_owned(), c.clone()));
+        c
+    }
+
+    /// Register an existing counter under `name`, sharing ownership with
+    /// its subsystem. If the name is already taken the registered
+    /// counter wins and is returned — callers should adopt it.
+    pub fn register_counter(&self, name: &str, counter: Arc<Counter>) -> Arc<Counter> {
+        let mut counters = self.counters.lock().expect("registry poisoned");
+        if let Some((_, c)) = counters.iter().find(|(n, _)| n == name) {
+            return c.clone();
+        }
+        counters.push((name.to_owned(), counter.clone()));
+        counter
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn hist(&self, name: &str) -> Arc<Log2Hist> {
+        let mut hists = self.hists.lock().expect("registry poisoned");
+        if let Some((_, h)) = hists.iter().find(|(n, _)| n == name) {
+            return h.clone();
+        }
+        let h = Arc::new(Log2Hist::new());
+        hists.push((name.to_owned(), h.clone()));
+        h
+    }
+
+    /// Current value of `name`, or `None` if no such counter exists.
+    /// Unlike [`MetricsRegistry::counter`] this never creates.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let counters = self.counters.lock().expect("registry poisoned");
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c.get())
+    }
+
+    /// Point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = {
+            let guard = self.counters.lock().expect("registry poisoned");
+            guard.iter().map(|(n, c)| (n.clone(), c.get())).collect()
+        };
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut hists: Vec<(String, HistSnapshot)> = {
+            let guard = self.hists.lock().expect("registry poisoned");
+            guard
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect()
+        };
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { counters, hists }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`], name-sorted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub hists: Vec<(String, HistSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Histogram snapshot by name.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Render as a JSON document:
+    /// `{"counters": {...}, "histograms": {name: {count, sum, max, mean, buckets: [[floor, n], ...]}}}`.
+    ///
+    /// Histogram buckets are exported sparsely (non-empty buckets only)
+    /// as `[bucket_floor, count]` pairs.
+    pub fn to_json(&self) -> Value {
+        let counters = Value::Object(
+            self.counters
+                .iter()
+                .map(|(n, v)| (n.clone(), Value::Number(*v as f64)))
+                .collect(),
+        );
+        let hists = Value::Object(
+            self.hists
+                .iter()
+                .map(|(n, h)| {
+                    let buckets = Value::Array(
+                        h.buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &c)| c > 0)
+                            .map(|(i, &c)| {
+                                Value::Array(vec![
+                                    Value::Number(bucket_floor(i) as f64),
+                                    Value::Number(c as f64),
+                                ])
+                            })
+                            .collect(),
+                    );
+                    let body = Value::Object(vec![
+                        ("count".to_owned(), Value::Number(h.count as f64)),
+                        ("sum".to_owned(), Value::Number(h.sum as f64)),
+                        ("max".to_owned(), Value::Number(h.max as f64)),
+                        ("mean".to_owned(), Value::Number(h.mean())),
+                        ("buckets".to_owned(), buckets),
+                    ]);
+                    (n.clone(), body)
+                })
+                .collect(),
+        );
+        Value::Object(vec![
+            ("counters".to_owned(), counters),
+            ("histograms".to_owned(), hists),
+        ])
+    }
+
+    /// Render as Prometheus text exposition format: counters as
+    /// `# TYPE <name> counter` samples, histograms as cumulative
+    /// `<name>_bucket{le="..."}` series plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, h) in &self.hists {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                // Upper bound of bucket i is the floor of bucket i+1 - 1;
+                // expose the exclusive power-of-two boundary itself.
+                let le = if i + 1 < h.buckets.len() {
+                    format!("{}", bucket_floor(i + 1))
+                } else {
+                    "+Inf".to_owned()
+                };
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; map anything else to
+/// `_`, and prefix a digit-leading name with `_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_get_or_create_shares() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter_value("x"), Some(3));
+        assert_eq!(reg.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn register_counter_existing_name_wins() {
+        let reg = MetricsRegistry::new();
+        let first = reg.counter("dup");
+        first.add(5);
+        let outside = Arc::new(Counter::new());
+        outside.add(100);
+        let adopted = reg.register_counter("dup", outside);
+        assert_eq!(adopted.get(), 5, "registered counter wins");
+        let fresh = Arc::new(Counter::new());
+        fresh.add(7);
+        reg.register_counter("new", fresh);
+        assert_eq!(reg.counter_value("new"), Some(7));
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("zebra").inc();
+        reg.counter("apple").add(2);
+        reg.hist("latency").record(100);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("apple".to_owned(), 2), ("zebra".to_owned(), 1)]
+        );
+        assert_eq!(snap.hist("latency").unwrap().count, 1);
+        assert_eq!(snap.counter("zebra"), Some(1));
+    }
+
+    #[test]
+    fn json_export_round_trips() {
+        let reg = MetricsRegistry::new();
+        reg.counter("sends").add(42);
+        let h = reg.hist("delay");
+        h.record(5);
+        h.record(300);
+        let doc = reg.snapshot().to_json();
+        let reparsed = crate::json::parse(&doc.pretty()).unwrap();
+        assert_eq!(
+            reparsed
+                .get("counters")
+                .and_then(|c| c.get("sends"))
+                .and_then(Value::as_u64),
+            Some(42)
+        );
+        let delay = reparsed
+            .get("histograms")
+            .and_then(|h| h.get("delay"))
+            .unwrap();
+        assert_eq!(delay.get("count").and_then(Value::as_u64), Some(2));
+        assert_eq!(delay.get("sum").and_then(Value::as_u64), Some(305));
+        assert_eq!(delay.get("max").and_then(Value::as_u64), Some(300));
+        let buckets = delay.get("buckets").and_then(Value::as_array).unwrap();
+        assert_eq!(buckets.len(), 2, "sparse buckets only");
+    }
+
+    #[test]
+    fn prometheus_export_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("worker/0.parks").add(3);
+        let h = reg.hist("exec_cycles");
+        h.record(10);
+        h.record(1000);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE exec_cycles histogram\n"));
+        assert!(text.contains("# TYPE worker_0_parks counter\nworker_0_parks 3\n"));
+        assert!(text.contains("exec_cycles_sum 1010\n"));
+        assert!(text.contains("exec_cycles_count 2\n"));
+        assert!(text.contains("exec_cycles_bucket{le=\"+Inf\"} 2\n"));
+        // Cumulative bucket counts: the 1000 bucket includes the 10.
+        assert!(text.contains("exec_cycles_bucket{le=\"16\"} 1\n"));
+        assert!(text.contains("exec_cycles_bucket{le=\"1024\"} 2\n"));
+    }
+
+    #[test]
+    fn sanitize_handles_leading_digit() {
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("a-b.c"), "a_b_c");
+    }
+}

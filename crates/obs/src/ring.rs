@@ -1,0 +1,312 @@
+//! Lock-free single-producer single-consumer trace rings.
+//!
+//! Each worker thread owns one [`RingProducer`]; the COLLECTOR system
+//! actor drains the matching [`RingConsumer`]s from the untrusted
+//! domain. Like message nodes, the ring storage lives in untrusted
+//! memory and is preallocated at deployment time, so emitting an event
+//! costs a handful of plain stores plus one release store — no heap
+//! allocation, no system call, no execution-mode transition, and the
+//! enclaved producer never has to exit for the consumer to observe its
+//! events.
+//!
+//! # Protocol
+//!
+//! The classic SPSC bounded ring over two monotonically increasing
+//! cursors:
+//!
+//! * `tail` is written only by the producer, `head` only by the
+//!   consumer; each side reads the other's cursor with `Acquire` and
+//!   publishes its own with `Release`.
+//! * The producer's `Release` store of `tail` publishes the slot
+//!   contents written just before it; the consumer's `Acquire` load of
+//!   `tail` therefore sees fully written events only — no torn reads.
+//! * Symmetrically, the consumer's `Release` store of `head` returns the
+//!   slot to the producer, whose `Acquire` load of `head` guarantees the
+//!   consumer is done reading before the slot is overwritten.
+//!
+//! A full ring drops the event (counted in [`TraceRing::dropped`])
+//! rather than blocking: tracing must never stall an actor.
+//!
+//! The unique-owner handle types ([`RingProducer`] is neither `Clone`
+//! nor `Sync`) make the single-producer/single-consumer contract a
+//! compile-time property instead of a usage convention.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::event::Event;
+
+/// Pads a cursor to its own cache line so producer and consumer do not
+/// false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct CachePadded<T>(T);
+
+/// The shared ring storage. Construct via [`TraceRing::with_capacity`],
+/// which hands out the unique producer and consumer handles.
+#[derive(Debug)]
+pub struct TraceRing {
+    slots: Box<[UnsafeCell<Event>]>,
+    mask: usize,
+    /// Consumer cursor: next slot to read.
+    head: CachePadded<AtomicUsize>,
+    /// Producer cursor: next slot to write.
+    tail: CachePadded<AtomicUsize>,
+    /// Events discarded because the ring was full.
+    dropped: AtomicU64,
+}
+
+// Safety: slot contents are only accessed through the unique
+// RingProducer/RingConsumer handles under the head/tail protocol above;
+// the cursors themselves are atomics.
+unsafe impl Send for TraceRing {}
+unsafe impl Sync for TraceRing {}
+
+impl TraceRing {
+    /// Preallocate a ring of `capacity` events (rounded up to a power of
+    /// two) and split it into its unique producer and consumer handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn with_capacity(capacity: usize) -> (RingProducer, RingConsumer) {
+        assert!(capacity > 0, "trace ring needs at least one slot");
+        let cap = capacity.next_power_of_two();
+        let ring = Arc::new(TraceRing {
+            slots: (0..cap)
+                .map(|_| UnsafeCell::new(Event::default()))
+                .collect(),
+            mask: cap - 1,
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+            dropped: AtomicU64::new(0),
+        });
+        (RingProducer { ring: ring.clone() }, RingConsumer { ring })
+    }
+
+    /// Number of event slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events discarded so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events currently buffered (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Relaxed);
+        tail.wrapping_sub(head).min(self.capacity())
+    }
+
+    /// Whether the ring currently buffers no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The unique producing end of a [`TraceRing`].
+///
+/// Owned by exactly one worker thread; not `Clone`, so a second
+/// concurrent producer cannot exist.
+#[derive(Debug)]
+pub struct RingProducer {
+    ring: Arc<TraceRing>,
+}
+
+impl RingProducer {
+    /// Append `event`, or count a drop if the ring is full.
+    ///
+    /// Returns whether the event was stored. Never blocks, never
+    /// allocates.
+    #[inline]
+    pub fn push(&mut self, event: Event) -> bool {
+        let ring = &*self.ring;
+        let tail = ring.tail.0.load(Ordering::Relaxed);
+        let head = ring.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == ring.slots.len() {
+            ring.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        // Safety: slots in [head, head+cap) \ [head, tail) are exclusively
+        // ours; the Acquire load of `head` above ensures the consumer has
+        // finished reading this slot before we overwrite it.
+        unsafe { *ring.slots[tail & ring.mask].get() = event };
+        ring.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// The shared ring (for capacity/drop introspection).
+    pub fn ring(&self) -> &Arc<TraceRing> {
+        &self.ring
+    }
+}
+
+/// The unique consuming end of a [`TraceRing`].
+#[derive(Debug)]
+pub struct RingConsumer {
+    ring: Arc<TraceRing>,
+}
+
+impl RingConsumer {
+    /// Remove and return the oldest buffered event, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Event> {
+        let ring = &*self.ring;
+        let head = ring.head.0.load(Ordering::Relaxed);
+        let tail = ring.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // Safety: the Acquire load of `tail` published the slot write;
+        // [head, tail) is exclusively ours to read.
+        let event = unsafe { *ring.slots[head & ring.mask].get() };
+        ring.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(event)
+    }
+
+    /// Drain up to `max` buffered events into `f`, returning how many
+    /// were consumed.
+    pub fn drain(&mut self, max: usize, mut f: impl FnMut(Event)) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.pop() {
+                Some(ev) => {
+                    f(ev);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// The shared ring (for capacity/drop introspection).
+    pub fn ring(&self) -> &Arc<TraceRing> {
+        &self.ring
+    }
+}
+
+/// A loom model of the head/tail protocol, compiled only under
+/// `RUSTFLAGS="--cfg loom"` with the loom dev-dependency enabled (see
+/// Cargo.toml — loom is not vendored in the offline build image). The
+/// always-on, dependency-free equivalent lives in
+/// `tests/ring_permutations.rs`.
+#[cfg(loom)]
+pub mod loom_model {
+    use loom::sync::atomic::{AtomicUsize, Ordering};
+    use loom::sync::Arc;
+    use loom::thread;
+    use std::cell::UnsafeCell;
+
+    struct Ring {
+        slots: [UnsafeCell<(u64, u64)>; 2],
+        head: AtomicUsize,
+        tail: AtomicUsize,
+    }
+    unsafe impl Send for Ring {}
+    unsafe impl Sync for Ring {}
+
+    /// Explore every interleaving of one push racing one pop: the popped
+    /// value, if any, must be whole (both halves equal) and in order.
+    pub fn spsc_push_pop_permutations() {
+        loom::model(|| {
+            let ring = Arc::new(Ring {
+                slots: [UnsafeCell::new((0, 0)), UnsafeCell::new((0, 0))],
+                head: AtomicUsize::new(0),
+                tail: AtomicUsize::new(0),
+            });
+            let producer = ring.clone();
+            let t = thread::spawn(move || {
+                for v in 1..=2u64 {
+                    let tail = producer.tail.load(Ordering::Relaxed);
+                    let head = producer.head.load(Ordering::Acquire);
+                    if tail.wrapping_sub(head) == 2 {
+                        return;
+                    }
+                    unsafe { *producer.slots[tail & 1].get() = (v, v) };
+                    producer.tail.store(tail.wrapping_add(1), Ordering::Release);
+                }
+            });
+            let mut last = 0u64;
+            for _ in 0..2 {
+                let head = ring.head.load(Ordering::Relaxed);
+                let tail = ring.tail.load(Ordering::Acquire);
+                if head == tail {
+                    continue;
+                }
+                let (lo, hi) = unsafe { *ring.slots[head & 1].get() };
+                assert_eq!(lo, hi, "torn event observed");
+                assert!(lo > last, "out-of-order or duplicated event");
+                last = lo;
+                ring.head.store(head.wrapping_add(1), Ordering::Release);
+            }
+            t.join().unwrap();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let (mut p, mut c) = TraceRing::with_capacity(4);
+        assert_eq!(p.ring().capacity(), 4);
+        for i in 0..4 {
+            assert!(p.push(Event::now(EventKind::MboxSend, i, i as u64, 0)));
+        }
+        assert!(!p.push(Event::now(EventKind::MboxSend, 9, 9, 0)), "full");
+        assert_eq!(p.ring().dropped(), 1);
+        for i in 0..4 {
+            assert_eq!(c.pop().unwrap().source, i);
+        }
+        assert!(c.pop().is_none());
+    }
+
+    #[test]
+    fn wrap_around_preserves_order() {
+        let (mut p, mut c) = TraceRing::with_capacity(2);
+        let mut next = 0u64;
+        let mut expect = 0u64;
+        for _ in 0..100 {
+            if p.push(Event::now(EventKind::ExecEnd, 0, next, 0)) {
+                next += 1;
+            }
+            if let Some(ev) = c.pop() {
+                assert_eq!(ev.a, expect);
+                expect += 1;
+            }
+        }
+        while let Some(ev) = c.pop() {
+            assert_eq!(ev.a, expect);
+            expect += 1;
+        }
+        assert_eq!(expect, next);
+    }
+
+    #[test]
+    fn drain_respects_max() {
+        let (mut p, mut c) = TraceRing::with_capacity(8);
+        for i in 0..6 {
+            p.push(Event::now(EventKind::Park, 0, i, 0));
+        }
+        let mut seen = Vec::new();
+        assert_eq!(c.drain(4, |e| seen.push(e.a)), 4);
+        assert_eq!(c.drain(100, |e| seen.push(e.a)), 2);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        assert!(p.ring().is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (p, _c) = TraceRing::with_capacity(5);
+        assert_eq!(p.ring().capacity(), 8);
+        assert_eq!(p.ring().len(), 0);
+    }
+}

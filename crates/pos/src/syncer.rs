@@ -17,10 +17,10 @@
 //! inject failures at every persist step.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use eactors::actor::{Actor, Control, Ctx};
+use eactors::obs;
 use sgx_sim::FaultPlan;
 
 use crate::store::PosStore;
@@ -58,8 +58,10 @@ pub struct Syncer {
     interval: u64,
     countdown: u64,
     faults: FaultPlan,
-    syncs: Arc<AtomicU64>,
-    failures: Arc<AtomicU64>,
+    /// Shared with the deployment's metrics registry (`pos_syncs` /
+    /// `pos_failures`) once the ctor runs; the same atomics either way.
+    syncs: Arc<obs::Counter>,
+    failures: Arc<obs::Counter>,
 }
 
 impl Syncer {
@@ -80,8 +82,8 @@ impl Syncer {
             interval,
             countdown: interval,
             faults: FaultPlan::default(),
-            syncs: Arc::new(AtomicU64::new(0)),
-            failures: Arc::new(AtomicU64::new(0)),
+            syncs: Arc::new(obs::Counter::new()),
+            failures: Arc::new(obs::Counter::new()),
         }
     }
 
@@ -94,17 +96,26 @@ impl Syncer {
 
     /// Shared counter of clean sync passes (every store attempted and
     /// written; passes with failures or backed-off stores don't count).
-    pub fn syncs(&self) -> Arc<AtomicU64> {
+    pub fn syncs(&self) -> Arc<obs::Counter> {
         self.syncs.clone()
     }
 
     /// Shared counter of failed persist attempts.
-    pub fn failures(&self) -> Arc<AtomicU64> {
+    pub fn failures(&self) -> Arc<obs::Counter> {
         self.failures.clone()
     }
 }
 
 impl Actor for Syncer {
+    fn ctor(&mut self, ctx: &mut Ctx) {
+        // Expose the sync/failure counters as `pos_syncs`/`pos_failures`
+        // (shared, not copied; an existing registration wins, so two
+        // syncers in one deployment aggregate into the same counters).
+        let registry = ctx.obs_hub().registry();
+        self.syncs = registry.register_counter("pos_syncs", self.syncs.clone());
+        self.failures = registry.register_counter("pos_failures", self.failures.clone());
+    }
+
     fn body(&mut self, ctx: &mut Ctx) -> Control {
         self.countdown -= 1;
         if self.countdown > 0 {
@@ -116,19 +127,24 @@ impl Actor for Syncer {
             "the Syncer performs system calls and must run untrusted"
         );
         let mut all_ok = true;
+        let mut attempted = 0u64;
         for slot in &mut self.slots {
             if slot.skip > 0 {
                 slot.skip -= 1;
                 all_ok = false;
                 continue;
             }
+            attempted += 1;
             ctx.costs().charge_syscall(); // the sync(2)-style call
             match slot.store.persist_with(&slot.path, &self.faults) {
                 Ok(()) => {
                     slot.penalty = 1;
                 }
                 Err(_) => {
-                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    self.failures.inc();
+                    // A failed persist is where injected faults surface:
+                    // record the trigger for crash-test traces.
+                    obs::emit(obs::EventKind::FaultTrigger, ctx.id().as_raw() as u16, 1, 0);
                     slot.skip = slot.penalty;
                     slot.penalty = (slot.penalty * 2).min(MAX_BACKOFF_PASSES);
                     all_ok = false;
@@ -136,8 +152,14 @@ impl Actor for Syncer {
             }
         }
         if all_ok {
-            self.syncs.fetch_add(1, Ordering::Relaxed);
+            self.syncs.inc();
         }
+        obs::emit(
+            obs::EventKind::PosSync,
+            ctx.id().as_raw() as u16,
+            attempted,
+            u64::from(all_ok),
+        );
         Control::Busy
     }
 }
@@ -194,7 +216,7 @@ mod tests {
             "stopper",
             Placement::Untrusted,
             eactors::from_fn(move |ctx| {
-                if syncs2.load(Ordering::Relaxed) >= 5 {
+                if syncs2.get() >= 5 {
                     ctx.shutdown();
                     Control::Park
                 } else {
@@ -230,7 +252,7 @@ mod tests {
             "stopper",
             Placement::Untrusted,
             eactors::from_fn(move |ctx| {
-                if failures2.load(Ordering::Relaxed) >= 3 {
+                if failures2.get() >= 3 {
                     ctx.shutdown();
                     Control::Park
                 } else {
@@ -242,7 +264,7 @@ mod tests {
         Runtime::start(&platform, b.build().unwrap())
             .unwrap()
             .join();
-        assert!(failures.load(Ordering::Relaxed) >= 3);
+        assert!(failures.get() >= 3);
     }
 
     #[test]
@@ -275,7 +297,7 @@ mod tests {
             "stopper",
             Placement::Untrusted,
             eactors::from_fn(move |ctx| {
-                if failures2.load(Ordering::Relaxed) >= 2 && probe_path.exists() {
+                if failures2.get() >= 2 && probe_path.exists() {
                     ctx.shutdown();
                     Control::Park
                 } else {
@@ -292,7 +314,7 @@ mod tests {
         let r = reopened.register_reader();
         let mut buf = [0u8; 8];
         assert_eq!(reopened.get(&r, b"k", &mut buf).unwrap(), Some(1));
-        assert!(failures.load(Ordering::Relaxed) >= 2);
+        assert!(failures.get() >= 2);
         std::fs::remove_file(&good_path).ok();
     }
 
@@ -322,7 +344,7 @@ mod tests {
             "stopper",
             Placement::Untrusted,
             eactors::from_fn(move |ctx| {
-                if syncs2.load(Ordering::Relaxed) >= 1 {
+                if syncs2.get() >= 1 {
                     ctx.shutdown();
                     Control::Park
                 } else {
@@ -335,7 +357,7 @@ mod tests {
             .unwrap()
             .join();
 
-        assert_eq!(failures.load(Ordering::Relaxed), 1, "one injected failure");
+        assert_eq!(failures.get(), 1, "one injected failure");
         assert_eq!(plan.trips(crate::persist::failpoints::PERSIST_RENAME), 1);
         let reopened = PosStore::open(&path, None).unwrap();
         let r = reopened.register_reader();

@@ -125,12 +125,7 @@ mod tests {
         let result = run_o2o(net, &p.costs(), &o2o(8));
         assert_eq!(result.connected, 8);
         assert!(result.completed > 0);
-        assert!(
-            svc.stats
-                .o2o_routed
-                .load(std::sync::atomic::Ordering::Relaxed)
-                > 0
-        );
+        assert!(svc.stats.o2o_routed.get() > 0);
         svc.shutdown();
     }
 
@@ -180,12 +175,7 @@ mod tests {
         );
         assert_eq!(result.connected, 10);
         assert!(result.completed > 0, "pacers must cycle group messages");
-        assert!(
-            svc.stats
-                .o2m_delivered
-                .load(std::sync::atomic::Ordering::Relaxed)
-                > 0
-        );
+        assert!(svc.stats.o2m_delivered.get() > 0);
         svc.shutdown();
     }
 

@@ -21,10 +21,10 @@
 //! map onto enclaves (Fig 16).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use eactors::arena::{Arena, Mbox, Node};
+use eactors::obs;
 use eactors::prelude::*;
 use eactors::wire::{Port, PortStats, Wire};
 use enet::{
@@ -106,18 +106,34 @@ impl Default for XmppConfig {
 }
 
 /// Live counters exported by a running service.
+///
+/// Registered in the deployment's [`obs::MetricsRegistry`] as
+/// `xmpp_*` when the CONNECTOR's ctor runs; the registry entries share
+/// these atomics, so snapshots and these handles always agree.
 #[derive(Debug, Default)]
 pub struct ServiceStats {
     /// Sessions successfully established.
-    pub sessions: AtomicU64,
+    pub sessions: Arc<obs::Counter>,
     /// One-to-one messages routed.
-    pub o2o_routed: AtomicU64,
+    pub o2o_routed: Arc<obs::Counter>,
     /// Group messages fanned out (one per delivered copy).
-    pub o2m_delivered: AtomicU64,
+    pub o2m_delivered: Arc<obs::Counter>,
     /// Messages dropped because the recipient was offline.
-    pub offline_drops: AtomicU64,
+    pub offline_drops: Arc<obs::Counter>,
     /// Malformed or unauthenticated frames dropped.
-    pub bad_frames: AtomicU64,
+    pub bad_frames: Arc<obs::Counter>,
+}
+
+impl ServiceStats {
+    /// Expose every counter in `registry` under its `xmpp_*` name
+    /// (shared, not copied).
+    pub fn register(&self, registry: &obs::MetricsRegistry) {
+        registry.register_counter("xmpp_sessions", self.sessions.clone());
+        registry.register_counter("xmpp_o2o_routed", self.o2o_routed.clone());
+        registry.register_counter("xmpp_o2m_delivered", self.o2m_delivered.clone());
+        registry.register_counter("xmpp_offline_drops", self.offline_drops.clone());
+        registry.register_counter("xmpp_bad_frames", self.bad_frames.clone());
+    }
 }
 
 /// Nodes claimed per `recv_batch` call when draining assignments.
@@ -219,6 +235,26 @@ struct Connector {
 }
 
 impl Actor for Connector {
+    fn ctor(&mut self, ctx: &mut Ctx) {
+        // Expose the service counters and the CONNECTOR-side request
+        // ports under stable registry names (the counters themselves are
+        // shared with the registry, not copied).
+        let registry = ctx.obs_hub().registry();
+        self.stats.register(registry);
+        self.opener_rq
+            .stats()
+            .register(registry, "xmpp_conn_opener");
+        self.accepter_rq
+            .stats()
+            .register(registry, "xmpp_conn_accepter");
+        self.reader_rq
+            .stats()
+            .register(registry, "xmpp_conn_reader");
+        self.closer_rq
+            .stats()
+            .register(registry, "xmpp_conn_closer");
+    }
+
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
         if !self.listening {
             self.listening = true;
@@ -294,7 +330,7 @@ impl Actor for Connector {
                             }
                         }
                         Ok(Some(_)) => {
-                            stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                            stats.bad_frames.inc();
                             pending.remove(&socket);
                             reader_rq.send(&NetMsg::Unwatch { socket });
                             closer_rq.send(&NetMsg::Close { socket });
@@ -414,7 +450,7 @@ impl XmppInstance {
                     .to_xml();
                     for m in members {
                         self.write_to(&costs, &m.user, m.socket, m.instance, &xml);
-                        self.stats.o2m_delivered.fetch_add(1, Ordering::Relaxed);
+                        self.stats.o2m_delivered.inc();
                     }
                 } else {
                     // One-to-one: resolve the recipient anywhere in the
@@ -429,10 +465,10 @@ impl XmppInstance {
                             }
                             .to_xml();
                             self.write_to(&costs, &to, entry.socket, entry.instance, &xml);
-                            self.stats.o2o_routed.fetch_add(1, Ordering::Relaxed);
+                            self.stats.o2o_routed.inc();
                         }
                         _ => {
-                            self.stats.offline_drops.fetch_add(1, Ordering::Relaxed);
+                            self.stats.offline_drops.inc();
                         }
                     }
                 }
@@ -476,7 +512,7 @@ impl XmppInstance {
             | Stanza::StreamOk { .. }
             | Stanza::StreamError { .. }
             | Stanza::Joined { .. } => {
-                self.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                self.stats.bad_frames.inc();
             }
         }
     }
@@ -513,10 +549,10 @@ impl XmppInstance {
                 Ok(None) => return,
                 Ok(Some(Some(stanza))) => self.handle_stanza(ctx, socket, stanza),
                 Ok(Some(None)) => {
-                    self.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    self.stats.bad_frames.inc();
                 }
                 Err(_) => {
-                    self.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    self.stats.bad_frames.inc();
                     self.drop_session(socket);
                     return;
                 }
@@ -526,8 +562,15 @@ impl XmppInstance {
 }
 
 impl Actor for XmppInstance {
-    fn ctor(&mut self, _ctx: &mut Ctx) {
+    fn ctor(&mut self, ctx: &mut Ctx) {
         self.dir_reader = Some(self.directory.reader());
+        let registry = ctx.obs_hub().registry();
+        self.data
+            .stats()
+            .register(registry, &format!("xmpp_data_{}", self.index));
+        self.assign
+            .stats()
+            .register(registry, &format!("xmpp_assign_{}", self.index));
     }
 
     fn body(&mut self, ctx: &mut Ctx) -> Control {
@@ -574,7 +617,7 @@ impl Actor for XmppInstance {
                         rooms: Vec::new(),
                     },
                 );
-                self.stats.sessions.fetch_add(1, Ordering::Relaxed);
+                self.stats.sessions.inc();
                 batch.push((socket, self.data_ref));
                 // Acknowledge the stream (plaintext, completing the
                 // handshake) through our own WRITER, framed directly in
@@ -785,7 +828,17 @@ pub fn start_service(
     let a_c_write = b.actor("conn-writer", Placement::Untrusted, conn_sys.writer);
     let a_c_close = b.actor("conn-closer", Placement::Untrusted, conn_sys.closer);
     b.worker(&[a_connector]);
-    b.worker(&[a_c_open, a_c_acc, a_c_read, a_c_write, a_c_close]);
+    // The COLLECTOR rides the untrusted system-actor worker: it drains
+    // the deployment's trace rings without disturbing enclave workers.
+    let a_collector = b.collector();
+    b.worker(&[
+        a_c_open,
+        a_c_acc,
+        a_c_read,
+        a_c_write,
+        a_c_close,
+        a_collector,
+    ]);
 
     // XMPP instances, each with a dedicated READER and WRITER.
     for (i, (data, data_ref, reader_rq, writer_rq, assign)) in

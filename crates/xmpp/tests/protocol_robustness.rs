@@ -173,9 +173,8 @@ fn wrong_key_traffic_is_counted_and_ignored() {
     encode_frame(&sealed, &mut wire);
     sim.send(mallory, &wire).unwrap();
 
-    use std::sync::atomic::Ordering;
     let deadline = Instant::now() + Duration::from_secs(5);
-    while svc.stats.bad_frames.load(Ordering::Relaxed) == 0 {
+    while svc.stats.bad_frames.get() == 0 {
         assert!(Instant::now() < deadline, "bad frame never registered");
         std::thread::yield_now();
     }

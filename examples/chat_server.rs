@@ -66,18 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let stats = &service.stats;
-    use std::sync::atomic::Ordering::Relaxed;
     println!("\nserver stats:");
-    println!("  sessions opened   : {}", stats.sessions.load(Relaxed));
-    println!("  one-to-one routed : {}", stats.o2o_routed.load(Relaxed));
-    println!(
-        "  group deliveries  : {}",
-        stats.o2m_delivered.load(Relaxed)
-    );
-    println!(
-        "  offline drops     : {}",
-        stats.offline_drops.load(Relaxed)
-    );
+    println!("  sessions opened   : {}", stats.sessions.get());
+    println!("  one-to-one routed : {}", stats.o2o_routed.get());
+    println!("  group deliveries  : {}", stats.o2m_delivered.get());
+    println!("  offline drops     : {}", stats.offline_drops.get());
 
     service.shutdown();
     Ok(())

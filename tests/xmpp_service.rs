@@ -177,14 +177,13 @@ fn offline_recipients_do_not_crash_and_presence_is_updated_on_disconnect() {
     // Give the service a beat to observe the close.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     loop {
-        use std::sync::atomic::Ordering;
         alice.send(&Stanza::Message {
             to: "bob".into(),
             from: String::new(),
             body: "hi".into(),
         });
         std::thread::sleep(Duration::from_millis(20));
-        if svc.stats.offline_drops.load(Ordering::Relaxed) > 0 {
+        if svc.stats.offline_drops.get() > 0 {
             break;
         }
         assert!(

@@ -16,7 +16,7 @@
 //!   frame and forwarded through typed ports.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 use std::sync::Mutex;
 
 use eactors::arena::{Arena, Mbox};
@@ -27,24 +27,36 @@ use sgx_sim::crypto::SessionKey;
 use sgx_sim::{CostModel, Platform};
 use xmpp::wire::{ConnCrypto, FrameBuf};
 
-/// Counts every allocation (and reallocation) that reaches the heap.
+/// Counts every allocation (and reallocation) the *calling thread*
+/// sends to the heap. Per-thread, because the process is never quiet:
+/// the libtest harness's main thread lazily allocates channel wait
+/// contexts while blocking on test completions, and counting those
+/// would flake the steady-state assertions. A `const`-initialised
+/// `Cell<u64>` has no destructor and no lazy initialiser, so touching
+/// it from inside the allocator cannot recurse.
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn count_alloc() {
+    ALLOCS.with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_alloc();
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_alloc();
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count_alloc();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
@@ -56,14 +68,15 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// The counter is process-global, so the measurements must not overlap.
+/// Serialise the measurements: the loops are timing-sensitive enough
+/// that running them concurrently on a small host distorts warm-up.
 static SERIAL: Mutex<()> = Mutex::new(());
 
-/// Allocations performed while running `f`.
+/// Allocations performed by this thread while running `f`.
 fn allocs_during(f: impl FnOnce()) -> u64 {
-    let before = ALLOCS.load(Ordering::SeqCst);
+    let before = ALLOCS.with(Cell::get);
     f();
-    ALLOCS.load(Ordering::SeqCst) - before
+    ALLOCS.with(Cell::get) - before
 }
 
 /// The Figure-11 payload: an opaque borrowed byte view.
@@ -149,6 +162,66 @@ fn fig11_pingpong_steady_state_allocates_nothing() {
             "{label} channel ping-pong allocated {steady} times over 256 steady-state pairs"
         );
     }
+}
+
+/// The observability subsystem must obey the same rule it measures:
+/// tracing a message costs **zero heap allocations per event**. The
+/// fig11 ping-pong runs again with tracing enabled — a thread-local
+/// ring producer installed, every channel send/recv/seal/open emitting
+/// a compact event — and with an [`eactors::obs::ObsHub`] draining the
+/// ring into the registry inside the measured region. Preallocation
+/// happens once (ring at deployment, counter names at first poll);
+/// steady state moves nothing onto the heap.
+#[cfg(feature = "trace")]
+#[test]
+fn traced_pingpong_steady_state_allocates_nothing() {
+    use eactors::obs;
+
+    let _serial = SERIAL.lock().unwrap();
+    let costs = Platform::builder()
+        .cost_model(CostModel::zero())
+        .build()
+        .costs();
+    let key = SessionKey::derive(&[0x42]);
+    let size = 1024;
+    let pair = ChannelPair::encrypted(0, Arena::new("t", 8, size + 64), &key, costs);
+    let hub = obs::ObsHub::new();
+    let (producer, consumer) = obs::TraceRing::with_capacity(4096);
+    hub.register_ring(0, consumer);
+    let queue_delay = hub.registry().hist("worker_0_queue_delay_cycles");
+    obs::install_thread(producer, queue_delay, 0);
+    obs::set_enabled(true);
+
+    let (mut ping, mut pong) = pair.into_ends();
+    let payload = vec![0xABu8; size];
+    let mut scratch = vec![0u8; size + 64];
+    // Warm-up: scratch growth, ring installation, and one poll so every
+    // per-event-kind counter name is already interned in the registry.
+    for _ in 0..16 {
+        pingpong_round(&mut ping, &mut pong, &payload, &mut scratch);
+    }
+    hub.poll();
+    let steady = allocs_during(|| {
+        for _ in 0..256 {
+            pingpong_round(&mut ping, &mut pong, &payload, &mut scratch);
+            hub.poll();
+        }
+    });
+    obs::clear_thread();
+    let sends = hub.events_of(obs::EventKind::ChannelSeal);
+    assert!(
+        sends >= 256,
+        "tracing was not live: only {sends} seal events captured"
+    );
+    assert_eq!(
+        hub.trace_dropped(),
+        0,
+        "the ring overflowed; the measurement would undercount events"
+    );
+    assert_eq!(
+        steady, 0,
+        "traced ping-pong allocated {steady} times over 256 rounds ({sends} events)"
+    );
 }
 
 #[test]
