@@ -9,12 +9,29 @@
 //! (minutes); the default quick scale finishes in well under a minute
 //! per figure.
 
-use eactors_bench::{ablation, fig01, fig11, fig12, fig14, fig15, fig16, fig17, tcb, Scale};
+use eactors_bench::{
+    ablation, fig01, fig11, fig12, fig14, fig15, fig16, fig17, record, tcb, Scale,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { Scale::Full } else { Scale::from_env() };
+    // `figures bench-fig11 [--label <text>]` appends one throughput
+    // record to BENCH_fig11.json (the perf trajectory) and exits.
+    if args.iter().any(|a| a == "bench-fig11") {
+        let label = args
+            .iter()
+            .position(|a| a == "--label")
+            .and_then(|i| args.get(i + 1))
+            .map_or_else(|| "unlabelled".to_owned(), String::clone);
+        println!(
+            "fig11 ping-pong trajectory record (label {label:?}, host cpus: {})",
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        );
+        record::record(&label, scale);
+        return;
+    }
     let mut wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))

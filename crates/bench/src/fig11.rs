@@ -102,6 +102,17 @@ impl<'m> Wire for Ping<'m> {
 
 /// One EActors ping-pong measurement; returns seconds.
 fn run_ea(size: usize, pairs: u64, encrypted: bool) -> f64 {
+    run_ea_with_metrics(size, pairs, encrypted).0
+}
+
+/// Like [`run_ea`] but also returns the runtime's final metrics
+/// snapshot, so tests can assert substrate behaviour (magazine hit
+/// rate, selected mbox protocols) rather than just wall-clock time.
+fn run_ea_with_metrics(
+    size: usize,
+    pairs: u64,
+    encrypted: bool,
+) -> (f64, eactors::obs::MetricsSnapshot) {
     let platform = Platform::builder().build();
     let mut b = DeploymentBuilder::new();
     b.channel_defaults(ChannelOptions {
@@ -186,10 +197,10 @@ fn run_ea(size: usize, pairs: u64, encrypted: bool) -> f64 {
     b.worker(&[ping]);
     b.worker(&[pong]);
     let runtime = Runtime::start(&platform, b.build().expect("valid deployment")).expect("start");
-    runtime.join();
+    let report = runtime.join();
     let started = started.lock().expect("timer lock").expect("ping ran");
     let finished = finished.lock().expect("timer lock").expect("ping finished");
-    (finished - started).as_secs_f64()
+    ((finished - started).as_secs_f64(), report.metrics)
 }
 
 /// Run the experiment, producing Fig 11a (execution time, normalised to
@@ -262,6 +273,43 @@ mod tests {
         assert!(
             enc < native,
             "EA-ENC ({enc:.4}s) must beat Native ({native:.4}s) at {size} bytes"
+        );
+    }
+
+    #[test]
+    fn steady_state_uses_magazines_and_spsc_mboxes() {
+        // Substrate-shape assertions (not timing): valid in debug too.
+        let (_, metrics) = run_ea_with_metrics(1024, 2_000, false);
+        // Both channel direction mboxes must have been proven SPSC from
+        // the deployment graph.
+        assert!(
+            metrics.counter("mbox_spsc_selected").unwrap_or(0) >= 2,
+            "channel mboxes must select the SPSC protocol"
+        );
+        assert_eq!(
+            metrics.counter("mbox_cardinality_violations"),
+            Some(0),
+            "no single-side protocol violations"
+        );
+        // Steady state runs out of the per-worker magazines: the global
+        // freelist is only touched on refill/flush batches.
+        let sum = |suffix: &str| -> u64 {
+            metrics
+                .counters
+                .iter()
+                .filter(|(name, _)| name.starts_with("worker_") && name.ends_with(suffix))
+                .map(|&(_, v)| v)
+                .sum()
+        };
+        let (hits, misses) = (sum("_magazine_hits"), sum("_magazine_misses"));
+        assert!(
+            hits + misses > 0,
+            "workers must route node allocation through magazines"
+        );
+        let rate = hits as f64 / (hits + misses) as f64;
+        assert!(
+            rate > 0.9,
+            "magazine hit rate must exceed 90% in steady state, got {rate:.3} ({hits} hits, {misses} misses)"
         );
     }
 

@@ -86,6 +86,35 @@ pub fn run(scale: Scale) -> FigureReport {
                 transitions as f64,
             );
         }
+        // Substrate fast-path health for the same run: per-layout node
+        // magazine hit rate (steady state should run out of the
+        // thread-local caches) and how many mboxes selected each of the
+        // proven single-side cursor protocols.
+        let sum = |suffix: &str| -> u64 {
+            rt.metrics
+                .counters
+                .iter()
+                .filter(|(name, _)| name.starts_with("worker_") && name.ends_with(suffix))
+                .map(|&(_, v)| v)
+                .sum()
+        };
+        let (hits, misses) = (sum("_magazine_hits"), sum("_magazine_misses"));
+        if hits + misses > 0 {
+            report.push(
+                "magazine_hit_rate",
+                enclaves as f64,
+                hits as f64 / (hits + misses) as f64,
+            );
+        }
+        for kind in ["spsc", "mpsc", "mpmc"] {
+            report.push(
+                format!("mbox_{kind}_selected"),
+                enclaves as f64,
+                rt.metrics
+                    .counter(&format!("mbox_{kind}_selected"))
+                    .unwrap_or(0) as f64,
+            );
+        }
     }
     report
 }

@@ -1,0 +1,296 @@
+//! The checked-in fig11 performance trajectory (`BENCH_fig11.json`).
+//!
+//! Figure reports under `results/` are regenerated wholesale and carry
+//! no history; this module instead *appends* one record per invocation
+//! to `BENCH_fig11.json` at the workspace root, so the repository keeps
+//! a trajectory of ping-pong messaging throughput across substrate
+//! changes (sgx-bench style: a measurement only matters relative to the
+//! one before it). See EXPERIMENTS.md for the recording procedure.
+//!
+//! The measured quantity is steady-state ping-pong throughput in
+//! messages per second (both directions counted) for a fixed 64-byte
+//! payload, plaintext and encrypted, on 1 / 2 / 4 workers. One worker
+//! hosts both actors of a pair; `W >= 2` workers host `W / 2`
+//! single-actor-per-worker pairs and the aggregate rate is reported.
+//! On a single-CPU host the multi-worker cells timeshare one core —
+//! `host_cpus` is recorded so trajectories are only compared
+//! like-for-like.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use eactors::json::Value;
+use eactors::prelude::*;
+use sgx_sim::Platform;
+
+use crate::scale::Scale;
+
+/// Fixed ping-pong payload for the trajectory (small enough that the
+/// substrate — not memcpy — dominates).
+pub const MESSAGE_BYTES: usize = 64;
+
+/// The worker counts of the recorded series.
+pub const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Opaque payload as a borrowed wire message (same shape as fig11's).
+struct Ping<'a>(&'a [u8]);
+
+impl<'m> Wire for Ping<'m> {
+    type View<'a> = Ping<'a>;
+
+    fn encoded_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn encode_into(&self, out: &mut [u8]) -> usize {
+        out[..self.0.len()].copy_from_slice(self.0);
+        self.0.len()
+    }
+
+    fn decode_from(data: &[u8]) -> Option<Ping<'_>> {
+        Some(Ping(data))
+    }
+}
+
+/// Run `pairs` ping-pong round trips per actor pair and return the
+/// aggregate message rate (messages per second, both legs counted).
+///
+/// `workers == 1` runs one PING/PONG pair on a single worker; larger
+/// (even) counts run `workers / 2` pairs, one actor per worker.
+pub fn pingpong_msgs_per_sec(workers: usize, encrypted: bool, pairs: u64) -> f64 {
+    assert!(
+        workers == 1 || workers % 2 == 0,
+        "workers must be 1 or even"
+    );
+    let pair_count = (workers / 2).max(1);
+    let platform = Platform::builder().build();
+    let mut b = DeploymentBuilder::new();
+    b.channel_defaults(ChannelOptions {
+        nodes: 16,
+        payload: MESSAGE_BYTES + 64,
+        policy: if encrypted {
+            EncryptionPolicy::Auto
+        } else {
+            EncryptionPolicy::NeverEncrypt
+        },
+    });
+
+    // Per-pair first-send / last-recv timestamps; the measured span is
+    // min(started)..max(finished) so concurrent pairs are not
+    // double-counted.
+    let started: Arc<Mutex<Vec<Option<Instant>>>> = Arc::new(Mutex::new(vec![None; pair_count]));
+    let finished: Arc<Mutex<Vec<Option<Instant>>>> = Arc::new(Mutex::new(vec![None; pair_count]));
+    let live = Arc::new(AtomicUsize::new(pair_count));
+
+    let mut actors = Vec::new();
+    for p in 0..pair_count {
+        let e1 = b.enclave(&format!("ping-{p}"));
+        let e2 = b.enclave(&format!("pong-{p}"));
+        let payload = vec![0xABu8; MESSAGE_BYTES];
+        let mut remaining = pairs;
+        let mut awaiting = false;
+        let started = started.clone();
+        let finished = finished.clone();
+        let live = live.clone();
+        let ping = b.actor(
+            &format!("ping-{p}"),
+            Placement::Enclave(e1),
+            eactors::from_fn(move |ctx| {
+                if !awaiting {
+                    if remaining == 0 {
+                        finished.lock().expect("timer lock")[p] = Some(Instant::now());
+                        if live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            ctx.shutdown();
+                        }
+                        return Control::Park;
+                    }
+                    {
+                        let mut s = started.lock().expect("timer lock");
+                        if s[p].is_none() {
+                            s[p] = Some(Instant::now());
+                        }
+                    }
+                    match ctx.typed_channel::<Ping>(0).send(&Ping(&payload)) {
+                        Ok(()) => {
+                            awaiting = true;
+                            remaining -= 1;
+                            Control::Busy
+                        }
+                        Err(_) => Control::Idle,
+                    }
+                } else {
+                    match ctx.typed_channel::<Ping>(0).recv(|_| ()) {
+                        Ok(Some(())) => {
+                            awaiting = false;
+                            Control::Busy
+                        }
+                        _ => Control::Idle,
+                    }
+                }
+            }),
+        );
+        let mut pong_buf = vec![0u8; MESSAGE_BYTES + 64];
+        let pong = b.actor(
+            &format!("pong-{p}"),
+            Placement::Enclave(e2),
+            eactors::from_fn(move |ctx| {
+                let got = {
+                    let buf = &mut pong_buf;
+                    ctx.typed_channel::<Ping>(0).recv(|m| {
+                        buf[..m.0.len()].copy_from_slice(m.0);
+                        m.0.len()
+                    })
+                };
+                match got {
+                    Ok(Some(n)) => {
+                        let _ = ctx.typed_channel::<Ping>(0).send(&Ping(&pong_buf[..n]));
+                        Control::Busy
+                    }
+                    _ => Control::Idle,
+                }
+            }),
+        );
+        b.channel(ping, pong);
+        actors.push((ping, pong));
+    }
+    if workers == 1 {
+        let all: Vec<_> = actors.iter().flat_map(|&(a, b)| [a, b]).collect();
+        b.worker(&all);
+    } else {
+        for &(ping, pong) in &actors {
+            b.worker(&[ping]);
+            b.worker(&[pong]);
+        }
+    }
+
+    let runtime = Runtime::start(&platform, b.build().expect("valid deployment")).expect("start");
+    runtime.join();
+    let first = started
+        .lock()
+        .expect("timer lock")
+        .iter()
+        .flatten()
+        .min()
+        .copied()
+        .expect("ping ran");
+    let last = finished
+        .lock()
+        .expect("timer lock")
+        .iter()
+        .flatten()
+        .max()
+        .copied()
+        .expect("ping finished");
+    let secs = (last - first).as_secs_f64().max(1e-9);
+    (pair_count as u64 * pairs * 2) as f64 / secs
+}
+
+/// Measure every series cell and append one labelled record to
+/// `BENCH_fig11.json`. Returns the `(series, msgs_per_sec)` cells.
+pub fn record(label: &str, scale: Scale) -> Vec<(String, f64)> {
+    let pairs = scale.ops(20_000, 200_000);
+    let mut series = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        for &enc in &[false, true] {
+            let key = format!("{}_w{workers}", if enc { "enc" } else { "plain" });
+            let rate = pingpong_msgs_per_sec(workers, enc, pairs);
+            println!("  {key:>9}: {rate:>12.0} msgs/s");
+            series.push((key, rate));
+        }
+    }
+    append_record(label, pairs, &series);
+    series
+}
+
+/// `<workspace>/BENCH_fig11.json`, walking up from the current directory.
+pub fn bench_json_path() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir.join("BENCH_fig11.json");
+        }
+        if !dir.pop() {
+            return PathBuf::from("BENCH_fig11.json");
+        }
+    }
+}
+
+fn append_record(label: &str, pairs: u64, series: &[(String, f64)]) {
+    let path = bench_json_path();
+    let mut records: Vec<Value> = match std::fs::read_to_string(&path) {
+        Ok(text) => match eactors::json::parse(&text) {
+            Ok(doc) => doc
+                .get("records")
+                .and_then(Value::as_array)
+                .map(<[Value]>::to_vec)
+                .unwrap_or_default(),
+            Err(e) => {
+                eprintln!(
+                    "   (existing {} unreadable, starting fresh: {e:?})",
+                    path.display()
+                );
+                Vec::new()
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    records.push(Value::Object(vec![
+        ("label".to_owned(), Value::String(label.to_owned())),
+        ("unix_time".to_owned(), Value::Number(unix_time as f64)),
+        (
+            "host_cpus".to_owned(),
+            Value::Number(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
+        ),
+        ("pairs".to_owned(), Value::Number(pairs as f64)),
+        (
+            "series".to_owned(),
+            Value::Object(
+                series
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Number(*v)))
+                    .collect(),
+            ),
+        ),
+    ]));
+    let doc = Value::Object(vec![
+        (
+            "benchmark".to_owned(),
+            Value::String("fig11_pingpong_msgs_per_sec".to_owned()),
+        ),
+        (
+            "unit".to_owned(),
+            Value::String("messages_per_second_both_directions".to_owned()),
+        ),
+        (
+            "message_bytes".to_owned(),
+            Value::Number(MESSAGE_BYTES as f64),
+        ),
+        ("records".to_owned(), Value::Array(records)),
+    ]);
+    match std::fs::write(&path, doc.pretty() + "\n") {
+        Ok(()) => println!("   appended record {label:?} to {}", path.display()),
+        Err(e) => eprintln!("   (record not written: {e})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_pingpong_measures_a_positive_rate() {
+        let rate = pingpong_msgs_per_sec(1, false, 50);
+        assert!(rate > 0.0, "rate must be positive, got {rate}");
+    }
+
+    #[test]
+    fn four_workers_run_two_pairs_to_completion() {
+        let rate = pingpong_msgs_per_sec(4, false, 25);
+        assert!(rate > 0.0, "rate must be positive, got {rate}");
+    }
+}

@@ -33,15 +33,241 @@
 //! // Dropping `got` returns the node to the arena's free list.
 //! ```
 
-use std::cell::UnsafeCell;
+use std::cell::{Cell, RefCell, UnsafeCell};
 use std::mem::ManuallyDrop;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+use obs::Counter;
 
 use crate::wake;
 
 /// Sentinel index marking the end of the free list.
 const NIL: u32 = u32::MAX;
+
+/// Capped exponential backoff for CAS retry loops: a failed
+/// compare-exchange means another thread just won the cache line, so
+/// spinning tighter only prolongs the ping-pong. Each retry doubles the
+/// number of `spin_loop` hints up to a small cap (no yielding — these
+/// loops are obstruction-free and finish in a few retries).
+struct Backoff(u32);
+
+impl Backoff {
+    const MAX_SHIFT: u32 = 6;
+
+    fn new() -> Backoff {
+        Backoff(0)
+    }
+
+    #[inline]
+    fn spin(&mut self) {
+        for _ in 0..(1u32 << self.0) {
+            std::hint::spin_loop();
+        }
+        if self.0 < Self::MAX_SHIFT {
+            self.0 += 1;
+        }
+    }
+}
+
+/// Process-global tally of failed freelist CAS attempts across all
+/// arenas (pop, push and the chain variants). `Runtime::start` registers
+/// it in the deployment's [`MetricsRegistry`](obs::MetricsRegistry) as
+/// `freelist_cas_retries`; steady-state magazine traffic keeps it flat.
+pub fn freelist_cas_retries() -> &'static Arc<Counter> {
+    static RETRIES: OnceLock<Arc<Counter>> = OnceLock::new();
+    RETRIES.get_or_init(|| Arc::new(Counter::new()))
+}
+
+/// Process-global tally of detected mbox cardinality violations: a
+/// second worker thread drove the single-producer or single-consumer
+/// side of a specialized mbox. Registered as
+/// `mbox_cardinality_violations`; any non-zero value is a deployment
+/// bug (debug builds also assert).
+pub fn mbox_cardinality_violations() -> &'static Arc<Counter> {
+    static VIOLATIONS: OnceLock<Arc<Counter>> = OnceLock::new();
+    VIOLATIONS.get_or_init(|| Arc::new(Counter::new()))
+}
+
+thread_local! {
+    /// Non-zero exactly on runtime worker threads; used by specialized
+    /// mboxes to attribute sends/recvs to a worker. Non-worker threads
+    /// (deployment ctors, drivers, tests) are exempt from cardinality
+    /// checks — the deployment proof is about actor placement on
+    /// workers, and non-worker access is sequential with the worker
+    /// lifecycle.
+    static WORKER_TOKEN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Mark the current thread as a runtime worker (fresh unique token).
+pub(crate) fn set_worker_token() {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let token = NEXT.fetch_add(1, Ordering::Relaxed);
+    let _ = WORKER_TOKEN.try_with(|t| t.set(token));
+}
+
+/// Clear the current thread's worker mark.
+pub(crate) fn clear_worker_token() {
+    let _ = WORKER_TOKEN.try_with(|t| t.set(0));
+}
+
+#[inline]
+fn worker_token() -> u64 {
+    WORKER_TOKEN.try_with(Cell::get).unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread node magazines.
+//
+// A magazine is a small thread-local LIFO of free node indices for one
+// arena. With magazines installed (runtime workers install them at
+// spawn), steady-state alloc/free never touches the shared `free_head`
+// cache line: pops are served from the magazine, frees deposit into it,
+// and only an empty/full magazine exchanges a *pre-linked chain* of
+// nodes with the global freelist in a single CAS. Recycled nodes stay
+// hot in the allocating worker's cache.
+//
+// Ownership invariant: indices in a magazine are **allocated** from the
+// global freelist's point of view (`free_nodes()` excludes them) and are
+// owned by the installing thread alone. Magazines must be flushed
+// whenever the thread stops being a live allocator: workers drain before
+// parking and uninstall (flush + drop) at exit, and `MagazineSet::drop`
+// flushes on thread death, so no node outlives its thread in a cache.
+// ---------------------------------------------------------------------------
+
+/// Upper bound on cached nodes per (thread, arena) pair.
+pub const MAGAZINE_MAX: usize = 32;
+
+/// Shared counter handles for magazine telemetry. `Runtime::start`
+/// registers one set per worker (`worker_<i>_magazine_*`) so the hot
+/// path never shares a counter cache line across workers.
+#[derive(Debug, Clone, Default)]
+pub struct MagazineStats {
+    /// Pops served from the thread-local magazine (no shared-line touch).
+    pub hits: Arc<Counter>,
+    /// Pops that fell through to the global freelist.
+    pub misses: Arc<Counter>,
+    /// Chain refills popped from the global freelist (one CAS each).
+    pub refills: Arc<Counter>,
+    /// Chain flushes pushed back to the global freelist (one CAS each).
+    pub flushes: Arc<Counter>,
+}
+
+impl MagazineStats {
+    /// Register the four counters as `<prefix>_magazine_{hits,misses,refills,flushes}`,
+    /// adopting already-registered counters if the names are taken.
+    pub fn register(&self, registry: &obs::MetricsRegistry, prefix: &str) -> MagazineStats {
+        MagazineStats {
+            hits: registry.register_counter(&format!("{prefix}_magazine_hits"), self.hits.clone()),
+            misses: registry
+                .register_counter(&format!("{prefix}_magazine_misses"), self.misses.clone()),
+            refills: registry
+                .register_counter(&format!("{prefix}_magazine_refills"), self.refills.clone()),
+            flushes: registry
+                .register_counter(&format!("{prefix}_magazine_flushes"), self.flushes.clone()),
+        }
+    }
+}
+
+/// One thread's cache of free nodes for one arena.
+struct Magazine {
+    arena: Arc<Arena>,
+    /// LIFO stack of cached free indices; capacity fixed at creation so
+    /// steady-state pushes never reallocate.
+    slots: Vec<u32>,
+    /// `min(MAGAZINE_MAX, arena capacity / 4)`; 0 disables caching for
+    /// tiny pools so back-pressure semantics are unchanged (a magazine
+    /// may never strand enough nodes to starve other threads).
+    cap: usize,
+}
+
+/// All magazines of one thread plus its telemetry handles.
+struct MagazineSet {
+    mags: Vec<Magazine>,
+    stats: MagazineStats,
+}
+
+impl Drop for MagazineSet {
+    fn drop(&mut self) {
+        // A thread must never take cached nodes to its grave.
+        for mag in &mut self.mags {
+            if !mag.slots.is_empty() {
+                mag.arena.push_chain(&mag.slots);
+                mag.slots.clear();
+            }
+        }
+    }
+}
+
+fn magazine_for<'a>(mags: &'a mut Vec<Magazine>, arena: &Arc<Arena>) -> &'a mut Magazine {
+    if let Some(i) = mags.iter().position(|m| Arc::ptr_eq(&m.arena, arena)) {
+        return &mut mags[i];
+    }
+    let cap = (arena.capacity() as usize / 4).min(MAGAZINE_MAX);
+    mags.push(Magazine {
+        arena: Arc::clone(arena),
+        slots: Vec::with_capacity(cap),
+        cap,
+    });
+    mags.last_mut().expect("just pushed")
+}
+
+thread_local! {
+    static MAGAZINES: RefCell<Option<MagazineSet>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with this thread's magazine set (`None` when not installed,
+/// re-entered, or during thread teardown — callers fall back to the
+/// global freelist, which is always correct).
+fn with_magazines<R>(f: impl FnOnce(Option<&mut MagazineSet>) -> R) -> R {
+    let mut f = Some(f);
+    match MAGAZINES.try_with(|tls| match tls.try_borrow_mut() {
+        Ok(mut set) => (f.take().expect("once"))(set.as_mut()),
+        Err(_) => (f.take().expect("once"))(None),
+    }) {
+        Ok(r) => r,
+        Err(_) => (f.take().expect("once"))(None),
+    }
+}
+
+/// Enable per-arena node magazines on the current thread, flushing any
+/// previously installed set. Runtime workers call this at spawn; other
+/// threads (tests, embedders) may opt in too.
+pub fn install_magazines(stats: MagazineStats) {
+    let _ = MAGAZINES.try_with(|tls| {
+        *tls.borrow_mut() = Some(MagazineSet {
+            mags: Vec::new(),
+            stats,
+        });
+    });
+}
+
+/// Flush every cached node back to its arena's global freelist, keeping
+/// the magazines installed (they refill on the next pop). Workers call
+/// this before parking so an idle thread holds no nodes.
+pub fn drain_magazines() {
+    with_magazines(|set| {
+        if let Some(set) = set {
+            let MagazineSet { mags, stats } = &mut *set;
+            for mag in mags {
+                if !mag.slots.is_empty() {
+                    mag.arena.push_chain(&mag.slots);
+                    mag.slots.clear();
+                    stats.flushes.inc();
+                }
+            }
+        }
+    });
+}
+
+/// Flush and remove the current thread's magazines entirely. Workers
+/// call this at exit; afterwards alloc/free go straight to the global
+/// freelist again.
+pub fn uninstall_magazines() {
+    let _ = MAGAZINES.try_with(|tls| {
+        tls.borrow_mut().take(); // Drop flushes
+    });
+}
 
 /// Aligns a hot atomic to its own cache line so concurrent writers of
 /// *adjacent* fields (producers on `enqueue_pos`, consumers on
@@ -145,9 +371,12 @@ impl Arena {
         self.slots.len() as u32
     }
 
-    /// Nodes currently on the free list.
+    /// Nodes currently on the global free list.
     ///
     /// Concurrent pops/pushes make this an instantaneous approximation.
+    /// Nodes cached in thread-local magazines count as *allocated*; they
+    /// return here when their thread drains ([`drain_magazines`]) or
+    /// exits.
     pub fn free_nodes(&self) -> usize {
         self.free_count.0.load(Ordering::Relaxed)
     }
@@ -166,7 +395,53 @@ impl Arena {
     ///
     /// Returns `None` when the pool is exhausted — the caller should retry
     /// later (back-pressure), exactly as eactors do when a pool runs dry.
+    ///
+    /// On threads with magazines installed (runtime workers) the pop is
+    /// served from the thread-local cache when possible; otherwise it
+    /// goes to the global freelist.
     pub fn try_pop(self: &Arc<Self>) -> Option<Node> {
+        with_magazines(|set| match set {
+            Some(set) => self.pop_cached(set),
+            None => self.pop_global(),
+        })
+    }
+
+    /// Magazine fast path: hit the thread-local LIFO, refilling a chain
+    /// from the global freelist (one CAS) when it runs empty.
+    fn pop_cached(self: &Arc<Self>, set: &mut MagazineSet) -> Option<Node> {
+        let MagazineSet { mags, stats } = set;
+        let mag = magazine_for(mags, self);
+        if let Some(idx) = mag.slots.pop() {
+            stats.hits.inc();
+            return Some(Node {
+                arena: Arc::clone(self),
+                idx,
+            });
+        }
+        stats.misses.inc();
+        if mag.cap == 0 {
+            return self.pop_global();
+        }
+        let (head, n) = self.try_pop_chain(mag.cap.div_ceil(2))?;
+        stats.refills.inc();
+        // We own the chain now; everything behind its head is cached.
+        let mut idx = head;
+        for _ in 1..n {
+            idx = self.slots[idx as usize].next.load(Ordering::Relaxed) as u32;
+            mag.slots.push(idx);
+        }
+        // The magazine was empty, so reversing restores LIFO hotness:
+        // the node nearest the old freelist head pops first.
+        mag.slots.reverse();
+        Some(Node {
+            arena: Arc::clone(self),
+            idx: head,
+        })
+    }
+
+    /// Pop directly from the global freelist.
+    fn pop_global(self: &Arc<Self>) -> Option<Node> {
+        let mut backoff = Backoff::new();
         let mut head = self.free_head.0.load(Ordering::Acquire);
         loop {
             let (tag, idx) = unpack(head);
@@ -187,13 +462,132 @@ impl Arena {
                         idx,
                     });
                 }
-                Err(h) => head = h,
+                Err(h) => {
+                    freelist_cas_retries().inc();
+                    backoff.spin();
+                    head = h;
+                }
             }
         }
     }
 
+    /// Pop up to `max` nodes from the free list as one still-linked
+    /// chain with a **single** successful CAS. Returns the chain's head
+    /// index and length; the caller owns the chain and walks it via the
+    /// `next` links (valid until the nodes are reused).
+    ///
+    /// The pre-CAS walk reads `next` links that a concurrent pop may be
+    /// recycling; that is harmless — any concurrent freelist operation
+    /// bumps the head tag and fails our CAS, and the walk is bounded by
+    /// `max` so even a stale cycle cannot hang it.
+    fn try_pop_chain(&self, max: usize) -> Option<(u32, usize)> {
+        debug_assert!(max >= 1);
+        let mut backoff = Backoff::new();
+        let mut head = self.free_head.0.load(Ordering::Acquire);
+        loop {
+            let (tag, first) = unpack(head);
+            if first == NIL {
+                return None;
+            }
+            let mut tail = first;
+            let mut n = 1usize;
+            while n < max {
+                let next = self.slots[tail as usize].next.load(Ordering::Relaxed) as u32;
+                if next == NIL {
+                    break;
+                }
+                tail = next;
+                n += 1;
+            }
+            let rest = self.slots[tail as usize].next.load(Ordering::Relaxed) as u32;
+            match self.free_head.0.compare_exchange_weak(
+                head,
+                pack(tag.wrapping_add(1), rest),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.free_count.0.fetch_sub(n, Ordering::Relaxed);
+                    return Some((first, n));
+                }
+                Err(h) => {
+                    freelist_cas_retries().inc();
+                    backoff.spin();
+                    head = h;
+                }
+            }
+        }
+    }
+
+    /// Push a pre-linked chain of node indices onto the free list with a
+    /// **single** successful CAS. `chain[0]` becomes the new head;
+    /// `chain` entries must be owned by the caller and distinct.
+    fn push_chain(&self, chain: &[u32]) {
+        debug_assert!(!chain.is_empty());
+        // Link the interior once; only the tail→old-head link is
+        // (re)written inside the retry loop.
+        for w in chain.windows(2) {
+            self.slots[w[0] as usize]
+                .next
+                .store(w[1] as u64, Ordering::Relaxed);
+        }
+        let first = chain[0];
+        let last = *chain.last().expect("non-empty chain");
+        let mut backoff = Backoff::new();
+        let mut head = self.free_head.0.load(Ordering::Acquire);
+        loop {
+            let (tag, top) = unpack(head);
+            self.slots[last as usize]
+                .next
+                .store(top as u64, Ordering::Relaxed);
+            match self.free_head.0.compare_exchange_weak(
+                head,
+                pack(tag.wrapping_add(1), first),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.free_count.0.fetch_add(chain.len(), Ordering::Relaxed);
+                    return;
+                }
+                Err(h) => {
+                    freelist_cas_retries().inc();
+                    backoff.spin();
+                    head = h;
+                }
+            }
+        }
+    }
+
+    /// Return a freed node index, depositing into the thread's magazine
+    /// when one is installed (flushing the cold half on overflow) and
+    /// falling back to the global freelist otherwise.
+    fn free_index(self: &Arc<Self>, idx: u32) {
+        with_magazines(|set| match set {
+            Some(set) => {
+                let MagazineSet { mags, stats } = set;
+                let mag = magazine_for(mags, self);
+                if mag.cap == 0 {
+                    self.push_free(idx);
+                    return;
+                }
+                if mag.slots.len() == mag.cap {
+                    // Flush the cold (bottom) half in one chain push,
+                    // keeping the hot top of the LIFO local.
+                    let flush = mag.cap.div_ceil(2);
+                    self.push_chain(&mag.slots[..flush]);
+                    mag.slots.drain(..flush);
+                    stats.flushes.inc();
+                }
+                mag.slots.push(idx);
+            }
+            None => self.push_free(idx),
+        })
+    }
+
     /// Push a node index back on the free list (LIFO).
     fn push_free(&self, idx: u32) {
+        let mut backoff = Backoff::new();
         let mut head = self.free_head.0.load(Ordering::Acquire);
         loop {
             let (tag, top) = unpack(head);
@@ -210,7 +604,11 @@ impl Arena {
                     self.free_count.0.fetch_add(1, Ordering::Relaxed);
                     return;
                 }
-                Err(h) => head = h,
+                Err(h) => {
+                    freelist_cas_retries().inc();
+                    backoff.spin();
+                    head = h;
+                }
             }
         }
     }
@@ -344,24 +742,54 @@ impl std::fmt::Debug for Node {
 
 impl Drop for Node {
     fn drop(&mut self) {
-        self.arena.push_free(self.idx);
+        self.arena.free_index(self.idx);
     }
 }
 
-/// A FIFO multi-producer multi-consumer mailbox carrying nodes of one
-/// arena.
+/// Producer/consumer cardinality of an mbox, as proven by the
+/// deployment graph (or declared by library wiring that owns both
+/// sides).
 ///
-/// Lock-free (bounded sequence queue): `send` and `recv` are a handful of
-/// atomic operations — no mutexes, no system calls, no execution-mode
-/// transitions, regardless of which protection domains the communicating
-/// actors live in. This is the property that lets EActors messages cross
-/// enclave boundaries cheaply.
+/// The cardinality selects the cursor protocol: `Spsc` runs a plain
+/// head/tail ring (Acquire/Release publication, **no** sequence CAS),
+/// `Mpsc` keeps the Vyukov producer path but gives the single consumer
+/// a CAS-free dequeue, and `Mpmc` is the fully general sequence queue.
+/// The single-threaded sides are guarded at runtime: worker threads
+/// stamp a token on first use and a second worker on the same side
+/// bumps [`mbox_cardinality_violations`] (and asserts in debug builds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MboxKind {
+    /// Exactly one producing and one consuming worker.
+    Spsc,
+    /// Many producers, exactly one consuming worker.
+    Mpsc,
+    /// The general case (the safe default).
+    #[default]
+    Mpmc,
+}
+
+/// A FIFO mailbox carrying nodes of one arena.
+///
+/// Lock-free: `send` and `recv` are a handful of atomic operations — no
+/// mutexes, no system calls, no execution-mode transitions, regardless
+/// of which protection domains the communicating actors live in. This is
+/// the property that lets EActors messages cross enclave boundaries
+/// cheaply.
+///
+/// By default the mbox is a bounded MPMC sequence queue; deployments
+/// that prove a tighter cardinality instantiate the cheaper protocols
+/// via [`Mbox::with_kind`] (see [`MboxKind`]).
 pub struct Mbox {
     arena: Arc<Arena>,
     slots: Box<[MboxSlot]>,
     mask: usize,
+    kind: MboxKind,
     enqueue_pos: CachePadded<AtomicUsize>,
     dequeue_pos: CachePadded<AtomicUsize>,
+    /// Worker token of the single producer (Spsc) — 0 until first use.
+    producer_thread: AtomicU64,
+    /// Worker token of the single consumer (Spsc/Mpsc) — 0 until first use.
+    consumer_thread: AtomicU64,
 }
 
 struct MboxSlot {
@@ -369,18 +797,32 @@ struct MboxSlot {
     value: UnsafeCell<u32>,
 }
 
-// Safety: standard Vyukov bounded MPMC queue invariants.
+// Safety: standard Vyukov bounded MPMC queue invariants; the Spsc/Mpsc
+// specializations additionally rely on the deployment-proven single
+// producer/consumer, which the worker-token assertion polices.
 unsafe impl Send for Mbox {}
 unsafe impl Sync for Mbox {}
 
 impl Mbox {
-    /// Create an mbox for nodes of `arena` holding up to `capacity`
-    /// messages (rounded up to a power of two).
+    /// Create a general (MPMC) mbox for nodes of `arena` holding up to
+    /// `capacity` messages (rounded up to a power of two).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is 0.
     pub fn new(arena: Arc<Arena>, capacity: usize) -> Arc<Self> {
+        Mbox::with_kind(arena, capacity, MboxKind::Mpmc)
+    }
+
+    /// Create an mbox specialized to a proven producer/consumer
+    /// cardinality. Callers must guarantee the cardinality holds (the
+    /// runtime derives it from the deployment graph); a violated
+    /// single-threaded side is detected per [`MboxKind`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn with_kind(arena: Arc<Arena>, capacity: usize, kind: MboxKind) -> Arc<Self> {
         assert!(capacity > 0, "mbox capacity must be non-zero");
         let cap = capacity.next_power_of_two();
         let slots: Box<[MboxSlot]> = (0..cap)
@@ -393,14 +835,65 @@ impl Mbox {
             arena,
             slots,
             mask: cap - 1,
+            kind,
             enqueue_pos: CachePadded(AtomicUsize::new(0)),
             dequeue_pos: CachePadded(AtomicUsize::new(0)),
+            producer_thread: AtomicU64::new(0),
+            consumer_thread: AtomicU64::new(0),
         })
+    }
+
+    /// The cursor protocol this mbox was instantiated with.
+    pub fn kind(&self) -> MboxKind {
+        self.kind
     }
 
     /// The arena whose nodes this mbox carries.
     pub fn arena(&self) -> &Arc<Arena> {
         &self.arena
+    }
+
+    /// Police a single-threaded side: the first worker thread claims it;
+    /// any other worker thread is a deployment-proof violation. Threads
+    /// without a worker token (ctors, drivers, tests) are exempt — their
+    /// access is sequential with worker execution.
+    #[inline]
+    fn note_single_side(&self, side: &AtomicU64, which: &str) {
+        let me = worker_token();
+        if me == 0 {
+            return;
+        }
+        let prev = side.load(Ordering::Relaxed);
+        if prev == me {
+            return;
+        }
+        if prev == 0
+            && side
+                .compare_exchange(0, me, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            return;
+        }
+        mbox_cardinality_violations().inc();
+        debug_assert!(
+            false,
+            "mbox cardinality violation: a second worker drove the single-{which} side \
+             of a {:?} mbox over arena {:?}",
+            self.kind, self.arena.name
+        );
+    }
+
+    /// Emit the recv-side trace events for a node we now own.
+    #[inline]
+    fn trace_recv(&self, idx: u32) {
+        if cfg!(feature = "trace") && obs::enabled() {
+            // Safety: the node is ours now; stamp and len were published
+            // with it.
+            let (sent, len) = unsafe { (*self.arena.stamp_ptr(idx), *self.arena.len_ptr(idx)) };
+            let delay = obs::clock::now_cycles().saturating_sub(sent);
+            obs::note_queue_delay(delay);
+            obs::emit(obs::EventKind::MboxRecv, 0, len as u64, delay);
+        }
     }
 
     /// Maximum number of queued messages.
@@ -447,10 +940,42 @@ impl Mbox {
         let len = if traced { node.len() } else { 0 };
         if traced {
             // Safety: we still own the node; the stamp is published to
-            // the receiver by the sequence Release store below, exactly
-            // like the payload.
+            // the receiver by the Release store below, exactly like the
+            // payload.
             unsafe { *self.arena.stamp_ptr(node.idx) = obs::clock::now_cycles() };
         }
+        match self.kind {
+            MboxKind::Spsc => self.send_spsc(node, traced, len),
+            _ => self.send_shared(node, traced, len),
+        }
+    }
+
+    /// SPSC enqueue: plain head/tail cursors, no sequence CAS. The
+    /// Release store of `enqueue_pos` publishes the slot value and the
+    /// node's payload/len/stamp to the (single) consumer's Acquire load.
+    fn send_spsc(&self, node: Node, traced: bool, len: usize) -> Result<(), Node> {
+        self.note_single_side(&self.producer_thread, "producer");
+        let tail = self.enqueue_pos.0.load(Ordering::Relaxed);
+        let head = self.dequeue_pos.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= self.slots.len() {
+            return Err(node); // full
+        }
+        let slot = &self.slots[tail & self.mask];
+        // Safety: the single producer owns [head+cap, ∞) slot writes;
+        // this slot is free because tail - head < capacity.
+        unsafe { *slot.value.get() = node.into_raw() };
+        self.enqueue_pos
+            .0
+            .store(tail.wrapping_add(1), Ordering::Release);
+        wake::notify_current();
+        if traced {
+            obs::emit(obs::EventKind::MboxSend, 0, len as u64, 0);
+        }
+        Ok(())
+    }
+
+    /// Vyukov MPMC enqueue (also the producer path of `Mpsc`).
+    fn send_shared(&self, node: Node, traced: bool, len: usize) -> Result<(), Node> {
         let mut pos = self.enqueue_pos.0.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
@@ -488,6 +1013,62 @@ impl Mbox {
 
     /// Dequeue the oldest message, or `None` when the mbox is empty.
     pub fn recv(&self) -> Option<Node> {
+        match self.kind {
+            MboxKind::Spsc => self.recv_spsc(),
+            MboxKind::Mpsc => self.recv_mpsc(),
+            MboxKind::Mpmc => self.recv_shared(),
+        }
+    }
+
+    /// SPSC dequeue: plain cursors, no CAS. The Release store of
+    /// `dequeue_pos` keeps the slot read ordered before the producer's
+    /// Acquire load sees the slot as free again.
+    fn recv_spsc(&self) -> Option<Node> {
+        self.note_single_side(&self.consumer_thread, "consumer");
+        let head = self.dequeue_pos.0.load(Ordering::Relaxed);
+        let tail = self.enqueue_pos.0.load(Ordering::Acquire);
+        if head == tail {
+            return None; // empty
+        }
+        let slot = &self.slots[head & self.mask];
+        // Safety: tail moved past this slot, so the producer published it
+        // and will not touch it again until head advances.
+        let idx = unsafe { *slot.value.get() };
+        self.dequeue_pos
+            .0
+            .store(head.wrapping_add(1), Ordering::Release);
+        self.trace_recv(idx);
+        Some(Node {
+            arena: Arc::clone(&self.arena),
+            idx,
+        })
+    }
+
+    /// MPSC dequeue: the sequence protocol detects published slots (the
+    /// producers still race on `enqueue_pos`), but the single consumer
+    /// advances `dequeue_pos` with a plain store instead of a CAS.
+    fn recv_mpsc(&self) -> Option<Node> {
+        self.note_single_side(&self.consumer_thread, "consumer");
+        let pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+        let slot = &self.slots[pos & self.mask];
+        let seq = slot.sequence.load(Ordering::Acquire);
+        if (seq as isize).wrapping_sub((pos + 1) as isize) < 0 {
+            return None; // not yet published
+        }
+        // Safety: the sequence says the producer published this slot and
+        // we are the only consumer.
+        let idx = unsafe { *slot.value.get() };
+        slot.sequence.store(pos + self.mask + 1, Ordering::Release);
+        self.dequeue_pos.0.store(pos + 1, Ordering::Relaxed);
+        self.trace_recv(idx);
+        Some(Node {
+            arena: Arc::clone(&self.arena),
+            idx,
+        })
+    }
+
+    /// Vyukov MPMC dequeue.
+    fn recv_shared(&self) -> Option<Node> {
         let mut pos = self.dequeue_pos.0.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
@@ -504,16 +1085,7 @@ impl Mbox {
                             // Safety: we won the slot.
                             let idx = unsafe { *slot.value.get() };
                             slot.sequence.store(pos + self.mask + 1, Ordering::Release);
-                            if cfg!(feature = "trace") && obs::enabled() {
-                                // Safety: the node is ours now; stamp and
-                                // len were published with it.
-                                let (sent, len) = unsafe {
-                                    (*self.arena.stamp_ptr(idx), *self.arena.len_ptr(idx))
-                                };
-                                let delay = obs::clock::now_cycles().saturating_sub(sent);
-                                obs::note_queue_delay(delay);
-                                obs::emit(obs::EventKind::MboxRecv, 0, len as u64, delay);
-                            }
+                            self.trace_recv(idx);
                             return Some(Node {
                                 arena: Arc::clone(&self.arena),
                                 idx,
@@ -546,6 +1118,44 @@ impl Mbox {
         if want == 0 {
             return 0;
         }
+        match self.kind {
+            MboxKind::Spsc => self.send_batch_spsc(nodes, want),
+            _ => self.send_batch_shared(nodes, want),
+        }
+    }
+
+    /// SPSC batch enqueue: one Acquire head read, one Release tail
+    /// publish, no CAS at all.
+    fn send_batch_spsc(&self, nodes: &mut Vec<Node>, want: usize) -> usize {
+        self.note_single_side(&self.producer_thread, "producer");
+        let tail = self.enqueue_pos.0.load(Ordering::Relaxed);
+        let head = self.dequeue_pos.0.load(Ordering::Acquire);
+        let free = self.slots.len() - tail.wrapping_sub(head);
+        let n = want.min(free);
+        if n == 0 {
+            return 0; // full
+        }
+        let traced = cfg!(feature = "trace") && obs::enabled();
+        let now = if traced { obs::clock::now_cycles() } else { 0 };
+        for (i, node) in nodes.drain(..n).enumerate() {
+            if traced {
+                // Safety: the node is still ours here.
+                unsafe { *self.arena.stamp_ptr(node.idx) = now };
+                obs::emit(obs::EventKind::MboxSend, 0, node.len() as u64, 0);
+            }
+            let slot = &self.slots[(tail + i) & self.mask];
+            // Safety: tail - head < capacity held for every slot in the
+            // run; the single consumer cannot touch them until the
+            // Release publish below.
+            unsafe { *slot.value.get() = node.into_raw() };
+        }
+        self.enqueue_pos.0.store(tail + n, Ordering::Release);
+        wake::notify_current();
+        n
+    }
+
+    /// Vyukov batch enqueue (also the producer path of `Mpsc`).
+    fn send_batch_shared(&self, nodes: &mut Vec<Node>, want: usize) -> usize {
         let mut pos = self.enqueue_pos.0.load(Ordering::Relaxed);
         'claim: loop {
             // Count how many slots starting at `pos` are free this lap. A
@@ -611,6 +1221,71 @@ impl Mbox {
         if max == 0 {
             return 0;
         }
+        match self.kind {
+            MboxKind::Spsc => self.recv_batch_spsc(out, max),
+            MboxKind::Mpsc => self.recv_batch_mpsc(out, max),
+            MboxKind::Mpmc => self.recv_batch_shared(out, max),
+        }
+    }
+
+    /// SPSC batch dequeue: one Acquire tail read, one Release head
+    /// publish, no CAS at all.
+    fn recv_batch_spsc(&self, out: &mut Vec<Node>, max: usize) -> usize {
+        self.note_single_side(&self.consumer_thread, "consumer");
+        let head = self.dequeue_pos.0.load(Ordering::Relaxed);
+        let tail = self.enqueue_pos.0.load(Ordering::Acquire);
+        let n = tail.wrapping_sub(head).min(max);
+        if n == 0 {
+            return 0; // empty
+        }
+        out.reserve(n);
+        for i in 0..n {
+            let slot = &self.slots[(head + i) & self.mask];
+            // Safety: the Acquire tail read published every slot in
+            // [head, tail); the single producer will not reuse them
+            // until the Release publish below.
+            let idx = unsafe { *slot.value.get() };
+            self.trace_recv(idx);
+            out.push(Node {
+                arena: Arc::clone(&self.arena),
+                idx,
+            });
+        }
+        self.dequeue_pos.0.store(head + n, Ordering::Release);
+        n
+    }
+
+    /// MPSC batch dequeue: sequence-checked per slot, but the single
+    /// consumer publishes `dequeue_pos` with a plain store.
+    fn recv_batch_mpsc(&self, out: &mut Vec<Node>, max: usize) -> usize {
+        self.note_single_side(&self.consumer_thread, "consumer");
+        let pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+        let mut n = 0;
+        while n < max {
+            let slot = &self.slots[(pos + n) & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            if (seq as isize).wrapping_sub((pos + n + 1) as isize) < 0 {
+                break; // not yet published
+            }
+            // Safety: published slot, single consumer.
+            let idx = unsafe { *slot.value.get() };
+            slot.sequence
+                .store(pos + n + self.mask + 1, Ordering::Release);
+            self.trace_recv(idx);
+            out.push(Node {
+                arena: Arc::clone(&self.arena),
+                idx,
+            });
+            n += 1;
+        }
+        if n > 0 {
+            self.dequeue_pos.0.store(pos + n, Ordering::Relaxed);
+        }
+        n
+    }
+
+    /// Vyukov MPMC batch dequeue.
+    fn recv_batch_shared(&self, out: &mut Vec<Node>, max: usize) -> usize {
         let mut pos = self.dequeue_pos.0.load(Ordering::Relaxed);
         'claim: loop {
             // A ready slot's sequence equals position + 1; producers only
@@ -677,6 +1352,7 @@ impl std::fmt::Debug for Mbox {
         f.debug_struct("Mbox")
             .field("arena", &self.arena.name)
             .field("capacity", &self.capacity())
+            .field("kind", &self.kind)
             .field("len", &self.len())
             .finish()
     }

@@ -14,7 +14,7 @@ use obs::registry::{Counter, MetricsRegistry};
 use obs::EventKind;
 use sgx_sim::crypto::{SessionCipher, SessionKey, SEAL_OVERHEAD};
 
-use crate::arena::{Arena, Mbox, Node};
+use crate::arena::{Arena, Mbox, MboxKind, Node};
 use crate::error::ChannelError;
 
 /// Identifier of a channel within a deployment.
@@ -433,8 +433,19 @@ pub struct ChannelPair {
 impl ChannelPair {
     /// Create a plaintext channel over `arena` (both directions sized to
     /// the arena's node count).
+    ///
+    /// Directly built pairs keep the general MPMC mbox protocol so any
+    /// thread may drive either endpoint; the runtime instead uses
+    /// [`ChannelPair::plaintext_on_workers`] because a channel direction
+    /// has exactly one producing and one consuming actor.
     pub fn plaintext(id: u32, arena: Arc<Arena>) -> Self {
-        Self::build(id, arena, None)
+        Self::build(id, arena, None, MboxKind::Mpmc)
+    }
+
+    /// Like [`ChannelPair::plaintext`] with SPSC direction mboxes, for
+    /// deployments where each endpoint stays on one worker thread.
+    pub fn plaintext_on_workers(id: u32, arena: Arc<Arena>) -> Self {
+        Self::build(id, arena, None, MboxKind::Spsc)
     }
 
     /// Create a transparently encrypted channel over `arena`.
@@ -448,13 +459,29 @@ impl ChannelPair {
         session: &SessionKey,
         costs: sgx_sim::CostHandle,
     ) -> Self {
-        Self::build(id, arena, Some((session.clone(), costs)))
+        Self::build(id, arena, Some((session.clone(), costs)), MboxKind::Mpmc)
     }
 
-    fn build(id: u32, arena: Arc<Arena>, crypt: Option<(SessionKey, sgx_sim::CostHandle)>) -> Self {
+    /// Like [`ChannelPair::encrypted`] with SPSC direction mboxes, for
+    /// deployments where each endpoint stays on one worker thread.
+    pub fn encrypted_on_workers(
+        id: u32,
+        arena: Arc<Arena>,
+        session: &SessionKey,
+        costs: sgx_sim::CostHandle,
+    ) -> Self {
+        Self::build(id, arena, Some((session.clone(), costs)), MboxKind::Spsc)
+    }
+
+    fn build(
+        id: u32,
+        arena: Arc<Arena>,
+        crypt: Option<(SessionKey, sgx_sim::CostHandle)>,
+        kind: MboxKind,
+    ) -> Self {
         let cap = arena.capacity() as usize;
-        let ab = Mbox::new(arena.clone(), cap);
-        let ba = Mbox::new(arena.clone(), cap);
+        let ab = Mbox::with_kind(arena.clone(), cap, kind);
+        let ba = Mbox::with_kind(arena.clone(), cap, kind);
         let (a_tx_cipher, a_rx_cipher, b_tx_cipher, b_rx_cipher) = match crypt {
             Some((session, costs)) => {
                 let ab_key = session.child(0);

@@ -16,6 +16,7 @@
 use sgx_sim::crypto::SEAL_OVERHEAD;
 
 use crate::actor::Actor;
+use crate::arena::MboxKind;
 use crate::error::ConfigError;
 
 /// Handle to a declared enclave (index into the deployment).
@@ -176,6 +177,14 @@ pub(crate) struct MboxDecl {
     /// Declared wire type when the mbox was introduced through
     /// [`DeploymentBuilder::port`]; `None` for untyped mboxes.
     pub(crate) message: Option<&'static str>,
+    /// Actors declared to send into this mbox (`None` = unknown — any
+    /// thread may send, e.g. a driver via [`crate::Runtime::mbox`]).
+    pub(crate) producers: Option<Vec<ActorSlot>>,
+    /// Actors declared to receive from this mbox (`None` = unknown).
+    pub(crate) consumers: Option<Vec<ActorSlot>>,
+    /// Cursor protocol computed by [`DeploymentBuilder::build`] from the
+    /// declared roles and the actor→worker placement.
+    pub(crate) kind: MboxKind,
 }
 
 /// Builder for a [`Deployment`].
@@ -347,12 +356,50 @@ impl DeploymentBuilder {
     }
 
     /// Declare a named shared mbox over the named pool.
+    ///
+    /// Without declared roles the mbox is instantiated fully general
+    /// (MPMC): any actor or driver thread may send and receive. Declare
+    /// the communicating actors with [`DeploymentBuilder::mbox_bound`]
+    /// to let the runtime select a cheaper cursor protocol.
     pub fn mbox(&mut self, name: &str, pool: &str, capacity: usize) -> &mut Self {
         self.mboxes.push(MboxDecl {
             name: name.to_owned(),
             pool: pool.to_owned(),
             capacity,
             message: None,
+            producers: None,
+            consumers: None,
+            kind: MboxKind::Mpmc,
+        });
+        self
+    }
+
+    /// Declare a named shared mbox with its producer/consumer actors.
+    ///
+    /// [`DeploymentBuilder::build`] maps the declared actors onto their
+    /// workers and records the resulting cardinality: one producing and
+    /// one consuming worker yields an SPSC ring, a single consuming
+    /// worker an MPSC queue, anything else the general MPMC queue. The
+    /// declaration is a contract — only the listed actors (plus
+    /// non-worker threads, whose access is sequential with worker
+    /// execution) may touch the mbox; a violating worker trips
+    /// [`crate::arena::mbox_cardinality_violations`].
+    pub fn mbox_bound(
+        &mut self,
+        name: &str,
+        pool: &str,
+        capacity: usize,
+        producers: &[ActorSlot],
+        consumers: &[ActorSlot],
+    ) -> &mut Self {
+        self.mboxes.push(MboxDecl {
+            name: name.to_owned(),
+            pool: pool.to_owned(),
+            capacity,
+            message: None,
+            producers: Some(producers.to_vec()),
+            consumers: Some(consumers.to_vec()),
+            kind: MboxKind::Mpmc,
         });
         self
     }
@@ -376,6 +423,32 @@ impl DeploymentBuilder {
             pool: pool.to_owned(),
             capacity,
             message: Some(std::any::type_name::<T>()),
+            producers: None,
+            consumers: None,
+            kind: MboxKind::Mpmc,
+        });
+        self
+    }
+
+    /// Declare a typed port with its producer/consumer actors — the
+    /// typed counterpart of [`DeploymentBuilder::mbox_bound`], enabling
+    /// the cardinality-specialized cursor protocols for ports too.
+    pub fn port_bound<T: crate::wire::Wire + 'static>(
+        &mut self,
+        name: &str,
+        pool: &str,
+        capacity: usize,
+        producers: &[ActorSlot],
+        consumers: &[ActorSlot],
+    ) -> &mut Self {
+        self.mboxes.push(MboxDecl {
+            name: name.to_owned(),
+            pool: pool.to_owned(),
+            capacity,
+            message: Some(std::any::type_name::<T>()),
+            producers: Some(producers.to_vec()),
+            consumers: Some(consumers.to_vec()),
+            kind: MboxKind::Mpmc,
         });
         self
     }
@@ -465,13 +538,67 @@ impl DeploymentBuilder {
             }
         }
 
+        // Every actor is assigned to exactly one worker (validated
+        // above); map the declared mbox roles onto workers and compute
+        // each mbox's proven cardinality. Channels need no equivalent
+        // pass: each direction has exactly one producing and one
+        // consuming actor by construction, so the runtime instantiates
+        // both direction mboxes as SPSC.
+        let mut worker_of = vec![0usize; n_actors];
+        for (wi, w) in self.workers.iter().enumerate() {
+            for &ActorSlot(ai) in &w.actors {
+                worker_of[ai] = wi;
+            }
+        }
+        let distinct_workers = |slots: &[ActorSlot]| -> Result<usize, ConfigError> {
+            let mut workers = Vec::new();
+            for &ActorSlot(ai) in slots {
+                if ai >= n_actors {
+                    return Err(ConfigError::UnknownSlot("actor", ai));
+                }
+                if !workers.contains(&worker_of[ai]) {
+                    workers.push(worker_of[ai]);
+                }
+            }
+            Ok(workers.len())
+        };
+        let mut mboxes = self.mboxes;
+        for m in &mut mboxes {
+            m.kind = match (&m.producers, &m.consumers) {
+                (Some(p), Some(c)) => {
+                    let (pw, cw) = (distinct_workers(p)?, distinct_workers(c)?);
+                    if pw <= 1 && cw <= 1 {
+                        MboxKind::Spsc
+                    } else if cw <= 1 {
+                        MboxKind::Mpsc
+                    } else {
+                        MboxKind::Mpmc
+                    }
+                }
+                (None, Some(c)) => {
+                    if distinct_workers(c)? <= 1 {
+                        MboxKind::Mpsc
+                    } else {
+                        MboxKind::Mpmc
+                    }
+                }
+                (Some(p), None) => {
+                    // Producers known but consumers open: any thread may
+                    // receive, so only the general protocol is safe.
+                    distinct_workers(p)?;
+                    MboxKind::Mpmc
+                }
+                (None, None) => MboxKind::Mpmc,
+            };
+        }
+
         Ok(Deployment {
             enclaves: self.enclaves,
             actors: self.actors,
             workers: self.workers,
             channels: self.channels,
             pools: self.pools,
-            mboxes: self.mboxes,
+            mboxes,
             idle: self.idle.unwrap_or_default(),
         })
     }

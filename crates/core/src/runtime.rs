@@ -42,7 +42,7 @@ use std::time::{Duration, Instant};
 use sgx_sim::{attest, switch_domain, CostHandle, Domain, Enclave, Platform};
 
 use crate::actor::{Actor, ActorId, Control, Ctx, StopToken};
-use crate::arena::{Arena, Mbox};
+use crate::arena::{self, Arena, MagazineStats, Mbox, MboxKind};
 use crate::channel::{ChannelEnd, ChannelPair};
 use crate::config::{cross_enclave, Deployment, Placement};
 use crate::error::ConfigError;
@@ -288,6 +288,17 @@ impl Runtime {
         let obs_hub = obs::ObsHub::new();
         let registry = obs_hub.registry();
         hub.register_obs(registry);
+        // Process-wide substrate counters, surfaced through this
+        // runtime's registry: global-freelist CAS retries (magazine
+        // efficiency) and single-side mbox protocol violations.
+        registry.register_counter(
+            "arena_freelist_cas_retries",
+            Arc::clone(arena::freelist_cas_retries()),
+        );
+        registry.register_counter(
+            "mbox_cardinality_violations",
+            Arc::clone(arena::mbox_cardinality_violations()),
+        );
 
         // 1. Enclaves.
         let mut enclaves = Vec::with_capacity(deployment.enclaves.len());
@@ -307,11 +318,23 @@ impl Runtime {
         let mut mboxes: HashMap<String, Arc<Mbox>> = HashMap::new();
         let mut port_stats: HashMap<String, Arc<crate::wire::PortStats>> = HashMap::new();
         let mut port_types: HashMap<String, &'static str> = HashMap::new();
+        let kind_selected = |kind: MboxKind| {
+            let name = match kind {
+                MboxKind::Spsc => "mbox_spsc_selected",
+                MboxKind::Mpsc => "mbox_mpsc_selected",
+                MboxKind::Mpmc => "mbox_mpmc_selected",
+            };
+            registry.counter(name).inc();
+        };
         for m in &deployment.mboxes {
             let pool = arenas
                 .get(&m.pool)
                 .expect("validated by DeploymentBuilder::build");
-            mboxes.insert(m.name.clone(), Mbox::new(pool.clone(), m.capacity));
+            kind_selected(m.kind);
+            mboxes.insert(
+                m.name.clone(),
+                Mbox::with_kind(pool.clone(), m.capacity, m.kind),
+            );
             // One shared stats block per named mbox: every Ctx::port on
             // this name aggregates into the same counters, which are the
             // registry's `port_<name>_*` entries.
@@ -349,10 +372,16 @@ impl Runtime {
                     _ => unreachable!("cross_enclave implies two enclave placements"),
                 };
                 let key = attest::establish_session(ea, eb, ci as u64)?;
-                ChannelPair::encrypted(ci as u32, arena, &key, costs.clone())
+                ChannelPair::encrypted_on_workers(ci as u32, arena, &key, costs.clone())
             } else {
-                ChannelPair::plaintext(ci as u32, arena)
+                ChannelPair::plaintext_on_workers(ci as u32, arena)
             };
+            // Each channel direction has exactly one producing and one
+            // consuming actor, each pinned to a single worker — the
+            // `_on_workers` constructors above therefore use the proven
+            // SPSC mbox protocol for both directions.
+            kind_selected(MboxKind::Spsc);
+            kind_selected(MboxKind::Spsc);
             let (end_a, end_b) = pair.into_ends();
             end_a.register_obs(registry, &format!("channel{ci}a"));
             end_b.register_obs(registry, &format!("channel{ci}b"));
@@ -461,6 +490,11 @@ impl Runtime {
             let (ring_producer, ring_consumer) = obs::TraceRing::with_capacity(TRACE_RING_CAPACITY);
             obs_hub.register_ring(wi as u16, ring_consumer);
             let queue_delay = registry.hist(&format!("worker_{wi}_queue_delay_cycles"));
+            // Per-worker node magazine statistics live in the registry
+            // under this worker's prefix, so hot-path increments stay on
+            // this worker's cache lines.
+            let magazine_stats =
+                MagazineStats::default().register(registry, &format!("worker_{wi}"));
             let stop = stop.clone();
             let costs = costs.clone();
             let hub = Arc::clone(&hub);
@@ -477,6 +511,12 @@ impl Runtime {
                     // without carrying handles through every call.
                     wake::set_current(Arc::clone(&hub));
                     obs::install_thread(ring_producer, Arc::clone(&queue_delay), wi as u16);
+                    // Mark this thread as a runtime worker (enables
+                    // single-side mbox protocol policing) and install its
+                    // node magazines so steady-state alloc/free stays off
+                    // the shared freelists.
+                    arena::set_worker_token();
+                    arena::install_magazines(magazine_stats);
                     let mut idle_streak = 0u64;
                     let spin_tier = u64::from(idle.spin_passes);
                     let yield_tier = spin_tier.saturating_add(u64::from(idle.yield_passes));
@@ -518,6 +558,10 @@ impl Runtime {
                             // Sleep outside any enclave: a blocked thread
                             // must not squat in enclave mode.
                             switch_domain(&costs, Domain::Untrusted);
+                            // A parked worker must not squat on cached
+                            // nodes either: peers starved of nodes could
+                            // otherwise never send the wake-up message.
+                            arena::drain_magazines();
                             c_parks.inc();
                             if cfg!(feature = "trace") {
                                 obs::emit(obs::EventKind::Park, wi as u16, 0, 0);
@@ -532,6 +576,11 @@ impl Runtime {
                         }
                     }
                     switch_domain(&costs, Domain::Untrusted);
+                    // Return every cached node to its global freelist
+                    // before the thread exits: after join, free counts
+                    // must equal the preallocated totals.
+                    arena::uninstall_magazines();
+                    arena::clear_worker_token();
                     obs::clear_thread();
                     WorkerReport {
                         worker: wi,

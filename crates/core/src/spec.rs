@@ -116,6 +116,14 @@ pub struct MboxSpec {
     pub pool: String,
     /// Message capacity.
     pub capacity: usize,
+    /// Actors declared as the only senders, or `None` when open.
+    ///
+    /// Together with `consumers` this lets the builder prove an
+    /// SPSC/MPSC cursor protocol from worker placement; omitted roles
+    /// keep the general MPMC protocol.
+    pub producers: Option<Vec<String>>,
+    /// Actors declared as the only receivers, or `None` when open.
+    pub consumers: Option<Vec<String>>,
 }
 
 /// A complete, serialisable deployment description.
@@ -315,6 +323,8 @@ impl DeploymentSpec {
                     name: req_str(v, "name", "mbox")?,
                     pool: req_str(v, "pool", "mbox")?,
                     capacity: req_u64(v, "capacity", "mbox")? as usize,
+                    producers: opt_str_array(v, "producers", "mbox")?,
+                    consumers: opt_str_array(v, "consumers", "mbox")?,
                 })
             })?,
         })
@@ -425,11 +435,22 @@ impl DeploymentSpec {
                 self.mboxes
                     .iter()
                     .map(|m| {
-                        Value::Object(vec![
+                        let mut fields = vec![
                             ("name".to_owned(), string(&m.name)),
                             ("pool".to_owned(), string(&m.pool)),
                             ("capacity".to_owned(), num(m.capacity as u64)),
-                        ])
+                        ];
+                        for (key, role) in
+                            [("producers", &m.producers), ("consumers", &m.consumers)]
+                        {
+                            if let Some(names) = role {
+                                fields.push((
+                                    key.to_owned(),
+                                    Value::Array(names.iter().map(|n| string(n)).collect()),
+                                ));
+                            }
+                        }
+                        Value::Object(fields)
                     })
                     .collect(),
             ),
@@ -512,7 +533,32 @@ impl DeploymentSpec {
             b.pool(&p.name, region, p.nodes, p.payload);
         }
         for m in &self.mboxes {
-            b.mbox(&m.name, &m.pool, m.capacity);
+            match (&m.producers, &m.consumers) {
+                (Some(p), Some(c)) => {
+                    let producers = p
+                        .iter()
+                        .map(|n| lookup_actor(n))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let consumers = c
+                        .iter()
+                        .map(|n| lookup_actor(n))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    b.mbox_bound(&m.name, &m.pool, m.capacity, &producers, &consumers);
+                }
+                _ => {
+                    // Partial declarations still resolve names (so typos
+                    // fail loudly) but keep the open MPMC protocol.
+                    for n in m
+                        .producers
+                        .iter()
+                        .flatten()
+                        .chain(m.consumers.iter().flatten())
+                    {
+                        lookup_actor(n)?;
+                    }
+                    b.mbox(&m.name, &m.pool, m.capacity);
+                }
+            }
         }
         Ok(b)
     }
@@ -566,6 +612,15 @@ fn str_array(v: &Value, key: &str, what: &str) -> Result<Vec<String>, SpecError>
                     .ok_or_else(|| schema(&format!("{what} \"{key}\" must contain strings")))
             })
             .collect(),
+    }
+}
+
+/// Like [`str_array`] but distinguishes an absent member (`None`,
+/// meaning "role undeclared") from a present, possibly empty array.
+fn opt_str_array(v: &Value, key: &str, what: &str) -> Result<Option<Vec<String>>, SpecError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(_) => str_array(v, key, what).map(Some),
     }
 }
 
@@ -632,11 +687,22 @@ mod tests {
                 nodes: 8,
                 payload: 64,
             }],
-            mboxes: vec![MboxSpec {
-                name: "m".into(),
-                pool: "p".into(),
-                capacity: 8,
-            }],
+            mboxes: vec![
+                MboxSpec {
+                    name: "m".into(),
+                    pool: "p".into(),
+                    capacity: 8,
+                    producers: None,
+                    consumers: None,
+                },
+                MboxSpec {
+                    name: "m2".into(),
+                    pool: "p".into(),
+                    capacity: 8,
+                    producers: Some(vec!["a".into()]),
+                    consumers: Some(vec!["a".into()]),
+                },
+            ],
         };
         let json = spec.to_json();
         let parsed = DeploymentSpec::from_json(&json).unwrap();
@@ -715,6 +781,57 @@ mod tests {
         assert_eq!(deployment.actor_count(), 2);
         assert_eq!(deployment.enclave_count(), 2);
         assert_eq!(deployment.worker_count(), 2);
+    }
+
+    #[test]
+    fn mbox_roles_prove_cursor_protocols() {
+        let spec = DeploymentSpec::from_json(
+            r#"{
+                "actors": [
+                    {"name": "p", "kind": "idle"},
+                    {"name": "q", "kind": "idle"},
+                    {"name": "r", "kind": "idle"}
+                ],
+                "workers": [{"actors": ["p", "q"]}, {"actors": ["r"]}],
+                "pools": [{"name": "pool", "nodes": 8, "payload": 64}],
+                "mboxes": [
+                    {"name": "spsc", "pool": "pool", "capacity": 8,
+                     "producers": ["p"], "consumers": ["q"]},
+                    {"name": "mpsc", "pool": "pool", "capacity": 8,
+                     "producers": ["p", "r"], "consumers": ["q"]},
+                    {"name": "open", "pool": "pool", "capacity": 8}
+                ]
+            }"#,
+        )
+        .unwrap();
+        let deployment = spec.into_builder(&registry()).unwrap().build().unwrap();
+        let kinds: Vec<_> = deployment.mboxes.iter().map(|m| m.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                crate::arena::MboxKind::Spsc,
+                crate::arena::MboxKind::Mpsc,
+                crate::arena::MboxKind::Mpmc
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_actor_in_mbox_role_rejected() {
+        let spec = DeploymentSpec::from_json(
+            r#"{
+                "actors": [{"name": "p", "kind": "idle"}],
+                "workers": [{"actors": ["p"]}],
+                "pools": [{"name": "pool", "nodes": 8, "payload": 64}],
+                "mboxes": [{"name": "m", "pool": "pool", "capacity": 8,
+                            "producers": ["ghost"], "consumers": ["p"]}]
+            }"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            spec.into_builder(&registry()),
+            Err(SpecError::UnknownName { kind: "actor", .. })
+        ));
     }
 
     #[test]

@@ -157,6 +157,7 @@ pub struct Port<T: Wire> {
 impl<T: Wire> std::fmt::Debug for Port<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Port")
+            .field("kind", &self.mbox.kind())
             .field("pending", &self.mbox.len())
             .field("send_drops", &self.stats.send_drops())
             .field("corrupt_frames", &self.stats.corrupt_frames())
@@ -195,6 +196,16 @@ impl<T: Wire> Port<T> {
     /// The underlying mbox.
     pub fn mbox(&self) -> &Arc<Mbox> {
         &self.mbox
+    }
+
+    /// The cursor protocol the underlying mbox was instantiated with.
+    ///
+    /// Ports add no synchronisation of their own, so a port over an
+    /// SPSC/MPSC mbox (proven from the deployment graph, see
+    /// [`crate::config::DeploymentBuilder::port_bound`]) picks up the
+    /// fast path transparently.
+    pub fn kind(&self) -> crate::arena::MboxKind {
+        self.mbox.kind()
     }
 
     /// This port's shared telemetry.

@@ -1,0 +1,338 @@
+//! Exhaustive interleaving ("permutation") tests of the arena's tagged
+//! freelist chain protocol — the single-CAS pop/push batches behind the
+//! per-worker node magazines — in the style of the SPSC ring model in
+//! `crates/obs/tests/ring_permutations.rs`: dependency-free, each
+//! operation broken into its individual shared-memory steps, and a
+//! memoised depth-first search executing EVERY interleaving.
+//!
+//! Two threads repeatedly pop a bounded chain off the shared LIFO
+//! freelist (one CAS, the magazine *refill*) and return the popped
+//! nodes one at a time (one CAS each, steady-state *frees*). Asserted
+//! in every interleaving:
+//!
+//! * a node is never owned by both threads at once (no double-pop),
+//! * no node is ever lost (owned sets + freelist always partition the
+//!   node universe),
+//! * the freelist never contains a cycle or a duplicate,
+//! * after both threads finish, the freelist holds exactly the full
+//!   node set again.
+//!
+//! A companion test removes the head tag from the model (CAS on the bare
+//! index) and asserts the search DOES find the classic ABA
+//! double-ownership — proving the model is sensitive to the very failure
+//! the tag exists to prevent.
+//!
+//! This explores interleavings under sequential consistency; it verifies
+//! the *logic* of the chain protocol (tag bumps, bounded stale walks),
+//! complementing — not replacing — the Acquire/Release reasoning
+//! documented in `src/arena.rs`.
+
+use std::collections::HashSet;
+
+const NODES: u32 = 3;
+const NIL: u32 = u32::MAX;
+/// Chain pops take at most this many nodes (a magazine refill batch).
+const CHAIN_MAX: u32 = 2;
+/// Pop+push cycles per thread.
+const CYCLES: u8 = 2;
+
+/// Shared memory plus both threads' program counters and locals.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct State {
+    /// Tagged head: (tag, first index).
+    head_tag: u32,
+    head_idx: u32,
+    /// Per-node `next` links (index or NIL).
+    next: [u32; NODES as usize],
+    threads: [Thread; 2],
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Thread {
+    /// Completed pop+push cycles.
+    cycles: u8,
+    /// 0 = popping a chain, 1 = pushing nodes back, 2 = done.
+    phase: u8,
+    /// Step within the current operation.
+    step: u8,
+    /// Cached head observed before the CAS.
+    seen_tag: u32,
+    seen_idx: u32,
+    /// Pop walk state: chain tail candidate, length, rest pointer.
+    walk_tail: u32,
+    walk_len: u32,
+    walk_rest: u32,
+    /// Indices owned after a successful pop, in pop order; pushed back
+    /// front to back, one per push operation.
+    own_list: [u32; CHAIN_MAX as usize],
+    own_len: u32,
+    own_pushed: u32,
+    /// Owned indices as a bitmask, for the invariant checks.
+    own_mask: u8,
+}
+
+impl State {
+    fn initial() -> State {
+        // Freelist 0 -> 1 -> 2 -> NIL.
+        let mut next = [NIL; NODES as usize];
+        for i in 0..NODES - 1 {
+            next[i as usize] = i + 1;
+        }
+        State {
+            head_tag: 0,
+            head_idx: 0,
+            next,
+            threads: [Thread::initial(), Thread::initial()],
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.threads.iter().all(|t| t.phase == 2)
+    }
+
+    /// Walk the freelist, asserting it is duplicate- and cycle-free, and
+    /// return the set of free indices as a bitmask.
+    fn free_mask(&self) -> u8 {
+        let mut mask = 0u8;
+        let mut idx = self.head_idx;
+        let mut hops = 0;
+        while idx != NIL {
+            assert!(hops <= NODES, "freelist cycle");
+            assert_eq!(mask & (1 << idx), 0, "duplicate node {idx} on freelist");
+            mask |= 1 << idx;
+            idx = self.next[idx as usize];
+            hops += 1;
+        }
+        mask
+    }
+
+    /// The cross-thread invariants, checked after every step: ownership
+    /// is exclusive and nothing is lost.
+    fn check(&self) {
+        let owned0 = self.threads[0].own_mask;
+        let owned1 = self.threads[1].own_mask;
+        assert_eq!(owned0 & owned1, 0, "node owned by both threads");
+        let free = self.free_mask();
+        assert_eq!(free & owned0, 0, "node simultaneously free and owned");
+        assert_eq!(free & owned1, 0, "node simultaneously free and owned");
+        assert_eq!(
+            free | owned0 | owned1,
+            (1 << NODES) - 1,
+            "node lost: neither free nor owned"
+        );
+    }
+
+    /// Advance thread `ti` by one shared-memory step, with `tagged`
+    /// selecting the real (tag-checked) or deliberately broken CAS.
+    ///
+    /// Pop-chain steps: 0 read head · 1 walk `next[first]` · 2 read
+    /// `next[tail]` (rest) · 3 CAS. Push steps (one owned node each):
+    /// 0 read head · 1 write `next[idx]` = top · 2 CAS.
+    fn step(&mut self, ti: usize, tagged: bool) {
+        let t = &mut self.threads[ti];
+        match t.phase {
+            0 => match t.step {
+                0 => {
+                    t.seen_tag = self.head_tag;
+                    t.seen_idx = self.head_idx;
+                    if t.seen_idx == NIL {
+                        // Empty: the real caller falls back / gives up;
+                        // the model retries (transient — the other
+                        // thread owns the nodes and will return them).
+                        t.step = 0;
+                    } else {
+                        t.walk_tail = t.seen_idx;
+                        t.walk_len = 1;
+                        t.step = 1;
+                    }
+                }
+                1 => {
+                    // Bounded walk over possibly-stale links.
+                    if t.walk_len < CHAIN_MAX {
+                        let n = self.next[t.walk_tail as usize];
+                        if n != NIL {
+                            t.walk_tail = n;
+                            t.walk_len += 1;
+                        }
+                    }
+                    t.step = 2;
+                }
+                2 => {
+                    t.walk_rest = self.next[t.walk_tail as usize];
+                    t.step = 3;
+                }
+                3 => {
+                    let cas_ok = if tagged {
+                        self.head_tag == t.seen_tag && self.head_idx == t.seen_idx
+                    } else {
+                        self.head_idx == t.seen_idx
+                    };
+                    if cas_ok {
+                        self.head_tag = self.head_tag.wrapping_add(1);
+                        self.head_idx = t.walk_rest;
+                        // Materialise the owned set from the links NOW —
+                        // under the tagged protocol they are stable.
+                        t.own_list = [NIL; CHAIN_MAX as usize];
+                        t.own_len = t.walk_len;
+                        t.own_pushed = 0;
+                        let mut mask = 0u8;
+                        let mut idx = t.seen_idx;
+                        for i in 0..t.own_len {
+                            assert_ne!(idx, NIL, "owned chain shorter than its length");
+                            t.own_list[i as usize] = idx;
+                            mask |= 1 << idx;
+                            idx = self.next[idx as usize];
+                        }
+                        t.own_mask = mask;
+                        t.phase = 1;
+                        t.step = 0;
+                    } else {
+                        // CAS failed: restart the pop (a concurrent
+                        // operation bumped the tag).
+                        t.step = 0;
+                    }
+                }
+                _ => unreachable!(),
+            },
+            1 => match t.step {
+                0 => {
+                    t.seen_tag = self.head_tag;
+                    t.seen_idx = self.head_idx;
+                    t.step = 1;
+                }
+                1 => {
+                    let idx = t.own_list[t.own_pushed as usize];
+                    self.next[idx as usize] = t.seen_idx;
+                    t.step = 2;
+                }
+                2 => {
+                    let cas_ok = if tagged {
+                        self.head_tag == t.seen_tag && self.head_idx == t.seen_idx
+                    } else {
+                        self.head_idx == t.seen_idx
+                    };
+                    if cas_ok {
+                        let idx = t.own_list[t.own_pushed as usize];
+                        self.head_tag = self.head_tag.wrapping_add(1);
+                        self.head_idx = idx;
+                        t.own_mask &= !(1 << idx);
+                        t.own_pushed += 1;
+                        if t.own_pushed == t.own_len {
+                            t.cycles += 1;
+                            t.phase = if t.cycles >= CYCLES { 2 } else { 0 };
+                        }
+                    }
+                    t.step = 0;
+                }
+                _ => unreachable!(),
+            },
+            _ => unreachable!("stepped a finished thread"),
+        }
+    }
+}
+
+impl Thread {
+    fn initial() -> Thread {
+        Thread {
+            cycles: 0,
+            phase: 0,
+            step: 0,
+            seen_tag: 0,
+            seen_idx: NIL,
+            walk_tail: NIL,
+            walk_len: 0,
+            walk_rest: NIL,
+            own_list: [NIL; CHAIN_MAX as usize],
+            own_len: 0,
+            own_pushed: 0,
+            own_mask: 0,
+        }
+    }
+}
+
+/// Execute every interleaving reachable from `state`, memoising visited
+/// states so the exploration terminates.
+fn explore(state: State, seen: &mut HashSet<State>, terminal: &mut u64) {
+    if !seen.insert(state.clone()) {
+        return;
+    }
+    if state.done() {
+        assert_eq!(
+            state.free_mask(),
+            (1 << NODES) - 1,
+            "terminal freelist must hold every node"
+        );
+        *terminal += 1;
+        return;
+    }
+    for ti in 0..2 {
+        if state.threads[ti].phase != 2 {
+            let mut next = state.clone();
+            next.step(ti, true);
+            next.check();
+            explore(next, seen, terminal);
+        }
+    }
+}
+
+#[test]
+fn every_interleaving_of_chain_pops_and_pushes_is_consistent() {
+    let mut seen = HashSet::new();
+    let mut terminal = 0u64;
+    explore(State::initial(), &mut seen, &mut terminal);
+    assert!(
+        seen.len() > 100,
+        "state space suspiciously small: {}",
+        seen.len()
+    );
+    assert!(terminal >= 1, "no terminal state reached");
+}
+
+/// The same exploration with the head tag REMOVED from the CAS must
+/// reach the classic ABA failure: thread A reads head = X and rest = Z,
+/// thread B pops the chain and returns node X (but not yet its other
+/// node), then A's untagged CAS wrongly succeeds — claiming a chain that
+/// overlaps B's remaining nodes and/or the live freelist. This proves
+/// the model is sensitive to exactly the failure the tag defeats.
+#[test]
+fn model_detects_aba_without_the_tag() {
+    fn explore_broken(state: State, seen: &mut HashSet<State>, caught: &mut bool) {
+        if *caught || !seen.insert(state.clone()) {
+            return;
+        }
+        if state.done() {
+            return;
+        }
+        for ti in 0..2 {
+            if *caught {
+                return;
+            }
+            if state.threads[ti].phase != 2 {
+                let mut next = state.clone();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    next.step(ti, false);
+                    next.check();
+                    next
+                }));
+                match result {
+                    Ok(next) => explore_broken(next, seen, caught),
+                    Err(_) => {
+                        *caught = true;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // keep expected panics quiet
+    let mut seen = HashSet::new();
+    let mut caught = false;
+    explore_broken(State::initial(), &mut seen, &mut caught);
+    std::panic::set_hook(prev_hook);
+    assert!(
+        caught,
+        "the model failed to catch the ABA enabled by removing the head tag"
+    );
+}

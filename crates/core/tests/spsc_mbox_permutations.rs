@@ -1,0 +1,294 @@
+//! Exhaustive interleaving ("permutation") test of the SPSC mbox fast
+//! path — the plain `enqueue_pos`/`dequeue_pos` cursor protocol selected
+//! when the deployment graph proves a single producer and single
+//! consumer — in the style of `crates/obs/tests/ring_permutations.rs`.
+//!
+//! Unlike the obs trace ring (capacity 1 in the model, value slot), this
+//! models the mbox's shape: a capacity-2 ring of node-index slots
+//! indexed by `pos & mask`, the producer's full check
+//! `tail - head >= capacity`, and the consumer's empty check
+//! `head == tail`. Each slot write/read is split into two half-word
+//! steps so an interleaving that lets the consumer read a slot before
+//! its publication — i.e. `tail` stored too early — shows up as a torn
+//! value. The memoised depth-first search runs EVERY interleaving and
+//! asserts:
+//!
+//! * no torn read (both halves of a received index agree),
+//! * FIFO order (indices are received exactly in send order),
+//! * nothing received that was never sent, nothing received twice,
+//! * occupancy never exceeds capacity.
+//!
+//! The companion test breaks the producer (tail published before the
+//! second half-write) and asserts the model catches it — the publication
+//! order is exactly what `Ordering::Release` on `enqueue_pos` pins down
+//! in `Mbox::send_spsc`.
+
+use std::collections::HashSet;
+
+const CAPACITY: u64 = 2;
+const MASK: u64 = CAPACITY - 1;
+const SENDS: u64 = 4; // > capacity, so wrap-around and full are both hit
+const RECVS: u64 = 4;
+
+/// Shared memory plus both threads' program counters and locals.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct State {
+    head: u64,
+    tail: u64,
+    slot_lo: [u64; CAPACITY as usize],
+    slot_hi: [u64; CAPACITY as usize],
+    // Producer: which send, step within it, cached cursors.
+    p_op: u64,
+    p_step: u8,
+    p_tail: u64,
+    sent: u64, // bitmask of published values (bit v = value v+1)
+    // Consumer: which recv, step, cached cursors and low half.
+    c_op: u64,
+    c_step: u8,
+    c_head: u64,
+    c_lo: u64,
+    last_recv: u64,
+    received: u64, // bitmask of received values
+}
+
+impl State {
+    fn initial() -> State {
+        State {
+            head: 0,
+            tail: 0,
+            slot_lo: [0; CAPACITY as usize],
+            slot_hi: [0; CAPACITY as usize],
+            p_op: 0,
+            p_step: 0,
+            p_tail: 0,
+            sent: 0,
+            c_op: 0,
+            c_step: 0,
+            c_head: 0,
+            c_lo: 0,
+            last_recv: 0,
+            received: 0,
+        }
+    }
+
+    fn producer_done(&self) -> bool {
+        self.p_op >= SENDS
+    }
+
+    fn consumer_done(&self) -> bool {
+        self.c_op >= RECVS
+    }
+
+    /// Advance the producer by one shared-memory step.
+    /// Send steps: 0 read own tail · 1 read head + full check · 2 write
+    /// slot lo · 3 write slot hi · 4 publish tail (the Release store).
+    fn step_producer(&mut self) {
+        let value = self.p_op + 1; // send node indices 1, 2, ...
+        match self.p_step {
+            0 => {
+                self.p_tail = self.tail;
+                self.p_step = 1;
+            }
+            1 => {
+                let head = self.head;
+                assert!(self.p_tail >= head, "cursors ran backwards");
+                if self.p_tail - head >= CAPACITY {
+                    // Full: the send fails (back-pressure) and the
+                    // operation completes without a value.
+                    self.p_op += 1;
+                    self.p_step = 0;
+                } else {
+                    self.p_step = 2;
+                }
+            }
+            2 => {
+                self.slot_lo[(self.p_tail & MASK) as usize] = value;
+                self.p_step = 3;
+            }
+            3 => {
+                self.slot_hi[(self.p_tail & MASK) as usize] = value;
+                self.p_step = 4;
+            }
+            4 => {
+                self.tail = self.p_tail + 1;
+                assert!(
+                    self.tail - self.head <= CAPACITY,
+                    "occupancy exceeded capacity"
+                );
+                self.sent |= 1 << (value - 1);
+                self.p_op += 1;
+                self.p_step = 0;
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Advance the consumer by one shared-memory step.
+    /// Recv steps: 0 read own head · 1 read tail (Acquire) + empty
+    /// check · 2 read slot lo · 3 read slot hi + verify · 4 publish head
+    /// (the Release store freeing the slot for reuse).
+    fn step_consumer(&mut self) {
+        match self.c_step {
+            0 => {
+                self.c_head = self.head;
+                self.c_step = 1;
+            }
+            1 => {
+                let tail = self.tail;
+                if self.c_head == tail {
+                    // Empty: operation completes without a value.
+                    self.c_op += 1;
+                    self.c_step = 0;
+                } else {
+                    self.c_step = 2;
+                }
+            }
+            2 => {
+                self.c_lo = self.slot_lo[(self.c_head & MASK) as usize];
+                self.c_step = 3;
+            }
+            3 => {
+                let hi = self.slot_hi[(self.c_head & MASK) as usize];
+                assert_eq!(self.c_lo, hi, "torn read: consumer saw a half-written slot");
+                let value = self.c_lo;
+                assert!((1..=SENDS).contains(&value), "received a value never sent");
+                assert!(
+                    self.sent & (1 << (value - 1)) != 0,
+                    "received value {value} before its send published tail"
+                );
+                assert!(
+                    self.received & (1 << (value - 1)) == 0,
+                    "value {value} received twice"
+                );
+                assert!(
+                    value > self.last_recv,
+                    "out-of-order recv: {value} after {}",
+                    self.last_recv
+                );
+                self.received |= 1 << (value - 1);
+                self.last_recv = value;
+                self.c_step = 4;
+            }
+            4 => {
+                self.head = self.c_head + 1;
+                self.c_op += 1;
+                self.c_step = 0;
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Execute every interleaving reachable from `state`, memoising visited
+/// states so the exploration terminates quickly.
+fn explore(state: State, seen: &mut HashSet<State>, terminal: &mut u64) {
+    if !seen.insert(state.clone()) {
+        return;
+    }
+    let p_ready = !state.producer_done();
+    let c_ready = !state.consumer_done();
+    if !p_ready && !c_ready {
+        *terminal += 1;
+        return;
+    }
+    if p_ready {
+        let mut next = state.clone();
+        next.step_producer();
+        explore(next, seen, terminal);
+    }
+    if c_ready {
+        let mut next = state;
+        next.step_consumer();
+        explore(next, seen, terminal);
+    }
+}
+
+#[test]
+fn every_interleaving_of_spsc_sends_and_recvs_is_consistent() {
+    let mut seen = HashSet::new();
+    let mut terminal = 0u64;
+    explore(State::initial(), &mut seen, &mut terminal);
+    assert!(
+        seen.len() > 100,
+        "state space suspiciously small: {}",
+        seen.len()
+    );
+    assert!(terminal > 1, "only one terminal state reached");
+}
+
+/// Same exploration with a broken producer — `tail` published BEFORE the
+/// second half of the slot is written — must be caught as a torn read.
+/// This is the ordering `Mbox::send_spsc` pins with its Release store of
+/// `enqueue_pos`; the test proves the model would notice its absence.
+#[test]
+fn model_detects_early_tail_publication() {
+    fn step_broken_producer(s: &mut State) {
+        let value = s.p_op + 1;
+        match s.p_step {
+            0 => {
+                s.p_tail = s.tail;
+                s.p_step = 1;
+            }
+            1 => {
+                if s.p_tail - s.head >= CAPACITY {
+                    s.p_op += 1;
+                    s.p_step = 0;
+                } else {
+                    s.p_step = 2;
+                }
+            }
+            2 => {
+                s.slot_lo[(s.p_tail & MASK) as usize] = value;
+                s.p_step = 3;
+            }
+            3 => {
+                // BUG under test: tail published before slot_hi is written.
+                s.tail = s.p_tail + 1;
+                s.sent |= 1 << (value - 1);
+                s.p_step = 4;
+            }
+            4 => {
+                s.slot_hi[(s.p_tail & MASK) as usize] = value;
+                s.p_op += 1;
+                s.p_step = 0;
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn explore_broken(state: State, seen: &mut HashSet<State>, torn: &mut bool) {
+        if *torn || !seen.insert(state.clone()) {
+            return;
+        }
+        if state.producer_done() && state.consumer_done() {
+            return;
+        }
+        if !state.producer_done() {
+            let mut next = state.clone();
+            step_broken_producer(&mut next);
+            explore_broken(next, seen, torn);
+        }
+        if !state.consumer_done() {
+            let mut next = state;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                next.step_consumer();
+                next
+            }));
+            match result {
+                Ok(next) => explore_broken(next, seen, torn),
+                Err(_) => *torn = true,
+            }
+        }
+    }
+
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // keep expected panics quiet
+    let mut seen = HashSet::new();
+    let mut torn = false;
+    explore_broken(State::initial(), &mut seen, &mut torn);
+    std::panic::set_hook(prev_hook);
+    assert!(
+        torn,
+        "the model failed to catch a producer that publishes tail early"
+    );
+}

@@ -567,11 +567,17 @@ impl SystemActors {
     pub fn new(net: Arc<dyn NetBackend>, pool: Arc<eactors::arena::Arena>) -> Self {
         let dir = Arc::new(MboxDirectory::new());
         let cap = pool.capacity() as usize;
-        let opener_requests: NetPort = Port::new(Mbox::new(pool.clone(), cap));
-        let accepter_requests: NetPort = Port::new(Mbox::new(pool.clone(), cap));
-        let reader_requests: NetPort = Port::new(Mbox::new(pool.clone(), cap));
-        let writer_requests: NetPort = Port::new(Mbox::new(pool.clone(), cap));
-        let closer_requests: NetPort = Port::new(Mbox::new(pool, cap));
+        // Each request mbox is drained by exactly one system actor (and
+        // that actor runs on one worker), so the single-consumer cursor
+        // protocol applies; producers are open — any actor may request.
+        let mpsc = |pool: Arc<eactors::arena::Arena>| {
+            Mbox::with_kind(pool, cap, eactors::arena::MboxKind::Mpsc)
+        };
+        let opener_requests: NetPort = Port::new(mpsc(pool.clone()));
+        let accepter_requests: NetPort = Port::new(mpsc(pool.clone()));
+        let reader_requests: NetPort = Port::new(mpsc(pool.clone()));
+        let writer_requests: NetPort = Port::new(mpsc(pool.clone()));
+        let closer_requests: NetPort = Port::new(mpsc(pool));
         let reply_stats = Arc::new(PortStats::default());
         SystemActors {
             opener: Opener::new(

@@ -779,11 +779,16 @@ pub fn start_service(
     for i in 0..config.instances {
         let pool = Arena::new(&format!("xmpp-pool-{i}"), per_instance_nodes, 2048);
         let cap = per_instance_nodes as usize;
-        let data: NetPort = Port::new(Mbox::new(pool.clone(), cap));
+        // Every per-instance port has exactly one consuming actor (the
+        // instance, its reader, or its writer), so the single-consumer
+        // cursor protocol applies; producers stay open (connector,
+        // system actors, sibling instances).
+        let mpsc = |pool: Arc<Arena>| Mbox::with_kind(pool, cap, eactors::arena::MboxKind::Mpsc);
+        let data: NetPort = Port::new(mpsc(pool.clone()));
         let data_ref = dir_handles.register(data.mbox().clone());
-        let reader_rq: NetPort = Port::new(Mbox::new(pool.clone(), cap));
-        let writer_rq: NetPort = Port::new(Mbox::new(pool.clone(), cap));
-        let assign: AssignPort = Port::new(Mbox::new(pool.clone(), cap));
+        let reader_rq: NetPort = Port::new(mpsc(pool.clone()));
+        let writer_rq: NetPort = Port::new(mpsc(pool.clone()));
+        let assign: AssignPort = Port::new(mpsc(pool.clone()));
         writers_vec.push(writer_rq.clone());
         assigns_vec.push(assign.clone());
         instance_parts.push((data, data_ref, reader_rq, writer_rq, assign));
@@ -799,8 +804,14 @@ pub fn start_service(
         1024,
     );
     let conn_sys = SystemActors::new(net.clone(), conn_pool.clone());
+    // Replies are consumed only by the connector actor; any system
+    // actor may produce them.
     let conn_reply: NetPort = Port::with_stats(
-        Mbox::new(conn_pool.clone(), conn_pool.capacity() as usize),
+        Mbox::with_kind(
+            conn_pool.clone(),
+            conn_pool.capacity() as usize,
+            eactors::arena::MboxKind::Mpsc,
+        ),
         conn_sys.reply_stats.clone(),
     );
     let conn_reply_ref = conn_sys.dir.register(conn_reply.mbox().clone());

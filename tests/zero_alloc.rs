@@ -130,6 +130,10 @@ fn pingpong_round(
 #[test]
 fn fig11_pingpong_steady_state_allocates_nothing() {
     let _serial = SERIAL.lock().unwrap();
+    // Run with per-thread node magazines enabled, like a runtime worker:
+    // the magazine `Vec`s are preallocated at first use (warm-up), so
+    // steady-state hits/deposits must not touch the heap either.
+    eactors::arena::install_magazines(eactors::arena::MagazineStats::default());
     let costs = Platform::builder()
         .cost_model(CostModel::zero())
         .build()
@@ -162,6 +166,7 @@ fn fig11_pingpong_steady_state_allocates_nothing() {
             "{label} channel ping-pong allocated {steady} times over 256 steady-state pairs"
         );
     }
+    eactors::arena::uninstall_magazines();
 }
 
 /// The observability subsystem must obey the same rule it measures:
