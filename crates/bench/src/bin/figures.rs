@@ -10,26 +10,44 @@
 //! per figure.
 
 use eactors_bench::{
-    ablation, fig01, fig11, fig12, fig14, fig15, fig16, fig17, record, tcb, Scale,
+    ablation, fig01, fig11, fig12, fig14, fig15, fig16, fig17, record, tcb, xmpp_load, Scale,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { Scale::Full } else { Scale::from_env() };
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let label = || flag("--label").map_or_else(|| "unlabelled".to_owned(), String::clone);
     // `figures bench-fig11 [--label <text>]` appends one throughput
     // record to BENCH_fig11.json (the perf trajectory) and exits.
     if args.iter().any(|a| a == "bench-fig11") {
-        let label = args
-            .iter()
-            .position(|a| a == "--label")
-            .and_then(|i| args.get(i + 1))
-            .map_or_else(|| "unlabelled".to_owned(), String::clone);
+        let label = label();
         println!(
             "fig11 ping-pong trajectory record (label {label:?}, host cpus: {})",
             std::thread::available_parallelism().map_or(1, |n| n.get())
         );
         record::record(&label, scale);
+        return;
+    }
+    // `figures bench-xmpp-load [--label <text>] [--sessions <n>]
+    // [--shards <n>]` appends one closed-loop session-churn record to
+    // BENCH_xmpp_load.json and exits.
+    if args.iter().any(|a| a == "bench-xmpp-load") {
+        let label = label();
+        let sessions = flag("--sessions").and_then(|s| s.parse::<u64>().ok());
+        let shards = flag("--shards")
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(0);
+        println!(
+            "xmpp closed-loop load record (label {label:?}, host cpus: {})",
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        );
+        xmpp_load::record(&label, scale, sessions, shards);
         return;
     }
     let mut wanted: Vec<&str> = args

@@ -115,6 +115,27 @@ pub fn run(scale: Scale) -> FigureReport {
                     .unwrap_or(0) as f64,
             );
         }
+        // Directory shard health for the same run: the final
+        // shard-imbalance gauge (max-min live sessions across shards)
+        // and the mean queueing delay each shard saw on its request
+        // port — together they show whether the user-hash partition
+        // spread this workload and what the shard hop cost.
+        if let Some(imbalance) = rt.metrics.gauge("xmpp_shard_imbalance") {
+            report.push("shard_imbalance", enclaves as f64, imbalance as f64);
+        }
+        for (name, hist) in &rt.metrics.hists {
+            if let Some(rest) = name.strip_prefix("xmpp_shard_") {
+                if let Some(idx) = rest.strip_suffix("_queue_delay_ns") {
+                    if let Ok(shard) = idx.parse::<usize>() {
+                        report.push(
+                            format!("shard_queue_delay_mean_ns/{enclaves}e"),
+                            shard as f64,
+                            hist.mean(),
+                        );
+                    }
+                }
+            }
+        }
     }
     report
 }

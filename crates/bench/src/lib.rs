@@ -35,6 +35,7 @@ pub mod record;
 pub mod report;
 pub mod scale;
 pub mod tcb;
+pub mod xmpp_load;
 
 pub use report::{FigureReport, Row};
 pub use scale::Scale;

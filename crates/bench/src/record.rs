@@ -204,21 +204,42 @@ pub fn record(label: &str, scale: Scale) -> Vec<(String, f64)> {
     series
 }
 
-/// `<workspace>/BENCH_fig11.json`, walking up from the current directory.
-pub fn bench_json_path() -> PathBuf {
+/// `<workspace>/<file>`, walking up from the current directory until a
+/// directory that looks like the workspace root (has `Cargo.toml` and
+/// `crates/`) is found.
+pub fn workspace_json_path(file: &str) -> PathBuf {
     let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     loop {
         if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
-            return dir.join("BENCH_fig11.json");
+            return dir.join(file);
         }
         if !dir.pop() {
-            return PathBuf::from("BENCH_fig11.json");
+            return PathBuf::from(file);
         }
     }
 }
 
-fn append_record(label: &str, pairs: u64, series: &[(String, f64)]) {
-    let path = bench_json_path();
+/// `<workspace>/BENCH_fig11.json`, walking up from the current directory.
+pub fn bench_json_path() -> PathBuf {
+    workspace_json_path("BENCH_fig11.json")
+}
+
+/// Append one labelled record to an append-only trajectory document at
+/// `<workspace>/<file>` — the shared format of `BENCH_fig11.json` and
+/// `BENCH_xmpp_load.json`: a `benchmark`/`unit`/`message_bytes` header
+/// plus a `records` array of `{label, unix_time, host_cpus, pairs,
+/// series}` entries. Existing records are preserved; one new entry is
+/// appended per call.
+pub fn append_trajectory(
+    file: &str,
+    benchmark: &str,
+    unit: &str,
+    message_bytes: usize,
+    label: &str,
+    pairs: u64,
+    series: &[(String, f64)],
+) {
+    let path = workspace_json_path(file);
     let mut records: Vec<Value> = match std::fs::read_to_string(&path) {
         Ok(text) => match eactors::json::parse(&text) {
             Ok(doc) => doc
@@ -258,17 +279,11 @@ fn append_record(label: &str, pairs: u64, series: &[(String, f64)]) {
         ),
     ]));
     let doc = Value::Object(vec![
-        (
-            "benchmark".to_owned(),
-            Value::String("fig11_pingpong_msgs_per_sec".to_owned()),
-        ),
-        (
-            "unit".to_owned(),
-            Value::String("messages_per_second_both_directions".to_owned()),
-        ),
+        ("benchmark".to_owned(), Value::String(benchmark.to_owned())),
+        ("unit".to_owned(), Value::String(unit.to_owned())),
         (
             "message_bytes".to_owned(),
-            Value::Number(MESSAGE_BYTES as f64),
+            Value::Number(message_bytes as f64),
         ),
         ("records".to_owned(), Value::Array(records)),
     ]);
@@ -276,6 +291,18 @@ fn append_record(label: &str, pairs: u64, series: &[(String, f64)]) {
         Ok(()) => println!("   appended record {label:?} to {}", path.display()),
         Err(e) => eprintln!("   (record not written: {e})"),
     }
+}
+
+fn append_record(label: &str, pairs: u64, series: &[(String, f64)]) {
+    append_trajectory(
+        "BENCH_fig11.json",
+        "fig11_pingpong_msgs_per_sec",
+        "messages_per_second_both_directions",
+        MESSAGE_BYTES,
+        label,
+        pairs,
+        series,
+    );
 }
 
 #[cfg(test)]

@@ -262,6 +262,9 @@ pub struct Reader {
     dir: Arc<MboxDirectory>,
     replies: Arc<PortStats>,
     watches: Vec<ReadWatch>,
+    /// `Unwatched` acks still owed; retried when the reply mbox is
+    /// congested so the confirmation can never be lost.
+    acks: Vec<(u64, MboxRef)>,
 }
 
 impl std::fmt::Debug for Reader {
@@ -287,6 +290,7 @@ impl Reader {
             dir,
             replies,
             watches: Vec::new(),
+            acks: Vec::new(),
         }
     }
 }
@@ -294,6 +298,7 @@ impl Reader {
 impl Actor for Reader {
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
         let watches = &mut self.watches;
+        let acks = &mut self.acks;
         let mut worked = self.requests.drain(|msg| match msg {
             NetMsg::WatchSocket { socket, reply } => {
                 watches.push(ReadWatch { socket, reply });
@@ -308,6 +313,15 @@ impl Actor for Reader {
                 );
             }
             NetMsg::Unwatch { socket } => {
+                // Ack each watch actually removed, to the mbox the watch
+                // named. Any bytes the socket produced were delivered in
+                // earlier passes, so FIFO on the reply mbox gives the
+                // subscriber a hard Data-before-Unwatched ordering.
+                for w in watches.iter() {
+                    if w.socket == socket {
+                        acks.push((socket, w.reply));
+                    }
+                }
                 watches.retain(|w| w.socket != socket);
             }
             _ => {}
@@ -315,6 +329,13 @@ impl Actor for Reader {
         let net = &self.net;
         let dir = &self.dir;
         let replies = &self.replies;
+        if !acks.is_empty() {
+            worked = true;
+            acks.retain(|&(socket, reply)| match dir.get(reply) {
+                Some(mbox) => !send_msg(&mbox, &NetMsg::Unwatched { socket }, replies),
+                None => false, // subscriber gone; nobody left to tell
+            });
+        }
         self.watches.retain(|w| {
             let Some(mbox) = dir.get(w.reply) else {
                 return false;

@@ -350,6 +350,20 @@ mod tests {
                     phase = 3;
                     Control::Busy
                 }
+                3 => {
+                    // The READER confirms the unwatch to the watch's reply
+                    // mbox; nothing else may precede the ack.
+                    match replies
+                        .recv(|m| matches!(m, NetMsg::Unwatched { socket } if socket == server.0))
+                    {
+                        Some(true) => {
+                            phase = 4;
+                            Control::Busy
+                        }
+                        Some(false) => panic!("expected the Unwatched ack"),
+                        None => Control::Idle,
+                    }
+                }
                 _ => {
                     phase += 1;
                     if phase > 50 {

@@ -100,6 +100,16 @@ pub enum NetMsg<'a> {
         /// The closed socket.
         socket: u64,
     },
+    /// The READER confirms an [`NetMsg::Unwatch`]: the socket left its
+    /// poll set, so no further [`NetMsg::Data`] for it will ever appear
+    /// in the watch's reply mbox (READER → application, sent to the reply
+    /// mbox the watch named, after any data already read). Only actually
+    /// watched sockets are acknowledged — an `Unwatch` for an unknown
+    /// socket (e.g. one already closed by the peer) stays silent.
+    Unwatched {
+        /// The socket no longer polled.
+        socket: u64,
+    },
     /// Bytes to transmit (application → WRITER). The payload borrows the
     /// sender's buffer (or an incoming `Data` node being forwarded).
     Write {
@@ -191,6 +201,7 @@ pub(crate) mod tag {
     pub const SOCKET_CLOSED: u8 = 10;
     pub const WRITE: u8 = 11;
     pub const CLOSE: u8 = 12;
+    pub const UNWATCHED: u8 = 14;
 }
 
 /// Header bytes a [`NetMsg::Data`] / [`NetMsg::Write`] adds before its
@@ -225,7 +236,10 @@ impl<'m> Wire for NetMsg<'m> {
             NetMsg::WatchListener { .. } | NetMsg::WatchSocket { .. } => 1 + 8 + 4,
             NetMsg::WatchBatch { entries } => 1 + 2 + entries.len() * 12,
             NetMsg::Accepted { .. } => 1 + 8 + 8,
-            NetMsg::Unwatch { .. } | NetMsg::SocketClosed { .. } | NetMsg::Close { .. } => 1 + 8,
+            NetMsg::Unwatch { .. }
+            | NetMsg::SocketClosed { .. }
+            | NetMsg::Close { .. }
+            | NetMsg::Unwatched { .. } => 1 + 8,
             NetMsg::Data { payload, .. } | NetMsg::Write { payload, .. } => {
                 DATA_HEADER + payload.len()
             }
@@ -309,6 +323,10 @@ impl<'m> Wire for NetMsg<'m> {
             }
             NetMsg::Close { socket } => {
                 out[0] = tag::CLOSE;
+                out[1..9].copy_from_slice(&socket.to_le_bytes());
+            }
+            NetMsg::Unwatched { socket } => {
+                out[0] = tag::UNWATCHED;
                 out[1..9].copy_from_slice(&socket.to_le_bytes());
             }
         }
@@ -415,6 +433,10 @@ impl<'m> Wire for NetMsg<'m> {
                 exact(8)?;
                 NetMsg::Close { socket: u64_at(0)? }
             }
+            tag::UNWATCHED => {
+                exact(8)?;
+                NetMsg::Unwatched { socket: u64_at(0)? }
+            }
             _ => return None,
         })
     }
@@ -463,6 +485,7 @@ mod tests {
             reply: MboxRef(2),
         });
         round_trip(NetMsg::Unwatch { socket: 11 });
+        round_trip(NetMsg::Unwatched { socket: 11 });
         round_trip(NetMsg::WatchBatch {
             entries: BatchEntries::Slice(&[]),
         });
@@ -542,7 +565,7 @@ mod tests {
         payload: &'a mut Vec<u8>,
         batch: &'a mut Vec<(u64, MboxRef)>,
     ) -> NetMsg<'a> {
-        match rng.below(13) {
+        match rng.below(14) {
             0 => NetMsg::OpenListen {
                 port: rng.next() as u16,
                 reply: MboxRef(rng.next() as u32),
@@ -604,7 +627,8 @@ mod tests {
                     payload,
                 }
             }
-            _ => NetMsg::Close { socket: rng.next() },
+            12 => NetMsg::Close { socket: rng.next() },
+            _ => NetMsg::Unwatched { socket: rng.next() },
         }
     }
 

@@ -45,7 +45,7 @@ use std::sync::Arc;
 pub use collector::ObsHub;
 pub use event::{Event, EventKind, KIND_COUNT};
 pub use hist::{HistSnapshot, Log2Hist};
-pub use registry::{Counter, MetricsRegistry, MetricsSnapshot};
+pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 pub use ring::{RingConsumer, RingProducer, TraceRing};
 
 /// Runtime master switch. Defaults to on; [`init_from_env`] and

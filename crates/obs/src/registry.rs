@@ -1,5 +1,5 @@
-//! The metrics registry: named counters and histograms with snapshot
-//! exporters.
+//! The metrics registry: named counters, gauges and histograms with
+//! snapshot exporters.
 //!
 //! All metric handles are `Arc`s handed out once (at deployment time, or
 //! on first use of a name) and updated with relaxed atomics afterwards —
@@ -46,8 +46,62 @@ impl Counter {
     }
 }
 
-/// Named counters and histograms. Lookup/creation takes a mutex; the
-/// returned `Arc` handles are lock-free thereafter.
+/// A last-value metric for quantities that go up *and* down (live
+/// sessions, queue occupancy, imbalance). Cloning the `Arc` shares it;
+/// updates are relaxed atomics and [`Gauge::dec`]/[`Gauge::sub`]
+/// saturate at zero instead of wrapping.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the current value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement by one, saturating at zero.
+    #[inline]
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrement by `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Named counters, gauges and histograms. Lookup/creation takes a mutex;
+/// the returned `Arc` handles are lock-free thereafter.
 ///
 /// Metrics are stored in insertion order and snapshotted in sorted name
 /// order, so exports are deterministic regardless of registration
@@ -55,6 +109,7 @@ impl Counter {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
     hists: Mutex<Vec<(String, Arc<Log2Hist>)>>,
 }
 
@@ -87,6 +142,29 @@ impl MetricsRegistry {
         counter
     }
 
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut gauges = self.gauges.lock().expect("registry poisoned");
+        if let Some((_, g)) = gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        let g = Arc::new(Gauge::new());
+        gauges.push((name.to_owned(), g.clone()));
+        g
+    }
+
+    /// Register an existing gauge under `name`, sharing ownership with
+    /// its subsystem. If the name is already taken the registered gauge
+    /// wins and is returned — callers should adopt it.
+    pub fn register_gauge(&self, name: &str, gauge: Arc<Gauge>) -> Arc<Gauge> {
+        let mut gauges = self.gauges.lock().expect("registry poisoned");
+        if let Some((_, g)) = gauges.iter().find(|(n, _)| n == name) {
+            return g.clone();
+        }
+        gauges.push((name.to_owned(), gauge.clone()));
+        gauge
+    }
+
     /// Get or create the histogram named `name`.
     pub fn hist(&self, name: &str) -> Arc<Log2Hist> {
         let mut hists = self.hists.lock().expect("registry poisoned");
@@ -108,6 +186,13 @@ impl MetricsRegistry {
             .map(|(_, c)| c.get())
     }
 
+    /// Current value of gauge `name`, or `None` if no such gauge exists.
+    /// Unlike [`MetricsRegistry::gauge`] this never creates.
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        let gauges = self.gauges.lock().expect("registry poisoned");
+        gauges.iter().find(|(n, _)| n == name).map(|(_, g)| g.get())
+    }
+
     /// Point-in-time copy of every metric, sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut counters: Vec<(String, u64)> = {
@@ -115,6 +200,11 @@ impl MetricsRegistry {
             guard.iter().map(|(n, c)| (n.clone(), c.get())).collect()
         };
         counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges: Vec<(String, u64)> = {
+            let guard = self.gauges.lock().expect("registry poisoned");
+            guard.iter().map(|(n, g)| (n.clone(), g.get())).collect()
+        };
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
         let mut hists: Vec<(String, HistSnapshot)> = {
             let guard = self.hists.lock().expect("registry poisoned");
             guard
@@ -123,7 +213,11 @@ impl MetricsRegistry {
                 .collect()
         };
         hists.sort_by(|a, b| a.0.cmp(&b.0));
-        MetricsSnapshot { counters, hists }
+        MetricsSnapshot {
+            counters,
+            gauges,
+            hists,
+        }
     }
 }
 
@@ -132,6 +226,8 @@ impl MetricsRegistry {
 pub struct MetricsSnapshot {
     /// `(name, value)` for every counter.
     pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, u64)>,
     /// `(name, snapshot)` for every histogram.
     pub hists: Vec<(String, HistSnapshot)>,
 }
@@ -145,19 +241,30 @@ impl MetricsSnapshot {
             .map(|(_, v)| *v)
     }
 
+    /// Value of a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
     /// Histogram snapshot by name.
     pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
         self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
     }
 
     /// Render as a JSON document:
-    /// `{"counters": {...}, "histograms": {name: {count, sum, max, mean, buckets: [[floor, n], ...]}}}`.
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum, max, mean, buckets: [[floor, n], ...]}}}`.
     ///
     /// Histogram buckets are exported sparsely (non-empty buckets only)
     /// as `[bucket_floor, count]` pairs.
     pub fn to_json(&self) -> Value {
         let counters = Value::Object(
             self.counters
+                .iter()
+                .map(|(n, v)| (n.clone(), Value::Number(*v as f64)))
+                .collect(),
+        );
+        let gauges = Value::Object(
+            self.gauges
                 .iter()
                 .map(|(n, v)| (n.clone(), Value::Number(*v as f64)))
                 .collect(),
@@ -192,6 +299,7 @@ impl MetricsSnapshot {
         );
         Value::Object(vec![
             ("counters".to_owned(), counters),
+            ("gauges".to_owned(), gauges),
             ("histograms".to_owned(), hists),
         ])
     }
@@ -204,6 +312,10 @@ impl MetricsSnapshot {
         for (name, value) in &self.counters {
             let name = sanitize(name);
             out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
         }
         for (name, h) in &self.hists {
             let name = sanitize(name);
@@ -276,6 +388,37 @@ mod tests {
         fresh.add(7);
         reg.register_counter("new", fresh);
         assert_eq!(reg.counter_value("new"), Some(7));
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_saturates() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("live");
+        g.add(3);
+        g.dec();
+        assert_eq!(reg.gauge_value("live"), Some(2));
+        g.sub(10); // saturates, never wraps
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        assert_eq!(reg.snapshot().gauge("live"), Some(7));
+        assert_eq!(reg.gauge_value("missing"), None);
+
+        // register_gauge: an existing name wins, a fresh one is adopted.
+        let outside = Arc::new(Gauge::new());
+        outside.set(99);
+        assert_eq!(reg.register_gauge("live", outside.clone()).get(), 7);
+        reg.register_gauge("fresh", outside);
+        assert_eq!(reg.gauge_value("fresh"), Some(99));
+
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE live gauge\nlive 7\n"));
+        let json = reg.snapshot().to_json();
+        assert_eq!(
+            json.get("gauges")
+                .and_then(|g| g.get("live"))
+                .and_then(Value::as_u64),
+            Some(7)
+        );
     }
 
     #[test]

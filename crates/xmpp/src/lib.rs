@@ -25,6 +25,7 @@ pub mod baseline;
 pub mod client;
 mod directory;
 mod service;
+mod shard;
 pub mod stanza;
 pub mod wire;
 
@@ -32,6 +33,7 @@ pub use directory::{Directory, DirectoryReader, Member, UserEntry};
 pub use service::{
     start_service, Assignment, EnclaveLayout, RunningService, ServiceStats, XmppConfig,
 };
+pub use shard::{shard_of, ShardedDirectory, ShardedReader};
 
 use std::fmt;
 

@@ -34,7 +34,10 @@ use enet::{
 use sgx_sim::crypto::SessionKey;
 use sgx_sim::Platform;
 
-use crate::directory::{Directory, DirectoryReader, Member};
+use crate::shard::{
+    now_ns, shard_reply_name, shard_reply_pool_name, shard_rq_name, shard_rq_pool_name, DirShard,
+    OwnedShardMsg, ShardMsg, ShardReply, ShardedDirectory, ShardedReader,
+};
 use crate::stanza::Stanza;
 use crate::wire::{ConnCrypto, Frame, FrameBuf};
 use crate::XmppError;
@@ -62,6 +65,13 @@ pub enum Assignment {
     /// experiments — each room's chat runs in its dedicated eactor and
     /// enclave).
     ByRoomTag,
+    /// Place each user on the instance that co-hosts their directory
+    /// shard (shard `s` rides the worker of instance `s % instances`),
+    /// so the session's own Register/Unregister never cross a worker —
+    /// the hash keeps the load spread as evenly as round-robin. Falls
+    /// back to round-robin when the shard count does not cover the
+    /// instances uniformly (`shards % instances != 0`).
+    ShardAffine,
 }
 
 /// Deployment configuration of the messaging service.
@@ -82,6 +92,9 @@ pub struct XmppConfig {
     pub wire_crypto: bool,
     /// Expected concurrent clients (sizes pools and the directory).
     pub max_clients: u32,
+    /// Number of directory shard actors partitioning the hot state by
+    /// user/room hash; `0` picks one shard per instance.
+    pub shards: usize,
     /// Execute each instance's READER and WRITER on one shared worker
     /// (the paper's EA/3-style pairing) instead of two.
     pub shared_net_worker: bool,
@@ -99,6 +112,7 @@ impl Default for XmppConfig {
             port: 5222,
             wire_crypto: true,
             max_clients: 128,
+            shards: 0,
             shared_net_worker: true,
             server_name: "eactors.example".into(),
         }
@@ -197,6 +211,7 @@ fn pick_instance(
     assignment: Assignment,
     rr_next: &mut usize,
     instances: usize,
+    shards: usize,
     user: &str,
 ) -> usize {
     match assignment {
@@ -204,6 +219,13 @@ fn pick_instance(
             let i = *rr_next;
             *rr_next = (*rr_next + 1) % instances;
             i
+        }
+        Assignment::ShardAffine => {
+            if shards % instances == 0 {
+                crate::shard::shard_of(user, shards) % instances
+            } else {
+                pick_instance(Assignment::RoundRobin, rr_next, instances, shards, user)
+            }
         }
         Assignment::ByRoomTag => user
             .strip_prefix('g')
@@ -218,6 +240,14 @@ fn pick_instance(
 
 /// The enclaved CONNECTOR: listens, accepts, performs the stream
 /// handshake and hands authenticated clients to their instance.
+///
+/// The handoff is two-phase: after parsing the stream header the
+/// CONNECTOR unwatches the socket and parks the connection in `handoff`;
+/// only the READER's `Unwatched` ack — which, by reply-mbox FIFO, sorts
+/// after every `Data` frame the READER already delivered — triggers the
+/// actual assignment. Without the ack, a READER mid-poll on another
+/// worker could deliver post-handshake bytes *here* after the assignment
+/// left, and they would be silently lost (the seed's rare 1-CPU hang).
 struct Connector {
     port: u16,
     listening: bool,
@@ -229,8 +259,19 @@ struct Connector {
     closer_rq: NetPort,
     assigns: Arc<Vec<AssignPort>>,
     assignment: Assignment,
+    /// Directory shard count (the `ShardAffine` placement key).
+    shards: usize,
     rr_next: usize,
     pending: HashMap<u64, FrameBuf>,
+    /// Authenticated connections awaiting the READER's `Unwatched` ack:
+    /// socket → (user, buffered post-handshake bytes).
+    handoff: HashMap<u64, (String, FrameBuf)>,
+    /// Unwatch requests that hit a full READER port, retried every pass.
+    unwatch_retry: Vec<u64>,
+    /// Per-shard session gauges (owned by the shards); the CONNECTOR
+    /// derives the imbalance gauge from them.
+    shard_sessions: Vec<Arc<obs::Gauge>>,
+    imbalance: Arc<obs::Gauge>,
     stats: Arc<ServiceStats>,
 }
 
@@ -253,6 +294,7 @@ impl Actor for Connector {
         self.closer_rq
             .stats()
             .register(registry, "xmpp_conn_closer");
+        registry.register_gauge("xmpp_shard_imbalance", self.imbalance.clone());
     }
 
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
@@ -263,6 +305,13 @@ impl Actor for Connector {
                 reply: self.reply_ref,
             });
             return Control::Busy;
+        }
+        // Unwatch requests parked on READER congestion go out first so an
+        // acked handoff can never be starved by a fresh one.
+        if !self.unwatch_retry.is_empty() {
+            let reader_rq = &self.reader_rq;
+            self.unwatch_retry
+                .retain(|&socket| !reader_rq.send(&NetMsg::Unwatch { socket }));
         }
         // Batched drain: one cursor claim covers a whole run of replies
         // (accept storms arrive in bursts). Destructure so the closure
@@ -275,13 +324,17 @@ impl Actor for Connector {
             closer_rq,
             assigns,
             assignment,
+            shards,
             rr_next,
             pending,
+            handoff,
+            unwatch_retry,
             stats,
             ..
         } = self;
         let reply_ref = *reply_ref;
         let assignment = *assignment;
+        let shards = *shards;
         let worked = reply.drain(|msg| {
             match msg {
                 NetMsg::OpenOk { id, listener: true } => {
@@ -298,6 +351,13 @@ impl Actor for Connector {
                     });
                 }
                 NetMsg::Data { socket, payload } => {
+                    if let Some((_, fb)) = handoff.get_mut(&socket) {
+                        // Post-handshake bytes the READER read before it
+                        // processed our unwatch; they travel with the
+                        // assignment once the ack arrives.
+                        fb.push(payload);
+                        return;
+                    }
                     let Some(fb) = pending.get_mut(&socket) else {
                         return;
                     };
@@ -312,22 +372,13 @@ impl Actor for Connector {
                         Ok(Some(Some(Stanza::Stream { from, .. })))
                             if from.len() <= u16::MAX as usize =>
                         {
-                            let mut fb = pending.remove(&socket).expect("checked present above");
-                            reader_rq.send(&NetMsg::Unwatch { socket });
-                            let leftover = fb.take_remaining();
-                            let instance = pick_instance(assignment, rr_next, assigns.len(), &from);
-                            let sent = leftover.len() <= u16::MAX as usize
-                                && assigns[instance].send(&AssignMsg {
-                                    socket,
-                                    user: &from,
-                                    leftover: &leftover,
-                                });
-                            if !sent {
-                                // Assignment failed (congestion): drop the
-                                // connection. The failure itself is counted
-                                // in the assign port's send-drop telemetry.
-                                closer_rq.send(&NetMsg::Close { socket });
+                            let fb = pending.remove(&socket).expect("checked present above");
+                            if !reader_rq.send(&NetMsg::Unwatch { socket }) {
+                                unwatch_retry.push(socket);
                             }
+                            // Park until the READER acks: assignment must
+                            // not race bytes still in the READER's hands.
+                            handoff.insert(socket, (from, fb));
                         }
                         Ok(Some(_)) => {
                             stats.bad_frames.inc();
@@ -343,12 +394,46 @@ impl Actor for Connector {
                         }
                     }
                 }
+                NetMsg::Unwatched { socket } => {
+                    // The READER has let go: every byte it read is in our
+                    // hands, so the assignment carries the complete
+                    // leftover and nothing can be lost.
+                    let Some((user, mut fb)) = handoff.remove(&socket) else {
+                        return;
+                    };
+                    let leftover = fb.take_remaining();
+                    let instance = pick_instance(assignment, rr_next, assigns.len(), shards, &user);
+                    let sent = leftover.len() <= u16::MAX as usize
+                        && assigns[instance].send(&AssignMsg {
+                            socket,
+                            user: &user,
+                            leftover: &leftover,
+                        });
+                    if !sent {
+                        // Assignment failed (congestion): drop the
+                        // connection. The failure itself is counted
+                        // in the assign port's send-drop telemetry.
+                        closer_rq.send(&NetMsg::Close { socket });
+                    }
+                }
                 NetMsg::SocketClosed { socket } => {
                     pending.remove(&socket);
+                    handoff.remove(&socket);
                 }
                 _ => {}
             }
         }) > 0;
+        // Shard balance is a cheap max-min over the shared gauges; the
+        // CONNECTOR recomputes it whenever it runs.
+        if self.shard_sessions.len() > 1 {
+            let (mut min, mut max) = (u64::MAX, 0u64);
+            for g in &self.shard_sessions {
+                let v = g.get();
+                min = min.min(v);
+                max = max.max(v);
+            }
+            self.imbalance.set(max.saturating_sub(min));
+        }
         if worked {
             Control::Busy
         } else {
@@ -373,12 +458,29 @@ enum DataEvent {
     Ignore,
 }
 
+/// A shard confirmation extracted from a reply drain, processed once the
+/// port borrow ends.
+enum ReplyEvent {
+    Registered(u64),
+    Joined(u64, String),
+}
+
 /// One XMPP protocol instance (the paper's `XMPP #i` eactor).
+///
+/// Directory writes no longer touch the store directly: they travel as
+/// [`ShardMsg`] frames to the owning shard actor, and session-visible
+/// effects (stream-ok, joined echo) wait for the shard's confirmation —
+/// so a client that saw the acknowledgement knows the directory write is
+/// globally visible, exactly as with the seed's synchronous writes.
 struct XmppInstance {
     index: u32,
     wire_crypto: bool,
-    directory: Directory,
-    dir_reader: Option<DirectoryReader>,
+    shards: usize,
+    directory: ShardedDirectory,
+    dir_reader: Option<ShardedReader>,
+    /// Assigned clients whose `Register` is still in flight; activated
+    /// (stream-ok, READER subscription) on the shard's `Registered`.
+    pending: HashMap<u64, Session>,
     sessions: HashMap<u64, Session>,
     out_crypto: HashMap<String, ConnCrypto>,
     data: NetPort,
@@ -386,8 +488,15 @@ struct XmppInstance {
     reader_rq: NetPort,
     writers: Arc<Vec<NetPort>>,
     assign: AssignPort,
-    /// Reusable node batches and decrypt scratch: the steady state loops
-    /// allocate nothing per message.
+    /// Request port per shard (fetched from the deployment in `ctor`).
+    shard_rqs: Vec<Port<ShardMsg<'static>>>,
+    /// Reply port per shard (this instance's SPSC end).
+    shard_replies: Vec<Port<ShardReply<'static>>>,
+    /// Shard writes parked on a full request port, retried every pass.
+    shard_backlog: Vec<(usize, OwnedShardMsg)>,
+    /// Reusable node batches, event scratch and decrypt scratch: the
+    /// steady state loops allocate nothing per message.
+    reply_events: Vec<ReplyEvent>,
     assign_nodes: Vec<Node>,
     data_nodes: Vec<Node>,
     open_scratch: Vec<u8>,
@@ -395,6 +504,22 @@ struct XmppInstance {
 }
 
 impl XmppInstance {
+    /// Route a directory write to its owning shard, parking it for retry
+    /// when the shard's request port is momentarily full.
+    fn send_shard(&mut self, msg: OwnedShardMsg) {
+        let s = self.directory.shard_of(msg.shard_key());
+        if msg.view().encoded_len() > self.shard_rqs[s].mbox().arena().payload_size() {
+            // Can never fit a node (an absurd room name): dropping beats
+            // retrying forever.
+            self.stats.bad_frames.inc();
+            return;
+        }
+        if !self.shard_backlog.is_empty() || !self.shard_rqs[s].send(&msg.view()) {
+            // Behind an existing backlog, preserve our send order.
+            self.shard_backlog.push((s, msg));
+        }
+    }
+
     fn write_to(
         &mut self,
         costs: &sgx_sim::CostHandle,
@@ -474,23 +599,21 @@ impl XmppInstance {
                 }
             }
             Stanza::Join { room } => {
-                let reader = self.dir_reader.as_ref().expect("ctor ran");
-                let _ = self.directory.join_group(
-                    reader,
-                    &room,
-                    Member {
-                        user: sender.clone(),
-                        socket,
-                        instance,
-                    },
-                );
                 if let Some(s) = self.sessions.get_mut(&socket) {
                     if !s.rooms.contains(&room) {
                         s.rooms.push(room.clone());
                     }
                 }
-                let xml = Stanza::Joined { room }.to_xml();
-                self.write_to(&costs, &sender, socket, instance, &xml);
+                // Membership is owned by the room's shard; the joined
+                // echo waits for its confirmation so a client that saw
+                // it can rely on the membership being visible.
+                self.send_shard(OwnedShardMsg::Join {
+                    sent_ns: now_ns(),
+                    socket,
+                    instance,
+                    room,
+                    user: sender,
+                });
             }
             Stanza::Presence { .. } => {
                 // Presence is recorded implicitly by the directory; no
@@ -519,10 +642,17 @@ impl XmppInstance {
 
     fn drop_session(&mut self, socket: u64) {
         if let Some(session) = self.sessions.remove(&socket) {
-            let reader = self.dir_reader.as_ref().expect("ctor ran");
-            let _ = self.directory.unregister_user(reader, &session.user);
-            for room in &session.rooms {
-                let _ = self.directory.leave_group(reader, room, &session.user);
+            self.send_shard(OwnedShardMsg::Unregister {
+                sent_ns: now_ns(),
+                socket,
+                user: session.user.clone(),
+            });
+            for room in session.rooms {
+                self.send_shard(OwnedShardMsg::Leave {
+                    sent_ns: now_ns(),
+                    room,
+                    user: session.user.clone(),
+                });
             }
         }
     }
@@ -564,6 +694,18 @@ impl XmppInstance {
 impl Actor for XmppInstance {
     fn ctor(&mut self, ctx: &mut Ctx) {
         self.dir_reader = Some(self.directory.reader());
+        self.shard_rqs = (0..self.shards)
+            .map(|s| {
+                ctx.port(&shard_rq_name(s))
+                    .expect("shard request port declared by start_service")
+            })
+            .collect();
+        self.shard_replies = (0..self.shards)
+            .map(|s| {
+                ctx.port(&shard_reply_name(s, self.index as usize))
+                    .expect("shard reply port declared by start_service")
+            })
+            .collect();
         let registry = ctx.obs_hub().registry();
         self.data
             .stats()
@@ -576,11 +718,81 @@ impl Actor for XmppInstance {
     fn body(&mut self, ctx: &mut Ctx) -> Control {
         let mut worked = false;
 
+        // Shard writes parked on congestion go out first, in order.
+        if !self.shard_backlog.is_empty() {
+            worked = true;
+            let rqs = &self.shard_rqs;
+            let mut blocked = false;
+            self.shard_backlog.retain(|(s, msg)| {
+                // Once one send blocks, keep everything behind it.
+                blocked = blocked || !rqs[*s].send(&msg.view());
+                blocked
+            });
+        }
+
+        // Shard confirmations: activations and joined echoes. Extracted
+        // into owned events first because processing needs `&mut self`.
+        let mut events = std::mem::take(&mut self.reply_events);
+        {
+            let replies = &mut self.shard_replies;
+            for port in replies.iter_mut() {
+                worked |= port.drain(|msg| match msg {
+                    ShardReply::Registered { socket } => {
+                        events.push(ReplyEvent::Registered(socket));
+                    }
+                    ShardReply::Joined { socket, room } => {
+                        events.push(ReplyEvent::Joined(socket, room.to_owned()));
+                    }
+                }) > 0;
+            }
+        }
+        let mut batch: Vec<(u64, MboxRef)> = Vec::new();
+        for ev in events.drain(..) {
+            match ev {
+                ReplyEvent::Registered(socket) => {
+                    // The directory write is applied and visible: the
+                    // session goes live — subscribe its socket, complete
+                    // the handshake, pump any leftover stanzas.
+                    let Some(session) = self.pending.remove(&socket) else {
+                        continue;
+                    };
+                    self.sessions.insert(socket, session);
+                    self.stats.sessions.inc();
+                    batch.push((socket, self.data_ref));
+                    // Acknowledge the stream (plaintext, completing the
+                    // handshake) through our own WRITER, framed directly
+                    // in the node.
+                    let ok = Stanza::StreamOk {
+                        id: format!("s{socket}"),
+                    }
+                    .to_xml();
+                    let frame = Frame(ok.as_bytes());
+                    send_write_with(
+                        &self.writers[self.index as usize],
+                        socket,
+                        frame.encoded_len(),
+                        |out| {
+                            frame.encode_into(out);
+                        },
+                    );
+                    // Any stanzas that raced the handshake.
+                    self.pump_frames(ctx, socket);
+                }
+                ReplyEvent::Joined(socket, room) => {
+                    let Some(user) = self.sessions.get(&socket).map(|s| s.user.clone()) else {
+                        continue; // left before the echo; nothing to say
+                    };
+                    let xml = Stanza::Joined { room }.to_xml();
+                    self.write_to(ctx.costs(), &user, socket, self.index, &xml);
+                }
+            }
+        }
+        self.reply_events = events;
+
         // Newly assigned clients (the PCL refresh: fetch the users this
         // instance serves, then batch-subscribe their sockets). Claimed
         // in batches so one cursor update covers a whole burst of
         // assignments.
-        let mut batch: Vec<(u64, MboxRef)> = Vec::new();
         let assign_mbox = Arc::clone(self.assign.mbox());
         let mut nodes = std::mem::take(&mut self.assign_nodes);
         while assign_mbox.recv_batch(&mut nodes, ASSIGN_BATCH) > 0 {
@@ -604,39 +816,23 @@ impl Actor for XmppInstance {
                 } else {
                     ConnCrypto::plaintext()
                 };
-                let reader = self.dir_reader.as_ref().expect("ctor ran");
-                let _ = self
-                    .directory
-                    .register_user(reader, &user, socket, self.index);
-                self.sessions.insert(
+                // Park the session and ask the owning shard to register
+                // it; the stream-ok waits for the confirmation.
+                self.pending.insert(
                     socket,
                     Session {
-                        user,
+                        user: user.clone(),
                         crypto,
                         frames,
                         rooms: Vec::new(),
                     },
                 );
-                self.stats.sessions.inc();
-                batch.push((socket, self.data_ref));
-                // Acknowledge the stream (plaintext, completing the
-                // handshake) through our own WRITER, framed directly in
-                // the node.
-                let ok = Stanza::StreamOk {
-                    id: format!("s{socket}"),
-                }
-                .to_xml();
-                let frame = Frame(ok.as_bytes());
-                send_write_with(
-                    &self.writers[self.index as usize],
+                self.send_shard(OwnedShardMsg::Register {
+                    sent_ns: now_ns(),
                     socket,
-                    frame.encoded_len(),
-                    |out| {
-                        frame.encode_into(out);
-                    },
-                );
-                // Any stanzas that raced the handshake.
-                self.pump_frames(ctx, socket);
+                    instance: self.index,
+                    user,
+                });
             }
         }
         self.assign_nodes = nodes;
@@ -697,8 +893,9 @@ impl Actor for XmppInstance {
 pub struct RunningService {
     /// The EActors runtime executing the service.
     pub runtime: Runtime,
-    /// The shared Online list / group directory.
-    pub directory: Directory,
+    /// The shared Online list / group directory, partitioned by
+    /// user/room hash.
+    pub directory: ShardedDirectory,
     /// Live counters.
     pub stats: Arc<ServiceStats>,
 }
@@ -731,16 +928,25 @@ pub fn start_service(
         return Err(XmppError::NoInstances);
     }
     let stats = Arc::new(ServiceStats::default());
+    let shards = if config.shards == 0 {
+        config.instances
+    } else {
+        config.shards
+    };
 
-    // Shared Online list: encrypted when it crosses enclave boundaries.
+    // Shared Online list, partitioned by user/room hash: encrypted when
+    // it crosses enclave boundaries (encryption state is per slice).
     let multi_enclave = config.trusted
         && !matches!(config.enclave_layout, EnclaveLayout::Single)
         && config.instances > 1;
-    let encryption = multi_enclave.then(|| pos::PosEncryption {
-        key: SessionKey::derive(&[platform.secret(), 0x0D12_EC70]),
-        costs: platform.costs(),
-    });
-    let directory = Directory::with_capacity(config.max_clients, config.max_clients, encryption);
+    let encryption = || {
+        multi_enclave.then(|| pos::PosEncryption {
+            key: SessionKey::derive(&[platform.secret(), 0x0D12_EC70]),
+            costs: platform.costs(),
+        })
+    };
+    let directory =
+        ShardedDirectory::with_capacity(shards, config.max_clients, config.max_clients, encryption);
 
     let mut b = DeploymentBuilder::new();
 
@@ -816,6 +1022,11 @@ pub fn start_service(
     );
     let conn_reply_ref = conn_sys.dir.register(conn_reply.mbox().clone());
 
+    // One session gauge per shard, shared between the owning shard actor
+    // (writer) and the CONNECTOR (imbalance derivation).
+    let shard_sessions: Vec<Arc<obs::Gauge>> =
+        (0..shards).map(|_| Arc::new(obs::Gauge::new())).collect();
+
     let connector = Connector {
         port: config.port,
         listening: false,
@@ -827,8 +1038,13 @@ pub fn start_service(
         closer_rq: conn_sys.closer_requests.clone(),
         assigns: assigns.clone(),
         assignment: config.assignment,
+        shards,
         rr_next: 0,
         pending: HashMap::new(),
+        handoff: HashMap::new(),
+        unwatch_retry: Vec::new(),
+        shard_sessions: shard_sessions.clone(),
+        imbalance: Arc::new(obs::Gauge::new()),
         stats: stats.clone(),
     };
 
@@ -851,15 +1067,22 @@ pub fn start_service(
         a_collector,
     ]);
 
-    // XMPP instances, each with a dedicated READER and WRITER.
+    // XMPP instances, each with a dedicated READER and WRITER. Actors
+    // are declared first (their slots parameterize the shard ports'
+    // producer/consumer proof), workers after the shard actors exist so
+    // each shard can ride its hosting instance's worker.
+    let mut xmpp_slots = Vec::with_capacity(config.instances);
+    let mut net_slots = Vec::with_capacity(config.instances);
     for (i, (data, data_ref, reader_rq, writer_rq, assign)) in
         instance_parts.into_iter().enumerate()
     {
         let instance = XmppInstance {
             index: i as u32,
             wire_crypto: config.wire_crypto,
+            shards,
             directory: directory.clone(),
             dir_reader: None,
+            pending: HashMap::new(),
             sessions: HashMap::new(),
             out_crypto: HashMap::new(),
             data,
@@ -867,12 +1090,16 @@ pub fn start_service(
             reader_rq: reader_rq.clone(),
             writers: writers.clone(),
             assign,
+            shard_rqs: Vec::new(),
+            shard_replies: Vec::new(),
+            shard_backlog: Vec::new(),
+            reply_events: Vec::new(),
             assign_nodes: Vec::new(),
             data_nodes: Vec::new(),
             open_scratch: Vec::new(),
             stats: stats.clone(),
         };
-        let a_x = b.actor(&format!("xmpp-{i}"), placement_of(i), instance);
+        xmpp_slots.push(b.actor(&format!("xmpp-{i}"), placement_of(i), instance));
         let a_r = b.actor(
             &format!("reader-{i}"),
             Placement::Untrusted,
@@ -888,12 +1115,80 @@ pub fn start_service(
             Placement::Untrusted,
             enet::Writer::new(net.clone(), writer_rq),
         );
-        b.worker(&[a_x]);
+        net_slots.push((a_r, a_w));
+    }
+
+    // Directory shard actors: shard `s` rides the worker (and enclave)
+    // of instance `s % instances`, so with one shard per instance the
+    // request path never crosses a protection domain.
+    let shard_slots: Vec<_> = (0..shards)
+        .map(|s| {
+            let host = s % config.instances;
+            b.actor(
+                &format!("dir-shard-{s}"),
+                placement_of(host),
+                DirShard::new(
+                    s,
+                    directory.slice(s).clone(),
+                    config.instances,
+                    shard_sessions[s].clone(),
+                ),
+            )
+        })
+        .collect();
+
+    for (i, &(a_r, a_w)) in net_slots.iter().enumerate() {
+        let mut crew = vec![xmpp_slots[i]];
+        crew.extend(
+            (0..shards)
+                .filter(|s| s % config.instances == i)
+                .map(|s| shard_slots[s]),
+        );
+        b.worker(&crew);
         if config.shared_net_worker {
             b.worker(&[a_r, a_w]);
         } else {
             b.worker(&[a_r]);
             b.worker(&[a_w]);
+        }
+    }
+
+    // Declared shard ports: the builder proves the request side MPSC
+    // (SPSC with a single instance) and every reply side SPSC — zero
+    // consumer CAS on the hot path — and each shard draws replies from
+    // its own pool so reply fan-in cannot converge on one arena.
+    let shard_pool_nodes =
+        ((config.max_clients as usize * 4 / shards) as u32 + 64).next_power_of_two();
+    for (s, &shard_slot) in shard_slots.iter().enumerate() {
+        // Sized so any user name that fit an assignment also fits its
+        // Register (2048-byte assign payload plus the shard header).
+        b.pool(
+            &shard_rq_pool_name(s),
+            Placement::Untrusted,
+            shard_pool_nodes,
+            2304,
+        );
+        b.pool(
+            &shard_reply_pool_name(s),
+            Placement::Untrusted,
+            shard_pool_nodes,
+            2304,
+        );
+        b.port_bound::<ShardMsg<'static>>(
+            &shard_rq_name(s),
+            &shard_rq_pool_name(s),
+            shard_pool_nodes as usize,
+            &xmpp_slots,
+            &[shard_slot],
+        );
+        for (i, &xmpp_slot) in xmpp_slots.iter().enumerate() {
+            b.port_bound::<ShardReply<'static>>(
+                &shard_reply_name(s, i),
+                &shard_reply_pool_name(s),
+                shard_pool_nodes as usize,
+                &[shard_slot],
+                &[xmpp_slot],
+            );
         }
     }
 

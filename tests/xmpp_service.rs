@@ -4,7 +4,7 @@
 //! between the three servers.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use enet::{NetBackend, RecvOutcome, SimNet, SocketId};
 use sgx_sim::{CostModel, Platform};
@@ -16,6 +16,11 @@ use xmpp::{start_service, Assignment, XmppConfig};
 fn platform() -> Platform {
     Platform::builder().cost_model(CostModel::zero()).build()
 }
+
+/// Upper bound on any single blocking wait in the scripted clients: far
+/// beyond any healthy round trip, tight enough to turn a service hang
+/// into a diagnosable panic instead of a CI timeout.
+const WATCHDOG: Duration = Duration::from_secs(30);
 
 /// A deliberately low-level scripted client (no emulator involved).
 struct RawClient {
@@ -32,10 +37,20 @@ impl RawClient {
         port: u16,
         user: &str,
     ) -> Self {
+        // Watchdog: a server that never comes up (or a lost handshake)
+        // must fail the test loudly instead of spinning forever — the
+        // seed's rare 1-CPU hang presented as exactly such a silent spin.
+        let deadline = Instant::now() + WATCHDOG;
         let socket = loop {
             match net.connect(port) {
                 Ok(s) => break s,
-                Err(_) => std::thread::yield_now(),
+                Err(_) => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "watchdog: server never accepted {user}'s connection"
+                    );
+                    std::thread::yield_now();
+                }
             }
         };
         let mut out = Vec::new();
@@ -66,6 +81,7 @@ impl RawClient {
     }
 
     fn next_frame_raw(&mut self) -> Vec<u8> {
+        let deadline = Instant::now() + WATCHDOG;
         let mut buf = [0u8; 1024];
         loop {
             if let Some(frame) = self.frames.next_frame().expect("sane frames") {
@@ -73,7 +89,13 @@ impl RawClient {
             }
             match self.net.recv(self.socket, &mut buf).expect("socket open") {
                 RecvOutcome::Data(n) => self.frames.push(&buf[..n]),
-                RecvOutcome::WouldBlock => std::thread::yield_now(),
+                RecvOutcome::WouldBlock => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "watchdog: no frame arrived within {WATCHDOG:?}"
+                    );
+                    std::thread::yield_now();
+                }
                 RecvOutcome::Eof => panic!("unexpected EOF"),
             }
         }

@@ -1,0 +1,328 @@
+//! Integration: the sharded XMPP directory — partition properties,
+//! cross-shard delivery under connection churn, and the deployment-level
+//! cardinality proofs of the shard ports across configuration
+//! permutations.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use enet::{NetBackend, RecvOutcome, SimNet, SocketId};
+use sgx_sim::{CostModel, Platform};
+use xmpp::client::{run_o2o, O2oWorkload};
+use xmpp::stanza::Stanza;
+use xmpp::wire::{encode_frame, ConnCrypto, FrameBuf};
+use xmpp::{shard_of, start_service, Assignment, XmppConfig};
+
+fn platform() -> Platform {
+    Platform::builder().cost_model(CostModel::zero()).build()
+}
+
+const WATCHDOG: Duration = Duration::from_secs(30);
+
+/// Minimal scripted client (watchdogged, like `tests/xmpp_service.rs`).
+struct RawClient {
+    net: Arc<dyn NetBackend>,
+    socket: SocketId,
+    crypto: ConnCrypto,
+    frames: FrameBuf,
+}
+
+impl RawClient {
+    fn connect(net: Arc<dyn NetBackend>, costs: &sgx_sim::CostHandle, user: &str) -> Self {
+        let deadline = Instant::now() + WATCHDOG;
+        let socket = loop {
+            match net.connect(5222) {
+                Ok(s) => break s,
+                Err(_) => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "watchdog: server never accepted {user}'s connection"
+                    );
+                    std::thread::yield_now();
+                }
+            }
+        };
+        let mut out = Vec::new();
+        encode_frame(
+            Stanza::Stream {
+                from: user.into(),
+                to: "srv".into(),
+            }
+            .to_xml()
+            .as_bytes(),
+            &mut out,
+        );
+        net.send(socket, &out).expect("connected");
+        let mut client = RawClient {
+            net,
+            socket,
+            crypto: ConnCrypto::for_user(user, costs.clone()),
+            frames: FrameBuf::new(),
+        };
+        let frame = client.next_frame_raw();
+        let xml = String::from_utf8(frame).expect("plaintext handshake");
+        assert!(
+            matches!(Stanza::parse(&xml), Ok(Stanza::StreamOk { .. })),
+            "got {xml}"
+        );
+        client
+    }
+
+    fn next_frame_raw(&mut self) -> Vec<u8> {
+        let deadline = Instant::now() + WATCHDOG;
+        let mut buf = [0u8; 1024];
+        loop {
+            if let Some(frame) = self.frames.next_frame().expect("sane frames") {
+                return frame;
+            }
+            match self.net.recv(self.socket, &mut buf).expect("socket open") {
+                RecvOutcome::Data(n) => self.frames.push(&buf[..n]),
+                RecvOutcome::WouldBlock => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "watchdog: no frame arrived within {WATCHDOG:?}"
+                    );
+                    std::thread::yield_now();
+                }
+                RecvOutcome::Eof => panic!("unexpected EOF"),
+            }
+        }
+    }
+
+    fn send(&mut self, stanza: &Stanza) {
+        let sealed = self.crypto.seal_stanza(&stanza.to_xml());
+        let mut out = Vec::new();
+        encode_frame(&sealed, &mut out);
+        let mut sent = 0;
+        while sent < out.len() {
+            sent += self
+                .net
+                .send(self.socket, &out[sent..])
+                .expect("socket open");
+        }
+    }
+
+    fn recv(&mut self) -> Stanza {
+        let frame = self.next_frame_raw();
+        let xml = self.crypto.open_stanza(&frame).expect("our key");
+        Stanza::parse(&xml).expect("valid stanza")
+    }
+
+    fn close(self) {
+        let _ = self.net.close(self.socket);
+    }
+}
+
+#[test]
+fn user_hash_partition_is_stable_and_total() {
+    // Every name maps to exactly one shard, the mapping never changes
+    // between calls, and a realistic population touches every shard.
+    for shards in [1usize, 2, 4, 8] {
+        let mut hit = vec![0u32; shards];
+        for i in 0..10_000 {
+            let name = format!("user-{i}");
+            let s = shard_of(&name, shards);
+            assert!(s < shards, "{name} mapped outside the partition: {s}");
+            assert_eq!(s, shard_of(&name, shards), "mapping must be stable");
+            hit[s] += 1;
+        }
+        for (s, &count) in hit.iter().enumerate() {
+            assert!(
+                count > 0,
+                "shard {s} of {shards} never hit — the partition is not total in practice"
+            );
+        }
+    }
+    // Degenerate shard counts clamp instead of dividing by zero.
+    assert_eq!(shard_of("anyone", 0), 0);
+}
+
+#[test]
+fn cross_shard_delivery_survives_connection_churn() {
+    // Users hash to different shards (and instances); one-to-one
+    // delivery must work across shard boundaries, keep working after the
+    // recipient reconnects (the re-registration supersedes), and the
+    // stale disconnect of the old socket must not erase the fresh entry.
+    let p = platform();
+    let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+    let svc = start_service(
+        &p,
+        net.clone(),
+        &XmppConfig {
+            instances: 2,
+            shards: 4,
+            ..XmppConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut alice = RawClient::connect(net.clone(), &p.costs(), "alice");
+    for round in 0..3 {
+        // A fresh bob each round: connect, receive one message, vanish.
+        let mut bob = RawClient::connect(net.clone(), &p.costs(), "bob");
+        alice.send(&Stanza::Message {
+            to: "bob".into(),
+            from: String::new(),
+            body: format!("round {round}"),
+        });
+        match bob.recv() {
+            Stanza::Message { from, body, .. } => {
+                assert_eq!(from, "alice");
+                assert_eq!(body, format!("round {round}"));
+            }
+            other => panic!("expected message, got {other:?}"),
+        }
+        bob.close();
+        // The next connect may race the close's Unregister; the shard
+        // ignores a stale unregister (socket mismatch), so the fresh
+        // registration survives either ordering.
+    }
+    alice.close();
+    svc.shutdown();
+}
+
+#[test]
+fn shard_ports_prove_cardinality_across_deployment_permutations() {
+    // Permute the deployment shape; in every configuration the declared
+    // shard ports must pass the builder's cardinality inference with
+    // zero runtime violations, and the per-shard metrics must be
+    // registered.
+    let cases: &[(usize, usize, bool, Assignment)] = &[
+        (1, 0, true, Assignment::RoundRobin),
+        (2, 0, true, Assignment::RoundRobin),
+        (2, 1, true, Assignment::RoundRobin),
+        (3, 6, true, Assignment::ShardAffine),
+        (2, 4, false, Assignment::ShardAffine),
+    ];
+    for &(instances, shards, trusted, assignment) in cases {
+        let p = platform();
+        let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+        let svc = start_service(
+            &p,
+            net.clone(),
+            &XmppConfig {
+                instances,
+                shards,
+                trusted,
+                assignment,
+                ..XmppConfig::default()
+            },
+        )
+        .unwrap();
+        // Drive a small registration/messaging mix through the shards.
+        let result = run_o2o(
+            net,
+            &p.costs(),
+            &O2oWorkload {
+                clients: 8,
+                duration: Duration::from_millis(500),
+                driver_threads: 2,
+                ..O2oWorkload::default()
+            },
+        );
+        assert_eq!(
+            result.connected, 8,
+            "({instances} instances, {shards} shards, trusted {trusted}): \
+             every client must register through its shard"
+        );
+        let report = svc.shutdown();
+        let ctx = format!("({instances} instances, {shards} shards, trusted {trusted})");
+        assert_eq!(
+            report.metrics.counter("mbox_cardinality_violations"),
+            Some(0),
+            "{ctx}: proven shard ports must never see a cardinality violation"
+        );
+        let effective_shards = if shards == 0 { instances } else { shards };
+        if instances == 1 {
+            // Single instance: request and reply sides are both 1:1, so
+            // the builder must have proven SPSC mboxes somewhere.
+            assert!(
+                report.metrics.counter("mbox_spsc_selected").unwrap_or(0) >= 1,
+                "{ctx}: single-instance shard ports must prove SPSC"
+            );
+        } else {
+            // Multiple producers, one consuming shard: MPSC proof.
+            assert!(
+                report.metrics.counter("mbox_mpsc_selected").unwrap_or(0) >= 1,
+                "{ctx}: multi-instance shard request ports must prove MPSC"
+            );
+        }
+        for s in 0..effective_shards {
+            assert!(
+                report
+                    .metrics
+                    .gauge(&format!("xmpp_shard_{s}_sessions"))
+                    .is_some(),
+                "{ctx}: shard {s} must register its session gauge"
+            );
+            assert!(
+                report
+                    .metrics
+                    .hist(&format!("xmpp_shard_{s}_queue_delay_ns"))
+                    .is_some(),
+                "{ctx}: shard {s} must register its queue-delay histogram"
+            );
+        }
+        assert!(
+            report.metrics.gauge("xmpp_shard_imbalance").is_some(),
+            "{ctx}: the connector must register the imbalance gauge"
+        );
+    }
+}
+
+#[test]
+fn shard_session_gauges_track_live_population() {
+    // Gauges rise while clients are registered and fall back on clean
+    // disconnect — summed across shards they equal the live population.
+    let p = platform();
+    let net: Arc<dyn NetBackend> = Arc::new(SimNet::new(p.costs()));
+    let svc = start_service(
+        &p,
+        net.clone(),
+        &XmppConfig {
+            instances: 2,
+            shards: 4,
+            ..XmppConfig::default()
+        },
+    )
+    .unwrap();
+    let costs = p.costs();
+    let clients: Vec<RawClient> = (0..6)
+        .map(|i| RawClient::connect(net.clone(), &costs, &format!("pop-{i}")))
+        .collect();
+    // A connected client's registration is already shard-confirmed (the
+    // handshake ack waits for it), so the gauges are current.
+    let live: u64 = (0..4)
+        .map(|s| {
+            svc.runtime
+                .metrics()
+                .gauge(&format!("xmpp_shard_{s}_sessions"))
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(live, 6, "summed shard gauges must equal the population");
+    for c in clients {
+        c.close();
+    }
+    // Unregisters are asynchronous; poll until they land.
+    let deadline = Instant::now() + WATCHDOG;
+    loop {
+        let live: u64 = (0..4)
+            .map(|s| {
+                svc.runtime
+                    .metrics()
+                    .gauge(&format!("xmpp_shard_{s}_sessions"))
+                    .unwrap_or(0)
+            })
+            .sum();
+        if live == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "watchdog: disconnects never drained the gauges (live {live})"
+        );
+        std::thread::yield_now();
+    }
+    svc.shutdown();
+}
