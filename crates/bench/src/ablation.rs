@@ -314,7 +314,9 @@ mod tests {
     #[test]
     fn mbox_substrate_is_competitive() {
         if cfg!(debug_assertions) {
-            eprintln!("skipped: ops/s ratio assertions need a release build (cargo test --release)");
+            eprintln!(
+                "skipped: ops/s ratio assertions need a release build (cargo test --release)"
+            );
             return;
         }
         let report = substrate(Scale::Quick);

@@ -50,6 +50,34 @@ fn main() {
         xmpp_load::record(&label, scale, sessions, shards);
         return;
     }
+    // `figures bench-net [--label <text>] [--sessions <n>]
+    // [--backend sim|tcp|epoll]...` runs one w1 closed-loop cell per
+    // backend (all available by default) and appends the comparison
+    // record to BENCH_net.json.
+    if args.iter().any(|a| a == "bench-net") {
+        let label = label();
+        let sessions = flag("--sessions").and_then(|s| s.parse::<u64>().ok());
+        let mut backends: Vec<xmpp_load::Backend> = args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == "--backend")
+            .filter_map(|(i, _)| args.get(i + 1))
+            .map(|s| {
+                xmpp_load::Backend::parse(s)
+                    .unwrap_or_else(|| panic!("unknown backend {s:?} (sim|tcp|epoll)"))
+            })
+            .collect();
+        if backends.is_empty() {
+            backends = xmpp_load::Backend::available();
+        }
+        println!(
+            "xmpp load backend comparison (label {label:?}, backends {:?}, host cpus: {})",
+            backends.iter().map(|b| b.name()).collect::<Vec<_>>(),
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        );
+        xmpp_load::record_net(&label, scale, sessions, &backends);
+        return;
+    }
     let mut wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))

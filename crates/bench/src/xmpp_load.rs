@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use enet::{NetBackend, NetError, RecvOutcome, SimNet, SocketId};
+use enet::{NetBackend, NetError, RecvOutcome, SimNet, SocketId, TcpLoopback};
 use sgx_sim::Platform;
 use xmpp::stanza::Stanza;
 use xmpp::wire::{encode_frame, ConnCrypto, FrameBuf};
@@ -44,6 +44,63 @@ pub const MESSAGE_BYTES: usize = 150;
 
 /// The trajectory file at the workspace root.
 pub const BENCH_FILE: &str = "BENCH_xmpp_load.json";
+
+/// The backend-comparison trajectory file (`figures bench-net`).
+pub const BENCH_NET_FILE: &str = "BENCH_net.json";
+
+/// Which [`NetBackend`] carries a cell's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// In-process simulated TCP with a syscall cost model (default —
+    /// deterministic and scalable).
+    Sim,
+    /// Real loopback `std::net` sockets, polled by READER/WRITER.
+    Tcp,
+    /// Real loopback sockets with edge-triggered `epoll` readiness
+    /// (Linux only).
+    Epoll,
+}
+
+impl Backend {
+    /// The label used in series names and `--backend` arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Tcp => "tcp",
+            Backend::Epoll => "epoll",
+        }
+    }
+
+    /// Parse a `--backend` argument.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "sim" => Some(Backend::Sim),
+            "tcp" => Some(Backend::Tcp),
+            "epoll" => Some(Backend::Epoll),
+            _ => None,
+        }
+    }
+
+    /// Backends available on this host (epoll only on Linux).
+    pub fn available() -> Vec<Backend> {
+        let mut v = vec![Backend::Sim, Backend::Tcp];
+        if cfg!(target_os = "linux") {
+            v.push(Backend::Epoll);
+        }
+        v
+    }
+
+    fn create(self, platform: &Platform) -> Arc<dyn NetBackend> {
+        match self {
+            Backend::Sim => Arc::new(SimNet::new(platform.costs())),
+            Backend::Tcp => Arc::new(TcpLoopback::new(platform.costs())),
+            #[cfg(target_os = "linux")]
+            Backend::Epoll => Arc::new(enet::EpollBackend::new(platform.costs())),
+            #[cfg(not(target_os = "linux"))]
+            Backend::Epoll => panic!("the epoll backend requires Linux"),
+        }
+    }
+}
 
 /// Inter-session gap distribution (microseconds), sampled per slot
 /// between one session's disconnect and the next connect.
@@ -99,6 +156,8 @@ pub struct LoadConfig {
     pub driver_threads: usize,
     /// Abort the cell if it has not finished by this wall-clock bound.
     pub deadline: Duration,
+    /// The network backend carrying the cell's traffic.
+    pub backend: Backend,
 }
 
 impl Default for LoadConfig {
@@ -114,6 +173,7 @@ impl Default for LoadConfig {
             shards: 0,
             driver_threads: 2,
             deadline: Duration::from_secs(600),
+            backend: Backend::Sim,
         }
     }
 }
@@ -444,8 +504,7 @@ impl Slot {
 /// the deadline) and return the measurements.
 pub fn run_cell(cfg: &LoadConfig) -> CellResult {
     let platform = Platform::builder().build();
-    let sim = SimNet::new(platform.costs());
-    let net: Arc<dyn NetBackend> = Arc::new(sim);
+    let net: Arc<dyn NetBackend> = cfg.backend.create(&platform);
     let svc = start_service(
         &platform,
         net.clone(),
@@ -611,6 +670,60 @@ pub fn record(
     append_trajectory(
         BENCH_FILE,
         "xmpp_load_closed_loop_sessions",
+        "sessions_per_second_per_core",
+        MESSAGE_BYTES,
+        label,
+        per_cell,
+        &series,
+    );
+    series
+}
+
+/// Run a w1 closed-loop cell per backend and append one labelled record
+/// to `BENCH_net.json` — the sim / tcp / epoll comparison trajectory.
+/// `sessions` overrides the per-backend target (`None` uses 5 000 quick,
+/// 20 000 full; real-socket cells churn one OS connection per session,
+/// so the default stays well clear of loopback TIME_WAIT exhaustion).
+pub fn record_net(
+    label: &str,
+    scale: Scale,
+    sessions: Option<u64>,
+    backends: &[Backend],
+) -> Vec<(String, f64)> {
+    let per_cell = sessions.unwrap_or_else(|| scale.ops(5_000, 20_000));
+    let mut series = Vec::new();
+    for &backend in backends {
+        let cfg = LoadConfig {
+            sessions: per_cell,
+            backend,
+            ..LoadConfig::default()
+        };
+        let r = run_cell(&cfg);
+        let name = backend.name();
+        if !r.completed {
+            eprintln!(
+                "   ({name} hit the deadline at {} of {} sessions)",
+                r.sessions, per_cell
+            );
+        }
+        println!(
+            "  {name}: {} sessions in {:.2?} — {:.0} sessions/s/core, \
+             p50 {:.3} ms, p99 {:.3} ms, {:.0} stanzas/s",
+            r.sessions,
+            r.elapsed,
+            r.sessions_per_core(),
+            r.p50_ms,
+            r.p99_ms,
+            r.stanzas_per_sec()
+        );
+        series.push((format!("{name}_sessions_per_core"), r.sessions_per_core()));
+        series.push((format!("{name}_p50_ms"), r.p50_ms));
+        series.push((format!("{name}_p99_ms"), r.p99_ms));
+        series.push((format!("{name}_stanzas_per_sec"), r.stanzas_per_sec()));
+    }
+    append_trajectory(
+        BENCH_NET_FILE,
+        "xmpp_load_network_backends",
         "sessions_per_second_per_core",
         MESSAGE_BYTES,
         label,

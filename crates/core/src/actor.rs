@@ -265,6 +265,15 @@ impl Ctx {
         self.wake.sleepers()
     }
 
+    /// The runtime's wake hub. System actors that block on an external
+    /// channel (e.g. a network reader parking inside `epoll_wait`) use
+    /// this to register a [`crate::wake::HubWaker`] and to take part in
+    /// the eventcount handshake (`prepare_park` / `cancel_park`) so that
+    /// message enqueues interrupt their wait.
+    pub fn wake_hub(&self) -> &Arc<crate::wake::WakeHub> {
+        &self.wake
+    }
+
     /// The deployment's observability hub: trace-ring registry plus the
     /// [`obs::MetricsRegistry`] every subsystem registers its counters
     /// and histograms with. System actors (notably

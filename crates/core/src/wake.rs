@@ -33,11 +33,26 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 thread_local! {
     static CURRENT: RefCell<Option<Arc<WakeHub>>> = const { RefCell::new(None) };
+}
+
+/// An external wake channel a sleeper may block on *instead of* the
+/// hub's condition variable — e.g. an `eventfd` registered in an epoll
+/// set, so a network actor can park inside `epoll_wait` and still be
+/// woken by a message enqueue.
+///
+/// Registered via [`WakeHub::register_waker`]; [`WakeHub::notify`] calls
+/// [`HubWaker::wake`] on every registered waker whenever it observes
+/// sleepers. Implementations must make `wake` cheap when nobody is
+/// blocked on the channel (the usual pattern is an `armed` flag checked
+/// with one atomic swap), because notify runs on the message send path.
+pub trait HubWaker: Send + Sync + std::fmt::Debug {
+    /// Wake whatever is blocked on this channel, if anything.
+    fn wake(&self);
 }
 
 /// Event counter + sleeper registry coordinating worker parking.
@@ -53,6 +68,10 @@ pub struct WakeHub {
     /// Notifies that actually woke sleepers (epoch bumps). Shared with
     /// the deployment's metrics registry as `wake_notifies`.
     notifies: Arc<obs::Counter>,
+    /// External wake channels (e.g. network eventfds), invoked alongside
+    /// the condvar broadcast. Read-locked only on the notify slow path
+    /// (sleepers observed), so the busy-system send path never touches it.
+    wakers: RwLock<Vec<Arc<dyn HubWaker>>>,
 }
 
 impl WakeHub {
@@ -79,8 +98,26 @@ impl WakeHub {
         }
         self.epoch.fetch_add(1, Ordering::SeqCst);
         self.notifies.inc();
-        let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
-        self.cond.notify_all();
+        {
+            let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.cond.notify_all();
+        }
+        // Sleepers blocked on an external channel (epoll_wait on an
+        // eventfd) never touch the condvar; poke their wakers too.
+        let wakers = self.wakers.read().unwrap_or_else(|e| e.into_inner());
+        for w in wakers.iter() {
+            w.wake();
+        }
+    }
+
+    /// Add an external wake channel; every subsequent [`WakeHub::notify`]
+    /// that observes sleepers also calls `waker.wake()`. Wakers are never
+    /// removed — they live as long as the runtime that registered them.
+    pub fn register_waker(&self, waker: Arc<dyn HubWaker>) {
+        self.wakers
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(waker);
     }
 
     /// Notifies that observed sleepers and bumped the epoch.
@@ -215,6 +252,27 @@ mod tests {
             );
         });
         assert_eq!(hub.sleepers(), 0);
+    }
+
+    #[derive(Debug, Default)]
+    struct CountingWaker(AtomicUsize);
+    impl HubWaker for CountingWaker {
+        fn wake(&self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn registered_waker_fires_only_with_sleepers() {
+        let hub = WakeHub::new();
+        let waker = Arc::new(CountingWaker::default());
+        hub.register_waker(waker.clone());
+        hub.notify();
+        assert_eq!(waker.0.load(Ordering::SeqCst), 0, "no sleeper, no wake");
+        let seen = hub.prepare_park();
+        hub.notify();
+        assert_eq!(waker.0.load(Ordering::SeqCst), 1, "sleeper observed");
+        assert!(hub.park(seen, None), "epoch moved; park returns at once");
     }
 
     #[test]

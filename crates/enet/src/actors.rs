@@ -21,14 +21,39 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Duration;
 
 use eactors::actor::{Actor, Control, Ctx};
 use eactors::arena::{Mbox, Node};
+use eactors::obs::Counter;
 use eactors::wire::{Port, PortStats, Wire};
 
-use crate::backend::{ListenerId, NetBackend, RecvOutcome, SocketId};
+use crate::backend::{
+    Interest, ListenerId, NetBackend, ReadyEvent, ReadySet, RecvOutcome, SocketId,
+};
 use crate::dir::{MboxDirectory, MboxRef};
 use crate::msg::{tag, NetMsg, DATA_HEADER};
+
+/// Consecutive empty passes before a readiness-mode READER/WRITER
+/// blocks in `wait_ready` instead of returning immediately.
+const IDLE_STREAK_PARK: u32 = 64;
+/// Upper bound on one blocking `wait_ready`. Socket edges and the
+/// hub-registered eventfd waker both end the sleep early; the timeout
+/// only bounds wake-ups from threads outside the runtime (which do not
+/// notify the hub).
+const PARK_TIMEOUT: Duration = Duration::from_millis(5);
+/// Readiness events collected per pass.
+const EVENT_BATCH: usize = 64;
+/// Nodes received from one ready socket in one pass before it is
+/// re-queued behind its peers (firehose fairness).
+const READ_BUDGET: usize = 32;
+/// Parked (partially written) nodes per socket before further writes to
+/// it are dropped and counted rather than queued without bound.
+const PENDING_CAP: usize = 1024;
+
+fn event_buf() -> Vec<ReadyEvent> {
+    vec![ReadyEvent::default(); EVENT_BATCH]
+}
 
 /// The typed port all networking traffic flows through: a
 /// [`Port`] carrying [`NetMsg`] frames.
@@ -169,20 +194,36 @@ impl Actor for Opener {
     }
 }
 
+struct AcceptWatch {
+    listener: u64,
+    reply: MboxRef,
+    /// In readiness mode: an accept-edge fired (or the watch is new) and
+    /// the backlog has not been drained since.
+    ready: bool,
+}
+
 /// The ACCEPTER: polls watched server sockets and announces new
 /// connections.
+///
+/// In readiness mode (a backend with [`NetBackend::ready_set`]) each
+/// pass drains only the listeners whose accept-edge fired, looping each
+/// backlog until empty; with a polling backend every watched listener
+/// is tried every pass.
 pub struct Accepter {
     net: Arc<dyn NetBackend>,
     requests: NetPort,
     dir: Arc<MboxDirectory>,
     replies: Arc<PortStats>,
-    watches: Vec<(u64, MboxRef)>,
+    watches: Vec<AcceptWatch>,
+    ready: Option<Box<dyn ReadySet>>,
+    events: Vec<ReadyEvent>,
 }
 
 impl std::fmt::Debug for Accepter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Accepter")
             .field("watches", &self.watches.len())
+            .field("readiness", &self.ready.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -195,41 +236,90 @@ impl Accepter {
         dir: Arc<MboxDirectory>,
         replies: Arc<PortStats>,
     ) -> Self {
+        let ready = net.ready_set();
         Accepter {
             net,
             requests,
             dir,
             replies,
             watches: Vec::new(),
+            ready,
+            events: event_buf(),
         }
     }
 }
 
 impl Actor for Accepter {
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
-        let watches = &mut self.watches;
-        let mut worked = self.requests.drain(|msg| {
+        let Accepter {
+            requests,
+            watches,
+            ready,
+            events,
+            ..
+        } = self;
+        let mut worked = requests.drain(|msg| {
             if let NetMsg::WatchListener { listener, reply } = msg {
-                watches.push((listener, reply));
+                if let Some(set) = ready.as_deref_mut() {
+                    // Errors surface as accept failures below.
+                    let _ = set.watch_listener(ListenerId(listener));
+                }
+                watches.push(AcceptWatch {
+                    listener,
+                    reply,
+                    ready: true,
+                });
             }
         }) > 0;
+        // Collect accept-edges without blocking (the ACCEPTER shares its
+        // worker with OPENER/CLOSER, so it never sleeps in wait_ready).
+        if let Some(set) = ready.as_deref_mut() {
+            if let Ok(n) = set.wait_ready(events, Some(Duration::ZERO)) {
+                for ev in &events[..n] {
+                    if ev.listener {
+                        for w in watches.iter_mut() {
+                            if w.listener == ev.id {
+                                w.ready = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let readiness = self.ready.is_some();
         let replies = &self.replies;
-        self.watches.retain(|&(listener, reply)| {
-            let Some(mbox) = self.dir.get(reply) else {
+        self.watches.retain_mut(|w| {
+            let Some(mbox) = self.dir.get(w.reply) else {
+                if let Some(set) = self.ready.as_deref_mut() {
+                    set.unwatch_listener(ListenerId(w.listener));
+                }
                 return false;
             };
+            if readiness && !w.ready {
+                return true;
+            }
             loop {
-                match self.net.accept(ListenerId(listener)) {
+                match self.net.accept(ListenerId(w.listener)) {
                     Ok(Some(SocketId(socket))) => {
                         worked = true;
+                        let listener = w.listener;
                         if !send_msg(&mbox, &NetMsg::Accepted { listener, socket }, replies) {
                             // Reply mbox congested: the connection stays in
                             // our hands; close it rather than leak it.
                             let _ = self.net.close(SocketId(socket));
                         }
                     }
-                    Ok(None) => return true,
-                    Err(_) => return false, // listener closed
+                    Ok(None) => {
+                        // Backlog drained: the next edge re-arms us.
+                        w.ready = false;
+                        return true;
+                    }
+                    Err(_) => {
+                        if let Some(set) = self.ready.as_deref_mut() {
+                            set.unwatch_listener(ListenerId(w.listener));
+                        }
+                        return false; // listener closed
+                    }
                 }
             }
         });
@@ -242,35 +332,93 @@ impl Actor for Accepter {
 }
 
 struct ReadWatch {
-    socket: u64,
     reply: MboxRef,
+    /// Readiness mode: the socket sits in `ready_queue` (or must be
+    /// re-queued); cleared when a drain hits `WouldBlock`.
+    queued: bool,
 }
 
-/// The READER: polls subscribed sockets and forwards received bytes.
+/// Subscribe `socket` (shared by `WatchSocket` and `WatchBatch`).
+///
+/// A new watch always starts queued-ready: in readiness mode the first
+/// pass drains it until `WouldBlock`, which makes any edge that fired
+/// before the watch existed harmless.
+fn add_read_watch(
+    watches: &mut HashMap<u64, ReadWatch>,
+    ready: &mut Option<Box<dyn ReadySet>>,
+    ready_queue: &mut VecDeque<u64>,
+    socket: u64,
+    reply: MboxRef,
+) {
+    if let Some(set) = ready.as_deref_mut() {
+        // A failed watch (socket already gone) still gets an entry: the
+        // first drain observes the error and reports `SocketClosed`.
+        let _ = set.watch(SocketId(socket), Interest::Read);
+    }
+    let entry = watches.entry(socket).or_insert(ReadWatch {
+        reply,
+        queued: false,
+    });
+    entry.reply = reply;
+    if !entry.queued {
+        entry.queued = true;
+        ready_queue.push_back(socket);
+    }
+}
+
+/// The READER: forwards received bytes from subscribed sockets.
 ///
 /// Supports the paper's batch pattern: an application subscribes all of
-/// its clients with one `WatchBatch` (or one `WatchSocket` each) and the
-/// READER services all of them every pass.
+/// its clients with one `WatchBatch` (or one `WatchSocket` each).
 ///
 /// Zero-copy receive path: a node is popped from the reply mbox's arena,
 /// the `Data` header written into it, and the kernel reads **directly
 /// into the node payload** — the application then decodes the payload in
 /// place. No intermediate buffer exists anywhere on the path.
+///
+/// # Polling vs. readiness
+///
+/// With a polling backend every watched socket takes one `recv` per
+/// pass. When the backend provides a [`NetBackend::ready_set`], the
+/// READER instead drives edge-triggered readiness events: only sockets
+/// whose edge fired are drained (until `WouldBlock`, with a per-pass
+/// fairness budget), and after [`IDLE_STREAK_PARK`] empty passes the
+/// READER *parks inside* [`ReadySet::wait_ready`] — registered as a hub
+/// sleeper, with the set's eventfd waker ending the sleep on any mbox
+/// enqueue. The epoll sleep replaces the worker's condvar park, so the
+/// actor always reports [`Control::Busy`] in readiness mode (a
+/// condvar-parked worker could not be woken by socket edges).
+///
+/// # Backpressure
+///
+/// A socket whose reply mbox has no free node (or rejects the send)
+/// stays in the ready queue and is retried next pass — TCP bytes are
+/// never discarded once read. Failed deliveries of already-read frames
+/// are counted in `net_dropped_reads` (see [`Reader::bind_obs`]).
 pub struct Reader {
     net: Arc<dyn NetBackend>,
     requests: NetPort,
     dir: Arc<MboxDirectory>,
     replies: Arc<PortStats>,
-    watches: Vec<ReadWatch>,
+    watches: HashMap<u64, ReadWatch>,
     /// `Unwatched` acks still owed; retried when the reply mbox is
     /// congested so the confirmation can never be lost.
     acks: Vec<(u64, MboxRef)>,
+    ready: Option<Box<dyn ReadySet>>,
+    /// Sockets with an un-drained edge, serviced round-robin.
+    ready_queue: VecDeque<u64>,
+    events: Vec<ReadyEvent>,
+    /// Data frames read from a socket but undeliverable to the reply
+    /// mbox (mbox full after the node was filled).
+    dropped: Arc<Counter>,
+    idle_streak: u32,
 }
 
 impl std::fmt::Debug for Reader {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Reader")
             .field("watches", &self.watches.len())
+            .field("readiness", &self.ready.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -284,103 +432,291 @@ impl Reader {
         dir: Arc<MboxDirectory>,
         replies: Arc<PortStats>,
     ) -> Self {
+        let ready = net.ready_set();
         Reader {
             net,
             requests,
             dir,
             replies,
-            watches: Vec::new(),
+            watches: HashMap::new(),
             acks: Vec::new(),
+            ready,
+            ready_queue: VecDeque::new(),
+            events: event_buf(),
+            dropped: Arc::new(Counter::default()),
+            idle_streak: 0,
         }
     }
-}
 
-impl Actor for Reader {
-    fn body(&mut self, _ctx: &mut Ctx) -> Control {
-        let watches = &mut self.watches;
-        let acks = &mut self.acks;
-        let mut worked = self.requests.drain(|msg| match msg {
+    /// Count undeliverable data frames in `registry` as
+    /// `net_dropped_reads` (shared with every other reader that binds).
+    pub fn bind_obs(&mut self, registry: &eactors::obs::MetricsRegistry) {
+        self.dropped = registry.counter("net_dropped_reads");
+    }
+
+    fn drain_requests(&mut self) -> bool {
+        let Reader {
+            requests,
+            watches,
+            acks,
+            ready,
+            ready_queue,
+            ..
+        } = self;
+        requests.drain(|msg| match msg {
             NetMsg::WatchSocket { socket, reply } => {
-                watches.push(ReadWatch { socket, reply });
+                add_read_watch(watches, ready, ready_queue, socket, reply);
             }
             NetMsg::WatchBatch { entries } => {
                 // The paper's batch request: one message subscribes a
                 // whole private client list.
-                watches.extend(
-                    entries
-                        .iter()
-                        .map(|(socket, reply)| ReadWatch { socket, reply }),
-                );
+                for (socket, reply) in entries.iter() {
+                    add_read_watch(watches, ready, ready_queue, socket, reply);
+                }
             }
             NetMsg::Unwatch { socket } => {
-                // Ack each watch actually removed, to the mbox the watch
+                // Ack the watch actually removed, to the mbox the watch
                 // named. Any bytes the socket produced were delivered in
                 // earlier passes, so FIFO on the reply mbox gives the
                 // subscriber a hard Data-before-Unwatched ordering.
-                for w in watches.iter() {
-                    if w.socket == socket {
-                        acks.push((socket, w.reply));
+                if let Some(w) = watches.remove(&socket) {
+                    acks.push((socket, w.reply));
+                    if let Some(set) = ready.as_deref_mut() {
+                        set.unwatch(SocketId(socket));
                     }
                 }
-                watches.retain(|w| w.socket != socket);
             }
             _ => {}
-        }) > 0;
-        let net = &self.net;
-        let dir = &self.dir;
-        let replies = &self.replies;
-        if !acks.is_empty() {
-            worked = true;
-            acks.retain(|&(socket, reply)| match dir.get(reply) {
-                Some(mbox) => !send_msg(&mbox, &NetMsg::Unwatched { socket }, replies),
-                None => false, // subscriber gone; nobody left to tell
-            });
+        }) > 0
+    }
+
+    fn flush_acks(&mut self) -> bool {
+        if self.acks.is_empty() {
+            return false;
         }
-        self.watches.retain(|w| {
+        let (dir, replies) = (&self.dir, &self.replies);
+        self.acks.retain(|&(socket, reply)| match dir.get(reply) {
+            Some(mbox) => !send_msg(&mbox, &NetMsg::Unwatched { socket }, replies),
+            None => false, // subscriber gone; nobody left to tell
+        });
+        true
+    }
+
+    /// Collect readiness events (readiness mode only), enqueueing each
+    /// not-yet-queued socket. Returns whether any event arrived.
+    fn collect_events(&mut self, timeout: Option<Duration>) -> bool {
+        let Some(set) = self.ready.as_deref_mut() else {
+            return false;
+        };
+        let Ok(n) = set.wait_ready(&mut self.events, timeout) else {
+            return false;
+        };
+        for ev in &self.events[..n] {
+            if ev.listener {
+                continue;
+            }
+            if let Some(w) = self.watches.get_mut(&ev.id) {
+                if !w.queued {
+                    w.queued = true;
+                    self.ready_queue.push_back(ev.id);
+                }
+            }
+        }
+        n > 0
+    }
+
+    /// Drain every currently-queued socket once (readiness mode).
+    fn service_ready(&mut self) -> bool {
+        let mut worked = false;
+        let rounds = self.ready_queue.len();
+        for _ in 0..rounds {
+            let Some(socket) = self.ready_queue.pop_front() else {
+                break;
+            };
+            let Some(w) = self.watches.get_mut(&socket) else {
+                continue; // unwatched while queued
+            };
+            let Some(mbox) = self.dir.get(w.reply) else {
+                self.watches.remove(&socket);
+                if let Some(set) = self.ready.as_deref_mut() {
+                    set.unwatch(SocketId(socket));
+                }
+                continue;
+            };
+            if mbox.arena().payload_size() <= DATA_HEADER {
+                self.watches.remove(&socket);
+                if let Some(set) = self.ready.as_deref_mut() {
+                    set.unwatch(SocketId(socket));
+                }
+                continue;
+            }
+            let mut budget = READ_BUDGET;
+            let outcome = loop {
+                if budget == 0 {
+                    break SocketPass::Requeue;
+                }
+                budget -= 1;
+                // Receive directly into a node of the reply mbox: header
+                // first, then the kernel fills the rest of the payload.
+                let Some(mut node) = mbox.arena().try_pop() else {
+                    // Back-pressure: the application owns every node
+                    // right now. The socket stays queued — its bytes
+                    // are in the kernel, not droppable.
+                    break SocketPass::Requeue;
+                };
+                let buf = node.buffer_mut();
+                buf[0] = tag::DATA;
+                buf[1..DATA_HEADER].copy_from_slice(&socket.to_le_bytes());
+                match self.net.recv(SocketId(socket), &mut buf[DATA_HEADER..]) {
+                    Ok(RecvOutcome::Data(n)) => {
+                        worked = true;
+                        node.set_len(DATA_HEADER + n);
+                        if mbox.send(node).is_err() {
+                            self.replies.note_send_drop();
+                            self.dropped.inc();
+                        }
+                    }
+                    Ok(RecvOutcome::WouldBlock) => break SocketPass::Drained,
+                    Ok(RecvOutcome::Eof) | Err(_) => {
+                        worked = true;
+                        let n = NetMsg::SocketClosed { socket }.encode_into(node.buffer_mut());
+                        node.set_len(n);
+                        if mbox.send(node).is_err() {
+                            self.replies.note_send_drop();
+                            self.dropped.inc();
+                        }
+                        break SocketPass::Closed;
+                    }
+                }
+            };
+            match outcome {
+                SocketPass::Requeue => self.ready_queue.push_back(socket),
+                SocketPass::Drained => {
+                    if let Some(w) = self.watches.get_mut(&socket) {
+                        w.queued = false;
+                    }
+                }
+                SocketPass::Closed => {
+                    self.watches.remove(&socket);
+                    if let Some(set) = self.ready.as_deref_mut() {
+                        set.unwatch(SocketId(socket));
+                    }
+                }
+            }
+        }
+        worked
+    }
+
+    /// One poll-mode pass: one `recv` attempt per watched socket.
+    fn service_polling(&mut self) -> bool {
+        let mut worked = false;
+        let (net, dir, replies, dropped) = (&self.net, &self.dir, &self.replies, &self.dropped);
+        self.watches.retain(|&socket, w| {
             let Some(mbox) = dir.get(w.reply) else {
                 return false;
             };
             if mbox.arena().payload_size() <= DATA_HEADER {
                 return false;
             }
-            // Receive directly into a node of the reply mbox: header
-            // first, then the kernel fills the rest of the payload.
             let Some(mut node) = mbox.arena().try_pop() else {
-                // Back-pressure: the application owns every node right
-                // now; poll again once it has recycled some.
+                // Back-pressure: poll again once the application has
+                // recycled some nodes.
                 return true;
             };
             let buf = node.buffer_mut();
             buf[0] = tag::DATA;
-            buf[1..DATA_HEADER].copy_from_slice(&w.socket.to_le_bytes());
-            match net.recv(SocketId(w.socket), &mut buf[DATA_HEADER..]) {
+            buf[1..DATA_HEADER].copy_from_slice(&socket.to_le_bytes());
+            match net.recv(SocketId(socket), &mut buf[DATA_HEADER..]) {
                 Ok(RecvOutcome::Data(n)) => {
                     worked = true;
                     node.set_len(DATA_HEADER + n);
                     if mbox.send(node).is_err() {
                         replies.note_send_drop();
+                        dropped.inc();
                     }
                     true
                 }
                 Ok(RecvOutcome::WouldBlock) => true, // node returns to the pool
                 Ok(RecvOutcome::Eof) | Err(_) => {
                     worked = true;
-                    let n =
-                        NetMsg::SocketClosed { socket: w.socket }.encode_into(node.buffer_mut());
+                    let n = NetMsg::SocketClosed { socket }.encode_into(node.buffer_mut());
                     node.set_len(n);
                     if mbox.send(node).is_err() {
                         replies.note_send_drop();
+                        dropped.inc();
                     }
                     false
                 }
             }
         });
-        if worked {
-            Control::Busy
-        } else {
-            Control::Idle
+        worked
+    }
+}
+
+enum SocketPass {
+    /// Budget or nodes ran out with bytes likely left; stay queued.
+    Requeue,
+    /// `WouldBlock`: the edge is consumed, wait for the next one.
+    Drained,
+    /// EOF or error: watch removed, `SocketClosed` sent.
+    Closed,
+}
+
+impl Actor for Reader {
+    fn ctor(&mut self, ctx: &mut Ctx) {
+        // The registry returns one shared counter per name, so every
+        // reader in the deployment increments the same atomic.
+        self.dropped = ctx.obs_hub().registry().counter("net_dropped_reads");
+        if let Some(set) = &self.ready {
+            ctx.wake_hub().register_waker(set.waker());
         }
     }
+
+    fn body(&mut self, ctx: &mut Ctx) -> Control {
+        let mut worked = self.drain_requests();
+        worked |= self.flush_acks();
+        if self.ready.is_none() {
+            worked |= self.service_polling();
+            return if worked { Control::Busy } else { Control::Idle };
+        }
+        self.collect_events(Some(Duration::ZERO));
+        worked |= !self.ready_queue.is_empty();
+        worked |= self.service_ready();
+        if worked {
+            self.idle_streak = 0;
+            return Control::Busy;
+        }
+        self.idle_streak += 1;
+        if self.idle_streak >= IDLE_STREAK_PARK && self.acks.is_empty() {
+            // Park *inside* epoll_wait, as a registered hub sleeper: a
+            // mbox enqueue notifies the hub, the hub fires our set's
+            // eventfd waker, epoll returns. Classic eventcount shape —
+            // register, re-poll the inputs, then sleep.
+            let hub = ctx.wake_hub().clone();
+            let _seen = hub.prepare_park();
+            if self.drain_requests() {
+                hub.cancel_park();
+            } else {
+                self.collect_events(Some(PARK_TIMEOUT));
+                hub.cancel_park();
+                self.service_ready();
+            }
+            self.idle_streak = 0;
+        }
+        // Readiness mode never yields to the worker's condvar park:
+        // socket edges cannot wake a condvar.
+        Control::Busy
+    }
+}
+
+/// Per-socket parked output (short-write resume state).
+#[derive(Default)]
+struct PendingWrites {
+    /// Parked nodes with their resume offsets, oldest first.
+    queue: VecDeque<(Node, usize)>,
+    /// Readiness mode: waiting for an `EPOLLOUT` edge; skip the socket
+    /// until it fires.
+    awaiting_edge: bool,
 }
 
 /// The WRITER: transmits `Write` payloads, preserving per-socket order
@@ -389,17 +725,34 @@ impl Actor for Reader {
 /// A partially transmitted message is parked as its **node** plus a byte
 /// offset — nothing is copied into side buffers, and a parked node keeps
 /// back-pressure honest by staying checked out of its pool.
+///
+/// In readiness mode a short write subscribes the socket for
+/// `EPOLLOUT` and the retry waits for the edge instead of re-trying the
+/// kernel every pass; like the [`Reader`], an idle WRITER parks inside
+/// [`ReadySet::wait_ready`] with its waker registered on the hub.
+///
+/// Backpressure never blocks the worker: a socket whose parked queue
+/// exceeds [`PENDING_CAP`] nodes has further writes dropped and counted
+/// (`net_dropped_writes`, see [`Writer::bind_obs`]), as are writes to
+/// sockets that died mid-queue.
 pub struct Writer {
     net: Arc<dyn NetBackend>,
     requests: NetPort,
-    pending: HashMap<u64, VecDeque<(Node, usize)>>,
+    pending: HashMap<u64, PendingWrites>,
     batch: Vec<Node>,
+    ready: Option<Box<dyn ReadySet>>,
+    events: Vec<ReadyEvent>,
+    /// Write frames dropped instead of queued (dead socket, or per-socket
+    /// pending cap exceeded).
+    dropped: Arc<Counter>,
+    idle_streak: u32,
 }
 
 impl std::fmt::Debug for Writer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Writer")
             .field("pending_sockets", &self.pending.len())
+            .field("readiness", &self.ready.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -407,46 +760,103 @@ impl std::fmt::Debug for Writer {
 impl Writer {
     /// A WRITER draining `Write` messages from `requests`.
     pub fn new(net: Arc<dyn NetBackend>, requests: NetPort) -> Self {
+        let ready = net.ready_set();
         Writer {
             net,
             requests,
             pending: HashMap::new(),
             batch: Vec::new(),
+            ready,
+            events: event_buf(),
+            dropped: Arc::new(Counter::default()),
+            idle_streak: 0,
+        }
+    }
+
+    /// Count dropped write frames in `registry` as `net_dropped_writes`
+    /// (shared with every other writer that binds).
+    pub fn bind_obs(&mut self, registry: &eactors::obs::MetricsRegistry) {
+        self.dropped = registry.counter("net_dropped_writes");
+    }
+
+    /// Collect `EPOLLOUT` edges, clearing `awaiting_edge` on the sockets
+    /// that became writable.
+    fn collect_events(&mut self, timeout: Option<Duration>) {
+        let Some(set) = self.ready.as_deref_mut() else {
+            return;
+        };
+        let Ok(n) = set.wait_ready(&mut self.events, timeout) else {
+            return;
+        };
+        for ev in &self.events[..n] {
+            if ev.listener {
+                continue;
+            }
+            if ev.writable || ev.hup {
+                if let Some(p) = self.pending.get_mut(&ev.id) {
+                    p.awaiting_edge = false;
+                }
+            }
         }
     }
 
     fn flush(&mut self) -> bool {
         let mut progressed = false;
-        let net = &self.net;
-        self.pending.retain(|&socket, queue| {
-            while let Some((node, offset)) = queue.front_mut() {
+        let (net, ready, dropped) = (&self.net, &mut self.ready, &self.dropped);
+        self.pending.retain(|&socket, p| {
+            if p.awaiting_edge {
+                return true; // wait for EPOLLOUT instead of re-trying
+            }
+            while let Some((node, offset)) = p.queue.front_mut() {
                 match net.send(SocketId(socket), &node.bytes()[*offset..]) {
-                    Ok(0) => return true, // peer buffer full; keep pending
+                    Ok(0) => {
+                        // Peer buffer still full. With readiness, ask for
+                        // the writability edge (registering an already-
+                        // writable fd fires immediately, so no lost edge).
+                        if let Some(set) = ready.as_deref_mut() {
+                            if set.watch(SocketId(socket), Interest::Write).is_ok() {
+                                p.awaiting_edge = true;
+                            }
+                        }
+                        return true;
+                    }
                     Ok(n) => {
                         progressed = true;
                         *offset += n;
                         if *offset == node.bytes().len() {
-                            queue.pop_front(); // node recycles to its pool
+                            p.queue.pop_front(); // node recycles to its pool
                         }
                     }
-                    Err(_) => return false, // socket gone; drop pending
+                    Err(_) => {
+                        // Socket gone; every parked frame is lost.
+                        dropped.add(p.queue.len() as u64);
+                        if let Some(set) = ready.as_deref_mut() {
+                            set.unwatch(SocketId(socket));
+                        }
+                        return false;
+                    }
                 }
+            }
+            // Fully drained: stop watching for writability.
+            if let Some(set) = ready.as_deref_mut() {
+                set.unwatch(SocketId(socket));
             }
             false
         });
         progressed
     }
-}
 
-impl Actor for Writer {
-    fn body(&mut self, _ctx: &mut Ctx) -> Control {
-        let mut worked = self.flush();
+    fn intake(&mut self) -> bool {
         const BATCH: usize = 32;
+        let mut worked = false;
         let Writer {
             net,
             requests,
             pending,
             batch,
+            ready,
+            dropped,
+            ..
         } = self;
         while requests.mbox().recv_batch(batch, BATCH) > 0 {
             worked = true;
@@ -461,31 +871,82 @@ impl Actor for Writer {
                         continue;
                     }
                 };
-                if let Some(queue) = pending.get_mut(&socket) {
+                if let Some(p) = pending.get_mut(&socket) {
                     // Order must be preserved behind earlier pending bytes.
-                    queue.push_back((node, DATA_HEADER));
+                    if p.queue.len() >= PENDING_CAP {
+                        dropped.inc(); // bounded memory beats a blocked worker
+                        continue;
+                    }
+                    p.queue.push_back((node, DATA_HEADER));
                     continue;
                 }
                 let mut offset = DATA_HEADER;
                 while offset < node.bytes().len() {
-                    // A send error means the socket is gone; drop the rest.
                     match net.send(SocketId(socket), &node.bytes()[offset..]) {
                         Ok(0) => {
                             // Peer buffer full: park the node for later.
-                            pending.entry(socket).or_default().push_back((node, offset));
+                            let p = pending.entry(socket).or_default();
+                            p.queue.push_back((node, offset));
+                            if let Some(set) = ready.as_deref_mut() {
+                                if set.watch(SocketId(socket), Interest::Write).is_ok() {
+                                    p.awaiting_edge = true;
+                                }
+                            }
                             break;
                         }
                         Ok(n) => offset += n,
-                        Err(_) => break,
+                        Err(_) => {
+                            // Socket is gone; drop the frame and count it.
+                            dropped.inc();
+                            break;
+                        }
                     }
                 }
             }
         }
-        if worked {
-            Control::Busy
-        } else {
-            Control::Idle
+        worked
+    }
+}
+
+impl Actor for Writer {
+    fn ctor(&mut self, ctx: &mut Ctx) {
+        self.dropped = ctx.obs_hub().registry().counter("net_dropped_writes");
+        if let Some(set) = &self.ready {
+            ctx.wake_hub().register_waker(set.waker());
         }
+    }
+
+    fn body(&mut self, ctx: &mut Ctx) -> Control {
+        if self.ready.is_none() {
+            let mut worked = self.flush();
+            worked |= self.intake();
+            return if worked { Control::Busy } else { Control::Idle };
+        }
+        self.collect_events(Some(Duration::ZERO));
+        let mut worked = self.flush();
+        worked |= self.intake();
+        if worked {
+            self.idle_streak = 0;
+            return Control::Busy;
+        }
+        self.idle_streak += 1;
+        if self.idle_streak >= IDLE_STREAK_PARK {
+            // Same eventcount handshake as the Reader: new requests
+            // notify the hub, the hub fires our eventfd, epoll returns.
+            let hub = ctx.wake_hub().clone();
+            let _seen = hub.prepare_park();
+            if self.intake() {
+                hub.cancel_park();
+                self.flush();
+            } else {
+                self.collect_events(Some(PARK_TIMEOUT));
+                hub.cancel_park();
+                self.flush();
+                self.intake();
+            }
+            self.idle_streak = 0;
+        }
+        Control::Busy
     }
 }
 
@@ -538,6 +999,12 @@ pub struct NetStats {
     /// Replies and `Data` frames the system actors could not deliver to
     /// application mboxes (congestion on the way back).
     pub reply_drops: u64,
+    /// Data frames read from a socket but undeliverable to the reply
+    /// mbox (READER backpressure degradation).
+    pub dropped_reads: u64,
+    /// Write frames discarded instead of queued — dead socket or
+    /// per-socket pending cap exceeded (WRITER backpressure degradation).
+    pub dropped_writes: u64,
 }
 
 /// Convenience bundle wiring all five system actors into a deployment.
@@ -636,7 +1103,9 @@ impl SystemActors {
     /// `net_replies_*`. The registered counters are the live atomics the
     /// actors increment (shared, not copied), so [`SystemActors::stats`]
     /// and the registry exporters always agree.
-    pub fn bind_obs(&self, registry: &eactors::obs::MetricsRegistry) {
+    pub fn bind_obs(&mut self, registry: &eactors::obs::MetricsRegistry) {
+        self.reader.bind_obs(registry);
+        self.writer.bind_obs(registry);
         self.opener_requests
             .stats()
             .register(registry, "net_opener_requests");
@@ -673,6 +1142,8 @@ impl SystemActors {
                 .sum::<u64>()
                 + self.reply_stats.corrupt_frames(),
             reply_drops: self.reply_stats.send_drops(),
+            dropped_reads: self.reader.dropped.get(),
+            dropped_writes: self.writer.dropped.get(),
         }
     }
 }

@@ -9,6 +9,10 @@
 //! sockets on localhost).
 
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use eactors::wake::HubWaker;
 
 /// Identifier of a connected socket.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -83,6 +87,90 @@ impl From<std::io::Error> for NetError {
     }
 }
 
+/// What a readiness consumer wants to hear about for one socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interest {
+    /// Readable / EOF / error events (READER side).
+    Read,
+    /// Writable events (WRITER side, after a short write).
+    Write,
+}
+
+/// One edge-triggered readiness event from [`ReadySet::wait_ready`].
+///
+/// Edge semantics: the consumer must drain the socket (read or write
+/// until [`NetError::WouldBlock`]) before the next event for it can
+/// fire. Events are level-collapsed per wait — one event may cover any
+/// number of underlying arrivals.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyEvent {
+    /// The watched socket or listener id ([`SocketId::0`] /
+    /// [`ListenerId::0`]).
+    pub id: u64,
+    /// `id` names a listener (accept-readiness) rather than a socket.
+    pub listener: bool,
+    /// Data (or EOF) can be read without blocking.
+    pub readable: bool,
+    /// Buffer space is available for writing.
+    pub writable: bool,
+    /// The peer hung up or the socket errored; drain then close.
+    pub hup: bool,
+}
+
+/// A per-consumer readiness multiplexer (one `epoll` instance).
+///
+/// Each consumer (READER, WRITER, ACCEPTER) owns its own set so events
+/// are never stolen between actors: the same socket may be watched for
+/// [`Interest::Read`] in one set and [`Interest::Write`] in another.
+/// Watches are edge-triggered; a freshly added watch should be treated
+/// as ready once and drained, which makes "event fired before the watch
+/// existed" races harmless.
+pub trait ReadySet: Send + fmt::Debug {
+    /// Watch `socket` for `interest` events. Adding an already-ready
+    /// socket produces an event on the next wait.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadSocket`] for an unknown socket.
+    fn watch(&mut self, socket: SocketId, interest: Interest) -> Result<(), NetError>;
+
+    /// Stop watching `socket`. Unknown ids are a no-op (the socket may
+    /// already be closed).
+    fn unwatch(&mut self, socket: SocketId);
+
+    /// Watch `listener` for accept-readiness.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadSocket`] for an unknown listener.
+    fn watch_listener(&mut self, listener: ListenerId) -> Result<(), NetError>;
+
+    /// Stop watching `listener`. Unknown ids are a no-op.
+    fn unwatch_listener(&mut self, listener: ListenerId);
+
+    /// Block up to `timeout` for events, writing them into `events`
+    /// (caller-owned — no allocation). Returns the number written; `0`
+    /// on timeout or when woken by the [`ReadySet::waker`]. A `None`
+    /// timeout blocks until an event or a wake. `EINTR` is absorbed
+    /// (reported as `0`).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on multiplexer failure,
+    /// [`NetError::TrustedDomain`] from enclave code.
+    fn wait_ready(
+        &mut self,
+        events: &mut [ReadyEvent],
+        timeout: Option<Duration>,
+    ) -> Result<usize, NetError>;
+
+    /// A handle that interrupts a concurrent [`ReadySet::wait_ready`]
+    /// from any thread. Register it with the runtime's
+    /// [`eactors::wake::WakeHub`] so message enqueues wake a parked
+    /// consumer.
+    fn waker(&self) -> Arc<dyn HubWaker>;
+}
+
 /// A non-blocking TCP-like transport.
 ///
 /// All methods are callable from any thread; every call models one system
@@ -139,4 +227,12 @@ pub trait NetBackend: Send + Sync + fmt::Debug {
     ///
     /// [`NetError::BadSocket`] for an unknown listener.
     fn close_listener(&self, listener: ListenerId) -> Result<(), NetError>;
+
+    /// Create a readiness multiplexer over this backend's sockets, or
+    /// `None` when the backend only supports polling ([`crate::SimNet`],
+    /// [`crate::TcpLoopback`]). Consumers that get `None` fall back to
+    /// iterating their watch lists every pass.
+    fn ready_set(&self) -> Option<Box<dyn ReadySet>> {
+        None
+    }
 }

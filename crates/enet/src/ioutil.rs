@@ -1,0 +1,44 @@
+//! Small I/O helpers shared by the real-socket backends.
+
+use std::io;
+
+/// Run a syscall closure, retrying while it reports `EINTR`.
+///
+/// POSIX allows any slow syscall to fail with `EINTR` when a signal
+/// arrives mid-call; the operation did nothing and must simply be
+/// reissued. Without this, a stray `SIGPROF`/`SIGCHLD` would tear down
+/// a healthy connection as a fatal [`crate::NetError::Io`].
+pub(crate) fn retry_intr<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    loop {
+        match op() {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            other => return other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retries_through_eintr_then_returns_ok() {
+        let mut attempts = 0;
+        let got = retry_intr(|| {
+            attempts += 1;
+            if attempts < 3 {
+                Err(io::Error::from(io::ErrorKind::Interrupted))
+            } else {
+                Ok(attempts)
+            }
+        })
+        .unwrap();
+        assert_eq!(got, 3);
+    }
+
+    #[test]
+    fn non_eintr_errors_pass_through() {
+        let err = retry_intr::<()>(|| Err(io::Error::from(io::ErrorKind::WouldBlock))).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+}

@@ -18,10 +18,13 @@
 //! ([`data_frame_into_write`]) — an echo path moves bytes from socket to
 //! socket with zero heap allocations and zero copies beyond the kernel's.
 //!
-//! Two interchangeable [`NetBackend`]s are provided: [`SimNet`], an
+//! Three interchangeable [`NetBackend`]s are provided: [`SimNet`], an
 //! in-process TCP substrate with a syscall cost model (used by the paper
 //! reproduction benchmarks, where hundreds of emulated clients run on one
-//! machine), and [`TcpLoopback`], real `std::net` sockets.
+//! machine); [`TcpLoopback`], real `std::net` sockets polled per pass;
+//! and on Linux [`EpollBackend`], real sockets with edge-triggered
+//! `epoll` readiness ([`ReadySet`]) so READER/WRITER park in
+//! `epoll_wait` instead of polling.
 //!
 //! ## Example: an echo flow without actors
 //!
@@ -47,6 +50,11 @@
 mod actors;
 mod backend;
 mod dir;
+#[cfg(target_os = "linux")]
+mod epoll;
+#[cfg(target_os = "linux")]
+mod ffi;
+mod ioutil;
 mod msg;
 mod sim;
 mod tcp;
@@ -55,8 +63,12 @@ pub use actors::{
     send_msg, send_write_with, Accepter, Closer, NetPort, NetStats, Opener, Reader, SystemActors,
     Writer,
 };
-pub use backend::{ListenerId, NetBackend, NetError, RecvOutcome, SocketId};
+pub use backend::{
+    Interest, ListenerId, NetBackend, NetError, ReadyEvent, ReadySet, RecvOutcome, SocketId,
+};
 pub use dir::{MboxDirectory, MboxRef};
+#[cfg(target_os = "linux")]
+pub use epoll::EpollBackend;
 pub use msg::{data_frame_into_write, BatchEntries, NetMsg, DATA_HEADER};
 pub use sim::{failpoints, SimNet, DEFAULT_SOCKET_BUFFER};
 pub use tcp::TcpLoopback;
@@ -237,6 +249,8 @@ mod tests {
                 request_drops: 1,
                 corrupt_frames: 0,
                 reply_drops: 0,
+                dropped_reads: 0,
+                dropped_writes: 0,
             }
         );
     }

@@ -4,6 +4,16 @@
 //! demonstrating that the system actors drive genuine kernel sockets.
 //! Benchmarks use the simulated backend instead, for determinism and
 //! scale.
+//!
+//! # Locking discipline
+//!
+//! The id→socket maps are behind mutexes, but no lock is ever held
+//! across a kernel syscall: handles are stored as [`Arc`]s and cloned
+//! out under the lock, then the guard is dropped before `read`/`write`/
+//! `accept` run. One peer stalling in the kernel therefore cannot
+//! serialize the other network actors — and a concurrent `close` merely
+//! drops the map's `Arc`, so the fd stays alive (and its number cannot
+//! be recycled) until the in-flight syscall's clone is gone.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -15,6 +25,7 @@ use sgx_sim::sync::Mutex;
 use sgx_sim::{current_domain, CostHandle};
 
 use crate::backend::{ListenerId, NetBackend, NetError, RecvOutcome, SocketId};
+use crate::ioutil::retry_intr;
 
 /// Real non-blocking TCP sockets bound to 127.0.0.1.
 ///
@@ -30,9 +41,11 @@ pub struct TcpLoopback {
 struct TcpInner {
     costs: CostHandle,
     next_id: AtomicU64,
-    listeners: Mutex<HashMap<u64, TcpListener>>,
+    /// id -> (listener, logical port) — the port rides along so
+    /// `close_listener` can free the logical mapping.
+    listeners: Mutex<HashMap<u64, (Arc<TcpListener>, u16)>>,
     ports: Mutex<HashMap<u16, u16>>, // logical port -> OS port
-    sockets: Mutex<HashMap<u64, TcpStream>>,
+    sockets: Mutex<HashMap<u64, Arc<TcpStream>>>,
 }
 
 impl TcpLoopback {
@@ -60,6 +73,15 @@ impl TcpLoopback {
     fn fresh_id(&self) -> u64 {
         self.inner.next_id.fetch_add(1, Ordering::Relaxed)
     }
+
+    fn socket(&self, id: SocketId) -> Result<Arc<TcpStream>, NetError> {
+        self.inner
+            .sockets
+            .lock()
+            .get(&id.0)
+            .cloned()
+            .ok_or(NetError::BadSocket)
+    }
 }
 
 impl NetBackend for TcpLoopback {
@@ -74,7 +96,10 @@ impl NetBackend for TcpLoopback {
         let os_port = listener.local_addr()?.port();
         ports.insert(port, os_port);
         let id = self.fresh_id();
-        self.inner.listeners.lock().insert(id, listener);
+        self.inner
+            .listeners
+            .lock()
+            .insert(id, (Arc::new(listener), port));
         Ok(ListenerId(id))
     }
 
@@ -86,26 +111,30 @@ impl NetBackend for TcpLoopback {
             .lock()
             .get(&port)
             .ok_or(NetError::ConnectionRefused(port))?;
-        let stream = TcpStream::connect((Ipv4Addr::LOCALHOST, os_port))
+        let stream = retry_intr(|| TcpStream::connect((Ipv4Addr::LOCALHOST, os_port)))
             .map_err(|_| NetError::ConnectionRefused(port))?;
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true)?;
         let id = self.fresh_id();
-        self.inner.sockets.lock().insert(id, stream);
+        self.inner.sockets.lock().insert(id, Arc::new(stream));
         Ok(SocketId(id))
     }
 
     fn accept(&self, listener: ListenerId) -> Result<Option<SocketId>, NetError> {
         self.syscall()?;
-        let listeners = self.inner.listeners.lock();
-        let l = listeners.get(&listener.0).ok_or(NetError::BadSocket)?;
-        match l.accept() {
+        let l = self
+            .inner
+            .listeners
+            .lock()
+            .get(&listener.0)
+            .map(|(l, _)| l.clone())
+            .ok_or(NetError::BadSocket)?;
+        match retry_intr(|| l.accept()) {
             Ok((stream, _)) => {
                 stream.set_nonblocking(true)?;
                 stream.set_nodelay(true)?;
                 let id = self.fresh_id();
-                drop(listeners);
-                self.inner.sockets.lock().insert(id, stream);
+                self.inner.sockets.lock().insert(id, Arc::new(stream));
                 Ok(Some(SocketId(id)))
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
@@ -115,9 +144,8 @@ impl NetBackend for TcpLoopback {
 
     fn send(&self, socket: SocketId, data: &[u8]) -> Result<usize, NetError> {
         self.syscall()?;
-        let mut sockets = self.inner.sockets.lock();
-        let s = sockets.get_mut(&socket.0).ok_or(NetError::BadSocket)?;
-        match s.write(data) {
+        let s = self.socket(socket)?;
+        match retry_intr(|| (&*s).write(data)) {
             Ok(n) => Ok(n),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(0),
             Err(e) => Err(e.into()),
@@ -126,9 +154,8 @@ impl NetBackend for TcpLoopback {
 
     fn recv(&self, socket: SocketId, buf: &mut [u8]) -> Result<RecvOutcome, NetError> {
         self.syscall()?;
-        let mut sockets = self.inner.sockets.lock();
-        let s = sockets.get_mut(&socket.0).ok_or(NetError::BadSocket)?;
-        match s.read(buf) {
+        let s = self.socket(socket)?;
+        match retry_intr(|| (&*s).read(buf)) {
             Ok(0) => Ok(RecvOutcome::Eof),
             Ok(n) => Ok(RecvOutcome::Data(n)),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(RecvOutcome::WouldBlock),
@@ -148,9 +175,14 @@ impl NetBackend for TcpLoopback {
 
     fn close_listener(&self, listener: ListenerId) -> Result<(), NetError> {
         self.syscall()?;
-        let mut listeners = self.inner.listeners.lock();
-        listeners.remove(&listener.0).ok_or(NetError::BadSocket)?;
-        // Free the logical port mapping.
+        let (_listener, logical_port) = self
+            .inner
+            .listeners
+            .lock()
+            .remove(&listener.0)
+            .ok_or(NetError::BadSocket)?;
+        // Free the logical port mapping so the port can be re-listened.
+        self.inner.ports.lock().remove(&logical_port);
         Ok(())
     }
 }
@@ -158,6 +190,8 @@ impl NetBackend for TcpLoopback {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::{Duration, Instant};
+
     use sgx_sim::{CostModel, Platform};
 
     fn net() -> TcpLoopback {
@@ -169,18 +203,22 @@ mod tests {
         )
     }
 
+    fn accept_one(n: &TcpLoopback, l: ListenerId) -> SocketId {
+        loop {
+            if let Some(s) = n.accept(l).unwrap() {
+                break s;
+            }
+            std::thread::yield_now();
+        }
+    }
+
     #[test]
     fn real_sockets_round_trip() {
         let n = net();
         let l = n.listen(5222).unwrap();
         let c = n.connect(5222).unwrap();
         // Accept may need a beat on a real kernel.
-        let s = loop {
-            if let Some(s) = n.accept(l).unwrap() {
-                break s;
-            }
-            std::thread::yield_now();
-        };
+        let s = accept_one(&n, l);
         assert!(n.send(c, b"hello").unwrap() > 0);
         let mut buf = [0u8; 16];
         let got = loop {
@@ -192,6 +230,100 @@ mod tests {
         };
         assert_eq!(&buf[..got], b"hello");
         n.close(c).unwrap();
+        n.close(s).unwrap();
+        n.close_listener(l).unwrap();
+    }
+
+    #[test]
+    fn closed_logical_port_can_be_relistened() {
+        let n = net();
+        let l1 = n.listen(5222).unwrap();
+        n.close_listener(l1).unwrap();
+        // Regression: the logical→OS port mapping used to leak, so this
+        // second listen failed with PortInUse forever.
+        let l2 = n.listen(5222).unwrap();
+        let c = n.connect(5222).unwrap();
+        let s = accept_one(&n, l2);
+        n.close(c).unwrap();
+        n.close(s).unwrap();
+        n.close_listener(l2).unwrap();
+        // Stale connects after the final close are refused again.
+        assert!(matches!(
+            n.connect(5222),
+            Err(NetError::ConnectionRefused(5222))
+        ));
+    }
+
+    /// Regression for the global-mutex-across-syscall bug: while one
+    /// thread hammers a wedged socket (peer buffer full, never drained),
+    /// an independent connection must still complete round-trips.
+    #[test]
+    fn stalled_socket_does_not_serialize_other_connections() {
+        let n = net();
+        let l = n.listen(7000).unwrap();
+
+        // Connection A: fill the peer's buffers until send returns 0,
+        // then keep retrying from a background thread.
+        let a = n.connect(7000).unwrap();
+        let _a_srv = accept_one(&n, l);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let hammer = {
+            let n = n.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let chunk = [0u8; 64 * 1024];
+                while !stop.load(Ordering::Relaxed) {
+                    // Never drained by anyone: once both socket buffers
+                    // fill this returns 0 every time.
+                    let _ = n.send(a, &chunk);
+                }
+            })
+        };
+
+        // Connection B: must make progress concurrently.
+        let b = n.connect(7000).unwrap();
+        let b_srv = accept_one(&n, l);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        for i in 0..100u8 {
+            let msg = [i; 32];
+            while n.send(b, &msg).unwrap() == 0 {
+                assert!(Instant::now() < deadline, "writer starved by stalled peer");
+                std::thread::yield_now();
+            }
+            let mut buf = [0u8; 32];
+            let mut got = 0;
+            while got < 32 {
+                match n.recv(b_srv, &mut buf[got..]).unwrap() {
+                    RecvOutcome::Data(k) => got += k,
+                    RecvOutcome::WouldBlock => {
+                        assert!(Instant::now() < deadline, "reader starved by stalled peer");
+                        std::thread::yield_now();
+                    }
+                    RecvOutcome::Eof => panic!("unexpected eof"),
+                }
+            }
+            assert_eq!(buf, msg);
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        hammer.join().unwrap();
+    }
+
+    #[test]
+    fn close_while_peer_syscall_in_flight_is_safe() {
+        // The map entry goes away immediately, but the Arc handed to an
+        // in-flight syscall keeps the fd alive; subsequent calls on the
+        // closed id fail cleanly.
+        let n = net();
+        let l = n.listen(7100).unwrap();
+        let c = n.connect(7100).unwrap();
+        let s = accept_one(&n, l);
+        let held = n.socket(c).unwrap();
+        n.close(c).unwrap();
+        assert!(matches!(n.send(c, b"x"), Err(NetError::BadSocket)));
+        // The held Arc still points at a live fd.
+        assert!((&*held).write(b"x").is_ok());
+        drop(held);
         n.close(s).unwrap();
         n.close_listener(l).unwrap();
     }
