@@ -9,45 +9,31 @@
 //! (minutes); the default quick scale finishes in well under a minute
 //! per figure.
 
+use eactors_bench::record::TrajectoryArgs;
 use eactors_bench::{
-    ablation, fig01, fig11, fig12, fig14, fig15, fig16, fig17, record, tcb, xmpp_load, Scale,
+    ablation, fig01, fig11, fig12, fig14, fig15, fig16, fig17, placement_bench, record, tcb,
+    xmpp_load, Scale,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { Scale::Full } else { Scale::from_env() };
-    let flag = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-    };
-    let label = || flag("--label").map_or_else(|| "unlabelled".to_owned(), String::clone);
+    let traj = TrajectoryArgs::parse(&args);
     // `figures bench-fig11 [--label <text>]` appends one throughput
     // record to BENCH_fig11.json (the perf trajectory) and exits.
     if args.iter().any(|a| a == "bench-fig11") {
-        let label = label();
-        println!(
-            "fig11 ping-pong trajectory record (label {label:?}, host cpus: {})",
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        );
-        record::record(&label, scale);
+        traj.banner("fig11 ping-pong trajectory record");
+        record::record(&traj.label, scale);
         return;
     }
     // `figures bench-xmpp-load [--label <text>] [--sessions <n>]
     // [--shards <n>]` appends one closed-loop session-churn record to
     // BENCH_xmpp_load.json and exits.
     if args.iter().any(|a| a == "bench-xmpp-load") {
-        let label = label();
-        let sessions = flag("--sessions").and_then(|s| s.parse::<u64>().ok());
-        let shards = flag("--shards")
-            .and_then(|s| s.parse::<usize>().ok())
-            .unwrap_or(0);
-        println!(
-            "xmpp closed-loop load record (label {label:?}, host cpus: {})",
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        );
-        xmpp_load::record(&label, scale, sessions, shards);
+        let shards = traj.flag_parsed::<usize>("--shards").unwrap_or(0);
+        traj.banner("xmpp closed-loop load record");
+        xmpp_load::record(&traj.label, scale, traj.sessions, shards);
         return;
     }
     // `figures bench-net [--label <text>] [--sessions <n>]
@@ -55,13 +41,9 @@ fn main() {
     // backend (all available by default) and appends the comparison
     // record to BENCH_net.json.
     if args.iter().any(|a| a == "bench-net") {
-        let label = label();
-        let sessions = flag("--sessions").and_then(|s| s.parse::<u64>().ok());
-        let mut backends: Vec<xmpp_load::Backend> = args
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| *a == "--backend")
-            .filter_map(|(i, _)| args.get(i + 1))
+        let mut backends: Vec<xmpp_load::Backend> = traj
+            .flag_values("--backend")
+            .into_iter()
             .map(|s| {
                 xmpp_load::Backend::parse(s)
                     .unwrap_or_else(|| panic!("unknown backend {s:?} (sim|tcp|epoll)"))
@@ -70,12 +52,19 @@ fn main() {
         if backends.is_empty() {
             backends = xmpp_load::Backend::available();
         }
-        println!(
-            "xmpp load backend comparison (label {label:?}, backends {:?}, host cpus: {})",
-            backends.iter().map(|b| b.name()).collect::<Vec<_>>(),
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        );
-        xmpp_load::record_net(&label, scale, sessions, &backends);
+        traj.banner(&format!(
+            "xmpp load backend comparison (backends {:?})",
+            backends.iter().map(|b| b.name()).collect::<Vec<_>>()
+        ));
+        xmpp_load::record_net(&traj.label, scale, traj.sessions, &backends);
+        return;
+    }
+    // `figures bench-placement [--label <text>] [--phases <n>]` runs the
+    // skewed-load placement benchmark (static maps vs the online
+    // planner) and appends the comparison to BENCH_placement.json.
+    if args.iter().any(|a| a == "bench-placement") {
+        traj.banner("placement skewed-load record");
+        placement_bench::record(&traj, scale);
         return;
     }
     let mut wanted: Vec<&str> = args

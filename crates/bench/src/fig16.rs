@@ -86,6 +86,20 @@ pub fn run(scale: Scale) -> FigureReport {
                 transitions as f64,
             );
         }
+        // The placement layer's offline prediction for the same layout:
+        // the plan's expected boundary crossings per scheduling pass,
+        // comparable against the measured per-worker transition counters
+        // above (predicted is per pass, measured is cumulative).
+        if let Some(predicted) = rt.metrics.gauge("placement_predicted_crossings") {
+            report.push(
+                "predicted_crossings_per_pass",
+                enclaves as f64,
+                predicted as f64,
+            );
+        }
+        if let Some(version) = rt.metrics.gauge("placement_plan_version") {
+            report.push("placement_plan_version", enclaves as f64, version as f64);
+        }
         // Substrate fast-path health for the same run: per-layout node
         // magazine hit rate (steady state should run out of the
         // thread-local caches) and how many mboxes selected each of the

@@ -204,6 +204,80 @@ pub fn record(label: &str, scale: Scale) -> Vec<(String, f64)> {
     series
 }
 
+/// The host's CPU count, as recorded in every trajectory record.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The command-line flags shared by every `bench-*` trajectory
+/// subcommand (`bench-fig11`, `bench-xmpp-load`, `bench-net`,
+/// `bench-placement`): `--label <text>`, `--sessions <n>`, plus
+/// accessors for subcommand-specific flags. Parsed once in `figures`
+/// and passed to each recorder, so the flag conventions cannot drift
+/// between benchmarks.
+#[derive(Debug, Clone)]
+pub struct TrajectoryArgs {
+    /// `--label <text>`; `"unlabelled"` when absent. Names the record in
+    /// the appended trajectory JSON.
+    pub label: String,
+    /// `--sessions <n>`; recorder-specific operation-count override.
+    pub sessions: Option<u64>,
+    args: Vec<String>,
+}
+
+impl TrajectoryArgs {
+    /// Parse the shared flags out of a raw argument list (typically
+    /// `std::env::args().skip(1)`; unknown arguments are kept and
+    /// reachable through [`TrajectoryArgs::flag`]).
+    pub fn parse(args: &[String]) -> TrajectoryArgs {
+        let mut parsed = TrajectoryArgs {
+            label: "unlabelled".to_owned(),
+            sessions: None,
+            args: args.to_vec(),
+        };
+        if let Some(label) = parsed.flag("--label") {
+            parsed.label = label.to_owned();
+        }
+        parsed.sessions = parsed.flag_parsed("--sessions");
+        parsed
+    }
+
+    /// The value following `name`, if present (`--flag value` style).
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// [`TrajectoryArgs::flag`] parsed into `T`; `None` when the flag is
+    /// absent or unparsable.
+    pub fn flag_parsed<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.flag(name).and_then(|s| s.parse().ok())
+    }
+
+    /// Every value of a repeatable flag (`--backend a --backend b`).
+    pub fn flag_values(&self, name: &str) -> Vec<&str> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == name)
+            .filter_map(|(i, _)| self.args.get(i + 1))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Print the standard one-line banner every recorder starts with.
+    pub fn banner(&self, what: &str) {
+        println!(
+            "{what} (label {:?}, host cpus: {})",
+            self.label,
+            host_cpus()
+        );
+    }
+}
+
 /// `<workspace>/<file>`, walking up from the current directory until a
 /// directory that looks like the workspace root (has `Cargo.toml` and
 /// `crates/`) is found.
@@ -263,10 +337,7 @@ pub fn append_trajectory(
     records.push(Value::Object(vec![
         ("label".to_owned(), Value::String(label.to_owned())),
         ("unix_time".to_owned(), Value::Number(unix_time as f64)),
-        (
-            "host_cpus".to_owned(),
-            Value::Number(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
-        ),
+        ("host_cpus".to_owned(), Value::Number(host_cpus() as f64)),
         ("pairs".to_owned(), Value::Number(pairs as f64)),
         (
             "series".to_owned(),
@@ -319,5 +390,44 @@ mod tests {
     fn four_workers_run_two_pairs_to_completion() {
         let rate = pingpong_msgs_per_sec(4, false, 25);
         assert!(rate > 0.0, "rate must be positive, got {rate}");
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn trajectory_args_parse_shared_flags() {
+        let t = TrajectoryArgs::parse(&argv(&[
+            "bench-net",
+            "--label",
+            "pr8",
+            "--sessions",
+            "500",
+            "--backend",
+            "sim",
+            "--backend",
+            "tcp",
+        ]));
+        assert_eq!(t.label, "pr8");
+        assert_eq!(t.sessions, Some(500));
+        assert_eq!(t.flag("--backend"), Some("sim"));
+        assert_eq!(t.flag_values("--backend"), ["sim", "tcp"]);
+        assert_eq!(t.flag_parsed::<usize>("--shards"), None);
+    }
+
+    #[test]
+    fn trajectory_args_default_when_flags_absent() {
+        let t = TrajectoryArgs::parse(&argv(&["bench-fig11"]));
+        assert_eq!(t.label, "unlabelled");
+        assert_eq!(t.sessions, None);
+        assert!(t.flag_values("--backend").is_empty());
+    }
+
+    #[test]
+    fn trajectory_args_ignore_unparsable_numbers() {
+        let t = TrajectoryArgs::parse(&argv(&["--sessions", "lots"]));
+        assert_eq!(t.sessions, None);
+        assert_eq!(t.flag("--sessions"), Some("lots"));
     }
 }

@@ -135,6 +135,7 @@ pub struct Ctx {
     pub(crate) costs: CostHandle,
     pub(crate) wake: Arc<crate::wake::WakeHub>,
     pub(crate) obs: Arc<obs::ObsHub>,
+    pub(crate) placement: Arc<crate::placement::PlacementControl>,
     /// Shared with the metrics registry as `actor_<name>_executions`; the
     /// registry entry and this handle are the same counter, so reports and
     /// exporters read the value the worker loop increments.
@@ -280,6 +281,17 @@ impl Ctx {
     /// [`crate::collect::CollectorActor`]) capture a clone in their ctor.
     pub fn obs_hub(&self) -> &Arc<obs::ObsHub> {
         &self.obs
+    }
+
+    /// The runtime's placement layer: the current
+    /// [`crate::placement::PlacementPlan`], its epoch counters, and —
+    /// on deployments built with
+    /// [`crate::config::DeploymentBuilder::dynamic_placement`] — the
+    /// [`crate::placement::PlacementControl::submit`] entry point system
+    /// actors (notably [`crate::placement::PlannerActor`]) use to
+    /// migrate actors between workers.
+    pub fn placement(&self) -> &Arc<crate::placement::PlacementControl> {
+        &self.placement
     }
 }
 

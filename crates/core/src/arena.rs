@@ -35,7 +35,7 @@
 
 use std::cell::{Cell, RefCell, UnsafeCell};
 use std::mem::ManuallyDrop;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use obs::Counter;
@@ -758,14 +758,26 @@ impl Drop for Node {
 /// stamp a token on first use and a second worker on the same side
 /// bumps [`mbox_cardinality_violations`] (and asserts in debug builds).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
 pub enum MboxKind {
     /// Exactly one producing and one consuming worker.
-    Spsc,
+    Spsc = 0,
     /// Many producers, exactly one consuming worker.
-    Mpsc,
+    Mpsc = 1,
     /// The general case (the safe default).
     #[default]
-    Mpmc,
+    Mpmc = 2,
+}
+
+impl MboxKind {
+    #[inline]
+    fn from_u8(v: u8) -> MboxKind {
+        match v {
+            0 => MboxKind::Spsc,
+            1 => MboxKind::Mpsc,
+            _ => MboxKind::Mpmc,
+        }
+    }
 }
 
 /// A FIFO mailbox carrying nodes of one arena.
@@ -783,7 +795,11 @@ pub struct Mbox {
     arena: Arc<Arena>,
     slots: Box<[MboxSlot]>,
     mask: usize,
-    kind: MboxKind,
+    /// The selected cursor protocol ([`MboxKind`] as `u8`). Atomic so the
+    /// placement layer can re-select it at a migration barrier; hot paths
+    /// read it relaxed (re-selection happens only while every worker is
+    /// quiesced, so a worker never races its own kind).
+    kind: AtomicU8,
     enqueue_pos: CachePadded<AtomicUsize>,
     dequeue_pos: CachePadded<AtomicUsize>,
     /// Worker token of the single producer (Spsc) — 0 until first use.
@@ -835,7 +851,7 @@ impl Mbox {
             arena,
             slots,
             mask: cap - 1,
-            kind,
+            kind: AtomicU8::new(kind as u8),
             enqueue_pos: CachePadded(AtomicUsize::new(0)),
             dequeue_pos: CachePadded(AtomicUsize::new(0)),
             producer_thread: AtomicU64::new(0),
@@ -843,9 +859,57 @@ impl Mbox {
         })
     }
 
-    /// The cursor protocol this mbox was instantiated with.
+    /// The cursor protocol currently selected for this mbox.
     pub fn kind(&self) -> MboxKind {
-        self.kind
+        MboxKind::from_u8(self.kind.load(Ordering::Relaxed))
+    }
+
+    /// Re-prove and re-select the cursor protocol under a new placement.
+    ///
+    /// # Safety contract (not `unsafe`, but load-bearing)
+    ///
+    /// Must only be called while **every** thread that drives this mbox
+    /// is quiesced (the placement migration barrier): the SPSC protocol
+    /// ignores slot sequences, so switching into or out of it re-keys
+    /// every slot's sequence to the canonical Vyukov numbering for the
+    /// current cursors — racing an in-flight send or recv would corrupt
+    /// the ring. Downgrades (e.g. Spsc→Mpsc) would be safe to apply live,
+    /// but upgrades are only sound inside the barrier, which is where the
+    /// runtime performs both. Mpsc↔Mpmc switches maintain sequences
+    /// identically and need no re-key. Worker-token claims on the
+    /// single-threaded sides are reset either way, so the post-migration
+    /// owners re-claim on first use.
+    pub(crate) fn reselect_kind(&self, new: MboxKind) {
+        self.producer_thread.store(0, Ordering::Relaxed);
+        self.consumer_thread.store(0, Ordering::Relaxed);
+        let old = self.kind();
+        if old == new {
+            return;
+        }
+        if old == MboxKind::Spsc || new == MboxKind::Spsc {
+            let head = self.dequeue_pos.0.load(Ordering::Relaxed);
+            let tail = self.enqueue_pos.0.load(Ordering::Relaxed);
+            let occupied = tail.wrapping_sub(head);
+            for o in 0..self.slots.len() {
+                let p = head.wrapping_add(o);
+                let seq = if o < occupied { p.wrapping_add(1) } else { p };
+                self.slots[p & self.mask]
+                    .sequence
+                    .store(seq, Ordering::Relaxed);
+            }
+        }
+        self.kind.store(new as u8, Ordering::Release);
+    }
+
+    /// Forget the single-producer worker-token claim (placement layer:
+    /// the claiming worker hands the producing actor to another worker).
+    pub(crate) fn reset_producer_claim(&self) {
+        self.producer_thread.store(0, Ordering::Relaxed);
+    }
+
+    /// Forget the single-consumer worker-token claim.
+    pub(crate) fn reset_consumer_claim(&self) {
+        self.consumer_thread.store(0, Ordering::Relaxed);
     }
 
     /// The arena whose nodes this mbox carries.
@@ -879,7 +943,8 @@ impl Mbox {
             false,
             "mbox cardinality violation: a second worker drove the single-{which} side \
              of a {:?} mbox over arena {:?}",
-            self.kind, self.arena.name
+            self.kind(),
+            self.arena.name
         );
     }
 
@@ -944,7 +1009,7 @@ impl Mbox {
             // payload.
             unsafe { *self.arena.stamp_ptr(node.idx) = obs::clock::now_cycles() };
         }
-        match self.kind {
+        match self.kind() {
             MboxKind::Spsc => self.send_spsc(node, traced, len),
             _ => self.send_shared(node, traced, len),
         }
@@ -1013,7 +1078,7 @@ impl Mbox {
 
     /// Dequeue the oldest message, or `None` when the mbox is empty.
     pub fn recv(&self) -> Option<Node> {
-        match self.kind {
+        match self.kind() {
             MboxKind::Spsc => self.recv_spsc(),
             MboxKind::Mpsc => self.recv_mpsc(),
             MboxKind::Mpmc => self.recv_shared(),
@@ -1118,7 +1183,7 @@ impl Mbox {
         if want == 0 {
             return 0;
         }
-        match self.kind {
+        match self.kind() {
             MboxKind::Spsc => self.send_batch_spsc(nodes, want),
             _ => self.send_batch_shared(nodes, want),
         }
@@ -1221,7 +1286,7 @@ impl Mbox {
         if max == 0 {
             return 0;
         }
-        match self.kind {
+        match self.kind() {
             MboxKind::Spsc => self.recv_batch_spsc(out, max),
             MboxKind::Mpsc => self.recv_batch_mpsc(out, max),
             MboxKind::Mpmc => self.recv_batch_shared(out, max),
@@ -1352,7 +1417,7 @@ impl std::fmt::Debug for Mbox {
         f.debug_struct("Mbox")
             .field("arena", &self.arena.name)
             .field("capacity", &self.capacity())
-            .field("kind", &self.kind)
+            .field("kind", &self.kind())
             .field("len", &self.len())
             .finish()
     }

@@ -63,6 +63,10 @@ pub struct ChannelEnd {
     scratch: Vec<u8>,
     /// Reusable node buffer for [`ChannelEnd::drain`] batches.
     batch: Vec<Node>,
+    /// Frames successfully enqueued by this endpoint. The placement
+    /// planner reads this per channel as its traffic signal (see
+    /// [`crate::placement::PlanInput`]).
+    sent_frames: Arc<Counter>,
     /// Encrypted frames that failed authentication on this endpoint.
     /// An [`obs::Counter`] so the deployment's metrics registry can
     /// share it ([`ChannelEnd::register_obs`]) — one owner, one read
@@ -131,7 +135,9 @@ impl ChannelEnd {
             }
             None => node.write(bytes),
         }
-        self.tx.send(node).map_err(|_| ChannelError::Full)
+        self.tx.send(node).map_err(|_| ChannelError::Full)?;
+        self.sent_frames.inc();
+        Ok(())
     }
 
     /// Poll for a message, decoding it into `buf`.
@@ -308,7 +314,9 @@ impl ChannelEnd {
                 node.set_len(len);
             }
         }
-        self.tx.send(node).map_err(|_| ChannelError::Full)
+        self.tx.send(node).map_err(|_| ChannelError::Full)?;
+        self.sent_frames.inc();
+        Ok(())
     }
 
     /// Poll for a message and hand its decoded bytes to `f` in place.
@@ -366,6 +374,22 @@ impl ChannelEnd {
         self.corrupt_frames.get()
     }
 
+    /// Frames successfully sent from this endpoint.
+    pub fn sent_frames(&self) -> u64 {
+        self.sent_frames.get()
+    }
+
+    /// Forget the worker-token claims on the mbox sides this endpoint
+    /// drives (its send side's producer claim and its receive side's
+    /// consumer claim). Called by the placement layer when the actor
+    /// owning this endpoint migrates to another worker, so the new
+    /// worker's first use re-claims instead of tripping the cardinality
+    /// police.
+    pub(crate) fn reset_placement_claims(&self) {
+        self.tx.reset_producer_claim();
+        self.rx.reset_consumer_claim();
+    }
+
     /// Record a frame that decoded cleanly at the transport layer but was
     /// rejected by the typed codec above it.
     pub(crate) fn note_corrupt_frame(&mut self) {
@@ -387,6 +411,7 @@ impl ChannelEnd {
             &format!("{prefix}_corrupt_frames"),
             self.corrupt_frames.clone(),
         );
+        registry.register_counter(&format!("{prefix}_sent_frames"), self.sent_frames.clone());
     }
 
     /// Pop a free node for the zero-copy plaintext path.
@@ -406,7 +431,9 @@ impl ChannelEnd {
     /// Returns the node back when the mbox is full or the node belongs to
     /// a different arena.
     pub fn send_node(&self, node: Node) -> Result<(), Node> {
-        self.tx.send(node)
+        self.tx.send(node)?;
+        self.sent_frames.inc();
+        Ok(())
     }
 
     /// Receive a raw node without copying or decrypting.
@@ -508,6 +535,7 @@ impl ChannelPair {
             rx_cipher,
             scratch: Vec::new(),
             batch: Vec::new(),
+            sent_frames: Arc::new(Counter::new()),
             tampered_frames: Arc::new(Counter::new()),
             corrupt_frames: Arc::new(Counter::new()),
         };

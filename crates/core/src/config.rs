@@ -13,11 +13,13 @@
 //! config file; we load a JSON spec at startup instead) see
 //! [`crate::spec`].
 
+use std::sync::Arc;
+
 use sgx_sim::crypto::SEAL_OVERHEAD;
 
 use crate::actor::Actor;
-use crate::arena::MboxKind;
 use crate::error::ConfigError;
+use crate::placement::{PlacementPlan, PlanActor, PlanMbox, PlanSpec};
 
 /// Handle to a declared enclave (index into the deployment).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,9 +184,6 @@ pub(crate) struct MboxDecl {
     pub(crate) producers: Option<Vec<ActorSlot>>,
     /// Actors declared to receive from this mbox (`None` = unknown).
     pub(crate) consumers: Option<Vec<ActorSlot>>,
-    /// Cursor protocol computed by [`DeploymentBuilder::build`] from the
-    /// declared roles and the actor→worker placement.
-    pub(crate) kind: MboxKind,
 }
 
 /// Builder for a [`Deployment`].
@@ -222,6 +221,7 @@ pub struct DeploymentBuilder {
     mboxes: Vec<MboxDecl>,
     channel_defaults: ChannelOptions,
     idle: Option<IdlePolicy>,
+    dynamic: bool,
 }
 
 /// Default enclave size: the paper reports ~500 KiB for an XMPP-service
@@ -355,6 +355,36 @@ impl DeploymentBuilder {
         )
     }
 
+    /// Enable dynamic placement: the built runtime accepts new
+    /// [`crate::placement::PlacementPlan`]s at runtime through
+    /// [`crate::placement::PlacementControl::submit`] and migrates actors
+    /// between workers at safe points. Static deployments (the default)
+    /// keep their build-time plan forever and reject submissions.
+    ///
+    /// With dynamic placement enabled, workers whose actors have all
+    /// parked stay alive (idle, eventually parked on the wake hub)
+    /// instead of exiting — a later plan may migrate live actors onto
+    /// them.
+    pub fn dynamic_placement(&mut self) -> &mut Self {
+        self.dynamic = true;
+        self
+    }
+
+    /// Declare a PLANNER system actor (see
+    /// [`crate::placement::PlannerActor`]) and enable dynamic placement.
+    /// Assign the returned slot to a worker like any other actor —
+    /// preferably one hosting untrusted system actors, since the planner
+    /// only reads the untrusted metrics registry.
+    pub fn planner(&mut self, config: crate::placement::PlannerConfig) -> ActorSlot {
+        self.dynamic = true;
+        let n = self.actors.len();
+        self.actor(
+            &format!("planner#{n}"),
+            Placement::Untrusted,
+            crate::placement::PlannerActor::new(config),
+        )
+    }
+
     /// Declare a named shared mbox over the named pool.
     ///
     /// Without declared roles the mbox is instantiated fully general
@@ -369,7 +399,6 @@ impl DeploymentBuilder {
             message: None,
             producers: None,
             consumers: None,
-            kind: MboxKind::Mpmc,
         });
         self
     }
@@ -399,7 +428,6 @@ impl DeploymentBuilder {
             message: None,
             producers: Some(producers.to_vec()),
             consumers: Some(consumers.to_vec()),
-            kind: MboxKind::Mpmc,
         });
         self
     }
@@ -425,7 +453,6 @@ impl DeploymentBuilder {
             message: Some(std::any::type_name::<T>()),
             producers: None,
             consumers: None,
-            kind: MboxKind::Mpmc,
         });
         self
     }
@@ -448,7 +475,6 @@ impl DeploymentBuilder {
             message: Some(std::any::type_name::<T>()),
             producers: Some(producers.to_vec()),
             consumers: Some(consumers.to_vec()),
-            kind: MboxKind::Mpmc,
         });
         self
     }
@@ -538,59 +564,64 @@ impl DeploymentBuilder {
             }
         }
 
-        // Every actor is assigned to exactly one worker (validated
-        // above); map the declared mbox roles onto workers and compute
-        // each mbox's proven cardinality. Channels need no equivalent
-        // pass: each direction has exactly one producing and one
-        // consuming actor by construction, so the runtime instantiates
-        // both direction mboxes as SPSC.
-        let mut worker_of = vec![0usize; n_actors];
+        // Mbox role declarations must reference real actors before they
+        // flow into the placement spec.
+        for m in &self.mboxes {
+            for roles in [&m.producers, &m.consumers].into_iter().flatten() {
+                for &ActorSlot(ai) in roles {
+                    if ai >= n_actors {
+                        return Err(ConfigError::UnknownSlot("actor", ai));
+                    }
+                }
+            }
+        }
+
+        // Split the validated topology into the immutable planning spec
+        // and the initial (version 0) placement plan. The per-mbox
+        // cursor-protocol proofs live on the plan — they are a function
+        // of the actor→worker map, which may now change at runtime.
+        // Channels need no proof entry: each direction has exactly one
+        // producing and one consuming actor by construction, so the
+        // runtime instantiates both direction mboxes as SPSC (and the
+        // placement layer re-proves them per plan like everything else).
+        let spec = Arc::new(PlanSpec {
+            actors: self
+                .actors
+                .iter()
+                .map(|a| PlanActor {
+                    name: a.name.clone(),
+                    enclave: match a.placement {
+                        Placement::Enclave(EnclaveSlot(i)) => Some(i),
+                        Placement::Untrusted => None,
+                    },
+                })
+                .collect(),
+            workers: self.workers.len(),
+            channels: self.channels.iter().map(|c| (c.a.0, c.b.0)).collect(),
+            mboxes: self
+                .mboxes
+                .iter()
+                .map(|m| PlanMbox {
+                    name: m.name.clone(),
+                    producers: m
+                        .producers
+                        .as_ref()
+                        .map(|v| v.iter().map(|s| s.0).collect()),
+                    consumers: m
+                        .consumers
+                        .as_ref()
+                        .map(|v| v.iter().map(|s| s.0).collect()),
+                })
+                .collect(),
+        });
+        let mut assignment = vec![0u32; n_actors];
         for (wi, w) in self.workers.iter().enumerate() {
             for &ActorSlot(ai) in &w.actors {
-                worker_of[ai] = wi;
+                assignment[ai] = wi as u32;
             }
         }
-        let distinct_workers = |slots: &[ActorSlot]| -> Result<usize, ConfigError> {
-            let mut workers = Vec::new();
-            for &ActorSlot(ai) in slots {
-                if ai >= n_actors {
-                    return Err(ConfigError::UnknownSlot("actor", ai));
-                }
-                if !workers.contains(&worker_of[ai]) {
-                    workers.push(worker_of[ai]);
-                }
-            }
-            Ok(workers.len())
-        };
-        let mut mboxes = self.mboxes;
-        for m in &mut mboxes {
-            m.kind = match (&m.producers, &m.consumers) {
-                (Some(p), Some(c)) => {
-                    let (pw, cw) = (distinct_workers(p)?, distinct_workers(c)?);
-                    if pw <= 1 && cw <= 1 {
-                        MboxKind::Spsc
-                    } else if cw <= 1 {
-                        MboxKind::Mpsc
-                    } else {
-                        MboxKind::Mpmc
-                    }
-                }
-                (None, Some(c)) => {
-                    if distinct_workers(c)? <= 1 {
-                        MboxKind::Mpsc
-                    } else {
-                        MboxKind::Mpmc
-                    }
-                }
-                (Some(p), None) => {
-                    // Producers known but consumers open: any thread may
-                    // receive, so only the general protocol is safe.
-                    distinct_workers(p)?;
-                    MboxKind::Mpmc
-                }
-                (None, None) => MboxKind::Mpmc,
-            };
-        }
+        let plan = PlacementPlan::derive(&spec, assignment)
+            .expect("assignment validated against the same topology above");
 
         Ok(Deployment {
             enclaves: self.enclaves,
@@ -598,8 +629,11 @@ impl DeploymentBuilder {
             workers: self.workers,
             channels: self.channels,
             pools: self.pools,
-            mboxes,
+            mboxes: self.mboxes,
             idle: self.idle.unwrap_or_default(),
+            spec,
+            plan,
+            dynamic: self.dynamic,
         })
     }
 }
@@ -620,6 +654,13 @@ pub struct Deployment {
     pub(crate) pools: Vec<PoolDecl>,
     pub(crate) mboxes: Vec<MboxDecl>,
     pub(crate) idle: IdlePolicy,
+    /// The immutable planning topology extracted from the declarations.
+    pub(crate) spec: Arc<PlanSpec>,
+    /// The initial (version 0) placement plan, actor→worker plus the
+    /// per-mbox cursor-protocol proofs.
+    pub(crate) plan: PlacementPlan,
+    /// Whether the runtime accepts plan submissions and migrates actors.
+    pub(crate) dynamic: bool,
 }
 
 impl Deployment {
@@ -636,6 +677,23 @@ impl Deployment {
     /// Number of declared workers.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The immutable topology the placement layer plans over.
+    pub fn plan_spec(&self) -> &Arc<PlanSpec> {
+        &self.spec
+    }
+
+    /// The initial placement plan derived from the worker declarations,
+    /// including each named mbox's proven cursor protocol.
+    pub fn plan(&self) -> &PlacementPlan {
+        &self.plan
+    }
+
+    /// Whether this deployment was built with
+    /// [`DeploymentBuilder::dynamic_placement`].
+    pub fn dynamic_placement_enabled(&self) -> bool {
+        self.dynamic
     }
 }
 

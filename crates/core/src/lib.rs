@@ -70,6 +70,7 @@ pub mod channel;
 pub mod collect;
 pub mod config;
 mod error;
+pub mod placement;
 pub mod runtime;
 pub mod spec;
 pub mod wake;
@@ -94,6 +95,10 @@ pub use config::{
     IdlePolicy, Placement,
 };
 pub use error::{ChannelError, ConfigError};
+pub use placement::{
+    plan_from_input, plan_from_snapshot, CostWeights, PlacementControl, PlacementPlan, PlanError,
+    PlanInput, PlanSpec, PlannerActor, PlannerConfig,
+};
 pub use runtime::{Runtime, RuntimeReport, WorkerReport};
 pub use wire::{Port, PortStats, TypedChannelEnd, Wire};
 
@@ -105,6 +110,9 @@ pub mod prelude {
         ChannelOptions, DeploymentBuilder, EncryptionPolicy, IdlePolicy, Placement,
     };
     pub use crate::error::{ChannelError, ConfigError};
+    pub use crate::placement::{
+        plan_from_snapshot, PlacementControl, PlacementPlan, PlannerConfig,
+    };
     pub use crate::runtime::{Runtime, RuntimeReport};
     pub use crate::wire::{Port, TypedChannelEnd, Wire};
 }

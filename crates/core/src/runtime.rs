@@ -110,12 +110,46 @@ impl RuntimeReport {
 /// the worker (tracing must never add synchronisation to the hot path).
 const TRACE_RING_CAPACITY: usize = 4096;
 
-struct WorkerEntry {
-    actor: Box<dyn Actor>,
-    ctx: Ctx,
-    parked: bool,
+/// One actor scheduled on a worker: the boxed actor, its context and
+/// scheduling state. `pub(crate)` because entries travel between workers
+/// through the placement layer's handoff slots during a migration epoch.
+pub(crate) struct WorkerEntry {
+    pub(crate) actor: Box<dyn Actor>,
+    pub(crate) ctx: Ctx,
+    pub(crate) parked: bool,
     /// Body execution time, log2 buckets (`actor_<name>_exec_cycles`).
-    exec_hist: Arc<obs::Log2Hist>,
+    pub(crate) exec_hist: Arc<obs::Log2Hist>,
+}
+
+impl std::fmt::Debug for WorkerEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerEntry")
+            .field("actor", &self.ctx.name)
+            .field("parked", &self.parked)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Order `entries` into the domain-batched schedule: bucket the actors
+/// by protection domain (untrusted first, then enclaves by first
+/// appearance, declaration order preserved within a domain) so one pass
+/// over k domains pays k migrations instead of up to one per actor.
+/// Re-applied after every placement migration — adopted actors join the
+/// batch of their domain instead of appending an extra crossing.
+fn sort_domain_batched(entries: &mut [WorkerEntry]) {
+    let mut domain_order: Vec<Domain> = Vec::new();
+    for e in entries.iter() {
+        if !domain_order.contains(&e.ctx.domain) {
+            domain_order.push(e.ctx.domain);
+        }
+    }
+    domain_order.sort_by_key(|d| d.is_trusted());
+    entries.sort_by_key(|e| {
+        domain_order
+            .iter()
+            .position(|d| *d == e.ctx.domain)
+            .expect("every entry domain was collected")
+    });
 }
 
 /// What one round-robin pass over a worker's actors observed.
@@ -245,6 +279,7 @@ pub struct Runtime {
     enclaves: Vec<Enclave>,
     mboxes: Arc<HashMap<String, Arc<Mbox>>>,
     arenas: Arc<HashMap<String, Arc<Arena>>>,
+    placement: Arc<crate::placement::PlacementControl>,
     started: Instant,
 }
 
@@ -326,15 +361,19 @@ impl Runtime {
             };
             registry.counter(name).inc();
         };
-        for m in &deployment.mboxes {
+        // Named mboxes in declaration order, parallel to the plan's
+        // `mbox_kinds` — the placement leader re-selects their cursor
+        // protocols through this vector at each migration barrier.
+        let mut named_mboxes: Vec<Arc<Mbox>> = Vec::with_capacity(deployment.mboxes.len());
+        for (mi, m) in deployment.mboxes.iter().enumerate() {
             let pool = arenas
                 .get(&m.pool)
                 .expect("validated by DeploymentBuilder::build");
-            kind_selected(m.kind);
-            mboxes.insert(
-                m.name.clone(),
-                Mbox::with_kind(pool.clone(), m.capacity, m.kind),
-            );
+            let kind = deployment.plan.mbox_kinds()[mi];
+            kind_selected(kind);
+            let mbox = Mbox::with_kind(pool.clone(), m.capacity, kind);
+            named_mboxes.push(Arc::clone(&mbox));
+            mboxes.insert(m.name.clone(), mbox);
             // One shared stats block per named mbox: every Ctx::port on
             // this name aggregates into the same counters, which are the
             // registry's `port_<name>_*` entries.
@@ -389,7 +428,18 @@ impl Runtime {
             actor_channels[c.b.0].push(end_b);
         }
 
-        // 4. Build per-actor contexts.
+        // 4. Build per-actor contexts. The placement control is shared by
+        // every context (actors may inspect or, on dynamic deployments,
+        // re-plan the placement) and by the worker loops below.
+        let placement = crate::placement::PlacementControl::new(
+            Arc::clone(&deployment.spec),
+            deployment.plan.clone(),
+            deployment.dynamic,
+            named_mboxes,
+            Arc::clone(&hub),
+            stop.clone(),
+            registry,
+        );
         let mboxes = Arc::new(mboxes);
         let port_stats = Arc::new(port_stats);
         let port_types = Arc::new(port_types);
@@ -418,6 +468,7 @@ impl Runtime {
                 costs: costs.clone(),
                 wake: Arc::clone(&hub),
                 obs: Arc::clone(&obs_hub),
+                placement: Arc::clone(&placement),
                 executions: registry.counter(&format!("actor_{}_executions", a.name)),
             }));
         }
@@ -454,24 +505,7 @@ impl Runtime {
                     }
                 })
                 .collect();
-            // Domain-batched schedule: bucket the actors by protection
-            // domain (untrusted first, then enclaves by first appearance,
-            // declaration order preserved within a domain) so one pass
-            // over k domains pays k migrations instead of up to one per
-            // actor.
-            let mut domain_order: Vec<Domain> = Vec::new();
-            for e in &entries {
-                if !domain_order.contains(&e.ctx.domain) {
-                    domain_order.push(e.ctx.domain);
-                }
-            }
-            domain_order.sort_by_key(|d| d.is_trusted());
-            entries.sort_by_key(|e| {
-                domain_order
-                    .iter()
-                    .position(|d| *d == e.ctx.domain)
-                    .expect("every entry domain was collected")
-            });
+            sort_domain_batched(&mut entries);
             // Worker statistics are live registry counters — the loop
             // below increments them in place and the report reads them
             // back, so `Runtime::metrics` observes running workers.
@@ -498,6 +532,8 @@ impl Runtime {
             let stop = stop.clone();
             let costs = costs.clone();
             let hub = Arc::clone(&hub);
+            let placement = Arc::clone(&placement);
+            let dynamic = deployment.dynamic;
             let cpu = w.cpu;
             let handle = std::thread::Builder::new()
                 .name(format!("eactors-worker-{wi}"))
@@ -518,12 +554,31 @@ impl Runtime {
                     arena::set_worker_token();
                     arena::install_magazines(magazine_stats);
                     let mut idle_streak = 0u64;
+                    let mut local_epoch = 0u64;
                     let spin_tier = u64::from(idle.spin_passes);
                     let yield_tier = spin_tier.saturating_add(u64::from(idle.yield_passes));
                     while !stop.is_stopped() {
+                        // Migration safe point: between passes, outside
+                        // any actor body. Leave the enclave before
+                        // blocking at the barrier, hand off departing
+                        // actors, adopt incoming ones, re-batch.
+                        if dynamic && placement.epoch_changed(local_epoch) {
+                            switch_domain(&costs, Domain::Untrusted);
+                            local_epoch = placement.rebalance(wi, &mut entries);
+                            sort_domain_batched(&mut entries);
+                            idle_streak = 0;
+                            continue;
+                        }
                         let out = run_pass(&mut entries, &stop, &costs, &counters);
                         c_passes.inc();
-                        if out.stopped || out.all_parked {
+                        if out.stopped {
+                            break;
+                        }
+                        // A static worker whose actors all parked exits;
+                        // a dynamic one stays (idle, eventually parked on
+                        // the hub) — a later plan may migrate live actors
+                        // onto it, and the migration barrier counts it.
+                        if out.all_parked && !dynamic {
                             break;
                         }
                         if out.any_busy {
@@ -543,9 +598,18 @@ impl Runtime {
                             // re-poll or its notify ends the park at once
                             // (see crate::wake for the protocol).
                             let seen = hub.prepare_park();
+                            // A plan submitted between the loop-top epoch
+                            // check and here must not be slept through:
+                            // submit's notify_force bumps the eventcount
+                            // epoch unconditionally, and this re-check
+                            // closes the remaining window before park.
+                            if dynamic && placement.epoch_changed(local_epoch) {
+                                hub.cancel_park();
+                                continue;
+                            }
                             let out = run_pass(&mut entries, &stop, &costs, &counters);
                             c_passes.inc();
-                            if out.stopped || out.all_parked {
+                            if out.stopped || (out.all_parked && !dynamic) {
                                 hub.cancel_park();
                                 break;
                             }
@@ -618,8 +682,18 @@ impl Runtime {
             enclaves,
             mboxes,
             arenas,
+            placement,
             started,
         })
+    }
+
+    /// The runtime's placement layer: read the current
+    /// [`crate::placement::PlacementPlan`], and on deployments built with
+    /// [`crate::config::DeploymentBuilder::dynamic_placement`] submit new
+    /// plans ([`crate::placement::PlacementControl::submit`]) that migrate
+    /// actors between workers at the next safe point.
+    pub fn placement(&self) -> &Arc<crate::placement::PlacementControl> {
+        &self.placement
     }
 
     /// The deployment's observability hub: ring registry plus the
@@ -1137,6 +1211,184 @@ mod tests {
         let rt = Runtime::start(&p, b.build().unwrap()).unwrap();
         // Same-enclave channel nodes live inside the enclave.
         assert!(rt.enclaves()[0].memory_bytes() > 4096);
+        rt.join();
+    }
+
+    /// An endless ping-pong pair for migration tests: ping re-sends on
+    /// every pong, so traffic flows until shutdown.
+    fn echo_pair(
+        b: &mut DeploymentBuilder,
+    ) -> (crate::config::ActorSlot, crate::config::ActorSlot) {
+        let mut first = true;
+        let ping = b.actor(
+            "ping",
+            Placement::Untrusted,
+            from_fn(move |ctx| {
+                let mut buf = [0u8; 64];
+                if first {
+                    first = false;
+                    ctx.channel(0).send(b"ping").unwrap();
+                    return Control::Busy;
+                }
+                match ctx.channel(0).try_recv(&mut buf) {
+                    Ok(Some(_)) => {
+                        let _ = ctx.channel(0).send(b"ping");
+                        Control::Busy
+                    }
+                    _ => Control::Idle,
+                }
+            }),
+        );
+        let pong = b.actor(
+            "pong",
+            Placement::Untrusted,
+            from_fn(move |ctx| {
+                let mut buf = [0u8; 64];
+                match ctx.channel(0).try_recv(&mut buf) {
+                    Ok(Some(_)) => {
+                        let _ = ctx.channel(0).send(b"pong");
+                        Control::Busy
+                    }
+                    _ => Control::Idle,
+                }
+            }),
+        );
+        b.channel(ping, pong);
+        (ping, pong)
+    }
+
+    #[test]
+    fn live_migration_moves_actors_and_traffic_continues() {
+        let p = platform();
+        let mut b = DeploymentBuilder::new();
+        b.dynamic_placement();
+        let (ping, pong) = echo_pair(&mut b);
+        let keeper = b.actor("keeper", Placement::Untrusted, from_fn(|_| Control::Idle));
+        b.worker(&[ping, pong]);
+        b.worker(&[keeper]);
+        let rt = Runtime::start(&p, b.build().unwrap()).unwrap();
+        let control = Arc::clone(rt.placement());
+        assert!(control.dynamic());
+        assert_eq!(control.current_plan().version(), 0);
+
+        // Move pong (actor 1) to worker 1, then back, checking traffic
+        // flows across each epoch.
+        for (epoch, plan) in [[0u32, 1, 1], [0, 0, 1]].iter().enumerate() {
+            let before = rt.metrics().counter("channel0a_sent_frames").unwrap_or(0);
+            let target = control.submit(plan.to_vec()).unwrap();
+            assert!(
+                control.wait_applied(target, Duration::from_secs(10)),
+                "epoch {} not applied",
+                epoch + 1
+            );
+            assert_eq!(control.applied_epoch(), epoch as u64 + 1);
+            assert_eq!(control.current_plan().version(), epoch as u64 + 1);
+            assert_eq!(control.current_plan().assignment(), plan);
+            // Traffic must resume on the new placement.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while rt.metrics().counter("channel0a_sent_frames").unwrap_or(0) <= before {
+                assert!(Instant::now() < deadline, "no traffic after migration");
+                std::thread::yield_now();
+            }
+        }
+        let metrics = rt.metrics();
+        assert_eq!(metrics.counter("placement_epochs_applied"), Some(2));
+        assert_eq!(metrics.counter("placement_migrations"), Some(2));
+        assert_eq!(metrics.counter("mbox_cardinality_violations"), Some(0));
+        rt.shutdown();
+        rt.join();
+    }
+
+    #[test]
+    fn static_runtime_rejects_submissions() {
+        let p = platform();
+        let mut b = DeploymentBuilder::new();
+        let a = b.actor("a", Placement::Untrusted, from_fn(|_| Control::Park));
+        b.worker(&[a]);
+        let rt = Runtime::start(&p, b.build().unwrap()).unwrap();
+        assert!(matches!(
+            rt.placement().submit(vec![0]),
+            Err(crate::placement::PlanError::Static)
+        ));
+        rt.join();
+    }
+
+    #[test]
+    fn migration_reselects_mbox_protocol_and_keeps_messages() {
+        use crate::arena::MboxKind;
+        let p = platform();
+        let mut b = DeploymentBuilder::new();
+        b.dynamic_placement();
+        // Two producers on one worker + one consumer on the other: the
+        // build-time proof selects SPSC; splitting the producers across
+        // workers must downgrade it to MPSC at the migration barrier.
+        let p1 = b.actor("p1", Placement::Untrusted, from_fn(|_| Control::Idle));
+        let p2 = b.actor("p2", Placement::Untrusted, from_fn(|_| Control::Idle));
+        let c1 = b.actor("c1", Placement::Untrusted, from_fn(|_| Control::Idle));
+        b.pool("pool", Placement::Untrusted, 16, 64);
+        b.mbox_bound("inbox", "pool", 16, &[p1, p2], &[c1]);
+        b.worker(&[p1, p2]);
+        b.worker(&[c1]);
+        let rt = Runtime::start(&p, b.build().unwrap()).unwrap();
+        let mbox = Arc::clone(rt.mbox("inbox").unwrap());
+        assert_eq!(mbox.kind(), MboxKind::Spsc);
+        // Queue messages before the re-key: they must survive it.
+        let arena = Arc::clone(rt.arena("pool").unwrap());
+        for i in 0..3u8 {
+            let mut node = arena.try_pop().unwrap();
+            node.write(&[i]);
+            mbox.send(node).unwrap();
+        }
+        let control = Arc::clone(rt.placement());
+        let target = control.submit(vec![0, 1, 1]).unwrap();
+        assert!(control.wait_applied(target, Duration::from_secs(10)));
+        assert_eq!(mbox.kind(), MboxKind::Mpsc);
+        assert_eq!(
+            rt.metrics().counter("placement_reselections"),
+            Some(1),
+            "exactly the inbox changed protocol"
+        );
+        for i in 0..3u8 {
+            let node = mbox.recv().expect("message survived the re-key");
+            assert_eq!(node.bytes(), &[i]);
+        }
+        assert!(mbox.recv().is_none());
+        rt.shutdown();
+        rt.join();
+    }
+
+    #[test]
+    fn planner_actor_isolates_hot_pair_automatically() {
+        let p = platform();
+        let mut b = DeploymentBuilder::new();
+        // A busy echo pair plus the planner, all initially crammed onto
+        // worker 0 with worker 1 idle; the planner should move the pair
+        // (or itself) so the hot pair no longer shares with the planner.
+        let (ping, pong) = echo_pair(&mut b);
+        let planner = b.planner(crate::placement::PlannerConfig {
+            interval: Duration::from_millis(2),
+            min_improvement: 0.01,
+            ..Default::default()
+        });
+        let idle = b.actor("filler", Placement::Untrusted, from_fn(|_| Control::Idle));
+        b.worker(&[ping, pong, planner]);
+        b.worker(&[idle]);
+        let rt = Runtime::start(&p, b.build().unwrap()).unwrap();
+        let control = Arc::clone(rt.placement());
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let plan = control.current_plan();
+            let a = plan.assignment();
+            if plan.version() > 0 && a[0] == a[1] {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "planner produced no improved plan; current {a:?}"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        rt.shutdown();
         rt.join();
     }
 }

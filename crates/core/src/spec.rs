@@ -805,9 +805,8 @@ mod tests {
         )
         .unwrap();
         let deployment = spec.into_builder(&registry()).unwrap().build().unwrap();
-        let kinds: Vec<_> = deployment.mboxes.iter().map(|m| m.kind).collect();
         assert_eq!(
-            kinds,
+            deployment.plan().mbox_kinds(),
             [
                 crate::arena::MboxKind::Spsc,
                 crate::arena::MboxKind::Mpsc,

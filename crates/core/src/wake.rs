@@ -110,6 +110,32 @@ impl WakeHub {
         }
     }
 
+    /// Wake every parked worker *and* invalidate every in-flight park
+    /// handshake, even with zero registered sleepers.
+    ///
+    /// [`WakeHub::notify`] may skip the epoch bump when it observes no
+    /// sleepers — correct for message sends (the recipient's pre-park
+    /// re-poll finds the message), but not for out-of-band conditions a
+    /// re-poll cannot see. The placement layer uses this when publishing
+    /// a new plan epoch: a worker between `prepare_park` and `park` must
+    /// not sleep through the migration barrier, and the unconditional
+    /// epoch bump guarantees its `park(seen)` returns immediately.
+    pub fn notify_force(&self) {
+        fence(Ordering::SeqCst);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            self.notifies.inc();
+        }
+        {
+            let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.cond.notify_all();
+        }
+        let wakers = self.wakers.read().unwrap_or_else(|e| e.into_inner());
+        for w in wakers.iter() {
+            w.wake();
+        }
+    }
+
     /// Add an external wake channel; every subsequent [`WakeHub::notify`]
     /// that observes sleepers also calls `waker.wake()`. Wakers are never
     /// removed — they live as long as the runtime that registered them.
@@ -273,6 +299,20 @@ mod tests {
         hub.notify();
         assert_eq!(waker.0.load(Ordering::SeqCst), 1, "sleeper observed");
         assert!(hub.park(seen, None), "epoch moved; park returns at once");
+    }
+
+    #[test]
+    fn notify_force_bumps_epoch_without_sleepers() {
+        let hub = WakeHub::new();
+        let seen = hub.prepare_park();
+        hub.cancel_park();
+        // A plain notify with no sleepers would be skipped entirely; the
+        // forced variant must invalidate the snapshot regardless.
+        hub.notify_force();
+        assert_eq!(hub.sleepers(), 0);
+        let _ = hub.prepare_park();
+        assert_ne!(hub.epoch.load(Ordering::SeqCst), seen);
+        hub.cancel_park();
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::hist::{bucket_floor, HistSnapshot, Log2Hist};
+use crate::hist::{bucket_floor, HistSnapshot, Log2Hist, BUCKETS};
 use crate::json::Value;
 
 /// A monotonically increasing counter. Cloning the `Arc` shares it;
@@ -304,6 +304,96 @@ impl MetricsSnapshot {
         ])
     }
 
+    /// Parse a snapshot back out of the [`MetricsSnapshot::to_json`]
+    /// document — the inverse of the exporter, so recorded runs can be
+    /// replayed (the offline placement planner consumes checked-in
+    /// snapshots this way).
+    ///
+    /// Histogram `mean` is derived from `sum`/`count` and therefore
+    /// ignored on parse; sparse `buckets` pairs are re-expanded into the
+    /// dense per-bucket array via the floor→index inverse of
+    /// [`bucket_floor`]. Entries are re-sorted by name, so
+    /// `from_json(&snap.to_json()) == snap` for any registry snapshot.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first malformed element (wrong JSON shape,
+    /// non-integer value, unknown bucket floor).
+    pub fn from_json(doc: &Value) -> Result<MetricsSnapshot, String> {
+        let section = |key: &str| -> Result<&[(String, Value)], String> {
+            doc.get(key)
+                .ok_or_else(|| format!("missing {key:?} object"))?
+                .as_object()
+                .ok_or_else(|| format!("{key:?} is not an object"))
+        };
+        let scalars = |key: &str| -> Result<Vec<(String, u64)>, String> {
+            let mut out = Vec::new();
+            for (name, v) in section(key)? {
+                let v = v
+                    .as_u64()
+                    .ok_or_else(|| format!("{key}.{name} is not a u64"))?;
+                out.push((name.clone(), v));
+            }
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            Ok(out)
+        };
+        let counters = scalars("counters")?;
+        let gauges = scalars("gauges")?;
+        let mut hists = Vec::new();
+        for (name, h) in section("histograms")? {
+            let field = |key: &str| -> Result<u64, String> {
+                h.get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("histograms.{name}.{key} is not a u64"))
+            };
+            let mut buckets = [0u64; BUCKETS];
+            let pairs = h
+                .get("buckets")
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("histograms.{name}.buckets is not an array"))?;
+            for pair in pairs {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| format!("histograms.{name}: bucket entry is not a pair"))?;
+                let floor = pair[0]
+                    .as_u64()
+                    .ok_or_else(|| format!("histograms.{name}: bucket floor is not a u64"))?;
+                let count = pair[1]
+                    .as_u64()
+                    .ok_or_else(|| format!("histograms.{name}: bucket count is not a u64"))?;
+                // Invert bucket_floor: floor 0 is bucket 0, floor 2^k is
+                // bucket k+1. Anything else never came from the exporter.
+                let idx = match floor {
+                    0 => 0,
+                    f if f.is_power_of_two() => f.trailing_zeros() as usize + 1,
+                    f => return Err(format!("histograms.{name}: {f} is not a log2 bucket floor")),
+                };
+                if idx >= BUCKETS {
+                    return Err(format!(
+                        "histograms.{name}: bucket floor {floor} out of range"
+                    ));
+                }
+                buckets[idx] = count;
+            }
+            hists.push((
+                name.clone(),
+                HistSnapshot {
+                    buckets,
+                    count: field("count")?,
+                    sum: field("sum")?,
+                    max: field("max")?,
+                },
+            ));
+        }
+        hists.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(MetricsSnapshot {
+            counters,
+            gauges,
+            hists,
+        })
+    }
+
     /// Render as Prometheus text exposition format: counters as
     /// `# TYPE <name> counter` samples, histograms as cumulative
     /// `<name>_bucket{le="..."}` series plus `_sum` and `_count`.
@@ -434,6 +524,70 @@ mod tests {
         );
         assert_eq!(snap.hist("latency").unwrap().count, 1);
         assert_eq!(snap.counter("zebra"), Some(1));
+    }
+
+    /// Property test: for randomly generated registries, serializing a
+    /// snapshot through the text exporter and parsing it back yields the
+    /// identical snapshot (mean is derived, buckets re-expand, order is
+    /// restored by name). Deterministic xorshift generator — no RNG
+    /// dependency, reproducible failures.
+    #[test]
+    fn from_json_round_trip_property() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..200 {
+            let reg = MetricsRegistry::new();
+            for i in 0..(next() % 8) {
+                reg.counter(&format!("c{case}_{i}")).add(next() % (1 << 48));
+            }
+            for i in 0..(next() % 8) {
+                reg.gauge(&format!("g{case}_{i}")).set(next() % (1 << 48));
+            }
+            for i in 0..(next() % 4) {
+                let h = reg.hist(&format!("h{case}_{i}"));
+                for _ in 0..(next() % 32) {
+                    // Spread observations across many log2 buckets while
+                    // keeping sums within f64's exact-integer range (the
+                    // JSON exporter stores numbers as f64).
+                    h.record((next() >> (next() % 64)) % (1 << 40));
+                }
+            }
+            let snap = reg.snapshot();
+            let doc = snap.to_json().pretty();
+            let parsed = MetricsSnapshot::from_json(&crate::json::parse(&doc).unwrap())
+                .unwrap_or_else(|e| panic!("case {case}: {e}\n{doc}"));
+            assert_eq!(parsed, snap, "case {case} failed to round-trip");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        for (doc, why) in [
+            (r#"{"gauges": {}, "histograms": {}}"#, "missing counters"),
+            (
+                r#"{"counters": {"x": "nan"}, "gauges": {}, "histograms": {}}"#,
+                "non-integer counter",
+            ),
+            (
+                r#"{"counters": {}, "gauges": {}, "histograms": {"h": {"count": 1, "sum": 1, "max": 1, "buckets": [[3, 1]]}}}"#,
+                "floor 3 is not a power of two",
+            ),
+            (
+                r#"{"counters": {}, "gauges": {}, "histograms": {"h": {"sum": 1, "max": 1, "buckets": []}}}"#,
+                "missing count",
+            ),
+        ] {
+            let parsed = crate::json::parse(doc).unwrap();
+            assert!(
+                MetricsSnapshot::from_json(&parsed).is_err(),
+                "should reject: {why}"
+            );
+        }
     }
 
     #[test]

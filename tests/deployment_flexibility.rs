@@ -177,6 +177,214 @@ fn dedicated_workers_reach_the_same_result() {
     assert_eq!(sum.load(Ordering::Relaxed), (0..500u64).sum::<u64>());
 }
 
+/// Every static map fig16 measures (48 XMPP eactors over 1, 2 or 16
+/// enclaves on 3 workers) must be expressible as a [`PlacementPlan`],
+/// and the plans' predicted per-pass crossings must rank the layouts
+/// the way §6.4.3 measures them: more enclaves, more crossings.
+#[test]
+fn every_fig16_static_map_is_expressible_as_a_placement_plan() {
+    use eactors::placement::PlanActor;
+    use eactors::{PlacementPlan, PlanSpec};
+
+    let mut crossings = Vec::new();
+    for enclaves in [1usize, 2, 16] {
+        // 16 instances x 3 trusted eactors; instance i lives in enclave
+        // `i % enclaves` and on worker `i % 3` (the EA/3 layout).
+        let actors: Vec<PlanActor> = (0..48)
+            .map(|a| PlanActor {
+                name: format!("xmpp-{a}"),
+                enclave: Some((a / 3) % enclaves),
+            })
+            .collect();
+        let spec = PlanSpec {
+            actors,
+            workers: 3,
+            channels: (0..16)
+                .flat_map(|i| [(3 * i, 3 * i + 1), (3 * i, 3 * i + 2)])
+                .collect(),
+            mboxes: Vec::new(),
+        };
+        let assignment: Vec<u32> = (0..48u32).map(|a| (a / 3) % 3).collect();
+        let plan = PlacementPlan::derive(&spec, assignment).expect("fig16 map expressible");
+        assert_eq!(plan.version(), 0);
+        crossings.push(plan.predicted_crossings_per_pass(&spec));
+    }
+    assert_eq!(crossings[0], 0, "one shared enclave needs no crossings");
+    assert!(
+        crossings[0] < crossings[1] && crossings[1] < crossings[2],
+        "crossings must grow with the enclave count, got {crossings:?}"
+    );
+}
+
+/// A thousand random migrations of a live mbox-and-channel topology:
+/// the cursor-protocol proofs must hold at every epoch (zero
+/// `mbox_cardinality_violations`) and no node may leak — after a
+/// quiesced drain and shutdown, every pool node is back on the free
+/// list.
+#[test]
+fn thousand_random_migrations_keep_protocols_sound_and_leak_no_nodes() {
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
+
+    const MIGRATIONS: u64 = 1000;
+    let platform = Platform::builder().cost_model(CostModel::zero()).build();
+    let mut b = DeploymentBuilder::new();
+    b.dynamic_placement();
+    b.pool("pool", Placement::Untrusted, 32, 64);
+
+    let quiesce = Arc::new(AtomicBool::new(false));
+    let sent = Arc::new(AtomicU64::new(0));
+    let received = Arc::new(AtomicU64::new(0));
+
+    // Two producers into one bound mbox: co-located they prove SPSC,
+    // split they force MPSC, so random assignments keep re-selecting the
+    // cursor protocol with traffic in flight.
+    let mut actors = Vec::new();
+    for i in 0..2 {
+        let quiesce = quiesce.clone();
+        let sent = sent.clone();
+        actors.push(b.actor(
+            &format!("prod-{i}"),
+            Placement::Untrusted,
+            eactors::from_fn(move |ctx| {
+                if quiesce.load(Ordering::Relaxed) {
+                    return Control::Idle;
+                }
+                let Some(mut node) = Arc::clone(ctx.arena("pool").expect("pool")).try_pop() else {
+                    return Control::Idle;
+                };
+                node.write(b"stress");
+                match ctx.mbox("inbox").expect("inbox").send(node) {
+                    Ok(()) => {
+                        sent.fetch_add(1, Ordering::Relaxed);
+                        Control::Busy
+                    }
+                    Err(_full) => Control::Idle,
+                }
+            }),
+        ));
+    }
+    let received_c = received.clone();
+    actors.push(b.actor(
+        "cons",
+        Placement::Untrusted,
+        eactors::from_fn(move |ctx| match ctx.mbox("inbox").expect("inbox").recv() {
+            Some(node) => {
+                assert_eq!(node.bytes(), b"stress");
+                received_c.fetch_add(1, Ordering::Relaxed);
+                Control::Busy
+            }
+            None => Control::Idle,
+        }),
+    ));
+    b.mbox_bound("inbox", "pool", 16, &actors[0..2], &[actors[2]]);
+
+    // A ping-pong channel pair rides along so migrations also exercise
+    // the channel ends' producer/consumer claim resets.
+    let quiesce_ping = quiesce.clone();
+    let mut awaiting = false;
+    let ping = b.actor(
+        "ping",
+        Placement::Untrusted,
+        eactors::from_fn(move |ctx| {
+            let mut buf = [0u8; 16];
+            if awaiting {
+                match ctx.channel(0).try_recv(&mut buf) {
+                    Ok(Some(_)) => {
+                        awaiting = false;
+                        Control::Busy
+                    }
+                    _ => Control::Idle,
+                }
+            } else if !quiesce_ping.load(Ordering::Relaxed) {
+                match ctx.channel(0).send(b"ball") {
+                    Ok(()) => {
+                        awaiting = true;
+                        Control::Busy
+                    }
+                    Err(_) => Control::Idle,
+                }
+            } else {
+                Control::Idle
+            }
+        }),
+    );
+    let pong = b.actor(
+        "pong",
+        Placement::Untrusted,
+        eactors::from_fn(move |ctx| {
+            let mut buf = [0u8; 16];
+            match ctx.channel(0).try_recv(&mut buf) {
+                Ok(Some(_)) => {
+                    let _ = ctx.channel(0).send(b"ball");
+                    Control::Busy
+                }
+                _ => Control::Idle,
+            }
+        }),
+    );
+    b.channel(ping, pong);
+    actors.push(ping);
+    actors.push(pong);
+
+    b.worker(&actors[0..2]); // prod-0, prod-1
+    b.worker(&[actors[2]]); // cons
+    b.worker(&[ping, pong]);
+
+    let rt = Runtime::start(&platform, b.build().expect("valid")).expect("start");
+    let control = Arc::clone(rt.placement());
+    let pool = Arc::clone(rt.arena("pool").expect("pool"));
+
+    // xorshift64: deterministic random assignments, no external dep.
+    let mut rng = 0x243f_6a88_85a3_08d3u64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    for step in 0..MIGRATIONS {
+        let assignment: Vec<u32> = (0..actors.len()).map(|_| (next() % 3) as u32).collect();
+        let target = control.submit(assignment).expect("sole submitter");
+        assert!(
+            control.wait_applied(target, Duration::from_secs(30)),
+            "migration {step} stalled"
+        );
+    }
+    assert_eq!(control.applied_epoch(), MIGRATIONS);
+
+    // Quiesce the producers, then wait for the consumer to drain every
+    // message still in flight (no stop-mid-epoch: the last epoch is
+    // fully applied before shutdown, so no handoff strands).
+    quiesce.store(true, Ordering::Relaxed);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while received.load(Ordering::Relaxed) < sent.load(Ordering::Relaxed) {
+        assert!(std::time::Instant::now() < deadline, "drain stalled");
+        std::thread::yield_now();
+    }
+
+    let metrics = rt.metrics();
+    assert_eq!(
+        metrics.counter("mbox_cardinality_violations").unwrap_or(0),
+        0,
+        "a cursor-protocol proof was violated during migration"
+    );
+    assert_eq!(
+        metrics.counter("placement_epochs_applied"),
+        Some(MIGRATIONS)
+    );
+    rt.shutdown();
+    rt.join();
+    // Worker exit drains every thread-local magazine, so all nodes must
+    // be back on the pool's global free list.
+    assert_eq!(
+        pool.free_nodes(),
+        pool.capacity() as usize,
+        "pool nodes leaked across {MIGRATIONS} migrations"
+    );
+    assert!(sent.load(Ordering::Relaxed) > 0, "stress sent no traffic");
+}
+
 #[test]
 fn dropping_a_runtime_signals_stop() {
     let platform = Platform::builder().cost_model(CostModel::zero()).build();

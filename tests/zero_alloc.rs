@@ -229,6 +229,123 @@ fn traced_pingpong_steady_state_allocates_nothing() {
     );
 }
 
+/// The zero-allocation rule must survive an online placement epoch: a
+/// full runtime migrates an actor between workers (drain, magazine
+/// flush, protocol re-selection, new plan version) and the post-epoch
+/// steady state still allocates nothing per message.
+///
+/// Counting is per-thread, so the *actor itself* measures: once the new
+/// plan co-locates the pair on worker 0, PING warms the pair up on that
+/// thread and then counts the worker thread's allocations across 256
+/// round trips — covering not just the channel but the whole worker
+/// scheduling pass.
+#[test]
+fn pingpong_after_migration_epoch_allocates_nothing() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use eactors::prelude::*;
+
+    let _serial = SERIAL.lock().unwrap();
+    let platform = Platform::builder().cost_model(CostModel::zero()).build();
+    let mut b = DeploymentBuilder::new();
+    b.dynamic_placement();
+
+    let applied = Arc::new(AtomicBool::new(false));
+    let steady_allocs = Arc::new(AtomicU64::new(u64::MAX));
+
+    let applied_c = applied.clone();
+    let steady_c = steady_allocs.clone();
+    let mut awaiting = false;
+    let mut rounds = 0u64;
+    // Round count at measurement start and the thread's allocation
+    // counter snapshot; armed only after the epoch applies plus 64
+    // warm-up rounds on the post-migration placement.
+    let mut measure_from: Option<(u64, u64)> = None;
+    let mut rounds_at_apply: Option<u64> = None;
+    let ping = b.actor(
+        "ping",
+        Placement::Untrusted,
+        eactors::from_fn(move |ctx| {
+            let mut buf = [0u8; 64];
+            if awaiting {
+                match ctx.channel(0).try_recv(&mut buf) {
+                    Ok(Some(_)) => {
+                        awaiting = false;
+                        rounds += 1;
+                        if applied_c.load(Ordering::Relaxed) {
+                            let at_apply = *rounds_at_apply.get_or_insert(rounds);
+                            if measure_from.is_none() && rounds >= at_apply + 64 {
+                                measure_from = Some((rounds, ALLOCS.with(Cell::get)));
+                            }
+                            if let Some((from, allocs)) = measure_from {
+                                if rounds == from + 256 {
+                                    steady_c
+                                        .store(ALLOCS.with(Cell::get) - allocs, Ordering::Relaxed);
+                                    ctx.shutdown();
+                                    return Control::Park;
+                                }
+                            }
+                        }
+                        Control::Busy
+                    }
+                    _ => Control::Idle,
+                }
+            } else {
+                match ctx.channel(0).send(b"ball") {
+                    Ok(()) => {
+                        awaiting = true;
+                        Control::Busy
+                    }
+                    Err(_) => Control::Idle,
+                }
+            }
+        }),
+    );
+    let pong = b.actor(
+        "pong",
+        Placement::Untrusted,
+        eactors::from_fn(move |ctx| {
+            let mut buf = [0u8; 64];
+            match ctx.channel(0).try_recv(&mut buf) {
+                Ok(Some(_)) => {
+                    let _ = ctx.channel(0).send(b"ball");
+                    Control::Busy
+                }
+                _ => Control::Idle,
+            }
+        }),
+    );
+    b.channel(ping, pong);
+    let ballast = b.actor(
+        "ballast",
+        Placement::Untrusted,
+        eactors::from_fn(|_| Control::Idle),
+    );
+    // Split pair: every message crosses workers until the epoch.
+    b.worker(&[ping]);
+    b.worker(&[pong, ballast]);
+
+    let rt = Runtime::start(&platform, b.build().expect("valid")).expect("start");
+    let control = Arc::clone(rt.placement());
+    // The migration epoch under test: co-locate the pair on worker 0.
+    let target = control.submit(vec![0, 0, 1]).expect("sole submitter");
+    assert!(
+        control.wait_applied(target, Duration::from_secs(10)),
+        "migration epoch not applied"
+    );
+    applied.store(true, Ordering::Relaxed);
+    let report = rt.join();
+    assert_eq!(report.metrics.counter("placement_epochs_applied"), Some(1));
+    let steady = steady_allocs.load(Ordering::Relaxed);
+    assert_ne!(steady, u64::MAX, "measurement never ran");
+    assert_eq!(
+        steady, 0,
+        "post-migration ping-pong allocated {steady} times over 256 steady-state rounds"
+    );
+}
+
 #[test]
 fn xmpp_frame_echo_steady_state_allocates_nothing() {
     let _serial = SERIAL.lock().unwrap();
