@@ -11,8 +11,8 @@
 
 use eactors_bench::record::TrajectoryArgs;
 use eactors_bench::{
-    ablation, fig01, fig11, fig12, fig14, fig15, fig16, fig17, placement_bench, record, tcb,
-    xmpp_load, Scale,
+    ablation, fig01, fig11, fig12, fig14, fig15, fig16, fig17, placement_bench, pos_bench, record,
+    tcb, xmpp_load, Scale,
 };
 
 fn main() {
@@ -65,6 +65,15 @@ fn main() {
     if args.iter().any(|a| a == "bench-placement") {
         traj.banner("placement skewed-load record");
         placement_bench::record(&traj, scale);
+        return;
+    }
+    // `figures bench-pos [--label <text>] [--sessions <n>]` runs the
+    // POS durability benchmark (delta log vs whole image under a 1%
+    // fault plan, plus cold-recovery timings) and appends the record
+    // to BENCH_pos.json.
+    if args.iter().any(|a| a == "bench-pos") {
+        traj.banner("pos delta-log vs whole-image record");
+        pos_bench::record(&traj, scale);
         return;
     }
     let mut wanted: Vec<&str> = args

@@ -32,6 +32,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod placement_bench;
+pub mod pos_bench;
 pub mod record;
 pub mod report;
 pub mod scale;

@@ -1,0 +1,318 @@
+//! The POS durability benchmark (`BENCH_pos.json`).
+//!
+//! Compares the two durability paths a [`pos::PosStore`] can take under
+//! the *same* 1 % fault plan:
+//!
+//! - **delta log** — every `set` stages a delta record; `wal_sync`
+//!   appends + fsyncs the staged records and compacts into the image
+//!   when the log outgrows its threshold;
+//! - **whole image** — every `set` is followed by a full
+//!   `persist_with` (tmp / fsync / rename of the entire V2 image).
+//!
+//! Both cells make each write durable before issuing the next, so the
+//! reported rates are *durable* writes per second; a durability attempt
+//! that trips an injected fault is simply retried by the next write,
+//! which is exactly how the Syncer eactor behaves in production. The
+//! record also carries two recovery cells: wall time of a cold
+//! [`pos::PosStore::open_wal`] (image restore + log replay + torn-tail
+//! repair) at two image sizes.
+//!
+//! On a single-CPU host both paths run on the one core — `host_cpus`
+//! is recorded so trajectories are only compared like-for-like (see
+//! EXPERIMENTS.md for the recording procedure).
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use pos::failpoints::{
+    PERSIST_CREATE, PERSIST_RENAME, PERSIST_SYNC, PERSIST_WRITE, WAL_APPEND, WAL_CREATE, WAL_SYNC,
+    WAL_TRUNCATE,
+};
+use pos::{PosConfig, PosError, PosStore, WalConfig};
+use sgx_sim::FaultPlan;
+
+use crate::record::{append_trajectory, TrajectoryArgs};
+use crate::scale::Scale;
+
+/// Value payload per write (same order as an XMPP roster delta).
+pub const VALUE_BYTES: usize = 64;
+
+/// Distinct keys the write loop cycles over; small enough that the
+/// store never grows, so both cells measure steady state.
+pub const KEYS: u32 = 64;
+
+/// Injected fault probability per durability syscall site (the "1 %
+/// fault plan" the acceptance run is recorded under).
+pub const FAULT_PROBABILITY: f64 = 0.01;
+
+/// Store geometry for the write-rate cells: large enough that the V2
+/// image is hundreds of kilobytes, so the whole-image path pays a
+/// representative rewrite cost per durable write.
+fn bench_config() -> PosConfig {
+    PosConfig {
+        entries: 4096,
+        payload: VALUE_BYTES + 64,
+        stacks: 8,
+        encryption: None,
+    }
+}
+
+/// The shared 1 % fault plan: every WAL and whole-image persistence
+/// failpoint armed with [`FAULT_PROBABILITY`], seeded per site so runs
+/// are deterministic.
+pub fn fault_plan() -> FaultPlan {
+    let plan = FaultPlan::new();
+    let sites = [
+        WAL_CREATE,
+        WAL_APPEND,
+        WAL_SYNC,
+        WAL_TRUNCATE,
+        PERSIST_CREATE,
+        PERSIST_WRITE,
+        PERSIST_SYNC,
+        PERSIST_RENAME,
+    ];
+    for (i, site) in sites.iter().enumerate() {
+        plan.fail_with_probability(site, FAULT_PROBABILITY, 0x9E37_79B9 + i as u64);
+    }
+    plan
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pos-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    dir
+}
+
+/// `set` with the cleaner folded in: on [`PosError::Full`] the
+/// superseded versions are reclaimed (unlink pass + free pass, as the
+/// Cleaner eactor would) and the write retried.
+fn set_cleaning(store: &PosStore, reader: &pos::ReaderHandle, key: &[u8], value: &[u8]) {
+    loop {
+        match store.set(reader, key, value) {
+            Ok(()) => return,
+            Err(PosError::Full) => {
+                store.clean();
+                store.clean();
+            }
+            Err(e) => panic!("bench write failed: {e}"),
+        }
+    }
+}
+
+/// Durable writes per second through the delta log: each write is
+/// staged by `set` and made durable by `wal_sync` under the shared
+/// fault plan (a tripped sync leaves the record pending for the next
+/// pass, exactly like the live Syncer).
+pub fn wal_writes_per_sec(ops: u64) -> f64 {
+    let dir = scratch_dir("wal");
+    let store = PosStore::open_wal(WalConfig::in_dir(&dir, "bench"), bench_config(), 1 << 28)
+        .expect("open wal store");
+    let reader = store.register_reader();
+    let value = [0xC5u8; VALUE_BYTES];
+    let faults = fault_plan();
+    // Pre-populate every key and reach a durable baseline so the timed
+    // loop measures steady state, not first-touch allocation.
+    for k in 0..KEYS {
+        set_cleaning(&store, &reader, format!("k{k:04}").as_bytes(), &value);
+    }
+    while store.wal_needs_sync() {
+        let _ = store.wal_sync(&faults);
+    }
+    let start = Instant::now();
+    for i in 0..ops {
+        let key = format!("k{:04}", i as u32 % KEYS);
+        set_cleaning(&store, &reader, key.as_bytes(), &value);
+        // A fault here is survivable: the record stays pending and the
+        // next write's sync retries it.
+        let _ = store.wal_sync(&faults);
+        if i % 64 == 63 {
+            store.clean();
+        }
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let _ = std::fs::remove_dir_all(&dir);
+    ops as f64 / secs
+}
+
+/// Durable writes per second through whole-image persistence: each
+/// write is followed by a full `persist_with` of the V2 image under
+/// the shared fault plan (a tripped persist leaves the previous image
+/// in place; the next write's persist covers the loss).
+pub fn image_writes_per_sec(ops: u64) -> f64 {
+    let dir = scratch_dir("image");
+    let image = dir.join("bench.pos");
+    let store = PosStore::new(bench_config());
+    let reader = store.register_reader();
+    let value = [0xC5u8; VALUE_BYTES];
+    let faults = fault_plan();
+    for k in 0..KEYS {
+        set_cleaning(&store, &reader, format!("k{k:04}").as_bytes(), &value);
+    }
+    while store.persist_with(&image, &faults).is_err() {}
+    let start = Instant::now();
+    for i in 0..ops {
+        let key = format!("k{:04}", i as u32 % KEYS);
+        set_cleaning(&store, &reader, key.as_bytes(), &value);
+        let _ = store.persist_with(&image, &faults);
+        if i % 64 == 63 {
+            store.clean();
+        }
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let _ = std::fs::remove_dir_all(&dir);
+    ops as f64 / secs
+}
+
+/// Build a fully-compacted WAL store holding `keys` entries in `dir`,
+/// then drop it — the fixture for a cold-recovery measurement.
+fn build_recovery_image(dir: &Path, keys: u32, entries: u32) {
+    let cfg = WalConfig {
+        // Compact on every sync so the final state lives in the image
+        // and the cell measures recovery time against image size.
+        compact_bytes: 1,
+        ..WalConfig::in_dir(dir, "recover")
+    };
+    let store = PosStore::open_wal(
+        cfg,
+        PosConfig {
+            entries,
+            payload: VALUE_BYTES + 64,
+            stacks: 8,
+            encryption: None,
+        },
+        1 << 28,
+    )
+    .expect("open recovery store");
+    let reader = store.register_reader();
+    let value = [0x5Au8; VALUE_BYTES];
+    let clean = FaultPlan::new();
+    for k in 0..keys {
+        set_cleaning(&store, &reader, format!("r{k:06}").as_bytes(), &value);
+        if k % 64 == 63 {
+            store.wal_sync(&clean).expect("recovery fixture sync");
+        }
+    }
+    while store.wal_needs_sync() {
+        store.wal_sync(&clean).expect("recovery fixture sync");
+    }
+}
+
+/// Cold-recovery wall time in milliseconds: reopen a fully-compacted
+/// WAL store of `keys` entries (image restore, validation, log scan)
+/// and verify a sentinel key survived.
+pub fn recovery_ms(keys: u32, entries: u32) -> f64 {
+    let dir = scratch_dir(&format!("recover-{keys}"));
+    build_recovery_image(&dir, keys, entries);
+    let start = Instant::now();
+    let store = PosStore::open_wal(
+        WalConfig::in_dir(&dir, "recover"),
+        PosConfig {
+            entries,
+            payload: VALUE_BYTES + 64,
+            stacks: 8,
+            encryption: None,
+        },
+        1 << 28,
+    )
+    .expect("recover store");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let reader = store.register_reader();
+    let mut buf = [0u8; VALUE_BYTES];
+    assert!(
+        store
+            .get(&reader, b"r000000", &mut buf)
+            .expect("recovered read")
+            .is_some(),
+        "recovered store lost its first key"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    ms
+}
+
+/// Measure every cell and return the `(series, value)` pairs: durable
+/// write rates for both paths, their ratio, and the two recovery
+/// times (`*_ms` cells are milliseconds, everything else writes/sec).
+pub fn run_cells(wal_ops: u64, image_ops: u64) -> Vec<(String, f64)> {
+    let mut series = Vec::new();
+    let wal = wal_writes_per_sec(wal_ops);
+    println!("  {:>22}: {wal:>12.0} writes/s", "wal_writes_per_sec");
+    series.push(("wal_writes_per_sec".to_owned(), wal));
+    let image = image_writes_per_sec(image_ops);
+    println!("  {:>22}: {image:>12.0} writes/s", "image_writes_per_sec");
+    series.push(("image_writes_per_sec".to_owned(), image));
+    let ratio = wal / image.max(1e-9);
+    println!("  {:>22}: {ratio:>12.1}x", "wal_over_image");
+    series.push(("wal_over_image".to_owned(), ratio));
+    for (name, keys, entries) in [
+        ("recover_1k_keys_ms", 1_024, 4_096),
+        ("recover_8k_keys_ms", 8_192, 32_768),
+    ] {
+        let ms = recovery_ms(keys, entries);
+        println!("  {name:>22}: {ms:>12.2} ms");
+        series.push((name.to_owned(), ms));
+    }
+    series
+}
+
+/// Measure every cell and append one labelled record to
+/// `BENCH_pos.json`. `--sessions <n>` overrides the delta-log op
+/// count (the whole-image path runs `n / 10` because each of its
+/// writes rewrites the full image).
+pub fn record(traj: &TrajectoryArgs, scale: Scale) {
+    let wal_ops = traj.sessions.unwrap_or(scale.ops(4_000, 40_000));
+    let image_ops = (wal_ops / 10).max(100);
+    println!(
+        "  {wal_ops} delta-log writes vs {image_ops} whole-image writes, \
+         {KEYS} keys x {VALUE_BYTES} B, {FAULT_PROBABILITY} fault probability"
+    );
+    let series = run_cells(wal_ops, image_ops);
+    append_trajectory(
+        "BENCH_pos.json",
+        "pos_durable_writes_per_sec",
+        "durable_writes_per_second_(recover_cells_in_ms)",
+        VALUE_BYTES,
+        &traj.label,
+        wal_ops,
+        &series,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wal_cell_measures_a_positive_durable_rate() {
+        let rate = wal_writes_per_sec(64);
+        assert!(rate > 0.0, "rate must be positive, got {rate}");
+    }
+
+    #[test]
+    fn image_cell_measures_a_positive_durable_rate() {
+        let rate = image_writes_per_sec(16);
+        assert!(rate > 0.0, "rate must be positive, got {rate}");
+    }
+
+    #[test]
+    fn recovery_cell_reopens_and_keeps_data() {
+        let ms = recovery_ms(128, 1_024);
+        assert!(ms > 0.0, "recovery must take measurable time, got {ms}");
+    }
+
+    /// The acceptance bar for the checked-in record: the delta log
+    /// sustains at least 5x the whole-image durable write rate under
+    /// the same fault plan. Release-only — debug builds measure the
+    /// allocator, not the durability path.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn delta_log_sustains_five_times_whole_image_rate() {
+        let wal = wal_writes_per_sec(2_000);
+        let image = image_writes_per_sec(200);
+        assert!(
+            wal >= image * 5.0,
+            "delta log must be >= 5x whole image: {wal:.0} vs {image:.0} writes/s"
+        );
+    }
+}

@@ -900,6 +900,13 @@ pub struct PlannerConfig {
     /// Hysteresis: a candidate plan must beat the current plan's cost by
     /// this fraction to be submitted (avoids migration thrash on noise).
     pub min_improvement: f64,
+    /// Hysteresis in time: after submitting a plan, sit out this many
+    /// planning intervals before submitting another. Traffic snapshots
+    /// keep rolling during the cooldown, so the first post-cooldown plan
+    /// still scores only fresh traffic — the knob bounds the migration
+    /// *rate* without staling the planner's view. `0` replans every
+    /// interval (the pre-cooldown behaviour).
+    pub cooldown_intervals: u32,
     /// Cost model weights.
     pub weights: CostWeights,
 }
@@ -909,6 +916,7 @@ impl Default for PlannerConfig {
         PlannerConfig {
             interval: Duration::from_millis(5),
             min_improvement: 0.1,
+            cooldown_intervals: 0,
             weights: CostWeights::default(),
         }
     }
@@ -935,6 +943,8 @@ struct PlannerState {
     obs: Arc<obs::ObsHub>,
     last_input: PlanInput,
     last_plan_at: Instant,
+    /// Intervals left before another plan may be submitted.
+    cooldown_left: u32,
 }
 
 impl PlannerActor {
@@ -957,6 +967,7 @@ impl Actor for PlannerActor {
             obs,
             last_input,
             last_plan_at: Instant::now(),
+            cooldown_left: 0,
         });
     }
 
@@ -972,6 +983,12 @@ impl Actor for PlannerActor {
         let epoch_input = state.last_input.delta(&now);
         state.last_input = now;
         state.last_plan_at = Instant::now();
+        if state.cooldown_left > 0 {
+            // Cooling down: keep the traffic window rolling (done above)
+            // but submit nothing this interval.
+            state.cooldown_left -= 1;
+            return Control::Idle;
+        }
         if epoch_input.total_traffic() == 0 {
             return Control::Idle;
         }
@@ -982,7 +999,13 @@ impl Actor for PlannerActor {
             && candidate.cost < current_cost * (1.0 - self.config.min_improvement)
         {
             // Pending/Stopped races are benign: retry next epoch.
-            let _ = state.control.submit(candidate.plan.assignment().to_vec());
+            if state
+                .control
+                .submit(candidate.plan.assignment().to_vec())
+                .is_ok()
+            {
+                state.cooldown_left = self.config.cooldown_intervals;
+            }
         }
         Control::Idle
     }

@@ -40,10 +40,16 @@ pub enum EventKind {
     Park = 9,
     /// A parked worker was woken by a notify (not a timeout).
     Wake = 10,
+    /// A batch of POS delta-log records became durable: `source` = actor
+    /// id of the syncer, `a` = records appended, `b` = bytes appended.
+    WalAppend = 11,
+    /// A POS delta log was compacted into its image: `a` = log bytes
+    /// folded away.
+    PosCompact = 12,
 }
 
 /// Number of distinct event kinds (including [`EventKind::Empty`]).
-pub const KIND_COUNT: usize = 11;
+pub const KIND_COUNT: usize = 13;
 
 impl EventKind {
     /// Decode the stored byte; unknown bytes collapse to `Empty`.
@@ -59,6 +65,8 @@ impl EventKind {
             8 => EventKind::PosSync,
             9 => EventKind::Park,
             10 => EventKind::Wake,
+            11 => EventKind::WalAppend,
+            12 => EventKind::PosCompact,
             _ => EventKind::Empty,
         }
     }
@@ -77,6 +85,8 @@ impl EventKind {
             EventKind::PosSync => "pos_sync",
             EventKind::Park => "park",
             EventKind::Wake => "wake",
+            EventKind::WalAppend => "wal_append",
+            EventKind::PosCompact => "pos_compact",
         }
     }
 
@@ -94,6 +104,8 @@ impl EventKind {
             EventKind::PosSync,
             EventKind::Park,
             EventKind::Wake,
+            EventKind::WalAppend,
+            EventKind::PosCompact,
         ]
     }
 }

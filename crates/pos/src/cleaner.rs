@@ -3,16 +3,24 @@
 use std::sync::Arc;
 
 use eactors::actor::{Actor, Control, Ctx};
+use eactors::obs;
 
 use crate::store::PosStore;
 
-/// The paper's *Cleaner* (§4.1): an eactor that periodically scans the
+/// The paper's *Cleaner* (§4.1): an eactor that periodically scans each
 /// store's retired list, unlinks superseded entries and returns them to
 /// the storage pool once all connected readers have moved past the
 /// update.
 ///
-/// Run it on any worker; one pass per `interval` body executions keeps
-/// the overhead negligible.
+/// The cleaner runs *concurrently with mutators* — `PosStore::clean` is
+/// epoch-protected, so no stop-the-world pause is needed — and it is
+/// dirty-aware: a store is only visited while its
+/// [`PosStore::dirty_epoch`] moves or its retired list is non-empty, so
+/// quiescent stores cost nothing per pass. One [`Cleaner`] can service
+/// many stores (e.g. every shard of a [`crate::PosShards`]).
+///
+/// Registry metrics: `pos_cleans` (passes that visited at least one
+/// store) and `pos_cleaner_freed` (entries recycled).
 ///
 /// # Examples
 ///
@@ -29,22 +37,51 @@ use crate::store::PosStore;
 /// ```
 #[derive(Debug)]
 pub struct Cleaner {
-    store: Arc<PosStore>,
+    slots: Vec<CleanSlot>,
     interval: u64,
     countdown: u64,
     freed_total: u64,
+    cleans: Arc<obs::Counter>,
+    freed: Arc<obs::Counter>,
+}
+
+/// Passes a store stays armed after its dirty epoch moves (covers the
+/// unlink pass, the grace period and the free pass).
+const ARM_PASSES: u8 = 3;
+
+#[derive(Debug)]
+struct CleanSlot {
+    store: Arc<PosStore>,
+    /// Dirty epoch at the last visit; movement re-arms the slot.
+    seen_epoch: u64,
+    /// Remaining passes before the slot goes quiescent.
+    armed: u8,
 }
 
 impl Cleaner {
-    /// A cleaner for `store` running one pass every `interval` body
+    /// A cleaner for one `store` running a pass every `interval` body
     /// executions (minimum 1).
     pub fn new(store: Arc<PosStore>, interval: u64) -> Self {
+        Self::for_stores(vec![store], interval)
+    }
+
+    /// A cleaner servicing many stores round-robin in one pass.
+    pub fn for_stores(stores: Vec<Arc<PosStore>>, interval: u64) -> Self {
         let interval = interval.max(1);
         Cleaner {
-            store,
+            slots: stores
+                .into_iter()
+                .map(|store| CleanSlot {
+                    store,
+                    seen_epoch: u64::MAX, // first pass always inspects
+                    armed: ARM_PASSES,
+                })
+                .collect(),
             interval,
             countdown: interval,
             freed_total: 0,
+            cleans: Arc::new(obs::Counter::new()),
+            freed: Arc::new(obs::Counter::new()),
         }
     }
 
@@ -52,18 +89,58 @@ impl Cleaner {
     pub fn freed_total(&self) -> u64 {
         self.freed_total
     }
+
+    /// Shared counter of entries recycled (registry: `pos_cleaner_freed`).
+    pub fn freed_counter(&self) -> Arc<obs::Counter> {
+        self.freed.clone()
+    }
 }
 
 impl Actor for Cleaner {
+    fn ctor(&mut self, ctx: &mut Ctx) {
+        let registry = ctx.obs_hub().registry();
+        self.cleans = registry.register_counter("pos_cleans", self.cleans.clone());
+        self.freed = registry.register_counter("pos_cleaner_freed", self.freed.clone());
+    }
+
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
         self.countdown -= 1;
         if self.countdown > 0 {
             return Control::Idle;
         }
         self.countdown = self.interval;
-        let freed = self.store.clean();
+        let mut freed = 0usize;
+        let mut visited = false;
+        for slot in &mut self.slots {
+            let dirty = slot.store.dirty_epoch();
+            if dirty != slot.seen_epoch {
+                slot.seen_epoch = dirty;
+                slot.armed = ARM_PASSES;
+            }
+            // Pinned readers can stall the grace period past the armed
+            // window; keep visiting while retirees remain.
+            if slot.armed == 0 && !slot.store.retired.lock().is_empty() {
+                slot.armed = 1;
+            }
+            if slot.armed == 0 {
+                continue;
+            }
+            visited = true;
+            let f = slot.store.clean();
+            freed += f;
+            if f > 0 {
+                // Progress: stay armed, more may become freeable.
+                slot.armed = ARM_PASSES;
+            } else {
+                slot.armed -= 1;
+            }
+        }
+        if visited {
+            self.cleans.inc();
+        }
         self.freed_total += freed as u64;
         if freed > 0 {
+            self.freed.add(freed as u64);
             Control::Busy
         } else {
             Control::Idle
@@ -78,14 +155,18 @@ mod tests {
     use eactors::prelude::*;
     use sgx_sim::{CostModel, Platform};
 
-    #[test]
-    fn cleaner_actor_recycles_entries() {
-        let store = PosStore::new(PosConfig {
+    fn tiny() -> Arc<PosStore> {
+        PosStore::new(PosConfig {
             entries: 8,
             payload: 64,
             stacks: 2,
             encryption: None,
-        });
+        })
+    }
+
+    #[test]
+    fn cleaner_actor_recycles_entries() {
+        let store = tiny();
         let reader = store.register_reader();
         // Five versions of the same key: four superseded.
         for i in 0..5u8 {
@@ -121,5 +202,40 @@ mod tests {
         let mut buf = [0u8; 8];
         assert_eq!(store.get(&reader, b"k", &mut buf).unwrap(), Some(1));
         assert_eq!(buf[0], 4);
+    }
+
+    #[test]
+    fn one_cleaner_services_many_stores() {
+        let stores: Vec<_> = (0..3).map(|_| tiny()).collect();
+        for s in &stores {
+            let r = s.register_reader();
+            for i in 0..4u8 {
+                s.set(&r, b"k", &[i]).unwrap();
+            }
+        }
+        let platform = Platform::builder().cost_model(CostModel::zero()).build();
+        let mut b = DeploymentBuilder::new();
+        let cleaner = Cleaner::for_stores(stores.clone(), 1);
+        let c = b.actor("cleaner", Placement::Untrusted, cleaner);
+        let probe = stores.clone();
+        let stopper = b.actor(
+            "stopper",
+            Placement::Untrusted,
+            eactors::from_fn(move |ctx| {
+                if probe.iter().all(|s| s.free_entries() >= 7) {
+                    ctx.shutdown();
+                    Control::Park
+                } else {
+                    Control::Idle
+                }
+            }),
+        );
+        b.worker(&[c, stopper]);
+        let rt = Runtime::start(&platform, b.build().unwrap()).unwrap();
+        let report = rt.join();
+        for s in &stores {
+            assert_eq!(s.free_entries(), 7);
+        }
+        assert!(report.metrics.counter("pos_cleaner_freed").unwrap_or(0) >= 9);
     }
 }

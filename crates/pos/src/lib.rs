@@ -39,15 +39,19 @@ mod cleaner;
 mod epoch;
 mod error;
 mod persist;
+mod shard;
 mod store;
 mod syncer;
+mod wal;
 
 pub use cleaner::Cleaner;
 pub use epoch::ReaderHandle;
 pub use error::PosError;
 pub use persist::{crc64, failpoints, DEFAULT_RESTORE_BUDGET};
+pub use shard::{PosShards, ShardsReader};
 pub use store::{PosConfig, PosEncryption, PosStore};
 pub use syncer::{Syncer, MAX_BACKOFF_PASSES};
+pub use wal::{WalConfig, WalSync, DEFAULT_COMPACT_BYTES};
 
 #[cfg(test)]
 mod tests {

@@ -73,6 +73,18 @@ pub mod failpoints {
     /// The rename over the target fails (tmp file remains, target keeps
     /// the old image).
     pub const PERSIST_RENAME: &str = "pos.persist.rename";
+    /// Creating the delta-log file (or rewriting its header) fails.
+    pub const WAL_CREATE: &str = "pos.wal.create";
+    /// The delta-log append tears halfway through (a torn record remains
+    /// at the tail until the next sync repairs it).
+    pub const WAL_APPEND: &str = "pos.wal.append";
+    /// The fsync of the delta log fails (appended bytes are of unknown
+    /// durability; they are rewound and re-appended on the next sync).
+    pub const WAL_SYNC: &str = "pos.wal.sync";
+    /// Truncating the delta log after a compaction fails (the new image
+    /// and the full log coexist; replay is idempotent, so recovery sees
+    /// the new state).
+    pub const WAL_TRUNCATE: &str = "pos.wal.truncate";
 }
 
 /// CRC64 (ECMA-182, reflected) lookup table, built at compile time.

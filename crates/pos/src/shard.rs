@@ -1,0 +1,279 @@
+//! Key-hash sharded stores: N independent [`PosStore`]s behind one
+//! routing facade.
+//!
+//! One store means one retired list, one cleaner lock and one free-list
+//! CAS hot spot shared by every writer. [`PosShards`] splits the key
+//! space across independent stores by a seeded key hash, so writers on
+//! different shards (e.g. XMPP `DirShard`s on different workers) never
+//! contend on the same store's internals. The recommended shard count is
+//! the deployment's worker count — one shard per potential concurrent
+//! mutator.
+//!
+//! Each shard is a full [`PosStore`]: it can carry its own delta log
+//! (open shards via [`PosStore::open_wal`] and assemble with
+//! [`PosShards::from_stores`]) and registers with the same Syncer and
+//! Cleaner eactors as any other store.
+
+use std::sync::Arc;
+
+use crate::epoch::ReaderHandle;
+use crate::error::PosError;
+use crate::store::{PosConfig, PosStore};
+
+/// Seed for the routing hash; fixed so a key's shard is stable across
+/// restarts (a shard's own image+log always replays onto that shard).
+const ROUTE_SEED: u64 = 0x51AB_D00D_5EED_0001;
+
+/// A bundle of per-shard reader handles; every actor touching a
+/// [`PosShards`] needs its own (same rule as [`PosStore`] handles).
+pub struct ShardsReader {
+    readers: Vec<ReaderHandle>,
+}
+
+/// N independent stores with key-hash routing.
+///
+/// # Examples
+///
+/// ```
+/// use pos::{PosConfig, PosShards};
+///
+/// let shards = PosShards::new(4, |_| PosConfig::default());
+/// let r = shards.register_reader();
+/// shards.set(&r, b"user:42", b"online")?;
+/// let mut buf = [0u8; 16];
+/// assert_eq!(shards.get(&r, b"user:42", &mut buf)?, Some(6));
+/// # Ok::<(), pos::PosError>(())
+/// ```
+pub struct PosShards {
+    stores: Vec<Arc<PosStore>>,
+}
+
+impl std::fmt::Debug for PosShards {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PosShards")
+            .field("shards", &self.stores.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PosShards {
+    /// Create `shards` fresh stores; `config` is called once per shard
+    /// index (size each shard for `total / shards` keys).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero.
+    pub fn new(shards: usize, mut config: impl FnMut(usize) -> PosConfig) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        PosShards {
+            stores: (0..shards).map(|i| PosStore::new(config(i))).collect(),
+        }
+    }
+
+    /// Assemble from already-opened stores (e.g. WAL-backed shards
+    /// recovered via [`PosStore::open_wal`]). Shard order must match the
+    /// order the stores were written under — routing is positional.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stores` is empty.
+    pub fn from_stores(stores: Vec<Arc<PosStore>>) -> Self {
+        assert!(!stores.is_empty(), "need at least one shard");
+        PosShards { stores }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// The store backing shard `i`.
+    pub fn store(&self, i: usize) -> &Arc<PosStore> {
+        &self.stores[i]
+    }
+
+    /// All shard stores, in routing order (for Syncer/Cleaner wiring).
+    pub fn stores(&self) -> &[Arc<PosStore>] {
+        &self.stores
+    }
+
+    /// The shard `key` routes to (stable across restarts).
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        // Seeded FNV-1a: cheap, allocation-free, and independent of any
+        // per-store keyed hash (routing must not require the store key).
+        let mut h = ROUTE_SEED ^ 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h % self.stores.len() as u64) as usize
+    }
+
+    /// Register one reader handle per shard.
+    pub fn register_reader(&self) -> ShardsReader {
+        ShardsReader {
+            readers: self.stores.iter().map(|s| s.register_reader()).collect(),
+        }
+    }
+
+    fn route<'a>(&'a self, r: &'a ShardsReader, key: &[u8]) -> (&'a PosStore, &'a ReaderHandle) {
+        let i = self.shard_of(key);
+        (&self.stores[i], &r.readers[i])
+    }
+
+    /// Insert or update `key` → `value` on its shard.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PosStore::set`] (capacity errors are
+    /// per-shard).
+    pub fn set(&self, r: &ShardsReader, key: &[u8], value: &[u8]) -> Result<(), PosError> {
+        let (s, h) = self.route(r, key);
+        s.set(h, key, value)
+    }
+
+    /// Look up the newest value for `key` on its shard.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PosStore::get`].
+    pub fn get(
+        &self,
+        r: &ShardsReader,
+        key: &[u8],
+        out: &mut [u8],
+    ) -> Result<Option<usize>, PosError> {
+        let (s, h) = self.route(r, key);
+        s.get(h, key, out)
+    }
+
+    /// Delete `key` on its shard.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PosStore::delete`].
+    pub fn delete(&self, r: &ShardsReader, key: &[u8]) -> Result<(), PosError> {
+        let (s, h) = self.route(r, key);
+        s.delete(h, key)
+    }
+
+    /// Whether `key` currently has a value.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PosStore::contains`].
+    pub fn contains(&self, r: &ShardsReader, key: &[u8]) -> Result<bool, PosError> {
+        let (s, h) = self.route(r, key);
+        s.contains(h, key)
+    }
+
+    /// One housekeeping pass over every shard; returns entries freed.
+    pub fn clean(&self) -> usize {
+        self.stores.iter().map(|s| s.clean()).sum()
+    }
+
+    /// Free entries across all shards.
+    pub fn free_entries(&self) -> u64 {
+        self.stores.iter().map(|s| s.free_entries()).sum()
+    }
+
+    /// Total preallocated entries across all shards.
+    pub fn capacity(&self) -> u64 {
+        self.stores.iter().map(|s| s.capacity() as u64).sum()
+    }
+
+    /// Total bytes of memory across all shards.
+    pub fn memory_bytes(&self) -> u64 {
+        self.stores.iter().map(|s| s.memory_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shards(n: usize) -> PosShards {
+        PosShards::new(n, |_| PosConfig {
+            entries: 64,
+            payload: 128,
+            stacks: 8,
+            encryption: None,
+        })
+    }
+
+    #[test]
+    fn routing_is_total_and_stable() {
+        let s = shards(5);
+        for i in 0..200u32 {
+            let key = format!("user:{i}");
+            let a = s.shard_of(key.as_bytes());
+            let b = s.shard_of(key.as_bytes());
+            assert_eq!(a, b);
+            assert!(a < 5);
+        }
+    }
+
+    #[test]
+    fn routing_spreads_keys() {
+        let s = shards(4);
+        let mut hits = [0u32; 4];
+        for i in 0..400u32 {
+            hits[s.shard_of(format!("user:{i}").as_bytes())] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(h > 40, "shard {i} got only {h}/400 keys");
+        }
+    }
+
+    #[test]
+    fn set_get_delete_route_consistently() {
+        let s = shards(3);
+        let r = s.register_reader();
+        for i in 0..100u32 {
+            let key = format!("k{i}");
+            s.set(&r, key.as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        let mut buf = [0u8; 16];
+        for i in 0..100u32 {
+            let key = format!("k{i}");
+            let n = s.get(&r, key.as_bytes(), &mut buf).unwrap().unwrap();
+            assert_eq!(u32::from_le_bytes(buf[..n].try_into().unwrap()), i);
+        }
+        s.delete(&r, b"k42").unwrap();
+        assert!(!s.contains(&r, b"k42").unwrap());
+        assert!(s.contains(&r, b"k41").unwrap());
+        // Unlink and free happen on separate passes (grace period).
+        let freed: usize = (0..4).map(|_| s.clean()).sum();
+        assert!(freed > 0, "tombstoned version reclaimed");
+    }
+
+    #[test]
+    fn per_shard_capacity_errors_do_not_leak_across_shards() {
+        // One-entry shards: the second write to the same shard must fail
+        // Full while other shards still accept.
+        let s = PosShards::new(2, |_| PosConfig {
+            entries: 1,
+            payload: 64,
+            stacks: 1,
+            encryption: None,
+        });
+        let r = s.register_reader();
+        // Find two keys on shard 0 and one on shard 1.
+        let mut on0 = Vec::new();
+        let mut on1 = Vec::new();
+        for i in 0..64u32 {
+            let k = format!("k{i}");
+            if s.shard_of(k.as_bytes()) == 0 {
+                on0.push(k);
+            } else {
+                on1.push(k);
+            }
+        }
+        s.set(&r, on0[0].as_bytes(), b"x").unwrap();
+        assert!(matches!(
+            s.set(&r, on0[1].as_bytes(), b"y"),
+            Err(PosError::Full)
+        ));
+        s.set(&r, on1[0].as_bytes(), b"z").unwrap();
+    }
+}

@@ -141,6 +141,11 @@ pub struct PosStore {
     cipher: Option<SessionCipher>,
     hash_seed: u64,
     sealed_keys: Mutex<Vec<u8>>,
+    /// Attached delta log (set once by [`PosStore::open_wal`]).
+    pub(crate) wal: std::sync::OnceLock<crate::wal::Wal>,
+    /// Monotonic mutation counter; the Syncer/Cleaner compare it against
+    /// the epoch they last serviced to skip clean stores.
+    dirty: AtomicU64,
 }
 
 // Safety: payload bytes are only accessed by the exclusive owner of an
@@ -196,6 +201,8 @@ impl PosStore {
                 .map(|e| SessionCipher::new(e.key, e.costs)),
             hash_seed: 0x9053_7EED_0BA5_E64D,
             sealed_keys: Mutex::new(Vec::new()),
+            wal: std::sync::OnceLock::new(),
+            dirty: AtomicU64::new(0),
         })
     }
 
@@ -234,6 +241,7 @@ impl PosStore {
     /// (typically an enclave-sealed encryption key, §4.1).
     pub fn set_sealed_keys(&self, blob: &[u8]) {
         *self.sealed_keys.lock() = blob.to_vec();
+        self.dirty.fetch_add(1, Ordering::Release);
     }
 
     /// The blob stored via [`PosStore::set_sealed_keys`].
@@ -442,6 +450,12 @@ impl PosStore {
     ) -> Result<(), PosError> {
         let _pin = reader.pin(&self.epochs);
         let khash = self.hash_key(key);
+        // With a delta log attached the pending-record lock is held across
+        // the linearisation point *and* the record append, so the log
+        // replays same-key versions in exactly the order the stack
+        // published them (a replay of any log prefix is then a state the
+        // store actually passed through).
+        let mut wal_pending = self.wal.get().map(|w| w.lock_pending());
         let idx = self.pop_free().ok_or(PosError::Full)?;
         if let Err(e) = self.fill_entry(idx, khash, key, value, vlen_meta) {
             self.push_free(idx);
@@ -497,6 +511,19 @@ impl PosStore {
         if !newly_retired.is_empty() {
             self.retired.lock().extend(newly_retired);
         }
+        if let Some(pending) = wal_pending.as_mut() {
+            let wal = self.wal.get().expect("guard implies wal");
+            wal.append_pending(
+                pending,
+                self.cipher.as_ref(),
+                self.epochs.current(),
+                vlen_meta == TOMBSTONE,
+                key,
+                value,
+            );
+        }
+        drop(wal_pending);
+        self.dirty.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -819,5 +846,21 @@ impl PosStore {
     pub fn memory_bytes(&self) -> u64 {
         (self.config_entries as usize * (self.payload_size + std::mem::size_of::<EntryHeader>()))
             as u64
+    }
+
+    /// Monotonic mutation epoch: bumped on every successful `set`,
+    /// `delete` or sealed-keys update. Maintenance actors compare it
+    /// against the epoch they last serviced to skip clean stores.
+    pub fn dirty_epoch(&self) -> u64 {
+        self.dirty.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn cipher(&self) -> Option<&SessionCipher> {
+        self.cipher.as_ref()
+    }
+
+    /// Whether a delta log is attached (see [`PosStore::open_wal`]).
+    pub fn wal_attached(&self) -> bool {
+        self.wal.get().is_some()
     }
 }

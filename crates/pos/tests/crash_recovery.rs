@@ -13,8 +13,11 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use pos::failpoints::{PERSIST_CREATE, PERSIST_RENAME, PERSIST_SYNC, PERSIST_WRITE};
-use pos::{crc64, PosConfig, PosError, PosStore};
+use pos::failpoints::{
+    PERSIST_CREATE, PERSIST_RENAME, PERSIST_SYNC, PERSIST_WRITE, WAL_APPEND, WAL_CREATE, WAL_SYNC,
+    WAL_TRUNCATE,
+};
+use pos::{crc64, PosConfig, PosError, PosStore, WalConfig};
 use sgx_sim::FaultPlan;
 
 fn test_dir(tag: &str) -> PathBuf {
@@ -23,13 +26,17 @@ fn test_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn small_store() -> Arc<PosStore> {
-    PosStore::new(PosConfig {
+fn small_store_config() -> PosConfig {
+    PosConfig {
         entries: 16,
         payload: 64,
         stacks: 2,
         encryption: None,
-    })
+    }
+}
+
+fn small_store() -> Arc<PosStore> {
+    PosStore::new(small_store_config())
 }
 
 /// Re-seal a tampered V2 image: recompute the trailing CRC64 so only the
@@ -402,6 +409,99 @@ fn encryption_flag_mismatches_are_rejected() {
             "image is encrypted but no key was supplied"
         ))
     ));
+}
+
+#[test]
+fn crash_at_every_wal_failpoint_recovers_old_or_new() {
+    // The delta-log analogue of the persist-site sweep above: kill the
+    // sync at every WAL site (plus the persist sites compaction reuses)
+    // and prove reopening always lands on "old" or "new" for the hot
+    // key — never an error, never a mix, and a retried sync completes.
+    for site in [
+        WAL_CREATE,
+        WAL_APPEND,
+        WAL_SYNC,
+        WAL_TRUNCATE,
+        PERSIST_CREATE,
+        PERSIST_WRITE,
+        PERSIST_SYNC,
+        PERSIST_RENAME,
+    ] {
+        let dir = test_dir("wal-sites");
+        let tag = site.replace('.', "-");
+        let mut cfg = WalConfig {
+            image_path: dir.join(format!("{tag}.pos")),
+            log_path: dir.join(format!("{tag}.wal")),
+            compact_bytes: 192, // small enough that the sweep compacts
+        };
+        std::fs::remove_file(&cfg.image_path).ok();
+        std::fs::remove_file(&cfg.log_path).ok();
+        // The persist sites only fire during compaction; leave more room
+        // so the first syncs (which must succeed to establish "old")
+        // don't compact yet.
+        if site.starts_with("pos.persist") || site == WAL_TRUNCATE {
+            cfg.compact_bytes = 96;
+        }
+
+        let store = PosStore::open_wal(cfg.clone(), small_store_config(), 1 << 24).unwrap();
+        let r = store.register_reader();
+        store.set(&r, b"k", b"old").unwrap();
+        let plan = FaultPlan::new();
+        plan.fail_nth(site, 1);
+        if site == WAL_CREATE {
+            // Creation happens exactly once, on the first sync: the
+            // "old" baseline for this site is the empty store.
+            assert!(store.wal_sync(&plan).is_err(), "creation must crash");
+        } else {
+            store.wal_sync(&FaultPlan::new()).unwrap(); // durable baseline
+        }
+
+        let mut crashed = site == WAL_CREATE;
+        for i in 0..16u32 {
+            if crashed {
+                break;
+            }
+            store.set(&r, b"k", b"new").unwrap();
+            store.set(&r, b"pad", &[0u8; 24]).unwrap(); // grow toward compaction
+            store.clean();
+            if store.wal_sync(&plan).is_err() {
+                crashed = true;
+                break;
+            }
+            assert!(i < 15, "{site}: sweep must trip the failpoint");
+        }
+        assert!(crashed, "{site} must have fired");
+        assert_eq!(plan.trips(site), 1, "{site} fired once");
+        drop(r);
+        drop(store);
+
+        // Old-or-new after the crash.
+        let reopened = PosStore::open_wal(cfg.clone(), small_store_config(), 1 << 24)
+            .unwrap_or_else(|e| panic!("open after crash at {site} must succeed, got {e}"));
+        let r2 = reopened.register_reader();
+        let mut buf = [0u8; 8];
+        match reopened.get(&r2, b"k", &mut buf).unwrap() {
+            Some(n) => assert!(
+                &buf[..n] == b"old" || &buf[..n] == b"new",
+                "{site}: recovered value must be old or new, got {:?}",
+                &buf[..n]
+            ),
+            // Only a crash at creation may lose "old": nothing was ever
+            // durable there.
+            None => assert_eq!(site, WAL_CREATE, "{site}: durable baseline lost"),
+        }
+
+        // The fault was one-shot: writing and syncing again converges on
+        // "new" durably.
+        reopened.set(&r2, b"k", b"new").unwrap();
+        reopened.wal_sync(&plan).unwrap();
+        drop(r2);
+        drop(reopened);
+        let finopen = PosStore::open_wal(cfg, small_store_config(), 1 << 24).unwrap();
+        let r3 = finopen.register_reader();
+        let n = finopen.get(&r3, b"k", &mut buf).unwrap().unwrap();
+        assert_eq!(&buf[..n], b"new", "{site}: retry must be durable");
+    }
 }
 
 #[test]

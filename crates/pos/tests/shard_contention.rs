@@ -1,0 +1,203 @@
+//! Multi-thread contention stress over [`pos::PosShards`].
+//!
+//! Writers on disjoint key spaces hammer a sharded store while a cleaner
+//! thread reclaims superseded versions and (in the WAL variant) a syncer
+//! thread drains the delta logs — the full actor-concurrent maintenance
+//! picture, compressed into raw threads so the stress is on the store
+//! internals, not the scheduler. Debug builds run a scaled-down version;
+//! CI runs the release profile for the real iteration counts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use pos::{PosConfig, PosError, PosShards, PosStore, WalConfig};
+use sgx_sim::FaultPlan;
+
+#[cfg(debug_assertions)]
+const OPS_PER_THREAD: u32 = 300;
+#[cfg(not(debug_assertions))]
+const OPS_PER_THREAD: u32 = 5_000;
+
+const THREADS: u32 = 4;
+const SHARDS: usize = 4;
+
+fn shard_config() -> PosConfig {
+    PosConfig {
+        entries: 512,
+        payload: 64,
+        stacks: 16,
+        encryption: None,
+    }
+}
+
+/// Spawn `THREADS` writers over `shards` (each on its own key space) with
+/// a concurrent cleaner; returns when all writers finished and verifies
+/// every thread's final values.
+fn hammer(shards: Arc<PosShards>, with_deletes: bool) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let cleaner = {
+        let shards = Arc::clone(&shards);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut freed = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                freed += shards.clean();
+                std::thread::yield_now();
+            }
+            // Drain: unlink + grace + free passes after writers stop.
+            for _ in 0..8 {
+                freed += shards.clean();
+            }
+            freed
+        })
+    };
+
+    let writers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let shards = Arc::clone(&shards);
+            std::thread::spawn(move || {
+                let r = shards.register_reader();
+                let mut buf = [0u8; 64];
+                for i in 0..OPS_PER_THREAD {
+                    let key = format!("t{t}:k{}", i % 13);
+                    loop {
+                        match shards.set(&r, key.as_bytes(), &i.to_le_bytes()) {
+                            Ok(()) => break,
+                            // The cleaner lags the writers; give it room.
+                            Err(PosError::Full) => std::thread::yield_now(),
+                            Err(e) => panic!("writer {t}: {e}"),
+                        }
+                    }
+                    if with_deletes && i % 17 == 16 {
+                        // A delete writes a tombstone version, so it can
+                        // also run out of entries under pressure.
+                        loop {
+                            match shards.delete(&r, key.as_bytes()) {
+                                Ok(()) => break,
+                                Err(PosError::Full) => std::thread::yield_now(),
+                                Err(e) => panic!("writer {t}: delete {e}"),
+                            }
+                        }
+                    }
+                    // Read-your-writes through the contention.
+                    if i % 7 == 0 {
+                        let n = shards.get(&r, key.as_bytes(), &mut buf).unwrap();
+                        if !(with_deletes && i % 17 == 16) {
+                            let n = n.unwrap_or_else(|| panic!("writer {t}: lost {key}"));
+                            assert_eq!(
+                                u32::from_le_bytes(buf[..n].try_into().unwrap()),
+                                i,
+                                "writer {t}: stale read of {key}"
+                            );
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Release);
+    let freed = cleaner.join().unwrap();
+    assert!(freed > 0, "cleaner must reclaim superseded versions");
+
+    // Every thread's final value per key survived the churn.
+    let r = shards.register_reader();
+    let mut buf = [0u8; 64];
+    for t in 0..THREADS {
+        for k in 0..13u32 {
+            let key = format!("t{t}:k{k}");
+            // The last write of key k by thread t.
+            let last = (0..OPS_PER_THREAD).rev().find(|i| i % 13 == k).unwrap();
+            let deleted = with_deletes && last % 17 == 16;
+            let got = shards.get(&r, key.as_bytes(), &mut buf).unwrap();
+            if deleted {
+                assert!(got.is_none(), "{key} must stay deleted");
+            } else {
+                let n = got.unwrap_or_else(|| panic!("{key} lost after the run"));
+                assert_eq!(u32::from_le_bytes(buf[..n].try_into().unwrap()), last);
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_writers_and_cleaner_never_corrupt_shards() {
+    let shards = Arc::new(PosShards::new(SHARDS, |_| shard_config()));
+    hammer(shards, true);
+}
+
+#[test]
+fn wal_backed_shards_survive_contention_and_recover() {
+    let dir = std::env::temp_dir().join(format!("pos-shardwal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let open = || {
+        let stores = (0..SHARDS)
+            .map(|i| {
+                PosStore::open_wal(
+                    WalConfig {
+                        compact_bytes: 1 << 14,
+                        ..WalConfig::in_dir(&dir, &format!("s{i}"))
+                    },
+                    shard_config(),
+                    1 << 28,
+                )
+                .unwrap()
+            })
+            .collect();
+        Arc::new(PosShards::from_stores(stores))
+    };
+    let shards = open();
+
+    // A syncer thread drains the delta logs concurrently with the
+    // writers and the cleaner — the same three-way concurrency the
+    // Syncer/Cleaner eactors run under one deployment.
+    let stop = Arc::new(AtomicBool::new(false));
+    let syncer = {
+        let shards = Arc::clone(&shards);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let faults = FaultPlan::new();
+            while !stop.load(Ordering::Acquire) {
+                for s in shards.stores() {
+                    if s.wal_needs_sync() {
+                        s.wal_sync(&faults).unwrap();
+                    }
+                }
+                std::thread::yield_now();
+            }
+        })
+    };
+    hammer(Arc::clone(&shards), false);
+    stop.store(true, Ordering::Release);
+    syncer.join().unwrap();
+
+    // Final drain, then crash-reopen: every shard must replay to the
+    // exact final state.
+    let faults = FaultPlan::new();
+    for s in shards.stores() {
+        s.wal_sync(&faults).unwrap();
+    }
+    drop(shards);
+    let reopened = open();
+    let r = reopened.register_reader();
+    let mut buf = [0u8; 64];
+    for t in 0..THREADS {
+        for k in 0..13u32 {
+            let key = format!("t{t}:k{k}");
+            let last = (0..OPS_PER_THREAD).rev().find(|i| i % 13 == k).unwrap();
+            let n = reopened
+                .get(&r, key.as_bytes(), &mut buf)
+                .unwrap()
+                .unwrap_or_else(|| panic!("{key} lost across recovery"));
+            assert_eq!(
+                u32::from_le_bytes(buf[..n].try_into().unwrap()),
+                last,
+                "{key} recovered a stale version"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -63,16 +63,21 @@ impl Directory {
     /// `group_size` members; pass `encryption` when the store lives in
     /// untrusted memory shared by multiple enclaves.
     pub fn with_capacity(users: u32, group_size: u32, encryption: Option<PosEncryption>) -> Self {
-        let entries = (users * 4).max(64);
-        // user / socket / instance triples plus string overhead.
-        let payload = (48 * group_size as usize + 64).max(256);
         Directory {
-            store: PosStore::new(PosConfig {
-                entries,
-                payload,
-                stacks: 32,
-                encryption,
-            }),
+            store: PosStore::new(Self::config_for(users, group_size, encryption)),
+        }
+    }
+
+    /// The store geometry [`with_capacity`](Self::with_capacity) would
+    /// allocate — for callers creating the stores themselves (sharded
+    /// bundles, WAL-backed recovery) before wrapping them in directories.
+    pub fn config_for(users: u32, group_size: u32, encryption: Option<PosEncryption>) -> PosConfig {
+        PosConfig {
+            entries: (users * 4).max(64),
+            // user / socket / instance triples plus string overhead.
+            payload: (48 * group_size as usize + 64).max(256),
+            stacks: 32,
+            encryption,
         }
     }
 

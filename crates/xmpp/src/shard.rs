@@ -85,6 +85,10 @@ pub(crate) fn shard_reply_pool_name(shard: usize) -> String {
 #[derive(Debug, Clone)]
 pub struct ShardedDirectory {
     slices: Arc<Vec<Directory>>,
+    /// The same stores bundled for maintenance wiring: hand
+    /// [`Self::pos`] to one `pos::Syncer`/`pos::Cleaner` instead of
+    /// registering each slice by hand.
+    stores: Arc<pos::PosShards>,
 }
 
 /// Per-slice POS reader handles (one set per reading actor).
@@ -106,13 +110,32 @@ impl ShardedDirectory {
         let shards = shards.max(1);
         // Hashing spreads unevenly; give each slice slack over users/N.
         let per_slice = (users / shards as u32 + 1).saturating_mul(2).max(16);
+        Self::from_shards(pos::PosShards::new(shards, |_| {
+            Directory::config_for(per_slice, group_size, encryption())
+        }))
+    }
+
+    /// A directory over already-opened shard stores — e.g. WAL-backed
+    /// slices recovered via [`pos::PosStore::open_wal`]. Store order is
+    /// the slice order; it must match the order the images/logs were
+    /// written under, because [`shard_of`] routes names positionally.
+    pub fn from_shards(stores: pos::PosShards) -> Self {
+        let slices = stores
+            .stores()
+            .iter()
+            .map(|s| Directory::from_store(s.clone()))
+            .collect();
         ShardedDirectory {
-            slices: Arc::new(
-                (0..shards)
-                    .map(|_| Directory::with_capacity(per_slice, group_size, encryption()))
-                    .collect(),
-            ),
+            slices: Arc::new(slices),
+            stores: Arc::new(stores),
         }
+    }
+
+    /// The shard stores as one bundle, in slice order — for wiring every
+    /// slice into a single `pos::Syncer` / `pos::Cleaner` and for
+    /// aggregate accounting (`memory_bytes`, `free_entries`).
+    pub fn pos(&self) -> &pos::PosShards {
+        &self.stores
     }
 
     /// Number of slices.
@@ -850,5 +873,64 @@ mod tests {
         }
         dir.unregister_user(&r, "u0").unwrap();
         assert!(dir.lookup_user(&r, "u0").unwrap().is_none());
+    }
+
+    #[test]
+    fn pos_bundle_covers_every_slice() {
+        let dir = ShardedDirectory::with_capacity(3, 32, 4, || None);
+        assert_eq!(dir.pos().shard_count(), 3);
+        // Bundle order is slice order: the store behind slice i is the
+        // i-th store of the bundle (required for Syncer labelling and
+        // WAL recovery to land on the right slice).
+        for i in 0..3 {
+            assert!(Arc::ptr_eq(dir.slice(i).store(), dir.pos().store(i)));
+        }
+        assert!(dir.pos().memory_bytes() > 0);
+    }
+
+    #[test]
+    fn wal_backed_shards_recover_directory_state() {
+        let base = std::env::temp_dir().join(format!("xmpp-shard-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let faults = sgx_sim::FaultPlan::new();
+        let open = |shards: usize| {
+            let stores = (0..shards)
+                .map(|i| {
+                    pos::PosStore::open_wal(
+                        pos::WalConfig::in_dir(&base, &format!("slice{i}")),
+                        Directory::config_for(32, 4, None),
+                        1 << 24,
+                    )
+                    .unwrap()
+                })
+                .collect();
+            ShardedDirectory::from_shards(pos::PosShards::from_stores(stores))
+        };
+
+        let dir = open(2);
+        let r = dir.reader();
+        for i in 0..12u64 {
+            dir.register_user(&r, &format!("u{i}"), i, 0).unwrap();
+        }
+        dir.unregister_user(&r, "u3").unwrap();
+        for s in dir.pos().stores() {
+            s.wal_sync(&faults).unwrap();
+        }
+
+        // "Crash": drop everything and reopen from image + log alone.
+        drop(r);
+        drop(dir);
+        let dir = open(2);
+        let r = dir.reader();
+        for i in 0..12u64 {
+            let got = dir.lookup_user(&r, &format!("u{i}")).unwrap();
+            if i == 3 {
+                assert!(got.is_none(), "u3 was unregistered before the crash");
+            } else {
+                assert_eq!(got.map(|e| e.socket), Some(i));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&base);
     }
 }
