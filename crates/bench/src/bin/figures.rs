@@ -37,16 +37,16 @@ fn main() {
         return;
     }
     // `figures bench-net [--label <text>] [--sessions <n>]
-    // [--backend sim|tcp|epoll]...` runs one w1 closed-loop cell per
-    // backend (all available by default) and appends the comparison
-    // record to BENCH_net.json.
+    // [--backend sim|tcp|epoll|uring|auto]...` runs one w1 closed-loop
+    // cell per backend (all available by default; `auto` probes and
+    // resolves) and appends the comparison record to BENCH_net.json.
     if args.iter().any(|a| a == "bench-net") {
         let mut backends: Vec<xmpp_load::Backend> = traj
             .flag_values("--backend")
             .into_iter()
             .map(|s| {
                 xmpp_load::Backend::parse(s)
-                    .unwrap_or_else(|| panic!("unknown backend {s:?} (sim|tcp|epoll)"))
+                    .unwrap_or_else(|| panic!("unknown backend {s:?} (sim|tcp|epoll|uring|auto)"))
             })
             .collect();
         if backends.is_empty() {

@@ -271,6 +271,7 @@ pub fn record(traj: &TrajectoryArgs, scale: Scale) {
         &traj.label,
         phases as u64,
         &series,
+        &[],
     );
 }
 

@@ -276,6 +276,7 @@ pub fn record(traj: &TrajectoryArgs, scale: Scale) {
         &traj.label,
         wal_ops,
         &series,
+        &[],
     );
 }
 

@@ -301,9 +301,13 @@ pub fn bench_json_path() -> PathBuf {
 /// Append one labelled record to an append-only trajectory document at
 /// `<workspace>/<file>` — the shared format of `BENCH_fig11.json` and
 /// `BENCH_xmpp_load.json`: a `benchmark`/`unit`/`message_bytes` header
-/// plus a `records` array of `{label, unix_time, host_cpus, pairs,
-/// series}` entries. Existing records are preserved; one new entry is
+/// plus a `records` array of `{label, unix_time, host_cpus, host_kernel,
+/// pairs, series}` entries. `meta` adds extra string fields to the
+/// record (e.g. the backend a net comparison actually ran on — kernel
+/// io_uring support varies by host, so the selection is part of the
+/// measurement). Existing records are preserved; one new entry is
 /// appended per call.
+#[allow(clippy::too_many_arguments)]
 pub fn append_trajectory(
     file: &str,
     benchmark: &str,
@@ -312,6 +316,7 @@ pub fn append_trajectory(
     label: &str,
     pairs: u64,
     series: &[(String, f64)],
+    meta: &[(&str, String)],
 ) {
     let path = workspace_json_path(file);
     let mut records: Vec<Value> = match std::fs::read_to_string(&path) {
@@ -334,21 +339,29 @@ pub fn append_trajectory(
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
-    records.push(Value::Object(vec![
+    let mut record = vec![
         ("label".to_owned(), Value::String(label.to_owned())),
         ("unix_time".to_owned(), Value::Number(unix_time as f64)),
         ("host_cpus".to_owned(), Value::Number(host_cpus() as f64)),
-        ("pairs".to_owned(), Value::Number(pairs as f64)),
         (
-            "series".to_owned(),
-            Value::Object(
-                series
-                    .iter()
-                    .map(|(k, v)| (k.clone(), Value::Number(*v)))
-                    .collect(),
-            ),
+            "host_kernel".to_owned(),
+            Value::String(enet::kernel_release()),
         ),
-    ]));
+        ("pairs".to_owned(), Value::Number(pairs as f64)),
+    ];
+    for (k, v) in meta {
+        record.push(((*k).to_owned(), Value::String(v.clone())));
+    }
+    record.push((
+        "series".to_owned(),
+        Value::Object(
+            series
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Number(*v)))
+                .collect(),
+        ),
+    ));
+    records.push(Value::Object(record));
     let doc = Value::Object(vec![
         ("benchmark".to_owned(), Value::String(benchmark.to_owned())),
         ("unit".to_owned(), Value::String(unit.to_owned())),
@@ -373,6 +386,7 @@ fn append_record(label: &str, pairs: u64, series: &[(String, f64)]) {
         label,
         pairs,
         series,
+        &[],
     );
 }
 

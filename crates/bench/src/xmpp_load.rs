@@ -59,6 +59,12 @@ pub enum Backend {
     /// Real loopback sockets with edge-triggered `epoll` readiness
     /// (Linux only).
     Epoll,
+    /// Real loopback sockets driven by an io_uring completion ring
+    /// (Linux only, kernel permitting).
+    Uring,
+    /// Runtime selection: probe io_uring, fall back uring → epoll → tcp
+    /// with a logged reason ([`enet::auto_backend`]).
+    Auto,
 }
 
 impl Backend {
@@ -68,6 +74,8 @@ impl Backend {
             Backend::Sim => "sim",
             Backend::Tcp => "tcp",
             Backend::Epoll => "epoll",
+            Backend::Uring => "uring",
+            Backend::Auto => "auto",
         }
     }
 
@@ -77,17 +85,40 @@ impl Backend {
             "sim" => Some(Backend::Sim),
             "tcp" => Some(Backend::Tcp),
             "epoll" => Some(Backend::Epoll),
+            "uring" => Some(Backend::Uring),
+            "auto" => Some(Backend::Auto),
             _ => None,
         }
     }
 
-    /// Backends available on this host (epoll only on Linux).
+    /// Backends available on this host (epoll only on Linux, uring only
+    /// where the kernel's io_uring probe succeeds).
     pub fn available() -> Vec<Backend> {
         let mut v = vec![Backend::Sim, Backend::Tcp];
         if cfg!(target_os = "linux") {
             v.push(Backend::Epoll);
         }
+        #[cfg(target_os = "linux")]
+        if enet::UringBackend::probe().is_ok() {
+            v.push(Backend::Uring);
+        }
         v
+    }
+
+    /// Resolve [`Backend::Auto`] to the concrete backend the probe
+    /// selects (logging the reason); every other variant passes through.
+    /// Series names and labels use the resolved backend.
+    pub fn resolve(self) -> Backend {
+        if self != Backend::Auto {
+            return self;
+        }
+        let (_, name, reason) = enet::auto_backend(Platform::builder().build().costs());
+        println!("  auto backend: selected {name} ({reason})");
+        match name {
+            "uring" => Backend::Uring,
+            "epoll" => Backend::Epoll,
+            _ => Backend::Tcp,
+        }
     }
 
     fn create(self, platform: &Platform) -> Arc<dyn NetBackend> {
@@ -98,6 +129,15 @@ impl Backend {
             Backend::Epoll => Arc::new(enet::EpollBackend::new(platform.costs())),
             #[cfg(not(target_os = "linux"))]
             Backend::Epoll => panic!("the epoll backend requires Linux"),
+            #[cfg(target_os = "linux")]
+            Backend::Uring => Arc::new(enet::UringBackend::new(platform.costs())),
+            #[cfg(not(target_os = "linux"))]
+            Backend::Uring => panic!("the uring backend requires Linux"),
+            Backend::Auto => {
+                let (net, name, reason) = enet::auto_backend(platform.costs());
+                println!("  auto backend: selected {name} ({reason})");
+                net
+            }
         }
     }
 }
@@ -675,6 +715,7 @@ pub fn record(
         label,
         per_cell,
         &series,
+        &[("backend", Backend::Sim.name().to_owned())],
     );
     series
 }
@@ -692,7 +733,10 @@ pub fn record_net(
 ) -> Vec<(String, f64)> {
     let per_cell = sessions.unwrap_or_else(|| scale.ops(5_000, 20_000));
     let mut series = Vec::new();
-    for &backend in backends {
+    // `auto` resolves to the probed backend up front so the series name
+    // records what actually ran.
+    let backends: Vec<Backend> = backends.iter().map(|b| b.resolve()).collect();
+    for &backend in &backends {
         let cfg = LoadConfig {
             sessions: per_cell,
             backend,
@@ -721,6 +765,7 @@ pub fn record_net(
         series.push((format!("{name}_p99_ms"), r.p99_ms));
         series.push((format!("{name}_stanzas_per_sec"), r.stanzas_per_sec()));
     }
+    let names: Vec<&str> = backends.iter().map(|b| b.name()).collect();
     append_trajectory(
         BENCH_NET_FILE,
         "xmpp_load_network_backends",
@@ -729,6 +774,7 @@ pub fn record_net(
         label,
         per_cell,
         &series,
+        &[("backends", names.join(","))],
     );
     series
 }

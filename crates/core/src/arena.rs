@@ -386,6 +386,19 @@ impl Arena {
         &self.name
     }
 
+    /// The arena's contiguous payload slab as `(base, length-in-bytes)`
+    /// — node `i`'s payload occupies `base + i * payload_size()`.
+    ///
+    /// Exists so kernel-bypass I/O layers can register the whole slab
+    /// once (io_uring fixed buffers) and then address individual node
+    /// payloads inside it. The pointer stays valid for the arena's
+    /// lifetime (the slab is boxed and never reallocated); writing
+    /// through it is only sound for byte ranges of nodes the writer
+    /// owns — exactly the guarantee [`Node`] ownership already gives.
+    pub fn payload_region(&self) -> (*const u8, usize) {
+        (self.payload.as_ptr().cast(), self.payload.len())
+    }
+
     /// Bytes of memory this arena occupies (for EPC accounting).
     pub fn memory_bytes(&self) -> u64 {
         (self.slots.len() * (std::mem::size_of::<NodeSlot>() + self.payload_size)) as u64

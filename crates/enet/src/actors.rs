@@ -29,17 +29,21 @@ use eactors::obs::Counter;
 use eactors::wire::{Port, PortStats, Wire};
 
 use crate::backend::{
-    Interest, ListenerId, NetBackend, ReadyEvent, ReadySet, RecvOutcome, SocketId,
+    Completion, CompletionRing, Interest, ListenerId, NetBackend, NetError, ReadyEvent, ReadySet,
+    RecvOutcome, SocketId,
 };
 use crate::dir::{MboxDirectory, MboxRef};
 use crate::msg::{tag, NetMsg, DATA_HEADER};
 
-/// Consecutive empty passes before a readiness-mode READER/WRITER
-/// blocks in `wait_ready` instead of returning immediately.
+/// Consecutive empty passes before a readiness- or completion-mode
+/// READER/WRITER blocks in its kernel wait instead of returning
+/// immediately.
 const IDLE_STREAK_PARK: u32 = 64;
-/// Upper bound on one blocking `wait_ready`. Socket edges and the
-/// hub-registered eventfd waker both end the sleep early; the timeout
-/// only bounds wake-ups from threads outside the runtime (which do not
+/// Default upper bound on one blocking network wait (`wait_ready` /
+/// `reap`), used until the actor's ctor reads the deployment's
+/// [`eactors::config::IdlePolicy::net_park_cap`]. Socket events and the
+/// hub-registered eventfd waker both end the sleep early; the cap only
+/// bounds wake-ups from threads outside the runtime (which do not
 /// notify the hub).
 const PARK_TIMEOUT: Duration = Duration::from_millis(5);
 /// Readiness events collected per pass.
@@ -205,8 +209,11 @@ struct AcceptWatch {
 /// The ACCEPTER: polls watched server sockets and announces new
 /// connections.
 ///
-/// In readiness mode (a backend with [`NetBackend::ready_set`]) each
-/// pass drains only the listeners whose accept-edge fired, looping each
+/// In completion mode (a backend with [`NetBackend::completion_ring`])
+/// each watched listener is armed as a multishot accept in the ring and
+/// connections arrive pre-accepted as [`Completion::Accepted`] — zero
+/// `accept4` syscalls on this thread. In readiness mode each pass
+/// drains only the listeners whose accept-edge fired, looping each
 /// backlog until empty; with a polling backend every watched listener
 /// is tried every pass.
 pub struct Accepter {
@@ -216,6 +223,8 @@ pub struct Accepter {
     replies: Arc<PortStats>,
     watches: Vec<AcceptWatch>,
     ready: Option<Box<dyn ReadySet>>,
+    cring: Option<Box<dyn CompletionRing>>,
+    completions: Vec<Completion>,
     events: Vec<ReadyEvent>,
 }
 
@@ -236,7 +245,12 @@ impl Accepter {
         dir: Arc<MboxDirectory>,
         replies: Arc<PortStats>,
     ) -> Self {
-        let ready = net.ready_set();
+        let cring = net.completion_ring();
+        let ready = if cring.is_some() {
+            None
+        } else {
+            net.ready_set()
+        };
         Accepter {
             net,
             requests,
@@ -244,23 +258,85 @@ impl Accepter {
             replies,
             watches: Vec::new(),
             ready,
+            cring,
+            completions: Vec::new(),
             events: event_buf(),
         }
+    }
+
+    /// Completion-mode pass: reap accepted connections from the ring and
+    /// forward them; drop watches whose subscriber vanished.
+    fn service_ring(&mut self) -> bool {
+        let Some(ring) = self.cring.as_deref_mut() else {
+            return false;
+        };
+        let _ = ring.reap(&mut self.completions, Some(Duration::ZERO));
+        let mut worked = false;
+        for c in self.completions.drain(..) {
+            match c {
+                Completion::Accepted { listener, socket } => {
+                    worked = true;
+                    let mbox = self
+                        .watches
+                        .iter()
+                        .find(|w| w.listener == listener)
+                        .and_then(|w| self.dir.get(w.reply));
+                    let delivered = match mbox {
+                        Some(mbox) => {
+                            send_msg(&mbox, &NetMsg::Accepted { listener, socket }, &self.replies)
+                        }
+                        None => false,
+                    };
+                    if !delivered {
+                        // Subscriber gone or congested: the connection is
+                        // in our hands; close it rather than leak it.
+                        let _ = self.net.close(SocketId(socket));
+                    }
+                }
+                Completion::AcceptFailed { listener } => {
+                    worked = true;
+                    self.watches.retain(|w| w.listener != listener);
+                }
+                _ => {}
+            }
+        }
+        // Cancel watches whose reply mbox was dropped.
+        let dir = &self.dir;
+        self.watches.retain(|w| {
+            if dir.get(w.reply).is_some() {
+                true
+            } else {
+                ring.cancel_accept(ListenerId(w.listener));
+                false
+            }
+        });
+        worked
     }
 }
 
 impl Actor for Accepter {
+    fn ctor(&mut self, ctx: &mut Ctx) {
+        if let Some(ring) = self.cring.as_deref_mut() {
+            ring.bind_obs(ctx.obs_hub().registry());
+        }
+    }
+
     fn body(&mut self, _ctx: &mut Ctx) -> Control {
         let Accepter {
             requests,
             watches,
             ready,
+            cring,
             events,
             ..
         } = self;
         let mut worked = requests.drain(|msg| {
             if let NetMsg::WatchListener { listener, reply } = msg {
-                if let Some(set) = ready.as_deref_mut() {
+                if let Some(ring) = cring.as_deref_mut() {
+                    // Arm the (multishot) accept; failures surface as
+                    // AcceptFailed completions.
+                    let _ = ring.accept(ListenerId(listener));
+                } else if let Some(set) = ready.as_deref_mut() {
                     // Errors surface as accept failures below.
                     let _ = set.watch_listener(ListenerId(listener));
                 }
@@ -271,6 +347,12 @@ impl Actor for Accepter {
                 });
             }
         }) > 0;
+        if self.cring.is_some() {
+            // Completion mode: connections arrive pre-accepted from the
+            // ring; the polled accept loop below never runs.
+            worked |= self.service_ring();
+            return if worked { Control::Busy } else { Control::Idle };
+        }
         // Collect accept-edges without blocking (the ACCEPTER shares its
         // worker with OPENER/CLOSER, so it never sleeps in wait_ready).
         if let Some(set) = ready.as_deref_mut() {
@@ -334,8 +416,15 @@ impl Actor for Accepter {
 struct ReadWatch {
     reply: MboxRef,
     /// Readiness mode: the socket sits in `ready_queue` (or must be
-    /// re-queued); cleared when a drain hits `WouldBlock`.
+    /// re-queued); cleared when a drain hits `WouldBlock`. Completion
+    /// mode reuses the flag for the arm queue (a submission is owed).
     queued: bool,
+    /// Completion mode: a receive is in flight in the ring.
+    inflight: bool,
+    /// Completion mode: `Unwatch` arrived while a receive was in
+    /// flight; the ack is deferred until that completion lands so the
+    /// subscriber keeps the Data-before-Unwatched ordering.
+    draining: bool,
 }
 
 /// Subscribe `socket` (shared by `WatchSocket` and `WatchBatch`).
@@ -358,8 +447,13 @@ fn add_read_watch(
     let entry = watches.entry(socket).or_insert(ReadWatch {
         reply,
         queued: false,
+        inflight: false,
+        draining: false,
     });
     entry.reply = reply;
+    // A re-watch racing an `Unwatch` revives the subscription; the
+    // superseded unwatch is revoked unacknowledged.
+    entry.draining = false;
     if !entry.queued {
         entry.queued = true;
         ready_queue.push_back(socket);
@@ -405,12 +499,20 @@ pub struct Reader {
     /// congested so the confirmation can never be lost.
     acks: Vec<(u64, MboxRef)>,
     ready: Option<Box<dyn ReadySet>>,
-    /// Sockets with an un-drained edge, serviced round-robin.
+    cring: Option<Box<dyn CompletionRing>>,
+    completions: Vec<Completion>,
+    /// Sockets with an un-drained edge, serviced round-robin. In
+    /// completion mode: sockets owing a receive submission (new watches,
+    /// starved re-arms, just-delivered completions).
     ready_queue: VecDeque<u64>,
     events: Vec<ReadyEvent>,
     /// Data frames read from a socket but undeliverable to the reply
     /// mbox (mbox full after the node was filled).
     dropped: Arc<Counter>,
+    /// Blocking kernel waits taken while parked (`net_park_waits`).
+    park_waits: Arc<Counter>,
+    /// Cap on one blocking wait; from `IdlePolicy::net_park_cap`.
+    park_cap: Duration,
     idle_streak: u32,
 }
 
@@ -432,7 +534,12 @@ impl Reader {
         dir: Arc<MboxDirectory>,
         replies: Arc<PortStats>,
     ) -> Self {
-        let ready = net.ready_set();
+        let cring = net.completion_ring();
+        let ready = if cring.is_some() {
+            None
+        } else {
+            net.ready_set()
+        };
         Reader {
             net,
             requests,
@@ -441,9 +548,13 @@ impl Reader {
             watches: HashMap::new(),
             acks: Vec::new(),
             ready,
+            cring,
+            completions: Vec::new(),
             ready_queue: VecDeque::new(),
             events: event_buf(),
             dropped: Arc::new(Counter::default()),
+            park_waits: Arc::new(Counter::default()),
+            park_cap: PARK_TIMEOUT,
             idle_streak: 0,
         }
     }
@@ -460,6 +571,7 @@ impl Reader {
             watches,
             acks,
             ready,
+            cring,
             ready_queue,
             ..
         } = self;
@@ -479,7 +591,20 @@ impl Reader {
                 // named. Any bytes the socket produced were delivered in
                 // earlier passes, so FIFO on the reply mbox gives the
                 // subscriber a hard Data-before-Unwatched ordering.
-                if let Some(w) = watches.remove(&socket) {
+                if let Some(ring) = cring.as_deref_mut() {
+                    // Completion mode: an in-flight receive may still
+                    // surface data; defer the ack until it lands.
+                    if let Some(w) = watches.get_mut(&socket) {
+                        if w.inflight {
+                            w.draining = true;
+                            ring.cancel_recv(SocketId(socket));
+                        } else {
+                            let reply = w.reply;
+                            watches.remove(&socket);
+                            acks.push((socket, reply));
+                        }
+                    }
+                } else if let Some(w) = watches.remove(&socket) {
                     acks.push((socket, w.reply));
                     if let Some(set) = ready.as_deref_mut() {
                         set.unwatch(SocketId(socket));
@@ -651,6 +776,182 @@ impl Reader {
         });
         worked
     }
+
+    /// Flush pending submissions and reap completions (completion
+    /// mode) — at most one syscall. Returns whether anything completed.
+    fn reap_ring(&mut self, timeout: Option<Duration>) -> bool {
+        let Some(ring) = self.cring.as_deref_mut() else {
+            return false;
+        };
+        matches!(ring.reap(&mut self.completions, timeout), Ok(n) if n > 0)
+    }
+
+    /// Queue `socket` for a receive submission (completion mode).
+    fn requeue(&mut self, socket: u64) {
+        if let Some(w) = self.watches.get_mut(&socket) {
+            if !w.queued {
+                w.queued = true;
+                self.ready_queue.push_back(socket);
+            }
+        }
+    }
+
+    /// Submit receives for every socket in the arm queue (completion
+    /// mode): new watches, starved retries, and sockets whose previous
+    /// completion was just delivered. Starved sockets stay queued.
+    fn service_arm(&mut self) -> bool {
+        let mut worked = false;
+        let rounds = self.ready_queue.len();
+        for _ in 0..rounds {
+            let Some(socket) = self.ready_queue.pop_front() else {
+                break;
+            };
+            match self.try_arm(socket) {
+                ArmOutcome::Armed => {
+                    if let Some(w) = self.watches.get_mut(&socket) {
+                        w.queued = false;
+                    }
+                }
+                // Back-pressure: every node is checked out; retry once
+                // the application recycles some.
+                ArmOutcome::Starved => self.ready_queue.push_back(socket),
+                ArmOutcome::Removed => worked = true,
+            }
+        }
+        worked
+    }
+
+    /// One arm attempt: pop a node from the reply pool, write the Data
+    /// header, and submit the receive aimed at the payload region.
+    fn try_arm(&mut self, socket: u64) -> ArmOutcome {
+        let Some(w) = self.watches.get_mut(&socket) else {
+            return ArmOutcome::Removed; // unwatched while queued
+        };
+        if w.inflight || w.draining {
+            return ArmOutcome::Armed;
+        }
+        let Some(mbox) = self.dir.get(w.reply) else {
+            self.watches.remove(&socket);
+            return ArmOutcome::Removed;
+        };
+        if mbox.arena().payload_size() <= DATA_HEADER {
+            self.watches.remove(&socket);
+            return ArmOutcome::Removed;
+        }
+        let Some(mut node) = mbox.arena().try_pop() else {
+            return ArmOutcome::Starved;
+        };
+        let buf = node.buffer_mut();
+        buf[0] = tag::DATA;
+        buf[1..DATA_HEADER].copy_from_slice(&socket.to_le_bytes());
+        let Some(ring) = self.cring.as_deref_mut() else {
+            return ArmOutcome::Removed;
+        };
+        match ring.recv_into(SocketId(socket), node, DATA_HEADER) {
+            Ok(()) => {
+                w.inflight = true;
+                ArmOutcome::Armed
+            }
+            // A receive is somehow already in flight; treat as armed.
+            Err((NetError::WouldBlock, _node)) => ArmOutcome::Armed,
+            Err((_, mut node)) => {
+                // Unknown or dead socket: report closure with the node
+                // already in hand.
+                let n = NetMsg::SocketClosed { socket }.encode_into(node.buffer_mut());
+                node.set_len(n);
+                if mbox.send(node).is_err() {
+                    self.replies.note_send_drop();
+                    self.dropped.inc();
+                }
+                self.watches.remove(&socket);
+                ArmOutcome::Removed
+            }
+        }
+    }
+
+    /// Deliver reaped receive completions (completion mode): data frames
+    /// forwarded in place, EOF/errors become `SocketClosed`, drained
+    /// unwatches get their deferred ack.
+    fn service_completions(&mut self) -> bool {
+        let mut worked = false;
+        let mut comps = std::mem::take(&mut self.completions);
+        for c in comps.drain(..) {
+            let Completion::Recv {
+                socket,
+                mut node,
+                offset,
+                result,
+            } = c
+            else {
+                continue;
+            };
+            worked = true;
+            let Some(w) = self.watches.get_mut(&socket) else {
+                continue; // watch gone; node recycles to its pool
+            };
+            w.inflight = false;
+            let draining = w.draining;
+            let reply = w.reply;
+            match result {
+                Ok(n) if n > 0 => {
+                    node.set_len(offset + n);
+                    match self.dir.get(reply) {
+                        Some(mbox) => {
+                            if mbox.send(node).is_err() {
+                                self.replies.note_send_drop();
+                                self.dropped.inc();
+                            }
+                            if draining {
+                                self.watches.remove(&socket);
+                                self.acks.push((socket, reply));
+                            } else {
+                                self.requeue(socket);
+                            }
+                        }
+                        None => {
+                            self.watches.remove(&socket);
+                        }
+                    }
+                }
+                // Our own cancel raced a re-watch: the subscription is
+                // live again, just re-arm.
+                Err(ref e) if !draining && is_canceled(e) => self.requeue(socket),
+                Ok(_) | Err(_) => {
+                    // EOF or socket error.
+                    self.watches.remove(&socket);
+                    if draining {
+                        self.acks.push((socket, reply));
+                    } else if let Some(mbox) = self.dir.get(reply) {
+                        let n = NetMsg::SocketClosed { socket }.encode_into(node.buffer_mut());
+                        node.set_len(n);
+                        if mbox.send(node).is_err() {
+                            self.replies.note_send_drop();
+                            self.dropped.inc();
+                        }
+                    }
+                }
+            }
+        }
+        self.completions = comps; // keep the allocation
+        worked
+    }
+}
+
+/// Completion-mode outcome of one [`Reader::try_arm`].
+enum ArmOutcome {
+    /// A receive is (now) in flight.
+    Armed,
+    /// No free node; stay queued and retry next pass.
+    Starved,
+    /// The watch was dropped (subscriber gone, socket dead).
+    Removed,
+}
+
+/// Whether `e` is the `-ECANCELED` produced by our own
+/// [`CompletionRing::cancel_recv`].
+fn is_canceled(e: &NetError) -> bool {
+    const ECANCELED: i32 = 125;
+    matches!(e, NetError::Io(io) if io.raw_os_error() == Some(ECANCELED))
 }
 
 enum SocketPass {
@@ -667,14 +968,57 @@ impl Actor for Reader {
         // The registry returns one shared counter per name, so every
         // reader in the deployment increments the same atomic.
         self.dropped = ctx.obs_hub().registry().counter("net_dropped_reads");
+        self.park_waits = ctx.obs_hub().registry().counter("net_park_waits");
+        self.park_cap = ctx.idle_policy().net_park_cap;
         if let Some(set) = &self.ready {
             ctx.wake_hub().register_waker(set.waker());
+        }
+        if let Some(ring) = self.cring.as_deref_mut() {
+            ring.bind_obs(ctx.obs_hub().registry());
+            ctx.wake_hub().register_waker(ring.waker());
         }
     }
 
     fn body(&mut self, ctx: &mut Ctx) -> Control {
         let mut worked = self.drain_requests();
         worked |= self.flush_acks();
+        if self.cring.is_some() {
+            worked |= self.service_arm();
+            worked |= self.reap_ring(Some(Duration::ZERO));
+            worked |= self.service_completions();
+            worked |= self.service_arm();
+            // Starved sockets keep the actor hot, mirroring readiness
+            // mode: back-pressure resolves by nodes recycling, which no
+            // kernel wait can observe.
+            worked |= !self.ready_queue.is_empty();
+            if worked {
+                self.idle_streak = 0;
+                return Control::Busy;
+            }
+            self.idle_streak += 1;
+            if self.idle_streak >= IDLE_STREAK_PARK && self.acks.is_empty() {
+                // Park *inside* io_uring_enter, same eventcount shape as
+                // the readiness path: register, re-poll inputs, sleep.
+                // The ring's eventfd is wired into the SQ as a multishot
+                // poll, so a hub wake posts a CQE and ends the wait.
+                let hub = ctx.wake_hub().clone();
+                let _seen = hub.prepare_park();
+                if self.drain_requests() {
+                    hub.cancel_park();
+                    self.service_arm();
+                } else {
+                    self.park_waits.inc();
+                    self.reap_ring(Some(self.park_cap));
+                    hub.cancel_park();
+                    self.service_completions();
+                    self.service_arm();
+                }
+                self.idle_streak = 0;
+            }
+            // Completion mode never yields to the worker's condvar park:
+            // ring completions cannot wake a condvar.
+            return Control::Busy;
+        }
         if self.ready.is_none() {
             worked |= self.service_polling();
             return if worked { Control::Busy } else { Control::Idle };
@@ -697,7 +1041,8 @@ impl Actor for Reader {
             if self.drain_requests() {
                 hub.cancel_park();
             } else {
-                self.collect_events(Some(PARK_TIMEOUT));
+                self.park_waits.inc();
+                self.collect_events(Some(self.park_cap));
                 hub.cancel_park();
                 self.service_ready();
             }
@@ -714,6 +1059,9 @@ impl Actor for Reader {
 struct PendingWrites {
     /// Parked nodes with their resume offsets, oldest first.
     queue: VecDeque<(Node, usize)>,
+    /// Completion mode: a send for this socket is inside the ring; the
+    /// next queued frame is submitted when its completion lands.
+    inflight: bool,
     /// Readiness mode: waiting for an `EPOLLOUT` edge; skip the socket
     /// until it fires.
     awaiting_edge: bool,
@@ -742,9 +1090,21 @@ pub struct Writer {
     batch: Vec<Node>,
     ready: Option<Box<dyn ReadySet>>,
     events: Vec<ReadyEvent>,
+    /// Completion mode (preferred over `ready` when the backend offers
+    /// it): sends are submitted into the ring, short writes resume
+    /// inside it.
+    cring: Option<Box<dyn CompletionRing>>,
+    /// Scratch buffer for reaped completions.
+    completions: Vec<Completion>,
     /// Write frames dropped instead of queued (dead socket, or per-socket
     /// pending cap exceeded).
     dropped: Arc<Counter>,
+    /// Blocking kernel waits entered while parked (shared `net_park_waits`).
+    park_waits: Arc<Counter>,
+    /// Cap on a parked blocking wait ([`IdlePolicy::net_park_cap`]).
+    ///
+    /// [`IdlePolicy::net_park_cap`]: eactors::config::IdlePolicy::net_park_cap
+    park_cap: Duration,
     idle_streak: u32,
 }
 
@@ -760,7 +1120,12 @@ impl std::fmt::Debug for Writer {
 impl Writer {
     /// A WRITER draining `Write` messages from `requests`.
     pub fn new(net: Arc<dyn NetBackend>, requests: NetPort) -> Self {
-        let ready = net.ready_set();
+        let cring = net.completion_ring();
+        let ready = if cring.is_some() {
+            None
+        } else {
+            net.ready_set()
+        };
         Writer {
             net,
             requests,
@@ -768,7 +1133,11 @@ impl Writer {
             batch: Vec::new(),
             ready,
             events: event_buf(),
+            cring,
+            completions: Vec::new(),
             dropped: Arc::new(Counter::default()),
+            park_waits: Arc::new(Counter::default()),
+            park_cap: PARK_TIMEOUT,
             idle_streak: 0,
         }
     }
@@ -906,17 +1275,163 @@ impl Writer {
         }
         worked
     }
+
+    /// Flush pending submissions and reap completions (completion
+    /// mode) — at most one syscall. Returns whether anything completed.
+    fn reap_ring(&mut self, timeout: Option<Duration>) -> bool {
+        let Some(ring) = self.cring.as_deref_mut() else {
+            return false;
+        };
+        matches!(ring.reap(&mut self.completions, timeout), Ok(n) if n > 0)
+    }
+
+    /// Hand `node` to the ring as a send on `socket` (completion mode).
+    /// Short writes resume inside the ring, so per-socket order needs no
+    /// readiness edge — just one in-flight send and a FIFO behind it.
+    fn submit_send(&mut self, socket: u64, node: Node) {
+        let Some(ring) = self.cring.as_deref_mut() else {
+            return;
+        };
+        match ring.send_node(SocketId(socket), node, DATA_HEADER) {
+            Ok(()) => {
+                self.pending.entry(socket).or_default().inflight = true;
+            }
+            // Defensive: a send is somehow already in flight; keep order
+            // by parking the frame at the head of the queue.
+            Err((NetError::WouldBlock, node)) => {
+                let p = self.pending.entry(socket).or_default();
+                p.inflight = true;
+                p.queue.push_front((node, DATA_HEADER));
+            }
+            Err((_, _node)) => {
+                // Socket gone; the frame and everything parked behind it
+                // are lost.
+                self.dropped.inc();
+                if let Some(p) = self.pending.remove(&socket) {
+                    self.dropped.add(p.queue.len() as u64);
+                }
+            }
+        }
+    }
+
+    /// Completion-mode intake: decode `Write` frames and submit each
+    /// node to the ring, or park it behind the socket's in-flight send.
+    fn intake_ring(&mut self) -> bool {
+        const BATCH: usize = 32;
+        let mut worked = false;
+        let mut drained = std::mem::take(&mut self.batch);
+        while self.requests.mbox().recv_batch(&mut drained, BATCH) > 0 {
+            worked = true;
+            for node in drained.drain(..) {
+                let socket = match NetMsg::decode_from(node.bytes()) {
+                    Some(NetMsg::Write { socket, .. }) => socket,
+                    Some(_) => continue, // not ours; drop
+                    None => {
+                        self.requests.stats().note_corrupt_frame();
+                        continue;
+                    }
+                };
+                if node.bytes().len() <= DATA_HEADER {
+                    continue; // empty payload: nothing to transmit
+                }
+                if let Some(p) = self.pending.get_mut(&socket) {
+                    if p.inflight || !p.queue.is_empty() {
+                        // Order must be preserved behind earlier bytes.
+                        if p.queue.len() >= PENDING_CAP {
+                            self.dropped.inc(); // bounded memory wins
+                        } else {
+                            p.queue.push_back((node, DATA_HEADER));
+                        }
+                        continue;
+                    }
+                }
+                self.submit_send(socket, node);
+            }
+        }
+        self.batch = drained;
+        worked
+    }
+
+    /// Deliver reaped send completions (completion mode): a finished
+    /// send releases its socket's next parked frame into the ring; a
+    /// failed one retires the socket and counts its parked frames.
+    fn service_send_completions(&mut self) -> bool {
+        let mut worked = false;
+        let mut comps = std::mem::take(&mut self.completions);
+        for c in comps.drain(..) {
+            let Completion::Sent { socket, result, .. } = c else {
+                continue;
+            };
+            worked = true;
+            let Some(p) = self.pending.get_mut(&socket) else {
+                continue;
+            };
+            p.inflight = false;
+            match result {
+                Ok(()) => {
+                    if let Some((node, _)) = p.queue.pop_front() {
+                        self.submit_send(socket, node);
+                    } else {
+                        self.pending.remove(&socket);
+                    }
+                }
+                Err(_) => {
+                    self.dropped.inc();
+                    if let Some(p) = self.pending.remove(&socket) {
+                        self.dropped.add(p.queue.len() as u64);
+                    }
+                }
+            }
+        }
+        self.completions = comps; // keep the allocation
+        worked
+    }
 }
 
 impl Actor for Writer {
     fn ctor(&mut self, ctx: &mut Ctx) {
         self.dropped = ctx.obs_hub().registry().counter("net_dropped_writes");
+        self.park_waits = ctx.obs_hub().registry().counter("net_park_waits");
+        self.park_cap = ctx.idle_policy().net_park_cap;
         if let Some(set) = &self.ready {
             ctx.wake_hub().register_waker(set.waker());
+        }
+        if let Some(ring) = self.cring.as_deref_mut() {
+            ring.bind_obs(ctx.obs_hub().registry());
+            ctx.wake_hub().register_waker(ring.waker());
         }
     }
 
     fn body(&mut self, ctx: &mut Ctx) -> Control {
+        if self.cring.is_some() {
+            let mut worked = self.reap_ring(Some(Duration::ZERO));
+            worked |= self.service_send_completions();
+            worked |= self.intake_ring();
+            if worked {
+                self.idle_streak = 0;
+                return Control::Busy;
+            }
+            self.idle_streak += 1;
+            if self.idle_streak >= IDLE_STREAK_PARK {
+                // Same eventcount handshake as the Reader: new requests
+                // notify the hub, the hub fires the ring's eventfd, the
+                // poll CQE ends the blocking enter.
+                let hub = ctx.wake_hub().clone();
+                let _seen = hub.prepare_park();
+                if self.intake_ring() {
+                    hub.cancel_park();
+                } else {
+                    self.park_waits.inc();
+                    self.reap_ring(Some(self.park_cap));
+                    hub.cancel_park();
+                    self.service_send_completions();
+                    self.intake_ring();
+                }
+                self.idle_streak = 0;
+            }
+            // Completion mode never yields to the worker's condvar park.
+            return Control::Busy;
+        }
         if self.ready.is_none() {
             let mut worked = self.flush();
             worked |= self.intake();
@@ -939,7 +1454,8 @@ impl Actor for Writer {
                 hub.cancel_park();
                 self.flush();
             } else {
-                self.collect_events(Some(PARK_TIMEOUT));
+                self.park_waits.inc();
+                self.collect_events(Some(self.park_cap));
                 hub.cancel_park();
                 self.flush();
                 self.intake();

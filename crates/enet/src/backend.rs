@@ -12,6 +12,8 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
+use eactors::arena::Node;
+use eactors::obs::MetricsRegistry;
 use eactors::wake::HubWaker;
 
 /// Identifier of a connected socket.
@@ -235,4 +237,168 @@ pub trait NetBackend: Send + Sync + fmt::Debug {
     fn ready_set(&self) -> Option<Box<dyn ReadySet>> {
         None
     }
+
+    /// Create a completion ring over this backend's sockets, or `None`
+    /// when the backend has no submission-queue engine (every backend
+    /// except `UringBackend`). Consumers prefer a completion ring over a
+    /// [`NetBackend::ready_set`]: instead of "wait for readiness, then
+    /// one syscall per event", they submit the operations themselves and
+    /// reap finished ones in batches — at most one syscall per *batch*.
+    fn completion_ring(&self) -> Option<Box<dyn CompletionRing>> {
+        None
+    }
+}
+
+/// One finished operation reaped from a [`CompletionRing`].
+///
+/// Buffers travel as arena [`Node`]s in both directions: a receive is
+/// submitted *with* the node the kernel fills, and every completion
+/// hands the node back — ownership is never ambiguous, and a dropped
+/// completion simply recycles its node to the pool.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Completion {
+    /// A watched listener produced a connection, already adopted into
+    /// the backend's socket table under `socket`.
+    Accepted {
+        /// The listener ([`ListenerId::0`]) the connection arrived on.
+        listener: u64,
+        /// The new socket ([`SocketId::0`]), nonblocking and adopted.
+        socket: u64,
+    },
+    /// The accept stream on `listener` died (listener closed or a fatal
+    /// accept error); the watch is gone and must be re-submitted if
+    /// still wanted.
+    AcceptFailed {
+        /// The listener whose watch ended.
+        listener: u64,
+    },
+    /// A [`CompletionRing::recv_into`] finished. On `Ok(n)` the kernel
+    /// filled `node` bytes `offset..offset + n` (`n == 0` is EOF); the
+    /// node's length is **not** set — the consumer owns framing. `Err`
+    /// reports a dead socket or a cancellation
+    /// ([`CompletionRing::cancel_recv`]).
+    Recv {
+        /// The socket the receive was submitted on.
+        socket: u64,
+        /// The buffer node, returned to the caller.
+        node: Node,
+        /// The offset the receive was submitted with.
+        offset: usize,
+        /// Bytes received, or why the operation ended.
+        result: Result<usize, NetError>,
+    },
+    /// A [`CompletionRing::send_node`] finished. `Ok` means the node's
+    /// payload was **fully** transmitted — short writes are resumed
+    /// inside the ring, never surfaced. `Err` reports a dead socket
+    /// with the unsent node returned.
+    Sent {
+        /// The socket the send was submitted on.
+        socket: u64,
+        /// The transmitted (or abandoned) node, returned to the caller.
+        node: Node,
+        /// Success, or why transmission stopped.
+        result: Result<(), NetError>,
+    },
+}
+
+/// A per-consumer submission/completion engine (one io_uring instance).
+///
+/// Mirrors [`ReadySet`]'s ownership model — each consumer (READER,
+/// WRITER, ACCEPTER) drives its own ring, so completions are never
+/// stolen between actors — but inverts the control flow: the consumer
+/// *submits* operations (with their buffers) and later *reaps* their
+/// completions, instead of waiting for readiness and then issuing one
+/// syscall per ready socket.
+///
+/// At most one receive and one send may be in flight per socket per
+/// ring (the actors' natural discipline); a second submission fails
+/// with [`NetError::WouldBlock`]. Submissions are *published* locally
+/// and handed to the kernel in the next [`CompletionRing::reap`] — one
+/// `io_uring_enter` covers the whole batch, and a reap that finds
+/// already-posted completions costs **zero** syscalls.
+pub trait CompletionRing: Send + fmt::Debug {
+    /// Keep accepting on `listener`, posting [`Completion::Accepted`]
+    /// per connection until cancelled or [`Completion::AcceptFailed`].
+    /// Uses multishot accept where the kernel supports it, transparent
+    /// oneshot re-arm otherwise. Idempotent while armed.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadSocket`] for an unknown listener,
+    /// [`NetError::TrustedDomain`] from enclave code.
+    fn accept(&mut self, listener: ListenerId) -> Result<(), NetError>;
+
+    /// Stop accepting on `listener`. Unknown ids are a no-op. Already
+    /// accepted-but-unreaped connections still surface as
+    /// [`Completion::Accepted`] (close them if unwanted).
+    fn cancel_accept(&mut self, listener: ListenerId);
+
+    /// Submit one receive on `socket` into `node` at byte `offset`
+    /// (room above the caller's frame header). The node is pinned
+    /// inside the ring until its [`Completion::Recv`] is reaped.
+    ///
+    /// # Errors
+    ///
+    /// The node is handed back with [`NetError::BadSocket`] (unknown
+    /// socket), [`NetError::WouldBlock`] (a receive is already in
+    /// flight), or [`NetError::TrustedDomain`].
+    fn recv_into(
+        &mut self,
+        socket: SocketId,
+        node: Node,
+        offset: usize,
+    ) -> Result<(), (NetError, Node)>;
+
+    /// Cancel the in-flight receive on `socket`, if any. The node comes
+    /// back through [`Completion::Recv`] — with real data if the
+    /// receive won the race, as an `Err` otherwise. No-op when nothing
+    /// is in flight.
+    fn cancel_recv(&mut self, socket: SocketId);
+
+    /// Submit the transmission of `node.bytes()[offset..]` on `socket`.
+    /// The ring owns the node until [`Completion::Sent`], resuming
+    /// short writes internally so per-socket ordering holds as long as
+    /// the caller serializes sends per socket (one in flight each).
+    ///
+    /// # Errors
+    ///
+    /// The node is handed back with [`NetError::BadSocket`],
+    /// [`NetError::WouldBlock`] (a send is already in flight on this
+    /// socket), or [`NetError::TrustedDomain`].
+    fn send_node(
+        &mut self,
+        socket: SocketId,
+        node: Node,
+        offset: usize,
+    ) -> Result<(), (NetError, Node)>;
+
+    /// Flush pending submissions and reap finished completions into
+    /// `out` (appended), blocking up to `timeout` when it is not zero
+    /// and nothing has completed yet. Returns how many completions were
+    /// appended; `0` on timeout or a [`CompletionRing::waker`] wake.
+    /// The whole call issues **at most one** `io_uring_enter`; with
+    /// nothing to submit and completions already posted it issues none.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on ring failure, [`NetError::TrustedDomain`]
+    /// from enclave code.
+    fn reap(
+        &mut self,
+        out: &mut Vec<Completion>,
+        timeout: Option<Duration>,
+    ) -> Result<usize, NetError>;
+
+    /// A handle that interrupts a concurrent blocking
+    /// [`CompletionRing::reap`] from any thread; register it with the
+    /// runtime's [`eactors::wake::WakeHub`] so message enqueues wake a
+    /// parked consumer (same contract as [`ReadySet::waker`]).
+    fn waker(&self) -> Arc<dyn HubWaker>;
+
+    /// Bind the ring's counters into `registry`:
+    /// `net_sqe_submitted`, `net_cqe_reaped`, `net_enter_syscalls` and
+    /// the `net_uring_batch` completion-batch histogram. Rings of one
+    /// deployment share the named atomics.
+    fn bind_obs(&mut self, _registry: &MetricsRegistry) {}
 }

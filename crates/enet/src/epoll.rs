@@ -235,9 +235,19 @@ impl NetBackend for EpollBackend {
 /// costs one `write(2)`; when the consumer is demonstrably awake the
 /// wake is a single atomic swap.
 #[derive(Debug)]
-struct EventfdWaker {
-    fd: ffi::OwnedFd,
-    armed: AtomicBool,
+pub(crate) struct EventfdWaker {
+    pub(crate) fd: ffi::OwnedFd,
+    pub(crate) armed: AtomicBool,
+}
+
+impl EventfdWaker {
+    /// A fresh, armed waker around a new eventfd.
+    pub(crate) fn create() -> std::io::Result<Self> {
+        Ok(EventfdWaker {
+            fd: ffi::eventfd_create()?,
+            armed: AtomicBool::new(true),
+        })
+    }
 }
 
 impl HubWaker for EventfdWaker {

@@ -80,6 +80,13 @@ extern "C" {
 pub struct OwnedFd(RawFd);
 
 impl OwnedFd {
+    /// Take ownership of a descriptor returned by a raw syscall (used
+    /// by `crate::uring_ffi` for the ring fd). The caller must not close
+    /// `fd` itself afterwards.
+    pub(crate) fn from_raw(fd: RawFd) -> OwnedFd {
+        OwnedFd(fd)
+    }
+
     /// The raw descriptor, for registration calls. The fd stays owned
     /// by `self`.
     pub fn raw(&self) -> RawFd {

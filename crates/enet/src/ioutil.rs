@@ -8,7 +8,7 @@ use std::io;
 /// arrives mid-call; the operation did nothing and must simply be
 /// reissued. Without this, a stray `SIGPROF`/`SIGCHLD` would tear down
 /// a healthy connection as a fatal [`crate::NetError::Io`].
-pub(crate) fn retry_intr<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+pub fn retry_intr<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
     loop {
         match op() {
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -40,5 +40,86 @@ mod tests {
     fn non_eintr_errors_pass_through() {
         let err = retry_intr::<()>(|| Err(io::Error::from(io::ErrorKind::WouldBlock))).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn first_try_success_calls_the_op_exactly_once() {
+        let mut calls = 0;
+        retry_intr(|| {
+            calls += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(calls, 1);
+    }
+
+    /// The kernel reports interruption as raw `errno` 4; the retry loop
+    /// must recognize it through `io::Error`'s kind mapping, not by a
+    /// kind constructed in test code.
+    #[test]
+    fn raw_errno_eintr_is_retried() {
+        const EINTR: i32 = 4;
+        assert_eq!(
+            io::Error::from_raw_os_error(EINTR).kind(),
+            io::ErrorKind::Interrupted
+        );
+        let mut attempts = 0;
+        let got = retry_intr(|| {
+            attempts += 1;
+            if attempts == 1 {
+                Err(io::Error::from_raw_os_error(EINTR))
+            } else {
+                Ok(attempts)
+            }
+        })
+        .unwrap();
+        assert_eq!(got, 2);
+    }
+
+    /// Fault-injection storm: every operation suffers a pseudo-random
+    /// burst of 0–7 interruptions before succeeding (or failing for
+    /// real). The retry loop must absorb exactly the injected bursts —
+    /// no result corrupted, no retry skipped, real errors undisturbed.
+    #[test]
+    fn eintr_storm_converges_on_every_operation() {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64; // deterministic LCG
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        let mut total_attempts = 0u64;
+        let mut expected_attempts = 0u64;
+        for op_id in 0..500u32 {
+            let burst = next() % 8;
+            let fatal = next() % 10 == 0; // every ~10th op truly fails
+            expected_attempts += u64::from(burst) + 1;
+            let mut remaining = burst;
+            let result = retry_intr(|| {
+                total_attempts += 1;
+                if remaining > 0 {
+                    remaining -= 1;
+                    return Err(io::Error::from_raw_os_error(4));
+                }
+                if fatal {
+                    Err(io::Error::from(io::ErrorKind::ConnectionReset))
+                } else {
+                    Ok(op_id)
+                }
+            });
+            match result {
+                Ok(v) => {
+                    assert!(!fatal);
+                    assert_eq!(v, op_id);
+                }
+                Err(e) => {
+                    assert!(fatal, "spurious failure on op {op_id}: {e}");
+                    assert_eq!(e.kind(), io::ErrorKind::ConnectionReset);
+                }
+            }
+        }
+        assert_eq!(
+            total_attempts, expected_attempts,
+            "retries must match injected interruptions exactly"
+        );
     }
 }

@@ -18,13 +18,16 @@
 //! ([`data_frame_into_write`]) — an echo path moves bytes from socket to
 //! socket with zero heap allocations and zero copies beyond the kernel's.
 //!
-//! Three interchangeable [`NetBackend`]s are provided: [`SimNet`], an
+//! Four interchangeable [`NetBackend`]s are provided: [`SimNet`], an
 //! in-process TCP substrate with a syscall cost model (used by the paper
 //! reproduction benchmarks, where hundreds of emulated clients run on one
 //! machine); [`TcpLoopback`], real `std::net` sockets polled per pass;
 //! and on Linux [`EpollBackend`], real sockets with edge-triggered
 //! `epoll` readiness ([`ReadySet`]) so READER/WRITER park in
-//! `epoll_wait` instead of polling.
+//! `epoll_wait` instead of polling, plus [`UringBackend`], real sockets
+//! driven by an io_uring completion ring ([`CompletionRing`]) so a whole
+//! batch of receives, sends, and accepts costs one `io_uring_enter`.
+//! [`auto_backend`] picks the best of the real-socket three at runtime.
 //!
 //! ## Example: an echo flow without actors
 //!
@@ -54,17 +57,22 @@ mod dir;
 mod epoll;
 #[cfg(target_os = "linux")]
 mod ffi;
-mod ioutil;
+pub mod ioutil;
 mod msg;
 mod sim;
 mod tcp;
+#[cfg(target_os = "linux")]
+mod uring;
+#[cfg(target_os = "linux")]
+mod uring_ffi;
 
 pub use actors::{
     send_msg, send_write_with, Accepter, Closer, NetPort, NetStats, Opener, Reader, SystemActors,
     Writer,
 };
 pub use backend::{
-    Interest, ListenerId, NetBackend, NetError, ReadyEvent, ReadySet, RecvOutcome, SocketId,
+    Completion, CompletionRing, Interest, ListenerId, NetBackend, NetError, ReadyEvent, ReadySet,
+    RecvOutcome, SocketId,
 };
 pub use dir::{MboxDirectory, MboxRef};
 #[cfg(target_os = "linux")]
@@ -72,6 +80,62 @@ pub use epoll::EpollBackend;
 pub use msg::{data_frame_into_write, BatchEntries, NetMsg, DATA_HEADER};
 pub use sim::{failpoints, SimNet, DEFAULT_SOCKET_BUFFER};
 pub use tcp::TcpLoopback;
+#[cfg(target_os = "linux")]
+pub use uring::UringBackend;
+
+/// The running kernel's release string (`uname -r` equivalent), for
+/// benchmark metadata and backend-selection diagnostics.
+#[cfg(target_os = "linux")]
+pub fn kernel_release() -> String {
+    uring_ffi::kernel_release()
+}
+
+/// See the Linux version — this stub reports `"unknown"` where the
+/// probe interface does not exist.
+#[cfg(not(target_os = "linux"))]
+pub fn kernel_release() -> String {
+    "unknown".to_owned()
+}
+
+/// Pick the fastest real-socket backend this host supports: io_uring,
+/// falling back to epoll, falling back to polled TCP. Returns the
+/// backend, its short name (`"uring"` / `"epoll"` / `"tcp"`), and a
+/// human-readable reason for the choice (callers log it).
+pub fn auto_backend(
+    costs: sgx_sim::CostHandle,
+) -> (std::sync::Arc<dyn NetBackend>, &'static str, String) {
+    #[cfg(target_os = "linux")]
+    {
+        match UringBackend::probe() {
+            Ok(()) => (
+                std::sync::Arc::new(UringBackend::new(costs)),
+                "uring",
+                format!("io_uring available on kernel {}", kernel_release()),
+            ),
+            Err(reason) => match ffi::epoll_create() {
+                Ok(_) => (
+                    std::sync::Arc::new(EpollBackend::new(costs)),
+                    "epoll",
+                    format!("io_uring unavailable ({reason}); using epoll"),
+                ),
+                Err(e) => (
+                    std::sync::Arc::new(TcpLoopback::new(costs)),
+                    "tcp",
+                    format!(
+                        "io_uring unavailable ({reason}); epoll unavailable ({e}); \
+                         using polled tcp"
+                    ),
+                ),
+            },
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    (
+        std::sync::Arc::new(TcpLoopback::new(costs)),
+        "tcp",
+        "no kernel multiplexer on this platform; using polled tcp".to_owned(),
+    )
+}
 
 #[cfg(test)]
 mod tests {

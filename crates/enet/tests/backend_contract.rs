@@ -1,6 +1,7 @@
 //! Backend conformance suite: one parameterized set of trait-contract
 //! checks, run identically against every [`NetBackend`] — `SimNet`,
-//! `TcpLoopback` and (on Linux) `EpollBackend`. A behavior difference
+//! `TcpLoopback`, and (on Linux) `EpollBackend` plus `UringBackend`
+//! where the kernel's io_uring probe succeeds. A behavior difference
 //! between backends is a bug in the backend, not in the caller; this
 //! suite is what keeps the fault-injection and permutation tests (which
 //! only run against sim) honest about the real backends.
@@ -30,6 +31,18 @@ fn backends() -> Vec<(&'static str, Platform, Arc<dyn NetBackend>)> {
             p.clone(),
             Arc::new(enet::EpollBackend::new(p.costs())),
         ));
+        match enet::UringBackend::probe() {
+            Ok(()) => {
+                let p = platform();
+                let net = enet::UringBackend::new(p.costs());
+                assert!(
+                    net.completion_ring().is_some(),
+                    "a probed-ok uring backend must offer a completion ring"
+                );
+                v.push(("uring", p.clone(), Arc::new(net)));
+            }
+            Err(reason) => eprintln!("skipping uring conformance: {reason}"),
+        }
     }
     v
 }
@@ -59,6 +72,16 @@ fn small_buffer_backends() -> Vec<(&'static str, Arc<dyn NetBackend>, usize)> {
             Arc::new(enet::EpollBackend::with_buffer_size(p.costs(), 1)),
             256 * 1024,
         ));
+        if enet::UringBackend::probe().is_ok() {
+            let p = platform();
+            v.push((
+                "uring",
+                Arc::new(enet::UringBackend::with_buffer_size(p.costs(), 1)),
+                256 * 1024,
+            ));
+        } else {
+            eprintln!("skipping uring small-buffer conformance: no io_uring");
+        }
     }
     v
 }
@@ -328,15 +351,21 @@ fn enclave_domain_rejected_on_every_backend() {
     }
 }
 
-/// Readiness sets are optional: polling backends return `None`, the
-/// epoll backend returns an independent set per call.
+/// Readiness sets and completion rings are optional: polling backends
+/// return `None` for both, the epoll backend returns an independent
+/// readiness set per call, and the uring backend a completion ring.
 #[test]
 fn ready_set_availability_matches_backend() {
     for (name, _p, net) in backends() {
-        let has = net.ready_set().is_some();
+        let has_ready = net.ready_set().is_some();
+        let has_ring = net.completion_ring().is_some();
         match name {
-            "sim" | "tcp" => assert!(!has, "[{name}] unexpectedly offers readiness"),
-            "epoll" => assert!(has, "[{name}] readiness missing"),
+            "sim" | "tcp" => {
+                assert!(!has_ready, "[{name}] unexpectedly offers readiness");
+                assert!(!has_ring, "[{name}] unexpectedly offers completions");
+            }
+            "epoll" => assert!(has_ready, "[{name}] readiness missing"),
+            "uring" => assert!(has_ring, "[{name}] completion ring missing"),
             _ => unreachable!(),
         }
     }
